@@ -1,0 +1,66 @@
+// Shared helpers for the paper-figure benchmark harnesses.
+//
+// Each harness is a standalone binary that prints the rows/series of one
+// table or figure from the paper. `OPTRULES_BENCH_SCALE` (a positive
+// integer, default 1) multiplies the workload sizes for users who want to
+// run closer to the paper's original scale.
+
+#ifndef OPTRULES_BENCH_BENCH_UTIL_H_
+#define OPTRULES_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace optrules::bench {
+
+/// Reads OPTRULES_BENCH_SCALE (>= 1, default 1).
+inline int64_t BenchScale() {
+  const char* env = std::getenv("OPTRULES_BENCH_SCALE");
+  if (env == nullptr) return 1;
+  const long long value = std::atoll(env);
+  return value >= 1 ? static_cast<int64_t>(value) : 1;
+}
+
+/// Random bucket-count instance (u_i in [1, max_u], v_i in [0, u_i]).
+struct BucketInstance {
+  std::vector<int64_t> u;
+  std::vector<int64_t> v;
+  int64_t total = 0;
+};
+
+inline BucketInstance RandomBuckets(int64_t m, int64_t max_u,
+                                    double hit_rate, uint64_t seed) {
+  Rng rng(seed);
+  BucketInstance instance;
+  instance.u.resize(static_cast<size_t>(m));
+  instance.v.resize(static_cast<size_t>(m));
+  for (int64_t i = 0; i < m; ++i) {
+    const int64_t u = rng.NextInt(1, max_u);
+    int64_t v = 0;
+    for (int64_t k = 0; k < u; ++k) {
+      if (rng.NextBernoulli(hit_rate)) ++v;
+    }
+    instance.u[static_cast<size_t>(i)] = u;
+    instance.v[static_cast<size_t>(i)] = v;
+    instance.total += u;
+  }
+  return instance;
+}
+
+/// Prints a separator line sized to `width` characters.
+inline void PrintRule(int width) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+}  // namespace optrules::bench
+
+#endif  // OPTRULES_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,45 @@
+// Figure 1: sample size vs probability of a >=50% bucket-depth error.
+//
+// For X ~ Binomial(S, 1/M), prints pe = Pr(|X - S/M| >= 0.5 * S/M) as a
+// function of S/M for M in {5, 10, 10000}. The paper's observation: pe
+// falls below 0.30 at S/M = 40 and flattens beyond, which is why
+// Algorithm 3.1 uses S = 40*M samples.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/binomial.h"
+
+int main() {
+  using optrules::BucketDeviationProbability;
+
+  optrules::bench::PrintHeader(
+      "Figure 1: sample size and probability of depth error >= 50% "
+      "(delta = 0.5)");
+  const int64_t ms[] = {5, 10, 10000};
+  std::printf("%8s %12s %12s %12s\n", "S/M", "M=5", "M=10", "M=10000");
+  optrules::bench::PrintRule(48);
+  const int64_t per_bucket_values[] = {1,  2,  5,  10, 15, 20, 25,
+                                       30, 35, 40, 50, 60, 80, 100};
+  for (const int64_t per_bucket : per_bucket_values) {
+    std::printf("%8lld", static_cast<long long>(per_bucket));
+    for (const int64_t m : ms) {
+      const double pe =
+          BucketDeviationProbability(per_bucket * m, m, 0.5);
+      std::printf(" %12.4f", pe);
+    }
+    std::printf("\n");
+  }
+  optrules::bench::PrintRule(48);
+  std::printf(
+      "Check (paper Section 3.2): pe < 0.30 at S/M = 40 for every M:\n");
+  bool all_ok = true;
+  for (const int64_t m : ms) {
+    const double pe = BucketDeviationProbability(40 * m, m, 0.5);
+    const bool ok = pe < 0.30;
+    all_ok = all_ok && ok;
+    std::printf("  M=%-6lld pe=%.4f  %s\n", static_cast<long long>(m), pe,
+                ok ? "OK" : "VIOLATION");
+  }
+  return all_ok ? 0 : 1;
+}

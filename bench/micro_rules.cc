@@ -1,0 +1,87 @@
+// google-benchmark microbenchmarks of the core O(M) algorithms, the hull
+// tree, and the bucketing primitives (complements the paper-figure
+// harnesses with per-operation timings).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "bucketing/equidepth_sampler.h"
+#include "common/ratio.h"
+#include "hull/convex_hull_tree.h"
+#include "rules/kadane.h"
+#include "rules/optimized_confidence.h"
+#include "rules/optimized_support.h"
+
+namespace {
+
+using optrules::bench::BucketInstance;
+using optrules::bench::RandomBuckets;
+
+void BM_OptimizedConfidence(benchmark::State& state) {
+  const int64_t m = state.range(0);
+  const BucketInstance instance = RandomBuckets(m, 20, 0.3, 1);
+  const int64_t min_support = instance.total / 20;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(optrules::rules::OptimizedConfidenceRule(
+        instance.u, instance.v, instance.total, min_support));
+  }
+  state.SetComplexityN(m);
+}
+BENCHMARK(BM_OptimizedConfidence)->Range(256, 1 << 18)->Complexity();
+
+void BM_OptimizedSupport(benchmark::State& state) {
+  const int64_t m = state.range(0);
+  const BucketInstance instance = RandomBuckets(m, 20, 0.45, 2);
+  const optrules::Ratio theta(1, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(optrules::rules::OptimizedSupportRule(
+        instance.u, instance.v, instance.total, theta));
+  }
+  state.SetComplexityN(m);
+}
+BENCHMARK(BM_OptimizedSupport)->Range(256, 1 << 18)->Complexity();
+
+void BM_KadaneMaxGain(benchmark::State& state) {
+  const int64_t m = state.range(0);
+  const BucketInstance instance = RandomBuckets(m, 20, 0.45, 3);
+  const optrules::Ratio theta(1, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        optrules::rules::MaxGainRange(instance.u, instance.v, theta));
+  }
+}
+BENCHMARK(BM_KadaneMaxGain)->Range(256, 1 << 18);
+
+void BM_ConvexHullTreeBuild(benchmark::State& state) {
+  const int64_t m = state.range(0);
+  optrules::Rng rng(4);
+  std::vector<optrules::hull::Point> points(static_cast<size_t>(m));
+  double x = 0.0;
+  for (auto& p : points) {
+    x += 1.0 + static_cast<double>(rng.NextBounded(4));
+    p = {x, static_cast<double>(rng.NextInt(-100, 100))};
+  }
+  for (auto _ : state) {
+    optrules::hull::ConvexHullTree tree(points);
+    benchmark::DoNotOptimize(tree.hull_size());
+  }
+  state.SetComplexityN(m);
+}
+BENCHMARK(BM_ConvexHullTreeBuild)->Range(256, 1 << 18)->Complexity();
+
+void BM_EquiDepthSampling(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  optrules::Rng data_rng(5);
+  std::vector<double> values(static_cast<size_t>(n));
+  for (double& v : values) v = data_rng.NextUniform(0.0, 1e6);
+  optrules::bucketing::SamplerOptions options;
+  options.num_buckets = 1000;
+  for (auto _ : state) {
+    optrules::Rng rng(6);
+    benchmark::DoNotOptimize(optrules::bucketing::BuildEquiDepthBoundaries(
+        values, options, rng));
+  }
+}
+BENCHMARK(BM_EquiDepthSampling)->Range(1 << 16, 1 << 20);
+
+}  // namespace

@@ -1,0 +1,101 @@
+// Two-dimensional optimized regions (Section 1.4):
+//   (Age, Balance) in X => (CardLoan = yes)
+// where X is a rectangle or an x-monotone region of the 2-D bucket grid.
+// Also trains the Section 1.5 decision tree with range splits on the same
+// data and prints it.
+
+#include <cstdio>
+
+#include "bucketing/equidepth_sampler.h"
+#include "common/rng.h"
+#include "datagen/bank.h"
+#include "region/grid.h"
+#include "region/rectangle.h"
+#include "region/xmonotone.h"
+#include "tree/decision_tree.h"
+
+int main() {
+  optrules::datagen::BankConfig config;
+  config.num_customers = 150000;
+  optrules::Rng rng(21);
+  const optrules::storage::Relation bank =
+      optrules::datagen::GenerateBankCustomers(config, rng);
+
+  const int age = bank.schema().NumericIndexOf("Age").value();
+  const int balance = bank.schema().NumericIndexOf("Balance").value();
+  const int card_loan = bank.schema().BooleanIndexOf("CardLoan").value();
+
+  // 32x32 equi-depth grid over (Age, Balance).
+  optrules::bucketing::SamplerOptions sampler;
+  sampler.num_buckets = 32;
+  optrules::Rng sample_rng(22);
+  const auto bx = optrules::bucketing::BuildEquiDepthBoundaries(
+      bank.NumericColumn(age), sampler, sample_rng);
+  const auto by = optrules::bucketing::BuildEquiDepthBoundaries(
+      bank.NumericColumn(balance), sampler, sample_rng);
+  const optrules::region::GridCounts grid = optrules::region::BuildGrid(
+      bank.NumericColumn(age), bank.NumericColumn(balance),
+      bank.BooleanColumn(card_loan), bx, by);
+  std::printf("grid: %d x %d equi-depth buckets over (Age, Balance), %lld "
+              "tuples\n\n",
+              grid.nx(), grid.ny(),
+              static_cast<long long>(grid.total_tuples()));
+
+  // Optimized-confidence rectangle with >= 5% support.
+  const optrules::region::RegionRule rect =
+      optrules::region::OptimizedConfidenceRectangle(
+          grid, grid.total_tuples() / 20);
+  if (rect.found) {
+    std::printf("optimized confidence rectangle:\n");
+    std::printf("  Age buckets [%d, %d] x Balance buckets [%d, %d]\n",
+                rect.x1, rect.x2, rect.y1, rect.y2);
+    std::printf("  support %.2f%%, confidence %.2f%%\n\n",
+                rect.support * 100.0, rect.confidence * 100.0);
+  }
+
+  // Largest >= 50%-confident rectangle.
+  const optrules::region::RegionRule wide =
+      optrules::region::OptimizedSupportRectangle(grid,
+                                                  optrules::Ratio(1, 2));
+  if (wide.found) {
+    std::printf("optimized support rectangle (conf >= 50%%):\n");
+    std::printf("  Age buckets [%d, %d] x Balance buckets [%d, %d], "
+                "support %.2f%%, confidence %.2f%%\n\n",
+                wide.x1, wide.x2, wide.y1, wide.y2, wide.support * 100.0,
+                wide.confidence * 100.0);
+  } else {
+    std::printf("no rectangle reaches 50%% confidence\n\n");
+  }
+
+  // Gain-optimized x-monotone region (theta = 50%).
+  const optrules::region::XMonotoneRegion region =
+      optrules::region::MaxGainXMonotoneRegion(grid, optrules::Ratio(1, 2));
+  if (region.found) {
+    std::printf("max-gain x-monotone region (theta 50%%):\n");
+    std::printf("  spans Age buckets [%d, %d], support %.2f%%, confidence "
+                "%.2f%%\n",
+                region.x_begin,
+                region.x_begin +
+                    static_cast<int>(region.column_ranges.size()) - 1,
+                region.support * 100.0, region.confidence * 100.0);
+    std::printf("  per-column Balance-bucket intervals:");
+    for (const auto& [s, t] : region.column_ranges) {
+      std::printf(" [%d,%d]", s, t);
+    }
+    std::printf("\n\n");
+  }
+
+  // Decision tree with range splits predicting CardLoan (Section 1.5).
+  optrules::tree::TreeOptions tree_options;
+  tree_options.max_depth = 3;
+  tree_options.min_leaf_tuples = 2000;
+  const auto tree =
+      optrules::tree::DecisionTree::Train(bank, "CardLoan", tree_options);
+  if (tree.ok()) {
+    std::printf("range-split decision tree for CardLoan (accuracy %.2f%% "
+                "on training data):\n%s",
+                tree.value().Accuracy(bank) * 100.0,
+                tree.value().ToString().c_str());
+  }
+  return 0;
+}

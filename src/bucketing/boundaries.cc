@@ -1,0 +1,56 @@
+#include "bucketing/boundaries.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace optrules::bucketing {
+
+BucketBoundaries BucketBoundaries::FromCutPoints(
+    std::vector<double> cut_points) {
+  OPTRULES_CHECK(std::is_sorted(cut_points.begin(), cut_points.end()));
+  return BucketBoundaries(std::move(cut_points));
+}
+
+BucketBoundaries BucketBoundaries::FromSortedValues(
+    std::span<const double> sorted, int num_buckets) {
+  OPTRULES_CHECK(num_buckets >= 1);
+  OPTRULES_DCHECK(std::is_sorted(sorted.begin(), sorted.end()));
+  std::vector<double> cuts;
+  cuts.reserve(static_cast<size_t>(num_buckets) - 1);
+  const int64_t n = static_cast<int64_t>(sorted.size());
+  for (int i = 1; i < num_buckets; ++i) {
+    if (n == 0) break;
+    // The i*(n/M)-th smallest sample becomes p_i (paper step 3); with
+    // 1-based "k-th smallest" that is index k-1.
+    const int64_t rank =
+        std::max<int64_t>(0, std::min<int64_t>(n, i * n / num_buckets) - 1);
+    cuts.push_back(sorted[static_cast<size_t>(rank)]);
+  }
+  // Duplicated quantiles (heavy ties) are legal: the duplicate buckets are
+  // simply empty and get compacted away by the counting layer.
+  return BucketBoundaries(std::move(cuts));
+}
+
+int BucketBoundaries::Locate(double x) const {
+  // Bucket i covers (p_i, p_{i+1}]; lower_bound yields the first cut >= x,
+  // which is exactly the index of the covering bucket.
+  const auto it =
+      std::lower_bound(cut_points_.begin(), cut_points_.end(), x);
+  return static_cast<int>(it - cut_points_.begin());
+}
+
+double BucketBoundaries::LowerEdge(int i) const {
+  OPTRULES_CHECK(0 <= i && i < num_buckets());
+  if (i == 0) return -std::numeric_limits<double>::infinity();
+  return cut_points_[static_cast<size_t>(i - 1)];
+}
+
+double BucketBoundaries::UpperEdge(int i) const {
+  OPTRULES_CHECK(0 <= i && i < num_buckets());
+  if (i == num_buckets() - 1) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return cut_points_[static_cast<size_t>(i)];
+}
+
+}  // namespace optrules::bucketing

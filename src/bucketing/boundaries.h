@@ -1,0 +1,57 @@
+// Bucket boundaries over the domain of one numeric attribute.
+//
+// M buckets are described by M-1 interior cut points p_1 <= ... <= p_{M-1};
+// bucket i (0-based) covers (p_i, p_{i+1}] with p_0 = -inf and p_M = +inf,
+// exactly the assignment rule of Algorithm 3.1 step 4 ("find i such that
+// p_{i-1} < x <= p_i").
+
+#ifndef OPTRULES_BUCKETING_BOUNDARIES_H_
+#define OPTRULES_BUCKETING_BOUNDARIES_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace optrules::bucketing {
+
+/// Immutable set of bucket cut points with O(log M) point location.
+class BucketBoundaries {
+ public:
+  /// From interior cut points (must be sorted ascending); yields
+  /// `cut_points.size() + 1` buckets.
+  static BucketBoundaries FromCutPoints(std::vector<double> cut_points);
+
+  /// Exact equi-depth boundaries from a fully sorted value array: cut point
+  /// i is the (i * n / M)-th smallest value. This is the "sort the data"
+  /// path the paper wants to avoid for out-of-core tables.
+  static BucketBoundaries FromSortedValues(std::span<const double> sorted,
+                                           int num_buckets);
+
+  /// Number of buckets (cut points + 1).
+  int num_buckets() const {
+    return static_cast<int>(cut_points_.size()) + 1;
+  }
+
+  /// Bucket index of value `x` in [0, num_buckets).
+  int Locate(double x) const;
+
+  /// Interior cut points, ascending.
+  const std::vector<double>& cut_points() const { return cut_points_; }
+
+  /// Exclusive lower / inclusive upper edge of bucket i; the first lower
+  /// edge is -infinity and the last upper edge +infinity.
+  double LowerEdge(int i) const;
+  double UpperEdge(int i) const;
+
+ private:
+  explicit BucketBoundaries(std::vector<double> cut_points)
+      : cut_points_(std::move(cut_points)) {}
+
+  std::vector<double> cut_points_;
+};
+
+}  // namespace optrules::bucketing
+
+#endif  // OPTRULES_BUCKETING_BOUNDARIES_H_

@@ -1,0 +1,193 @@
+#include "bucketing/counting.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace optrules::bucketing {
+
+namespace {
+
+BucketCounts MakeEmptyCounts(int num_buckets, int num_targets) {
+  BucketCounts counts;
+  counts.u.assign(static_cast<size_t>(num_buckets), 0);
+  counts.v.assign(static_cast<size_t>(num_targets),
+                  std::vector<int64_t>(static_cast<size_t>(num_buckets), 0));
+  counts.min_value.assign(static_cast<size_t>(num_buckets),
+                          std::numeric_limits<double>::quiet_NaN());
+  counts.max_value.assign(static_cast<size_t>(num_buckets),
+                          std::numeric_limits<double>::quiet_NaN());
+  return counts;
+}
+
+void UpdateMinMax(BucketCounts* counts, int bucket, double value) {
+  const auto b = static_cast<size_t>(bucket);
+  double& lo = counts->min_value[b];
+  double& hi = counts->max_value[b];
+  if (std::isnan(lo) || value < lo) lo = value;
+  if (std::isnan(hi) || value > hi) hi = value;
+}
+
+}  // namespace
+
+BucketCounts CountBucketsSlice(
+    std::span<const double> values,
+    std::span<const std::vector<uint8_t>* const> targets,
+    const BucketBoundaries& boundaries, size_t begin, size_t end) {
+  OPTRULES_CHECK(begin <= end && end <= values.size());
+  BucketCounts counts = MakeEmptyCounts(boundaries.num_buckets(),
+                                        static_cast<int>(targets.size()));
+  for (const std::vector<uint8_t>* target : targets) {
+    OPTRULES_CHECK(target != nullptr);
+    OPTRULES_CHECK(target->size() == values.size());
+  }
+  for (size_t row = begin; row < end; ++row) {
+    const int bucket = boundaries.Locate(values[row]);
+    ++counts.u[static_cast<size_t>(bucket)];
+    UpdateMinMax(&counts, bucket, values[row]);
+    for (size_t t = 0; t < targets.size(); ++t) {
+      if ((*targets[t])[row] != 0) {
+        ++counts.v[t][static_cast<size_t>(bucket)];
+      }
+    }
+  }
+  counts.total_tuples = static_cast<int64_t>(end - begin);
+  return counts;
+}
+
+BucketCounts CountBuckets(
+    std::span<const double> values,
+    std::span<const std::vector<uint8_t>* const> targets,
+    const BucketBoundaries& boundaries) {
+  return CountBucketsSlice(values, targets, boundaries, 0, values.size());
+}
+
+BucketCounts CountBuckets(std::span<const double> values,
+                          const std::vector<uint8_t>& target,
+                          const BucketBoundaries& boundaries) {
+  const std::vector<uint8_t>* targets[] = {&target};
+  return CountBuckets(values, targets, boundaries);
+}
+
+BucketCounts CountBucketsConditional(std::span<const double> values,
+                                     std::span<const uint8_t> condition1,
+                                     std::span<const uint8_t> condition2,
+                                     const BucketBoundaries& boundaries) {
+  OPTRULES_CHECK(condition1.size() == values.size());
+  OPTRULES_CHECK(condition2.size() == values.size());
+  BucketCounts counts = MakeEmptyCounts(boundaries.num_buckets(), 1);
+  for (size_t row = 0; row < values.size(); ++row) {
+    if (condition1[row] == 0) continue;
+    const int bucket = boundaries.Locate(values[row]);
+    ++counts.u[static_cast<size_t>(bucket)];
+    UpdateMinMax(&counts, bucket, values[row]);
+    if (condition2[row] != 0) {
+      ++counts.v[0][static_cast<size_t>(bucket)];
+    }
+  }
+  // N stays the full table size: the support of a generalized rule is
+  // measured against all tuples (Definition 2.2).
+  counts.total_tuples = static_cast<int64_t>(values.size());
+  return counts;
+}
+
+BucketCounts CountBucketsFromStream(storage::TupleStream& stream,
+                                    int numeric_attr,
+                                    const BucketBoundaries& boundaries) {
+  OPTRULES_CHECK(0 <= numeric_attr && numeric_attr < stream.num_numeric());
+  BucketCounts counts =
+      MakeEmptyCounts(boundaries.num_buckets(), stream.num_boolean());
+  storage::TupleView view;
+  int64_t total = 0;
+  const int num_targets = stream.num_boolean();
+  while (stream.Next(&view)) {
+    const double value = view.numeric[numeric_attr];
+    const int bucket = boundaries.Locate(value);
+    ++counts.u[static_cast<size_t>(bucket)];
+    UpdateMinMax(&counts, bucket, value);
+    for (int t = 0; t < num_targets; ++t) {
+      if (view.booleans[t] != 0) {
+        ++counts.v[static_cast<size_t>(t)][static_cast<size_t>(bucket)];
+      }
+    }
+    ++total;
+  }
+  counts.total_tuples = total;
+  return counts;
+}
+
+void CompactEmptyBuckets(BucketCounts* counts) {
+  OPTRULES_CHECK(counts != nullptr);
+  const int m = counts->num_buckets();
+  int write = 0;
+  for (int read = 0; read < m; ++read) {
+    if (counts->u[static_cast<size_t>(read)] == 0) continue;
+    if (write != read) {
+      counts->u[static_cast<size_t>(write)] =
+          counts->u[static_cast<size_t>(read)];
+      counts->min_value[static_cast<size_t>(write)] =
+          counts->min_value[static_cast<size_t>(read)];
+      counts->max_value[static_cast<size_t>(write)] =
+          counts->max_value[static_cast<size_t>(read)];
+      for (auto& target : counts->v) {
+        target[static_cast<size_t>(write)] =
+            target[static_cast<size_t>(read)];
+      }
+    }
+    ++write;
+  }
+  counts->u.resize(static_cast<size_t>(write));
+  counts->min_value.resize(static_cast<size_t>(write));
+  counts->max_value.resize(static_cast<size_t>(write));
+  for (auto& target : counts->v) target.resize(static_cast<size_t>(write));
+}
+
+BucketSums CountBucketSums(std::span<const double> values,
+                           std::span<const double> target,
+                           const BucketBoundaries& boundaries) {
+  OPTRULES_CHECK(target.size() == values.size());
+  const int m = boundaries.num_buckets();
+  BucketSums sums;
+  sums.u.assign(static_cast<size_t>(m), 0);
+  sums.sum.assign(static_cast<size_t>(m), 0.0);
+  sums.min_value.assign(static_cast<size_t>(m),
+                        std::numeric_limits<double>::quiet_NaN());
+  sums.max_value.assign(static_cast<size_t>(m),
+                        std::numeric_limits<double>::quiet_NaN());
+  for (size_t row = 0; row < values.size(); ++row) {
+    const auto bucket =
+        static_cast<size_t>(boundaries.Locate(values[row]));
+    ++sums.u[bucket];
+    sums.sum[bucket] += target[row];
+    double& lo = sums.min_value[bucket];
+    double& hi = sums.max_value[bucket];
+    if (std::isnan(lo) || values[row] < lo) lo = values[row];
+    if (std::isnan(hi) || values[row] > hi) hi = values[row];
+  }
+  sums.total_tuples = static_cast<int64_t>(values.size());
+  return sums;
+}
+
+void CompactEmptyBuckets(BucketSums* sums) {
+  OPTRULES_CHECK(sums != nullptr);
+  const int m = sums->num_buckets();
+  int write = 0;
+  for (int read = 0; read < m; ++read) {
+    const auto r = static_cast<size_t>(read);
+    if (sums->u[r] == 0) continue;
+    const auto w = static_cast<size_t>(write);
+    if (write != read) {
+      sums->u[w] = sums->u[r];
+      sums->sum[w] = sums->sum[r];
+      sums->min_value[w] = sums->min_value[r];
+      sums->max_value[w] = sums->max_value[r];
+    }
+    ++write;
+  }
+  sums->u.resize(static_cast<size_t>(write));
+  sums->sum.resize(static_cast<size_t>(write));
+  sums->min_value.resize(static_cast<size_t>(write));
+  sums->max_value.resize(static_cast<size_t>(write));
+}
+
+}  // namespace optrules::bucketing

@@ -1,0 +1,97 @@
+// Step 4 of Algorithm 3.1: one sequential pass assigning each tuple to its
+// bucket and accumulating, per bucket, the tuple count u_i and per Boolean
+// target the hit count v_i. Also tracks the observed min/max value per
+// bucket so mined ranges can be reported in attribute units.
+
+#ifndef OPTRULES_BUCKETING_COUNTING_H_
+#define OPTRULES_BUCKETING_COUNTING_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bucketing/boundaries.h"
+#include "storage/tuple_stream.h"
+
+namespace optrules::bucketing {
+
+/// Per-bucket statistics for one numeric attribute and a set of Boolean
+/// targets.
+struct BucketCounts {
+  /// u[i]: number of tuples in bucket i.
+  std::vector<int64_t> u;
+  /// v[t][i]: number of tuples in bucket i meeting Boolean target t.
+  std::vector<std::vector<int64_t>> v;
+  /// Observed minimum / maximum attribute value in each bucket (NaN when
+  /// the bucket is empty, but empty buckets are usually compacted away).
+  std::vector<double> min_value;
+  std::vector<double> max_value;
+  /// Total number of tuples scanned (the support denominator N).
+  int64_t total_tuples = 0;
+
+  int num_buckets() const { return static_cast<int>(u.size()); }
+  int num_targets() const { return static_cast<int>(v.size()); }
+};
+
+/// Counts one in-memory column against one or more Boolean target columns.
+/// Every target span must have the same length as `values`.
+BucketCounts CountBuckets(std::span<const double> values,
+                          std::span<const std::vector<uint8_t>* const> targets,
+                          const BucketBoundaries& boundaries);
+
+/// Convenience overload for a single target column.
+BucketCounts CountBuckets(std::span<const double> values,
+                          const std::vector<uint8_t>& target,
+                          const BucketBoundaries& boundaries);
+
+/// Counts only the row range [begin, end) of the full columns. Building
+/// block for the parallel counter (Algorithm 3.2); total_tuples is set to
+/// end - begin.
+BucketCounts CountBucketsSlice(
+    std::span<const double> values,
+    std::span<const std::vector<uint8_t>* const> targets,
+    const BucketBoundaries& boundaries, size_t begin, size_t end);
+
+/// Generalized-rule counting (Section 4.3): u_i counts tuples meeting the
+/// presumptive Boolean condition C1, v_i those meeting C1 and C2.
+/// `condition1` / `condition2` are 0/1 masks over rows.
+BucketCounts CountBucketsConditional(std::span<const double> values,
+                                     std::span<const uint8_t> condition1,
+                                     std::span<const uint8_t> condition2,
+                                     const BucketBoundaries& boundaries);
+
+/// Streaming variant: counts numeric attribute `numeric_attr` against all
+/// Boolean attributes of the stream in one scan (the Figure 9 workload).
+/// The stream must be positioned at the start.
+BucketCounts CountBucketsFromStream(storage::TupleStream& stream,
+                                    int numeric_attr,
+                                    const BucketBoundaries& boundaries);
+
+/// Removes empty buckets in place (the rule algorithms require u_i >= 1).
+/// Bucket order and all parallel arrays are preserved.
+void CompactEmptyBuckets(BucketCounts* counts);
+
+/// Per-bucket statistics for the Section 5 average operator: tuple counts
+/// of attribute A's buckets plus the per-bucket sum of target attribute B.
+struct BucketSums {
+  std::vector<int64_t> u;      ///< tuples per bucket
+  std::vector<double> sum;     ///< sum of the target attribute per bucket
+  std::vector<double> min_value;
+  std::vector<double> max_value;
+  int64_t total_tuples = 0;
+
+  int num_buckets() const { return static_cast<int>(u.size()); }
+};
+
+/// Counts buckets of `values` (attribute A) while summing `target`
+/// (attribute B) per bucket. Spans must be equal length.
+BucketSums CountBucketSums(std::span<const double> values,
+                           std::span<const double> target,
+                           const BucketBoundaries& boundaries);
+
+/// Removes empty buckets from a BucketSums in place.
+void CompactEmptyBuckets(BucketSums* sums);
+
+}  // namespace optrules::bucketing
+
+#endif  // OPTRULES_BUCKETING_COUNTING_H_

@@ -1,0 +1,67 @@
+#include "bucketing/equidepth_sampler.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace optrules::bucketing {
+
+namespace {
+
+BucketBoundaries BoundariesFromSample(std::vector<double>& sample,
+                                      int num_buckets) {
+  std::sort(sample.begin(), sample.end());
+  return BucketBoundaries::FromSortedValues(sample, num_buckets);
+}
+
+}  // namespace
+
+BucketBoundaries BuildEquiDepthBoundaries(std::span<const double> values,
+                                          const SamplerOptions& options,
+                                          Rng& rng) {
+  OPTRULES_CHECK(options.num_buckets >= 1);
+  OPTRULES_CHECK(options.sample_per_bucket >= 1);
+  if (values.empty()) {
+    return BucketBoundaries::FromCutPoints({});
+  }
+  const int64_t sample_size =
+      options.sample_per_bucket * options.num_buckets;
+  std::vector<double> sample;
+  sample.reserve(static_cast<size_t>(sample_size));
+  for (int64_t i = 0; i < sample_size; ++i) {
+    const uint64_t index = rng.NextBounded(values.size());
+    sample.push_back(values[static_cast<size_t>(index)]);
+  }
+  return BoundariesFromSample(sample, options.num_buckets);
+}
+
+BucketBoundaries BuildEquiDepthBoundariesFromStream(
+    storage::TupleStream& stream, int numeric_attr,
+    const SamplerOptions& options, Rng& rng) {
+  OPTRULES_CHECK(options.num_buckets >= 1);
+  OPTRULES_CHECK(options.sample_per_bucket >= 1);
+  OPTRULES_CHECK(0 <= numeric_attr && numeric_attr < stream.num_numeric());
+  const int64_t sample_size =
+      options.sample_per_bucket * options.num_buckets;
+  // Reservoir sampling (Vitter's algorithm R): one sequential pass, bounded
+  // memory, uniform without replacement.
+  std::vector<double> reservoir;
+  reservoir.reserve(static_cast<size_t>(sample_size));
+  storage::TupleView view;
+  int64_t seen = 0;
+  while (stream.Next(&view)) {
+    const double value = view.numeric[numeric_attr];
+    ++seen;
+    if (static_cast<int64_t>(reservoir.size()) < sample_size) {
+      reservoir.push_back(value);
+    } else {
+      const uint64_t j = rng.NextBounded(static_cast<uint64_t>(seen));
+      if (j < static_cast<uint64_t>(sample_size)) {
+        reservoir[static_cast<size_t>(j)] = value;
+      }
+    }
+  }
+  if (reservoir.empty()) return BucketBoundaries::FromCutPoints({});
+  return BoundariesFromSample(reservoir, options.num_buckets);
+}
+
+}  // namespace optrules::bucketing

@@ -1,0 +1,50 @@
+// Algorithm 3.1: almost equi-depth buckets via random sampling.
+//
+// 1. Draw an S-sized random sample (S = sample_per_bucket * M; the paper's
+//    Figure 1 analysis picks 40 per bucket).
+// 2. Sort the sample.
+// 3. Take every (S/M)-th sample value as a cut point.
+// The subsequent counting scan (step 4) lives in bucketing/counting.h.
+//
+// Substitution note (documented in DESIGN.md): for disk-resident streams we
+// draw the sample by single-pass reservoir sampling instead of
+// with-replacement random access, which avoids random I/O; the resulting
+// without-replacement sample concentrates at least as tightly around the
+// quantiles as the with-replacement sample the paper analyzes.
+
+#ifndef OPTRULES_BUCKETING_EQUIDEPTH_SAMPLER_H_
+#define OPTRULES_BUCKETING_EQUIDEPTH_SAMPLER_H_
+
+#include <cstdint>
+#include <span>
+
+#include "bucketing/boundaries.h"
+#include "common/rng.h"
+#include "storage/tuple_stream.h"
+
+namespace optrules::bucketing {
+
+/// Sampling parameters for Algorithm 3.1.
+struct SamplerOptions {
+  int num_buckets = 1000;
+  /// S/M: samples drawn per bucket. The paper uses 40 (Figure 1: the
+  /// probability of a 50% depth deviation drops below 0.3 there).
+  int64_t sample_per_bucket = 40;
+};
+
+/// Builds approximate equi-depth boundaries from an in-memory column using
+/// with-replacement sampling, exactly as analyzed in Section 3.2.
+BucketBoundaries BuildEquiDepthBoundaries(std::span<const double> values,
+                                          const SamplerOptions& options,
+                                          Rng& rng);
+
+/// Builds approximate equi-depth boundaries for `numeric_attr` from one
+/// sequential pass over `stream` (reservoir sample). Leaves the stream
+/// positioned at the end; callers Reset() before the counting pass.
+BucketBoundaries BuildEquiDepthBoundariesFromStream(
+    storage::TupleStream& stream, int numeric_attr,
+    const SamplerOptions& options, Rng& rng);
+
+}  // namespace optrules::bucketing
+
+#endif  // OPTRULES_BUCKETING_EQUIDEPTH_SAMPLER_H_

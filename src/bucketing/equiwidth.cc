@@ -1,0 +1,24 @@
+#include "bucketing/equiwidth.h"
+
+#include <algorithm>
+
+namespace optrules::bucketing {
+
+BucketBoundaries EquiWidthBoundaries(std::span<const double> values,
+                                     int num_buckets) {
+  OPTRULES_CHECK(num_buckets >= 1);
+  if (values.empty()) return BucketBoundaries::FromCutPoints({});
+  const auto [min_it, max_it] =
+      std::minmax_element(values.begin(), values.end());
+  const double lo = *min_it;
+  const double hi = *max_it;
+  std::vector<double> cuts;
+  cuts.reserve(static_cast<size_t>(num_buckets) - 1);
+  for (int i = 1; i < num_buckets; ++i) {
+    cuts.push_back(lo + (hi - lo) * static_cast<double>(i) /
+                            static_cast<double>(num_buckets));
+  }
+  return BucketBoundaries::FromCutPoints(std::move(cuts));
+}
+
+}  // namespace optrules::bucketing

@@ -1,0 +1,23 @@
+// Equi-width bucketing baseline.
+//
+// The paper's footnote 3 argues equi-depth bucketing minimizes the
+// worst-case approximation error among bucketings of a fixed size M. The
+// ablation benchmark compares mined-rule quality under equi-width vs
+// equi-depth boundaries on skewed data.
+
+#ifndef OPTRULES_BUCKETING_EQUIWIDTH_H_
+#define OPTRULES_BUCKETING_EQUIWIDTH_H_
+
+#include <span>
+
+#include "bucketing/boundaries.h"
+
+namespace optrules::bucketing {
+
+/// Evenly spaced cut points between the column min and max.
+BucketBoundaries EquiWidthBoundaries(std::span<const double> values,
+                                     int num_buckets);
+
+}  // namespace optrules::bucketing
+
+#endif  // OPTRULES_BUCKETING_EQUIWIDTH_H_

@@ -1,0 +1,45 @@
+#include "bucketing/error_bounds.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace optrules::bucketing {
+
+ApproxErrorBounds BucketApproximationBounds(double support_opt,
+                                            double confidence_opt,
+                                            int num_buckets) {
+  OPTRULES_CHECK(0.0 < support_opt && support_opt <= 1.0);
+  OPTRULES_CHECK(0.0 <= confidence_opt && confidence_opt <= 1.0);
+  OPTRULES_CHECK(num_buckets >= 1);
+  const double m = static_cast<double>(num_buckets);
+  const double ms = m * support_opt;
+
+  ApproxErrorBounds bounds;
+  bounds.support_lo = std::max(0.0, support_opt - 2.0 / m);
+  bounds.support_hi = std::min(1.0, support_opt + 2.0 / m);
+  // Expanding by <= 2 buckets of all-miss tuples dilutes the confidence to
+  // c*ms/(ms+2); shrinking past up to 2 buckets of all-miss tuples can
+  // raise it to c*ms/(ms-2).
+  bounds.confidence_lo = std::max(0.0, confidence_opt * ms / (ms + 2.0));
+  bounds.confidence_hi =
+      ms > 2.0 ? std::min(1.0, confidence_opt * ms / (ms - 2.0)) : 1.0;
+  return bounds;
+}
+
+double RelativeSupportErrorBound(double support_opt, int num_buckets) {
+  OPTRULES_CHECK(support_opt > 0.0);
+  OPTRULES_CHECK(num_buckets >= 1);
+  return 2.0 / (static_cast<double>(num_buckets) * support_opt);
+}
+
+double RelativeConfidenceErrorBound(double support_opt, int num_buckets) {
+  OPTRULES_CHECK(support_opt > 0.0);
+  OPTRULES_CHECK(num_buckets >= 1);
+  const double ms = static_cast<double>(num_buckets) * support_opt;
+  if (ms <= 2.0) return std::numeric_limits<double>::infinity();
+  return 2.0 / (ms - 2.0);
+}
+
+}  // namespace optrules::bucketing

@@ -1,0 +1,41 @@
+// Section 3.4: how bucket granularity bounds the error of approximating
+// the optimal range by consecutive buckets (Figure 2, Table I).
+//
+// With M equi-depth buckets, each endpoint of the optimal range moves by at
+// most one bucket (support mass 1/M), so the approximate range's support is
+// within +-2/M of support_opt, and in the worst case the confidence is
+// diluted by up to 2/M of all-miss mass (lower bound) or concentrated by
+// removing up to 2/M of all-miss mass (upper bound).
+
+#ifndef OPTRULES_BUCKETING_ERROR_BOUNDS_H_
+#define OPTRULES_BUCKETING_ERROR_BOUNDS_H_
+
+namespace optrules::bucketing {
+
+/// Worst-case band for the support and confidence of the bucket
+/// approximation of an optimal range. All quantities are fractions in
+/// [0, 1].
+struct ApproxErrorBounds {
+  double support_lo = 0.0;
+  double support_hi = 0.0;
+  double confidence_lo = 0.0;
+  double confidence_hi = 0.0;
+};
+
+/// Exact worst-case band used by the paper's Table I:
+///   support    in [s - 2/M, s + 2/M]
+///   confidence in [c*M*s/(M*s + 2), c*M*s/(M*s - 2)]  (clamped to [0,1];
+///   the upper bound degenerates to 1 when M*s <= 2).
+ApproxErrorBounds BucketApproximationBounds(double support_opt,
+                                            double confidence_opt,
+                                            int num_buckets);
+
+/// The paper's stated relative-error bounds (slightly looser symmetric
+/// form): returns 2/(M*s) and 2/(M*s - 2) respectively; the latter is
+/// +infinity when M*s <= 2.
+double RelativeSupportErrorBound(double support_opt, int num_buckets);
+double RelativeConfidenceErrorBound(double support_opt, int num_buckets);
+
+}  // namespace optrules::bucketing
+
+#endif  // OPTRULES_BUCKETING_ERROR_BOUNDS_H_

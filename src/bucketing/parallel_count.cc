@@ -1,0 +1,68 @@
+#include "bucketing/parallel_count.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <thread>
+
+namespace optrules::bucketing {
+
+BucketCounts ParallelCountBuckets(
+    std::span<const double> values,
+    std::span<const std::vector<uint8_t>* const> targets,
+    const BucketBoundaries& boundaries, int num_threads) {
+  OPTRULES_CHECK(num_threads >= 1);
+  for (const std::vector<uint8_t>* target : targets) {
+    OPTRULES_CHECK(target != nullptr);
+    OPTRULES_CHECK(target->size() == values.size());
+  }
+
+  // Step 1: split rows into near-equal contiguous shards.
+  const size_t n = values.size();
+  const size_t shards = static_cast<size_t>(num_threads);
+  std::vector<BucketCounts> partials(shards);
+
+  // Step 3 (per PE): private counting, no shared state.
+  auto count_shard = [&](size_t shard) {
+    const size_t begin = n * shard / shards;
+    const size_t end = n * (shard + 1) / shards;
+    partials[shard] =
+        CountBucketsSlice(values, targets, boundaries, begin, end);
+  };
+
+  std::vector<std::thread> workers;
+  workers.reserve(shards - 1);
+  for (size_t shard = 1; shard < shards; ++shard) {
+    workers.emplace_back(count_shard, shard);
+  }
+  count_shard(0);
+  for (std::thread& worker : workers) worker.join();
+
+  // Step 4: the coordinator sums the partial counts.
+  BucketCounts total = std::move(partials[0]);
+  for (size_t shard = 1; shard < shards; ++shard) {
+    const BucketCounts& part = partials[shard];
+    for (int b = 0; b < total.num_buckets(); ++b) {
+      const auto bi = static_cast<size_t>(b);
+      total.u[bi] += part.u[bi];
+      for (int t = 0; t < total.num_targets(); ++t) {
+        total.v[static_cast<size_t>(t)][bi] +=
+            part.v[static_cast<size_t>(t)][bi];
+      }
+      if (!std::isnan(part.min_value[bi])) {
+        if (std::isnan(total.min_value[bi]) ||
+            part.min_value[bi] < total.min_value[bi]) {
+          total.min_value[bi] = part.min_value[bi];
+        }
+        if (std::isnan(total.max_value[bi]) ||
+            part.max_value[bi] > total.max_value[bi]) {
+          total.max_value[bi] = part.max_value[bi];
+        }
+      }
+    }
+    total.total_tuples += part.total_tuples;
+  }
+  return total;
+}
+
+}  // namespace optrules::bucketing

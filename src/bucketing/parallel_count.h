@@ -1,0 +1,27 @@
+// Algorithm 3.2: parallel bucket counting.
+//
+// The tuples are partitioned over worker threads (the paper's "processor
+// elements"); each worker counts its share into private arrays with no
+// communication, and the coordinator sums the partial counts. The paper
+// argues this is embarrassingly parallel and scales with the number of PEs.
+
+#ifndef OPTRULES_BUCKETING_PARALLEL_COUNT_H_
+#define OPTRULES_BUCKETING_PARALLEL_COUNT_H_
+
+#include <span>
+#include <vector>
+
+#include "bucketing/counting.h"
+
+namespace optrules::bucketing {
+
+/// Parallel version of CountBuckets over in-memory columns. Equivalent to
+/// the serial version for any thread count; `num_threads >= 1`.
+BucketCounts ParallelCountBuckets(
+    std::span<const double> values,
+    std::span<const std::vector<uint8_t>* const> targets,
+    const BucketBoundaries& boundaries, int num_threads);
+
+}  // namespace optrules::bucketing
+
+#endif  // OPTRULES_BUCKETING_PARALLEL_COUNT_H_

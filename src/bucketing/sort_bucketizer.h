@@ -1,0 +1,43 @@
+// Sort-based exact equi-depth bucketing: the two baselines of Figure 9.
+//
+// "Naive Sort" copies the whole column and quick-sorts it per attribute;
+// "Vertical Split Sort" first projects the table onto a narrow
+// (value, tuple-id) temporary before sorting, reducing the sorted volume.
+// For disk-resident tables both are driven through storage::ExternalSort.
+
+#ifndef OPTRULES_BUCKETING_SORT_BUCKETIZER_H_
+#define OPTRULES_BUCKETING_SORT_BUCKETIZER_H_
+
+#include <span>
+#include <string>
+
+#include "bucketing/boundaries.h"
+#include "common/status.h"
+
+namespace optrules::bucketing {
+
+/// Exact equi-depth boundaries by sorting a copy of the column ("Naive
+/// Sort" when applied per attribute to the full table).
+BucketBoundaries ExactEquiDepthBoundaries(std::span<const double> values,
+                                          int num_buckets);
+
+/// Disk path of "Naive Sort": externally sorts the PagedFile at
+/// `table_path` by numeric attribute `numeric_attr` into `sorted_path`,
+/// then derives exact equi-depth boundaries from the sorted order with a
+/// single scan. `memory_budget_bytes` bounds the sort memory.
+Result<BucketBoundaries> NaiveSortBoundariesFromFile(
+    const std::string& table_path, int numeric_attr, int num_buckets,
+    const std::string& sorted_path, size_t memory_budget_bytes,
+    const std::string& temp_dir);
+
+/// Disk path of "Vertical Split Sort": projects (value) records of
+/// attribute `numeric_attr` into a narrow temporary file at `split_path`,
+/// externally sorts that, and derives exact boundaries.
+Result<BucketBoundaries> VerticalSplitSortBoundariesFromFile(
+    const std::string& table_path, int numeric_attr, int num_buckets,
+    const std::string& split_path, size_t memory_budget_bytes,
+    const std::string& temp_dir);
+
+}  // namespace optrules::bucketing
+
+#endif  // OPTRULES_BUCKETING_SORT_BUCKETIZER_H_

@@ -1,0 +1,73 @@
+#include "common/binomial.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace optrules {
+
+double LogFactorial(int64_t n) {
+  OPTRULES_CHECK(n >= 0);
+  return std::lgamma(static_cast<double>(n) + 1.0);
+}
+
+double LogBinomialCoefficient(int64_t n, int64_t k) {
+  OPTRULES_CHECK(0 <= k && k <= n);
+  return LogFactorial(n) - LogFactorial(k) - LogFactorial(n - k);
+}
+
+double BinomialPmf(int64_t n, int64_t k, double p) {
+  OPTRULES_CHECK(0.0 <= p && p <= 1.0);
+  if (k < 0 || k > n) return 0.0;
+  if (p == 0.0) return k == 0 ? 1.0 : 0.0;
+  if (p == 1.0) return k == n ? 1.0 : 0.0;
+  const double log_pmf = LogBinomialCoefficient(n, k) +
+                         static_cast<double>(k) * std::log(p) +
+                         static_cast<double>(n - k) * std::log1p(-p);
+  return std::exp(log_pmf);
+}
+
+double BinomialCdf(int64_t n, int64_t k, double p) {
+  if (k < 0) return 0.0;
+  if (k >= n) return 1.0;
+  // Recurrence pmf(i+1) = pmf(i) * (n-i)/(i+1) * p/(1-p) starting from a
+  // log-space anchor at i=0 would underflow for large n; instead anchor at
+  // each term independently when the running value degenerates.
+  double sum = 0.0;
+  double term = BinomialPmf(n, 0, p);
+  const double odds = p / (1.0 - p);
+  for (int64_t i = 0; i <= k; ++i) {
+    if (i > 0) {
+      term *= static_cast<double>(n - i + 1) / static_cast<double>(i) * odds;
+      // Refresh from log space if the recurrence degenerated to 0/inf.
+      if (term == 0.0 || !std::isfinite(term)) term = BinomialPmf(n, i, p);
+    }
+    sum += term;
+  }
+  return sum < 1.0 ? sum : 1.0;
+}
+
+double BucketDeviationProbability(int64_t sample_size, int64_t num_buckets,
+                                  double delta) {
+  OPTRULES_CHECK(sample_size >= 1);
+  OPTRULES_CHECK(num_buckets >= 2);
+  OPTRULES_CHECK(delta > 0.0);
+  const double p = 1.0 / static_cast<double>(num_buckets);
+  const double mean = static_cast<double>(sample_size) * p;
+  const double spread = delta * mean;
+  // Pr(X <= mean - spread) + Pr(X >= mean + spread).
+  const auto lower = static_cast<int64_t>(std::floor(mean - spread));
+  const auto upper = static_cast<int64_t>(std::ceil(mean + spread));
+  double prob = 0.0;
+  // Left tail: X <= lower, but only when lower is a real deviation
+  // (lower < mean - spread is ensured by flooring; handle exact boundary).
+  int64_t left_k = lower;
+  if (static_cast<double>(left_k) > mean - spread) left_k -= 1;
+  prob += BinomialCdf(sample_size, left_k, p);
+  int64_t right_k = upper;
+  if (static_cast<double>(right_k) < mean + spread) right_k += 1;
+  prob += 1.0 - BinomialCdf(sample_size, right_k - 1, p);
+  return prob < 1.0 ? prob : 1.0;
+}
+
+}  // namespace optrules

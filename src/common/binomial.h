@@ -1,0 +1,36 @@
+// Binomial tail probabilities for the sample-size analysis of Section 3.2
+// (Figure 1 of the paper).
+//
+// For a sample of size S and M buckets, the count X of sample points that
+// land in a fixed 1/M-quantile interval follows Binomial(S, 1/M). The paper
+// plots `pe = Pr(|X - S/M| >= delta * S/M)` against S/M and picks S = 40*M
+// where pe drops below 0.30 for delta = 0.5.
+
+#ifndef OPTRULES_COMMON_BINOMIAL_H_
+#define OPTRULES_COMMON_BINOMIAL_H_
+
+#include <cstdint>
+
+namespace optrules {
+
+/// Natural log of n! computed via lgamma; exact to double precision.
+double LogFactorial(int64_t n);
+
+/// Natural log of the binomial coefficient C(n, k); requires 0 <= k <= n.
+double LogBinomialCoefficient(int64_t n, int64_t k);
+
+/// Pr(X == k) for X ~ Binomial(n, p), computed in log space.
+double BinomialPmf(int64_t n, int64_t k, double p);
+
+/// Pr(X <= k) for X ~ Binomial(n, p). Sums pmf terms in log space; exact
+/// enough for the plot ranges used here (n <= ~10^6).
+double BinomialCdf(int64_t n, int64_t k, double p);
+
+/// The paper's error probability: for X ~ Binomial(S, 1/M), returns
+/// Pr(|X - S/M| >= delta * S/M). Requires S >= 1, M >= 2, delta > 0.
+double BucketDeviationProbability(int64_t sample_size, int64_t num_buckets,
+                                  double delta);
+
+}  // namespace optrules
+
+#endif  // OPTRULES_COMMON_BINOMIAL_H_

@@ -1,0 +1,42 @@
+// Lightweight CHECK/DCHECK macros for programmer-error invariants.
+//
+// The library does not use exceptions; violated invariants are programmer
+// errors and abort the process with a source location, mirroring the
+// CHECK-style contract used by large C++ database codebases.
+
+#ifndef OPTRULES_COMMON_LOGGING_H_
+#define OPTRULES_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace optrules::internal_logging {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace optrules::internal_logging
+
+/// Aborts with a diagnostic if `expr` is false. Always on.
+#define OPTRULES_CHECK(expr)                                              \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::optrules::internal_logging::CheckFailed(__FILE__, __LINE__,       \
+                                                #expr);                   \
+    }                                                                     \
+  } while (0)
+
+/// Debug-only variant of OPTRULES_CHECK; compiled out in NDEBUG builds.
+#ifdef NDEBUG
+#define OPTRULES_DCHECK(expr) \
+  do {                        \
+  } while (0)
+#else
+#define OPTRULES_DCHECK(expr) OPTRULES_CHECK(expr)
+#endif
+
+#endif  // OPTRULES_COMMON_LOGGING_H_

@@ -1,0 +1,132 @@
+// Status / Result<T>: exception-free error propagation for fallible paths
+// (I/O, parsing). Pure in-memory algorithms use CHECK-style contracts
+// instead and never fail.
+
+#ifndef OPTRULES_COMMON_STATUS_H_
+#define OPTRULES_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "common/logging.h"
+
+namespace optrules {
+
+/// Error category for a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kIoError,
+  kCorruption,
+  kOutOfRange,
+  kInternal,
+};
+
+/// Returns a stable human-readable name for `code` ("OK", "IoError", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// Value-semantic success/error outcome of a fallible operation.
+///
+/// A default-constructed Status is OK. Error statuses carry a code and a
+/// free-form message. Statuses are cheap to copy and compare.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// Factory helpers, one per error category.
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  /// True iff this status represents success.
+  bool ok() const { return code_ == StatusCode::kOk; }
+  /// The error category (kOk for success).
+  StatusCode code() const { return code_; }
+  /// The error message (empty for success).
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status.
+///
+/// Access to `value()` on an error Result is a fatal programmer error;
+/// callers must test `ok()` (or propagate) first.
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result holding `value`.
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Constructs a failed result from a non-OK status.
+  Result(Status status) : data_(std::move(status)) {  // NOLINT
+    OPTRULES_CHECK(!std::get<Status>(data_).ok());
+  }
+
+  /// True iff a value is present.
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  /// The status: OK when a value is present.
+  Status status() const {
+    return ok() ? Status::Ok() : std::get<Status>(data_);
+  }
+
+  /// The held value; fatal if `!ok()`.
+  const T& value() const& {
+    OPTRULES_CHECK(ok());
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    OPTRULES_CHECK(ok());
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    OPTRULES_CHECK(ok());
+    return std::get<T>(std::move(data_));
+  }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+/// Propagates a non-OK status to the caller.
+#define OPTRULES_RETURN_IF_ERROR(expr)     \
+  do {                                     \
+    ::optrules::Status status_ = (expr);   \
+    if (!status_.ok()) return status_;     \
+  } while (0)
+
+}  // namespace optrules
+
+#endif  // OPTRULES_COMMON_STATUS_H_

@@ -1,0 +1,33 @@
+// Wall-clock timer for the benchmark harnesses.
+
+#ifndef OPTRULES_COMMON_TIMER_H_
+#define OPTRULES_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace optrules {
+
+/// Measures elapsed wall-clock time from construction or the last Reset().
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restarts the timer.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction/Reset.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction/Reset.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace optrules
+
+#endif  // OPTRULES_COMMON_TIMER_H_

@@ -1,0 +1,69 @@
+#include "datagen/bank.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "storage/schema.h"
+
+namespace optrules::datagen {
+
+storage::Relation GenerateBankCustomers(const BankConfig& config, Rng& rng) {
+  OPTRULES_CHECK(config.num_customers >= 0);
+  Result<storage::Schema> schema = storage::Schema::Create({
+      {"Age", storage::AttrKind::kNumeric},
+      {"Balance", storage::AttrKind::kNumeric},
+      {"CheckingAccount", storage::AttrKind::kNumeric},
+      {"SavingAccount", storage::AttrKind::kNumeric},
+      {"CardLoan", storage::AttrKind::kBoolean},
+      {"AutoWithdrawal", storage::AttrKind::kBoolean},
+      {"DirectMailResponse", storage::AttrKind::kBoolean},
+  });
+  OPTRULES_CHECK(schema.ok());
+  storage::Relation relation(std::move(schema).value());
+  relation.Reserve(config.num_customers);
+
+  double numeric_row[4];
+  uint8_t boolean_row[3];
+  for (int64_t i = 0; i < config.num_customers; ++i) {
+    // Age: truncated gaussian around 42, clamped to [18, 95].
+    const double age =
+        std::clamp(42.0 + 14.0 * rng.NextGaussian(), 18.0, 95.0);
+    // Balance: lognormal, heavy right tail typical of account balances.
+    const double balance = std::exp(8.2 + 1.1 * rng.NextGaussian());
+    // CheckingAccount: mixture of low day-to-day accounts and higher ones.
+    const double checking = rng.NextBernoulli(0.7)
+                                ? std::exp(6.5 + 0.8 * rng.NextGaussian())
+                                : std::exp(8.0 + 0.6 * rng.NextGaussian());
+    // SavingAccount: elevated for the "rich checking band" (Section 5).
+    const bool rich_band = config.rich_checking_lo <= checking &&
+                           checking <= config.rich_checking_hi;
+    const double saving_mean =
+        rich_band ? config.rich_saving_mean : config.base_saving_mean;
+    const double saving =
+        std::max(0.0, saving_mean * (0.4 + 1.2 * rng.NextDouble()) +
+                          2000.0 * rng.NextGaussian());
+
+    // CardLoan: planted association with the Balance band.
+    const bool loan_band = config.card_loan_range_lo <= balance &&
+                           balance <= config.card_loan_range_hi;
+    const double loan_p = loan_band ? config.card_loan_prob_inside
+                                    : config.card_loan_prob_outside;
+    // AutoWithdrawal: mildly age-dependent.
+    const double auto_p = age < 35.0 ? 0.55 : 0.35;
+    // DirectMailResponse: rare, balance-independent noise target.
+    const double mail_p = 0.05;
+
+    numeric_row[0] = age;
+    numeric_row[1] = balance;
+    numeric_row[2] = checking;
+    numeric_row[3] = saving;
+    boolean_row[0] = rng.NextBernoulli(loan_p) ? 1 : 0;
+    boolean_row[1] = rng.NextBernoulli(auto_p) ? 1 : 0;
+    boolean_row[2] = rng.NextBernoulli(mail_p) ? 1 : 0;
+    relation.AppendRow(numeric_row, boolean_row);
+  }
+  return relation;
+}
+
+}  // namespace optrules::datagen

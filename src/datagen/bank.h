@@ -1,0 +1,43 @@
+// Bank-customers workload.
+//
+// The paper's running example: customers with Age, Balance,
+// CheckingAccount and SavingAccount numeric attributes and CardLoan /
+// AutoWithdrawal / DirectMailResponse Boolean services. CardLoan is planted
+// to be strongly associated with a mid Balance range (the paper's
+// `(Balance in I) => (CardLoan = yes)` motivating rule), and SavingAccount
+// is elevated for a band of CheckingAccount (the Section 5 average-operator
+// example).
+
+#ifndef OPTRULES_DATAGEN_BANK_H_
+#define OPTRULES_DATAGEN_BANK_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "storage/relation.h"
+
+namespace optrules::datagen {
+
+/// Parameters of the bank workload; the defaults match the paper's
+/// narrative (balances in a wide skewed range, card-loan lift in a middle
+/// balance band).
+struct BankConfig {
+  int64_t num_customers = 100000;
+  double card_loan_range_lo = 3000.0;   ///< planted CardLoan balance band
+  double card_loan_range_hi = 10000.0;
+  double card_loan_prob_inside = 0.65;
+  double card_loan_prob_outside = 0.08;
+  double rich_checking_lo = 1000.0;  ///< checking band with high savings
+  double rich_checking_hi = 3000.0;
+  double rich_saving_mean = 25000.0;
+  double base_saving_mean = 8000.0;
+};
+
+/// Attribute order of the generated relation.
+///   numeric: Age(0), Balance(1), CheckingAccount(2), SavingAccount(3)
+///   boolean: CardLoan(0), AutoWithdrawal(1), DirectMailResponse(2)
+storage::Relation GenerateBankCustomers(const BankConfig& config, Rng& rng);
+
+}  // namespace optrules::datagen
+
+#endif  // OPTRULES_DATAGEN_BANK_H_

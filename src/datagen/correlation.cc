@@ -1,0 +1,48 @@
+#include "datagen/correlation.h"
+
+#include "common/logging.h"
+
+namespace optrules::datagen {
+
+void ApplyPlantedRule(const PlantedRule& rule, Rng& rng,
+                      storage::Relation* relation) {
+  OPTRULES_CHECK(relation != nullptr);
+  OPTRULES_CHECK(rule.lo <= rule.hi);
+  OPTRULES_CHECK(0.0 <= rule.prob_inside && rule.prob_inside <= 1.0);
+  OPTRULES_CHECK(0.0 <= rule.prob_outside && rule.prob_outside <= 1.0);
+  const std::vector<double>& values =
+      relation->NumericColumn(rule.numeric_attr);
+  std::vector<uint8_t>& flags =
+      relation->MutableBooleanColumn(rule.boolean_attr);
+  OPTRULES_CHECK(flags.size() == values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    const bool inside = rule.lo <= values[i] && values[i] <= rule.hi;
+    const double p = inside ? rule.prob_inside : rule.prob_outside;
+    flags[i] = rng.NextBernoulli(p) ? 1 : 0;
+  }
+}
+
+RangeStats MeasureRange(const storage::Relation& relation, int numeric_attr,
+                        int boolean_attr, double lo, double hi) {
+  const std::vector<double>& values = relation.NumericColumn(numeric_attr);
+  const std::vector<uint8_t>& flags = relation.BooleanColumn(boolean_attr);
+  RangeStats stats;
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (lo <= values[i] && values[i] <= hi) {
+      ++stats.tuples_in_range;
+      if (flags[i] != 0) ++stats.hits_in_range;
+    }
+  }
+  const int64_t n = relation.NumRows();
+  stats.support = n > 0 ? static_cast<double>(stats.tuples_in_range) /
+                              static_cast<double>(n)
+                        : 0.0;
+  stats.confidence =
+      stats.tuples_in_range > 0
+          ? static_cast<double>(stats.hits_in_range) /
+                static_cast<double>(stats.tuples_in_range)
+          : 0.0;
+  return stats;
+}
+
+}  // namespace optrules::datagen

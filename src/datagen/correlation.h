@@ -1,0 +1,51 @@
+// Planted numeric-to-Boolean correlations.
+//
+// To check that the miner recovers *correct* rules (not just fast ones), we
+// plant a ground-truth association: inside a chosen range of a numeric
+// attribute the Boolean condition holds with probability `prob_inside`,
+// outside with `prob_outside`. The optimized-confidence rule over fine
+// buckets should then recover (approximately) the planted range.
+
+#ifndef OPTRULES_DATAGEN_CORRELATION_H_
+#define OPTRULES_DATAGEN_CORRELATION_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "storage/relation.h"
+
+namespace optrules::datagen {
+
+/// Ground truth for one planted rule `(A in [lo, hi]) => C`.
+struct PlantedRule {
+  int numeric_attr = 0;   ///< numeric column index of A
+  int boolean_attr = 0;   ///< boolean column index of C
+  double lo = 0.0;        ///< planted range lower bound (inclusive)
+  double hi = 0.0;        ///< planted range upper bound (inclusive)
+  double prob_inside = 0.9;   ///< P(C = yes | A in [lo, hi])
+  double prob_outside = 0.1;  ///< P(C = yes | A outside)
+};
+
+/// Empirical support/confidence of a fixed range, measured on data.
+struct RangeStats {
+  int64_t tuples_in_range = 0;  ///< count of rows with A in range
+  int64_t hits_in_range = 0;    ///< ... of those, rows meeting C
+  double support = 0.0;         ///< tuples_in_range / N
+  double confidence = 0.0;      ///< hits_in_range / tuples_in_range
+};
+
+/// Fills the rule's Boolean column of `relation` as a function of its
+/// numeric column according to `rule`. The relation must already contain
+/// the numeric data; any previous contents of the Boolean column are
+/// overwritten.
+void ApplyPlantedRule(const PlantedRule& rule, Rng& rng,
+                      storage::Relation* relation);
+
+/// Measures the actual support and confidence of `[lo, hi] => C` on the
+/// relation (used by tests to compare mined output against ground truth).
+RangeStats MeasureRange(const storage::Relation& relation, int numeric_attr,
+                        int boolean_attr, double lo, double hi);
+
+}  // namespace optrules::datagen
+
+#endif  // OPTRULES_DATAGEN_CORRELATION_H_

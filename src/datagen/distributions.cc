@@ -1,0 +1,115 @@
+#include "datagen/distributions.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace optrules::datagen {
+
+UniformDistribution::UniformDistribution(double lo, double hi)
+    : lo_(lo), hi_(hi) {
+  OPTRULES_CHECK(lo <= hi);
+}
+
+double UniformDistribution::Sample(Rng& rng) const {
+  return rng.NextUniform(lo_, hi_);
+}
+
+GaussianDistribution::GaussianDistribution(double mean, double stddev)
+    : mean_(mean), stddev_(stddev) {
+  OPTRULES_CHECK(stddev >= 0.0);
+}
+
+double GaussianDistribution::Sample(Rng& rng) const {
+  return mean_ + stddev_ * rng.NextGaussian();
+}
+
+ExponentialDistribution::ExponentialDistribution(double rate) : rate_(rate) {
+  OPTRULES_CHECK(rate > 0.0);
+}
+
+double ExponentialDistribution::Sample(Rng& rng) const {
+  double u = rng.NextDouble();
+  while (u <= 0.0) u = rng.NextDouble();
+  return -std::log(u) / rate_;
+}
+
+LogNormalDistribution::LogNormalDistribution(double mu, double sigma)
+    : mu_(mu), sigma_(sigma) {
+  OPTRULES_CHECK(sigma >= 0.0);
+}
+
+double LogNormalDistribution::Sample(Rng& rng) const {
+  return std::exp(mu_ + sigma_ * rng.NextGaussian());
+}
+
+ZipfDistribution::ZipfDistribution(int64_t n, double s) {
+  OPTRULES_CHECK(n >= 1);
+  OPTRULES_CHECK(s >= 0.0);
+  cumulative_.resize(static_cast<size_t>(n));
+  double total = 0.0;
+  for (int64_t k = 1; k <= n; ++k) {
+    total += std::pow(static_cast<double>(k), -s);
+    cumulative_[static_cast<size_t>(k - 1)] = total;
+  }
+  for (double& c : cumulative_) c /= total;
+  cumulative_.back() = 1.0;
+}
+
+double ZipfDistribution::Sample(Rng& rng) const {
+  const double u = rng.NextDouble();
+  const auto it =
+      std::lower_bound(cumulative_.begin(), cumulative_.end(), u);
+  return static_cast<double>(it - cumulative_.begin()) + 1.0;
+}
+
+MixtureDistribution::MixtureDistribution(
+    std::vector<std::unique_ptr<Distribution>> components,
+    std::vector<double> weights)
+    : components_(std::move(components)) {
+  OPTRULES_CHECK(!components_.empty());
+  OPTRULES_CHECK(components_.size() == weights.size());
+  double total = 0.0;
+  for (double w : weights) {
+    OPTRULES_CHECK(w >= 0.0);
+    total += w;
+  }
+  OPTRULES_CHECK(total > 0.0);
+  cumulative_weights_.resize(weights.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i] / total;
+    cumulative_weights_[i] = acc;
+  }
+  cumulative_weights_.back() = 1.0;
+}
+
+double MixtureDistribution::Sample(Rng& rng) const {
+  const double u = rng.NextDouble();
+  const auto it = std::lower_bound(cumulative_weights_.begin(),
+                                   cumulative_weights_.end(), u);
+  const size_t index =
+      static_cast<size_t>(it - cumulative_weights_.begin());
+  return components_[index]->Sample(rng);
+}
+
+std::unique_ptr<Distribution> MakeDistribution(const DistSpec& spec) {
+  switch (spec.kind) {
+    case DistSpec::Kind::kUniform:
+      return std::make_unique<UniformDistribution>(spec.a, spec.b);
+    case DistSpec::Kind::kGaussian:
+      return std::make_unique<GaussianDistribution>(spec.a, spec.b);
+    case DistSpec::Kind::kExponential:
+      return std::make_unique<ExponentialDistribution>(spec.a);
+    case DistSpec::Kind::kLogNormal:
+      return std::make_unique<LogNormalDistribution>(spec.a, spec.b);
+    case DistSpec::Kind::kZipf:
+      return std::make_unique<ZipfDistribution>(
+          static_cast<int64_t>(spec.a), spec.b);
+  }
+  OPTRULES_CHECK(false);
+  return nullptr;
+}
+
+}  // namespace optrules::datagen

@@ -1,0 +1,129 @@
+// Value distributions for synthetic workloads.
+//
+// The paper evaluates on "randomly generated test data"; we make the
+// generator explicit and seedable, with the distribution families commonly
+// used for numeric database columns (uniform, gaussian, exponential,
+// lognormal, Zipf over ranks, and finite mixtures for multi-modal columns
+// such as account balances).
+
+#ifndef OPTRULES_DATAGEN_DISTRIBUTIONS_H_
+#define OPTRULES_DATAGEN_DISTRIBUTIONS_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace optrules::datagen {
+
+/// A real-valued distribution sampled with an explicit Rng.
+class Distribution {
+ public:
+  virtual ~Distribution() = default;
+  /// Draws one value.
+  virtual double Sample(Rng& rng) const = 0;
+};
+
+/// Uniform on [lo, hi).
+class UniformDistribution : public Distribution {
+ public:
+  UniformDistribution(double lo, double hi);
+  double Sample(Rng& rng) const override;
+
+ private:
+  double lo_;
+  double hi_;
+};
+
+/// Normal with the given mean and standard deviation.
+class GaussianDistribution : public Distribution {
+ public:
+  GaussianDistribution(double mean, double stddev);
+  double Sample(Rng& rng) const override;
+
+ private:
+  double mean_;
+  double stddev_;
+};
+
+/// Exponential with the given rate (mean = 1/rate).
+class ExponentialDistribution : public Distribution {
+ public:
+  explicit ExponentialDistribution(double rate);
+  double Sample(Rng& rng) const override;
+
+ private:
+  double rate_;
+};
+
+/// Lognormal: exp(N(mu, sigma)).
+class LogNormalDistribution : public Distribution {
+ public:
+  LogNormalDistribution(double mu, double sigma);
+  double Sample(Rng& rng) const override;
+
+ private:
+  double mu_;
+  double sigma_;
+};
+
+/// Zipf over ranks 1..n with exponent s: Pr(k) proportional to k^-s.
+/// Sampling is O(log n) via a precomputed cumulative table.
+class ZipfDistribution : public Distribution {
+ public:
+  ZipfDistribution(int64_t n, double s);
+  double Sample(Rng& rng) const override;
+
+ private:
+  std::vector<double> cumulative_;
+};
+
+/// Finite mixture of component distributions with the given weights.
+class MixtureDistribution : public Distribution {
+ public:
+  /// Components and weights must be equal-length and non-empty; weights are
+  /// normalized internally.
+  MixtureDistribution(std::vector<std::unique_ptr<Distribution>> components,
+                      std::vector<double> weights);
+  double Sample(Rng& rng) const override;
+
+ private:
+  std::vector<std::unique_ptr<Distribution>> components_;
+  std::vector<double> cumulative_weights_;
+};
+
+/// Tagged parameter block describing a distribution, so that generator
+/// configs stay copyable value types.
+struct DistSpec {
+  enum class Kind {
+    kUniform,      ///< a = lo, b = hi
+    kGaussian,     ///< a = mean, b = stddev
+    kExponential,  ///< a = rate
+    kLogNormal,    ///< a = mu, b = sigma
+    kZipf,         ///< a = n (ranks), b = s (exponent)
+  };
+  Kind kind = Kind::kUniform;
+  double a = 0.0;
+  double b = 1.0;
+
+  static DistSpec Uniform(double lo, double hi) {
+    return {Kind::kUniform, lo, hi};
+  }
+  static DistSpec Gaussian(double mean, double stddev) {
+    return {Kind::kGaussian, mean, stddev};
+  }
+  static DistSpec Exponential(double rate) {
+    return {Kind::kExponential, rate, 0.0};
+  }
+  static DistSpec LogNormal(double mu, double sigma) {
+    return {Kind::kLogNormal, mu, sigma};
+  }
+  static DistSpec Zipf(double n, double s) { return {Kind::kZipf, n, s}; }
+};
+
+/// Instantiates the distribution described by `spec`.
+std::unique_ptr<Distribution> MakeDistribution(const DistSpec& spec);
+
+}  // namespace optrules::datagen
+
+#endif  // OPTRULES_DATAGEN_DISTRIBUTIONS_H_

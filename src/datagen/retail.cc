@@ -1,0 +1,64 @@
+#include "datagen/retail.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "storage/schema.h"
+
+namespace optrules::datagen {
+
+storage::Relation GenerateRetail(const RetailConfig& config, Rng& rng) {
+  OPTRULES_CHECK(config.num_transactions >= 0);
+  Result<storage::Schema> schema = storage::Schema::Create({
+      {"TotalSpend", storage::AttrKind::kNumeric},
+      {"BasketSize", storage::AttrKind::kNumeric},
+      {"HourOfDay", storage::AttrKind::kNumeric},
+      {"Pizza", storage::AttrKind::kBoolean},
+      {"Coke", storage::AttrKind::kBoolean},
+      {"Potato", storage::AttrKind::kBoolean},
+      {"Beer", storage::AttrKind::kBoolean},
+      {"Diapers", storage::AttrKind::kBoolean},
+  });
+  OPTRULES_CHECK(schema.ok());
+  storage::Relation relation(std::move(schema).value());
+  relation.Reserve(config.num_transactions);
+
+  double numeric_row[3];
+  uint8_t boolean_row[5];
+  for (int64_t i = 0; i < config.num_transactions; ++i) {
+    const double spend = std::exp(3.0 + 0.9 * rng.NextGaussian());
+    const double basket =
+        std::max(1.0, std::round(spend / 8.0 + 2.0 * rng.NextGaussian()));
+    // Shopping hours concentrated in the evening.
+    const double hour = std::clamp(
+        14.0 + 4.5 * rng.NextGaussian(), 0.0, 23.0);
+
+    const bool pizza = rng.NextBernoulli(0.25);
+    // Planted spend band with elevated Coke rate; pizza adds lift too
+    // (the paper's Pizza & Coke => Potato association).
+    const bool snack_band =
+        config.snack_spend_lo <= spend && spend <= config.snack_spend_hi;
+    double coke_p =
+        snack_band ? config.coke_prob_inside : config.coke_prob_outside;
+    if (pizza) coke_p = std::min(1.0, coke_p + 0.25);
+    const bool coke = rng.NextBernoulli(coke_p);
+    // Potato correlates with pizza-and-coke baskets.
+    const double potato_p = (pizza && coke) ? 0.55 : 0.12;
+    // Beer peaks for evening hours; Diapers independent low base rate.
+    const double beer_p = hour >= 17.0 ? 0.3 : 0.1;
+
+    numeric_row[0] = spend;
+    numeric_row[1] = basket;
+    numeric_row[2] = hour;
+    boolean_row[0] = pizza ? 1 : 0;
+    boolean_row[1] = coke ? 1 : 0;
+    boolean_row[2] = rng.NextBernoulli(potato_p) ? 1 : 0;
+    boolean_row[3] = rng.NextBernoulli(beer_p) ? 1 : 0;
+    boolean_row[4] = rng.NextBernoulli(0.08) ? 1 : 0;
+    relation.AppendRow(numeric_row, boolean_row);
+  }
+  return relation;
+}
+
+}  // namespace optrules::datagen

@@ -1,0 +1,35 @@
+// Retail-transactions workload.
+//
+// Basket-style data in the spirit of the paper's Example 2.1: Boolean item
+// attributes (Pizza, Coke, Potato, ...) plus numeric attributes
+// (TotalSpend, BasketSize, HourOfDay) so that numeric-range rules such as
+// `(TotalSpend in I) => (Coke = yes)` are minable. Item co-occurrence and a
+// spend band with elevated snack purchases are planted.
+
+#ifndef OPTRULES_DATAGEN_RETAIL_H_
+#define OPTRULES_DATAGEN_RETAIL_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "storage/relation.h"
+
+namespace optrules::datagen {
+
+/// Parameters of the retail workload.
+struct RetailConfig {
+  int64_t num_transactions = 100000;
+  double snack_spend_lo = 15.0;   ///< spend band with elevated Coke rate
+  double snack_spend_hi = 45.0;
+  double coke_prob_inside = 0.6;
+  double coke_prob_outside = 0.15;
+};
+
+/// Attribute order of the generated relation.
+///   numeric: TotalSpend(0), BasketSize(1), HourOfDay(2)
+///   boolean: Pizza(0), Coke(1), Potato(2), Beer(3), Diapers(4)
+storage::Relation GenerateRetail(const RetailConfig& config, Rng& rng);
+
+}  // namespace optrules::datagen
+
+#endif  // OPTRULES_DATAGEN_RETAIL_H_

@@ -1,0 +1,113 @@
+#include "datagen/table_generator.h"
+
+#include <memory>
+
+#include "common/logging.h"
+#include "storage/paged_file.h"
+
+namespace optrules::datagen {
+
+namespace {
+
+/// Resolved per-attribute generation state shared by both code paths.
+struct ResolvedConfig {
+  std::vector<std::unique_ptr<Distribution>> numeric_dists;
+  std::vector<double> boolean_probs;
+  // planted_for_boolean[b] = index into config.planted_rules, or -1.
+  std::vector<int> planted_for_boolean;
+};
+
+ResolvedConfig Resolve(const TableConfig& config) {
+  OPTRULES_CHECK(config.num_rows >= 0);
+  OPTRULES_CHECK(config.num_numeric >= 0 && config.num_boolean >= 0);
+  ResolvedConfig resolved;
+  for (int i = 0; i < config.num_numeric; ++i) {
+    const DistSpec spec = i < static_cast<int>(config.numeric_dists.size())
+                              ? config.numeric_dists[static_cast<size_t>(i)]
+                              : DistSpec::Uniform(0.0, 1e6);
+    resolved.numeric_dists.push_back(MakeDistribution(spec));
+  }
+  for (int i = 0; i < config.num_boolean; ++i) {
+    const double p = i < static_cast<int>(config.boolean_probs.size())
+                         ? config.boolean_probs[static_cast<size_t>(i)]
+                         : 0.3;
+    OPTRULES_CHECK(0.0 <= p && p <= 1.0);
+    resolved.boolean_probs.push_back(p);
+  }
+  resolved.planted_for_boolean.assign(
+      static_cast<size_t>(config.num_boolean), -1);
+  for (size_t r = 0; r < config.planted_rules.size(); ++r) {
+    const PlantedRule& rule = config.planted_rules[r];
+    OPTRULES_CHECK(0 <= rule.numeric_attr &&
+                   rule.numeric_attr < config.num_numeric);
+    OPTRULES_CHECK(0 <= rule.boolean_attr &&
+                   rule.boolean_attr < config.num_boolean);
+    resolved.planted_for_boolean[static_cast<size_t>(rule.boolean_attr)] =
+        static_cast<int>(r);
+  }
+  return resolved;
+}
+
+void GenerateRow(const TableConfig& config, const ResolvedConfig& resolved,
+                 Rng& rng, std::vector<double>* numeric_row,
+                 std::vector<uint8_t>* boolean_row) {
+  for (int i = 0; i < config.num_numeric; ++i) {
+    (*numeric_row)[static_cast<size_t>(i)] =
+        resolved.numeric_dists[static_cast<size_t>(i)]->Sample(rng);
+  }
+  for (int b = 0; b < config.num_boolean; ++b) {
+    const int planted = resolved.planted_for_boolean[static_cast<size_t>(b)];
+    double p = resolved.boolean_probs[static_cast<size_t>(b)];
+    if (planted >= 0) {
+      const PlantedRule& rule =
+          config.planted_rules[static_cast<size_t>(planted)];
+      const double value = (*numeric_row)[static_cast<size_t>(
+          rule.numeric_attr)];
+      const bool inside = rule.lo <= value && value <= rule.hi;
+      p = inside ? rule.prob_inside : rule.prob_outside;
+    }
+    (*boolean_row)[static_cast<size_t>(b)] = rng.NextBernoulli(p) ? 1 : 0;
+  }
+}
+
+}  // namespace
+
+TableConfig PaperSection61Config(int64_t num_rows) {
+  TableConfig config;
+  config.num_rows = num_rows;
+  config.num_numeric = 8;
+  config.num_boolean = 8;
+  return config;
+}
+
+storage::Relation GenerateTable(const TableConfig& config, Rng& rng) {
+  const ResolvedConfig resolved = Resolve(config);
+  storage::Relation relation(
+      storage::Schema::Synthetic(config.num_numeric, config.num_boolean));
+  relation.Reserve(config.num_rows);
+  std::vector<double> numeric_row(static_cast<size_t>(config.num_numeric));
+  std::vector<uint8_t> boolean_row(static_cast<size_t>(config.num_boolean));
+  for (int64_t row = 0; row < config.num_rows; ++row) {
+    GenerateRow(config, resolved, rng, &numeric_row, &boolean_row);
+    relation.AppendRow(numeric_row, boolean_row);
+  }
+  return relation;
+}
+
+Status GenerateTableToFile(const TableConfig& config, Rng& rng,
+                           const std::string& path) {
+  const ResolvedConfig resolved = Resolve(config);
+  Result<storage::PagedFileWriter> writer_or = storage::PagedFileWriter::Create(
+      path, config.num_numeric, config.num_boolean);
+  if (!writer_or.ok()) return writer_or.status();
+  storage::PagedFileWriter writer = std::move(writer_or).value();
+  std::vector<double> numeric_row(static_cast<size_t>(config.num_numeric));
+  std::vector<uint8_t> boolean_row(static_cast<size_t>(config.num_boolean));
+  for (int64_t row = 0; row < config.num_rows; ++row) {
+    GenerateRow(config, resolved, rng, &numeric_row, &boolean_row);
+    OPTRULES_RETURN_IF_ERROR(writer.AppendRow(numeric_row, boolean_row));
+  }
+  return writer.Close();
+}
+
+}  // namespace optrules::datagen

@@ -1,0 +1,50 @@
+#include "hull/convex_hull_tree.h"
+
+namespace optrules::hull {
+
+ConvexHullTree::ConvexHullTree(std::vector<Point> points)
+    : points_(std::move(points)) {
+  OPTRULES_CHECK(!points_.empty());
+  const int m = static_cast<int>(points_.size());
+  for (int i = 1; i < m; ++i) {
+    OPTRULES_CHECK(points_[static_cast<size_t>(i - 1)].x <
+                   points_[static_cast<size_t>(i)].x);
+  }
+  branch_.resize(static_cast<size_t>(m));
+  position_.assign(static_cast<size_t>(m), -1);
+  stack_.reserve(static_cast<size_t>(m));
+
+  // Preparatory phase: insert points right-to-left; nodes popped while
+  // inserting Q_i form the branch D_i.
+  for (int i = m - 1; i >= 0; --i) {
+    const Point& q = points_[static_cast<size_t>(i)];
+    while (stack_.size() >= 2) {
+      const Point& top = points_[static_cast<size_t>(stack_.back())];
+      const Point& second =
+          points_[static_cast<size_t>(stack_[stack_.size() - 2])];
+      // Pop while slope(Q_i, top) <= slope(Q_i, second): the top node lies
+      // on or below the line from Q_i to the second node, so it is not on
+      // U_i. Popped nodes are recorded (in increasing-x order) in D_i.
+      if (CompareSlopes(q, top, second) > 0) break;
+      branch_[static_cast<size_t>(i)].push_back(Pop());
+    }
+    Push(i);
+  }
+  base_ = 0;
+}
+
+void ConvexHullTree::AdvanceBase() {
+  OPTRULES_CHECK(base_ < num_points() - 1);
+  // Pop the leftmost node Q_base ...
+  const int popped = Pop();
+  OPTRULES_CHECK(popped == base_);
+  // ... and push D_base back in top-to-bottom (decreasing-x) order, which
+  // restores exactly the nodes of U_{base+1} hidden by Q_base.
+  const std::vector<int>& branch = branch_[static_cast<size_t>(base_)];
+  for (auto it = branch.rbegin(); it != branch.rend(); ++it) {
+    Push(*it);
+  }
+  ++base_;
+}
+
+}  // namespace optrules::hull

@@ -1,0 +1,88 @@
+// Algorithm 4.1: online maintenance of suffix upper hulls.
+//
+// Given points Q_0, ..., Q_M sorted by strictly increasing x, the tree
+// supports walking through the hulls U_0, U_1, ..., U_M, where U_i is the
+// upper hull of {Q_i, ..., Q_M}, in O(M) total time. The preparatory phase
+// (constructor) builds U_0 right-to-left, recording in a branch stack D_i
+// the nodes that belong to U_{i+1} but not U_i; the restoration phase
+// (AdvanceBase) pops the leftmost node and pushes D_i back, turning U_i
+// into U_{i+1} in amortized O(1).
+//
+// The hull is exposed as a stack: position 0 is the bottom (rightmost
+// point Q_M) and position size()-1 the top (leftmost point, the current
+// base). Clockwise traversal of the upper hull (left to right) therefore
+// corresponds to descending positions.
+
+#ifndef OPTRULES_HULL_CONVEX_HULL_TREE_H_
+#define OPTRULES_HULL_CONVEX_HULL_TREE_H_
+
+#include <span>
+#include <vector>
+
+#include "hull/point.h"
+
+namespace optrules::hull {
+
+/// Suffix upper-hull structure over a fixed point sequence.
+class ConvexHullTree {
+ public:
+  /// Builds the tree; `points` must have strictly increasing x and at least
+  /// one element. After construction the current hull is U_0.
+  explicit ConvexHullTree(std::vector<Point> points);
+
+  /// Number of points (M + 1 in the paper's indexing).
+  int num_points() const { return static_cast<int>(points_.size()); }
+
+  /// The index i such that the current hull is U_i.
+  int base() const { return base_; }
+
+  /// Moves from U_base to U_{base+1}: pops Q_base and restores its branch
+  /// D_base. Requires base() < num_points() - 1.
+  void AdvanceBase();
+
+  /// Number of nodes on the current hull.
+  int hull_size() const { return static_cast<int>(stack_.size()); }
+
+  /// Point index of the hull node at `position` (0 = bottom/rightmost,
+  /// hull_size()-1 = top/leftmost).
+  int NodeAt(int position) const {
+    OPTRULES_DCHECK(0 <= position && position < hull_size());
+    return stack_[static_cast<size_t>(position)];
+  }
+
+  /// Position of point `index` on the current hull, or -1 if absent.
+  int PositionOf(int index) const {
+    return position_[static_cast<size_t>(index)];
+  }
+
+  /// The point with the given index.
+  const Point& point(int index) const {
+    return points_[static_cast<size_t>(index)];
+  }
+
+  /// All points (sorted by x).
+  std::span<const Point> points() const { return points_; }
+
+ private:
+  void Push(int index) {
+    position_[static_cast<size_t>(index)] =
+        static_cast<int>(stack_.size());
+    stack_.push_back(index);
+  }
+  int Pop() {
+    const int index = stack_.back();
+    stack_.pop_back();
+    position_[static_cast<size_t>(index)] = -1;
+    return index;
+  }
+
+  std::vector<Point> points_;
+  std::vector<int> stack_;              // the hull stack S
+  std::vector<std::vector<int>> branch_;  // D_i, nodes popped at step i
+  std::vector<int> position_;           // point index -> stack position
+  int base_ = 0;
+};
+
+}  // namespace optrules::hull
+
+#endif  // OPTRULES_HULL_CONVEX_HULL_TREE_H_

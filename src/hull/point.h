@@ -1,0 +1,50 @@
+// Planar points and slope/orientation predicates for the hull machinery.
+//
+// Exactness: the rule-mining instantiation uses cumulative integer counts
+// as coordinates. Cross products are evaluated in long double (64-bit
+// mantissa), which is exact whenever |dx*dy| < 2^63 -- i.e., for tables of
+// up to ~3*10^9 tuples. The average-operator instantiation has real-valued
+// y and inherits ordinary floating-point behaviour.
+
+#ifndef OPTRULES_HULL_POINT_H_
+#define OPTRULES_HULL_POINT_H_
+
+#include "common/logging.h"
+
+namespace optrules::hull {
+
+/// A point in the plane (for rules: Q_k = (sum u_i, sum v_i)).
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// Sign of the cross product (b - a) x (c - a):
+///   > 0 : a->b->c turns counterclockwise (c above line ab)
+///   = 0 : collinear
+///   < 0 : clockwise (c below line ab)
+inline int Orientation(const Point& a, const Point& b, const Point& c) {
+  const long double cross =
+      (static_cast<long double>(b.x) - a.x) *
+          (static_cast<long double>(c.y) - a.y) -
+      (static_cast<long double>(b.y) - a.y) *
+          (static_cast<long double>(c.x) - a.x);
+  if (cross > 0) return 1;
+  if (cross < 0) return -1;
+  return 0;
+}
+
+/// Compares slope(origin, p) with slope(origin, q); both p and q must lie
+/// strictly to the right of origin. Returns -1/0/+1 for < / == / >.
+inline int CompareSlopes(const Point& origin, const Point& p,
+                         const Point& q) {
+  OPTRULES_DCHECK(p.x > origin.x);
+  OPTRULES_DCHECK(q.x > origin.x);
+  // slope(o,p) < slope(o,q)  <=>  q above the ray o->p  <=>
+  // Orientation(o, p, q) > 0, so the comparison is the negated orientation.
+  return -Orientation(origin, p, q);
+}
+
+}  // namespace optrules::hull
+
+#endif  // OPTRULES_HULL_POINT_H_

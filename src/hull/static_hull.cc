@@ -1,0 +1,25 @@
+#include "hull/static_hull.h"
+
+namespace optrules::hull {
+
+std::vector<int> UpperHullIndices(std::span<const Point> points) {
+  std::vector<int> hull;
+  for (int i = 0; i < static_cast<int>(points.size()); ++i) {
+    if (i > 0) {
+      OPTRULES_CHECK(points[static_cast<size_t>(i - 1)].x <
+                     points[static_cast<size_t>(i)].x);
+    }
+    // Pop while the last two hull points and the new point fail to make a
+    // clockwise (right) turn -- upper hull keeps right turns only.
+    while (hull.size() >= 2) {
+      const Point& a = points[static_cast<size_t>(hull[hull.size() - 2])];
+      const Point& b = points[static_cast<size_t>(hull.back())];
+      if (Orientation(a, b, points[static_cast<size_t>(i)]) < 0) break;
+      hull.pop_back();
+    }
+    hull.push_back(i);
+  }
+  return hull;
+}
+
+}  // namespace optrules::hull

@@ -1,0 +1,24 @@
+// Static upper-hull construction (Andrew's monotone chain).
+//
+// Test oracle for the incremental convex-hull tree: the tree's hull after
+// any number of restoration steps must equal the monotone-chain upper hull
+// of the corresponding point suffix.
+
+#ifndef OPTRULES_HULL_STATIC_HULL_H_
+#define OPTRULES_HULL_STATIC_HULL_H_
+
+#include <span>
+#include <vector>
+
+#include "hull/point.h"
+
+namespace optrules::hull {
+
+/// Indices (into `points`) of the upper hull, left to right. `points` must
+/// be sorted by strictly increasing x. Collinear interior points are
+/// excluded (strict hull).
+std::vector<int> UpperHullIndices(std::span<const Point> points);
+
+}  // namespace optrules::hull
+
+#endif  // OPTRULES_HULL_STATIC_HULL_H_

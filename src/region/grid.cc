@@ -1,0 +1,20 @@
+#include "region/grid.h"
+
+namespace optrules::region {
+
+GridCounts BuildGrid(std::span<const double> x_values,
+                     std::span<const double> y_values,
+                     std::span<const uint8_t> target,
+                     const bucketing::BucketBoundaries& x_boundaries,
+                     const bucketing::BucketBoundaries& y_boundaries) {
+  OPTRULES_CHECK(x_values.size() == y_values.size());
+  OPTRULES_CHECK(x_values.size() == target.size());
+  GridCounts grid(x_boundaries.num_buckets(), y_boundaries.num_buckets());
+  for (size_t row = 0; row < x_values.size(); ++row) {
+    grid.Add(x_boundaries.Locate(x_values[row]),
+             y_boundaries.Locate(y_values[row]), target[row] != 0);
+  }
+  return grid;
+}
+
+}  // namespace optrules::region

@@ -1,0 +1,72 @@
+// Two-dimensional bucketing (Section 1.4 extension).
+//
+// For rules of the form `(A1, A2) in X => C` the domain of the two numeric
+// attributes is partitioned into an nx-by-ny grid of buckets (equi-depth
+// per axis), and each cell stores the tuple count u and hit count v. The
+// region miners (rectangle.h, xmonotone.h) operate on this grid.
+
+#ifndef OPTRULES_REGION_GRID_H_
+#define OPTRULES_REGION_GRID_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bucketing/boundaries.h"
+#include "common/logging.h"
+
+namespace optrules::region {
+
+/// Cell counts of a 2-D bucket grid, row-major by y (cell (x, y) is at
+/// index y*nx + x).
+class GridCounts {
+ public:
+  GridCounts() = default;
+  GridCounts(int nx, int ny)
+      : nx_(nx),
+        ny_(ny),
+        u_(static_cast<size_t>(nx) * static_cast<size_t>(ny), 0),
+        v_(static_cast<size_t>(nx) * static_cast<size_t>(ny), 0) {
+    OPTRULES_CHECK(nx >= 1 && ny >= 1);
+  }
+
+  int nx() const { return nx_; }
+  int ny() const { return ny_; }
+  int64_t total_tuples() const { return total_tuples_; }
+
+  int64_t u(int x, int y) const { return u_[Index(x, y)]; }
+  int64_t v(int x, int y) const { return v_[Index(x, y)]; }
+
+  /// Adds one tuple to cell (x, y).
+  void Add(int x, int y, bool hit) {
+    ++u_[Index(x, y)];
+    if (hit) ++v_[Index(x, y)];
+    ++total_tuples_;
+  }
+
+ private:
+  size_t Index(int x, int y) const {
+    OPTRULES_DCHECK(0 <= x && x < nx_);
+    OPTRULES_DCHECK(0 <= y && y < ny_);
+    return static_cast<size_t>(y) * static_cast<size_t>(nx_) +
+           static_cast<size_t>(x);
+  }
+
+  int nx_ = 0;
+  int ny_ = 0;
+  std::vector<int64_t> u_;
+  std::vector<int64_t> v_;
+  int64_t total_tuples_ = 0;
+};
+
+/// Builds an nx-by-ny grid over two numeric columns and a Boolean target.
+/// All spans must have equal length.
+GridCounts BuildGrid(std::span<const double> x_values,
+                     std::span<const double> y_values,
+                     std::span<const uint8_t> target,
+                     const bucketing::BucketBoundaries& x_boundaries,
+                     const bucketing::BucketBoundaries& y_boundaries);
+
+}  // namespace optrules::region
+
+#endif  // OPTRULES_REGION_GRID_H_

@@ -1,0 +1,49 @@
+// Optimized rectangular regions (Section 1.4 extension; the authors'
+// companion SIGMOD'96 paper treats rectangles as the simplest admissible
+// region family).
+//
+// Strategy: enumerate every pair of y-rows [y1, y2] (O(ny^2) bands),
+// collapse the band's columns into a 1-D bucket array in O(nx) with
+// running sums, and run the corresponding 1-D optimized-rule algorithm
+// from Section 4 on it. Total cost O(ny^2 * nx) -- the 1-D linear
+// algorithms are what make this practical.
+
+#ifndef OPTRULES_REGION_RECTANGLE_H_
+#define OPTRULES_REGION_RECTANGLE_H_
+
+#include <cstdint>
+
+#include "common/ratio.h"
+#include "region/grid.h"
+
+namespace optrules::region {
+
+/// A mined rectangle [x1, x2] x [y1, y2] (inclusive bucket indices) with
+/// its statistics.
+struct RegionRule {
+  bool found = false;
+  int x1 = -1;
+  int x2 = -1;
+  int y1 = -1;
+  int y2 = -1;
+  int64_t support_count = 0;
+  int64_t hit_count = 0;
+  double support = 0.0;
+  double confidence = 0.0;
+};
+
+/// Maximizes confidence over rectangles with support_count >=
+/// min_support_count (ties toward larger support).
+RegionRule OptimizedConfidenceRectangle(const GridCounts& grid,
+                                        int64_t min_support_count);
+
+/// Maximizes support over rectangles with confidence >= min_confidence.
+RegionRule OptimizedSupportRectangle(const GridCounts& grid,
+                                     Ratio min_confidence);
+
+/// Maximizes the gain den*v - num*u over rectangles (2-D Kadane).
+RegionRule MaxGainRectangle(const GridCounts& grid, Ratio theta);
+
+}  // namespace optrules::region
+
+#endif  // OPTRULES_REGION_RECTANGLE_H_

@@ -1,0 +1,158 @@
+#include "region/xmonotone.h"
+
+#include <algorithm>
+
+namespace optrules::region {
+
+namespace {
+
+/// Packs an interval (s, t) into one int for the parent tables; -1 = none.
+int PackInterval(int s, int t, int ny) { return s * ny + t; }
+std::pair<int, int> UnpackInterval(int packed, int ny) {
+  return {packed / ny, packed % ny};
+}
+
+}  // namespace
+
+XMonotoneRegion MaxGainXMonotoneRegion(const GridCounts& grid,
+                                       Ratio theta) {
+  const int nx = grid.nx();
+  const int ny = grid.ny();
+  XMonotoneRegion best;
+  if (grid.total_tuples() == 0 && nx * ny == 0) return best;
+
+  const auto cell = [&](int x, int y) -> __int128 {
+    return static_cast<__int128>(theta.den()) * grid.v(x, y) -
+           static_cast<__int128>(theta.num()) * grid.u(x, y);
+  };
+
+  // cover[s*ny + t]: best gain of an x-monotone region ending at column x
+  // whose last interval is [s, t]. parent[x][s*ny+t]: previous column's
+  // interval, or -1 when the region starts at x.
+  std::vector<__int128> cover(static_cast<size_t>(ny) * ny);
+  std::vector<__int128> prev_cover(static_cast<size_t>(ny) * ny);
+  std::vector<std::vector<int>> parent(
+      static_cast<size_t>(nx),
+      std::vector<int>(static_cast<size_t>(ny) * ny, -1));
+
+  // Running-max tables over the previous column:
+  //   suffix_max[s'][b] = max_{t' >= b} prev_cover[s'][t']   (+argmax)
+  //   prefix_max[a][b]  = max_{s' <= a} suffix_max[s'][b]    (+argmax)
+  std::vector<__int128> prefix_max(static_cast<size_t>(ny) * ny);
+  std::vector<int> prefix_arg(static_cast<size_t>(ny) * ny, -1);
+
+  __int128 best_gain = 0;
+  int best_x = -1;
+  int best_interval = -1;
+
+  std::vector<__int128> column_prefix(static_cast<size_t>(ny) + 1);
+  for (int x = 0; x < nx; ++x) {
+    // Per-column gain prefix sums: gain(x, s, t) = p[t+1] - p[s].
+    column_prefix[0] = 0;
+    for (int y = 0; y < ny; ++y) {
+      column_prefix[static_cast<size_t>(y) + 1] =
+          column_prefix[static_cast<size_t>(y)] + cell(x, y);
+    }
+
+    if (x > 0) {
+      // Build the overlap-max table from prev_cover.
+      // Step 1: suffix max over t' (per s'), reusing prefix_max storage.
+      for (int s = 0; s < ny; ++s) {
+        __int128 running = prev_cover[static_cast<size_t>(s) * ny + (ny - 1)];
+        int running_arg = PackInterval(s, ny - 1, ny);
+        prefix_max[static_cast<size_t>(s) * ny + (ny - 1)] = running;
+        prefix_arg[static_cast<size_t>(s) * ny + (ny - 1)] = running_arg;
+        for (int b = ny - 2; b >= s; --b) {
+          const __int128 value = prev_cover[static_cast<size_t>(s) * ny + b];
+          if (value > running) {
+            running = value;
+            running_arg = PackInterval(s, b, ny);
+          }
+          prefix_max[static_cast<size_t>(s) * ny + b] = running;
+          prefix_arg[static_cast<size_t>(s) * ny + b] = running_arg;
+        }
+        // Entries with b < s are not valid intervals for s'; fill them
+        // with the value at b = s so step 2 can scan uniformly.
+        for (int b = s - 1; b >= 0; --b) {
+          prefix_max[static_cast<size_t>(s) * ny + b] =
+              prefix_max[static_cast<size_t>(s) * ny + s];
+          prefix_arg[static_cast<size_t>(s) * ny + b] =
+              prefix_arg[static_cast<size_t>(s) * ny + s];
+        }
+      }
+      // Step 2: prefix max over s' (per b), in place.
+      for (int b = 0; b < ny; ++b) {
+        for (int s = 1; s < ny; ++s) {
+          const size_t here = static_cast<size_t>(s) * ny + b;
+          const size_t above = static_cast<size_t>(s - 1) * ny + b;
+          if (prefix_max[above] > prefix_max[here]) {
+            prefix_max[here] = prefix_max[above];
+            prefix_arg[here] = prefix_arg[above];
+          }
+        }
+      }
+    }
+
+    for (int s = 0; s < ny; ++s) {
+      for (int t = s; t < ny; ++t) {
+        const __int128 gain = column_prefix[static_cast<size_t>(t) + 1] -
+                              column_prefix[static_cast<size_t>(s)];
+        __int128 value = gain;
+        int link = -1;
+        if (x > 0) {
+          // Best previous interval overlapping [s, t]: s' <= t, t' >= s.
+          const size_t key = static_cast<size_t>(t) * ny + s;
+          if (prefix_max[key] > 0) {
+            value += prefix_max[key];
+            link = prefix_arg[key];
+          }
+        }
+        const size_t index = static_cast<size_t>(s) * ny + t;
+        cover[index] = value;
+        parent[static_cast<size_t>(x)][index] = link;
+        if (best_x < 0 || value > best_gain) {
+          best_gain = value;
+          best_x = x;
+          best_interval = PackInterval(s, t, ny);
+        }
+      }
+    }
+    std::swap(cover, prev_cover);
+  }
+
+  if (best_x < 0) return best;
+
+  // Traceback from (best_x, best_interval) to the region's first column.
+  std::vector<std::pair<int, int>> reversed;
+  int x = best_x;
+  int packed = best_interval;
+  while (packed >= 0) {
+    reversed.push_back(UnpackInterval(packed, ny));
+    packed = parent[static_cast<size_t>(x)][static_cast<size_t>(
+        reversed.back().first) * ny + reversed.back().second];
+    --x;
+  }
+  best.found = true;
+  best.x_begin = x + 1;
+  best.column_ranges.assign(reversed.rbegin(), reversed.rend());
+  best.gain = static_cast<double>(best_gain);
+  for (size_t i = 0; i < best.column_ranges.size(); ++i) {
+    const int column = best.x_begin + static_cast<int>(i);
+    for (int y = best.column_ranges[i].first;
+         y <= best.column_ranges[i].second; ++y) {
+      best.support_count += grid.u(column, y);
+      best.hit_count += grid.v(column, y);
+    }
+  }
+  best.support = grid.total_tuples() > 0
+                     ? static_cast<double>(best.support_count) /
+                           static_cast<double>(grid.total_tuples())
+                     : 0.0;
+  best.confidence = best.support_count > 0
+                        ? static_cast<double>(best.hit_count) /
+                              static_cast<double>(best.support_count)
+                        : 0.0;
+  return best;
+}
+
+}  // namespace optrules::region

@@ -1,0 +1,48 @@
+// Gain-optimized x-monotone regions (Section 1.4 extension).
+//
+// An x-monotone region of the grid assigns to each column x of a
+// contiguous column span an interval [s_x, t_x] of rows such that
+// consecutive intervals overlap (the region is connected and every
+// vertical line crosses it in one segment). Following the authors'
+// companion SIGMOD'96 paper, we maximize the *gain*
+// `theta.den()*v - theta.num()*u` over such regions, which is the
+// region-shaped analogue of Kadane's rule and always dominates the best
+// rectangle's gain.
+//
+// Implementation: dynamic programming over columns. cover(x, [s,t]) =
+// gain(x, s, t) + max(0, max over intervals of column x-1 overlapping
+// [s,t]); the inner max is answered in O(1) per interval from a 2-D
+// running-max table, giving O(nx * ny^2) total time.
+
+#ifndef OPTRULES_REGION_XMONOTONE_H_
+#define OPTRULES_REGION_XMONOTONE_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/ratio.h"
+#include "region/grid.h"
+
+namespace optrules::region {
+
+/// A mined x-monotone region.
+struct XMonotoneRegion {
+  bool found = false;
+  int x_begin = -1;  ///< first column of the region (inclusive)
+  /// Row interval [first, second] of each column x_begin, x_begin+1, ...
+  std::vector<std::pair<int, int>> column_ranges;
+  int64_t support_count = 0;
+  int64_t hit_count = 0;
+  double support = 0.0;
+  double confidence = 0.0;
+  /// Total gain in units of 1/theta.den().
+  double gain = 0.0;
+};
+
+/// Maximizes gain over non-empty x-monotone regions.
+XMonotoneRegion MaxGainXMonotoneRegion(const GridCounts& grid, Ratio theta);
+
+}  // namespace optrules::region
+
+#endif  // OPTRULES_REGION_XMONOTONE_H_

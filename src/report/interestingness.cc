@@ -1,0 +1,76 @@
+#include "report/interestingness.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace optrules::report {
+
+RuleMeasures ComputeMeasures(const rules::MinedRule& rule,
+                             double base_rate) {
+  OPTRULES_CHECK(rule.found);
+  OPTRULES_CHECK(0.0 <= base_rate && base_rate <= 1.0);
+  RuleMeasures measures;
+  measures.lift =
+      base_rate > 0.0 ? rule.confidence / base_rate
+                      : std::numeric_limits<double>::infinity();
+  // support(A ^ C) = support(A) * confidence.
+  measures.leverage =
+      rule.support * rule.confidence - rule.support * base_rate;
+  measures.conviction =
+      rule.confidence < 1.0
+          ? (1.0 - base_rate) / (1.0 - rule.confidence)
+          : std::numeric_limits<double>::infinity();
+  // Gini impurity reduction of splitting the data into in-range/out-range.
+  const auto gini = [](double p) { return 2.0 * p * (1.0 - p); };
+  const double in_weight = rule.support;
+  const double out_weight = 1.0 - rule.support;
+  const double out_rate =
+      out_weight > 0.0
+          ? (base_rate - rule.support * rule.confidence) / out_weight
+          : 0.0;
+  measures.gini_gain =
+      gini(base_rate) - in_weight * gini(rule.confidence) -
+      out_weight * gini(std::clamp(out_rate, 0.0, 1.0));
+  return measures;
+}
+
+std::vector<RankedRule> RankByLift(
+    const std::vector<rules::MinedRule>& mined,
+    const storage::Relation& relation) {
+  // Base rate per Boolean attribute, computed once.
+  std::vector<double> base_rates(
+      static_cast<size_t>(relation.schema().num_boolean()), 0.0);
+  for (int attr = 0; attr < relation.schema().num_boolean(); ++attr) {
+    const std::vector<uint8_t>& column = relation.BooleanColumn(attr);
+    int64_t hits = 0;
+    for (const uint8_t value : column) hits += value;
+    base_rates[static_cast<size_t>(attr)] =
+        relation.NumRows() > 0
+            ? static_cast<double>(hits) /
+                  static_cast<double>(relation.NumRows())
+            : 0.0;
+  }
+
+  std::vector<RankedRule> ranked;
+  for (const rules::MinedRule& rule : mined) {
+    if (!rule.found) continue;
+    const Result<int> attr =
+        relation.schema().BooleanIndexOf(rule.boolean_attr);
+    OPTRULES_CHECK(attr.ok());
+    RankedRule entry;
+    entry.rule = rule;
+    entry.measures = ComputeMeasures(
+        rule, base_rates[static_cast<size_t>(attr.value())]);
+    ranked.push_back(std::move(entry));
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const RankedRule& a, const RankedRule& b) {
+              if (a.measures.lift != b.measures.lift) {
+                return a.measures.lift > b.measures.lift;
+              }
+              return a.measures.leverage > b.measures.leverage;
+            });
+  return ranked;
+}
+
+}  // namespace optrules::report

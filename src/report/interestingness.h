@@ -1,0 +1,42 @@
+// Interestingness measures and ranking for mined rules.
+//
+// Confidence alone favors rules whose objective condition is common
+// everywhere; these classic measures compare the rule against the
+// attribute's base rate so that analysts can rank the MineAll() output.
+
+#ifndef OPTRULES_REPORT_INTERESTINGNESS_H_
+#define OPTRULES_REPORT_INTERESTINGNESS_H_
+
+#include <vector>
+
+#include "rules/miner.h"
+
+namespace optrules::report {
+
+/// Derived measures of one rule relative to the base rate of its objective
+/// condition (base_rate = support(C) over the whole relation).
+struct RuleMeasures {
+  double lift = 0.0;        ///< confidence / base_rate
+  double leverage = 0.0;    ///< support(A^C) - support(A)*support(C)
+  double conviction = 0.0;  ///< (1-base_rate) / (1-confidence); inf if conf=1
+  double gini_gain = 0.0;   ///< impurity reduction of the rule's partition
+};
+
+/// Computes the measures for a found rule; `base_rate` must be in [0, 1].
+RuleMeasures ComputeMeasures(const rules::MinedRule& rule, double base_rate);
+
+/// A rule paired with its measures, for ranking.
+struct RankedRule {
+  rules::MinedRule rule;
+  RuleMeasures measures;
+};
+
+/// Ranks found rules by descending lift (ties by leverage); rules with
+/// `found == false` are dropped. Base rates are measured on `relation`.
+std::vector<RankedRule> RankByLift(
+    const std::vector<rules::MinedRule>& mined,
+    const storage::Relation& relation);
+
+}  // namespace optrules::report
+
+#endif  // OPTRULES_REPORT_INTERESTINGNESS_H_

@@ -1,0 +1,74 @@
+#include "report/report.h"
+
+#include <cstdio>
+#include <fstream>
+
+namespace optrules::report {
+
+namespace {
+
+const char* KindName(rules::RuleKind kind) {
+  return kind == rules::RuleKind::kOptimizedConfidence ? "opt-confidence"
+                                                       : "opt-support";
+}
+
+std::string FormatNumber(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.4g", value);
+  return buffer;
+}
+
+}  // namespace
+
+std::string ToMarkdown(const std::vector<RankedRule>& rules) {
+  std::string out =
+      "| rule | kind | range | support | confidence | lift | leverage |\n"
+      "|---|---|---|---|---|---|---|\n";
+  for (const RankedRule& entry : rules) {
+    const rules::MinedRule& rule = entry.rule;
+    out += "| " + rule.numeric_attr + " => " + rule.boolean_attr;
+    if (!rule.presumptive_condition.empty()) {
+      out += " (given " + rule.presumptive_condition + ")";
+    }
+    out += " | ";
+    out += KindName(rule.kind);
+    out += " | [" + FormatNumber(rule.range_lo) + ", " +
+           FormatNumber(rule.range_hi) + "]";
+    out += " | " + FormatNumber(rule.support * 100.0) + "%";
+    out += " | " + FormatNumber(rule.confidence * 100.0) + "%";
+    out += " | " + FormatNumber(entry.measures.lift);
+    out += " | " + FormatNumber(entry.measures.leverage);
+    out += " |\n";
+  }
+  return out;
+}
+
+std::string ToCsv(const std::vector<RankedRule>& rules) {
+  std::string out =
+      "numeric_attr,boolean_attr,condition,kind,range_lo,range_hi,"
+      "support,confidence,lift,leverage,conviction,gini_gain\n";
+  for (const RankedRule& entry : rules) {
+    const rules::MinedRule& rule = entry.rule;
+    out += rule.numeric_attr + "," + rule.boolean_attr + "," +
+           rule.presumptive_condition + "," + KindName(rule.kind) + "," +
+           FormatNumber(rule.range_lo) + "," +
+           FormatNumber(rule.range_hi) + "," + FormatNumber(rule.support) +
+           "," + FormatNumber(rule.confidence) + "," +
+           FormatNumber(entry.measures.lift) + "," +
+           FormatNumber(entry.measures.leverage) + "," +
+           FormatNumber(entry.measures.conviction) + "," +
+           FormatNumber(entry.measures.gini_gain) + "\n";
+  }
+  return out;
+}
+
+Status WriteTextFile(const std::string& content, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  out << content;
+  out.flush();
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+}  // namespace optrules::report

@@ -1,0 +1,26 @@
+// Rule-report writers: render mined rules as Markdown or CSV so that
+// MineAll() sweeps can be consumed outside the library.
+
+#ifndef OPTRULES_REPORT_REPORT_H_
+#define OPTRULES_REPORT_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "report/interestingness.h"
+
+namespace optrules::report {
+
+/// Renders ranked rules as a Markdown table (header + one row per rule).
+std::string ToMarkdown(const std::vector<RankedRule>& rules);
+
+/// Renders ranked rules as CSV with a header row.
+std::string ToCsv(const std::vector<RankedRule>& rules);
+
+/// Writes `content` to `path` (helper for the renderers above).
+Status WriteTextFile(const std::string& content, const std::string& path);
+
+}  // namespace optrules::report
+
+#endif  // OPTRULES_REPORT_REPORT_H_

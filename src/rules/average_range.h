@@ -1,0 +1,37 @@
+// Section 5: optimized ranges for the average operator.
+//
+// Given buckets over attribute A where v_i is the *sum* of a target
+// numeric attribute B over the tuples of bucket i, compute:
+//  - the maximum-average range: among ranges with at least
+//    `min_support_count` tuples, the one maximizing avg(B) (via the
+//    optimal-slope-pair algorithm), and
+//  - the maximum-support range: among ranges with avg(B) >= min_average,
+//    the one maximizing the tuple count (via the effective-index scan).
+
+#ifndef OPTRULES_RULES_AVERAGE_RANGE_H_
+#define OPTRULES_RULES_AVERAGE_RANGE_H_
+
+#include <cstdint>
+#include <span>
+
+#include "rules/rule.h"
+
+namespace optrules::rules {
+
+/// Maximizes sum(v)/sum(u) subject to sum(u) >= min_support_count.
+/// Requires u_i >= 1 per bucket; v_i may be any real (e.g. negative
+/// balances).
+RangeAggregate MaximumAverageRange(std::span<const int64_t> u,
+                                   std::span<const double> v,
+                                   int64_t min_support_count);
+
+/// Maximizes sum(u) subject to sum(v)/sum(u) >= min_average. Note the
+/// paper's remark: thresholds at or below the global average make the full
+/// domain the trivial answer.
+RangeAggregate MaximumSupportRange(std::span<const int64_t> u,
+                                   std::span<const double> v,
+                                   double min_average);
+
+}  // namespace optrules::rules
+
+#endif  // OPTRULES_RULES_AVERAGE_RANGE_H_

@@ -1,0 +1,38 @@
+#include "rules/kadane.h"
+
+namespace optrules::rules {
+
+GainRange MaxGainRange(std::span<const int64_t> u,
+                       std::span<const int64_t> v, Ratio theta) {
+  OPTRULES_CHECK(u.size() == v.size());
+  GainRange best;
+  const int m = static_cast<int>(u.size());
+  if (m == 0) return best;
+
+  // b = best suffix sum ending at the current index (non-empty);
+  // a = best overall (paper's a(j) / b(j) recurrences).
+  __int128 b = 0;
+  int b_start = 0;
+  __int128 best_gain = 0;
+  for (int i = 0; i < m; ++i) {
+    const __int128 gain =
+        static_cast<__int128>(theta.den()) * v[static_cast<size_t>(i)] -
+        static_cast<__int128>(theta.num()) * u[static_cast<size_t>(i)];
+    if (i == 0 || b < 0) {
+      b = gain;
+      b_start = i;
+    } else {
+      b += gain;
+    }
+    if (!best.found || b > best_gain) {
+      best.found = true;
+      best_gain = b;
+      best.s = b_start;
+      best.t = i;
+    }
+  }
+  best.gain = static_cast<double>(best_gain);
+  return best;
+}
+
+}  // namespace optrules::rules

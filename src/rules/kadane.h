@@ -1,0 +1,39 @@
+// Bentley/Kadane maximum-gain range (Section 4.2's cautionary remark).
+//
+// With gains g_i = den*v_i - num*u_i, Kadane's dynamic program finds the
+// range maximizing the total gain in O(M). The paper points out this is
+// NOT the optimized-support rule: a larger range can still be confident
+// (non-negative gain) while having smaller gain, so Kadane may return a
+// strict sub-range of the true maximum-support confident range. We ship it
+// as a baseline and demonstrate the mismatch in tests and an ablation
+// benchmark.
+
+#ifndef OPTRULES_RULES_KADANE_H_
+#define OPTRULES_RULES_KADANE_H_
+
+#include <cstdint>
+#include <span>
+
+#include "common/ratio.h"
+#include "rules/rule.h"
+
+namespace optrules::rules {
+
+/// A maximum-gain range and its gain, in units of 1/theta.den().
+struct GainRange {
+  bool found = false;
+  int s = -1;
+  int t = -1;
+  /// Total gain of [s, t] = theta.den()*sum(v) - theta.num()*sum(u),
+  /// reported as a double for convenience.
+  double gain = 0.0;
+};
+
+/// Kadane's algorithm over gains g_i = den*v_i - num*u_i. Non-empty
+/// ranges only; found is false only when the input is empty.
+GainRange MaxGainRange(std::span<const int64_t> u,
+                       std::span<const int64_t> v, Ratio theta);
+
+}  // namespace optrules::rules
+
+#endif  // OPTRULES_RULES_KADANE_H_

@@ -1,0 +1,326 @@
+#include "rules/miner.h"
+
+#include <cstdio>
+
+#include "bucketing/counting.h"
+#include "bucketing/equidepth_sampler.h"
+#include "bucketing/gk_sketch.h"
+#include "bucketing/sort_bucketizer.h"
+#include "common/ratio.h"
+#include "common/rng.h"
+#include "rules/average_range.h"
+#include "rules/optimized_confidence.h"
+#include "rules/optimized_support.h"
+
+namespace optrules::rules {
+
+namespace {
+
+std::string FormatDouble(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.4g", value);
+  return buffer;
+}
+
+/// Builds equi-depth boundaries for one column under the configured
+/// bucketizer strategy. `salt` decorrelates per-attribute sampling seeds.
+bucketing::BucketBoundaries BuildBoundaries(const MinerOptions& options,
+                                            std::span<const double> values,
+                                            uint64_t salt) {
+  switch (options.bucketizer) {
+    case Bucketizer::kSampling: {
+      Rng rng(options.seed + salt);
+      bucketing::SamplerOptions sampler;
+      sampler.num_buckets = options.num_buckets;
+      sampler.sample_per_bucket = options.sample_per_bucket;
+      return bucketing::BuildEquiDepthBoundaries(values, sampler, rng);
+    }
+    case Bucketizer::kGkSketch: {
+      const double epsilon =
+          options.gk_epsilon > 0.0
+              ? options.gk_epsilon
+              : 1.0 / (4.0 * static_cast<double>(options.num_buckets));
+      return bucketing::BuildEquiDepthBoundariesGk(
+          values, options.num_buckets, epsilon);
+    }
+    case Bucketizer::kExactSort:
+      return bucketing::ExactEquiDepthBoundaries(values,
+                                                 options.num_buckets);
+  }
+  OPTRULES_CHECK(false);
+  return bucketing::BucketBoundaries::FromCutPoints({});
+}
+
+}  // namespace
+
+std::string MinedRule::ToString() const {
+  if (!found) {
+    return "(" + numeric_attr + " => " + boolean_attr + "): no " +
+           (kind == RuleKind::kOptimizedConfidence ? "ample" : "confident") +
+           " range";
+  }
+  std::string text = "(" + numeric_attr + " in [" + FormatDouble(range_lo) +
+                     ", " + FormatDouble(range_hi) + "])";
+  if (!presumptive_condition.empty()) {
+    text += " ^ (" + presumptive_condition + ")";
+  }
+  text += " => (" + boolean_attr + "=yes)";
+  text += "  [support " + FormatDouble(support * 100.0) + "%, confidence " +
+          FormatDouble(confidence * 100.0) + "%]";
+  return text;
+}
+
+std::string MinedAggregateRange::ToString() const {
+  if (!found) {
+    return "avg(" + target_attr + " | " + range_attr + "): no valid range";
+  }
+  return "avg(" + target_attr + " | " + range_attr + " in [" +
+         FormatDouble(range_lo) + ", " + FormatDouble(range_hi) + "]) = " +
+         FormatDouble(average) + "  [support " +
+         FormatDouble(support * 100.0) + "%]";
+}
+
+/// Cached per-numeric-attribute bucketing: boundaries are sampled once and
+/// all Boolean targets counted in one scan; empty buckets are compacted.
+struct Miner::AttributeBuckets {
+  bucketing::BucketCounts counts;  // v has one entry per Boolean attribute
+};
+
+Miner::Miner(const storage::Relation* relation, MinerOptions options)
+    : relation_(relation), options_(options) {
+  OPTRULES_CHECK(relation != nullptr);
+  OPTRULES_CHECK(options_.num_buckets >= 1);
+  OPTRULES_CHECK(options_.sample_per_bucket >= 1);
+  OPTRULES_CHECK(0.0 <= options_.min_support && options_.min_support <= 1.0);
+  OPTRULES_CHECK(0.0 <= options_.min_confidence &&
+                 options_.min_confidence <= 1.0);
+  cache_.resize(static_cast<size_t>(relation->schema().num_numeric()));
+}
+
+Miner::~Miner() = default;
+
+const Miner::AttributeBuckets& Miner::BucketsFor(int numeric_index) {
+  auto& slot = cache_[static_cast<size_t>(numeric_index)];
+  if (slot != nullptr) return *slot;
+
+  const std::vector<double>& values =
+      relation_->NumericColumn(numeric_index);
+  // The salt derives a per-attribute seed so attributes get independent
+  // samples but the whole run stays reproducible.
+  const bucketing::BucketBoundaries boundaries = BuildBoundaries(
+      options_, values, 0x9e37 * static_cast<uint64_t>(numeric_index));
+
+  std::vector<const std::vector<uint8_t>*> targets;
+  targets.reserve(static_cast<size_t>(relation_->schema().num_boolean()));
+  for (int b = 0; b < relation_->schema().num_boolean(); ++b) {
+    targets.push_back(&relation_->BooleanColumn(b));
+  }
+  auto buckets = std::make_unique<AttributeBuckets>();
+  buckets->counts = bucketing::CountBuckets(values, targets, boundaries);
+  bucketing::CompactEmptyBuckets(&buckets->counts);
+  slot = std::move(buckets);
+  return *slot;
+}
+
+Result<std::vector<MinedRule>> Miner::MinePair(
+    const std::string& numeric_attr, const std::string& boolean_attr) {
+  const Result<int> numeric_index =
+      relation_->schema().NumericIndexOf(numeric_attr);
+  if (!numeric_index.ok()) return numeric_index.status();
+  const Result<int> boolean_index =
+      relation_->schema().BooleanIndexOf(boolean_attr);
+  if (!boolean_index.ok()) return boolean_index.status();
+
+  const AttributeBuckets& buckets = BucketsFor(numeric_index.value());
+  const bucketing::BucketCounts& counts = buckets.counts;
+  const std::vector<int64_t>& u = counts.u;
+  const std::vector<int64_t>& v =
+      counts.v[static_cast<size_t>(boolean_index.value())];
+
+  std::vector<MinedRule> mined;
+  const RangeRule confidence_rule = OptimizedConfidenceRule(
+      u, v, counts.total_tuples,
+      MinSupportCount(counts.total_tuples, options_.min_support));
+  const RangeRule support_rule = OptimizedSupportRule(
+      u, v, counts.total_tuples, Ratio::FromDouble(options_.min_confidence));
+
+  for (const auto& [kind, range] :
+       {std::pair{RuleKind::kOptimizedConfidence, confidence_rule},
+        std::pair{RuleKind::kOptimizedSupport, support_rule}}) {
+    MinedRule rule;
+    rule.kind = kind;
+    rule.numeric_attr = numeric_attr;
+    rule.boolean_attr = boolean_attr;
+    rule.found = range.found;
+    if (range.found) {
+      rule.range_lo = counts.min_value[static_cast<size_t>(range.s)];
+      rule.range_hi = counts.max_value[static_cast<size_t>(range.t)];
+      rule.support_count = range.support_count;
+      rule.hit_count = range.hit_count;
+      rule.support = range.support;
+      rule.confidence = range.confidence;
+    }
+    mined.push_back(std::move(rule));
+  }
+  return mined;
+}
+
+std::vector<MinedRule> Miner::MineAll() {
+  std::vector<MinedRule> all;
+  const storage::Schema& schema = relation_->schema();
+  for (int a = 0; a < schema.num_numeric(); ++a) {
+    for (int b = 0; b < schema.num_boolean(); ++b) {
+      Result<std::vector<MinedRule>> pair =
+          MinePair(schema.NumericName(a), schema.BooleanName(b));
+      OPTRULES_CHECK(pair.ok());
+      for (MinedRule& rule : pair.value()) {
+        all.push_back(std::move(rule));
+      }
+    }
+  }
+  return all;
+}
+
+Result<std::vector<MinedRule>> Miner::MineGeneralized(
+    const std::string& numeric_attr,
+    const std::vector<std::string>& condition_attrs,
+    const std::string& objective_attr) {
+  const Result<int> numeric_index =
+      relation_->schema().NumericIndexOf(numeric_attr);
+  if (!numeric_index.ok()) return numeric_index.status();
+  const Result<int> objective_index =
+      relation_->schema().BooleanIndexOf(objective_attr);
+  if (!objective_index.ok()) return objective_index.status();
+
+  // Materialize the C1 mask (conjunction of the condition attributes).
+  const int64_t n = relation_->NumRows();
+  std::vector<uint8_t> c1(static_cast<size_t>(n), 1);
+  std::string condition_text;
+  for (const std::string& name : condition_attrs) {
+    const Result<int> index = relation_->schema().BooleanIndexOf(name);
+    if (!index.ok()) return index.status();
+    const std::vector<uint8_t>& column =
+        relation_->BooleanColumn(index.value());
+    for (size_t row = 0; row < c1.size(); ++row) c1[row] &= column[row];
+    if (!condition_text.empty()) condition_text += " ^ ";
+    condition_text += name + "=yes";
+  }
+
+  const std::vector<double>& values =
+      relation_->NumericColumn(numeric_index.value());
+  const bucketing::BucketBoundaries boundaries = BuildBoundaries(
+      options_, values,
+      0x517c + 0x9e37 * static_cast<uint64_t>(numeric_index.value()));
+  bucketing::BucketCounts counts = bucketing::CountBucketsConditional(
+      values, c1, relation_->BooleanColumn(objective_index.value()),
+      boundaries);
+  bucketing::CompactEmptyBuckets(&counts);
+
+  std::vector<MinedRule> mined;
+  RangeRule rules[2];
+  if (counts.u.empty()) {
+    rules[0] = RangeRule{};
+    rules[1] = RangeRule{};
+  } else {
+    rules[0] = OptimizedConfidenceRule(
+        counts.u, counts.v[0], counts.total_tuples,
+        MinSupportCount(counts.total_tuples, options_.min_support));
+    rules[1] = OptimizedSupportRule(
+        counts.u, counts.v[0], counts.total_tuples,
+        Ratio::FromDouble(options_.min_confidence));
+  }
+  const RuleKind kinds[2] = {RuleKind::kOptimizedConfidence,
+                             RuleKind::kOptimizedSupport};
+  for (int k = 0; k < 2; ++k) {
+    MinedRule rule;
+    rule.kind = kinds[k];
+    rule.numeric_attr = numeric_attr;
+    rule.boolean_attr = objective_attr;
+    rule.presumptive_condition = condition_text;
+    rule.found = rules[k].found;
+    if (rules[k].found) {
+      rule.range_lo = counts.min_value[static_cast<size_t>(rules[k].s)];
+      rule.range_hi = counts.max_value[static_cast<size_t>(rules[k].t)];
+      rule.support_count = rules[k].support_count;
+      rule.hit_count = rules[k].hit_count;
+      rule.support = rules[k].support;
+      rule.confidence = rules[k].confidence;
+    }
+    mined.push_back(std::move(rule));
+  }
+  return mined;
+}
+
+namespace {
+
+/// Shared Section 5 setup: buckets of A with per-bucket sums of B.
+Result<bucketing::BucketSums> BuildSums(const storage::Relation& relation,
+                                        const MinerOptions& options,
+                                        const std::string& range_attr,
+                                        const std::string& target_attr) {
+  const Result<int> a = relation.schema().NumericIndexOf(range_attr);
+  if (!a.ok()) return a.status();
+  const Result<int> b = relation.schema().NumericIndexOf(target_attr);
+  if (!b.ok()) return b.status();
+  const std::vector<double>& values = relation.NumericColumn(a.value());
+  const bucketing::BucketBoundaries boundaries = BuildBoundaries(
+      options, values, 0xa4f + 0x9e37 * static_cast<uint64_t>(a.value()));
+  bucketing::BucketSums sums = bucketing::CountBucketSums(
+      values, relation.NumericColumn(b.value()), boundaries);
+  bucketing::CompactEmptyBuckets(&sums);
+  return sums;
+}
+
+MinedAggregateRange ToMinedAggregate(const bucketing::BucketSums& sums,
+                                     const RangeAggregate& aggregate,
+                                     const std::string& range_attr,
+                                     const std::string& target_attr) {
+  MinedAggregateRange mined;
+  mined.range_attr = range_attr;
+  mined.target_attr = target_attr;
+  mined.found = aggregate.found;
+  if (aggregate.found) {
+    mined.range_lo = sums.min_value[static_cast<size_t>(aggregate.s)];
+    mined.range_hi = sums.max_value[static_cast<size_t>(aggregate.t)];
+    mined.support_count = aggregate.support_count;
+    mined.support = sums.total_tuples > 0
+                        ? static_cast<double>(aggregate.support_count) /
+                              static_cast<double>(sums.total_tuples)
+                        : 0.0;
+    mined.average = aggregate.average;
+  }
+  return mined;
+}
+
+}  // namespace
+
+Result<MinedAggregateRange> Miner::MineMaximumAverageRange(
+    const std::string& range_attr, const std::string& target_attr,
+    double min_support) {
+  Result<bucketing::BucketSums> sums_or =
+      BuildSums(*relation_, options_, range_attr, target_attr);
+  if (!sums_or.ok()) return sums_or.status();
+  const bucketing::BucketSums& sums = sums_or.value();
+  RangeAggregate aggregate;
+  if (!sums.u.empty()) {
+    aggregate = MaximumAverageRange(
+        sums.u, sums.sum, MinSupportCount(sums.total_tuples, min_support));
+  }
+  return ToMinedAggregate(sums, aggregate, range_attr, target_attr);
+}
+
+Result<MinedAggregateRange> Miner::MineMaximumSupportRange(
+    const std::string& range_attr, const std::string& target_attr,
+    double min_average) {
+  Result<bucketing::BucketSums> sums_or =
+      BuildSums(*relation_, options_, range_attr, target_attr);
+  if (!sums_or.ok()) return sums_or.status();
+  const bucketing::BucketSums& sums = sums_or.value();
+  RangeAggregate aggregate;
+  if (!sums.u.empty()) {
+    aggregate = MaximumSupportRange(sums.u, sums.sum, min_average);
+  }
+  return ToMinedAggregate(sums, aggregate, range_attr, target_attr);
+}
+
+}  // namespace optrules::rules

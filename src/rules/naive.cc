@@ -1,0 +1,144 @@
+#include "rules/naive.h"
+
+namespace optrules::rules {
+
+namespace {
+
+/// conf1 = h1/s1 > conf2 = h2/s2, exactly (s1, s2 > 0).
+bool ConfidenceGreater(int64_t h1, int64_t s1, int64_t h2, int64_t s2) {
+  return static_cast<__int128>(h1) * s2 > static_cast<__int128>(h2) * s1;
+}
+
+bool ConfidenceEqual(int64_t h1, int64_t s1, int64_t h2, int64_t s2) {
+  return static_cast<__int128>(h1) * s2 == static_cast<__int128>(h2) * s1;
+}
+
+}  // namespace
+
+RangeRule NaiveOptimizedConfidenceRule(std::span<const int64_t> u,
+                                       std::span<const int64_t> v,
+                                       int64_t total_tuples,
+                                       int64_t min_support_count) {
+  OPTRULES_CHECK(u.size() == v.size());
+  if (min_support_count < 1) min_support_count = 1;
+  const int m = static_cast<int>(u.size());
+  RangeRule best;
+  int64_t best_hits = 0;
+  int64_t best_support = 0;
+  for (int s = 0; s < m; ++s) {
+    int64_t support = 0;
+    int64_t hits = 0;
+    for (int t = s; t < m; ++t) {
+      support += u[static_cast<size_t>(t)];
+      hits += v[static_cast<size_t>(t)];
+      if (support < min_support_count) continue;
+      const bool better =
+          !best.found ||
+          ConfidenceGreater(hits, support, best_hits, best_support) ||
+          (ConfidenceEqual(hits, support, best_hits, best_support) &&
+           support > best_support);
+      if (better) {
+        best.found = true;
+        best.s = s;
+        best.t = t;
+        best_hits = hits;
+        best_support = support;
+      }
+    }
+  }
+  if (!best.found) return best;
+  return MakeRangeRule(u, v, total_tuples, best.s, best.t);
+}
+
+RangeRule NaiveOptimizedSupportRule(std::span<const int64_t> u,
+                                    std::span<const int64_t> v,
+                                    int64_t total_tuples,
+                                    Ratio min_confidence) {
+  OPTRULES_CHECK(u.size() == v.size());
+  const int m = static_cast<int>(u.size());
+  RangeRule best;
+  int64_t best_support = -1;
+  for (int s = 0; s < m; ++s) {
+    int64_t support = 0;
+    int64_t hits = 0;
+    for (int t = s; t < m; ++t) {
+      support += u[static_cast<size_t>(t)];
+      hits += v[static_cast<size_t>(t)];
+      if (!min_confidence.LessOrEqualTo(hits, support)) continue;
+      if (support > best_support) {
+        best.found = true;
+        best.s = s;
+        best.t = t;
+        best_support = support;
+      }
+    }
+  }
+  if (!best.found) return best;
+  return MakeRangeRule(u, v, total_tuples, best.s, best.t);
+}
+
+RangeAggregate NaiveMaximumAverageRange(std::span<const int64_t> u,
+                                        std::span<const double> v,
+                                        int64_t min_support_count) {
+  OPTRULES_CHECK(u.size() == v.size());
+  if (min_support_count < 1) min_support_count = 1;
+  const int m = static_cast<int>(u.size());
+  RangeAggregate best;
+  long double best_sum = 0;
+  int64_t best_support = 0;
+  for (int s = 0; s < m; ++s) {
+    int64_t support = 0;
+    long double sum = 0;
+    for (int t = s; t < m; ++t) {
+      support += u[static_cast<size_t>(t)];
+      sum += v[static_cast<size_t>(t)];
+      if (support < min_support_count) continue;
+      // avg1 > avg2 <=> sum1*support2 > sum2*support1 (supports positive).
+      const long double lhs = sum * static_cast<long double>(best_support);
+      const long double rhs =
+          best_sum * static_cast<long double>(support);
+      const bool better = !best.found || lhs > rhs ||
+                          (lhs == rhs && support > best_support);
+      if (better) {
+        best.found = true;
+        best.s = s;
+        best.t = t;
+        best_sum = sum;
+        best_support = support;
+      }
+    }
+  }
+  if (!best.found) return best;
+  return MakeRangeAggregate(u, v, best.s, best.t);
+}
+
+RangeAggregate NaiveMaximumSupportRange(std::span<const int64_t> u,
+                                        std::span<const double> v,
+                                        double min_average) {
+  OPTRULES_CHECK(u.size() == v.size());
+  const int m = static_cast<int>(u.size());
+  RangeAggregate best;
+  int64_t best_support = -1;
+  for (int s = 0; s < m; ++s) {
+    int64_t support = 0;
+    long double sum = 0;
+    for (int t = s; t < m; ++t) {
+      support += u[static_cast<size_t>(t)];
+      sum += v[static_cast<size_t>(t)];
+      if (sum < static_cast<long double>(min_average) *
+                    static_cast<long double>(support)) {
+        continue;
+      }
+      if (support > best_support) {
+        best.found = true;
+        best.s = s;
+        best.t = t;
+        best_support = support;
+      }
+    }
+  }
+  if (!best.found) return best;
+  return MakeRangeAggregate(u, v, best.s, best.t);
+}
+
+}  // namespace optrules::rules

@@ -1,0 +1,46 @@
+// Naive O(M^2) reference implementations.
+//
+// These enumerate every bucket range with exact arithmetic and serve two
+// purposes: (a) oracles for the property tests of the O(M) algorithms, and
+// (b) the quadratic baselines of Figures 10 and 11.
+
+#ifndef OPTRULES_RULES_NAIVE_H_
+#define OPTRULES_RULES_NAIVE_H_
+
+#include <cstdint>
+#include <span>
+
+#include "common/ratio.h"
+#include "rules/rule.h"
+
+namespace optrules::rules {
+
+/// Exhaustive optimized-confidence rule: maximizes confidence subject to
+/// support_count >= min_support_count, ties toward larger support.
+RangeRule NaiveOptimizedConfidenceRule(std::span<const int64_t> u,
+                                       std::span<const int64_t> v,
+                                       int64_t total_tuples,
+                                       int64_t min_support_count);
+
+/// Exhaustive optimized-support rule: maximizes support subject to
+/// confidence >= min_confidence.
+RangeRule NaiveOptimizedSupportRule(std::span<const int64_t> u,
+                                    std::span<const int64_t> v,
+                                    int64_t total_tuples,
+                                    Ratio min_confidence);
+
+/// Exhaustive Section 5 maximum-average range: maximizes sum(v)/sum(u)
+/// subject to sum(u) >= min_support_count.
+RangeAggregate NaiveMaximumAverageRange(std::span<const int64_t> u,
+                                        std::span<const double> v,
+                                        int64_t min_support_count);
+
+/// Exhaustive Section 5 maximum-support range: maximizes sum(u) subject to
+/// sum(v)/sum(u) >= min_average.
+RangeAggregate NaiveMaximumSupportRange(std::span<const int64_t> u,
+                                        std::span<const double> v,
+                                        double min_average);
+
+}  // namespace optrules::rules
+
+#endif  // OPTRULES_RULES_NAIVE_H_

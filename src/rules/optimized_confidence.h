@@ -1,0 +1,56 @@
+// Optimized-confidence rules (Section 4.1, Algorithm 4.2).
+//
+// Among ranges of consecutive buckets whose support is at least the given
+// threshold, find the one maximizing the confidence (ties broken toward
+// larger support). Runs in O(M) using the convex-hull tree: the answer is
+// the maximum-slope tangent from a prefix point Q_m to the upper hull of
+// the suffix points U_{r(m)}.
+
+#ifndef OPTRULES_RULES_OPTIMIZED_CONFIDENCE_H_
+#define OPTRULES_RULES_OPTIMIZED_CONFIDENCE_H_
+
+#include <cstdint>
+#include <span>
+
+#include "rules/rule.h"
+
+namespace optrules::rules {
+
+/// An optimal slope pair (Definition 4.2): m < n such that the range of
+/// buckets (m, n] -- i.e. [m+1, n] in 1-based bucket terms, [m, n-1] in the
+/// 0-based RangeRule convention -- is ample and maximizes the slope of
+/// Q_m Q_n, with ties broken toward larger support.
+struct SlopePair {
+  bool found = false;
+  int m = -1;
+  int n = -1;
+};
+
+/// Core O(M) optimizer over real-valued per-bucket weights `v` (tuple
+/// counts for rules; attribute sums for the Section 5 average operator).
+/// Requires u_i >= 1 for every bucket. `min_support_count` is clamped to a
+/// minimum of 1 tuple.
+SlopePair OptimalSlopePair(std::span<const int64_t> u,
+                           std::span<const double> v,
+                           int64_t min_support_count);
+
+/// Optimized-confidence rule over integer hit counts: maximizes
+/// sum(v)/sum(u) subject to sum(u) >= min_support_count. Returns
+/// found=false when no range is ample.
+RangeRule OptimizedConfidenceRule(std::span<const int64_t> u,
+                                  std::span<const int64_t> v,
+                                  int64_t total_tuples,
+                                  int64_t min_support_count);
+
+/// Dual problem: the ample range *minimizing* the confidence -- the
+/// cluster least likely to meet C (e.g. customers to exclude from a
+/// campaign). Computed by maximizing the negated weights on the same hull
+/// machinery; ties prefer larger support.
+RangeRule MinimizedConfidenceRule(std::span<const int64_t> u,
+                                  std::span<const int64_t> v,
+                                  int64_t total_tuples,
+                                  int64_t min_support_count);
+
+}  // namespace optrules::rules
+
+#endif  // OPTRULES_RULES_OPTIMIZED_CONFIDENCE_H_

@@ -1,0 +1,29 @@
+// Optimized-support rules (Section 4.2, Algorithms 4.3 and 4.4).
+//
+// Among ranges of consecutive buckets whose confidence is at least the
+// given threshold, find the one maximizing the support. Runs in O(M) via
+// effective start indices and a monotone backward scan for each start's
+// furthest confident end. All arithmetic is exact (128-bit integer gains
+// against a rational threshold).
+
+#ifndef OPTRULES_RULES_OPTIMIZED_SUPPORT_H_
+#define OPTRULES_RULES_OPTIMIZED_SUPPORT_H_
+
+#include <cstdint>
+#include <span>
+
+#include "common/ratio.h"
+#include "rules/rule.h"
+
+namespace optrules::rules {
+
+/// Maximizes sum(u) over ranges with sum(v)/sum(u) >= min_confidence.
+/// Requires 0 <= v_i <= u_i. Returns found=false when no range is
+/// confident.
+RangeRule OptimizedSupportRule(std::span<const int64_t> u,
+                               std::span<const int64_t> v,
+                               int64_t total_tuples, Ratio min_confidence);
+
+}  // namespace optrules::rules
+
+#endif  // OPTRULES_RULES_OPTIMIZED_SUPPORT_H_

@@ -1,0 +1,57 @@
+#include "rules/rule.h"
+
+#include <cmath>
+
+namespace optrules::rules {
+
+int64_t MinSupportCount(int64_t total, double min_support_fraction) {
+  OPTRULES_CHECK(total >= 0);
+  OPTRULES_CHECK(0.0 <= min_support_fraction && min_support_fraction <= 1.0);
+  return static_cast<int64_t>(
+      std::ceil(min_support_fraction * static_cast<double>(total)));
+}
+
+RangeRule MakeRangeRule(std::span<const int64_t> u,
+                        std::span<const int64_t> v, int64_t total_tuples,
+                        int s, int t) {
+  OPTRULES_CHECK(u.size() == v.size());
+  OPTRULES_CHECK(0 <= s && s <= t && t < static_cast<int>(u.size()));
+  RangeRule rule;
+  rule.found = true;
+  rule.s = s;
+  rule.t = t;
+  for (int i = s; i <= t; ++i) {
+    rule.support_count += u[static_cast<size_t>(i)];
+    rule.hit_count += v[static_cast<size_t>(i)];
+  }
+  rule.support = total_tuples > 0
+                     ? static_cast<double>(rule.support_count) /
+                           static_cast<double>(total_tuples)
+                     : 0.0;
+  rule.confidence = rule.support_count > 0
+                        ? static_cast<double>(rule.hit_count) /
+                              static_cast<double>(rule.support_count)
+                        : 0.0;
+  return rule;
+}
+
+RangeAggregate MakeRangeAggregate(std::span<const int64_t> u,
+                                  std::span<const double> v, int s, int t) {
+  OPTRULES_CHECK(u.size() == v.size());
+  OPTRULES_CHECK(0 <= s && s <= t && t < static_cast<int>(u.size()));
+  RangeAggregate aggregate;
+  aggregate.found = true;
+  aggregate.s = s;
+  aggregate.t = t;
+  for (int i = s; i <= t; ++i) {
+    aggregate.support_count += u[static_cast<size_t>(i)];
+    aggregate.sum += v[static_cast<size_t>(i)];
+  }
+  aggregate.average = aggregate.support_count > 0
+                          ? aggregate.sum /
+                                static_cast<double>(aggregate.support_count)
+                          : 0.0;
+  return aggregate;
+}
+
+}  // namespace optrules::rules

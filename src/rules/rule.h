@@ -1,0 +1,55 @@
+// Shared result types for the optimized-rule algorithms (Section 4).
+//
+// All algorithms operate on a sequence of M buckets described by parallel
+// arrays u[0..M), v[0..M): u_i is the tuple count of bucket i and v_i the
+// count of tuples in bucket i that meet the objective condition C (or, for
+// the Section 5 average operator, the sum of the target attribute). Ranges
+// are pairs of inclusive 0-based bucket indices s <= t.
+
+#ifndef OPTRULES_RULES_RULE_H_
+#define OPTRULES_RULES_RULE_H_
+
+#include <cstdint>
+#include <span>
+
+#include "common/logging.h"
+
+namespace optrules::rules {
+
+/// An optimized bucket range for counting rules, with its statistics.
+struct RangeRule {
+  bool found = false;
+  int s = -1;                ///< first bucket of the range (inclusive)
+  int t = -1;                ///< last bucket of the range (inclusive)
+  int64_t support_count = 0;  ///< sum of u_i over [s, t]
+  int64_t hit_count = 0;      ///< sum of v_i over [s, t]
+  double support = 0.0;       ///< support_count / N
+  double confidence = 0.0;    ///< hit_count / support_count
+};
+
+/// An optimized bucket range for real-valued aggregates (Section 5).
+struct RangeAggregate {
+  bool found = false;
+  int s = -1;
+  int t = -1;
+  int64_t support_count = 0;  ///< sum of u_i over [s, t]
+  double sum = 0.0;           ///< sum of v_i over [s, t]
+  double average = 0.0;       ///< sum / support_count
+};
+
+/// ceil(min_support_fraction * total): the minimum tuple count a range
+/// needs in order to be ample. min_support_fraction must be in [0, 1].
+int64_t MinSupportCount(int64_t total, double min_support_fraction);
+
+/// Assembles a RangeRule for range [s, t] from the count arrays.
+RangeRule MakeRangeRule(std::span<const int64_t> u,
+                        std::span<const int64_t> v, int64_t total_tuples,
+                        int s, int t);
+
+/// Assembles a RangeAggregate for range [s, t].
+RangeAggregate MakeRangeAggregate(std::span<const int64_t> u,
+                                  std::span<const double> v, int s, int t);
+
+}  // namespace optrules::rules
+
+#endif  // OPTRULES_RULES_RULE_H_

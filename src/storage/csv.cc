@@ -1,0 +1,127 @@
+#include "storage/csv.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace optrules::storage {
+
+namespace {
+
+std::vector<std::string> SplitComma(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  std::istringstream stream(line);
+  while (std::getline(stream, field, ',')) fields.push_back(field);
+  if (!line.empty() && line.back() == ',') fields.emplace_back();
+  return fields;
+}
+
+}  // namespace
+
+Status WriteCsv(const Relation& relation, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  const Schema& schema = relation.schema();
+  for (int i = 0; i < schema.num_attributes(); ++i) {
+    const Attribute& attr = schema.attributes()[static_cast<size_t>(i)];
+    if (i > 0) out << ',';
+    out << attr.name << ':' << AttrKindName(attr.kind);
+  }
+  out << '\n';
+  out.precision(17);
+  for (int64_t row = 0; row < relation.NumRows(); ++row) {
+    int numeric_i = 0;
+    int boolean_i = 0;
+    bool first = true;
+    for (const Attribute& attr : schema.attributes()) {
+      if (!first) out << ',';
+      first = false;
+      if (attr.kind == AttrKind::kNumeric) {
+        out << relation.NumericValue(row, numeric_i++);
+      } else {
+        out << (relation.BooleanValue(row, boolean_i++) ? 1 : 0);
+      }
+    }
+    out << '\n';
+  }
+  out.flush();
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+Result<Relation> ReadCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::Corruption("empty CSV file: " + path);
+  }
+  std::vector<Attribute> attrs;
+  for (const std::string& field : SplitComma(line)) {
+    const size_t colon = field.rfind(':');
+    if (colon == std::string::npos) {
+      return Status::Corruption("header field without kind: " + field);
+    }
+    const std::string name = field.substr(0, colon);
+    const std::string kind = field.substr(colon + 1);
+    if (kind == "numeric") {
+      attrs.push_back({name, AttrKind::kNumeric});
+    } else if (kind == "boolean") {
+      attrs.push_back({name, AttrKind::kBoolean});
+    } else {
+      return Status::Corruption("unknown attribute kind: " + kind);
+    }
+  }
+  Result<Schema> schema = Schema::Create(std::move(attrs));
+  if (!schema.ok()) return schema.status();
+  Relation relation(std::move(schema).value());
+
+  std::vector<double> numeric_row;
+  std::vector<uint8_t> boolean_row;
+  int64_t line_number = 1;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    const std::vector<std::string> fields = SplitComma(line);
+    if (fields.size() !=
+        static_cast<size_t>(relation.schema().num_attributes())) {
+      return Status::Corruption("line " + std::to_string(line_number) +
+                                ": expected " +
+                                std::to_string(
+                                    relation.schema().num_attributes()) +
+                                " fields, got " +
+                                std::to_string(fields.size()));
+    }
+    numeric_row.clear();
+    boolean_row.clear();
+    for (size_t i = 0; i < fields.size(); ++i) {
+      const Attribute& attr = relation.schema().attributes()[i];
+      const std::string& cell = fields[i];
+      if (attr.kind == AttrKind::kNumeric) {
+        char* end = nullptr;
+        const double value = std::strtod(cell.c_str(), &end);
+        if (end == cell.c_str() || *end != '\0') {
+          return Status::Corruption("line " + std::to_string(line_number) +
+                                    ": bad numeric cell '" + cell + "'");
+        }
+        numeric_row.push_back(value);
+      } else {
+        if (cell == "1" || cell == "yes") {
+          boolean_row.push_back(1);
+        } else if (cell == "0" || cell == "no") {
+          boolean_row.push_back(0);
+        } else {
+          return Status::Corruption("line " + std::to_string(line_number) +
+                                    ": bad boolean cell '" + cell + "'");
+        }
+      }
+    }
+    relation.AppendRow(numeric_row, boolean_row);
+  }
+  return relation;
+}
+
+}  // namespace optrules::storage

@@ -1,0 +1,27 @@
+// CSV import/export for Relation.
+//
+// Format: a header line of `name:kind` fields (kind in {numeric, boolean}),
+// then one line per row. Boolean cells are `0/1` or `yes/no`. This is the
+// interchange path for the examples; the benchmark harness uses the binary
+// PagedFile layout instead.
+
+#ifndef OPTRULES_STORAGE_CSV_H_
+#define OPTRULES_STORAGE_CSV_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "storage/relation.h"
+
+namespace optrules::storage {
+
+/// Writes `relation` to `path`; overwrites any existing file.
+Status WriteCsv(const Relation& relation, const std::string& path);
+
+/// Reads a relation from `path`. Fails with InvalidArgument/Corruption on
+/// malformed headers or cells, IoError if the file cannot be opened.
+Result<Relation> ReadCsv(const std::string& path);
+
+}  // namespace optrules::storage
+
+#endif  // OPTRULES_STORAGE_CSV_H_

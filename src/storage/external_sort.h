@@ -1,0 +1,43 @@
+// External merge sort over fixed-width records.
+//
+// Substrate for the "Naive Sort" and "Vertical Split Sort" baselines of
+// Figure 9: sorting a disk-resident table by one numeric attribute under a
+// bounded memory budget. Records are fixed-width byte strings compared by a
+// little-endian IEEE double at a fixed offset (ties broken by memcmp of the
+// whole record, making the sort deterministic).
+
+#ifndef OPTRULES_STORAGE_EXTERNAL_SORT_H_
+#define OPTRULES_STORAGE_EXTERNAL_SORT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace optrules::storage {
+
+/// Options controlling an external sort run.
+struct ExternalSortOptions {
+  size_t record_bytes = 0;      ///< width of each record (required, > 0)
+  size_t key_offset = 0;        ///< byte offset of the double sort key
+  size_t header_bytes = 0;      ///< input prefix copied verbatim to output
+  size_t memory_budget_bytes = 64 << 20;  ///< max bytes sorted in memory
+  std::string temp_dir = "/tmp";          ///< directory for run files
+};
+
+/// Statistics of a completed external sort.
+struct ExternalSortStats {
+  int64_t num_records = 0;
+  int num_runs = 0;
+};
+
+/// Sorts `input_path` into `output_path` (both fixed-width record files
+/// with an optional header). Uses run generation + k-way merge; never holds
+/// more than `memory_budget_bytes` of record data in memory.
+Result<ExternalSortStats> ExternalSort(const std::string& input_path,
+                                       const std::string& output_path,
+                                       const ExternalSortOptions& options);
+
+}  // namespace optrules::storage
+
+#endif  // OPTRULES_STORAGE_EXTERNAL_SORT_H_

@@ -1,0 +1,219 @@
+#include "storage/paged_file.h"
+
+#include <cstring>
+
+namespace optrules::storage {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x4f505452;  // "OPTR"
+constexpr uint32_t kVersion = 1;
+
+void PutU32(uint8_t* dst, uint32_t v) { std::memcpy(dst, &v, 4); }
+void PutU64(uint8_t* dst, uint64_t v) { std::memcpy(dst, &v, 8); }
+uint32_t GetU32(const uint8_t* src) {
+  uint32_t v;
+  std::memcpy(&v, src, 4);
+  return v;
+}
+uint64_t GetU64(const uint8_t* src) {
+  uint64_t v;
+  std::memcpy(&v, src, 8);
+  return v;
+}
+
+}  // namespace
+
+Result<PagedFileWriter> PagedFileWriter::Create(const std::string& path,
+                                                int num_numeric,
+                                                int num_boolean,
+                                                size_t buffer_bytes) {
+  if (num_numeric < 0 || num_boolean < 0 || num_numeric + num_boolean == 0) {
+    return Status::InvalidArgument("invalid attribute counts");
+  }
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::IoError("cannot create file: " + path);
+  }
+  PagedFileWriter writer;
+  writer.file_ = file;
+  writer.path_ = path;
+  writer.num_numeric_ = num_numeric;
+  writer.num_boolean_ = num_boolean;
+  writer.row_bytes_ = static_cast<size_t>(num_numeric) * sizeof(double) +
+                      static_cast<size_t>(num_boolean);
+  writer.buffer_.resize(std::max(buffer_bytes, writer.row_bytes_));
+
+  uint8_t header[kPagedFileHeaderBytes];
+  PutU32(header, kMagic);
+  PutU32(header + 4, kVersion);
+  PutU32(header + 8, static_cast<uint32_t>(num_numeric));
+  PutU32(header + 12, static_cast<uint32_t>(num_boolean));
+  PutU64(header + 16, 0);  // row count patched in Close().
+  if (std::fwrite(header, 1, sizeof(header), file) != sizeof(header)) {
+    std::fclose(file);
+    return Status::IoError("cannot write header: " + path);
+  }
+  return writer;
+}
+
+PagedFileWriter::PagedFileWriter(PagedFileWriter&& other) noexcept {
+  *this = std::move(other);
+}
+
+PagedFileWriter& PagedFileWriter::operator=(
+    PagedFileWriter&& other) noexcept {
+  if (this == &other) return *this;
+  if (file_ != nullptr) std::fclose(file_);
+  file_ = other.file_;
+  other.file_ = nullptr;
+  path_ = std::move(other.path_);
+  num_numeric_ = other.num_numeric_;
+  num_boolean_ = other.num_boolean_;
+  row_bytes_ = other.row_bytes_;
+  num_rows_ = other.num_rows_;
+  buffer_ = std::move(other.buffer_);
+  buffer_used_ = other.buffer_used_;
+  return *this;
+}
+
+PagedFileWriter::~PagedFileWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status PagedFileWriter::FlushBuffer() {
+  if (buffer_used_ == 0) return Status::Ok();
+  if (std::fwrite(buffer_.data(), 1, buffer_used_, file_) != buffer_used_) {
+    return Status::IoError("write failed: " + path_);
+  }
+  buffer_used_ = 0;
+  return Status::Ok();
+}
+
+Status PagedFileWriter::AppendRawRow(const uint8_t* row) {
+  OPTRULES_CHECK(file_ != nullptr);
+  if (buffer_used_ + row_bytes_ > buffer_.size()) {
+    OPTRULES_RETURN_IF_ERROR(FlushBuffer());
+  }
+  std::memcpy(buffer_.data() + buffer_used_, row, row_bytes_);
+  buffer_used_ += row_bytes_;
+  ++num_rows_;
+  return Status::Ok();
+}
+
+Status PagedFileWriter::AppendRow(std::span<const double> numeric_values,
+                                  std::span<const uint8_t> boolean_values) {
+  OPTRULES_CHECK(numeric_values.size() == static_cast<size_t>(num_numeric_));
+  OPTRULES_CHECK(boolean_values.size() == static_cast<size_t>(num_boolean_));
+  uint8_t row[4096];
+  OPTRULES_CHECK(row_bytes_ <= sizeof(row));
+  std::memcpy(row, numeric_values.data(),
+              numeric_values.size() * sizeof(double));
+  std::memcpy(row + numeric_values.size() * sizeof(double),
+              boolean_values.data(), boolean_values.size());
+  return AppendRawRow(row);
+}
+
+Status PagedFileWriter::Close() {
+  OPTRULES_CHECK(file_ != nullptr);
+  OPTRULES_RETURN_IF_ERROR(FlushBuffer());
+  if (std::fseek(file_, 16, SEEK_SET) != 0) {
+    return Status::IoError("seek failed: " + path_);
+  }
+  uint8_t count_bytes[8];
+  PutU64(count_bytes, static_cast<uint64_t>(num_rows_));
+  if (std::fwrite(count_bytes, 1, 8, file_) != 8) {
+    return Status::IoError("header patch failed: " + path_);
+  }
+  const int rc = std::fclose(file_);
+  file_ = nullptr;
+  if (rc != 0) return Status::IoError("close failed: " + path_);
+  return Status::Ok();
+}
+
+Result<PagedFileInfo> ReadPagedFileInfo(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return Status::IoError("cannot open: " + path);
+  uint8_t header[kPagedFileHeaderBytes];
+  const size_t got = std::fread(header, 1, sizeof(header), file);
+  std::fclose(file);
+  if (got != sizeof(header)) {
+    return Status::Corruption("short header: " + path);
+  }
+  if (GetU32(header) != kMagic) {
+    return Status::Corruption("bad magic: " + path);
+  }
+  if (GetU32(header + 4) != kVersion) {
+    return Status::Corruption("unsupported version: " + path);
+  }
+  PagedFileInfo info;
+  info.num_numeric = static_cast<int>(GetU32(header + 8));
+  info.num_boolean = static_cast<int>(GetU32(header + 12));
+  info.num_rows = static_cast<int64_t>(GetU64(header + 16));
+  info.row_bytes = static_cast<size_t>(info.num_numeric) * sizeof(double) +
+                   static_cast<size_t>(info.num_boolean);
+  return info;
+}
+
+Status WriteRelationToFile(const Relation& relation,
+                           const std::string& path) {
+  Result<PagedFileWriter> writer_or = PagedFileWriter::Create(
+      path, relation.schema().num_numeric(), relation.schema().num_boolean());
+  if (!writer_or.ok()) return writer_or.status();
+  PagedFileWriter writer = std::move(writer_or).value();
+  std::vector<double> numeric_row(
+      static_cast<size_t>(relation.schema().num_numeric()));
+  std::vector<uint8_t> boolean_row(
+      static_cast<size_t>(relation.schema().num_boolean()));
+  for (int64_t row = 0; row < relation.NumRows(); ++row) {
+    for (int i = 0; i < relation.schema().num_numeric(); ++i) {
+      numeric_row[static_cast<size_t>(i)] = relation.NumericValue(row, i);
+    }
+    for (int i = 0; i < relation.schema().num_boolean(); ++i) {
+      boolean_row[static_cast<size_t>(i)] =
+          relation.BooleanValue(row, i) ? 1 : 0;
+    }
+    OPTRULES_RETURN_IF_ERROR(writer.AppendRow(numeric_row, boolean_row));
+  }
+  return writer.Close();
+}
+
+Result<Relation> ReadRelationFromFile(const std::string& path,
+                                      const Schema& schema) {
+  Result<PagedFileInfo> info_or = ReadPagedFileInfo(path);
+  if (!info_or.ok()) return info_or.status();
+  const PagedFileInfo& info = info_or.value();
+  if (info.num_numeric != schema.num_numeric() ||
+      info.num_boolean != schema.num_boolean()) {
+    return Status::InvalidArgument(
+        "schema attribute counts do not match file: " + path);
+  }
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return Status::IoError("cannot open: " + path);
+  if (std::fseek(file, static_cast<long>(kPagedFileHeaderBytes), SEEK_SET) !=
+      0) {
+    std::fclose(file);
+    return Status::IoError("seek failed: " + path);
+  }
+  Relation relation(schema);
+  relation.Reserve(info.num_rows);
+  std::vector<uint8_t> row(info.row_bytes);
+  std::vector<double> numeric_row(static_cast<size_t>(info.num_numeric));
+  std::vector<uint8_t> boolean_row(static_cast<size_t>(info.num_boolean));
+  for (int64_t r = 0; r < info.num_rows; ++r) {
+    if (std::fread(row.data(), 1, info.row_bytes, file) != info.row_bytes) {
+      std::fclose(file);
+      return Status::Corruption("truncated file: " + path);
+    }
+    std::memcpy(numeric_row.data(), row.data(),
+                numeric_row.size() * sizeof(double));
+    std::memcpy(boolean_row.data(),
+                row.data() + numeric_row.size() * sizeof(double),
+                boolean_row.size());
+    relation.AppendRow(numeric_row, boolean_row);
+  }
+  std::fclose(file);
+  return relation;
+}
+
+}  // namespace optrules::storage

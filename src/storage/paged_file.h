@@ -1,0 +1,95 @@
+// Fixed-width binary row store.
+//
+// This is the out-of-core substrate: the paper's motivating setting is a
+// database much larger than main memory, where sorting every numeric
+// attribute is prohibitively expensive and a single sequential scan is the
+// only affordable full-table access. PagedFile stores rows in the Schema
+// row layout (doubles then boolean bytes) behind a small header, and the
+// reader scans it through a bounded buffer.
+//
+// Layout:
+//   [magic u32][version u32][num_numeric u32][num_boolean u32][num_rows u64]
+//   row 0, row 1, ... (Schema::RowBytes() bytes each)
+
+#ifndef OPTRULES_STORAGE_PAGED_FILE_H_
+#define OPTRULES_STORAGE_PAGED_FILE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/relation.h"
+#include "storage/schema.h"
+
+namespace optrules::storage {
+
+/// Size of the PagedFile header in bytes.
+inline constexpr size_t kPagedFileHeaderBytes = 24;
+
+/// Buffered sequential writer of a PagedFile.
+class PagedFileWriter {
+ public:
+  /// Creates/truncates `path` for a table with the given attribute counts.
+  static Result<PagedFileWriter> Create(const std::string& path,
+                                        int num_numeric, int num_boolean,
+                                        size_t buffer_bytes = 1 << 20);
+
+  PagedFileWriter(PagedFileWriter&& other) noexcept;
+  PagedFileWriter& operator=(PagedFileWriter&& other) noexcept;
+  PagedFileWriter(const PagedFileWriter&) = delete;
+  PagedFileWriter& operator=(const PagedFileWriter&) = delete;
+  ~PagedFileWriter();
+
+  /// Appends one row.
+  Status AppendRow(std::span<const double> numeric_values,
+                   std::span<const uint8_t> boolean_values);
+
+  /// Appends one row already serialized in the file layout.
+  Status AppendRawRow(const uint8_t* row);
+
+  /// Flushes, patches the row count into the header, and closes the file.
+  /// Must be called exactly once before destruction for a valid file.
+  Status Close();
+
+  /// Rows appended so far.
+  int64_t NumRows() const { return num_rows_; }
+
+ private:
+  PagedFileWriter() = default;
+  Status FlushBuffer();
+
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  int num_numeric_ = 0;
+  int num_boolean_ = 0;
+  size_t row_bytes_ = 0;
+  int64_t num_rows_ = 0;
+  std::vector<uint8_t> buffer_;
+  size_t buffer_used_ = 0;
+};
+
+/// Metadata of an open PagedFile.
+struct PagedFileInfo {
+  int num_numeric = 0;
+  int num_boolean = 0;
+  int64_t num_rows = 0;
+  size_t row_bytes = 0;
+};
+
+/// Reads and validates the header of `path`.
+Result<PagedFileInfo> ReadPagedFileInfo(const std::string& path);
+
+/// Writes an entire in-memory relation to `path` in PagedFile format.
+Status WriteRelationToFile(const Relation& relation, const std::string& path);
+
+/// Loads an entire PagedFile into memory. `schema` must match the stored
+/// attribute counts; pass Schema::Synthetic(...) when names don't matter.
+Result<Relation> ReadRelationFromFile(const std::string& path,
+                                      const Schema& schema);
+
+}  // namespace optrules::storage
+
+#endif  // OPTRULES_STORAGE_PAGED_FILE_H_

@@ -1,0 +1,63 @@
+#include "storage/relation.h"
+
+namespace optrules::storage {
+
+Relation::Relation(Schema schema) : schema_(std::move(schema)) {
+  numeric_columns_.resize(static_cast<size_t>(schema_.num_numeric()));
+  boolean_columns_.resize(static_cast<size_t>(schema_.num_boolean()));
+}
+
+void Relation::AppendRow(std::span<const double> numeric_values,
+                         std::span<const uint8_t> boolean_values) {
+  OPTRULES_CHECK(numeric_values.size() ==
+                 static_cast<size_t>(schema_.num_numeric()));
+  OPTRULES_CHECK(boolean_values.size() ==
+                 static_cast<size_t>(schema_.num_boolean()));
+  for (size_t i = 0; i < numeric_values.size(); ++i) {
+    numeric_columns_[i].push_back(numeric_values[i]);
+  }
+  for (size_t i = 0; i < boolean_values.size(); ++i) {
+    OPTRULES_DCHECK(boolean_values[i] <= 1);
+    boolean_columns_[i].push_back(boolean_values[i]);
+  }
+  ++num_rows_;
+}
+
+void Relation::Reserve(int64_t rows) {
+  OPTRULES_CHECK(rows >= 0);
+  for (auto& col : numeric_columns_) col.reserve(static_cast<size_t>(rows));
+  for (auto& col : boolean_columns_) col.reserve(static_cast<size_t>(rows));
+}
+
+const std::vector<double>& Relation::NumericColumn(int i) const {
+  OPTRULES_CHECK(0 <= i && i < schema_.num_numeric());
+  return numeric_columns_[static_cast<size_t>(i)];
+}
+
+const std::vector<uint8_t>& Relation::BooleanColumn(int i) const {
+  OPTRULES_CHECK(0 <= i && i < schema_.num_boolean());
+  return boolean_columns_[static_cast<size_t>(i)];
+}
+
+std::vector<double>& Relation::MutableNumericColumn(int i) {
+  OPTRULES_CHECK(0 <= i && i < schema_.num_numeric());
+  return numeric_columns_[static_cast<size_t>(i)];
+}
+
+std::vector<uint8_t>& Relation::MutableBooleanColumn(int i) {
+  OPTRULES_CHECK(0 <= i && i < schema_.num_boolean());
+  return boolean_columns_[static_cast<size_t>(i)];
+}
+
+void Relation::SetRowCountAfterColumnFill(int64_t rows) {
+  OPTRULES_CHECK(rows >= 0);
+  for (const auto& col : numeric_columns_) {
+    OPTRULES_CHECK(col.size() == static_cast<size_t>(rows));
+  }
+  for (const auto& col : boolean_columns_) {
+    OPTRULES_CHECK(col.size() == static_cast<size_t>(rows));
+  }
+  num_rows_ = rows;
+}
+
+}  // namespace optrules::storage

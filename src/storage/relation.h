@@ -1,0 +1,69 @@
+// In-memory columnar relation.
+//
+// Numeric attributes are stored as contiguous double columns and Boolean
+// attributes as byte columns, which is the access pattern the bucketing and
+// counting passes want: a single numeric column scanned together with one
+// or more Boolean columns.
+
+#ifndef OPTRULES_STORAGE_RELATION_H_
+#define OPTRULES_STORAGE_RELATION_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/schema.h"
+
+namespace optrules::storage {
+
+/// Columnar table over a fixed Schema.
+class Relation {
+ public:
+  Relation() = default;
+  /// Creates an empty relation with the given schema.
+  explicit Relation(Schema schema);
+
+  /// The schema.
+  const Schema& schema() const { return schema_; }
+  /// Number of rows.
+  int64_t NumRows() const { return num_rows_; }
+
+  /// Appends one row; spans must match schema().num_numeric() /
+  /// num_boolean(). Boolean values must be 0 or 1.
+  void AppendRow(std::span<const double> numeric_values,
+                 std::span<const uint8_t> boolean_values);
+
+  /// Pre-allocates capacity for `rows` rows.
+  void Reserve(int64_t rows);
+
+  /// Column accessors (index is per-kind, in declaration order).
+  const std::vector<double>& NumericColumn(int i) const;
+  const std::vector<uint8_t>& BooleanColumn(int i) const;
+
+  /// Mutable column access (for generators that fill columns directly).
+  std::vector<double>& MutableNumericColumn(int i);
+  std::vector<uint8_t>& MutableBooleanColumn(int i);
+
+  /// Declares that columns were filled directly to `rows` rows; validates
+  /// that all columns have that length.
+  void SetRowCountAfterColumnFill(int64_t rows);
+
+  /// Single-cell accessors.
+  double NumericValue(int64_t row, int column) const {
+    return NumericColumn(column)[static_cast<size_t>(row)];
+  }
+  bool BooleanValue(int64_t row, int column) const {
+    return BooleanColumn(column)[static_cast<size_t>(row)] != 0;
+  }
+
+ private:
+  Schema schema_;
+  std::vector<std::vector<double>> numeric_columns_;
+  std::vector<std::vector<uint8_t>> boolean_columns_;
+  int64_t num_rows_ = 0;
+};
+
+}  // namespace optrules::storage
+
+#endif  // OPTRULES_STORAGE_RELATION_H_

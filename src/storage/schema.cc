@@ -1,0 +1,99 @@
+#include "storage/schema.h"
+
+namespace optrules::storage {
+
+const char* AttrKindName(AttrKind kind) {
+  return kind == AttrKind::kNumeric ? "numeric" : "boolean";
+}
+
+Result<Schema> Schema::Create(std::vector<Attribute> attributes) {
+  Schema schema;
+  schema.attributes_ = std::move(attributes);
+  for (const Attribute& attr : schema.attributes_) {
+    if (attr.name.empty()) {
+      return Status::InvalidArgument("attribute with empty name");
+    }
+    if (attr.kind == AttrKind::kNumeric) {
+      auto [it, inserted] =
+          schema.numeric_index_.emplace(attr.name, schema.num_numeric_);
+      if (!inserted) {
+        return Status::InvalidArgument("duplicate attribute name: " +
+                                       attr.name);
+      }
+      if (schema.boolean_index_.count(attr.name) > 0) {
+        return Status::InvalidArgument("duplicate attribute name: " +
+                                       attr.name);
+      }
+      schema.numeric_names_.push_back(attr.name);
+      ++schema.num_numeric_;
+    } else {
+      auto [it, inserted] =
+          schema.boolean_index_.emplace(attr.name, schema.num_boolean_);
+      if (!inserted) {
+        return Status::InvalidArgument("duplicate attribute name: " +
+                                       attr.name);
+      }
+      if (schema.numeric_index_.count(attr.name) > 0) {
+        return Status::InvalidArgument("duplicate attribute name: " +
+                                       attr.name);
+      }
+      schema.boolean_names_.push_back(attr.name);
+      ++schema.num_boolean_;
+    }
+  }
+  return schema;
+}
+
+Schema Schema::Synthetic(int num_numeric, int num_boolean) {
+  OPTRULES_CHECK(num_numeric >= 0 && num_boolean >= 0);
+  std::vector<Attribute> attrs;
+  attrs.reserve(static_cast<size_t>(num_numeric + num_boolean));
+  for (int i = 0; i < num_numeric; ++i) {
+    attrs.push_back({"num" + std::to_string(i), AttrKind::kNumeric});
+  }
+  for (int i = 0; i < num_boolean; ++i) {
+    attrs.push_back({"bool" + std::to_string(i), AttrKind::kBoolean});
+  }
+  Result<Schema> schema = Create(std::move(attrs));
+  OPTRULES_CHECK(schema.ok());
+  return std::move(schema).value();
+}
+
+Result<int> Schema::NumericIndexOf(const std::string& name) const {
+  auto it = numeric_index_.find(name);
+  if (it == numeric_index_.end()) {
+    return Status::NotFound("no numeric attribute named " + name);
+  }
+  return it->second;
+}
+
+Result<int> Schema::BooleanIndexOf(const std::string& name) const {
+  auto it = boolean_index_.find(name);
+  if (it == boolean_index_.end()) {
+    return Status::NotFound("no boolean attribute named " + name);
+  }
+  return it->second;
+}
+
+const std::string& Schema::NumericName(int i) const {
+  OPTRULES_CHECK(0 <= i && i < num_numeric_);
+  return numeric_names_[static_cast<size_t>(i)];
+}
+
+const std::string& Schema::BooleanName(int i) const {
+  OPTRULES_CHECK(0 <= i && i < num_boolean_);
+  return boolean_names_[static_cast<size_t>(i)];
+}
+
+bool operator==(const Schema& a, const Schema& b) {
+  if (a.attributes_.size() != b.attributes_.size()) return false;
+  for (size_t i = 0; i < a.attributes_.size(); ++i) {
+    if (a.attributes_[i].name != b.attributes_[i].name ||
+        a.attributes_[i].kind != b.attributes_[i].kind) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace optrules::storage

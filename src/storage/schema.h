@@ -1,0 +1,89 @@
+// Relation schema: ordered attributes, each numeric (double) or Boolean.
+//
+// The paper's workloads mix numeric attributes (age, balance) with Boolean
+// attributes (CardLoan = yes/no). The schema also fixes the on-disk
+// fixed-width row layout used by storage::PagedFile: all numeric values
+// first (8 bytes each, little-endian IEEE double), then one byte per
+// Boolean attribute.
+
+#ifndef OPTRULES_STORAGE_SCHEMA_H_
+#define OPTRULES_STORAGE_SCHEMA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace optrules::storage {
+
+/// Kind of an attribute value.
+enum class AttrKind : uint8_t {
+  kNumeric = 0,
+  kBoolean = 1,
+};
+
+/// Returns "numeric" or "boolean".
+const char* AttrKindName(AttrKind kind);
+
+/// One attribute of a relation.
+struct Attribute {
+  std::string name;
+  AttrKind kind;
+};
+
+/// Immutable ordered attribute list with name lookup and row layout.
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Builds a schema; attribute names must be unique and non-empty.
+  static Result<Schema> Create(std::vector<Attribute> attributes);
+
+  /// Convenience: `num_numeric` attributes named "num0..", then
+  /// `num_boolean` attributes named "bool0..".
+  static Schema Synthetic(int num_numeric, int num_boolean);
+
+  /// All attributes in declaration order.
+  const std::vector<Attribute>& attributes() const { return attributes_; }
+
+  /// Total attribute count.
+  int num_attributes() const { return static_cast<int>(attributes_.size()); }
+  /// Number of numeric attributes.
+  int num_numeric() const { return num_numeric_; }
+  /// Number of Boolean attributes.
+  int num_boolean() const { return num_boolean_; }
+
+  /// Index of `name` among attributes of its kind (numeric attributes are
+  /// numbered 0..num_numeric-1 in declaration order, Booleans likewise), or
+  /// NotFound.
+  Result<int> NumericIndexOf(const std::string& name) const;
+  Result<int> BooleanIndexOf(const std::string& name) const;
+
+  /// Name of the i-th numeric / Boolean attribute.
+  const std::string& NumericName(int i) const;
+  const std::string& BooleanName(int i) const;
+
+  /// Bytes per row in the fixed-width file layout.
+  size_t RowBytes() const {
+    return static_cast<size_t>(num_numeric_) * sizeof(double) +
+           static_cast<size_t>(num_boolean_);
+  }
+
+  friend bool operator==(const Schema& a, const Schema& b);
+
+ private:
+  std::vector<Attribute> attributes_;
+  std::vector<std::string> numeric_names_;
+  std::vector<std::string> boolean_names_;
+  std::unordered_map<std::string, int> numeric_index_;
+  std::unordered_map<std::string, int> boolean_index_;
+  int num_numeric_ = 0;
+  int num_boolean_ = 0;
+};
+
+}  // namespace optrules::storage
+
+#endif  // OPTRULES_STORAGE_SCHEMA_H_

@@ -1,0 +1,105 @@
+#include "storage/tuple_stream.h"
+
+#include <cstring>
+
+namespace optrules::storage {
+
+RelationTupleStream::RelationTupleStream(const Relation* relation)
+    : relation_(relation) {
+  OPTRULES_CHECK(relation != nullptr);
+  numeric_buffer_.resize(
+      static_cast<size_t>(relation->schema().num_numeric()));
+  boolean_buffer_.resize(
+      static_cast<size_t>(relation->schema().num_boolean()));
+}
+
+int RelationTupleStream::num_numeric() const {
+  return relation_->schema().num_numeric();
+}
+
+int RelationTupleStream::num_boolean() const {
+  return relation_->schema().num_boolean();
+}
+
+int64_t RelationTupleStream::NumTuples() const {
+  return relation_->NumRows();
+}
+
+bool RelationTupleStream::Next(TupleView* view) {
+  if (position_ >= relation_->NumRows()) return false;
+  for (int i = 0; i < num_numeric(); ++i) {
+    numeric_buffer_[static_cast<size_t>(i)] =
+        relation_->NumericValue(position_, i);
+  }
+  for (int i = 0; i < num_boolean(); ++i) {
+    boolean_buffer_[static_cast<size_t>(i)] =
+        relation_->BooleanValue(position_, i) ? 1 : 0;
+  }
+  ++position_;
+  view->numeric = numeric_buffer_.data();
+  view->booleans = boolean_buffer_.data();
+  return true;
+}
+
+Result<std::unique_ptr<FileTupleStream>> FileTupleStream::Open(
+    const std::string& path, int64_t buffer_rows) {
+  if (buffer_rows <= 0) {
+    return Status::InvalidArgument("buffer_rows must be positive");
+  }
+  Result<PagedFileInfo> info = ReadPagedFileInfo(path);
+  if (!info.ok()) return info.status();
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return Status::IoError("cannot open: " + path);
+  if (std::fseek(file, static_cast<long>(kPagedFileHeaderBytes), SEEK_SET) !=
+      0) {
+    std::fclose(file);
+    return Status::IoError("seek failed: " + path);
+  }
+  auto stream = std::unique_ptr<FileTupleStream>(new FileTupleStream());
+  stream->file_ = file;
+  stream->info_ = info.value();
+  stream->buffer_rows_ = buffer_rows;
+  stream->page_.resize(static_cast<size_t>(buffer_rows) *
+                       stream->info_.row_bytes);
+  stream->numeric_buffer_.resize(
+      static_cast<size_t>(stream->info_.num_numeric));
+  return stream;
+}
+
+FileTupleStream::~FileTupleStream() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+bool FileTupleStream::Next(TupleView* view) {
+  if (rows_consumed_ >= info_.num_rows) return false;
+  if (page_position_ >= rows_in_page_) {
+    const int64_t want =
+        std::min(buffer_rows_, info_.num_rows - rows_consumed_);
+    const size_t got = std::fread(
+        page_.data(), info_.row_bytes, static_cast<size_t>(want), file_);
+    rows_in_page_ = static_cast<int64_t>(got);
+    page_position_ = 0;
+    if (rows_in_page_ == 0) return false;
+  }
+  const uint8_t* row =
+      page_.data() + static_cast<size_t>(page_position_) * info_.row_bytes;
+  // Copy doubles to an aligned buffer; the boolean bytes can alias the page.
+  std::memcpy(numeric_buffer_.data(), row,
+              numeric_buffer_.size() * sizeof(double));
+  view->numeric = numeric_buffer_.data();
+  view->booleans = row + numeric_buffer_.size() * sizeof(double);
+  ++page_position_;
+  ++rows_consumed_;
+  return true;
+}
+
+void FileTupleStream::Reset() {
+  OPTRULES_CHECK(std::fseek(file_,
+                            static_cast<long>(kPagedFileHeaderBytes),
+                            SEEK_SET) == 0);
+  rows_in_page_ = 0;
+  page_position_ = 0;
+  rows_consumed_ = 0;
+}
+
+}  // namespace optrules::storage

@@ -1,0 +1,131 @@
+// Tests for the Section 5 average-operator ranges.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "rules/average_range.h"
+#include "rules/naive.h"
+
+namespace optrules::rules {
+namespace {
+
+struct Instance {
+  std::vector<int64_t> u;
+  std::vector<double> v;
+  int64_t total = 0;
+};
+
+Instance RandomInstance(int m, int64_t max_u, uint64_t seed) {
+  Rng rng(seed);
+  Instance instance;
+  instance.u.resize(static_cast<size_t>(m));
+  instance.v.resize(static_cast<size_t>(m));
+  for (int i = 0; i < m; ++i) {
+    instance.u[static_cast<size_t>(i)] = rng.NextInt(1, max_u);
+    // Per-bucket sums, possibly negative (e.g. overdrawn balances).
+    instance.v[static_cast<size_t>(i)] =
+        static_cast<double>(rng.NextInt(-20, 100)) *
+        static_cast<double>(instance.u[static_cast<size_t>(i)]);
+    instance.total += instance.u[static_cast<size_t>(i)];
+  }
+  return instance;
+}
+
+TEST(MaximumAverageRangeTest, PicksRichBand) {
+  // Buckets of 10 tuples; middle band has average 50, elsewhere 10.
+  const std::vector<int64_t> u = {10, 10, 10, 10};
+  const std::vector<double> v = {100.0, 500.0, 500.0, 100.0};
+  const RangeAggregate range = MaximumAverageRange(u, v, 20);
+  ASSERT_TRUE(range.found);
+  EXPECT_EQ(range.s, 1);
+  EXPECT_EQ(range.t, 2);
+  EXPECT_DOUBLE_EQ(range.average, 50.0);
+  EXPECT_EQ(range.support_count, 20);
+}
+
+TEST(MaximumAverageRangeTest, SupportForcesDilution) {
+  const std::vector<int64_t> u = {10, 10, 10, 10};
+  const std::vector<double> v = {100.0, 500.0, 500.0, 100.0};
+  const RangeAggregate range = MaximumAverageRange(u, v, 30);
+  ASSERT_TRUE(range.found);
+  EXPECT_EQ(range.support_count, 30);
+  EXPECT_DOUBLE_EQ(range.average, 1100.0 / 30.0);
+}
+
+TEST(MaximumAverageRangeTest, InfeasibleSupport) {
+  const std::vector<int64_t> u = {5};
+  const std::vector<double> v = {10.0};
+  EXPECT_FALSE(MaximumAverageRange(u, v, 6).found);
+}
+
+TEST(MaximumSupportRangeTest, ThresholdBelowGlobalAverageIsTrivial) {
+  // Global average is 30; threshold 10 makes the whole domain valid (the
+  // paper's remark after Definition 5.3).
+  const std::vector<int64_t> u = {10, 10};
+  const std::vector<double> v = {100.0, 500.0};
+  const RangeAggregate range = MaximumSupportRange(u, v, 10.0);
+  ASSERT_TRUE(range.found);
+  EXPECT_EQ(range.support_count, 20);
+}
+
+TEST(MaximumSupportRangeTest, HighThresholdSelectsRichBandOnly) {
+  const std::vector<int64_t> u = {10, 10, 10};
+  const std::vector<double> v = {100.0, 500.0, 100.0};
+  const RangeAggregate range = MaximumSupportRange(u, v, 40.0);
+  ASSERT_TRUE(range.found);
+  EXPECT_EQ(range.s, 1);
+  EXPECT_EQ(range.t, 1);
+}
+
+TEST(MaximumSupportRangeTest, NoValidRange) {
+  const std::vector<int64_t> u = {10, 10};
+  const std::vector<double> v = {100.0, 200.0};
+  EXPECT_FALSE(MaximumSupportRange(u, v, 50.0).found);
+}
+
+class AveragePropertyTest : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(AveragePropertyTest, MaxAverageMatchesNaive) {
+  const uint64_t seed = GetParam();
+  Rng rng(seed);
+  const int m = 2 + static_cast<int>(rng.NextBounded(60));
+  const Instance instance = RandomInstance(m, 10, seed * 31 + 7);
+  const int64_t min_support = 1 + rng.NextInt(0, instance.total - 1);
+  const RangeAggregate fast =
+      MaximumAverageRange(instance.u, instance.v, min_support);
+  const RangeAggregate naive =
+      NaiveMaximumAverageRange(instance.u, instance.v, min_support);
+  ASSERT_EQ(fast.found, naive.found);
+  if (!fast.found) return;
+  EXPECT_NEAR(fast.average, naive.average, 1e-9 * (1.0 + std::abs(
+      naive.average)))
+      << "m=" << m << " min_support=" << min_support;
+  EXPECT_GE(fast.support_count, min_support);
+}
+
+TEST_P(AveragePropertyTest, MaxSupportMatchesNaive) {
+  const uint64_t seed = GetParam();
+  Rng rng(seed ^ 0xabcdef);
+  const int m = 2 + static_cast<int>(rng.NextBounded(60));
+  const Instance instance = RandomInstance(m, 10, seed * 17 + 3);
+  const double threshold = rng.NextUniform(-10.0, 90.0);
+  const RangeAggregate fast =
+      MaximumSupportRange(instance.u, instance.v, threshold);
+  const RangeAggregate naive =
+      NaiveMaximumSupportRange(instance.u, instance.v, threshold);
+  ASSERT_EQ(fast.found, naive.found) << "threshold " << threshold;
+  if (!fast.found) return;
+  EXPECT_EQ(fast.support_count, naive.support_count)
+      << "m=" << m << " threshold=" << threshold;
+  // The returned range must satisfy the constraint (small fp slack).
+  EXPECT_GE(fast.average,
+            threshold - 1e-9 * (1.0 + std::abs(threshold)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AveragePropertyTest,
+                         testing::Range(uint64_t{1}, uint64_t{50}));
+
+}  // namespace
+}  // namespace optrules::rules

@@ -1,0 +1,465 @@
+// Tests for bucket boundaries, samplers, counting, parallelism, and the
+// Section 3.4 error bounds.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "bucketing/boundaries.h"
+#include "bucketing/counting.h"
+#include "bucketing/equidepth_sampler.h"
+#include "bucketing/equiwidth.h"
+#include "bucketing/error_bounds.h"
+#include "bucketing/parallel_count.h"
+#include "bucketing/sort_bucketizer.h"
+#include "common/rng.h"
+#include "storage/paged_file.h"
+#include "storage/tuple_stream.h"
+
+namespace optrules::bucketing {
+namespace {
+
+std::vector<double> RandomValues(int64_t n, uint64_t seed, double lo = 0.0,
+                                 double hi = 1000.0) {
+  Rng rng(seed);
+  std::vector<double> values(static_cast<size_t>(n));
+  for (double& v : values) v = rng.NextUniform(lo, hi);
+  return values;
+}
+
+// --------------------------------------------------------- boundaries ----
+
+TEST(BoundariesTest, LocateRespectsHalfOpenIntervals) {
+  const BucketBoundaries b = BucketBoundaries::FromCutPoints({10.0, 20.0});
+  EXPECT_EQ(b.num_buckets(), 3);
+  EXPECT_EQ(b.Locate(-5.0), 0);
+  EXPECT_EQ(b.Locate(10.0), 0);   // bucket 0 is (-inf, 10]
+  EXPECT_EQ(b.Locate(10.5), 1);
+  EXPECT_EQ(b.Locate(20.0), 1);   // bucket 1 is (10, 20]
+  EXPECT_EQ(b.Locate(20.0001), 2);
+  EXPECT_EQ(b.Locate(1e300), 2);
+}
+
+TEST(BoundariesTest, EdgesAndInfinities) {
+  const BucketBoundaries b = BucketBoundaries::FromCutPoints({1.0, 2.0});
+  EXPECT_TRUE(std::isinf(b.LowerEdge(0)));
+  EXPECT_DOUBLE_EQ(b.UpperEdge(0), 1.0);
+  EXPECT_DOUBLE_EQ(b.LowerEdge(1), 1.0);
+  EXPECT_DOUBLE_EQ(b.UpperEdge(1), 2.0);
+  EXPECT_TRUE(std::isinf(b.UpperEdge(2)));
+}
+
+TEST(BoundariesTest, SingleBucketCoversEverything) {
+  const BucketBoundaries b = BucketBoundaries::FromCutPoints({});
+  EXPECT_EQ(b.num_buckets(), 1);
+  EXPECT_EQ(b.Locate(-1e308), 0);
+  EXPECT_EQ(b.Locate(1e308), 0);
+}
+
+TEST(BoundariesTest, FromSortedValuesGivesExactEquiDepth) {
+  std::vector<double> values(1000);
+  std::iota(values.begin(), values.end(), 0.0);
+  const BucketBoundaries b = BucketBoundaries::FromSortedValues(values, 10);
+  EXPECT_EQ(b.num_buckets(), 10);
+  std::vector<int64_t> counts(10, 0);
+  for (double v : values) ++counts[static_cast<size_t>(b.Locate(v))];
+  for (int64_t c : counts) EXPECT_EQ(c, 100);
+}
+
+// -------------------------------------------------------- exact depth ----
+
+TEST(SortBucketizerTest, ExactEquiDepthOnShuffledInput) {
+  std::vector<double> values = RandomValues(10000, 21);
+  const BucketBoundaries b = ExactEquiDepthBoundaries(values, 100);
+  std::vector<int64_t> counts(100, 0);
+  for (double v : values) ++counts[static_cast<size_t>(b.Locate(v))];
+  const auto [lo, hi] = std::minmax_element(counts.begin(), counts.end());
+  // All buckets within one tuple of perfectly equal depth (ties aside).
+  EXPECT_GE(*lo, 99);
+  EXPECT_LE(*hi, 101);
+}
+
+TEST(SortBucketizerTest, HeavyTiesYieldEmptyBucketsNotWrongCounts) {
+  std::vector<double> values(1000, 42.0);  // all identical
+  const BucketBoundaries b = ExactEquiDepthBoundaries(values, 10);
+  std::vector<int64_t> counts(static_cast<size_t>(b.num_buckets()), 0);
+  for (double v : values) ++counts[static_cast<size_t>(b.Locate(v))];
+  EXPECT_EQ(std::accumulate(counts.begin(), counts.end(), int64_t{0}),
+            1000);
+  // Every tuple must land in exactly one bucket.
+  int nonzero = 0;
+  for (int64_t c : counts) nonzero += c > 0 ? 1 : 0;
+  EXPECT_EQ(nonzero, 1);
+}
+
+// ------------------------------------------------------------ sampler ----
+
+struct SamplerCase {
+  int64_t n;
+  int num_buckets;
+  uint64_t seed;
+};
+
+class SamplerDepthTest : public testing::TestWithParam<SamplerCase> {};
+
+TEST_P(SamplerDepthTest, BucketsAreAlmostEquiDepth) {
+  const SamplerCase& param = GetParam();
+  const std::vector<double> values = RandomValues(param.n, param.seed);
+  SamplerOptions options;
+  options.num_buckets = param.num_buckets;
+  options.sample_per_bucket = 40;
+  Rng rng(param.seed + 1);
+  const BucketBoundaries b =
+      BuildEquiDepthBoundaries(values, options, rng);
+  std::vector<int64_t> counts(static_cast<size_t>(b.num_buckets()), 0);
+  for (double v : values) ++counts[static_cast<size_t>(b.Locate(v))];
+
+  const double expected =
+      static_cast<double>(param.n) / param.num_buckets;
+  // Section 3.2: with S/M = 40 a relative deviation of 50% has probability
+  // < 0.3 per bucket; across buckets we allow a small number of outliers
+  // but no gross distortion.
+  int gross = 0;
+  for (int64_t c : counts) {
+    if (std::abs(static_cast<double>(c) - expected) > expected) ++gross;
+  }
+  EXPECT_LE(gross, param.num_buckets / 10);
+  EXPECT_EQ(std::accumulate(counts.begin(), counts.end(), int64_t{0}),
+            param.n);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SamplerDepthTest,
+    testing::Values(SamplerCase{20000, 10, 1}, SamplerCase{50000, 100, 2},
+                    SamplerCase{100000, 1000, 3},
+                    SamplerCase{5000, 50, 4}));
+
+TEST(SamplerTest, EmptyInputYieldsSingleBucket) {
+  SamplerOptions options;
+  options.num_buckets = 16;
+  Rng rng(5);
+  const BucketBoundaries b =
+      BuildEquiDepthBoundaries(std::vector<double>{}, options, rng);
+  EXPECT_EQ(b.num_buckets(), 1);
+}
+
+TEST(SamplerTest, StreamSamplerMatchesColumnSampler) {
+  // Both paths should produce *almost equi-depth* buckets; they need not be
+  // identical (different sampling designs), but both must bound deviation.
+  storage::Relation relation(storage::Schema::Synthetic(1, 1));
+  Rng data_rng(6);
+  for (int i = 0; i < 50000; ++i) {
+    const double v = data_rng.NextUniform(0.0, 1.0);
+    const uint8_t flag = 0;
+    relation.AppendRow(std::span<const double>(&v, 1),
+                       std::span<const uint8_t>(&flag, 1));
+  }
+  SamplerOptions options;
+  options.num_buckets = 100;
+  storage::RelationTupleStream stream(&relation);
+  Rng rng(7);
+  const BucketBoundaries b =
+      BuildEquiDepthBoundariesFromStream(stream, 0, options, rng);
+  EXPECT_EQ(b.num_buckets(), 100);
+  std::vector<int64_t> counts(100, 0);
+  for (double v : relation.NumericColumn(0)) {
+    ++counts[static_cast<size_t>(b.Locate(v))];
+  }
+  const double expected = 500.0;
+  for (int64_t c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), expected, expected);  // +-100%
+  }
+}
+
+// ---------------------------------------------------------- equiwidth ----
+
+TEST(EquiWidthTest, CutsAreEvenlySpaced) {
+  const std::vector<double> values = {0.0, 100.0, 37.0, 58.0};
+  const BucketBoundaries b = EquiWidthBoundaries(values, 4);
+  ASSERT_EQ(b.num_buckets(), 4);
+  EXPECT_DOUBLE_EQ(b.cut_points()[0], 25.0);
+  EXPECT_DOUBLE_EQ(b.cut_points()[1], 50.0);
+  EXPECT_DOUBLE_EQ(b.cut_points()[2], 75.0);
+}
+
+TEST(EquiWidthTest, SkewedDataConcentratesInFewBuckets) {
+  // Lognormal data: equi-width puts nearly everything in the first bucket,
+  // which is exactly why the paper prefers equi-depth (footnote 3).
+  Rng rng(8);
+  std::vector<double> values(20000);
+  for (double& v : values) v = std::exp(3.0 * rng.NextGaussian());
+  const BucketBoundaries b = EquiWidthBoundaries(values, 100);
+  std::vector<int64_t> counts(100, 0);
+  for (double v : values) ++counts[static_cast<size_t>(b.Locate(v))];
+  EXPECT_GT(counts[0], 19000);
+}
+
+// ------------------------------------------------------------ counting ----
+
+TEST(CountingTest, MatchesBruteForce) {
+  const std::vector<double> values = RandomValues(5000, 9);
+  Rng rng(10);
+  std::vector<uint8_t> target(values.size());
+  for (auto& t : target) t = rng.NextBernoulli(0.3) ? 1 : 0;
+  const BucketBoundaries b =
+      BucketBoundaries::FromCutPoints({250.0, 500.0, 750.0});
+  const BucketCounts counts = CountBuckets(values, target, b);
+
+  ASSERT_EQ(counts.num_buckets(), 4);
+  ASSERT_EQ(counts.num_targets(), 1);
+  std::vector<int64_t> u(4, 0);
+  std::vector<int64_t> v(4, 0);
+  for (size_t i = 0; i < values.size(); ++i) {
+    const auto bucket = static_cast<size_t>(b.Locate(values[i]));
+    ++u[bucket];
+    if (target[i]) ++v[bucket];
+  }
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(counts.u[static_cast<size_t>(i)], u[static_cast<size_t>(i)]);
+    EXPECT_EQ(counts.v[0][static_cast<size_t>(i)],
+              v[static_cast<size_t>(i)]);
+  }
+  EXPECT_EQ(counts.total_tuples, 5000);
+}
+
+TEST(CountingTest, MinMaxTracksObservedValues) {
+  const std::vector<double> values = {1.0, 9.0, 11.0, 19.0, 5.0};
+  const std::vector<uint8_t> target = {0, 0, 0, 0, 0};
+  const BucketBoundaries b = BucketBoundaries::FromCutPoints({10.0});
+  const BucketCounts counts = CountBuckets(values, target, b);
+  EXPECT_DOUBLE_EQ(counts.min_value[0], 1.0);
+  EXPECT_DOUBLE_EQ(counts.max_value[0], 9.0);
+  EXPECT_DOUBLE_EQ(counts.min_value[1], 11.0);
+  EXPECT_DOUBLE_EQ(counts.max_value[1], 19.0);
+}
+
+TEST(CountingTest, MultipleTargetsCountedInOnePass) {
+  const std::vector<double> values = RandomValues(2000, 11);
+  Rng rng(12);
+  std::vector<uint8_t> t1(values.size());
+  std::vector<uint8_t> t2(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    t1[i] = rng.NextBernoulli(0.2) ? 1 : 0;
+    t2[i] = rng.NextBernoulli(0.7) ? 1 : 0;
+  }
+  const BucketBoundaries b = BucketBoundaries::FromCutPoints({500.0});
+  const std::vector<uint8_t>* targets[] = {&t1, &t2};
+  const BucketCounts counts = CountBuckets(values, targets, b);
+  ASSERT_EQ(counts.num_targets(), 2);
+  int64_t total_t2 = counts.v[1][0] + counts.v[1][1];
+  int64_t expected_t2 = 0;
+  for (uint8_t x : t2) expected_t2 += x;
+  EXPECT_EQ(total_t2, expected_t2);
+}
+
+TEST(CountingTest, ConditionalCountsRestrictToC1) {
+  const std::vector<double> values = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<uint8_t> c1 = {1, 0, 1, 1};
+  const std::vector<uint8_t> c2 = {1, 1, 0, 1};
+  const BucketBoundaries b = BucketBoundaries::FromCutPoints({2.5});
+  const BucketCounts counts = CountBucketsConditional(values, c1, c2, b);
+  // Bucket 0 holds rows {1.0, 2.0}; only row 0 meets C1, and it meets C2.
+  EXPECT_EQ(counts.u[0], 1);
+  EXPECT_EQ(counts.v[0][0], 1);
+  // Bucket 1 holds rows {3.0, 4.0}; both meet C1, row 3 meets C2.
+  EXPECT_EQ(counts.u[1], 2);
+  EXPECT_EQ(counts.v[0][1], 1);
+  // Support denominator stays the full table.
+  EXPECT_EQ(counts.total_tuples, 4);
+}
+
+TEST(CountingTest, StreamCountingMatchesColumnCounting) {
+  storage::Relation relation(storage::Schema::Synthetic(2, 2));
+  Rng rng(13);
+  for (int i = 0; i < 3000; ++i) {
+    const double numeric[] = {rng.NextUniform(0, 100),
+                              rng.NextUniform(0, 100)};
+    const uint8_t boolean[] = {
+        static_cast<uint8_t>(rng.NextBernoulli(0.5) ? 1 : 0),
+        static_cast<uint8_t>(rng.NextBernoulli(0.1) ? 1 : 0)};
+    relation.AppendRow(numeric, boolean);
+  }
+  const BucketBoundaries b =
+      BucketBoundaries::FromCutPoints({25.0, 50.0, 75.0});
+  const std::vector<uint8_t>* targets[] = {&relation.BooleanColumn(0),
+                                           &relation.BooleanColumn(1)};
+  const BucketCounts columnar =
+      CountBuckets(relation.NumericColumn(1), targets, b);
+  storage::RelationTupleStream stream(&relation);
+  const BucketCounts streamed = CountBucketsFromStream(stream, 1, b);
+  EXPECT_EQ(streamed.u, columnar.u);
+  EXPECT_EQ(streamed.v, columnar.v);
+  EXPECT_EQ(streamed.total_tuples, columnar.total_tuples);
+}
+
+TEST(CountingTest, CompactRemovesEmptyBuckets) {
+  const std::vector<double> values = {1.0, 30.0};
+  const std::vector<uint8_t> target = {1, 0};
+  const BucketBoundaries b =
+      BucketBoundaries::FromCutPoints({10.0, 20.0, 40.0});
+  BucketCounts counts = CountBuckets(values, target, b);
+  ASSERT_EQ(counts.num_buckets(), 4);
+  CompactEmptyBuckets(&counts);
+  ASSERT_EQ(counts.num_buckets(), 2);
+  EXPECT_EQ(counts.u[0], 1);
+  EXPECT_EQ(counts.v[0][0], 1);
+  EXPECT_DOUBLE_EQ(counts.min_value[1], 30.0);
+  EXPECT_EQ(counts.total_tuples, 2);
+}
+
+TEST(CountingTest, BucketSumsAccumulateTarget) {
+  const std::vector<double> values = {1.0, 2.0, 11.0, 12.0};
+  const std::vector<double> target = {10.0, 20.0, 5.0, 7.0};
+  const BucketBoundaries b = BucketBoundaries::FromCutPoints({10.0});
+  BucketSums sums = CountBucketSums(values, target, b);
+  EXPECT_EQ(sums.u[0], 2);
+  EXPECT_DOUBLE_EQ(sums.sum[0], 30.0);
+  EXPECT_EQ(sums.u[1], 2);
+  EXPECT_DOUBLE_EQ(sums.sum[1], 12.0);
+
+  // Compaction keeps parallel arrays aligned.
+  const BucketBoundaries b3 =
+      BucketBoundaries::FromCutPoints({10.0, 100.0});
+  BucketSums sparse = CountBucketSums({{5.0}}, {{2.5}}, b3);
+  CompactEmptyBuckets(&sparse);
+  ASSERT_EQ(sparse.num_buckets(), 1);
+  EXPECT_DOUBLE_EQ(sparse.sum[0], 2.5);
+}
+
+// ------------------------------------------------------------ parallel ----
+
+class ParallelCountTest : public testing::TestWithParam<int> {};
+
+TEST_P(ParallelCountTest, MatchesSerialForAnyThreadCount) {
+  const int threads = GetParam();
+  const std::vector<double> values = RandomValues(10007, 14);
+  Rng rng(15);
+  std::vector<uint8_t> t1(values.size());
+  for (auto& t : t1) t = rng.NextBernoulli(0.25) ? 1 : 0;
+  const BucketBoundaries b =
+      BucketBoundaries::FromCutPoints({100, 200, 300, 400, 500});
+  const std::vector<uint8_t>* targets[] = {&t1};
+  const BucketCounts serial = CountBuckets(values, targets, b);
+  const BucketCounts parallel =
+      ParallelCountBuckets(values, targets, b, threads);
+  EXPECT_EQ(parallel.u, serial.u);
+  EXPECT_EQ(parallel.v, serial.v);
+  EXPECT_EQ(parallel.total_tuples, serial.total_tuples);
+  for (int i = 0; i < serial.num_buckets(); ++i) {
+    EXPECT_DOUBLE_EQ(parallel.min_value[static_cast<size_t>(i)],
+                     serial.min_value[static_cast<size_t>(i)]);
+    EXPECT_DOUBLE_EQ(parallel.max_value[static_cast<size_t>(i)],
+                     serial.max_value[static_cast<size_t>(i)]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ParallelCountTest,
+                         testing::Values(1, 2, 3, 4, 8));
+
+// ------------------------------------------------- sort-based on disk ----
+
+TEST(SortBucketizerFileTest, NaiveAndVerticalSplitAgreeWithInMemory) {
+  // Build a small table on disk, bucketize it three ways, and require that
+  // all three boundary sets induce equal bucket counts.
+  storage::Relation relation(storage::Schema::Synthetic(2, 1));
+  Rng rng(16);
+  for (int i = 0; i < 20000; ++i) {
+    const double numeric[] = {rng.NextUniform(0, 1),
+                              rng.NextGaussian() * 10.0};
+    const uint8_t boolean[] = {0};
+    relation.AppendRow(numeric, boolean);
+  }
+  const std::string table = testing::TempDir() + "/bucketize.optr";
+  ASSERT_TRUE(storage::WriteRelationToFile(relation, table).ok());
+
+  const int kBuckets = 50;
+  const BucketBoundaries in_memory =
+      ExactEquiDepthBoundaries(relation.NumericColumn(1), kBuckets);
+  Result<BucketBoundaries> naive = NaiveSortBoundariesFromFile(
+      table, 1, kBuckets, testing::TempDir() + "/sorted.optr", 1 << 16,
+      testing::TempDir());
+  ASSERT_TRUE(naive.ok());
+  Result<BucketBoundaries> vertical = VerticalSplitSortBoundariesFromFile(
+      table, 1, kBuckets, testing::TempDir() + "/split.bin", 1 << 16,
+      testing::TempDir());
+  ASSERT_TRUE(vertical.ok());
+
+  auto depth_profile = [&](const BucketBoundaries& b) {
+    std::vector<int64_t> counts(static_cast<size_t>(b.num_buckets()), 0);
+    for (double v : relation.NumericColumn(1)) {
+      ++counts[static_cast<size_t>(b.Locate(v))];
+    }
+    return counts;
+  };
+  EXPECT_EQ(depth_profile(naive.value()), depth_profile(in_memory));
+  EXPECT_EQ(depth_profile(vertical.value()), depth_profile(in_memory));
+  std::remove(table.c_str());
+  std::remove((testing::TempDir() + "/sorted.optr").c_str());
+  std::remove((testing::TempDir() + "/split.bin").c_str());
+}
+
+TEST(SortBucketizerFileTest, RejectsBadAttribute) {
+  storage::Relation relation(storage::Schema::Synthetic(1, 1));
+  const double v = 1.0;
+  const uint8_t f = 0;
+  relation.AppendRow(std::span<const double>(&v, 1),
+                     std::span<const uint8_t>(&f, 1));
+  const std::string table = testing::TempDir() + "/one.optr";
+  ASSERT_TRUE(storage::WriteRelationToFile(relation, table).ok());
+  EXPECT_FALSE(NaiveSortBoundariesFromFile(table, 5, 10,
+                                           testing::TempDir() + "/x.optr",
+                                           1 << 16, testing::TempDir())
+                   .ok());
+  std::remove(table.c_str());
+}
+
+// -------------------------------------------------------- error bounds ----
+
+TEST(ErrorBoundsTest, TableOneRows) {
+  // Table I of the paper: support_opt = 30%, conf_opt = 70%.
+  struct Row {
+    int buckets;
+    double supp_lo, supp_hi, conf_lo, conf_hi;
+  };
+  // conf bounds: c*ms/(ms+2) and min(1, c*ms/(ms-2)).
+  const Row rows[] = {
+      {10, 0.10, 0.50, 0.42, 1.00},
+      {100, 0.28, 0.32, 0.65625, 0.75},
+      {500, 0.296, 0.304, 0.690789, 0.709459},
+      {1000, 0.298, 0.302, 0.695364, 0.704698},
+  };
+  for (const Row& row : rows) {
+    const ApproxErrorBounds b =
+        BucketApproximationBounds(0.30, 0.70, row.buckets);
+    EXPECT_NEAR(b.support_lo, row.supp_lo, 1e-9) << row.buckets;
+    EXPECT_NEAR(b.support_hi, row.supp_hi, 1e-9) << row.buckets;
+    EXPECT_NEAR(b.confidence_lo, row.conf_lo, 1e-4) << row.buckets;
+    EXPECT_NEAR(b.confidence_hi, row.conf_hi, 1e-4) << row.buckets;
+  }
+}
+
+TEST(ErrorBoundsTest, RelativeBoundsMatchPaperFormulas) {
+  EXPECT_NEAR(RelativeSupportErrorBound(0.3, 100), 2.0 / 30.0, 1e-12);
+  EXPECT_NEAR(RelativeConfidenceErrorBound(0.3, 100), 2.0 / 28.0, 1e-12);
+  EXPECT_TRUE(std::isinf(RelativeConfidenceErrorBound(0.3, 5)));
+}
+
+TEST(ErrorBoundsTest, BoundsShrinkWithMoreBuckets) {
+  double prev_width = 2.0;
+  for (int m : {10, 50, 100, 500, 1000}) {
+    const ApproxErrorBounds b = BucketApproximationBounds(0.30, 0.70, m);
+    const double width = b.confidence_hi - b.confidence_lo;
+    EXPECT_LT(width, prev_width);
+    prev_width = width;
+    EXPECT_LE(b.support_lo, 0.30);
+    EXPECT_GE(b.support_hi, 0.30);
+    EXPECT_LE(b.confidence_lo, 0.70);
+    EXPECT_GE(b.confidence_hi, 0.70);
+  }
+}
+
+}  // namespace
+}  // namespace optrules::bucketing

@@ -1,0 +1,262 @@
+// Unit tests for src/common: Rng, Ratio, binomial math, Status/Result.
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/binomial.h"
+#include "common/ratio.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace optrules {
+namespace {
+
+// ---------------------------------------------------------------- Rng ----
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next64(), b.Next64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next64() == b.Next64()) ++equal;
+  }
+  EXPECT_LT(equal, 4);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, NextBoundedStaysInBounds) {
+  Rng rng(11);
+  for (uint64_t bound : {1ULL, 2ULL, 3ULL, 17ULL, 1000ULL}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, NextBoundedCoversAllResidues) {
+  Rng rng(13);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.NextBounded(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, NextIntClosedRange) {
+  Rng rng(17);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t x = rng.NextInt(-3, 3);
+    EXPECT_GE(x, -3);
+    EXPECT_LE(x, 3);
+  }
+  // Degenerate single-point range.
+  EXPECT_EQ(rng.NextInt(5, 5), 5);
+}
+
+TEST(RngTest, UniformMeanApproximatelyCentered) {
+  Rng rng(19);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.NextUniform(10.0, 20.0);
+  EXPECT_NEAR(sum / n, 15.0, 0.05);
+}
+
+TEST(RngTest, GaussianMomentsApproximatelyStandard) {
+  Rng rng(23);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.NextGaussian();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.02);
+}
+
+TEST(RngTest, BernoulliRateMatchesProbability) {
+  Rng rng(29);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.NextBernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, JumpDecorrelatesStreams) {
+  Rng a(31);
+  Rng b(31);
+  b.Jump();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next64() == b.Next64()) ++equal;
+  }
+  EXPECT_LT(equal, 4);
+}
+
+// -------------------------------------------------------------- Ratio ----
+
+TEST(RatioTest, NormalizesOnConstruction) {
+  const Ratio r(6, 8);
+  EXPECT_EQ(r.num(), 3);
+  EXPECT_EQ(r.den(), 4);
+}
+
+TEST(RatioTest, FromDoubleIsExactForDyadics) {
+  EXPECT_EQ(Ratio::FromDouble(0.5), Ratio(1, 2));
+  EXPECT_EQ(Ratio::FromDouble(0.25), Ratio(1, 4));
+  EXPECT_EQ(Ratio::FromDouble(0.0), Ratio(0, 1));
+  EXPECT_EQ(Ratio::FromDouble(1.0), Ratio(1, 1));
+}
+
+TEST(RatioTest, FromDoubleApproximatesNonDyadics) {
+  const Ratio r = Ratio::FromDouble(0.3);
+  EXPECT_NEAR(r.ToDouble(), 0.3, 1e-9);
+}
+
+TEST(RatioTest, ExactComparisonAgainstFractions) {
+  const Ratio half(1, 2);
+  EXPECT_TRUE(half.LessOrEqualTo(1, 2));    // 1/2 >= 1/2
+  EXPECT_TRUE(half.LessOrEqualTo(2, 3));    // 2/3 >= 1/2
+  EXPECT_FALSE(half.LessOrEqualTo(1, 3));   // 1/3 < 1/2
+  EXPECT_TRUE(half.GreaterThan(49, 100));   // 0.49 < 1/2
+  EXPECT_FALSE(half.GreaterThan(50, 100));  // 0.50 >= 1/2
+}
+
+TEST(RatioTest, ExactComparisonAtLargeMagnitudes) {
+  // Would overflow int64 multiplication without 128-bit arithmetic.
+  const Ratio r(999999999, 1000000000);
+  EXPECT_TRUE(r.LessOrEqualTo(999999999, 1000000000));
+  EXPECT_FALSE(r.LessOrEqualTo(999999998, 1000000000));
+}
+
+TEST(RatioTest, Ordering) {
+  EXPECT_LT(Ratio(1, 3), Ratio(1, 2));
+  EXPECT_FALSE(Ratio(2, 4) < Ratio(1, 2));
+}
+
+// ----------------------------------------------------------- Binomial ----
+
+TEST(BinomialTest, LogFactorialSmallValues) {
+  EXPECT_NEAR(LogFactorial(0), 0.0, 1e-12);
+  EXPECT_NEAR(LogFactorial(1), 0.0, 1e-12);
+  EXPECT_NEAR(LogFactorial(5), std::log(120.0), 1e-9);
+}
+
+TEST(BinomialTest, PmfMatchesHandComputedValues) {
+  // Binomial(4, 0.5): pmf(2) = 6/16.
+  EXPECT_NEAR(BinomialPmf(4, 2, 0.5), 0.375, 1e-12);
+  // Binomial(10, 0.1): pmf(0) = 0.9^10.
+  EXPECT_NEAR(BinomialPmf(10, 0, 0.1), std::pow(0.9, 10), 1e-12);
+}
+
+TEST(BinomialTest, PmfDegenerateProbabilities) {
+  EXPECT_EQ(BinomialPmf(5, 0, 0.0), 1.0);
+  EXPECT_EQ(BinomialPmf(5, 3, 0.0), 0.0);
+  EXPECT_EQ(BinomialPmf(5, 5, 1.0), 1.0);
+  EXPECT_EQ(BinomialPmf(5, 4, 1.0), 0.0);
+}
+
+TEST(BinomialTest, CdfSumsToOne) {
+  EXPECT_NEAR(BinomialCdf(20, 20, 0.3), 1.0, 1e-12);
+  EXPECT_NEAR(BinomialCdf(20, 19, 1.0), 0.0, 1e-12);
+  EXPECT_EQ(BinomialCdf(20, -1, 0.3), 0.0);
+}
+
+TEST(BinomialTest, CdfMonotoneInK) {
+  double prev = -1.0;
+  for (int k = 0; k <= 50; ++k) {
+    const double c = BinomialCdf(50, k, 0.4);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+}
+
+TEST(BinomialTest, CdfStableForLargeN) {
+  // Mean = 40 for S/M = 40; cdf at the mean should be near 0.5ish and
+  // finite, even with n = 400000 trials.
+  const double c = BinomialCdf(400000, 40, 1.0 / 10000.0);
+  EXPECT_GT(c, 0.4);
+  EXPECT_LT(c, 0.65);
+}
+
+TEST(BinomialTest, DeviationProbabilityDecreasesWithSampleSize) {
+  const int64_t m = 10;
+  double prev = 1.0;
+  for (int64_t per_bucket : {5, 10, 20, 40, 80}) {
+    const double pe = BucketDeviationProbability(per_bucket * m, m, 0.5);
+    EXPECT_LE(pe, prev + 1e-9);
+    prev = pe;
+  }
+}
+
+TEST(BinomialTest, PaperOperatingPointBelowThirty) {
+  // The paper picks S = 40*M because pe < 0.30 there (Section 3.2) for
+  // every M they plot.
+  for (int64_t m : {5, 10, 10000}) {
+    EXPECT_LT(BucketDeviationProbability(40 * m, m, 0.5), 0.30)
+        << "M = " << m;
+  }
+}
+
+// ------------------------------------------------------------- Status ----
+
+TEST(StatusTest, DefaultIsOk) {
+  const Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  const Status s = Status::IoError("disk on fire");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+  EXPECT_EQ(s.message(), "disk on fire");
+  EXPECT_EQ(s.ToString(), "IoError: disk on fire");
+}
+
+TEST(StatusTest, Equality) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+}
+
+TEST(ResultTest, HoldsValue) {
+  const Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  const Result<int> r(Status::NotFound("missing"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::vector<int>> r(std::vector<int>{1, 2, 3});
+  const std::vector<int> v = std::move(r).value();
+  EXPECT_EQ(v.size(), 3u);
+}
+
+}  // namespace
+}  // namespace optrules

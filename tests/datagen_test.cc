@@ -1,0 +1,309 @@
+// Tests for the synthetic-data generators.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "datagen/bank.h"
+#include "datagen/correlation.h"
+#include "datagen/distributions.h"
+#include "datagen/retail.h"
+#include "datagen/table_generator.h"
+#include "storage/paged_file.h"
+
+namespace optrules::datagen {
+namespace {
+
+double Mean(const std::vector<double>& values) {
+  return std::accumulate(values.begin(), values.end(), 0.0) /
+         static_cast<double>(values.size());
+}
+
+std::vector<double> Draw(const Distribution& dist, int n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> out(static_cast<size_t>(n));
+  for (double& x : out) x = dist.Sample(rng);
+  return out;
+}
+
+TEST(DistributionsTest, UniformRangeAndMean) {
+  const UniformDistribution dist(2.0, 10.0);
+  const std::vector<double> xs = Draw(dist, 50000, 1);
+  for (double x : xs) {
+    EXPECT_GE(x, 2.0);
+    EXPECT_LT(x, 10.0);
+  }
+  EXPECT_NEAR(Mean(xs), 6.0, 0.05);
+}
+
+TEST(DistributionsTest, GaussianMoments) {
+  const GaussianDistribution dist(5.0, 2.0);
+  const std::vector<double> xs = Draw(dist, 100000, 2);
+  EXPECT_NEAR(Mean(xs), 5.0, 0.05);
+  double var = 0.0;
+  for (double x : xs) var += (x - 5.0) * (x - 5.0);
+  var /= static_cast<double>(xs.size());
+  EXPECT_NEAR(var, 4.0, 0.1);
+}
+
+TEST(DistributionsTest, ExponentialMeanIsInverseRate) {
+  const ExponentialDistribution dist(0.5);
+  const std::vector<double> xs = Draw(dist, 100000, 3);
+  for (double x : xs) EXPECT_GE(x, 0.0);
+  EXPECT_NEAR(Mean(xs), 2.0, 0.05);
+}
+
+TEST(DistributionsTest, LogNormalIsPositive) {
+  const LogNormalDistribution dist(0.0, 1.0);
+  const std::vector<double> xs = Draw(dist, 10000, 4);
+  for (double x : xs) EXPECT_GT(x, 0.0);
+  // Median of lognormal(0, 1) is 1.
+  std::vector<double> sorted = xs;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_NEAR(sorted[sorted.size() / 2], 1.0, 0.1);
+}
+
+TEST(DistributionsTest, ZipfRankFrequenciesDecrease) {
+  const ZipfDistribution dist(100, 1.0);
+  const std::vector<double> xs = Draw(dist, 200000, 5);
+  std::vector<int> hist(101, 0);
+  for (double x : xs) {
+    ASSERT_GE(x, 1.0);
+    ASSERT_LE(x, 100.0);
+    ++hist[static_cast<size_t>(x)];
+  }
+  // Rank 1 much more frequent than rank 10, which beats rank 100.
+  EXPECT_GT(hist[1], 5 * hist[10]);
+  EXPECT_GT(hist[10], 2 * hist[100]);
+}
+
+TEST(DistributionsTest, MixtureUsesAllComponents) {
+  std::vector<std::unique_ptr<Distribution>> components;
+  components.push_back(std::make_unique<UniformDistribution>(0.0, 1.0));
+  components.push_back(std::make_unique<UniformDistribution>(10.0, 11.0));
+  const MixtureDistribution dist(std::move(components), {0.5, 0.5});
+  const std::vector<double> xs = Draw(dist, 10000, 6);
+  int low = 0;
+  int high = 0;
+  for (double x : xs) {
+    if (x < 1.0) {
+      ++low;
+    } else {
+      ASSERT_GE(x, 10.0);
+      ++high;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(low) / xs.size(), 0.5, 0.03);
+  EXPECT_GT(high, 0);
+}
+
+TEST(DistributionsTest, MakeDistributionDispatch) {
+  Rng rng(7);
+  EXPECT_LE(MakeDistribution(DistSpec::Uniform(0, 1))->Sample(rng), 1.0);
+  EXPECT_GE(MakeDistribution(DistSpec::Exponential(1.0))->Sample(rng), 0.0);
+  EXPECT_GT(MakeDistribution(DistSpec::LogNormal(0, 1))->Sample(rng), 0.0);
+  EXPECT_GE(MakeDistribution(DistSpec::Zipf(10, 1.0))->Sample(rng), 1.0);
+  (void)MakeDistribution(DistSpec::Gaussian(0, 1))->Sample(rng);
+}
+
+// -------------------------------------------------------- correlation ----
+
+TEST(CorrelationTest, PlantedRuleShapesConditionalRates) {
+  storage::Relation relation(storage::Schema::Synthetic(1, 1));
+  Rng rng(8);
+  for (int i = 0; i < 50000; ++i) {
+    const double v = rng.NextUniform(0.0, 100.0);
+    const uint8_t b = 0;
+    relation.AppendRow(std::span<const double>(&v, 1),
+                       std::span<const uint8_t>(&b, 1));
+  }
+  PlantedRule rule;
+  rule.numeric_attr = 0;
+  rule.boolean_attr = 0;
+  rule.lo = 30.0;
+  rule.hi = 50.0;
+  rule.prob_inside = 0.8;
+  rule.prob_outside = 0.1;
+  ApplyPlantedRule(rule, rng, &relation);
+
+  const RangeStats inside = MeasureRange(relation, 0, 0, 30.0, 50.0);
+  EXPECT_NEAR(inside.support, 0.2, 0.01);
+  EXPECT_NEAR(inside.confidence, 0.8, 0.02);
+  const RangeStats whole_left = MeasureRange(relation, 0, 0, 0.0, 29.0);
+  EXPECT_NEAR(whole_left.confidence, 0.1, 0.02);
+}
+
+TEST(CorrelationTest, MeasureRangeOnEmptyRange) {
+  storage::Relation relation(storage::Schema::Synthetic(1, 1));
+  const RangeStats stats = MeasureRange(relation, 0, 0, 0.0, 1.0);
+  EXPECT_EQ(stats.tuples_in_range, 0);
+  EXPECT_EQ(stats.confidence, 0.0);
+}
+
+// ---------------------------------------------------- table generator ----
+
+TEST(TableGeneratorTest, PaperConfigShape) {
+  const TableConfig config = PaperSection61Config(1234);
+  Rng rng(9);
+  const storage::Relation relation = GenerateTable(config, rng);
+  EXPECT_EQ(relation.NumRows(), 1234);
+  EXPECT_EQ(relation.schema().num_numeric(), 8);
+  EXPECT_EQ(relation.schema().num_boolean(), 8);
+  EXPECT_EQ(relation.schema().RowBytes(), 72u);  // the paper's 72 B/tuple
+}
+
+TEST(TableGeneratorTest, PlantedRuleIsRecoverableByMeasurement) {
+  TableConfig config;
+  config.num_rows = 30000;
+  config.num_numeric = 2;
+  config.num_boolean = 2;
+  PlantedRule rule;
+  rule.numeric_attr = 1;
+  rule.boolean_attr = 0;
+  rule.lo = 250000.0;
+  rule.hi = 500000.0;
+  rule.prob_inside = 0.9;
+  rule.prob_outside = 0.05;
+  config.planted_rules.push_back(rule);
+  Rng rng(10);
+  const storage::Relation relation = GenerateTable(config, rng);
+  const RangeStats stats =
+      MeasureRange(relation, 1, 0, rule.lo, rule.hi);
+  EXPECT_NEAR(stats.confidence, 0.9, 0.02);
+  const RangeStats outside = MeasureRange(relation, 1, 0, 600000.0, 1e6);
+  EXPECT_NEAR(outside.confidence, 0.05, 0.02);
+}
+
+TEST(TableGeneratorTest, BaselineBooleanProbabilityRespected) {
+  TableConfig config;
+  config.num_rows = 50000;
+  config.num_numeric = 1;
+  config.num_boolean = 1;
+  config.boolean_probs = {0.75};
+  Rng rng(11);
+  const storage::Relation relation = GenerateTable(config, rng);
+  int64_t hits = 0;
+  for (uint8_t b : relation.BooleanColumn(0)) hits += b;
+  EXPECT_NEAR(static_cast<double>(hits) / 50000.0, 0.75, 0.01);
+}
+
+TEST(TableGeneratorTest, FileGenerationMatchesConfigShape) {
+  const std::string path = testing::TempDir() + "/gen_table.optr";
+  TableConfig config = PaperSection61Config(5000);
+  Rng rng(12);
+  ASSERT_TRUE(GenerateTableToFile(config, rng, path).ok());
+  Result<storage::PagedFileInfo> info = storage::ReadPagedFileInfo(path);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info.value().num_rows, 5000);
+  EXPECT_EQ(info.value().row_bytes, 72u);
+  std::remove(path.c_str());
+}
+
+TEST(TableGeneratorTest, SameSeedSameData) {
+  TableConfig config;
+  config.num_rows = 100;
+  config.num_numeric = 2;
+  config.num_boolean = 1;
+  Rng rng1(13);
+  Rng rng2(13);
+  const storage::Relation a = GenerateTable(config, rng1);
+  const storage::Relation b = GenerateTable(config, rng2);
+  for (int64_t row = 0; row < 100; ++row) {
+    EXPECT_DOUBLE_EQ(a.NumericValue(row, 0), b.NumericValue(row, 0));
+    EXPECT_EQ(a.BooleanValue(row, 0), b.BooleanValue(row, 0));
+  }
+}
+
+// --------------------------------------------------------- workloads ----
+
+TEST(BankTest, SchemaAndPlantedCardLoanBand) {
+  BankConfig config;
+  config.num_customers = 40000;
+  Rng rng(14);
+  const storage::Relation bank = GenerateBankCustomers(config, rng);
+  EXPECT_EQ(bank.NumRows(), 40000);
+  ASSERT_TRUE(bank.schema().NumericIndexOf("Balance").ok());
+  ASSERT_TRUE(bank.schema().BooleanIndexOf("CardLoan").ok());
+
+  const int balance = bank.schema().NumericIndexOf("Balance").value();
+  const int card_loan = bank.schema().BooleanIndexOf("CardLoan").value();
+  const RangeStats inside =
+      MeasureRange(bank, balance, card_loan, config.card_loan_range_lo,
+                   config.card_loan_range_hi);
+  EXPECT_GT(inside.tuples_in_range, 1000);
+  EXPECT_NEAR(inside.confidence, config.card_loan_prob_inside, 0.03);
+
+  // Ages clamped to a plausible band.
+  const int age = bank.schema().NumericIndexOf("Age").value();
+  for (double a : bank.NumericColumn(age)) {
+    EXPECT_GE(a, 18.0);
+    EXPECT_LE(a, 95.0);
+  }
+}
+
+TEST(BankTest, RichCheckingBandElevatesSavings) {
+  BankConfig config;
+  config.num_customers = 40000;
+  Rng rng(15);
+  const storage::Relation bank = GenerateBankCustomers(config, rng);
+  const int checking =
+      bank.schema().NumericIndexOf("CheckingAccount").value();
+  const int saving = bank.schema().NumericIndexOf("SavingAccount").value();
+  double in_sum = 0.0;
+  double out_sum = 0.0;
+  int64_t in_n = 0;
+  int64_t out_n = 0;
+  for (int64_t row = 0; row < bank.NumRows(); ++row) {
+    const double c = bank.NumericValue(row, checking);
+    const double s = bank.NumericValue(row, saving);
+    if (config.rich_checking_lo <= c && c <= config.rich_checking_hi) {
+      in_sum += s;
+      ++in_n;
+    } else {
+      out_sum += s;
+      ++out_n;
+    }
+  }
+  ASSERT_GT(in_n, 100);
+  ASSERT_GT(out_n, 100);
+  EXPECT_GT(in_sum / in_n, 1.5 * (out_sum / out_n));
+}
+
+TEST(RetailTest, SchemaAndPlantedAssociations) {
+  RetailConfig config;
+  config.num_transactions = 40000;
+  Rng rng(16);
+  const storage::Relation retail = GenerateRetail(config, rng);
+  EXPECT_EQ(retail.NumRows(), 40000);
+  const int spend = retail.schema().NumericIndexOf("TotalSpend").value();
+  const int coke = retail.schema().BooleanIndexOf("Coke").value();
+  const RangeStats snack = MeasureRange(
+      retail, spend, coke, config.snack_spend_lo, config.snack_spend_hi);
+  EXPECT_GT(snack.confidence, 0.45);
+
+  // Pizza & Coke lift Potato (the paper's Example 2.1 association).
+  const int pizza = retail.schema().BooleanIndexOf("Pizza").value();
+  const int potato = retail.schema().BooleanIndexOf("Potato").value();
+  int64_t both = 0;
+  int64_t both_potato = 0;
+  int64_t neither_potato = 0;
+  int64_t neither = 0;
+  for (int64_t row = 0; row < retail.NumRows(); ++row) {
+    if (retail.BooleanValue(row, pizza) && retail.BooleanValue(row, coke)) {
+      ++both;
+      if (retail.BooleanValue(row, potato)) ++both_potato;
+    } else {
+      ++neither;
+      if (retail.BooleanValue(row, potato)) ++neither_potato;
+    }
+  }
+  ASSERT_GT(both, 100);
+  EXPECT_GT(static_cast<double>(both_potato) / both,
+            2.0 * static_cast<double>(neither_potato) / neither);
+}
+
+}  // namespace
+}  // namespace optrules::datagen

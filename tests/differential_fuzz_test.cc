@@ -1,0 +1,169 @@
+// Differential fuzzing of the O(M) optimizers against the exhaustive
+// oracles, over adversarial bucket-array families where ties and
+// degenerate hulls are common: unit buckets, constant confidence,
+// monotone ramps, alternating blocks, plateau-heavy arrays, and wide
+// random mixes. This is the library's central correctness argument, so it
+// gets its own deep sweep beyond the per-module property tests.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/ratio.h"
+#include "common/rng.h"
+#include "rules/naive.h"
+#include "rules/optimized_confidence.h"
+#include "rules/optimized_support.h"
+
+namespace optrules::rules {
+namespace {
+
+struct Instance {
+  std::vector<int64_t> u;
+  std::vector<int64_t> v;
+  int64_t total = 0;
+};
+
+enum class Family {
+  kUnitBuckets,    // u_i = 1, v_i in {0, 1}: maximal tie density
+  kConstantRate,   // v_i proportional to u_i: every range same confidence
+  kMonotoneRamp,   // confidence ramps up across buckets
+  kAlternating,    // blocks of all-hit / all-miss buckets
+  kPlateaus,       // long runs of identical (u, v) pairs
+  kRandomWide,     // u_i in [1, 1000], v_i uniform
+};
+
+Instance MakeInstance(Family family, int m, Rng& rng) {
+  Instance instance;
+  instance.u.resize(static_cast<size_t>(m));
+  instance.v.resize(static_cast<size_t>(m));
+  int64_t plateau_u = 1;
+  int64_t plateau_v = 0;
+  for (int i = 0; i < m; ++i) {
+    int64_t u = 1;
+    int64_t v = 0;
+    switch (family) {
+      case Family::kUnitBuckets:
+        u = 1;
+        v = rng.NextBernoulli(0.5) ? 1 : 0;
+        break;
+      case Family::kConstantRate:
+        u = rng.NextInt(1, 6) * 2;
+        v = u / 2;  // exactly 50% everywhere
+        break;
+      case Family::kMonotoneRamp:
+        u = 10;
+        v = (10 * i) / (m > 1 ? m - 1 : 1);
+        break;
+      case Family::kAlternating: {
+        const bool hot = (i / 3) % 2 == 0;
+        u = rng.NextInt(1, 5);
+        v = hot ? u : 0;
+        break;
+      }
+      case Family::kPlateaus:
+        if (i % 7 == 0) {
+          plateau_u = rng.NextInt(1, 8);
+          plateau_v = rng.NextInt(0, plateau_u);
+        }
+        u = plateau_u;
+        v = plateau_v;
+        break;
+      case Family::kRandomWide:
+        u = rng.NextInt(1, 1000);
+        v = rng.NextInt(0, u);
+        break;
+    }
+    instance.u[static_cast<size_t>(i)] = u;
+    instance.v[static_cast<size_t>(i)] = v;
+    instance.total += u;
+  }
+  return instance;
+}
+
+bool SameConfidence(int64_t h1, int64_t s1, int64_t h2, int64_t s2) {
+  return static_cast<__int128>(h1) * s2 == static_cast<__int128>(h2) * s1;
+}
+
+class DifferentialFuzzTest : public testing::TestWithParam<Family> {};
+
+TEST_P(DifferentialFuzzTest, OptimizedConfidenceAgreesWithOracle) {
+  const Family family = GetParam();
+  Rng rng(static_cast<uint64_t>(family) * 1000 + 17);
+  for (int round = 0; round < 120; ++round) {
+    const int m = 1 + static_cast<int>(rng.NextBounded(60));
+    const Instance instance = MakeInstance(family, m, rng);
+    // Support thresholds spanning trivial to infeasible.
+    const int64_t min_support =
+        rng.NextInt(0, instance.total + 2);
+    const RangeRule fast = OptimizedConfidenceRule(
+        instance.u, instance.v, instance.total, min_support);
+    const RangeRule naive = NaiveOptimizedConfidenceRule(
+        instance.u, instance.v, instance.total, min_support);
+    ASSERT_EQ(fast.found, naive.found)
+        << "family " << static_cast<int>(family) << " round " << round;
+    if (!fast.found) continue;
+    ASSERT_TRUE(SameConfidence(fast.hit_count, fast.support_count,
+                               naive.hit_count, naive.support_count))
+        << "family " << static_cast<int>(family) << " round " << round
+        << " m " << m << " minsup " << min_support;
+    ASSERT_EQ(fast.support_count, naive.support_count)
+        << "family " << static_cast<int>(family) << " round " << round;
+  }
+}
+
+TEST_P(DifferentialFuzzTest, OptimizedSupportAgreesWithOracle) {
+  const Family family = GetParam();
+  Rng rng(static_cast<uint64_t>(family) * 1000 + 71);
+  const Ratio thresholds[] = {Ratio(0, 1),   Ratio(1, 10), Ratio(1, 3),
+                              Ratio(1, 2),   Ratio(2, 3),  Ratio(9, 10),
+                              Ratio(1, 1)};
+  for (int round = 0; round < 120; ++round) {
+    const int m = 1 + static_cast<int>(rng.NextBounded(60));
+    const Instance instance = MakeInstance(family, m, rng);
+    const Ratio theta =
+        thresholds[rng.NextBounded(std::size(thresholds))];
+    const RangeRule fast = OptimizedSupportRule(instance.u, instance.v,
+                                                instance.total, theta);
+    const RangeRule naive = NaiveOptimizedSupportRule(
+        instance.u, instance.v, instance.total, theta);
+    ASSERT_EQ(fast.found, naive.found)
+        << "family " << static_cast<int>(family) << " round " << round;
+    if (!fast.found) continue;
+    ASSERT_EQ(fast.support_count, naive.support_count)
+        << "family " << static_cast<int>(family) << " round " << round
+        << " m " << m << " theta " << theta.ToString();
+    ASSERT_TRUE(theta.LessOrEqualTo(fast.hit_count, fast.support_count));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, DifferentialFuzzTest,
+    testing::Values(Family::kUnitBuckets, Family::kConstantRate,
+                    Family::kMonotoneRamp, Family::kAlternating,
+                    Family::kPlateaus, Family::kRandomWide));
+
+// Cross-invariant: the two optimized rules bound each other. If the
+// optimized-confidence rule at min support S has confidence C, then the
+// optimized-support rule at threshold C has support >= S.
+TEST(DifferentialFuzzTest, DualityBetweenTheTwoOptimizations) {
+  Rng rng(4242);
+  for (int round = 0; round < 200; ++round) {
+    const int m = 2 + static_cast<int>(rng.NextBounded(40));
+    const Instance instance = MakeInstance(Family::kRandomWide, m, rng);
+    const int64_t min_support = 1 + rng.NextInt(0, instance.total - 1);
+    const RangeRule conf_rule = OptimizedConfidenceRule(
+        instance.u, instance.v, instance.total, min_support);
+    if (!conf_rule.found || conf_rule.support_count == 0) continue;
+    const Ratio achieved(conf_rule.hit_count, conf_rule.support_count);
+    const RangeRule supp_rule = OptimizedSupportRule(
+        instance.u, instance.v, instance.total, achieved);
+    ASSERT_TRUE(supp_rule.found) << "round " << round;
+    EXPECT_GE(supp_rule.support_count, min_support) << "round " << round;
+    EXPECT_GE(supp_rule.support_count, conf_rule.support_count)
+        << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace optrules::rules

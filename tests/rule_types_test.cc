@@ -1,0 +1,135 @@
+// Tests for the shared rule types/helpers and the minimized-confidence
+// variant.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "rules/naive.h"
+#include "rules/optimized_confidence.h"
+#include "rules/rule.h"
+
+namespace optrules::rules {
+namespace {
+
+TEST(MinSupportCountTest, CeilSemantics) {
+  EXPECT_EQ(MinSupportCount(100, 0.05), 5);
+  EXPECT_EQ(MinSupportCount(100, 0.051), 6);  // rounds up
+  EXPECT_EQ(MinSupportCount(100, 0.0), 0);
+  EXPECT_EQ(MinSupportCount(100, 1.0), 100);
+  EXPECT_EQ(MinSupportCount(0, 0.5), 0);
+  EXPECT_EQ(MinSupportCount(3, 0.5), 2);  // ceil(1.5)
+}
+
+TEST(MakeRangeRuleTest, ComputesStats) {
+  const std::vector<int64_t> u = {10, 20, 30};
+  const std::vector<int64_t> v = {1, 2, 3};
+  const RangeRule rule = MakeRangeRule(u, v, 100, 1, 2);
+  EXPECT_TRUE(rule.found);
+  EXPECT_EQ(rule.support_count, 50);
+  EXPECT_EQ(rule.hit_count, 5);
+  EXPECT_DOUBLE_EQ(rule.support, 0.5);
+  EXPECT_DOUBLE_EQ(rule.confidence, 0.1);
+}
+
+TEST(MakeRangeAggregateTest, ComputesAverage) {
+  const std::vector<int64_t> u = {4, 6};
+  const std::vector<double> v = {8.0, 12.0};
+  const RangeAggregate aggregate = MakeRangeAggregate(u, v, 0, 1);
+  EXPECT_TRUE(aggregate.found);
+  EXPECT_EQ(aggregate.support_count, 10);
+  EXPECT_DOUBLE_EQ(aggregate.sum, 20.0);
+  EXPECT_DOUBLE_EQ(aggregate.average, 2.0);
+}
+
+TEST(MinimizedConfidenceTest, PicksColdCluster) {
+  // Middle buckets almost never meet C.
+  const std::vector<int64_t> u = {10, 10, 10, 10};
+  const std::vector<int64_t> v = {9, 1, 0, 8};
+  const RangeRule rule = MinimizedConfidenceRule(u, v, 40, 20);
+  ASSERT_TRUE(rule.found);
+  EXPECT_EQ(rule.s, 1);
+  EXPECT_EQ(rule.t, 2);
+  EXPECT_DOUBLE_EQ(rule.confidence, 0.05);
+  EXPECT_EQ(rule.support_count, 20);
+}
+
+TEST(MinimizedConfidenceTest, InfeasibleSupport) {
+  const std::vector<int64_t> u = {5};
+  const std::vector<int64_t> v = {1};
+  EXPECT_FALSE(MinimizedConfidenceRule(u, v, 5, 6).found);
+}
+
+TEST(MinimizedConfidenceTest, MatchesNaiveMinimumOverRandomInstances) {
+  for (uint64_t seed = 1; seed <= 40; ++seed) {
+    Rng rng(seed);
+    const int m = 2 + static_cast<int>(rng.NextBounded(40));
+    std::vector<int64_t> u(static_cast<size_t>(m));
+    std::vector<int64_t> v(static_cast<size_t>(m));
+    int64_t total = 0;
+    for (int i = 0; i < m; ++i) {
+      u[static_cast<size_t>(i)] = rng.NextInt(1, 8);
+      v[static_cast<size_t>(i)] = rng.NextInt(0, u[static_cast<size_t>(i)]);
+      total += u[static_cast<size_t>(i)];
+    }
+    const int64_t min_support = 1 + rng.NextInt(0, total - 1);
+    const RangeRule fast =
+        MinimizedConfidenceRule(u, v, total, min_support);
+
+    // Naive minimum-confidence oracle.
+    bool found = false;
+    int64_t best_hits = 0;
+    int64_t best_support = 0;
+    for (int s = 0; s < m; ++s) {
+      int64_t support = 0;
+      int64_t hits = 0;
+      for (int t = s; t < m; ++t) {
+        support += u[static_cast<size_t>(t)];
+        hits += v[static_cast<size_t>(t)];
+        if (support < min_support) continue;
+        const __int128 lhs = static_cast<__int128>(hits) * best_support;
+        const __int128 rhs = static_cast<__int128>(best_hits) * support;
+        if (!found || lhs < rhs ||
+            (lhs == rhs && support > best_support)) {
+          found = true;
+          best_hits = hits;
+          best_support = support;
+        }
+      }
+    }
+    ASSERT_EQ(fast.found, found) << "seed " << seed;
+    if (!found) continue;
+    EXPECT_EQ(static_cast<__int128>(fast.hit_count) * best_support,
+              static_cast<__int128>(best_hits) * fast.support_count)
+        << "seed " << seed;
+    EXPECT_EQ(fast.support_count, best_support) << "seed " << seed;
+  }
+}
+
+TEST(MinimizedConfidenceTest, DualOfMaximized) {
+  // On complemented hits, min-confidence of v equals 1 - max-confidence
+  // of (u - v) over the same range family.
+  Rng rng(99);
+  const int m = 20;
+  std::vector<int64_t> u(m);
+  std::vector<int64_t> v(m);
+  std::vector<int64_t> complement(m);
+  int64_t total = 0;
+  for (int i = 0; i < m; ++i) {
+    u[static_cast<size_t>(i)] = rng.NextInt(1, 10);
+    v[static_cast<size_t>(i)] = rng.NextInt(0, u[static_cast<size_t>(i)]);
+    complement[static_cast<size_t>(i)] =
+        u[static_cast<size_t>(i)] - v[static_cast<size_t>(i)];
+    total += u[static_cast<size_t>(i)];
+  }
+  const RangeRule minimized = MinimizedConfidenceRule(u, v, total, 10);
+  const RangeRule maximized =
+      OptimizedConfidenceRule(u, complement, total, 10);
+  ASSERT_TRUE(minimized.found);
+  ASSERT_TRUE(maximized.found);
+  EXPECT_NEAR(minimized.confidence, 1.0 - maximized.confidence, 1e-12);
+}
+
+}  // namespace
+}  // namespace optrules::rules

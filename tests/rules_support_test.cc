@@ -1,0 +1,230 @@
+// Tests for the optimized-support algorithm (Algorithms 4.3/4.4) and the
+// Kadane max-gain baseline.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "rules/kadane.h"
+#include "rules/naive.h"
+#include "rules/optimized_support.h"
+
+namespace optrules::rules {
+namespace {
+
+struct Instance {
+  std::vector<int64_t> u;
+  std::vector<int64_t> v;
+  int64_t total = 0;
+};
+
+Instance RandomInstance(int m, int64_t max_u, uint64_t seed) {
+  Rng rng(seed);
+  Instance instance;
+  instance.u.resize(static_cast<size_t>(m));
+  instance.v.resize(static_cast<size_t>(m));
+  for (int i = 0; i < m; ++i) {
+    instance.u[static_cast<size_t>(i)] = rng.NextInt(1, max_u);
+    instance.v[static_cast<size_t>(i)] =
+        rng.NextInt(0, instance.u[static_cast<size_t>(i)]);
+    instance.total += instance.u[static_cast<size_t>(i)];
+  }
+  return instance;
+}
+
+TEST(OptimizedSupportTest, SingleBucketAboveThreshold) {
+  const std::vector<int64_t> u = {10};
+  const std::vector<int64_t> v = {6};
+  const RangeRule rule = OptimizedSupportRule(u, v, 10, Ratio(1, 2));
+  ASSERT_TRUE(rule.found);
+  EXPECT_EQ(rule.support_count, 10);
+}
+
+TEST(OptimizedSupportTest, SingleBucketBelowThreshold) {
+  const std::vector<int64_t> u = {10};
+  const std::vector<int64_t> v = {4};
+  EXPECT_FALSE(OptimizedSupportRule(u, v, 10, Ratio(1, 2)).found);
+}
+
+TEST(OptimizedSupportTest, WidensAcrossLowBucketWhenStillConfident) {
+  // The middle bucket alone is below threshold, but the full range is
+  // confident and has maximal support: (8+2+8)/(10+10+10) = 0.6 >= 0.5.
+  const std::vector<int64_t> u = {10, 10, 10};
+  const std::vector<int64_t> v = {8, 2, 8};
+  const RangeRule rule = OptimizedSupportRule(u, v, 30, Ratio(1, 2));
+  ASSERT_TRUE(rule.found);
+  EXPECT_EQ(rule.s, 0);
+  EXPECT_EQ(rule.t, 2);
+  EXPECT_EQ(rule.support_count, 30);
+}
+
+TEST(OptimizedSupportTest, ExactThresholdBoundaryIsConfident) {
+  // Exactly 50%: must count as confident (>=, not >).
+  const std::vector<int64_t> u = {4, 4};
+  const std::vector<int64_t> v = {2, 2};
+  const RangeRule rule = OptimizedSupportRule(u, v, 8, Ratio(1, 2));
+  ASSERT_TRUE(rule.found);
+  EXPECT_EQ(rule.support_count, 8);
+  EXPECT_DOUBLE_EQ(rule.confidence, 0.5);
+}
+
+TEST(OptimizedSupportTest, NoConfidentRange) {
+  const std::vector<int64_t> u = {10, 10};
+  const std::vector<int64_t> v = {1, 2};
+  EXPECT_FALSE(OptimizedSupportRule(u, v, 20, Ratio(9, 10)).found);
+}
+
+TEST(OptimizedSupportTest, ZeroThresholdTakesWholeDomain) {
+  const std::vector<int64_t> u = {3, 3, 3};
+  const std::vector<int64_t> v = {0, 0, 0};
+  const RangeRule rule = OptimizedSupportRule(u, v, 9, Ratio(0, 1));
+  ASSERT_TRUE(rule.found);
+  EXPECT_EQ(rule.support_count, 9);
+}
+
+TEST(OptimizedSupportTest, EmptyInput) {
+  EXPECT_FALSE(OptimizedSupportRule({}, {}, 0, Ratio(1, 2)).found);
+}
+
+struct PropertyCase {
+  int m;
+  int64_t max_u;
+  Ratio threshold;
+  uint64_t seed_base;
+};
+
+class SupportPropertyTest : public testing::TestWithParam<PropertyCase> {};
+
+TEST_P(SupportPropertyTest, MatchesNaiveOracle) {
+  const PropertyCase& param = GetParam();
+  for (uint64_t seed = param.seed_base; seed < param.seed_base + 25;
+       ++seed) {
+    const Instance instance = RandomInstance(param.m, param.max_u, seed);
+    const RangeRule fast = OptimizedSupportRule(
+        instance.u, instance.v, instance.total, param.threshold);
+    const RangeRule naive = NaiveOptimizedSupportRule(
+        instance.u, instance.v, instance.total, param.threshold);
+    ASSERT_EQ(fast.found, naive.found) << "seed " << seed;
+    if (!fast.found) continue;
+    EXPECT_EQ(fast.support_count, naive.support_count)
+        << "seed " << seed << " fast " << fast.s << ".." << fast.t
+        << " naive " << naive.s << ".." << naive.t;
+    // Returned range must really be confident (exact rational check).
+    EXPECT_TRUE(
+        param.threshold.LessOrEqualTo(fast.hit_count, fast.support_count))
+        << "seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SupportPropertyTest,
+    testing::Values(PropertyCase{1, 5, Ratio(1, 2), 100},
+                    PropertyCase{2, 5, Ratio(1, 2), 200},
+                    PropertyCase{3, 4, Ratio(2, 3), 300},
+                    PropertyCase{8, 6, Ratio(1, 2), 400},
+                    PropertyCase{20, 10, Ratio(3, 10), 500},
+                    PropertyCase{50, 20, Ratio(7, 10), 600},
+                    PropertyCase{120, 3, Ratio(1, 2), 700},
+                    PropertyCase{200, 50, Ratio(9, 10), 800},
+                    PropertyCase{200, 50, Ratio(1, 10), 900},
+                    PropertyCase{33, 1, Ratio(1, 2), 1000},
+                    PropertyCase{64, 8, Ratio(499, 1000), 1100}));
+
+// ------------------------------------------------------------- Kadane ----
+
+TEST(KadaneTest, FindsMaxGainSubarray) {
+  // Gains with theta = 1/2 and u = 2 everywhere: g_i = 2*v_i - u_i.
+  // v = {0, 2, 2, 0, 1} -> g = {-2, 2, 2, -2, 0}; best sum = buckets 1..2.
+  const std::vector<int64_t> u = {2, 2, 2, 2, 2};
+  const std::vector<int64_t> v = {0, 2, 2, 0, 1};
+  const GainRange range = MaxGainRange(u, v, Ratio(1, 2));
+  ASSERT_TRUE(range.found);
+  EXPECT_EQ(range.s, 1);
+  EXPECT_EQ(range.t, 2);
+  EXPECT_DOUBLE_EQ(range.gain, 4.0);
+}
+
+TEST(KadaneTest, AllNegativePicksLeastBad) {
+  const std::vector<int64_t> u = {10, 10};
+  const std::vector<int64_t> v = {1, 3};
+  const GainRange range = MaxGainRange(u, v, Ratio(1, 2));
+  ASSERT_TRUE(range.found);
+  EXPECT_EQ(range.s, 1);
+  EXPECT_EQ(range.t, 1);
+  EXPECT_DOUBLE_EQ(range.gain, 2.0 * 3 - 10.0);
+}
+
+TEST(KadaneTest, EmptyInput) {
+  EXPECT_FALSE(MaxGainRange({}, {}, Ratio(1, 2)).found);
+}
+
+TEST(KadaneTest, MatchesBruteForceGain) {
+  for (uint64_t seed = 1; seed <= 30; ++seed) {
+    const Instance instance = RandomInstance(40, 8, seed);
+    const Ratio theta(1, 2);
+    const GainRange fast = MaxGainRange(instance.u, instance.v, theta);
+    // Brute force max-gain.
+    double best = -1e300;
+    for (size_t s = 0; s < instance.u.size(); ++s) {
+      double gain = 0.0;
+      for (size_t t = s; t < instance.u.size(); ++t) {
+        gain += 2.0 * static_cast<double>(instance.v[t]) -
+                static_cast<double>(instance.u[t]);
+        best = std::max(best, gain);
+      }
+    }
+    ASSERT_TRUE(fast.found);
+    EXPECT_DOUBLE_EQ(fast.gain, best) << "seed " << seed;
+  }
+}
+
+// The paper's Section 4.2 remark: Kadane's maximum-gain range is not the
+// optimized-support rule, because a confident superset with smaller gain
+// can have more support.
+TEST(KadaneTest, MaxGainIsNotOptimizedSupport) {
+  // theta = 1/2. Bucket gains g = 2v - u:
+  //   u = {2, 10, 2},  v = {2, 5, 0}  ->  g = {+2, 0, -4}.
+  // Kadane picks [0,0] (gain 2; ties do not extend it). But the whole
+  // domain [0,2] has conf 7/14 = 1/2 >= theta and support 14.
+  const std::vector<int64_t> u = {2, 10, 2};
+  const std::vector<int64_t> v = {2, 5, 0};
+  const Ratio theta(1, 2);
+  const GainRange kadane = MaxGainRange(u, v, theta);
+  const RangeRule support = NaiveOptimizedSupportRule(u, v, 14, theta);
+  ASSERT_TRUE(kadane.found);
+  ASSERT_TRUE(support.found);
+  EXPECT_EQ(support.support_count, 14);
+  // Kadane's range has strictly less support than the optimized rule.
+  int64_t kadane_support = 0;
+  for (int i = kadane.s; i <= kadane.t; ++i) {
+    kadane_support += u[static_cast<size_t>(i)];
+  }
+  EXPECT_LT(kadane_support, support.support_count);
+}
+
+// Randomized: Kadane's range never has more support than the
+// optimized-support rule among confident ranges (when its range is
+// confident at all), and is frequently strictly smaller.
+TEST(KadaneTest, NeverBeatsOptimizedSupport) {
+  int strictly_smaller = 0;
+  for (uint64_t seed = 100; seed < 200; ++seed) {
+    const Instance instance = RandomInstance(30, 10, seed);
+    const Ratio theta(1, 2);
+    const RangeRule support = OptimizedSupportRule(
+        instance.u, instance.v, instance.total, theta);
+    const GainRange kadane =
+        MaxGainRange(instance.u, instance.v, theta);
+    if (!support.found || !kadane.found) continue;
+    int64_t kadane_support = 0;
+    for (int i = kadane.s; i <= kadane.t; ++i) {
+      kadane_support += instance.u[static_cast<size_t>(i)];
+    }
+    EXPECT_LE(kadane_support, support.support_count) << "seed " << seed;
+    if (kadane_support < support.support_count) ++strictly_smaller;
+  }
+  EXPECT_GT(strictly_smaller, 10);
+}
+
+}  // namespace
+}  // namespace optrules::rules

@@ -1,0 +1,295 @@
+// Tests for PagedFile, tuple streams, and the external merge sort.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "storage/external_sort.h"
+#include "storage/paged_file.h"
+#include "storage/tuple_stream.h"
+
+namespace optrules::storage {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+Relation RandomRelation(int64_t rows, int num_numeric, int num_boolean,
+                        uint64_t seed) {
+  Relation r(Schema::Synthetic(num_numeric, num_boolean));
+  Rng rng(seed);
+  std::vector<double> numeric(static_cast<size_t>(num_numeric));
+  std::vector<uint8_t> boolean(static_cast<size_t>(num_boolean));
+  for (int64_t i = 0; i < rows; ++i) {
+    for (auto& x : numeric) x = rng.NextUniform(-100.0, 100.0);
+    for (auto& b : boolean) b = rng.NextBernoulli(0.4) ? 1 : 0;
+    r.AppendRow(numeric, boolean);
+  }
+  return r;
+}
+
+TEST(PagedFileTest, RoundTrip) {
+  const std::string path = TempPath("roundtrip.optr");
+  const Relation original = RandomRelation(257, 3, 2, 1);
+  ASSERT_TRUE(WriteRelationToFile(original, path).ok());
+
+  Result<PagedFileInfo> info = ReadPagedFileInfo(path);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info.value().num_numeric, 3);
+  EXPECT_EQ(info.value().num_boolean, 2);
+  EXPECT_EQ(info.value().num_rows, 257);
+  EXPECT_EQ(info.value().row_bytes, 26u);
+
+  Result<Relation> loaded =
+      ReadRelationFromFile(path, Schema::Synthetic(3, 2));
+  ASSERT_TRUE(loaded.ok());
+  const Relation& r = loaded.value();
+  ASSERT_EQ(r.NumRows(), original.NumRows());
+  for (int64_t row = 0; row < r.NumRows(); ++row) {
+    for (int c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(r.NumericValue(row, c),
+                       original.NumericValue(row, c));
+    }
+    for (int c = 0; c < 2; ++c) {
+      EXPECT_EQ(r.BooleanValue(row, c), original.BooleanValue(row, c));
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(PagedFileTest, EmptyTableRoundTrip) {
+  const std::string path = TempPath("empty.optr");
+  ASSERT_TRUE(
+      WriteRelationToFile(Relation(Schema::Synthetic(1, 1)), path).ok());
+  Result<Relation> loaded =
+      ReadRelationFromFile(path, Schema::Synthetic(1, 1));
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().NumRows(), 0);
+  std::remove(path.c_str());
+}
+
+TEST(PagedFileTest, SchemaMismatchRejected) {
+  const std::string path = TempPath("mismatch.optr");
+  ASSERT_TRUE(WriteRelationToFile(RandomRelation(5, 2, 1, 2), path).ok());
+  EXPECT_EQ(
+      ReadRelationFromFile(path, Schema::Synthetic(1, 1)).status().code(),
+      StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(PagedFileTest, BadMagicIsCorruption) {
+  const std::string path = TempPath("badmagic.optr");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  const char junk[64] = "this is not a paged file at all.................";
+  std::fwrite(junk, 1, sizeof(junk), f);
+  std::fclose(f);
+  EXPECT_EQ(ReadPagedFileInfo(path).status().code(),
+            StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(PagedFileTest, ShortHeaderIsCorruption) {
+  const std::string path = TempPath("short.optr");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  std::fwrite("OPTR", 1, 4, f);
+  std::fclose(f);
+  EXPECT_EQ(ReadPagedFileInfo(path).status().code(),
+            StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(PagedFileTest, MissingFileIsIoError) {
+  EXPECT_EQ(ReadPagedFileInfo("/no/such/file.optr").status().code(),
+            StatusCode::kIoError);
+}
+
+TEST(PagedFileTest, InvalidAttributeCountsRejected) {
+  EXPECT_FALSE(
+      PagedFileWriter::Create(TempPath("zero.optr"), 0, 0).ok());
+}
+
+TEST(TupleStreamTest, RelationStreamYieldsAllTuples) {
+  const Relation relation = RandomRelation(100, 2, 3, 3);
+  RelationTupleStream stream(&relation);
+  EXPECT_EQ(stream.NumTuples(), 100);
+  EXPECT_EQ(stream.num_numeric(), 2);
+  EXPECT_EQ(stream.num_boolean(), 3);
+  TupleView view;
+  int64_t count = 0;
+  while (stream.Next(&view)) {
+    EXPECT_DOUBLE_EQ(view.numeric[0], relation.NumericValue(count, 0));
+    EXPECT_EQ(view.booleans[2] != 0, relation.BooleanValue(count, 2));
+    ++count;
+  }
+  EXPECT_EQ(count, 100);
+}
+
+TEST(TupleStreamTest, ResetRewinds) {
+  const Relation relation = RandomRelation(10, 1, 1, 4);
+  RelationTupleStream stream(&relation);
+  TupleView view;
+  while (stream.Next(&view)) {
+  }
+  EXPECT_FALSE(stream.Next(&view));
+  stream.Reset();
+  int64_t count = 0;
+  while (stream.Next(&view)) ++count;
+  EXPECT_EQ(count, 10);
+}
+
+TEST(TupleStreamTest, FileStreamMatchesRelationStream) {
+  const std::string path = TempPath("stream.optr");
+  const Relation relation = RandomRelation(1000, 4, 2, 5);
+  ASSERT_TRUE(WriteRelationToFile(relation, path).ok());
+
+  // Use a small page size so multiple page refills are exercised.
+  Result<std::unique_ptr<FileTupleStream>> file_or =
+      FileTupleStream::Open(path, /*buffer_rows=*/64);
+  ASSERT_TRUE(file_or.ok());
+  FileTupleStream& file_stream = *file_or.value();
+  RelationTupleStream memory_stream(&relation);
+
+  EXPECT_EQ(file_stream.NumTuples(), memory_stream.NumTuples());
+  TupleView file_view;
+  TupleView memory_view;
+  while (memory_stream.Next(&memory_view)) {
+    ASSERT_TRUE(file_stream.Next(&file_view));
+    for (int c = 0; c < 4; ++c) {
+      EXPECT_DOUBLE_EQ(file_view.numeric[c], memory_view.numeric[c]);
+    }
+    for (int c = 0; c < 2; ++c) {
+      EXPECT_EQ(file_view.booleans[c], memory_view.booleans[c]);
+    }
+  }
+  EXPECT_FALSE(file_stream.Next(&file_view));
+
+  file_stream.Reset();
+  int64_t count = 0;
+  while (file_stream.Next(&file_view)) ++count;
+  EXPECT_EQ(count, 1000);
+  std::remove(path.c_str());
+}
+
+TEST(TupleStreamTest, OpenRejectsBadBufferRows) {
+  EXPECT_FALSE(FileTupleStream::Open("/dev/null", 0).ok());
+}
+
+// ------------------------------------------------------ external sort ----
+
+struct ExternalSortCase {
+  int64_t rows;
+  size_t memory_budget;
+  uint64_t seed;
+};
+
+class ExternalSortTest : public testing::TestWithParam<ExternalSortCase> {};
+
+TEST_P(ExternalSortTest, SortsByKeyAttribute) {
+  const ExternalSortCase& param = GetParam();
+  const std::string input = TempPath("sort_in.optr");
+  const std::string output = TempPath("sort_out.optr");
+  const Relation relation = RandomRelation(param.rows, 2, 1, param.seed);
+  ASSERT_TRUE(WriteRelationToFile(relation, input).ok());
+
+  ExternalSortOptions options;
+  options.record_bytes = relation.schema().RowBytes();
+  options.key_offset = sizeof(double);  // sort by numeric attribute 1
+  options.header_bytes = kPagedFileHeaderBytes;
+  options.memory_budget_bytes = param.memory_budget;
+  options.temp_dir = testing::TempDir();
+  Result<ExternalSortStats> stats = ExternalSort(input, output, options);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().num_records, param.rows);
+
+  Result<Relation> sorted =
+      ReadRelationFromFile(output, Schema::Synthetic(2, 1));
+  ASSERT_TRUE(sorted.ok());
+  ASSERT_EQ(sorted.value().NumRows(), param.rows);
+  // Keys ascending and multiset of keys preserved.
+  std::vector<double> expected = relation.NumericColumn(1);
+  std::sort(expected.begin(), expected.end());
+  const std::vector<double>& got = sorted.value().NumericColumn(1);
+  EXPECT_TRUE(std::is_sorted(got.begin(), got.end()));
+  std::vector<double> got_sorted = got;
+  std::sort(got_sorted.begin(), got_sorted.end());
+  EXPECT_EQ(got_sorted, expected);
+  std::remove(input.c_str());
+  std::remove(output.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ExternalSortTest,
+    testing::Values(
+        ExternalSortCase{0, 1 << 20, 1},       // empty input
+        ExternalSortCase{1, 1 << 20, 2},       // single record
+        ExternalSortCase{100, 1 << 20, 3},     // single in-memory run
+        ExternalSortCase{5000, 4096, 4},       // many runs, k-way merge
+        ExternalSortCase{5000, 26 * 7, 5},     // tiny budget: 7-record runs
+        ExternalSortCase{20000, 1 << 14, 6}    // wide merge fan-in
+        ));
+
+TEST(ExternalSortErrorsTest, RejectsZeroRecordBytes) {
+  ExternalSortOptions options;
+  options.record_bytes = 0;
+  EXPECT_EQ(ExternalSort("x", "y", options).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ExternalSortErrorsTest, RejectsKeyOutsideRecord) {
+  ExternalSortOptions options;
+  options.record_bytes = 8;
+  options.key_offset = 4;
+  EXPECT_EQ(ExternalSort("x", "y", options).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ExternalSortErrorsTest, MissingInputIsIoError) {
+  ExternalSortOptions options;
+  options.record_bytes = 16;
+  EXPECT_EQ(
+      ExternalSort("/no/such/input", TempPath("out.bin"), options)
+          .status()
+          .code(),
+      StatusCode::kIoError);
+}
+
+TEST(ExternalSortTest, PreservesWholeRecords) {
+  // Sorting must move whole rows, not just keys: check that the boolean
+  // payload still matches its numeric partner after the sort.
+  const std::string input = TempPath("pairs_in.optr");
+  const std::string output = TempPath("pairs_out.optr");
+  Relation relation(Schema::Synthetic(1, 1));
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.NextUniform(0.0, 1.0);
+    const uint8_t flag = v > 0.5 ? 1 : 0;  // payload derivable from key
+    const double row[] = {v};
+    relation.AppendRow(row, std::span<const uint8_t>(&flag, 1));
+  }
+  ASSERT_TRUE(WriteRelationToFile(relation, input).ok());
+  ExternalSortOptions options;
+  options.record_bytes = relation.schema().RowBytes();
+  options.key_offset = 0;
+  options.header_bytes = kPagedFileHeaderBytes;
+  options.memory_budget_bytes = 512;
+  options.temp_dir = testing::TempDir();
+  ASSERT_TRUE(ExternalSort(input, output, options).ok());
+  Result<Relation> sorted =
+      ReadRelationFromFile(output, Schema::Synthetic(1, 1));
+  ASSERT_TRUE(sorted.ok());
+  for (int64_t row = 0; row < sorted.value().NumRows(); ++row) {
+    EXPECT_EQ(sorted.value().BooleanValue(row, 0),
+              sorted.value().NumericValue(row, 0) > 0.5);
+  }
+  std::remove(input.c_str());
+  std::remove(output.c_str());
+}
+
+}  // namespace
+}  // namespace optrules::storage

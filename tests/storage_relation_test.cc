@@ -1,0 +1,162 @@
+// Unit tests for storage::Relation and CSV import/export.
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "storage/csv.h"
+#include "storage/relation.h"
+
+namespace optrules::storage {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+Relation SmallRelation() {
+  Relation r(Schema::Synthetic(2, 1));
+  const double rows[3][2] = {{1.5, -2.0}, {3.25, 4.0}, {-0.5, 0.0}};
+  const uint8_t flags[3] = {1, 0, 1};
+  for (int i = 0; i < 3; ++i) {
+    r.AppendRow(rows[i], std::span<const uint8_t>(&flags[i], 1));
+  }
+  return r;
+}
+
+TEST(RelationTest, AppendAndAccess) {
+  const Relation r = SmallRelation();
+  EXPECT_EQ(r.NumRows(), 3);
+  EXPECT_DOUBLE_EQ(r.NumericValue(0, 0), 1.5);
+  EXPECT_DOUBLE_EQ(r.NumericValue(1, 1), 4.0);
+  EXPECT_TRUE(r.BooleanValue(0, 0));
+  EXPECT_FALSE(r.BooleanValue(1, 0));
+  EXPECT_EQ(r.NumericColumn(0).size(), 3u);
+}
+
+TEST(RelationTest, ColumnFillPath) {
+  Relation r(Schema::Synthetic(1, 1));
+  r.MutableNumericColumn(0) = {1.0, 2.0};
+  r.MutableBooleanColumn(0) = {0, 1};
+  r.SetRowCountAfterColumnFill(2);
+  EXPECT_EQ(r.NumRows(), 2);
+  EXPECT_TRUE(r.BooleanValue(1, 0));
+}
+
+TEST(RelationTest, EmptyRelation) {
+  const Relation r{Schema::Synthetic(1, 1)};
+  EXPECT_EQ(r.NumRows(), 0);
+  EXPECT_TRUE(r.NumericColumn(0).empty());
+}
+
+TEST(CsvTest, RoundTrip) {
+  const Relation original = SmallRelation();
+  const std::string path = TempPath("roundtrip.csv");
+  ASSERT_TRUE(WriteCsv(original, path).ok());
+
+  Result<Relation> loaded = ReadCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  const Relation& r = loaded.value();
+  ASSERT_TRUE(r.schema() == original.schema());
+  ASSERT_EQ(r.NumRows(), original.NumRows());
+  for (int64_t row = 0; row < r.NumRows(); ++row) {
+    for (int c = 0; c < 2; ++c) {
+      EXPECT_DOUBLE_EQ(r.NumericValue(row, c),
+                       original.NumericValue(row, c));
+    }
+    EXPECT_EQ(r.BooleanValue(row, 0), original.BooleanValue(row, 0));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, ParsesYesNoBooleans) {
+  const std::string path = TempPath("yesno.csv");
+  {
+    std::ofstream out(path);
+    out << "x:numeric,flag:boolean\n1.0,yes\n2.0,no\n";
+  }
+  Result<Relation> loaded = ReadCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded.value().BooleanValue(0, 0));
+  EXPECT_FALSE(loaded.value().BooleanValue(1, 0));
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, MissingFileIsIoError) {
+  EXPECT_EQ(ReadCsv("/nonexistent/dir/file.csv").status().code(),
+            StatusCode::kIoError);
+}
+
+TEST(CsvTest, BadHeaderIsCorruption) {
+  const std::string path = TempPath("badheader.csv");
+  {
+    std::ofstream out(path);
+    out << "x\n1.0\n";
+  }
+  EXPECT_EQ(ReadCsv(path).status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, BadKindIsCorruption) {
+  const std::string path = TempPath("badkind.csv");
+  {
+    std::ofstream out(path);
+    out << "x:string\nfoo\n";
+  }
+  EXPECT_EQ(ReadCsv(path).status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, BadNumericCellIsCorruption) {
+  const std::string path = TempPath("badnum.csv");
+  {
+    std::ofstream out(path);
+    out << "x:numeric\nnot_a_number\n";
+  }
+  EXPECT_EQ(ReadCsv(path).status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, BadBooleanCellIsCorruption) {
+  const std::string path = TempPath("badbool.csv");
+  {
+    std::ofstream out(path);
+    out << "b:boolean\nmaybe\n";
+  }
+  EXPECT_EQ(ReadCsv(path).status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, FieldCountMismatchIsCorruption) {
+  const std::string path = TempPath("fieldcount.csv");
+  {
+    std::ofstream out(path);
+    out << "x:numeric,y:numeric\n1.0\n";
+  }
+  EXPECT_EQ(ReadCsv(path).status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, EmptyFileIsCorruption) {
+  const std::string path = TempPath("empty.csv");
+  { std::ofstream out(path); }
+  EXPECT_EQ(ReadCsv(path).status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, SkipsBlankLines) {
+  const std::string path = TempPath("blank.csv");
+  {
+    std::ofstream out(path);
+    out << "x:numeric\n1.0\n\n2.0\n";
+  }
+  Result<Relation> loaded = ReadCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().NumRows(), 2);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace optrules::storage

@@ -1,0 +1,72 @@
+// Unit tests for storage::Schema.
+
+#include <gtest/gtest.h>
+
+#include "storage/schema.h"
+
+namespace optrules::storage {
+namespace {
+
+TEST(SchemaTest, CreateAndLookup) {
+  Result<Schema> schema = Schema::Create({
+      {"Balance", AttrKind::kNumeric},
+      {"CardLoan", AttrKind::kBoolean},
+      {"Age", AttrKind::kNumeric},
+  });
+  ASSERT_TRUE(schema.ok());
+  const Schema& s = schema.value();
+  EXPECT_EQ(s.num_attributes(), 3);
+  EXPECT_EQ(s.num_numeric(), 2);
+  EXPECT_EQ(s.num_boolean(), 1);
+  EXPECT_EQ(s.NumericIndexOf("Balance").value(), 0);
+  EXPECT_EQ(s.NumericIndexOf("Age").value(), 1);
+  EXPECT_EQ(s.BooleanIndexOf("CardLoan").value(), 0);
+  EXPECT_EQ(s.NumericName(1), "Age");
+  EXPECT_EQ(s.BooleanName(0), "CardLoan");
+}
+
+TEST(SchemaTest, LookupMissingAttributeFails) {
+  Result<Schema> schema = Schema::Create({{"A", AttrKind::kNumeric}});
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema.value().NumericIndexOf("B").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(schema.value().BooleanIndexOf("A").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(SchemaTest, RejectsDuplicateNames) {
+  EXPECT_FALSE(Schema::Create({{"A", AttrKind::kNumeric},
+                               {"A", AttrKind::kNumeric}})
+                   .ok());
+  // Duplicate across kinds is also rejected.
+  EXPECT_FALSE(Schema::Create({{"A", AttrKind::kNumeric},
+                               {"A", AttrKind::kBoolean}})
+                   .ok());
+}
+
+TEST(SchemaTest, RejectsEmptyName) {
+  EXPECT_FALSE(Schema::Create({{"", AttrKind::kNumeric}}).ok());
+}
+
+TEST(SchemaTest, SyntheticNamesAndLayout) {
+  const Schema s = Schema::Synthetic(8, 8);
+  EXPECT_EQ(s.num_numeric(), 8);
+  EXPECT_EQ(s.num_boolean(), 8);
+  EXPECT_EQ(s.NumericName(0), "num0");
+  EXPECT_EQ(s.BooleanName(7), "bool7");
+  // The paper's Section 6.1 layout: 8 doubles + 8 boolean bytes = 72 B.
+  EXPECT_EQ(s.RowBytes(), 72u);
+}
+
+TEST(SchemaTest, Equality) {
+  EXPECT_TRUE(Schema::Synthetic(2, 1) == Schema::Synthetic(2, 1));
+  EXPECT_FALSE(Schema::Synthetic(2, 1) == Schema::Synthetic(1, 2));
+}
+
+TEST(SchemaTest, AttrKindNames) {
+  EXPECT_STREQ(AttrKindName(AttrKind::kNumeric), "numeric");
+  EXPECT_STREQ(AttrKindName(AttrKind::kBoolean), "boolean");
+}
+
+}  // namespace
+}  // namespace optrules::storage

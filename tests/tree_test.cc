@@ -1,0 +1,184 @@
+// Tests for the decision-tree application (Section 1.5): range splitting
+// vs classic point splitting.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "datagen/table_generator.h"
+#include "tree/decision_tree.h"
+
+namespace optrules::tree {
+namespace {
+
+/// Data whose target is exactly `A in [lo, hi]` plus label noise.
+storage::Relation BandRelation(int64_t rows, double lo, double hi,
+                               double noise, uint64_t seed) {
+  storage::Relation relation(storage::Schema::Synthetic(2, 1));
+  Rng rng(seed);
+  for (int64_t i = 0; i < rows; ++i) {
+    const double a = rng.NextUniform(0.0, 100.0);
+    const double b = rng.NextUniform(0.0, 100.0);  // irrelevant attribute
+    const bool inside = lo <= a && a <= hi;
+    const bool label = rng.NextBernoulli(noise) ? !inside : inside;
+    const double numeric[] = {a, b};
+    const uint8_t boolean[] = {label ? uint8_t{1} : uint8_t{0}};
+    relation.AppendRow(numeric, boolean);
+  }
+  return relation;
+}
+
+TEST(DecisionTreeTest, LearnsBandWithSingleRangeSplit) {
+  const storage::Relation data = BandRelation(20000, 30.0, 60.0, 0.0, 1);
+  TreeOptions options;
+  options.max_depth = 1;
+  options.split_family = SplitFamily::kRange;
+  Result<DecisionTree> tree = DecisionTree::Train(data, "bool0", options);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_GT(tree.value().Accuracy(data), 0.98);
+  EXPECT_EQ(tree.value().depth(), 1);
+}
+
+TEST(DecisionTreeTest, PointSplitsNeedTwoLevelsForABand) {
+  const storage::Relation data = BandRelation(20000, 30.0, 60.0, 0.0, 2);
+  TreeOptions point;
+  point.max_depth = 1;
+  point.split_family = SplitFamily::kPointOnly;
+  Result<DecisionTree> shallow = DecisionTree::Train(data, "bool0", point);
+  ASSERT_TRUE(shallow.ok());
+  // One guillotine cut cannot isolate an interior band.
+  EXPECT_LT(shallow.value().Accuracy(data), 0.90);
+
+  point.max_depth = 2;
+  Result<DecisionTree> deeper = DecisionTree::Train(data, "bool0", point);
+  ASSERT_TRUE(deeper.ok());
+  EXPECT_GT(deeper.value().Accuracy(data), 0.95);
+}
+
+TEST(DecisionTreeTest, RangeBeatsPointAtEqualDepth) {
+  const storage::Relation data = BandRelation(30000, 20.0, 45.0, 0.05, 3);
+  TreeOptions range;
+  range.max_depth = 1;
+  range.split_family = SplitFamily::kRange;
+  TreeOptions point = range;
+  point.split_family = SplitFamily::kPointOnly;
+  const double range_acc =
+      DecisionTree::Train(data, "bool0", range).value().Accuracy(data);
+  const double point_acc =
+      DecisionTree::Train(data, "bool0", point).value().Accuracy(data);
+  EXPECT_GT(range_acc, point_acc + 0.05);
+}
+
+TEST(DecisionTreeTest, UsesBooleanSplits) {
+  // Target equals another Boolean attribute exactly.
+  storage::Relation relation(storage::Schema::Synthetic(1, 2));
+  Rng rng(4);
+  for (int i = 0; i < 5000; ++i) {
+    const double numeric[] = {rng.NextUniform(0, 1)};
+    const uint8_t flag = rng.NextBernoulli(0.5) ? 1 : 0;
+    const uint8_t boolean[] = {flag, flag};
+    relation.AppendRow(numeric, boolean);
+  }
+  TreeOptions options;
+  options.max_depth = 1;
+  Result<DecisionTree> tree =
+      DecisionTree::Train(relation, "bool1", options);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_DOUBLE_EQ(tree.value().Accuracy(relation), 1.0);
+  // The rendering should mention the boolean predicate.
+  EXPECT_NE(tree.value().ToString().find("bool0"), std::string::npos);
+}
+
+TEST(DecisionTreeTest, DepthZeroIsMajorityVote) {
+  const storage::Relation data = BandRelation(1000, 0.0, 20.0, 0.0, 5);
+  TreeOptions options;
+  options.max_depth = 0;
+  Result<DecisionTree> tree = DecisionTree::Train(data, "bool0", options);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree.value().num_nodes(), 1);
+  // Majority class is "outside the band" (80%).
+  EXPECT_NEAR(tree.value().Accuracy(data), 0.8, 0.05);
+}
+
+TEST(DecisionTreeTest, MinLeafStopsSplitting) {
+  const storage::Relation data = BandRelation(300, 30.0, 60.0, 0.0, 6);
+  TreeOptions options;
+  options.max_depth = 8;
+  options.min_leaf_tuples = 200;  // cannot split 300 rows into 200+200
+  Result<DecisionTree> tree = DecisionTree::Train(data, "bool0", options);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree.value().num_nodes(), 1);
+}
+
+TEST(DecisionTreeTest, PureNodeBecomesLeaf) {
+  storage::Relation relation(storage::Schema::Synthetic(1, 1));
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double numeric[] = {rng.NextUniform(0, 1)};
+    const uint8_t boolean[] = {1};  // all positive
+    relation.AppendRow(numeric, boolean);
+  }
+  TreeOptions options;
+  Result<DecisionTree> tree =
+      DecisionTree::Train(relation, "bool0", options);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree.value().num_nodes(), 1);
+  EXPECT_DOUBLE_EQ(tree.value().Accuracy(relation), 1.0);
+}
+
+TEST(DecisionTreeTest, ErrorsOnBadInputs) {
+  const storage::Relation data = BandRelation(100, 0, 50, 0.0, 8);
+  EXPECT_EQ(DecisionTree::Train(data, "nope", TreeOptions{})
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(DecisionTree::Train(storage::Relation(
+                                    storage::Schema::Synthetic(1, 1)),
+                                "bool0", TreeOptions{})
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  TreeOptions bad;
+  bad.num_buckets = 1;
+  EXPECT_EQ(DecisionTree::Train(data, "bool0", bad).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(DecisionTreeTest, GeneralizesToHeldOutData) {
+  const storage::Relation train = BandRelation(30000, 25.0, 55.0, 0.1, 9);
+  const storage::Relation test = BandRelation(10000, 25.0, 55.0, 0.1, 10);
+  TreeOptions options;
+  options.max_depth = 3;
+  Result<DecisionTree> tree = DecisionTree::Train(train, "bool0", options);
+  ASSERT_TRUE(tree.ok());
+  // Bayes accuracy is 0.9 (label noise 10%); the tree should approach it
+  // on held-out data, not just memorize training rows.
+  EXPECT_GT(tree.value().Accuracy(test), 0.85);
+}
+
+TEST(DecisionTreeTest, TwoBandsNeedDepthTwoRangeTree) {
+  // Two disjoint positive bands: one range split is insufficient, two are.
+  storage::Relation relation(storage::Schema::Synthetic(1, 1));
+  Rng rng(11);
+  for (int i = 0; i < 30000; ++i) {
+    const double a = rng.NextUniform(0.0, 100.0);
+    const bool label = (10 <= a && a <= 25) || (70 <= a && a <= 85);
+    const double numeric[] = {a};
+    const uint8_t boolean[] = {label ? uint8_t{1} : uint8_t{0}};
+    relation.AppendRow(numeric, boolean);
+  }
+  TreeOptions options;
+  options.split_family = SplitFamily::kRange;
+  options.max_depth = 1;
+  const double one_split =
+      DecisionTree::Train(relation, "bool0", options).value().Accuracy(
+          relation);
+  options.max_depth = 2;
+  const double two_splits =
+      DecisionTree::Train(relation, "bool0", options).value().Accuracy(
+          relation);
+  EXPECT_GT(two_splits, 0.97);
+  EXPECT_GT(two_splits, one_split);
+}
+
+}  // namespace
+}  // namespace optrules::tree
