@@ -12,8 +12,8 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
+#include "bucketing/boundaries.h"
 #include "bucketing/counting.h"
-#include "bucketing/equidepth_sampler.h"
 #include "bucketing/equiwidth.h"
 #include "rules/optimized_confidence.h"
 #include "rules/rule.h"
@@ -72,13 +72,13 @@ int main() {
 
   bool depth_dominates = true;
   for (const int m : {10, 50, 100, 500, 1000}) {
-    optrules::bucketing::SamplerOptions sampler;
-    sampler.num_buckets = m;
-    optrules::Rng sample_rng(556 + static_cast<uint64_t>(m));
+    // Equi-depth goes through the shared bucketizer dispatch (equi-width
+    // is not an equi-depth strategy, so it stays a direct call).
+    optrules::bucketing::BoundaryPlan plan;
+    plan.num_buckets = m;
+    plan.seed = 556 + static_cast<uint64_t>(m);
     const optrules::rules::RangeRule depth = MineWith(
-        values, target,
-        optrules::bucketing::BuildEquiDepthBoundaries(values, sampler,
-                                                      sample_rng),
+        values, target, optrules::bucketing::BuildBoundaries(values, plan),
         kMinSupport);
     const optrules::rules::RangeRule width = MineWith(
         values, target,

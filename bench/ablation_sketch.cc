@@ -11,8 +11,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
-#include "bucketing/equidepth_sampler.h"
-#include "bucketing/gk_sketch.h"
+#include "bucketing/boundaries.h"
 #include "common/timer.h"
 
 namespace {
@@ -56,18 +55,21 @@ int main() {
                  : rng.NextUniform(0.0, 1e6);
     }
 
+    // Both strategies go through the shared BuildBoundaries dispatch.
+    optrules::bucketing::BoundaryPlan plan;
+    plan.num_buckets = m;
+    plan.seed = 7;
+    plan.gk_epsilon = epsilon;
+
     optrules::WallTimer sample_timer;
-    optrules::bucketing::SamplerOptions options;
-    options.num_buckets = m;
-    optrules::Rng sample_rng(7);
-    const auto sampled = optrules::bucketing::BuildEquiDepthBoundaries(
-        values, options, sample_rng);
+    plan.bucketizer = optrules::bucketing::Bucketizer::kSampling;
+    const auto sampled = optrules::bucketing::BuildBoundaries(values, plan);
     const double sample_seconds = sample_timer.ElapsedSeconds();
     const double sample_deviation = WorstDepthDeviation(values, sampled);
 
     optrules::WallTimer sketch_timer;
-    const auto sketched =
-        optrules::bucketing::BuildEquiDepthBoundariesGk(values, m, epsilon);
+    plan.bucketizer = optrules::bucketing::Bucketizer::kGkSketch;
+    const auto sketched = optrules::bucketing::BuildBoundaries(values, plan);
     const double sketch_seconds = sketch_timer.ElapsedSeconds();
     const double sketch_deviation = WorstDepthDeviation(values, sketched);
 

@@ -3,7 +3,10 @@
 // Each harness is a standalone binary that prints the rows/series of one
 // table or figure from the paper. `OPTRULES_BENCH_SCALE` (a positive
 // integer, default 1) multiplies the workload sizes for users who want to
-// run closer to the paper's original scale.
+// run closer to the paper's original scale. `OPTRULES_BENCH_JSON` (set to
+// anything but "0") additionally emits one machine-readable JSON object
+// per harness on stdout, so benchmark trajectories (BENCH_*.json) can be
+// collected without scraping the human tables.
 
 #ifndef OPTRULES_BENCH_BENCH_UTIL_H_
 #define OPTRULES_BENCH_BENCH_UTIL_H_
@@ -11,6 +14,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
@@ -24,6 +28,58 @@ inline int64_t BenchScale() {
   const long long value = std::atoll(env);
   return value >= 1 ? static_cast<int64_t>(value) : 1;
 }
+
+/// True when OPTRULES_BENCH_JSON is set (and not "0").
+inline bool BenchJsonEnabled() {
+  const char* env = std::getenv("OPTRULES_BENCH_JSON");
+  return env != nullptr && env[0] != '\0' &&
+         !(env[0] == '0' && env[1] == '\0');
+}
+
+/// Accumulates metrics for one harness and, when BenchJsonEnabled(),
+/// prints them as a single-line JSON object at destruction:
+///   {"bench":"<name>","scale":N,"metrics":{"k":v,...}}
+/// Keys are emitted in insertion order; repeated keys are allowed (later
+/// entries win for standard JSON parsers, so use distinct keys).
+class JsonReporter {
+ public:
+  explicit JsonReporter(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {}
+
+  JsonReporter(const JsonReporter&) = delete;
+  JsonReporter& operator=(const JsonReporter&) = delete;
+
+  ~JsonReporter() {
+    if (!BenchJsonEnabled()) return;
+    std::printf("{\"bench\":\"%s\",\"scale\":%lld,\"metrics\":{",
+                bench_name_.c_str(),
+                static_cast<long long>(BenchScale()));
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      std::printf("%s\"%s\":%s", i == 0 ? "" : ",",
+                  entries_[i].first.c_str(), entries_[i].second.c_str());
+    }
+    std::printf("}}\n");
+  }
+
+  void Add(const std::string& key, double value) {
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+    entries_.emplace_back(key, buffer);
+  }
+  void Add(const std::string& key, int64_t value) {
+    entries_.emplace_back(key, std::to_string(value));
+  }
+  void Add(const std::string& key, bool value) {
+    entries_.emplace_back(key, value ? "true" : "false");
+  }
+  void AddString(const std::string& key, const std::string& value) {
+    entries_.emplace_back(key, "\"" + value + "\"");
+  }
+
+ private:
+  std::string bench_name_;
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
 
 /// Random bucket-count instance (u_i in [1, max_u], v_i in [0, u_i]).
 struct BucketInstance {

@@ -5,12 +5,15 @@
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_util.h"
+#include "bucketing/counting.h"
 #include "bucketing/equidepth_sampler.h"
 #include "common/ratio.h"
+#include "datagen/table_generator.h"
 #include "hull/convex_hull_tree.h"
 #include "rules/kadane.h"
 #include "rules/optimized_confidence.h"
 #include "rules/optimized_support.h"
+#include "storage/columnar_batch.h"
 
 namespace {
 
@@ -68,6 +71,39 @@ void BM_ConvexHullTreeBuild(benchmark::State& state) {
   state.SetComplexityN(m);
 }
 BENCHMARK(BM_ConvexHullTreeBuild)->Range(256, 1 << 18)->Complexity();
+
+void BM_MultiCountSharedScan(benchmark::State& state) {
+  // The columnar hot loop: all numeric attributes x all Boolean targets
+  // counted in one batched scan of an in-memory relation.
+  const int64_t rows = state.range(0);
+  optrules::datagen::TableConfig config;
+  config.num_rows = rows;
+  config.num_numeric = 4;
+  config.num_boolean = 4;
+  optrules::Rng rng(7);
+  const optrules::storage::Relation table =
+      optrules::datagen::GenerateTable(config, rng);
+  optrules::bucketing::SamplerOptions options;
+  options.num_buckets = 1000;
+  std::vector<optrules::bucketing::BucketBoundaries> boundaries;
+  std::vector<const optrules::bucketing::BucketBoundaries*> bounds;
+  for (int a = 0; a < 4; ++a) {
+    optrules::Rng sample_rng(8 + static_cast<uint64_t>(a));
+    boundaries.push_back(optrules::bucketing::BuildEquiDepthBoundaries(
+        table.NumericColumn(a), options, sample_rng));
+  }
+  for (const auto& b : boundaries) bounds.push_back(&b);
+  optrules::storage::RelationBatchSource source(&table);
+  for (auto _ : state) {
+    optrules::bucketing::MultiCountPlan plan(bounds, 4);
+    auto reader = source.CreateReader();
+    optrules::storage::ColumnarBatch batch;
+    while (reader->Next(&batch)) plan.Accumulate(batch);
+    benchmark::DoNotOptimize(plan.total_tuples());
+  }
+  state.SetItemsProcessed(state.iterations() * rows * 4);
+}
+BENCHMARK(BM_MultiCountSharedScan)->Range(1 << 14, 1 << 18);
 
 void BM_EquiDepthSampling(benchmark::State& state) {
   const int64_t n = state.range(0);

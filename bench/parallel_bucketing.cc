@@ -1,10 +1,16 @@
-// Section 3.3: parallel bucketing (Algorithm 3.2).
+// Section 3.3: parallel bucketing (Algorithm 3.2) on the columnar batch
+// core.
 //
-// Counts one numeric attribute against 8 Boolean targets with 1..8 worker
-// threads and reports the speedup. On a single-core host the curve is
-// flat; the harness still verifies that every thread count produces
-// identical counts (the algorithm's correctness claim: counting is
-// communication-free and exactly partitionable).
+// Two workloads over the same generated table:
+//   1. ParallelCountBuckets -- one numeric attribute against 8 Boolean
+//      targets, sharded over a reusable thread pool with 1..8 shards.
+//   2. ExecuteMultiCount -- EVERY numeric attribute against every Boolean
+//      target in ONE shared scan of a RelationBatchSource, serial vs
+//      pooled.
+// On a single-core host the speedup curves are flat; the harness still
+// verifies that every schedule produces identical counts (the algorithm's
+// correctness claim: counting is communication-free and exactly
+// partitionable).
 
 #include <cstdio>
 #include <thread>
@@ -12,16 +18,19 @@
 #include "bench/bench_util.h"
 #include "bucketing/equidepth_sampler.h"
 #include "bucketing/parallel_count.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "datagen/table_generator.h"
+#include "storage/columnar_batch.h"
 
 int main() {
   const int64_t scale = optrules::bench::BenchScale();
   const int64_t rows = 2000000 * scale;
+  optrules::bench::JsonReporter json("parallel_bucketing");
 
   optrules::datagen::TableConfig config;
   config.num_rows = rows;
-  config.num_numeric = 1;
+  config.num_numeric = 4;
   config.num_boolean = 8;
   optrules::Rng rng(77);
   const optrules::storage::Relation table =
@@ -41,7 +50,10 @@ int main() {
       "Algorithm 3.2: parallel bucket counting (1000 buckets, 8 targets)");
   std::printf("host hardware threads: %u\n",
               std::thread::hardware_concurrency());
-  std::printf("%8s %12s %10s %10s\n", "threads", "time (s)", "speedup",
+  json.Add("rows", rows);
+  json.Add("hardware_threads",
+           static_cast<int64_t>(std::thread::hardware_concurrency()));
+  std::printf("%8s %12s %10s %10s\n", "shards", "time (s)", "speedup",
               "equal?");
   optrules::bench::PrintRule(44);
 
@@ -63,9 +75,60 @@ int main() {
     all_equal = all_equal && equal;
     std::printf("%8d %12.3f %10.2f %10s\n", threads, seconds,
                 baseline / seconds, equal ? "yes" : "NO");
+    json.Add("count_seconds_shards_" + std::to_string(threads), seconds);
   }
   optrules::bench::PrintRule(44);
-  std::printf("Counts identical for every thread count: %s\n",
-              all_equal ? "yes" : "NO");
-  return all_equal ? 0 : 1;
+
+  // Multi-pair shared scan: all 4 numeric attributes x 8 targets at once.
+  optrules::bench::PrintHeader(
+      "Columnar multi-count: 4 numeric x 8 boolean in ONE shared scan");
+  std::vector<optrules::bucketing::BucketBoundaries> per_attr;
+  for (int a = 0; a < 4; ++a) {
+    optrules::Rng attr_rng(200 + static_cast<uint64_t>(a));
+    per_attr.push_back(optrules::bucketing::BuildEquiDepthBoundaries(
+        table.NumericColumn(a), sampler, attr_rng));
+  }
+  std::vector<const optrules::bucketing::BucketBoundaries*> bounds;
+  for (const auto& b : per_attr) bounds.push_back(&b);
+
+  std::printf("%8s %12s %10s %10s\n", "pool", "time (s)", "speedup",
+              "equal?");
+  optrules::bench::PrintRule(44);
+  double multi_baseline = 0.0;
+  std::vector<optrules::bucketing::BucketCounts> multi_reference;
+  bool multi_equal = true;
+  for (const int pool_size : {1, 2, 4, 8}) {
+    optrules::storage::RelationBatchSource source(&table);
+    optrules::bucketing::MultiCountPlan plan(bounds, 8);
+    optrules::ThreadPool pool(pool_size);
+    optrules::WallTimer timer;
+    optrules::bucketing::ExecuteMultiCount(
+        source, &plan, pool_size == 1 ? nullptr : &pool);
+    const double seconds = timer.ElapsedSeconds();
+    bool equal = true;
+    if (pool_size == 1) {
+      multi_baseline = seconds;
+      for (int a = 0; a < 4; ++a) {
+        multi_reference.push_back(plan.TakeCounts(a));
+      }
+    } else {
+      for (int a = 0; a < 4; ++a) {
+        const auto& counts = plan.counts(a);
+        equal = equal &&
+                counts.u == multi_reference[static_cast<size_t>(a)].u &&
+                counts.v == multi_reference[static_cast<size_t>(a)].v;
+      }
+    }
+    multi_equal = multi_equal && equal;
+    std::printf("%8d %12.3f %10.2f %10s\n", pool_size, seconds,
+                multi_baseline / seconds, equal ? "yes" : "NO");
+    json.Add("multicount_seconds_pool_" + std::to_string(pool_size),
+             seconds);
+    OPTRULES_CHECK(source.scans_started() == 1);  // one scan, any schedule
+  }
+  optrules::bench::PrintRule(44);
+  std::printf("Counts identical for every schedule: %s\n",
+              all_equal && multi_equal ? "yes" : "NO");
+  json.Add("all_equal", all_equal && multi_equal);
+  return all_equal && multi_equal ? 0 : 1;
 }

@@ -1,21 +1,22 @@
 // Out-of-core mining: the workflow the paper's Section 3 is really about.
 //
 // The table lives on disk (here: a generated PagedFile), is never loaded
-// into memory, and is bucketized with Algorithm 3.1 -- one reservoir-
-// sampling pass to pick boundaries and one counting pass for the rule
-// statistics -- before the O(M) optimizers run on the tiny bucket arrays.
+// into memory, and is mined through the columnar batch core: a
+// PagedFileBatchSource serves fixed-capacity column blocks, the
+// MiningEngine plans almost equi-depth boundaries for EVERY numeric
+// attribute in one streaming pass (reservoir samples, Algorithm 3.1 steps
+// 1-3), then counts every (numeric, Boolean) attribute pair in ONE shared
+// counting scan (step 4) before the O(M) optimizers run on the tiny
+// bucket arrays (Section 4).
 
 #include <cstdio>
 #include <string>
 
-#include "bucketing/counting.h"
-#include "bucketing/equidepth_sampler.h"
-#include "common/ratio.h"
 #include "common/rng.h"
 #include "datagen/table_generator.h"
-#include "rules/optimized_confidence.h"
-#include "rules/optimized_support.h"
-#include "storage/tuple_stream.h"
+#include "rules/miner.h"
+#include "storage/columnar_batch.h"
+#include "storage/schema.h"
 
 int main() {
   const std::string table_path = "/tmp/out_of_core_demo.optr";
@@ -47,57 +48,44 @@ int main() {
   std::printf("disk table: %s (%lld tuples, 72 B each)\n", table_path.c_str(),
               static_cast<long long>(kRows));
 
-  // Pass 1: reservoir-sample 40 values per bucket, sort the sample, take
-  // quantiles as boundaries (Algorithm 3.1 steps 1-3).
-  auto stream_or = optrules::storage::FileTupleStream::Open(table_path);
-  if (!stream_or.ok()) {
+  // Open the disk table as a batch source: column blocks of 4096 tuples,
+  // transposed from the row-major pages as they stream in.
+  auto source_or = optrules::storage::PagedFileBatchSource::Open(table_path);
+  if (!source_or.ok()) {
     std::fprintf(stderr, "open failed: %s\n",
-                 stream_or.status().ToString().c_str());
+                 source_or.status().ToString().c_str());
     return 1;
   }
-  optrules::storage::FileTupleStream& stream = *stream_or.value();
-  optrules::bucketing::SamplerOptions sampler;
-  sampler.num_buckets = 1000;
-  sampler.sample_per_bucket = 40;
-  optrules::Rng rng(4);
-  const optrules::bucketing::BucketBoundaries boundaries =
-      optrules::bucketing::BuildEquiDepthBoundariesFromStream(stream, 2,
-                                                              sampler, rng);
-  std::printf("pass 1 done: %d approximate equi-depth buckets\n",
-              boundaries.num_buckets());
+  optrules::storage::PagedFileBatchSource& source = *source_or.value();
 
-  // Pass 2: count u_i and v_i for every Boolean attribute (step 4).
-  stream.Reset();
-  optrules::bucketing::BucketCounts counts =
-      optrules::bucketing::CountBucketsFromStream(stream, 2, boundaries);
-  optrules::bucketing::CompactEmptyBuckets(&counts);
-  std::printf("pass 2 done: counted %lld tuples into %d buckets x %d "
-              "targets\n\n",
-              static_cast<long long>(counts.total_tuples),
-              counts.num_buckets(), counts.num_targets());
+  // One engine session mines ALL 64 attribute pairs: one planning pass
+  // (every attribute's reservoir filled at once) + one counting scan.
+  optrules::rules::MinerOptions options;
+  options.num_buckets = 1000;
+  options.sample_per_bucket = 40;
+  options.min_support = 0.10;
+  options.min_confidence = 0.5;
+  options.seed = 4;
+  optrules::rules::MiningEngine engine(
+      &source, optrules::storage::Schema::Synthetic(8, 8), options);
+  const std::vector<optrules::rules::MinedRule> rules =
+      engine.MineAllPairs();
+  std::printf("mined %zu rules (%d pairs) in %lld counting scan(s) + 1 "
+              "planning pass;\ndata was scanned %lld times in total\n\n",
+              rules.size(), 8 * 8,
+              static_cast<long long>(engine.counting_scans()),
+              static_cast<long long>(source.scans_started()));
 
-  // O(M) optimizers on the bucket arrays (Section 4).
-  const auto& v = counts.v[1];  // target bool1
-  const optrules::rules::RangeRule confidence =
-      optrules::rules::OptimizedConfidenceRule(
-          counts.u, v, counts.total_tuples, counts.total_tuples / 10);
-  const optrules::rules::RangeRule support =
-      optrules::rules::OptimizedSupportRule(
-          counts.u, v, counts.total_tuples, optrules::Ratio(1, 2));
-
-  if (confidence.found) {
-    std::printf("optimized confidence rule: num2 in [%.0f, %.0f] => bool1 "
-                "(support %.1f%%, confidence %.1f%%)\n",
-                counts.min_value[static_cast<size_t>(confidence.s)],
-                counts.max_value[static_cast<size_t>(confidence.t)],
-                confidence.support * 100.0, confidence.confidence * 100.0);
-  }
-  if (support.found) {
-    std::printf("optimized support rule:    num2 in [%.0f, %.0f] => bool1 "
-                "(support %.1f%%, confidence %.1f%%)\n",
-                counts.min_value[static_cast<size_t>(support.s)],
-                counts.max_value[static_cast<size_t>(support.t)],
-                support.support * 100.0, support.confidence * 100.0);
+  // The pair carrying the planted rule.
+  for (const optrules::rules::MinedRule& rule : rules) {
+    if (rule.numeric_attr != "num2" || rule.boolean_attr != "bool1") {
+      continue;
+    }
+    std::printf("%s rule: %s\n",
+                rule.kind == optrules::rules::RuleKind::kOptimizedConfidence
+                    ? "optimized confidence"
+                    : "optimized support   ",
+                rule.ToString().c_str());
   }
   std::printf("\nplanted ground truth: num2 in [%.0f, %.0f], confidence "
               "75%%\n",

@@ -3,6 +3,11 @@
 #include <algorithm>
 #include <limits>
 
+#include "bucketing/equidepth_sampler.h"
+#include "bucketing/gk_sketch.h"
+#include "bucketing/sort_bucketizer.h"
+#include "common/rng.h"
+
 namespace optrules::bucketing {
 
 BucketBoundaries BucketBoundaries::FromCutPoints(
@@ -51,6 +56,32 @@ double BucketBoundaries::UpperEdge(int i) const {
     return std::numeric_limits<double>::infinity();
   }
   return cut_points_[static_cast<size_t>(i)];
+}
+
+double BoundaryPlan::EffectiveGkEpsilon() const {
+  return gk_epsilon > 0.0 ? gk_epsilon
+                          : 1.0 / (4.0 * static_cast<double>(num_buckets));
+}
+
+BucketBoundaries BuildBoundaries(std::span<const double> values,
+                                 const BoundaryPlan& plan, uint64_t salt) {
+  OPTRULES_CHECK(plan.num_buckets >= 1);
+  switch (plan.bucketizer) {
+    case Bucketizer::kSampling: {
+      Rng rng(plan.seed + salt);
+      SamplerOptions sampler;
+      sampler.num_buckets = plan.num_buckets;
+      sampler.sample_per_bucket = plan.sample_per_bucket;
+      return BuildEquiDepthBoundaries(values, sampler, rng);
+    }
+    case Bucketizer::kGkSketch:
+      return BuildEquiDepthBoundariesGk(values, plan.num_buckets,
+                                        plan.EffectiveGkEpsilon());
+    case Bucketizer::kExactSort:
+      return ExactEquiDepthBoundaries(values, plan.num_buckets);
+  }
+  OPTRULES_CHECK(false);
+  return BucketBoundaries::FromCutPoints({});
 }
 
 }  // namespace optrules::bucketing

@@ -16,6 +16,13 @@
 
 namespace optrules::bucketing {
 
+/// How equi-depth bucket boundaries are derived per numeric attribute.
+enum class Bucketizer {
+  kSampling,   ///< Algorithm 3.1: random sample + sorted quantiles
+  kGkSketch,   ///< deterministic Greenwald-Khanna quantile sketch
+  kExactSort,  ///< full sort of the column ("Naive Sort"; exact depths)
+};
+
 /// Immutable set of bucket cut points with O(log M) point location.
 class BucketBoundaries {
  public:
@@ -51,6 +58,29 @@ class BucketBoundaries {
 
   std::vector<double> cut_points_;
 };
+
+/// Strategy + parameters for boundary planning. This is the single
+/// dispatch point for the three bucketizers; the miners and the bench
+/// harnesses all build boundaries through BuildBoundaries() rather than
+/// switching on the strategy themselves.
+struct BoundaryPlan {
+  Bucketizer bucketizer = Bucketizer::kSampling;
+  int num_buckets = 1000;        ///< M of Algorithm 3.1
+  int64_t sample_per_bucket = 40;  ///< S/M of Algorithm 3.1 (sampling only)
+  uint64_t seed = 42;            ///< sampling seed (sampling only)
+  /// Rank-error fraction for the GK bucketizer; 0 = auto.
+  double gk_epsilon = 0.0;
+
+  /// gk_epsilon, defaulted to 1 / (4 * num_buckets) when unset.
+  double EffectiveGkEpsilon() const;
+};
+
+/// Builds equi-depth boundaries for one in-memory column under `plan`.
+/// `salt` decorrelates per-attribute sampling seeds (the effective seed is
+/// plan.seed + salt); the deterministic bucketizers ignore it.
+BucketBoundaries BuildBoundaries(std::span<const double> values,
+                                 const BoundaryPlan& plan,
+                                 uint64_t salt = 0);
 
 }  // namespace optrules::bucketing
 

@@ -21,6 +21,10 @@ BucketCounts MakeEmptyCounts(int num_buckets, int num_targets) {
 }
 
 void UpdateMinMax(BucketCounts* counts, int bucket, double value) {
+  // NaN values are counted (they are tuples) but never become a range
+  // endpoint: a NaN min/max would otherwise survive empty-bucket
+  // compaction (u_i > 0) and leak into reported rules.
+  if (std::isnan(value)) return;
   const auto b = static_cast<size_t>(bucket);
   double& lo = counts->min_value[b];
   double& hi = counts->max_value[b];
@@ -142,6 +146,107 @@ void CompactEmptyBuckets(BucketCounts* counts) {
   for (auto& target : counts->v) target.resize(static_cast<size_t>(write));
 }
 
+double RangeMinValue(const BucketCounts& counts, int s, int t) {
+  OPTRULES_CHECK(0 <= s && s <= t && t < counts.num_buckets());
+  for (int b = s; b <= t; ++b) {
+    const double lo = counts.min_value[static_cast<size_t>(b)];
+    if (!std::isnan(lo)) return lo;
+  }
+  return -std::numeric_limits<double>::infinity();
+}
+
+double RangeMaxValue(const BucketCounts& counts, int s, int t) {
+  OPTRULES_CHECK(0 <= s && s <= t && t < counts.num_buckets());
+  for (int b = t; b >= s; --b) {
+    const double hi = counts.max_value[static_cast<size_t>(b)];
+    if (!std::isnan(hi)) return hi;
+  }
+  return std::numeric_limits<double>::infinity();
+}
+
+MultiCountPlan::MultiCountPlan(
+    std::vector<const BucketBoundaries*> boundaries, int num_targets)
+    : boundaries_(std::move(boundaries)), num_targets_(num_targets) {
+  OPTRULES_CHECK(num_targets >= 0);
+  counts_.reserve(boundaries_.size());
+  scratch_.resize(boundaries_.size());
+  for (const BucketBoundaries* b : boundaries_) {
+    OPTRULES_CHECK(b != nullptr);
+    counts_.push_back(MakeEmptyCounts(b->num_buckets(), num_targets));
+  }
+}
+
+void MultiCountPlan::AccumulateAttribute(
+    const storage::ColumnarBatch& batch, int attr) {
+  OPTRULES_CHECK(0 <= attr && attr < num_attributes());
+  OPTRULES_CHECK(batch.num_numeric() == num_attributes());
+  OPTRULES_CHECK(batch.num_boolean() == num_targets_);
+  const auto a = static_cast<size_t>(attr);
+  const std::span<const double> values = batch.numeric(attr);
+  const size_t rows = values.size();
+  BucketCounts& counts = counts_[a];
+  std::vector<int32_t>& buckets = scratch_[a];
+  buckets.resize(rows);
+  // Locate each value once, reusing the result for every target.
+  const BucketBoundaries& boundaries = *boundaries_[a];
+  for (size_t row = 0; row < rows; ++row) {
+    const int bucket = boundaries.Locate(values[row]);
+    buckets[row] = bucket;
+    ++counts.u[static_cast<size_t>(bucket)];
+    UpdateMinMax(&counts, bucket, values[row]);
+  }
+  for (int t = 0; t < num_targets_; ++t) {
+    const std::span<const uint8_t> target = batch.boolean(t);
+    std::vector<int64_t>& v = counts.v[static_cast<size_t>(t)];
+    for (size_t row = 0; row < rows; ++row) {
+      v[static_cast<size_t>(buckets[row])] +=
+          static_cast<int64_t>(target[row] != 0);
+    }
+  }
+  counts.total_tuples += static_cast<int64_t>(rows);
+}
+
+void MultiCountPlan::Accumulate(const storage::ColumnarBatch& batch) {
+  for (int attr = 0; attr < num_attributes(); ++attr) {
+    AccumulateAttribute(batch, attr);
+  }
+}
+
+void MultiCountPlan::Merge(const MultiCountPlan& other) {
+  OPTRULES_CHECK(other.num_attributes() == num_attributes());
+  OPTRULES_CHECK(other.num_targets_ == num_targets_);
+  for (int attr = 0; attr < num_attributes(); ++attr) {
+    const auto a = static_cast<size_t>(attr);
+    BucketCounts& mine = counts_[a];
+    const BucketCounts& theirs = other.counts_[a];
+    OPTRULES_CHECK(theirs.num_buckets() == mine.num_buckets());
+    for (int b = 0; b < mine.num_buckets(); ++b) {
+      const auto bi = static_cast<size_t>(b);
+      mine.u[bi] += theirs.u[bi];
+      for (int t = 0; t < num_targets_; ++t) {
+        mine.v[static_cast<size_t>(t)][bi] +=
+            theirs.v[static_cast<size_t>(t)][bi];
+      }
+      if (!std::isnan(theirs.min_value[bi]) &&
+          (std::isnan(mine.min_value[bi]) ||
+           theirs.min_value[bi] < mine.min_value[bi])) {
+        mine.min_value[bi] = theirs.min_value[bi];
+      }
+      if (!std::isnan(theirs.max_value[bi]) &&
+          (std::isnan(mine.max_value[bi]) ||
+           theirs.max_value[bi] > mine.max_value[bi])) {
+        mine.max_value[bi] = theirs.max_value[bi];
+      }
+    }
+    mine.total_tuples += theirs.total_tuples;
+  }
+}
+
+BucketCounts MultiCountPlan::TakeCounts(int attr) {
+  OPTRULES_CHECK(0 <= attr && attr < num_attributes());
+  return std::move(counts_[static_cast<size_t>(attr)]);
+}
+
 BucketSums CountBucketSums(std::span<const double> values,
                            std::span<const double> target,
                            const BucketBoundaries& boundaries) {
@@ -159,6 +264,7 @@ BucketSums CountBucketSums(std::span<const double> values,
         static_cast<size_t>(boundaries.Locate(values[row]));
     ++sums.u[bucket];
     sums.sum[bucket] += target[row];
+    if (std::isnan(values[row])) continue;  // never a range endpoint
     double& lo = sums.min_value[bucket];
     double& hi = sums.max_value[bucket];
     if (std::isnan(lo) || values[row] < lo) lo = values[row];
@@ -166,6 +272,24 @@ BucketSums CountBucketSums(std::span<const double> values,
   }
   sums.total_tuples = static_cast<int64_t>(values.size());
   return sums;
+}
+
+double RangeMinValue(const BucketSums& sums, int s, int t) {
+  OPTRULES_CHECK(0 <= s && s <= t && t < sums.num_buckets());
+  for (int b = s; b <= t; ++b) {
+    const double lo = sums.min_value[static_cast<size_t>(b)];
+    if (!std::isnan(lo)) return lo;
+  }
+  return -std::numeric_limits<double>::infinity();
+}
+
+double RangeMaxValue(const BucketSums& sums, int s, int t) {
+  OPTRULES_CHECK(0 <= s && s <= t && t < sums.num_buckets());
+  for (int b = t; b >= s; --b) {
+    const double hi = sums.max_value[static_cast<size_t>(b)];
+    if (!std::isnan(hi)) return hi;
+  }
+  return std::numeric_limits<double>::infinity();
 }
 
 void CompactEmptyBuckets(BucketSums* sums) {

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "bucketing/boundaries.h"
+#include "storage/columnar_batch.h"
 #include "storage/tuple_stream.h"
 
 namespace optrules::bucketing {
@@ -71,6 +72,71 @@ BucketCounts CountBucketsFromStream(storage::TupleStream& stream,
 /// Bucket order and all parallel arrays are preserved.
 void CompactEmptyBuckets(BucketCounts* counts);
 
+/// Smallest finite min_value over buckets [s, t] of `counts`; -infinity
+/// when no bucket in the range observed a finite value. Rule emission uses
+/// these instead of raw min_value/max_value so that buckets whose only
+/// values were NaN (which survive compaction because u_i > 0) can never
+/// propagate NaN endpoints into reported rules.
+double RangeMinValue(const BucketCounts& counts, int s, int t);
+/// Largest finite max_value over buckets [s, t]; +infinity when none.
+double RangeMaxValue(const BucketCounts& counts, int s, int t);
+
+/// Counts EVERY numeric attribute of a batch stream against EVERY Boolean
+/// target in one shared scan: the columnar core of Algorithm 3.1 step 4
+/// generalized to the paper's "all combinations of hundreds of numeric and
+/// Boolean attributes" workload. One plan instance accumulates a
+/// BucketCounts per numeric attribute (each with one v-row per target);
+/// partial plans from sharded scans Merge() exactly, so parallel execution
+/// is bit-identical to serial.
+class MultiCountPlan {
+ public:
+  /// `boundaries[a]` describes the buckets of numeric attribute a; the
+  /// pointers must outlive the plan. Every accumulated batch must have
+  /// `boundaries.size()` numeric and `num_targets` Boolean columns.
+  MultiCountPlan(std::vector<const BucketBoundaries*> boundaries,
+                 int num_targets);
+
+  /// Accumulates one batch into the per-attribute counts.
+  void Accumulate(const storage::ColumnarBatch& batch);
+
+  /// Accumulates only numeric attribute `attr` of the batch (building
+  /// block for attribute-parallel execution; disjoint attrs are safe to
+  /// run concurrently on one plan).
+  void AccumulateAttribute(const storage::ColumnarBatch& batch, int attr);
+
+  /// Adds `other`'s counts into this plan (other must have identical
+  /// shape). Merge order is the caller's contract for determinism.
+  void Merge(const MultiCountPlan& other);
+
+  int num_attributes() const { return static_cast<int>(counts_.size()); }
+  int num_targets() const { return num_targets_; }
+  /// Rows scanned so far (every attribute sees the same rows).
+  int64_t total_tuples() const {
+    return counts_.empty() ? 0 : counts_[0].total_tuples;
+  }
+
+  /// Per-attribute counts accumulated so far.
+  const BucketCounts& counts(int attr) const {
+    return counts_[static_cast<size_t>(attr)];
+  }
+  /// Moves attribute `attr`'s counts out of the plan.
+  BucketCounts TakeCounts(int attr);
+
+  /// The per-attribute boundary pointers the plan was built with (shared
+  /// with sharded partial plans).
+  const std::vector<const BucketBoundaries*>& boundaries() const {
+    return boundaries_;
+  }
+
+ private:
+  std::vector<const BucketBoundaries*> boundaries_;
+  int num_targets_;
+  std::vector<BucketCounts> counts_;
+  /// Per-attribute bucket-index scratch, reused across batches; per
+  /// attribute so AccumulateAttribute calls can run concurrently.
+  std::vector<std::vector<int32_t>> scratch_;
+};
+
 /// Per-bucket statistics for the Section 5 average operator: tuple counts
 /// of attribute A's buckets plus the per-bucket sum of target attribute B.
 struct BucketSums {
@@ -91,6 +157,11 @@ BucketSums CountBucketSums(std::span<const double> values,
 
 /// Removes empty buckets from a BucketSums in place.
 void CompactEmptyBuckets(BucketSums* sums);
+
+/// NaN-safe range endpoints over BucketSums (see the BucketCounts
+/// overloads above).
+double RangeMinValue(const BucketSums& sums, int s, int t);
+double RangeMaxValue(const BucketSums& sums, int s, int t);
 
 }  // namespace optrules::bucketing
 

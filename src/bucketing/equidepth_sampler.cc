@@ -34,34 +34,43 @@ BucketBoundaries BuildEquiDepthBoundaries(std::span<const double> values,
   return BoundariesFromSample(sample, options.num_buckets);
 }
 
+ReservoirSampler::ReservoirSampler(int64_t capacity) : capacity_(capacity) {
+  OPTRULES_CHECK(capacity >= 1);
+  sample_.reserve(static_cast<size_t>(capacity));
+}
+
+void ReservoirSampler::Add(double value, Rng& rng) {
+  // Vitter's algorithm R: one sequential pass, bounded memory, uniform
+  // without replacement.
+  ++seen_;
+  if (static_cast<int64_t>(sample_.size()) < capacity_) {
+    sample_.push_back(value);
+    return;
+  }
+  const uint64_t j = rng.NextBounded(static_cast<uint64_t>(seen_));
+  if (j < static_cast<uint64_t>(capacity_)) {
+    sample_[static_cast<size_t>(j)] = value;
+  }
+}
+
+BucketBoundaries ReservoirSampler::TakeBoundaries(int num_buckets) {
+  if (sample_.empty()) return BucketBoundaries::FromCutPoints({});
+  return BoundariesFromSample(sample_, num_buckets);
+}
+
 BucketBoundaries BuildEquiDepthBoundariesFromStream(
     storage::TupleStream& stream, int numeric_attr,
     const SamplerOptions& options, Rng& rng) {
   OPTRULES_CHECK(options.num_buckets >= 1);
   OPTRULES_CHECK(options.sample_per_bucket >= 1);
   OPTRULES_CHECK(0 <= numeric_attr && numeric_attr < stream.num_numeric());
-  const int64_t sample_size =
-      options.sample_per_bucket * options.num_buckets;
-  // Reservoir sampling (Vitter's algorithm R): one sequential pass, bounded
-  // memory, uniform without replacement.
-  std::vector<double> reservoir;
-  reservoir.reserve(static_cast<size_t>(sample_size));
+  ReservoirSampler reservoir(options.sample_per_bucket *
+                             options.num_buckets);
   storage::TupleView view;
-  int64_t seen = 0;
   while (stream.Next(&view)) {
-    const double value = view.numeric[numeric_attr];
-    ++seen;
-    if (static_cast<int64_t>(reservoir.size()) < sample_size) {
-      reservoir.push_back(value);
-    } else {
-      const uint64_t j = rng.NextBounded(static_cast<uint64_t>(seen));
-      if (j < static_cast<uint64_t>(sample_size)) {
-        reservoir[static_cast<size_t>(j)] = value;
-      }
-    }
+    reservoir.Add(view.numeric[numeric_attr], rng);
   }
-  if (reservoir.empty()) return BucketBoundaries::FromCutPoints({});
-  return BoundariesFromSample(reservoir, options.num_buckets);
+  return reservoir.TakeBoundaries(options.num_buckets);
 }
 
 }  // namespace optrules::bucketing

@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <span>
+#include <vector>
 
 #include "bucketing/boundaries.h"
 #include "common/rng.h"
@@ -44,6 +45,31 @@ BucketBoundaries BuildEquiDepthBoundaries(std::span<const double> values,
 BucketBoundaries BuildEquiDepthBoundariesFromStream(
     storage::TupleStream& stream, int numeric_attr,
     const SamplerOptions& options, Rng& rng);
+
+/// Bounded uniform sample maintained by Vitter's algorithm R: the
+/// single-pass building block behind the stream sampler above and the
+/// MiningEngine's all-attributes-at-once planning scan.
+class ReservoirSampler {
+ public:
+  /// `capacity` is the sample size S (> 0).
+  explicit ReservoirSampler(int64_t capacity);
+
+  /// Offers one value; with `seen` values offered so far, each is
+  /// retained with probability S/seen.
+  void Add(double value, Rng& rng);
+
+  bool empty() const { return sample_.empty(); }
+
+  /// Sorts the sample and derives `num_buckets` almost equi-depth
+  /// boundaries (Algorithm 3.1 steps 2-3); a never-fed sampler yields the
+  /// single all-covering bucket. Consumes the sample.
+  BucketBoundaries TakeBoundaries(int num_buckets);
+
+ private:
+  int64_t capacity_;
+  int64_t seen_ = 0;
+  std::vector<double> sample_;
+};
 
 }  // namespace optrules::bucketing
 

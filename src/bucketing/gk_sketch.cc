@@ -87,13 +87,10 @@ double GkQuantileSketch::Quantile(double phi) const {
   return summary_.back().value;
 }
 
-BucketBoundaries BuildEquiDepthBoundariesGk(std::span<const double> values,
-                                            int num_buckets,
-                                            double epsilon) {
+BucketBoundaries BoundariesFromGkSketch(const GkQuantileSketch& sketch,
+                                        int num_buckets) {
   OPTRULES_CHECK(num_buckets >= 1);
-  if (values.empty()) return BucketBoundaries::FromCutPoints({});
-  GkQuantileSketch sketch(epsilon);
-  for (const double value : values) sketch.Add(value);
+  OPTRULES_CHECK(sketch.count() > 0);
   std::vector<double> cuts;
   cuts.reserve(static_cast<size_t>(num_buckets) - 1);
   for (int i = 1; i < num_buckets; ++i) {
@@ -102,6 +99,16 @@ BucketBoundaries BuildEquiDepthBoundariesGk(std::span<const double> values,
   }
   std::sort(cuts.begin(), cuts.end());
   return BucketBoundaries::FromCutPoints(std::move(cuts));
+}
+
+BucketBoundaries BuildEquiDepthBoundariesGk(std::span<const double> values,
+                                            int num_buckets,
+                                            double epsilon) {
+  OPTRULES_CHECK(num_buckets >= 1);
+  if (values.empty()) return BucketBoundaries::FromCutPoints({});
+  GkQuantileSketch sketch(epsilon);
+  for (const double value : values) sketch.Add(value);
+  return BoundariesFromGkSketch(sketch, num_buckets);
 }
 
 BucketBoundaries BuildEquiDepthBoundariesGkFromStream(
@@ -113,14 +120,7 @@ BucketBoundaries BuildEquiDepthBoundariesGkFromStream(
   storage::TupleView view;
   while (stream.Next(&view)) sketch.Add(view.numeric[numeric_attr]);
   if (sketch.count() == 0) return BucketBoundaries::FromCutPoints({});
-  std::vector<double> cuts;
-  cuts.reserve(static_cast<size_t>(num_buckets) - 1);
-  for (int i = 1; i < num_buckets; ++i) {
-    cuts.push_back(sketch.Quantile(static_cast<double>(i) /
-                                   static_cast<double>(num_buckets)));
-  }
-  std::sort(cuts.begin(), cuts.end());
-  return BucketBoundaries::FromCutPoints(std::move(cuts));
+  return BoundariesFromGkSketch(sketch, num_buckets);
 }
 
 }  // namespace optrules::bucketing

@@ -57,6 +57,12 @@ class GkQuantileSketch {
   std::vector<Tuple> summary_;  // sorted by value
 };
 
+/// Cut points at the 1/M..(M-1)/M quantiles of a filled sketch; the
+/// shared tail of every GK bucketizer path (column, stream, batch scan).
+/// The sketch must have count() > 0.
+BucketBoundaries BoundariesFromGkSketch(const GkQuantileSketch& sketch,
+                                        int num_buckets);
+
 /// Equi-depth boundaries from one pass of a GK sketch over a column.
 /// Rank error of every cut point is at most epsilon*N.
 BucketBoundaries BuildEquiDepthBoundariesGk(std::span<const double> values,

@@ -3,42 +3,35 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <thread>
+#include <utility>
 
 namespace optrules::bucketing {
 
 BucketCounts ParallelCountBuckets(
     std::span<const double> values,
     std::span<const std::vector<uint8_t>* const> targets,
-    const BucketBoundaries& boundaries, int num_threads) {
+    const BucketBoundaries& boundaries, int num_threads, ThreadPool& pool) {
   OPTRULES_CHECK(num_threads >= 1);
   for (const std::vector<uint8_t>* target : targets) {
     OPTRULES_CHECK(target != nullptr);
     OPTRULES_CHECK(target->size() == values.size());
   }
 
-  // Step 1: split rows into near-equal contiguous shards.
+  // Step 1: split rows into near-equal contiguous shards, one task per
+  // shard (the paper's PEs); the pool executes them with live workers.
   const size_t n = values.size();
   const size_t shards = static_cast<size_t>(num_threads);
   std::vector<BucketCounts> partials(shards);
 
   // Step 3 (per PE): private counting, no shared state.
-  auto count_shard = [&](size_t shard) {
-    const size_t begin = n * shard / shards;
-    const size_t end = n * (shard + 1) / shards;
-    partials[shard] =
-        CountBucketsSlice(values, targets, boundaries, begin, end);
-  };
+  pool.Run(num_threads, [&](int shard) {
+    const auto s = static_cast<size_t>(shard);
+    const size_t begin = n * s / shards;
+    const size_t end = n * (s + 1) / shards;
+    partials[s] = CountBucketsSlice(values, targets, boundaries, begin, end);
+  });
 
-  std::vector<std::thread> workers;
-  workers.reserve(shards - 1);
-  for (size_t shard = 1; shard < shards; ++shard) {
-    workers.emplace_back(count_shard, shard);
-  }
-  count_shard(0);
-  for (std::thread& worker : workers) worker.join();
-
-  // Step 4: the coordinator sums the partial counts.
+  // Step 4: the coordinator sums the partial counts in shard order.
   BucketCounts total = std::move(partials[0]);
   for (size_t shard = 1; shard < shards; ++shard) {
     const BucketCounts& part = partials[shard];
@@ -63,6 +56,81 @@ BucketCounts ParallelCountBuckets(
     total.total_tuples += part.total_tuples;
   }
   return total;
+}
+
+BucketCounts ParallelCountBuckets(
+    std::span<const double> values,
+    std::span<const std::vector<uint8_t>* const> targets,
+    const BucketBoundaries& boundaries, int num_threads) {
+  return ParallelCountBuckets(values, targets, boundaries, num_threads,
+                              DefaultThreadPool());
+}
+
+namespace {
+
+/// Serial fallback: one reader, one plan.
+void ExecuteSerial(storage::BatchSource& source, MultiCountPlan* plan) {
+  std::unique_ptr<storage::BatchReader> reader = source.CreateReader();
+  storage::ColumnarBatch batch;
+  while (reader->Next(&batch)) plan->Accumulate(batch);
+}
+
+/// Row-sharded execution: each worker scans a contiguous row range with
+/// its own range reader into a private partial plan; partials merge in
+/// shard order (bit-identical to serial).
+void ExecuteRowSharded(storage::BatchSource& source, MultiCountPlan* plan,
+                       ThreadPool& pool, int num_shards,
+                       const std::vector<const BucketBoundaries*>& bounds) {
+  source.NoteScanStarted();  // the whole sharded pass is ONE logical scan
+  const int64_t n = source.NumTuples();
+  std::vector<MultiCountPlan> partials;
+  partials.reserve(static_cast<size_t>(num_shards));
+  for (int s = 0; s < num_shards; ++s) {
+    partials.emplace_back(bounds, plan->num_targets());
+  }
+  pool.Run(num_shards, [&](int shard) {
+    const int64_t begin = n * shard / num_shards;
+    const int64_t end = n * (shard + 1) / num_shards;
+    std::unique_ptr<storage::BatchReader> reader =
+        source.CreateRangeReader(begin, end);
+    storage::ColumnarBatch batch;
+    MultiCountPlan& partial = partials[static_cast<size_t>(shard)];
+    while (reader->Next(&batch)) partial.Accumulate(batch);
+  });
+  for (const MultiCountPlan& partial : partials) plan->Merge(partial);
+}
+
+/// Sequential reader, attribute-parallel accumulation: per batch the
+/// numeric attributes fan out across the pool (each attribute's counts
+/// are disjoint state inside the shared plan).
+void ExecuteAttributeParallel(storage::BatchSource& source,
+                              MultiCountPlan* plan, ThreadPool& pool) {
+  std::unique_ptr<storage::BatchReader> reader = source.CreateReader();
+  storage::ColumnarBatch batch;
+  const int num_attrs = plan->num_attributes();
+  while (reader->Next(&batch)) {
+    pool.Run(num_attrs,
+             [&](int attr) { plan->AccumulateAttribute(batch, attr); });
+  }
+}
+
+}  // namespace
+
+void ExecuteMultiCount(storage::BatchSource& source, MultiCountPlan* plan,
+                       ThreadPool* pool) {
+  OPTRULES_CHECK(plan != nullptr);
+  OPTRULES_CHECK(source.num_numeric() == plan->num_attributes());
+  OPTRULES_CHECK(source.num_boolean() == plan->num_targets());
+  if (pool == nullptr || pool->size() <= 1 || plan->num_attributes() == 0) {
+    ExecuteSerial(source, plan);
+    return;
+  }
+  if (source.SupportsRangeReaders() && source.NumTuples() > 0) {
+    ExecuteRowSharded(source, plan, *pool, pool->size(),
+                      plan->boundaries());
+    return;
+  }
+  ExecuteAttributeParallel(source, plan, *pool);
 }
 
 }  // namespace optrules::bucketing

@@ -2,8 +2,12 @@
 //
 // The tuples are partitioned over worker threads (the paper's "processor
 // elements"); each worker counts its share into private arrays with no
-// communication, and the coordinator sums the partial counts. The paper
-// argues this is embarrassingly parallel and scales with the number of PEs.
+// communication, and the coordinator sums the partial counts in shard
+// order, so every thread count produces bit-identical results. Workers
+// come from a reusable ThreadPool rather than ad-hoc thread spawns, and
+// the multi-pair entry point drives a whole MultiCountPlan -- every
+// numeric attribute against every Boolean target -- through ONE shared
+// scan of a BatchSource.
 
 #ifndef OPTRULES_BUCKETING_PARALLEL_COUNT_H_
 #define OPTRULES_BUCKETING_PARALLEL_COUNT_H_
@@ -12,15 +16,37 @@
 #include <vector>
 
 #include "bucketing/counting.h"
+#include "common/thread_pool.h"
+#include "storage/columnar_batch.h"
 
 namespace optrules::bucketing {
 
 /// Parallel version of CountBuckets over in-memory columns. Equivalent to
-/// the serial version for any thread count; `num_threads >= 1`.
+/// the serial version for any thread count; `num_threads >= 1` is the
+/// number of row shards. Runs on `pool` (shards beyond the pool size
+/// queue), or on DefaultThreadPool() for the 4-argument overload.
+BucketCounts ParallelCountBuckets(
+    std::span<const double> values,
+    std::span<const std::vector<uint8_t>* const> targets,
+    const BucketBoundaries& boundaries, int num_threads, ThreadPool& pool);
+
 BucketCounts ParallelCountBuckets(
     std::span<const double> values,
     std::span<const std::vector<uint8_t>* const> targets,
     const BucketBoundaries& boundaries, int num_threads);
+
+/// Executes `plan` over exactly one scan of `source`, partitioned over
+/// `pool` (pass nullptr for a serial scan).
+///
+/// Sources that support range readers (in-memory relations, PagedFiles)
+/// are sharded by rows: each worker accumulates a private partial plan
+/// over a contiguous shard and the partials merge in shard order. Other
+/// sources are read sequentially with the numeric attributes of each
+/// batch fanned out across the pool. Both schedules produce bit-identical
+/// counts to a serial scan, and both account exactly one scan on
+/// `source` (assertable via BatchSource::scans_started()).
+void ExecuteMultiCount(storage::BatchSource& source, MultiCountPlan* plan,
+                       ThreadPool* pool);
 
 }  // namespace optrules::bucketing
 

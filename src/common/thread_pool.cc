@@ -1,0 +1,98 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace optrules {
+
+ThreadPool::ThreadPool(int num_threads) {
+  OPTRULES_CHECK(num_threads >= 1);
+  workers_.reserve(static_cast<size_t>(num_threads - 1));
+  for (int i = 0; i < num_threads - 1; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::DrainTasks(uint64_t generation) {
+  // Tasks are claimed under the lock so that a worker woken late for an
+  // already-finished batch can never touch the next batch's state (or a
+  // destroyed fn). Tasks are coarse -- whole row shards or per-attribute
+  // batch kernels -- so the per-task lock round-trip is noise.
+  for (;;) {
+    const std::function<void(int)>* fn = nullptr;
+    int task = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (generation_ != generation || fn_ == nullptr ||
+          next_task_ >= num_tasks_) {
+        return;
+      }
+      task = next_task_++;
+      fn = fn_;
+    }
+    // Run() cannot return (and destroy *fn) before this task reports
+    // completion below, so the unlocked call is safe.
+    (*fn)(task);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      OPTRULES_DCHECK(generation_ == generation);
+      ++completed_;
+      if (completed_ == num_tasks_) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen_generation = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return stop_ || generation_ != seen_generation;
+      });
+      if (stop_) return;
+      seen_generation = generation_;
+    }
+    DrainTasks(seen_generation);
+  }
+}
+
+void ThreadPool::Run(int num_tasks, const std::function<void(int)>& fn) {
+  OPTRULES_CHECK(num_tasks >= 0);
+  if (num_tasks == 0) return;
+  std::lock_guard<std::mutex> run_lock(run_mu_);
+  uint64_t generation = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fn_ = &fn;
+    num_tasks_ = num_tasks;
+    completed_ = 0;
+    next_task_ = 0;
+    generation = ++generation_;
+  }
+  work_cv_.notify_all();
+  DrainTasks(generation);  // the caller participates
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return completed_ == num_tasks_; });
+  fn_ = nullptr;
+}
+
+ThreadPool& DefaultThreadPool() {
+  static ThreadPool* pool = [] {
+    const unsigned hardware = std::thread::hardware_concurrency();
+    return new ThreadPool(std::max(1u, hardware));
+  }();
+  return *pool;
+}
+
+}  // namespace optrules

@@ -1,0 +1,71 @@
+// Reusable fixed-size worker pool for the parallel counting passes.
+//
+// Algorithm 3.2 partitions a counting scan over "processor elements"; the
+// seed implementation spawned fresh std::threads per call, which costs a
+// syscall storm on every pass when the miner sweeps hundreds of attribute
+// pairs. ThreadPool keeps the workers alive across passes: Run() hands an
+// indexed task batch to the pool and blocks until every task has executed,
+// with the calling thread participating so a size-1 pool degrades to a
+// plain loop.
+
+#ifndef OPTRULES_COMMON_THREAD_POOL_H_
+#define OPTRULES_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace optrules {
+
+/// Fixed-size pool executing indexed task batches. Thread-safe: concurrent
+/// Run() calls are serialized against each other.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads - 1` workers (the caller is the remaining
+  /// "thread"); num_threads >= 1.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total parallelism: workers + the calling thread.
+  int size() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Executes fn(0), ..., fn(num_tasks - 1), each exactly once, across the
+  /// pool and the calling thread; returns when all tasks completed. Task
+  /// order across threads is unspecified, so fn must only touch disjoint
+  /// state per index (the counting kernels merge partials afterwards).
+  void Run(int num_tasks, const std::function<void(int)>& fn);
+
+ private:
+  void WorkerLoop();
+  /// Pops and runs tasks of batch `generation` until none remain (or the
+  /// batch is over). Claims are made under mu_, so late-woken workers can
+  /// never cross into a newer batch's state.
+  void DrainTasks(uint64_t generation);
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  // All batch state below is guarded by mu_.
+  const std::function<void(int)>* fn_ = nullptr;  // current batch
+  int num_tasks_ = 0;
+  int next_task_ = 0;
+  int completed_ = 0;
+  uint64_t generation_ = 0;  // bumped per Run(); wakes the workers
+  bool stop_ = false;
+  std::mutex run_mu_;  // serializes concurrent Run() calls
+  std::vector<std::thread> workers_;
+};
+
+/// Process-wide pool sized to the hardware, created on first use. The
+/// counting layer uses this when the caller does not pass its own pool.
+ThreadPool& DefaultThreadPool();
+
+}  // namespace optrules
+
+#endif  // OPTRULES_COMMON_THREAD_POOL_H_

@@ -1,5 +1,6 @@
 #include "report/report.h"
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 
@@ -18,6 +19,17 @@ std::string FormatNumber(double value) {
   return buffer;
 }
 
+/// Range endpoints must never render as NaN: a bucket whose only values
+/// were NaN survives empty-bucket compaction (u_i > 0), so a rule spanning
+/// it could otherwise leak "nan" into reports. An unknown endpoint renders
+/// as the unbounded edge instead.
+std::string FormatRangeLo(double value) {
+  return std::isnan(value) ? "-inf" : FormatNumber(value);
+}
+std::string FormatRangeHi(double value) {
+  return std::isnan(value) ? "inf" : FormatNumber(value);
+}
+
 }  // namespace
 
 std::string ToMarkdown(const std::vector<RankedRule>& rules) {
@@ -32,8 +44,8 @@ std::string ToMarkdown(const std::vector<RankedRule>& rules) {
     }
     out += " | ";
     out += KindName(rule.kind);
-    out += " | [" + FormatNumber(rule.range_lo) + ", " +
-           FormatNumber(rule.range_hi) + "]";
+    out += " | [" + FormatRangeLo(rule.range_lo) + ", " +
+           FormatRangeHi(rule.range_hi) + "]";
     out += " | " + FormatNumber(rule.support * 100.0) + "%";
     out += " | " + FormatNumber(rule.confidence * 100.0) + "%";
     out += " | " + FormatNumber(entry.measures.lift);
@@ -51,8 +63,8 @@ std::string ToCsv(const std::vector<RankedRule>& rules) {
     const rules::MinedRule& rule = entry.rule;
     out += rule.numeric_attr + "," + rule.boolean_attr + "," +
            rule.presumptive_condition + "," + KindName(rule.kind) + "," +
-           FormatNumber(rule.range_lo) + "," +
-           FormatNumber(rule.range_hi) + "," + FormatNumber(rule.support) +
+           FormatRangeLo(rule.range_lo) + "," +
+           FormatRangeHi(rule.range_hi) + "," + FormatNumber(rule.support) +
            "," + FormatNumber(rule.confidence) + "," +
            FormatNumber(entry.measures.lift) + "," +
            FormatNumber(entry.measures.leverage) + "," +

@@ -1,10 +1,12 @@
 #include "rules/miner.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <utility>
 
-#include "bucketing/counting.h"
 #include "bucketing/equidepth_sampler.h"
 #include "bucketing/gk_sketch.h"
+#include "bucketing/parallel_count.h"
 #include "bucketing/sort_bucketizer.h"
 #include "common/ratio.h"
 #include "common/rng.h"
@@ -16,42 +18,72 @@ namespace optrules::rules {
 
 namespace {
 
+/// Per-attribute salt decorrelating sampling seeds while keeping the whole
+/// run reproducible; shared by Miner and MiningEngine so their boundaries
+/// are identical.
+uint64_t AttributeSalt(int numeric_index) {
+  return 0x9e37 * static_cast<uint64_t>(numeric_index);
+}
+
 std::string FormatDouble(double value) {
   char buffer[64];
   std::snprintf(buffer, sizeof(buffer), "%.4g", value);
   return buffer;
 }
 
-/// Builds equi-depth boundaries for one column under the configured
-/// bucketizer strategy. `salt` decorrelates per-attribute sampling seeds.
-bucketing::BucketBoundaries BuildBoundaries(const MinerOptions& options,
-                                            std::span<const double> values,
-                                            uint64_t salt) {
-  switch (options.bucketizer) {
-    case Bucketizer::kSampling: {
-      Rng rng(options.seed + salt);
-      bucketing::SamplerOptions sampler;
-      sampler.num_buckets = options.num_buckets;
-      sampler.sample_per_bucket = options.sample_per_bucket;
-      return bucketing::BuildEquiDepthBoundaries(values, sampler, rng);
-    }
-    case Bucketizer::kGkSketch: {
-      const double epsilon =
-          options.gk_epsilon > 0.0
-              ? options.gk_epsilon
-              : 1.0 / (4.0 * static_cast<double>(options.num_buckets));
-      return bucketing::BuildEquiDepthBoundariesGk(
-          values, options.num_buckets, epsilon);
-    }
-    case Bucketizer::kExactSort:
-      return bucketing::ExactEquiDepthBoundaries(values,
-                                                 options.num_buckets);
+/// Shared rule emission: runs both O(M) optimizers over one pair's count
+/// arrays and renders the results as MinedRules. Used by Miner and
+/// MiningEngine so the two paths are bit-identical by construction.
+std::vector<MinedRule> EmitRulesForPair(
+    const bucketing::BucketCounts& counts, int target_index,
+    const MinerOptions& options, const std::string& numeric_attr,
+    const std::string& boolean_attr) {
+  RangeRule optimized[2];
+  if (!counts.u.empty()) {
+    const std::vector<int64_t>& u = counts.u;
+    const std::vector<int64_t>& v =
+        counts.v[static_cast<size_t>(target_index)];
+    optimized[0] = OptimizedConfidenceRule(
+        u, v, counts.total_tuples,
+        MinSupportCount(counts.total_tuples, options.min_support));
+    optimized[1] = OptimizedSupportRule(
+        u, v, counts.total_tuples, Ratio::FromDouble(options.min_confidence));
   }
-  OPTRULES_CHECK(false);
-  return bucketing::BucketBoundaries::FromCutPoints({});
+
+  std::vector<MinedRule> mined;
+  const RuleKind kinds[2] = {RuleKind::kOptimizedConfidence,
+                             RuleKind::kOptimizedSupport};
+  for (int k = 0; k < 2; ++k) {
+    const RangeRule& range = optimized[k];
+    MinedRule rule;
+    rule.kind = kinds[k];
+    rule.numeric_attr = numeric_attr;
+    rule.boolean_attr = boolean_attr;
+    rule.found = range.found;
+    if (range.found) {
+      rule.range_lo = bucketing::RangeMinValue(counts, range.s, range.t);
+      rule.range_hi = bucketing::RangeMaxValue(counts, range.s, range.t);
+      rule.support_count = range.support_count;
+      rule.hit_count = range.hit_count;
+      rule.support = range.support;
+      rule.confidence = range.confidence;
+    }
+    mined.push_back(std::move(rule));
+  }
+  return mined;
 }
 
 }  // namespace
+
+bucketing::BoundaryPlan ToBoundaryPlan(const MinerOptions& options) {
+  bucketing::BoundaryPlan plan;
+  plan.bucketizer = options.bucketizer;
+  plan.num_buckets = options.num_buckets;
+  plan.sample_per_bucket = options.sample_per_bucket;
+  plan.seed = options.seed;
+  plan.gk_epsilon = options.gk_epsilon;
+  return plan;
+}
 
 std::string MinedRule::ToString() const {
   if (!found) {
@@ -80,6 +112,188 @@ std::string MinedAggregateRange::ToString() const {
          FormatDouble(support * 100.0) + "%]";
 }
 
+// ------------------------------------------------------- MiningEngine ----
+
+MiningEngine::MiningEngine(const storage::Relation* relation,
+                           MinerOptions options, ThreadPool* pool)
+    : relation_(relation),
+      schema_(relation != nullptr ? relation->schema() : storage::Schema()),
+      options_(options),
+      pool_(pool) {
+  OPTRULES_CHECK(relation != nullptr);
+  owned_source_ = std::make_unique<storage::RelationBatchSource>(relation);
+  source_ = owned_source_.get();
+}
+
+MiningEngine::MiningEngine(storage::BatchSource* source,
+                           storage::Schema schema, MinerOptions options,
+                           ThreadPool* pool)
+    : source_(source),
+      schema_(std::move(schema)),
+      options_(options),
+      pool_(pool) {
+  OPTRULES_CHECK(source != nullptr);
+  OPTRULES_CHECK(schema_.num_numeric() == source->num_numeric());
+  OPTRULES_CHECK(schema_.num_boolean() == source->num_boolean());
+}
+
+MiningEngine::~MiningEngine() = default;
+
+void MiningEngine::PlanBoundaries() {
+  const int num_numeric = schema_.num_numeric();
+  boundaries_.reserve(static_cast<size_t>(num_numeric));
+  const bucketing::BoundaryPlan plan = ToBoundaryPlan(options_);
+
+  if (relation_ != nullptr) {
+    // In-memory fast path: plan from the columns directly, with the same
+    // per-attribute salts as the legacy Miner (bit-identical boundaries).
+    for (int a = 0; a < num_numeric; ++a) {
+      boundaries_.push_back(bucketing::BuildBoundaries(
+          relation_->NumericColumn(a), plan, AttributeSalt(a)));
+    }
+    return;
+  }
+
+  // Generic path: ONE streaming pass plans every attribute at once.
+  switch (options_.bucketizer) {
+    case Bucketizer::kSampling: {
+      // Per-attribute reservoirs (shared bucketing::ReservoirSampler),
+      // each with its own deterministic generator, filled in one scan.
+      const int64_t sample_size =
+          options_.sample_per_bucket * options_.num_buckets;
+      std::vector<bucketing::ReservoirSampler> reservoirs;
+      std::vector<Rng> rngs;
+      reservoirs.reserve(static_cast<size_t>(num_numeric));
+      rngs.reserve(static_cast<size_t>(num_numeric));
+      for (int a = 0; a < num_numeric; ++a) {
+        reservoirs.emplace_back(sample_size);
+        rngs.emplace_back(options_.seed + AttributeSalt(a));
+      }
+      std::unique_ptr<storage::BatchReader> reader = source_->CreateReader();
+      storage::ColumnarBatch batch;
+      while (reader->Next(&batch)) {
+        for (int a = 0; a < num_numeric; ++a) {
+          const auto ai = static_cast<size_t>(a);
+          for (const double value : batch.numeric(a)) {
+            reservoirs[ai].Add(value, rngs[ai]);
+          }
+        }
+      }
+      for (int a = 0; a < num_numeric; ++a) {
+        boundaries_.push_back(reservoirs[static_cast<size_t>(a)]
+                                  .TakeBoundaries(options_.num_buckets));
+      }
+      return;
+    }
+    case Bucketizer::kGkSketch: {
+      // One deterministic GK sketch per attribute, all fed in one scan;
+      // identical to the in-memory sketch because insertion order is the
+      // row order either way.
+      const double epsilon = ToBoundaryPlan(options_).EffectiveGkEpsilon();
+      std::vector<bucketing::GkQuantileSketch> sketches;
+      sketches.reserve(static_cast<size_t>(num_numeric));
+      for (int a = 0; a < num_numeric; ++a) sketches.emplace_back(epsilon);
+      std::unique_ptr<storage::BatchReader> reader = source_->CreateReader();
+      storage::ColumnarBatch batch;
+      while (reader->Next(&batch)) {
+        for (int a = 0; a < num_numeric; ++a) {
+          auto& sketch = sketches[static_cast<size_t>(a)];
+          for (const double value : batch.numeric(a)) sketch.Add(value);
+        }
+      }
+      for (int a = 0; a < num_numeric; ++a) {
+        const auto& sketch = sketches[static_cast<size_t>(a)];
+        boundaries_.push_back(
+            sketch.count() == 0
+                ? bucketing::BucketBoundaries::FromCutPoints({})
+                : bucketing::BoundariesFromGkSketch(sketch,
+                                                    options_.num_buckets));
+      }
+      return;
+    }
+    case Bucketizer::kExactSort: {
+      // Exact depths need the full columns; buffer them from one scan.
+      // This is an in-memory fallback -- out-of-core exact bucketing goes
+      // through bucketing::NaiveSortBoundariesFromFile instead.
+      std::vector<std::vector<double>> columns(
+          static_cast<size_t>(num_numeric));
+      std::unique_ptr<storage::BatchReader> reader = source_->CreateReader();
+      storage::ColumnarBatch batch;
+      while (reader->Next(&batch)) {
+        for (int a = 0; a < num_numeric; ++a) {
+          const std::span<const double> values = batch.numeric(a);
+          auto& column = columns[static_cast<size_t>(a)];
+          column.insert(column.end(), values.begin(), values.end());
+        }
+      }
+      for (int a = 0; a < num_numeric; ++a) {
+        boundaries_.push_back(bucketing::ExactEquiDepthBoundaries(
+            columns[static_cast<size_t>(a)], options_.num_buckets));
+      }
+      return;
+    }
+  }
+  OPTRULES_CHECK(false);
+}
+
+void MiningEngine::RunCountingScan() {
+  std::vector<const bucketing::BucketBoundaries*> bounds;
+  bounds.reserve(boundaries_.size());
+  for (const bucketing::BucketBoundaries& b : boundaries_) {
+    bounds.push_back(&b);
+  }
+  bucketing::MultiCountPlan plan(std::move(bounds), schema_.num_boolean());
+  bucketing::ExecuteMultiCount(*source_, &plan, pool_);
+  ++counting_scans_;
+  counts_.reserve(static_cast<size_t>(plan.num_attributes()));
+  for (int a = 0; a < plan.num_attributes(); ++a) {
+    counts_.push_back(plan.TakeCounts(a));
+    bucketing::CompactEmptyBuckets(&counts_.back());
+  }
+}
+
+void MiningEngine::Prepare() {
+  if (prepared_) return;
+  OPTRULES_CHECK(options_.num_buckets >= 1);
+  OPTRULES_CHECK(options_.sample_per_bucket >= 1);
+  OPTRULES_CHECK(0.0 <= options_.min_support && options_.min_support <= 1.0);
+  OPTRULES_CHECK(0.0 <= options_.min_confidence &&
+                 options_.min_confidence <= 1.0);
+  PlanBoundaries();
+  RunCountingScan();
+  prepared_ = true;
+}
+
+std::vector<MinedRule> MiningEngine::MineAllPairs() {
+  Prepare();
+  std::vector<MinedRule> all;
+  all.reserve(static_cast<size_t>(schema_.num_numeric()) *
+              static_cast<size_t>(schema_.num_boolean()) * 2);
+  for (int a = 0; a < schema_.num_numeric(); ++a) {
+    for (int b = 0; b < schema_.num_boolean(); ++b) {
+      std::vector<MinedRule> pair =
+          EmitRulesForPair(counts_[static_cast<size_t>(a)], b, options_,
+                           schema_.NumericName(a), schema_.BooleanName(b));
+      for (MinedRule& rule : pair) all.push_back(std::move(rule));
+    }
+  }
+  return all;
+}
+
+Result<std::vector<MinedRule>> MiningEngine::MinePair(
+    const std::string& numeric_attr, const std::string& boolean_attr) {
+  const Result<int> numeric_index = schema_.NumericIndexOf(numeric_attr);
+  if (!numeric_index.ok()) return numeric_index.status();
+  const Result<int> boolean_index = schema_.BooleanIndexOf(boolean_attr);
+  if (!boolean_index.ok()) return boolean_index.status();
+  Prepare();
+  return EmitRulesForPair(
+      counts_[static_cast<size_t>(numeric_index.value())],
+      boolean_index.value(), options_, numeric_attr, boolean_attr);
+}
+
+// -------------------------------------------------------------- Miner ----
+
 /// Cached per-numeric-attribute bucketing: boundaries are sampled once and
 /// all Boolean targets counted in one scan; empty buckets are compacted.
 struct Miner::AttributeBuckets {
@@ -105,10 +319,8 @@ const Miner::AttributeBuckets& Miner::BucketsFor(int numeric_index) {
 
   const std::vector<double>& values =
       relation_->NumericColumn(numeric_index);
-  // The salt derives a per-attribute seed so attributes get independent
-  // samples but the whole run stays reproducible.
-  const bucketing::BucketBoundaries boundaries = BuildBoundaries(
-      options_, values, 0x9e37 * static_cast<uint64_t>(numeric_index));
+  const bucketing::BucketBoundaries boundaries = bucketing::BuildBoundaries(
+      values, ToBoundaryPlan(options_), AttributeSalt(numeric_index));
 
   std::vector<const std::vector<uint8_t>*> targets;
   targets.reserve(static_cast<size_t>(relation_->schema().num_boolean()));
@@ -132,37 +344,8 @@ Result<std::vector<MinedRule>> Miner::MinePair(
   if (!boolean_index.ok()) return boolean_index.status();
 
   const AttributeBuckets& buckets = BucketsFor(numeric_index.value());
-  const bucketing::BucketCounts& counts = buckets.counts;
-  const std::vector<int64_t>& u = counts.u;
-  const std::vector<int64_t>& v =
-      counts.v[static_cast<size_t>(boolean_index.value())];
-
-  std::vector<MinedRule> mined;
-  const RangeRule confidence_rule = OptimizedConfidenceRule(
-      u, v, counts.total_tuples,
-      MinSupportCount(counts.total_tuples, options_.min_support));
-  const RangeRule support_rule = OptimizedSupportRule(
-      u, v, counts.total_tuples, Ratio::FromDouble(options_.min_confidence));
-
-  for (const auto& [kind, range] :
-       {std::pair{RuleKind::kOptimizedConfidence, confidence_rule},
-        std::pair{RuleKind::kOptimizedSupport, support_rule}}) {
-    MinedRule rule;
-    rule.kind = kind;
-    rule.numeric_attr = numeric_attr;
-    rule.boolean_attr = boolean_attr;
-    rule.found = range.found;
-    if (range.found) {
-      rule.range_lo = counts.min_value[static_cast<size_t>(range.s)];
-      rule.range_hi = counts.max_value[static_cast<size_t>(range.t)];
-      rule.support_count = range.support_count;
-      rule.hit_count = range.hit_count;
-      rule.support = range.support;
-      rule.confidence = range.confidence;
-    }
-    mined.push_back(std::move(rule));
-  }
-  return mined;
+  return EmitRulesForPair(buckets.counts, boolean_index.value(), options_,
+                          numeric_attr, boolean_attr);
 }
 
 std::vector<MinedRule> Miner::MineAll() {
@@ -208,45 +391,19 @@ Result<std::vector<MinedRule>> Miner::MineGeneralized(
 
   const std::vector<double>& values =
       relation_->NumericColumn(numeric_index.value());
-  const bucketing::BucketBoundaries boundaries = BuildBoundaries(
-      options_, values,
-      0x517c + 0x9e37 * static_cast<uint64_t>(numeric_index.value()));
+  bucketing::BoundaryPlan plan = ToBoundaryPlan(options_);
+  plan.seed += 0x517c;  // decorrelate from the plain per-pair bucketing
+  const bucketing::BucketBoundaries boundaries = bucketing::BuildBoundaries(
+      values, plan, AttributeSalt(numeric_index.value()));
   bucketing::BucketCounts counts = bucketing::CountBucketsConditional(
       values, c1, relation_->BooleanColumn(objective_index.value()),
       boundaries);
   bucketing::CompactEmptyBuckets(&counts);
 
-  std::vector<MinedRule> mined;
-  RangeRule rules[2];
-  if (counts.u.empty()) {
-    rules[0] = RangeRule{};
-    rules[1] = RangeRule{};
-  } else {
-    rules[0] = OptimizedConfidenceRule(
-        counts.u, counts.v[0], counts.total_tuples,
-        MinSupportCount(counts.total_tuples, options_.min_support));
-    rules[1] = OptimizedSupportRule(
-        counts.u, counts.v[0], counts.total_tuples,
-        Ratio::FromDouble(options_.min_confidence));
-  }
-  const RuleKind kinds[2] = {RuleKind::kOptimizedConfidence,
-                             RuleKind::kOptimizedSupport};
-  for (int k = 0; k < 2; ++k) {
-    MinedRule rule;
-    rule.kind = kinds[k];
-    rule.numeric_attr = numeric_attr;
-    rule.boolean_attr = objective_attr;
+  std::vector<MinedRule> mined =
+      EmitRulesForPair(counts, 0, options_, numeric_attr, objective_attr);
+  for (MinedRule& rule : mined) {
     rule.presumptive_condition = condition_text;
-    rule.found = rules[k].found;
-    if (rules[k].found) {
-      rule.range_lo = counts.min_value[static_cast<size_t>(rules[k].s)];
-      rule.range_hi = counts.max_value[static_cast<size_t>(rules[k].t)];
-      rule.support_count = rules[k].support_count;
-      rule.hit_count = rules[k].hit_count;
-      rule.support = rules[k].support;
-      rule.confidence = rules[k].confidence;
-    }
-    mined.push_back(std::move(rule));
   }
   return mined;
 }
@@ -263,8 +420,10 @@ Result<bucketing::BucketSums> BuildSums(const storage::Relation& relation,
   const Result<int> b = relation.schema().NumericIndexOf(target_attr);
   if (!b.ok()) return b.status();
   const std::vector<double>& values = relation.NumericColumn(a.value());
-  const bucketing::BucketBoundaries boundaries = BuildBoundaries(
-      options, values, 0xa4f + 0x9e37 * static_cast<uint64_t>(a.value()));
+  bucketing::BoundaryPlan plan = ToBoundaryPlan(options);
+  plan.seed += 0xa4f;  // decorrelate from the per-pair bucketing
+  const bucketing::BucketBoundaries boundaries = bucketing::BuildBoundaries(
+      values, plan, AttributeSalt(a.value()));
   bucketing::BucketSums sums = bucketing::CountBucketSums(
       values, relation.NumericColumn(b.value()), boundaries);
   bucketing::CompactEmptyBuckets(&sums);
@@ -280,8 +439,8 @@ MinedAggregateRange ToMinedAggregate(const bucketing::BucketSums& sums,
   mined.target_attr = target_attr;
   mined.found = aggregate.found;
   if (aggregate.found) {
-    mined.range_lo = sums.min_value[static_cast<size_t>(aggregate.s)];
-    mined.range_hi = sums.max_value[static_cast<size_t>(aggregate.t)];
+    mined.range_lo = bucketing::RangeMinValue(sums, aggregate.s, aggregate.t);
+    mined.range_hi = bucketing::RangeMaxValue(sums, aggregate.s, aggregate.t);
     mined.support_count = aggregate.support_count;
     mined.support = sums.total_tuples > 0
                         ? static_cast<double>(aggregate.support_count) /

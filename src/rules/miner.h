@@ -1,11 +1,22 @@
-// End-to-end rule miner: the system of Section 1.3.
+// End-to-end rule miners: the system of Section 1.3.
 //
-// Pipeline per numeric attribute: sampling-based equi-depth bucketing
-// (Algorithm 3.1) -> one counting scan for all Boolean targets -> O(M)
-// optimized-confidence and optimized-support rules per target. The miner
-// can sweep every (numeric, Boolean) attribute pair of a relation --
-// the paper's "complete set of optimized rules for all combinations of
-// hundreds of numeric and Boolean attributes".
+// Two entry points share one pipeline (boundary planning -> bucket
+// counting -> O(M) optimizers):
+//
+//  * MiningEngine -- the batch-execution session. It plans equi-depth
+//    boundaries for EVERY numeric attribute up front, then accumulates
+//    BucketCounts for every (numeric, Boolean) attribute pair in ONE
+//    shared columnar scan of the data (bucketing::MultiCountPlan over a
+//    storage::BatchSource, optionally partitioned over a ThreadPool), and
+//    finally answers rule queries from the cached counts. This is the
+//    paper's "complete set of optimized rules for all combinations of
+//    hundreds of numeric and Boolean attributes" path: the scan cost is
+//    paid once no matter how many pairs are mined, in memory or on disk.
+//
+//  * Miner -- the legacy reference miner over an in-memory relation. It
+//    buckets lazily, one counting pass per numeric attribute, and is kept
+//    as the independently-simple implementation the engine is tested
+//    against (their outputs must be bit-identical).
 
 #ifndef OPTRULES_RULES_MINER_H_
 #define OPTRULES_RULES_MINER_H_
@@ -15,18 +26,19 @@
 #include <string>
 #include <vector>
 
+#include "bucketing/boundaries.h"
+#include "bucketing/counting.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "rules/rule.h"
+#include "storage/columnar_batch.h"
 #include "storage/relation.h"
 
 namespace optrules::rules {
 
-/// How equi-depth bucket boundaries are derived per numeric attribute.
-enum class Bucketizer {
-  kSampling,   ///< Algorithm 3.1: random sample + sorted quantiles
-  kGkSketch,   ///< deterministic Greenwald-Khanna quantile sketch
-  kExactSort,  ///< full sort of the column ("Naive Sort"; exact depths)
-};
+/// How equi-depth bucket boundaries are derived per numeric attribute
+/// (shared dispatch lives in bucketing::BuildBoundaries).
+using Bucketizer = bucketing::Bucketizer;
 
 /// Mining parameters.
 struct MinerOptions {
@@ -39,6 +51,9 @@ struct MinerOptions {
   /// Rank-error fraction for the GK bucketizer (ignored otherwise).
   double gk_epsilon = 0.0;  ///< 0 = auto: 1 / (4 * num_buckets)
 };
+
+/// The bucketizer fields of `options` as a bucketing::BoundaryPlan.
+bucketing::BoundaryPlan ToBoundaryPlan(const MinerOptions& options);
 
 /// Which optimization a mined rule answers.
 enum class RuleKind {
@@ -81,12 +96,81 @@ struct MinedAggregateRange {
   std::string ToString() const;
 };
 
-/// Rule miner over an in-memory relation.
+/// Batch-execution mining session: one shared counting scan for all
+/// attribute pairs.
 ///
-/// The relation must outlive the miner. Bucketings are computed lazily per
-/// numeric attribute and cached, so MineAll() pays one sampling pass and
-/// one counting pass per numeric attribute regardless of the number of
-/// Boolean targets.
+/// Construction is cheap; the first mining call (or an explicit
+/// Prepare()) plans boundaries for every numeric attribute and runs the
+/// single counting scan. All rule queries afterwards are O(M) on the
+/// cached bucket arrays and never touch the data again, so
+/// counting_scans() stays 1 for the lifetime of the session.
+class MiningEngine {
+ public:
+  /// Engine over an in-memory relation (which must outlive the engine).
+  /// Boundary planning reads the relation's columns directly with the
+  /// same per-attribute salts as the legacy Miner, so results match it
+  /// bit-for-bit.
+  MiningEngine(const storage::Relation* relation, MinerOptions options,
+               ThreadPool* pool = nullptr);
+
+  /// Engine over any batch source -- e.g. a disk-resident
+  /// storage::PagedFileBatchSource. `schema` names the attributes and
+  /// must match the source's attribute counts. Boundary planning costs
+  /// one extra streaming pass (all attributes sampled/sketched at once);
+  /// counting still costs exactly one scan.
+  MiningEngine(storage::BatchSource* source, storage::Schema schema,
+               MinerOptions options, ThreadPool* pool = nullptr);
+
+  ~MiningEngine();
+  MiningEngine(const MiningEngine&) = delete;
+  MiningEngine& operator=(const MiningEngine&) = delete;
+
+  /// Plans boundaries and runs the shared counting scan now (otherwise
+  /// the first mining call does it).
+  void Prepare();
+
+  /// Both optimized rules for every (numeric, Boolean) attribute pair,
+  /// in (numeric-major, Boolean-minor) order, confidence rule before
+  /// support rule -- the same order as Miner::MineAll().
+  std::vector<MinedRule> MineAllPairs();
+
+  /// Both optimized rules for the pair, from the cached counts.
+  Result<std::vector<MinedRule>> MinePair(const std::string& numeric_attr,
+                                          const std::string& boolean_attr);
+
+  /// Number of counting scans performed over the data so far (0 before
+  /// Prepare, 1 after -- regardless of the number of pairs mined).
+  int64_t counting_scans() const { return counting_scans_; }
+
+  const storage::Schema& schema() const { return schema_; }
+  const MinerOptions& options() const { return options_; }
+
+ private:
+  void PlanBoundaries();
+  void RunCountingScan();
+
+  const storage::Relation* relation_ = nullptr;  ///< in-memory fast path
+  std::unique_ptr<storage::BatchSource> owned_source_;
+  storage::BatchSource* source_ = nullptr;
+  storage::Schema schema_;
+  MinerOptions options_;
+  ThreadPool* pool_;
+  bool prepared_ = false;
+  int64_t counting_scans_ = 0;
+  std::vector<bucketing::BucketBoundaries> boundaries_;
+  /// Compacted per-numeric-attribute counts (one v-row per Boolean attr).
+  std::vector<bucketing::BucketCounts> counts_;
+};
+
+/// Legacy reference miner over an in-memory relation.
+///
+/// The relation must outlive the miner. Bucketings are computed lazily
+/// per numeric attribute and cached, so MineAll() pays one sampling pass
+/// and one counting pass per numeric attribute regardless of the number
+/// of Boolean targets. MiningEngine supersedes this for sweeps (one scan
+/// total instead of one per attribute); Miner stays as the simple
+/// reference implementation and for the lazily-counted single-pair and
+/// generalized/aggregate queries.
 class Miner {
  public:
   Miner(const storage::Relation* relation, MinerOptions options);

@@ -1,0 +1,307 @@
+#include "storage/columnar_batch.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace optrules::storage {
+
+void ColumnarBatch::Reset(int num_numeric, int num_boolean) {
+  num_rows_ = 0;
+  numeric_.assign(static_cast<size_t>(num_numeric), {});
+  boolean_.assign(static_cast<size_t>(num_boolean), {});
+}
+
+void ColumnarBatch::SetRows(int64_t rows) {
+  OPTRULES_CHECK(rows >= 0);
+  num_rows_ = rows;
+}
+
+void ColumnarBatch::SetNumeric(int i, std::span<const double> column) {
+  numeric_[static_cast<size_t>(i)] = column;
+}
+
+void ColumnarBatch::SetBoolean(int i, std::span<const uint8_t> column) {
+  boolean_[static_cast<size_t>(i)] = column;
+}
+
+std::unique_ptr<BatchReader> BatchSource::CreateRangeReader(int64_t /*begin*/,
+                                                            int64_t /*end*/) {
+  OPTRULES_CHECK(false);  // only valid when SupportsRangeReaders()
+  return nullptr;
+}
+
+// ----------------------------------------------------------- relation ----
+
+namespace {
+
+/// Serves [begin, end) of a relation as zero-copy column subspans.
+class RelationBatchReader : public BatchReader {
+ public:
+  RelationBatchReader(const Relation* relation, int64_t begin, int64_t end,
+                      int64_t batch_rows)
+      : relation_(relation),
+        position_(begin),
+        end_(end),
+        batch_rows_(batch_rows) {}
+
+  bool Next(ColumnarBatch* batch) override {
+    if (position_ >= end_) return false;
+    const int64_t rows = std::min(batch_rows_, end_ - position_);
+    const Schema& schema = relation_->schema();
+    batch->Reset(schema.num_numeric(), schema.num_boolean());
+    batch->SetRows(rows);
+    const auto offset = static_cast<size_t>(position_);
+    const auto count = static_cast<size_t>(rows);
+    for (int i = 0; i < schema.num_numeric(); ++i) {
+      batch->SetNumeric(
+          i, std::span<const double>(relation_->NumericColumn(i))
+                 .subspan(offset, count));
+    }
+    for (int i = 0; i < schema.num_boolean(); ++i) {
+      batch->SetBoolean(
+          i, std::span<const uint8_t>(relation_->BooleanColumn(i))
+                 .subspan(offset, count));
+    }
+    position_ += rows;
+    return true;
+  }
+
+ private:
+  const Relation* relation_;
+  int64_t position_;
+  int64_t end_;
+  int64_t batch_rows_;
+};
+
+}  // namespace
+
+RelationBatchSource::RelationBatchSource(const Relation* relation,
+                                         int64_t batch_rows)
+    : relation_(relation), batch_rows_(batch_rows) {
+  OPTRULES_CHECK(relation != nullptr);
+  OPTRULES_CHECK(batch_rows >= 1);
+}
+
+int RelationBatchSource::num_numeric() const {
+  return relation_->schema().num_numeric();
+}
+
+int RelationBatchSource::num_boolean() const {
+  return relation_->schema().num_boolean();
+}
+
+int64_t RelationBatchSource::NumTuples() const {
+  return relation_->NumRows();
+}
+
+std::unique_ptr<BatchReader> RelationBatchSource::DoCreateReader() {
+  return std::make_unique<RelationBatchReader>(relation_, 0,
+                                               relation_->NumRows(),
+                                               batch_rows_);
+}
+
+std::unique_ptr<BatchReader> RelationBatchSource::CreateRangeReader(
+    int64_t begin, int64_t end) {
+  OPTRULES_CHECK(0 <= begin && begin <= end && end <= relation_->NumRows());
+  return std::make_unique<RelationBatchReader>(relation_, begin, end,
+                                               batch_rows_);
+}
+
+// ---------------------------------------------------------- paged file ----
+
+namespace {
+
+/// Reads fixed-width rows page-wise and transposes them into owned column
+/// buffers. Each reader has its own FILE handle, so sharded readers can
+/// stream concurrently.
+class PagedFileBatchReader : public BatchReader {
+ public:
+  PagedFileBatchReader(std::FILE* file, const PagedFileInfo& info,
+                       int64_t begin, int64_t end, int64_t batch_rows)
+      : file_(file),
+        info_(info),
+        position_(begin),
+        end_(end),
+        batch_rows_(batch_rows) {
+    page_.resize(static_cast<size_t>(batch_rows) * info_.row_bytes);
+    numeric_.assign(static_cast<size_t>(info_.num_numeric),
+                    std::vector<double>(static_cast<size_t>(batch_rows)));
+    boolean_.assign(static_cast<size_t>(info_.num_boolean),
+                    std::vector<uint8_t>(static_cast<size_t>(batch_rows)));
+  }
+
+  ~PagedFileBatchReader() override {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+
+  bool Next(ColumnarBatch* batch) override {
+    if (position_ >= end_) return false;
+    const int64_t want = std::min(batch_rows_, end_ - position_);
+    const size_t got = std::fread(page_.data(), info_.row_bytes,
+                                  static_cast<size_t>(want), file_);
+    // end_ is bounded by the header's row count, so a short read means a
+    // truncated or failing file; silently accepting it would merge
+    // partial counts with no diagnostic.
+    OPTRULES_CHECK(got == static_cast<size_t>(want));
+    const auto rows = static_cast<int64_t>(got);
+    // Transpose the row-major page into the column buffers.
+    const size_t boolean_offset =
+        static_cast<size_t>(info_.num_numeric) * sizeof(double);
+    for (int64_t r = 0; r < rows; ++r) {
+      const uint8_t* row =
+          page_.data() + static_cast<size_t>(r) * info_.row_bytes;
+      for (int i = 0; i < info_.num_numeric; ++i) {
+        std::memcpy(&numeric_[static_cast<size_t>(i)][static_cast<size_t>(r)],
+                    row + static_cast<size_t>(i) * sizeof(double),
+                    sizeof(double));
+      }
+      for (int i = 0; i < info_.num_boolean; ++i) {
+        boolean_[static_cast<size_t>(i)][static_cast<size_t>(r)] =
+            row[boolean_offset + static_cast<size_t>(i)];
+      }
+    }
+    batch->Reset(info_.num_numeric, info_.num_boolean);
+    batch->SetRows(rows);
+    for (int i = 0; i < info_.num_numeric; ++i) {
+      batch->SetNumeric(i,
+                        std::span<const double>(numeric_[static_cast<size_t>(i)])
+                            .first(static_cast<size_t>(rows)));
+    }
+    for (int i = 0; i < info_.num_boolean; ++i) {
+      batch->SetBoolean(
+          i, std::span<const uint8_t>(boolean_[static_cast<size_t>(i)])
+                 .first(static_cast<size_t>(rows)));
+    }
+    position_ += rows;
+    return true;
+  }
+
+ private:
+  std::FILE* file_;
+  PagedFileInfo info_;
+  int64_t position_;
+  int64_t end_;
+  int64_t batch_rows_;
+  std::vector<uint8_t> page_;
+  std::vector<std::vector<double>> numeric_;
+  std::vector<std::vector<uint8_t>> boolean_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<PagedFileBatchSource>> PagedFileBatchSource::Open(
+    const std::string& path, int64_t batch_rows) {
+  if (batch_rows <= 0) {
+    return Status::InvalidArgument("batch_rows must be positive");
+  }
+  Result<PagedFileInfo> info = ReadPagedFileInfo(path);
+  if (!info.ok()) return info.status();
+  auto source =
+      std::unique_ptr<PagedFileBatchSource>(new PagedFileBatchSource());
+  source->path_ = path;
+  source->info_ = info.value();
+  source->batch_rows_ = batch_rows;
+  return source;
+}
+
+std::unique_ptr<BatchReader> PagedFileBatchSource::DoCreateReader() {
+  return CreateRangeReader(0, info_.num_rows);
+}
+
+namespace {
+
+/// Seeks to an absolute byte offset in chunks that fit a 32-bit long, so
+/// shard offsets in files beyond 2 GiB work on every platform (plain
+/// fseek takes a long, which is 32 bits on some targets).
+void SeekToOffset(std::FILE* file, uint64_t offset) {
+  OPTRULES_CHECK(std::fseek(file, 0, SEEK_SET) == 0);
+  constexpr uint64_t kChunk = 1u << 30;
+  while (offset > 0) {
+    const uint64_t step = std::min(offset, kChunk);
+    OPTRULES_CHECK(std::fseek(file, static_cast<long>(step), SEEK_CUR) == 0);
+    offset -= step;
+  }
+}
+
+}  // namespace
+
+std::unique_ptr<BatchReader> PagedFileBatchSource::CreateRangeReader(
+    int64_t begin, int64_t end) {
+  OPTRULES_CHECK(0 <= begin && begin <= end && end <= info_.num_rows);
+  std::FILE* file = std::fopen(path_.c_str(), "rb");
+  OPTRULES_CHECK(file != nullptr);
+  SeekToOffset(file, static_cast<uint64_t>(kPagedFileHeaderBytes) +
+                         static_cast<uint64_t>(begin) * info_.row_bytes);
+  return std::make_unique<PagedFileBatchReader>(file, info_, begin, end,
+                                                batch_rows_);
+}
+
+// --------------------------------------------------------- tuple stream ----
+
+namespace {
+
+/// Copies TupleView rows into owned column buffers, one batch at a time.
+class TupleStreamBatchReader : public BatchReader {
+ public:
+  TupleStreamBatchReader(TupleStream* stream, int64_t batch_rows)
+      : stream_(stream), batch_rows_(batch_rows) {
+    numeric_.assign(static_cast<size_t>(stream->num_numeric()),
+                    std::vector<double>(static_cast<size_t>(batch_rows)));
+    boolean_.assign(static_cast<size_t>(stream->num_boolean()),
+                    std::vector<uint8_t>(static_cast<size_t>(batch_rows)));
+  }
+
+  bool Next(ColumnarBatch* batch) override {
+    const int num_numeric = stream_->num_numeric();
+    const int num_boolean = stream_->num_boolean();
+    TupleView view;
+    int64_t rows = 0;
+    while (rows < batch_rows_ && stream_->Next(&view)) {
+      for (int i = 0; i < num_numeric; ++i) {
+        numeric_[static_cast<size_t>(i)][static_cast<size_t>(rows)] =
+            view.numeric[i];
+      }
+      for (int i = 0; i < num_boolean; ++i) {
+        boolean_[static_cast<size_t>(i)][static_cast<size_t>(rows)] =
+            view.booleans[i];
+      }
+      ++rows;
+    }
+    if (rows == 0) return false;
+    batch->Reset(num_numeric, num_boolean);
+    batch->SetRows(rows);
+    for (int i = 0; i < num_numeric; ++i) {
+      batch->SetNumeric(i,
+                        std::span<const double>(numeric_[static_cast<size_t>(i)])
+                            .first(static_cast<size_t>(rows)));
+    }
+    for (int i = 0; i < num_boolean; ++i) {
+      batch->SetBoolean(
+          i, std::span<const uint8_t>(boolean_[static_cast<size_t>(i)])
+                 .first(static_cast<size_t>(rows)));
+    }
+    return true;
+  }
+
+ private:
+  TupleStream* stream_;
+  int64_t batch_rows_;
+  std::vector<std::vector<double>> numeric_;
+  std::vector<std::vector<uint8_t>> boolean_;
+};
+
+}  // namespace
+
+TupleStreamBatchSource::TupleStreamBatchSource(TupleStream* stream,
+                                               int64_t batch_rows)
+    : stream_(stream), batch_rows_(batch_rows) {
+  OPTRULES_CHECK(stream != nullptr);
+  OPTRULES_CHECK(batch_rows >= 1);
+}
+
+std::unique_ptr<BatchReader> TupleStreamBatchSource::DoCreateReader() {
+  stream_->Reset();
+  return std::make_unique<TupleStreamBatchReader>(stream_, batch_rows_);
+}
+
+}  // namespace optrules::storage

@@ -1,0 +1,195 @@
+// Columnar batch execution core.
+//
+// The seed pipeline scanned tables one tuple at a time through a virtual
+// TupleStream::Next() call per row; the counting kernels therefore paid a
+// dispatch + copy per tuple and rescanned the table once per numeric
+// attribute. ColumnarBatch moves the scan granularity to fixed-capacity
+// blocks of whole columns: producers hand out batches of numeric column
+// slices plus Boolean byte-column slices, and the kernels iterate tight
+// span loops with one virtual call per *batch*. In-memory relations serve
+// zero-copy views into their columns; disk-resident PagedFiles transpose
+// each page into reusable column buffers; any legacy TupleStream can be
+// adapted. All three feed the same hot loop (bucketing::MultiCountPlan).
+
+#ifndef OPTRULES_STORAGE_COLUMNAR_BATCH_H_
+#define OPTRULES_STORAGE_COLUMNAR_BATCH_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/paged_file.h"
+#include "storage/relation.h"
+#include "storage/tuple_stream.h"
+
+namespace optrules::storage {
+
+/// Default number of rows per batch: large enough to amortize dispatch,
+/// small enough that one batch of a wide table stays cache-resident.
+inline constexpr int64_t kDefaultBatchRows = 4096;
+
+/// One block of up to `capacity` rows in columnar form. The spans are
+/// borrowed views owned by the producing reader; they stay valid until the
+/// next Next() call on that reader (or until the reader is destroyed).
+class ColumnarBatch {
+ public:
+  int64_t num_rows() const { return num_rows_; }
+  int num_numeric() const { return static_cast<int>(numeric_.size()); }
+  int num_boolean() const { return static_cast<int>(boolean_.size()); }
+
+  /// Column slice of the i-th numeric attribute; num_rows() entries.
+  std::span<const double> numeric(int i) const {
+    return numeric_[static_cast<size_t>(i)];
+  }
+  /// Column slice of the i-th Boolean attribute (0/1 bytes).
+  std::span<const uint8_t> boolean(int i) const {
+    return boolean_[static_cast<size_t>(i)];
+  }
+
+  /// Producer-side assembly: resets to an empty batch with the given
+  /// attribute counts.
+  void Reset(int num_numeric, int num_boolean);
+  /// Producer-side assembly: installs the column views for this block.
+  /// Every span must have `rows` entries.
+  void SetRows(int64_t rows);
+  void SetNumeric(int i, std::span<const double> column);
+  void SetBoolean(int i, std::span<const uint8_t> column);
+
+ private:
+  int64_t num_rows_ = 0;
+  std::vector<std::span<const double>> numeric_;
+  std::vector<std::span<const uint8_t>> boolean_;
+};
+
+/// One sequential scan over a table in batch granularity.
+class BatchReader {
+ public:
+  virtual ~BatchReader() = default;
+
+  /// Fills `batch` with the next block; returns false at end of scan (the
+  /// batch contents are unspecified then). Spans installed into `batch`
+  /// are invalidated by the following Next() call.
+  virtual bool Next(ColumnarBatch* batch) = 0;
+};
+
+/// A table that can be scanned in columnar batches. Each CreateReader()
+/// starts one sequential scan; the source counts scans so callers (and
+/// tests) can assert how often the data was actually read.
+class BatchSource {
+ public:
+  virtual ~BatchSource() = default;
+
+  virtual int num_numeric() const = 0;
+  virtual int num_boolean() const = 0;
+  virtual int64_t NumTuples() const = 0;
+
+  /// Starts a new scan from the first row.
+  std::unique_ptr<BatchReader> CreateReader() {
+    NoteScanStarted();
+    return DoCreateReader();
+  }
+
+  /// True when CreateRangeReader is supported (concurrent sharded scans of
+  /// disjoint row ranges, used by the parallel counting pass).
+  virtual bool SupportsRangeReaders() const { return false; }
+
+  /// Reader over rows [begin, end); only valid when SupportsRangeReaders().
+  /// Does NOT count as a separate scan -- the caller accounts one scan for
+  /// the whole sharded pass via NoteScanStarted().
+  virtual std::unique_ptr<BatchReader> CreateRangeReader(int64_t begin,
+                                                         int64_t end);
+
+  /// Number of scans started over this source so far.
+  int64_t scans_started() const { return scans_started_; }
+
+  /// Accounts one logical scan (CreateReader does this automatically;
+  /// sharded passes call it once for the whole pass).
+  void NoteScanStarted() { ++scans_started_; }
+
+ protected:
+  virtual std::unique_ptr<BatchReader> DoCreateReader() = 0;
+
+ private:
+  int64_t scans_started_ = 0;
+};
+
+/// Zero-copy batch source over an in-memory Relation: batches are subspans
+/// of the relation's columns (no per-row work at all). Supports sharded
+/// range readers, so parallel counting partitions rows across the pool.
+class RelationBatchSource : public BatchSource {
+ public:
+  explicit RelationBatchSource(const Relation* relation,
+                               int64_t batch_rows = kDefaultBatchRows);
+
+  int num_numeric() const override;
+  int num_boolean() const override;
+  int64_t NumTuples() const override;
+  bool SupportsRangeReaders() const override { return true; }
+  std::unique_ptr<BatchReader> CreateRangeReader(int64_t begin,
+                                                 int64_t end) override;
+
+  const Relation* relation() const { return relation_; }
+
+ protected:
+  std::unique_ptr<BatchReader> DoCreateReader() override;
+
+ private:
+  const Relation* relation_;
+  int64_t batch_rows_;
+};
+
+/// Batch source over a PagedFile: each reader owns its own file handle,
+/// reads `batch_rows` fixed-width rows at a time, and transposes them into
+/// reusable column buffers. Supports range readers (readers seek to their
+/// shard), so disk-resident counting can also be sharded when the storage
+/// below tolerates concurrent sequential streams.
+class PagedFileBatchSource : public BatchSource {
+ public:
+  static Result<std::unique_ptr<PagedFileBatchSource>> Open(
+      const std::string& path, int64_t batch_rows = kDefaultBatchRows);
+
+  int num_numeric() const override { return info_.num_numeric; }
+  int num_boolean() const override { return info_.num_boolean; }
+  int64_t NumTuples() const override { return info_.num_rows; }
+  bool SupportsRangeReaders() const override { return true; }
+  std::unique_ptr<BatchReader> CreateRangeReader(int64_t begin,
+                                                 int64_t end) override;
+
+ protected:
+  std::unique_ptr<BatchReader> DoCreateReader() override;
+
+ private:
+  PagedFileBatchSource() = default;
+
+  std::string path_;
+  PagedFileInfo info_;
+  int64_t batch_rows_ = kDefaultBatchRows;
+};
+
+/// Adapter from any legacy TupleStream to the batch API. The stream is
+/// borrowed and rewound on every CreateReader(); only one reader may be
+/// active at a time (no range readers).
+class TupleStreamBatchSource : public BatchSource {
+ public:
+  explicit TupleStreamBatchSource(TupleStream* stream,
+                                  int64_t batch_rows = kDefaultBatchRows);
+
+  int num_numeric() const override { return stream_->num_numeric(); }
+  int num_boolean() const override { return stream_->num_boolean(); }
+  int64_t NumTuples() const override { return stream_->NumTuples(); }
+
+ protected:
+  std::unique_ptr<BatchReader> DoCreateReader() override;
+
+ private:
+  TupleStream* stream_;
+  int64_t batch_rows_;
+};
+
+}  // namespace optrules::storage
+
+#endif  // OPTRULES_STORAGE_COLUMNAR_BATCH_H_

@@ -1,0 +1,448 @@
+// Tests for the columnar batch execution core: batch sources, the shared
+// multi-pair counting scan, and the MiningEngine's equivalence with the
+// legacy per-attribute Miner.
+
+#include <cmath>
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "bucketing/counting.h"
+#include "bucketing/parallel_count.h"
+#include "common/thread_pool.h"
+#include "datagen/bank.h"
+#include "datagen/retail.h"
+#include "datagen/table_generator.h"
+#include "rules/miner.h"
+#include "storage/columnar_batch.h"
+#include "storage/paged_file.h"
+#include "storage/tuple_stream.h"
+
+namespace optrules::rules {
+namespace {
+
+using bucketing::BucketBoundaries;
+using bucketing::BucketCounts;
+using bucketing::MultiCountPlan;
+
+// ------------------------------------------------------ batch sources ----
+
+storage::Relation SmallRelation(int64_t rows, uint64_t seed) {
+  datagen::TableConfig config;
+  config.num_rows = rows;
+  config.num_numeric = 3;
+  config.num_boolean = 2;
+  Rng rng(seed);
+  return datagen::GenerateTable(config, rng);
+}
+
+TEST(BatchSourceTest, RelationBatchesCoverAllRowsInOrder) {
+  const storage::Relation relation = SmallRelation(10007, 1);
+  storage::RelationBatchSource source(&relation, /*batch_rows=*/256);
+  auto reader = source.CreateReader();
+  storage::ColumnarBatch batch;
+  int64_t rows = 0;
+  while (reader->Next(&batch)) {
+    ASSERT_EQ(batch.num_numeric(), 3);
+    ASSERT_EQ(batch.num_boolean(), 2);
+    for (int64_t r = 0; r < batch.num_rows(); ++r) {
+      EXPECT_EQ(batch.numeric(0)[static_cast<size_t>(r)],
+                relation.NumericValue(rows + r, 0));
+      EXPECT_EQ(batch.boolean(1)[static_cast<size_t>(r)] != 0,
+                relation.BooleanValue(rows + r, 1));
+    }
+    rows += batch.num_rows();
+  }
+  EXPECT_EQ(rows, relation.NumRows());
+  EXPECT_EQ(source.scans_started(), 1);
+}
+
+TEST(BatchSourceTest, PagedFileBatchesMatchRelationBatches) {
+  const storage::Relation relation = SmallRelation(5003, 2);
+  const std::string path = testing::TempDir() + "/batch_source.optr";
+  ASSERT_TRUE(storage::WriteRelationToFile(relation, path).ok());
+  auto source_or = storage::PagedFileBatchSource::Open(path, 512);
+  ASSERT_TRUE(source_or.ok());
+  storage::PagedFileBatchSource& file_source = *source_or.value();
+  EXPECT_EQ(file_source.NumTuples(), relation.NumRows());
+
+  auto reader = file_source.CreateReader();
+  storage::ColumnarBatch batch;
+  int64_t row = 0;
+  while (reader->Next(&batch)) {
+    for (int64_t r = 0; r < batch.num_rows(); ++r, ++row) {
+      for (int a = 0; a < 3; ++a) {
+        EXPECT_EQ(batch.numeric(a)[static_cast<size_t>(r)],
+                  relation.NumericValue(row, a));
+      }
+      for (int b = 0; b < 2; ++b) {
+        EXPECT_EQ(batch.boolean(b)[static_cast<size_t>(r)] != 0,
+                  relation.BooleanValue(row, b));
+      }
+    }
+  }
+  EXPECT_EQ(row, relation.NumRows());
+  std::remove(path.c_str());
+}
+
+TEST(BatchSourceTest, TupleStreamAdapterMatchesRelation) {
+  const storage::Relation relation = SmallRelation(3001, 3);
+  storage::RelationTupleStream stream(&relation);
+  storage::TupleStreamBatchSource source(&stream, 128);
+  auto reader = source.CreateReader();
+  storage::ColumnarBatch batch;
+  int64_t row = 0;
+  while (reader->Next(&batch)) {
+    for (int64_t r = 0; r < batch.num_rows(); ++r, ++row) {
+      EXPECT_EQ(batch.numeric(2)[static_cast<size_t>(r)],
+                relation.NumericValue(row, 2));
+    }
+  }
+  EXPECT_EQ(row, relation.NumRows());
+  // A second reader rewinds the underlying stream.
+  auto reader2 = source.CreateReader();
+  ASSERT_TRUE(reader2->Next(&batch));
+  EXPECT_EQ(batch.numeric(0)[0], relation.NumericValue(0, 0));
+  EXPECT_EQ(source.scans_started(), 2);
+}
+
+// -------------------------------------------------- multi-count kernel ----
+
+TEST(MultiCountTest, PlanMatchesPerAttributeCountBuckets) {
+  const storage::Relation relation = SmallRelation(20011, 4);
+  std::vector<BucketBoundaries> boundaries;
+  std::vector<const BucketBoundaries*> bounds;
+  for (int a = 0; a < 3; ++a) {
+    boundaries.push_back(BucketBoundaries::FromCutPoints(
+        {2e5, 4e5 + 1e4 * a, 6e5, 8e5}));
+  }
+  for (const auto& b : boundaries) bounds.push_back(&b);
+  std::vector<const std::vector<uint8_t>*> targets = {
+      &relation.BooleanColumn(0), &relation.BooleanColumn(1)};
+
+  MultiCountPlan plan(bounds, 2);
+  storage::RelationBatchSource source(&relation, 512);
+  auto reader = source.CreateReader();
+  storage::ColumnarBatch batch;
+  while (reader->Next(&batch)) plan.Accumulate(batch);
+
+  for (int a = 0; a < 3; ++a) {
+    const BucketCounts expected = bucketing::CountBuckets(
+        relation.NumericColumn(a), targets, boundaries[static_cast<size_t>(a)]);
+    const BucketCounts& actual = plan.counts(a);
+    EXPECT_EQ(actual.u, expected.u);
+    EXPECT_EQ(actual.v, expected.v);
+    EXPECT_EQ(actual.total_tuples, expected.total_tuples);
+    for (int bkt = 0; bkt < expected.num_buckets(); ++bkt) {
+      const auto bi = static_cast<size_t>(bkt);
+      if (expected.u[bi] > 0) {
+        EXPECT_DOUBLE_EQ(actual.min_value[bi], expected.min_value[bi]);
+        EXPECT_DOUBLE_EQ(actual.max_value[bi], expected.max_value[bi]);
+      }
+    }
+  }
+}
+
+TEST(MultiCountTest, ShardedExecutionIsBitIdenticalAndOneScan) {
+  const storage::Relation relation = SmallRelation(30013, 5);
+  std::vector<BucketBoundaries> boundaries;
+  std::vector<const BucketBoundaries*> bounds;
+  for (int a = 0; a < 3; ++a) {
+    boundaries.push_back(
+        BucketBoundaries::FromCutPoints({1e5, 3e5, 5e5, 7e5, 9e5}));
+  }
+  for (const auto& b : boundaries) bounds.push_back(&b);
+
+  storage::RelationBatchSource serial_source(&relation, 1024);
+  MultiCountPlan serial(bounds, 2);
+  bucketing::ExecuteMultiCount(serial_source, &serial, nullptr);
+  EXPECT_EQ(serial_source.scans_started(), 1);
+
+  for (const int pool_size : {2, 3, 8}) {
+    ThreadPool pool(pool_size);
+    storage::RelationBatchSource source(&relation, 1024);
+    MultiCountPlan parallel(bounds, 2);
+    bucketing::ExecuteMultiCount(source, &parallel, &pool);
+    EXPECT_EQ(source.scans_started(), 1) << pool_size;
+    for (int a = 0; a < 3; ++a) {
+      EXPECT_EQ(parallel.counts(a).u, serial.counts(a).u) << pool_size;
+      EXPECT_EQ(parallel.counts(a).v, serial.counts(a).v) << pool_size;
+      EXPECT_EQ(parallel.counts(a).total_tuples,
+                serial.counts(a).total_tuples);
+    }
+  }
+}
+
+TEST(MultiCountTest, AttributeParallelPathMatchesSerial) {
+  // TupleStreamBatchSource has no range readers, so the pooled schedule
+  // fans attributes out per batch; results must still be bit-identical.
+  const storage::Relation relation = SmallRelation(8009, 6);
+  std::vector<BucketBoundaries> boundaries;
+  std::vector<const BucketBoundaries*> bounds;
+  for (int a = 0; a < 3; ++a) {
+    boundaries.push_back(BucketBoundaries::FromCutPoints({2.5e5, 7.5e5}));
+  }
+  for (const auto& b : boundaries) bounds.push_back(&b);
+
+  storage::RelationTupleStream serial_stream(&relation);
+  storage::TupleStreamBatchSource serial_source(&serial_stream, 512);
+  MultiCountPlan serial(bounds, 2);
+  bucketing::ExecuteMultiCount(serial_source, &serial, nullptr);
+
+  storage::RelationTupleStream stream(&relation);
+  storage::TupleStreamBatchSource source(&stream, 512);
+  ThreadPool pool(4);
+  MultiCountPlan parallel(bounds, 2);
+  bucketing::ExecuteMultiCount(source, &parallel, &pool);
+  EXPECT_EQ(source.scans_started(), 1);
+  for (int a = 0; a < 3; ++a) {
+    EXPECT_EQ(parallel.counts(a).u, serial.counts(a).u);
+    EXPECT_EQ(parallel.counts(a).v, serial.counts(a).v);
+  }
+}
+
+// ----------------------------------------------- parallel determinism ----
+
+TEST(ParallelCountTest, DeterministicAcrossThreadCounts) {
+  const storage::Relation relation = SmallRelation(50021, 7);
+  const BucketBoundaries boundaries =
+      BucketBoundaries::FromCutPoints({1e5, 2e5, 4e5, 6e5, 8e5, 9.5e5});
+  std::vector<const std::vector<uint8_t>*> targets = {
+      &relation.BooleanColumn(0), &relation.BooleanColumn(1)};
+
+  const BucketCounts one = bucketing::ParallelCountBuckets(
+      relation.NumericColumn(0), targets, boundaries, 1);
+  for (const int threads : {2, 8}) {
+    const BucketCounts counts = bucketing::ParallelCountBuckets(
+        relation.NumericColumn(0), targets, boundaries, threads);
+    EXPECT_EQ(counts.u, one.u) << threads;
+    EXPECT_EQ(counts.v, one.v) << threads;
+    EXPECT_EQ(counts.total_tuples, one.total_tuples) << threads;
+    for (int b = 0; b < one.num_buckets(); ++b) {
+      const auto bi = static_cast<size_t>(b);
+      if (one.u[bi] == 0) continue;
+      EXPECT_DOUBLE_EQ(counts.min_value[bi], one.min_value[bi]);
+      EXPECT_DOUBLE_EQ(counts.max_value[bi], one.max_value[bi]);
+    }
+  }
+}
+
+TEST(ParallelCountTest, ExplicitPoolOverloadMatches) {
+  const storage::Relation relation = SmallRelation(9001, 8);
+  const BucketBoundaries boundaries =
+      BucketBoundaries::FromCutPoints({5e5});
+  std::vector<const std::vector<uint8_t>*> targets = {
+      &relation.BooleanColumn(1)};
+  ThreadPool pool(3);
+  const BucketCounts pooled = bucketing::ParallelCountBuckets(
+      relation.NumericColumn(1), targets, boundaries, 5, pool);
+  const BucketCounts serial = bucketing::CountBuckets(
+      relation.NumericColumn(1), relation.BooleanColumn(1), boundaries);
+  EXPECT_EQ(pooled.u, serial.u);
+  EXPECT_EQ(pooled.v, serial.v);
+}
+
+// -------------------------------------------------------- NaN guards ----
+
+TEST(NanGuardTest, NanValuesNeverBecomeRangeEndpoints) {
+  const double nan = std::nan("");
+  const std::vector<double> values = {1.0, 2.0, nan, nan, 30.0};
+  const std::vector<uint8_t> target = {1, 0, 1, 1, 1};
+  const BucketBoundaries boundaries =
+      BucketBoundaries::FromCutPoints({10.0, 20.0});
+  BucketCounts counts = bucketing::CountBuckets(values, target, boundaries);
+  // NaNs land in bucket 0 (all cut comparisons are false) and are counted
+  // as tuples, but min/max must only track finite values.
+  EXPECT_EQ(counts.u[0], 4);
+  EXPECT_DOUBLE_EQ(counts.min_value[0], 1.0);
+  EXPECT_DOUBLE_EQ(counts.max_value[0], 2.0);
+  bucketing::CompactEmptyBuckets(&counts);
+  ASSERT_EQ(counts.num_buckets(), 2);
+  EXPECT_FALSE(std::isnan(bucketing::RangeMinValue(counts, 0, 1)));
+  EXPECT_FALSE(std::isnan(bucketing::RangeMaxValue(counts, 0, 1)));
+}
+
+TEST(NanGuardTest, AllNanBucketFallsBackToUnboundedEdges) {
+  const double nan = std::nan("");
+  const std::vector<double> values = {nan, nan};
+  const std::vector<uint8_t> target = {1, 1};
+  const BucketBoundaries boundaries = BucketBoundaries::FromCutPoints({});
+  BucketCounts counts = bucketing::CountBuckets(values, target, boundaries);
+  bucketing::CompactEmptyBuckets(&counts);
+  ASSERT_EQ(counts.num_buckets(), 1);  // u = 2 > 0: survives compaction
+  EXPECT_TRUE(std::isinf(bucketing::RangeMinValue(counts, 0, 0)));
+  EXPECT_TRUE(std::isinf(bucketing::RangeMaxValue(counts, 0, 0)));
+  EXPECT_FALSE(std::isnan(bucketing::RangeMinValue(counts, 0, 0)));
+}
+
+// ------------------------------------------------------ mining engine ----
+
+void ExpectSameRules(const std::vector<MinedRule>& a,
+                     const std::vector<MinedRule>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    SCOPED_TRACE(i);
+    EXPECT_EQ(a[i].found, b[i].found);
+    EXPECT_EQ(a[i].kind, b[i].kind);
+    EXPECT_EQ(a[i].numeric_attr, b[i].numeric_attr);
+    EXPECT_EQ(a[i].boolean_attr, b[i].boolean_attr);
+    EXPECT_EQ(a[i].range_lo, b[i].range_lo);
+    EXPECT_EQ(a[i].range_hi, b[i].range_hi);
+    EXPECT_EQ(a[i].support_count, b[i].support_count);
+    EXPECT_EQ(a[i].hit_count, b[i].hit_count);
+    EXPECT_EQ(a[i].support, b[i].support);
+    EXPECT_EQ(a[i].confidence, b[i].confidence);
+  }
+}
+
+TEST(MiningEngineTest, SingleScanResultsMatchLegacyMinerOnBank) {
+  datagen::BankConfig config;
+  config.num_customers = 30000;
+  Rng rng(11);
+  const storage::Relation bank = datagen::GenerateBankCustomers(config, rng);
+  MinerOptions options;
+  options.num_buckets = 200;
+  options.min_support = 0.05;
+  options.min_confidence = 0.5;
+
+  Miner legacy(&bank, options);
+  MiningEngine engine(&bank, options);
+  ExpectSameRules(engine.MineAllPairs(), legacy.MineAll());
+  EXPECT_EQ(engine.counting_scans(), 1);
+}
+
+TEST(MiningEngineTest, SingleScanResultsMatchLegacyMinerOnRetail) {
+  datagen::RetailConfig config;
+  config.num_transactions = 30000;
+  Rng rng(12);
+  const storage::Relation retail = datagen::GenerateRetail(config, rng);
+  MinerOptions options;
+  options.num_buckets = 150;
+  options.min_support = 0.02;
+  options.min_confidence = 0.4;
+
+  Miner legacy(&retail, options);
+  MiningEngine engine(&retail, options);
+  ExpectSameRules(engine.MineAllPairs(), legacy.MineAll());
+}
+
+TEST(MiningEngineTest, ExactlyOneCountingScanForAnyNumberOfPairs) {
+  const storage::Relation relation = SmallRelation(20000, 13);
+  storage::RelationBatchSource source(&relation);
+  MinerOptions options;
+  options.num_buckets = 100;
+  MiningEngine engine(&source, relation.schema(), options);
+
+  // 3 numeric x 2 boolean = 6 pairs, 12 rules -- and exactly ONE scan of
+  // the data (boundary planning over a batch source costs one more pass,
+  // counting never rescans).
+  const std::vector<MinedRule> all = engine.MineAllPairs();
+  EXPECT_EQ(all.size(), 12u);
+  EXPECT_EQ(engine.counting_scans(), 1);
+  EXPECT_EQ(source.scans_started(), 2);  // planning + counting
+
+  // Subsequent pair queries answer from the cache: still one scan.
+  ASSERT_TRUE(engine.MinePair("num0", "bool1").ok());
+  ASSERT_TRUE(engine.MinePair("num2", "bool0").ok());
+  EXPECT_EQ(engine.counting_scans(), 1);
+  EXPECT_EQ(source.scans_started(), 2);
+}
+
+TEST(MiningEngineTest, RelationEngineScansOnceTotal) {
+  // The in-memory fast path plans from the columns directly, so even the
+  // planning pass does not touch the batch source: one scan, full stop.
+  const storage::Relation relation = SmallRelation(10000, 17);
+  storage::RelationBatchSource source(&relation);
+  MinerOptions options;
+  options.num_buckets = 64;
+  options.bucketizer = Bucketizer::kGkSketch;
+  MiningEngine engine(&source, relation.schema(), options);
+  engine.Prepare();
+  // Generic sources pay one planning pass; the engine built directly over
+  // the relation (below) must not even do that.
+  EXPECT_EQ(source.scans_started(), 2);
+
+  MiningEngine direct(&relation, options);
+  direct.MineAllPairs();
+  EXPECT_EQ(direct.counting_scans(), 1);
+}
+
+TEST(MiningEngineTest, FileEngineMatchesInMemoryEngineWithGk) {
+  // GK sketches are deterministic and insertion-order equal between the
+  // column and batch paths, so the disk-resident engine must reproduce
+  // the in-memory engine bit for bit.
+  const storage::Relation relation = SmallRelation(15000, 14);
+  const std::string path = testing::TempDir() + "/engine_gk.optr";
+  ASSERT_TRUE(storage::WriteRelationToFile(relation, path).ok());
+  auto source_or = storage::PagedFileBatchSource::Open(path);
+  ASSERT_TRUE(source_or.ok());
+
+  MinerOptions options;
+  options.num_buckets = 100;
+  options.bucketizer = Bucketizer::kGkSketch;
+  MiningEngine memory_engine(&relation, options);
+  MiningEngine file_engine(source_or.value().get(), relation.schema(),
+                           options);
+  ExpectSameRules(file_engine.MineAllPairs(), memory_engine.MineAllPairs());
+  EXPECT_EQ(file_engine.counting_scans(), 1);
+  std::remove(path.c_str());
+}
+
+TEST(MiningEngineTest, FileEngineSamplingRecoversPlantedRule) {
+  datagen::TableConfig config;
+  config.num_rows = 40000;
+  config.num_numeric = 2;
+  config.num_boolean = 2;
+  datagen::PlantedRule planted;
+  planted.numeric_attr = 0;
+  planted.boolean_attr = 0;
+  planted.lo = 300000.0;
+  planted.hi = 500000.0;
+  planted.prob_inside = 0.8;
+  planted.prob_outside = 0.1;
+  config.planted_rules.push_back(planted);
+  const std::string path = testing::TempDir() + "/engine_sampling.optr";
+  {
+    Rng rng(15);
+    ASSERT_TRUE(datagen::GenerateTableToFile(config, rng, path).ok());
+  }
+  auto source_or = storage::PagedFileBatchSource::Open(path);
+  ASSERT_TRUE(source_or.ok());
+  MinerOptions options;
+  options.num_buckets = 200;
+  options.min_support = 0.10;
+  MiningEngine engine(source_or.value().get(),
+                      storage::Schema::Synthetic(2, 2), options);
+  Result<std::vector<MinedRule>> rules = engine.MinePair("num0", "bool0");
+  ASSERT_TRUE(rules.ok());
+  const MinedRule& confidence_rule = rules.value()[0];
+  ASSERT_TRUE(confidence_rule.found);
+  EXPECT_GT(confidence_rule.confidence, 0.7);
+  EXPECT_GE(confidence_rule.range_lo, 300000.0 - 30000.0);
+  EXPECT_LE(confidence_rule.range_hi, 500000.0 + 30000.0);
+  std::remove(path.c_str());
+}
+
+TEST(MiningEngineTest, PooledEngineMatchesSerialEngine) {
+  const storage::Relation relation = SmallRelation(25000, 16);
+  MinerOptions options;
+  options.num_buckets = 100;
+  MiningEngine serial(&relation, options);
+  ThreadPool pool(4);
+  MiningEngine pooled(&relation, options, &pool);
+  ExpectSameRules(pooled.MineAllPairs(), serial.MineAllPairs());
+}
+
+TEST(MiningEngineTest, UnknownAttributesAreNotFoundErrors) {
+  const storage::Relation relation = SmallRelation(100, 18);
+  MiningEngine engine(&relation, MinerOptions{});
+  EXPECT_EQ(engine.MinePair("nope", "bool0").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(engine.MinePair("num0", "nope").status().code(),
+            StatusCode::kNotFound);
+  // Failed lookups must not have triggered the counting scan.
+  EXPECT_EQ(engine.counting_scans(), 0);
+}
+
+}  // namespace
+}  // namespace optrules::rules

@@ -123,6 +123,23 @@ TEST(ReportTest, CsvHasHeaderAndRows) {
   EXPECT_EQ(csv.find("numeric_attr,boolean_attr"), 0u);
 }
 
+TEST(ReportTest, NanEndpointsRenderAsUnboundedEdges) {
+  // A bucket whose only values were NaN survives compaction (u_i > 0), so
+  // a rule spanning it can carry NaN endpoints; reports must render those
+  // as the unbounded edges, never as "nan".
+  rules::MinedRule rule = MakeRule(0.2, 0.8);
+  rule.range_lo = std::nan("");
+  rule.range_hi = std::nan("");
+  RankedRule ranked;
+  ranked.rule = rule;
+  const std::string markdown = ToMarkdown({ranked});
+  EXPECT_EQ(markdown.find("nan"), std::string::npos);
+  EXPECT_NE(markdown.find("[-inf, inf]"), std::string::npos);
+  const std::string csv = ToCsv({ranked});
+  EXPECT_EQ(csv.find("nan"), std::string::npos);
+  EXPECT_NE(csv.find("-inf,inf"), std::string::npos);
+}
+
 TEST(ReportTest, WriteTextFileRoundTrip) {
   const std::string path = testing::TempDir() + "/report.md";
   ASSERT_TRUE(WriteTextFile("hello report\n", path).ok());
