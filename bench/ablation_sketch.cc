@@ -20,7 +20,9 @@ double WorstDepthDeviation(const std::vector<double>& values,
                            const optrules::bucketing::BucketBoundaries& b) {
   std::vector<int64_t> counts(static_cast<size_t>(b.num_buckets()), 0);
   for (const double v : values) {
-    ++counts[static_cast<size_t>(b.Locate(v))];
+    const int bucket = b.Locate(v);
+    if (bucket == optrules::bucketing::BucketBoundaries::kNoBucket) continue;
+    ++counts[static_cast<size_t>(bucket)];
   }
   const double expected =
       static_cast<double>(values.size()) / b.num_buckets();

@@ -1,6 +1,7 @@
 #include "bucketing/boundaries.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 #include "bucketing/equidepth_sampler.h"
@@ -37,6 +38,7 @@ BucketBoundaries BucketBoundaries::FromSortedValues(
 }
 
 int BucketBoundaries::Locate(double x) const {
+  if (std::isnan(x)) return kNoBucket;
   // Bucket i covers (p_i, p_{i+1}]; lower_bound yields the first cut >= x,
   // which is exactly the index of the covering bucket.
   const auto it =

@@ -41,7 +41,14 @@ class BucketBoundaries {
     return static_cast<int>(cut_points_.size()) + 1;
   }
 
-  /// Bucket index of value `x` in [0, num_buckets).
+  /// Sentinel Locate() result for values that belong to no bucket (NaN).
+  static constexpr int kNoBucket = -1;
+
+  /// Bucket index of value `x` in [0, num_buckets), or kNoBucket when `x`
+  /// is NaN. NaN compares false against every cut point, so without the
+  /// sentinel it would silently land in bucket 0 and inflate the u-count
+  /// of every range touching the leftmost bucket; the repo-wide policy is
+  /// that NaN rows count toward total_tuples but toward no bucket.
   int Locate(double x) const;
 
   /// Interior cut points, ascending.

@@ -21,9 +21,9 @@ BucketCounts MakeEmptyCounts(int num_buckets, int num_targets) {
 }
 
 void UpdateMinMax(BucketCounts* counts, int bucket, double value) {
-  // NaN values are counted (they are tuples) but never become a range
-  // endpoint: a NaN min/max would otherwise survive empty-bucket
-  // compaction (u_i > 0) and leak into reported rules.
+  // NaN values belong to no bucket (Locate returns kNoBucket), so callers
+  // never pass them here; the guard stays as a second line of defense so a
+  // NaN can never become a range endpoint.
   if (std::isnan(value)) return;
   const auto b = static_cast<size_t>(bucket);
   double& lo = counts->min_value[b];
@@ -47,6 +47,7 @@ BucketCounts CountBucketsSlice(
   }
   for (size_t row = begin; row < end; ++row) {
     const int bucket = boundaries.Locate(values[row]);
+    if (bucket == BucketBoundaries::kNoBucket) continue;  // NaN: no bucket
     ++counts.u[static_cast<size_t>(bucket)];
     UpdateMinMax(&counts, bucket, values[row]);
     for (size_t t = 0; t < targets.size(); ++t) {
@@ -55,6 +56,7 @@ BucketCounts CountBucketsSlice(
       }
     }
   }
+  // NaN rows still count toward the support denominator N.
   counts.total_tuples = static_cast<int64_t>(end - begin);
   return counts;
 }
@@ -83,6 +85,7 @@ BucketCounts CountBucketsConditional(std::span<const double> values,
   for (size_t row = 0; row < values.size(); ++row) {
     if (condition1[row] == 0) continue;
     const int bucket = boundaries.Locate(values[row]);
+    if (bucket == BucketBoundaries::kNoBucket) continue;  // NaN: no bucket
     ++counts.u[static_cast<size_t>(bucket)];
     UpdateMinMax(&counts, bucket, values[row]);
     if (condition2[row] != 0) {
@@ -107,6 +110,8 @@ BucketCounts CountBucketsFromStream(storage::TupleStream& stream,
   while (stream.Next(&view)) {
     const double value = view.numeric[numeric_attr];
     const int bucket = boundaries.Locate(value);
+    ++total;  // NaN rows still count toward the support denominator N
+    if (bucket == BucketBoundaries::kNoBucket) continue;
     ++counts.u[static_cast<size_t>(bucket)];
     UpdateMinMax(&counts, bucket, value);
     for (int t = 0; t < num_targets; ++t) {
@@ -114,7 +119,6 @@ BucketCounts CountBucketsFromStream(storage::TupleStream& stream,
         ++counts.v[static_cast<size_t>(t)][static_cast<size_t>(bucket)];
       }
     }
-    ++total;
   }
   counts.total_tuples = total;
   return counts;
@@ -165,68 +169,146 @@ double RangeMaxValue(const BucketCounts& counts, int s, int t) {
 }
 
 MultiCountPlan::MultiCountPlan(
-    std::vector<const BucketBoundaries*> boundaries, int num_targets)
-    : boundaries_(std::move(boundaries)), num_targets_(num_targets) {
+    std::vector<const BucketBoundaries*> boundaries, int num_targets) {
   OPTRULES_CHECK(num_targets >= 0);
-  counts_.reserve(boundaries_.size());
-  scratch_.resize(boundaries_.size());
-  for (const BucketBoundaries* b : boundaries_) {
-    OPTRULES_CHECK(b != nullptr);
-    counts_.push_back(MakeEmptyCounts(b->num_buckets(), num_targets));
+  MultiCountSpec spec;
+  spec.num_targets = num_targets;
+  spec.channels.reserve(boundaries.size());
+  for (size_t a = 0; a < boundaries.size(); ++a) {
+    CountChannel channel;
+    channel.column = static_cast<int>(a);
+    channel.boundaries = boundaries[a];
+    spec.channels.push_back(std::move(channel));
+  }
+  *this = MultiCountPlan(std::move(spec));
+}
+
+MultiCountPlan::MultiCountPlan(MultiCountSpec spec) : spec_(std::move(spec)) {
+  OPTRULES_CHECK(spec_.num_targets >= 0);
+  counts_.reserve(spec_.channels.size());
+  sums_.reserve(spec_.channels.size());
+  scratch_.resize(spec_.channels.size());
+  condition_masks_.resize(spec_.conditions.size());
+  for (const CountChannel& channel : spec_.channels) {
+    OPTRULES_CHECK(channel.boundaries != nullptr);
+    OPTRULES_CHECK(channel.condition == CountChannel::kUnconditional ||
+                   (0 <= channel.condition &&
+                    channel.condition <
+                        static_cast<int>(spec_.conditions.size())));
+    counts_.push_back(
+        MakeEmptyCounts(channel.boundaries->num_buckets(),
+                        channel.count_targets ? spec_.num_targets : 0));
+    sums_.emplace_back(
+        channel.sum_targets.size(),
+        std::vector<double>(
+            static_cast<size_t>(channel.boundaries->num_buckets()), 0.0));
   }
 }
 
-void MultiCountPlan::AccumulateAttribute(
-    const storage::ColumnarBatch& batch, int attr) {
-  OPTRULES_CHECK(0 <= attr && attr < num_attributes());
-  OPTRULES_CHECK(batch.num_numeric() == num_attributes());
-  OPTRULES_CHECK(batch.num_boolean() == num_targets_);
-  const auto a = static_cast<size_t>(attr);
-  const std::span<const double> values = batch.numeric(attr);
+void MultiCountPlan::PrepareConditionMasks(
+    const storage::ColumnarBatch& batch) {
+  const size_t rows = static_cast<size_t>(batch.num_rows());
+  for (size_t c = 0; c < spec_.conditions.size(); ++c) {
+    std::vector<uint8_t>& mask = condition_masks_[c];
+    mask.assign(rows, 1);
+    for (const int column : spec_.conditions[c]) {
+      const std::span<const uint8_t> condition = batch.boolean(column);
+      for (size_t row = 0; row < rows; ++row) {
+        mask[row] &= condition[row];
+      }
+    }
+  }
+}
+
+void MultiCountPlan::AccumulateChannel(const storage::ColumnarBatch& batch,
+                                       int channel_index) {
+  OPTRULES_CHECK(0 <= channel_index && channel_index < num_channels());
+  OPTRULES_CHECK(batch.num_boolean() == spec_.num_targets);
+  const auto ci = static_cast<size_t>(channel_index);
+  const CountChannel& channel = spec_.channels[ci];
+  const std::span<const double> values = batch.numeric(channel.column);
   const size_t rows = values.size();
-  BucketCounts& counts = counts_[a];
-  std::vector<int32_t>& buckets = scratch_[a];
+  BucketCounts& counts = counts_[ci];
+  std::vector<int32_t>& buckets = scratch_[ci];
   buckets.resize(rows);
-  // Locate each value once, reusing the result for every target.
-  const BucketBoundaries& boundaries = *boundaries_[a];
+
+  // Conditional channels bucket only the rows satisfying the conjunction;
+  // the mask was computed once for the batch by PrepareConditionMasks and
+  // is shared (read-only) by every channel of the condition.
+  const uint8_t* mask = nullptr;
+  if (channel.condition != CountChannel::kUnconditional) {
+    const std::vector<uint8_t>& shared =
+        condition_masks_[static_cast<size_t>(channel.condition)];
+    OPTRULES_CHECK(shared.size() == rows);  // PrepareConditionMasks ran
+    mask = shared.data();
+  }
+
+  // Locate each value once, reusing the result for every target. NaN (and
+  // condition-failing) rows get kNoBucket: they count toward total_tuples
+  // but toward no bucket.
+  const BucketBoundaries& boundaries = *channel.boundaries;
   for (size_t row = 0; row < rows; ++row) {
+    if (mask != nullptr && mask[row] == 0) {
+      buckets[row] = BucketBoundaries::kNoBucket;
+      continue;
+    }
     const int bucket = boundaries.Locate(values[row]);
     buckets[row] = bucket;
+    if (bucket == BucketBoundaries::kNoBucket) continue;
     ++counts.u[static_cast<size_t>(bucket)];
     UpdateMinMax(&counts, bucket, values[row]);
   }
-  for (int t = 0; t < num_targets_; ++t) {
-    const std::span<const uint8_t> target = batch.boolean(t);
-    std::vector<int64_t>& v = counts.v[static_cast<size_t>(t)];
+  if (channel.count_targets) {
+    for (int t = 0; t < spec_.num_targets; ++t) {
+      const std::span<const uint8_t> target = batch.boolean(t);
+      std::vector<int64_t>& v = counts.v[static_cast<size_t>(t)];
+      for (size_t row = 0; row < rows; ++row) {
+        const int32_t bucket = buckets[row];
+        if (bucket == BucketBoundaries::kNoBucket) continue;
+        v[static_cast<size_t>(bucket)] +=
+            static_cast<int64_t>(target[row] != 0);
+      }
+    }
+  }
+  for (size_t k = 0; k < channel.sum_targets.size(); ++k) {
+    const std::span<const double> target =
+        batch.numeric(channel.sum_targets[k]);
+    std::vector<double>& sum = sums_[ci][k];
     for (size_t row = 0; row < rows; ++row) {
-      v[static_cast<size_t>(buckets[row])] +=
-          static_cast<int64_t>(target[row] != 0);
+      const int32_t bucket = buckets[row];
+      if (bucket == BucketBoundaries::kNoBucket) continue;
+      sum[static_cast<size_t>(bucket)] += target[row];
     }
   }
   counts.total_tuples += static_cast<int64_t>(rows);
 }
 
 void MultiCountPlan::Accumulate(const storage::ColumnarBatch& batch) {
-  for (int attr = 0; attr < num_attributes(); ++attr) {
-    AccumulateAttribute(batch, attr);
+  PrepareConditionMasks(batch);
+  for (int channel = 0; channel < num_channels(); ++channel) {
+    AccumulateChannel(batch, channel);
   }
 }
 
 void MultiCountPlan::Merge(const MultiCountPlan& other) {
-  OPTRULES_CHECK(other.num_attributes() == num_attributes());
-  OPTRULES_CHECK(other.num_targets_ == num_targets_);
-  for (int attr = 0; attr < num_attributes(); ++attr) {
-    const auto a = static_cast<size_t>(attr);
-    BucketCounts& mine = counts_[a];
-    const BucketCounts& theirs = other.counts_[a];
+  OPTRULES_CHECK(other.num_channels() == num_channels());
+  OPTRULES_CHECK(other.spec_.num_targets == spec_.num_targets);
+  for (int channel = 0; channel < num_channels(); ++channel) {
+    const auto ci = static_cast<size_t>(channel);
+    BucketCounts& mine = counts_[ci];
+    const BucketCounts& theirs = other.counts_[ci];
     OPTRULES_CHECK(theirs.num_buckets() == mine.num_buckets());
+    OPTRULES_CHECK(theirs.num_targets() == mine.num_targets());
     for (int b = 0; b < mine.num_buckets(); ++b) {
       const auto bi = static_cast<size_t>(b);
       mine.u[bi] += theirs.u[bi];
-      for (int t = 0; t < num_targets_; ++t) {
+      for (int t = 0; t < mine.num_targets(); ++t) {
         mine.v[static_cast<size_t>(t)][bi] +=
             theirs.v[static_cast<size_t>(t)][bi];
       }
+      // The min and max merges are deliberately independent guards: u/v
+      // and the two endpoints must stay mergeable even if a future update
+      // touches only one of them.
       if (!std::isnan(theirs.min_value[bi]) &&
           (std::isnan(mine.min_value[bi]) ||
            theirs.min_value[bi] < mine.min_value[bi])) {
@@ -238,13 +320,35 @@ void MultiCountPlan::Merge(const MultiCountPlan& other) {
         mine.max_value[bi] = theirs.max_value[bi];
       }
     }
+    OPTRULES_CHECK(other.sums_[ci].size() == sums_[ci].size());
+    for (size_t k = 0; k < sums_[ci].size(); ++k) {
+      std::vector<double>& mine_sum = sums_[ci][k];
+      const std::vector<double>& their_sum = other.sums_[ci][k];
+      for (size_t b = 0; b < mine_sum.size(); ++b) {
+        mine_sum[b] += their_sum[b];
+      }
+    }
     mine.total_tuples += theirs.total_tuples;
   }
 }
 
-BucketCounts MultiCountPlan::TakeCounts(int attr) {
-  OPTRULES_CHECK(0 <= attr && attr < num_attributes());
-  return std::move(counts_[static_cast<size_t>(attr)]);
+BucketCounts MultiCountPlan::TakeCounts(int channel) {
+  OPTRULES_CHECK(0 <= channel && channel < num_channels());
+  return std::move(counts_[static_cast<size_t>(channel)]);
+}
+
+BucketSums MultiCountPlan::MakeBucketSums(int channel, int k) const {
+  OPTRULES_CHECK(0 <= channel && channel < num_channels());
+  const auto ci = static_cast<size_t>(channel);
+  OPTRULES_CHECK(0 <= k && k < static_cast<int>(sums_[ci].size()));
+  const BucketCounts& counts = counts_[ci];
+  BucketSums sums;
+  sums.u = counts.u;
+  sums.sum = sums_[ci][static_cast<size_t>(k)];
+  sums.min_value = counts.min_value;
+  sums.max_value = counts.max_value;
+  sums.total_tuples = counts.total_tuples;
+  return sums;
 }
 
 BucketSums CountBucketSums(std::span<const double> values,
@@ -260,16 +364,17 @@ BucketSums CountBucketSums(std::span<const double> values,
   sums.max_value.assign(static_cast<size_t>(m),
                         std::numeric_limits<double>::quiet_NaN());
   for (size_t row = 0; row < values.size(); ++row) {
-    const auto bucket =
-        static_cast<size_t>(boundaries.Locate(values[row]));
+    const int located = boundaries.Locate(values[row]);
+    if (located == BucketBoundaries::kNoBucket) continue;  // NaN: no bucket
+    const auto bucket = static_cast<size_t>(located);
     ++sums.u[bucket];
     sums.sum[bucket] += target[row];
-    if (std::isnan(values[row])) continue;  // never a range endpoint
     double& lo = sums.min_value[bucket];
     double& hi = sums.max_value[bucket];
     if (std::isnan(lo) || values[row] < lo) lo = values[row];
     if (std::isnan(hi) || values[row] > hi) hi = values[row];
   }
+  // NaN rows still count toward the support denominator N.
   sums.total_tuples = static_cast<int64_t>(values.size());
   return sums;
 }

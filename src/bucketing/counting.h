@@ -81,62 +81,6 @@ double RangeMinValue(const BucketCounts& counts, int s, int t);
 /// Largest finite max_value over buckets [s, t]; +infinity when none.
 double RangeMaxValue(const BucketCounts& counts, int s, int t);
 
-/// Counts EVERY numeric attribute of a batch stream against EVERY Boolean
-/// target in one shared scan: the columnar core of Algorithm 3.1 step 4
-/// generalized to the paper's "all combinations of hundreds of numeric and
-/// Boolean attributes" workload. One plan instance accumulates a
-/// BucketCounts per numeric attribute (each with one v-row per target);
-/// partial plans from sharded scans Merge() exactly, so parallel execution
-/// is bit-identical to serial.
-class MultiCountPlan {
- public:
-  /// `boundaries[a]` describes the buckets of numeric attribute a; the
-  /// pointers must outlive the plan. Every accumulated batch must have
-  /// `boundaries.size()` numeric and `num_targets` Boolean columns.
-  MultiCountPlan(std::vector<const BucketBoundaries*> boundaries,
-                 int num_targets);
-
-  /// Accumulates one batch into the per-attribute counts.
-  void Accumulate(const storage::ColumnarBatch& batch);
-
-  /// Accumulates only numeric attribute `attr` of the batch (building
-  /// block for attribute-parallel execution; disjoint attrs are safe to
-  /// run concurrently on one plan).
-  void AccumulateAttribute(const storage::ColumnarBatch& batch, int attr);
-
-  /// Adds `other`'s counts into this plan (other must have identical
-  /// shape). Merge order is the caller's contract for determinism.
-  void Merge(const MultiCountPlan& other);
-
-  int num_attributes() const { return static_cast<int>(counts_.size()); }
-  int num_targets() const { return num_targets_; }
-  /// Rows scanned so far (every attribute sees the same rows).
-  int64_t total_tuples() const {
-    return counts_.empty() ? 0 : counts_[0].total_tuples;
-  }
-
-  /// Per-attribute counts accumulated so far.
-  const BucketCounts& counts(int attr) const {
-    return counts_[static_cast<size_t>(attr)];
-  }
-  /// Moves attribute `attr`'s counts out of the plan.
-  BucketCounts TakeCounts(int attr);
-
-  /// The per-attribute boundary pointers the plan was built with (shared
-  /// with sharded partial plans).
-  const std::vector<const BucketBoundaries*>& boundaries() const {
-    return boundaries_;
-  }
-
- private:
-  std::vector<const BucketBoundaries*> boundaries_;
-  int num_targets_;
-  std::vector<BucketCounts> counts_;
-  /// Per-attribute bucket-index scratch, reused across batches; per
-  /// attribute so AccumulateAttribute calls can run concurrently.
-  std::vector<std::vector<int32_t>> scratch_;
-};
-
 /// Per-bucket statistics for the Section 5 average operator: tuple counts
 /// of attribute A's buckets plus the per-bucket sum of target attribute B.
 struct BucketSums {
@@ -147,6 +91,119 @@ struct BucketSums {
   int64_t total_tuples = 0;
 
   int num_buckets() const { return static_cast<int>(u.size()); }
+};
+
+/// One bucketed channel of a MultiCountPlan: a numeric column counted into
+/// its bucket boundaries, optionally restricted to rows satisfying a
+/// Boolean conjunction (generalized rules, Section 4.3) and optionally
+/// accumulating per-bucket sums of other numeric columns (the Section 5
+/// average operator). The plain all-pairs scan uses one unconditional
+/// channel per numeric attribute.
+struct CountChannel {
+  /// Numeric column index of the batch this channel buckets.
+  int column = 0;
+  /// Bucket boundaries of the channel; must outlive the plan.
+  const BucketBoundaries* boundaries = nullptr;
+  /// Index into MultiCountSpec::conditions, or kUnconditional. Conditional
+  /// channels count u/v/min/max only over rows satisfying the conjunction;
+  /// total_tuples still counts every scanned row (support of a generalized
+  /// rule is measured against all tuples, Definition 2.2).
+  int condition = kUnconditional;
+  /// When true the channel accumulates one v-row per Boolean target.
+  bool count_targets = true;
+  /// Numeric column indices whose per-bucket sums this channel tracks.
+  std::vector<int> sum_targets;
+
+  static constexpr int kUnconditional = -1;
+};
+
+/// Full shape of a multi-count scan: the channels, the Boolean-conjunction
+/// condition table they reference, and the number of Boolean targets every
+/// counting channel accumulates. Sharded partial plans are built from the
+/// same spec so Merge() is exact by construction.
+struct MultiCountSpec {
+  std::vector<CountChannel> channels;
+  /// Each condition is a conjunction of Boolean column indices (an empty
+  /// conjunction is satisfied by every row).
+  std::vector<std::vector<int>> conditions;
+  /// Boolean targets per counting channel (the batch's Boolean arity).
+  int num_targets = 0;
+};
+
+/// Counts EVERY channel of a spec -- plain, conditional, and summing --
+/// in one shared scan: the columnar core of Algorithm 3.1 step 4
+/// generalized to the paper's "all combinations of hundreds of numeric and
+/// Boolean attributes" workload, Section 4.3 generalized rules, and the
+/// Section 5 average operator. One plan instance accumulates a
+/// BucketCounts per channel (each with one v-row per target) plus the
+/// channel's sum arrays; partial plans from sharded scans Merge() exactly,
+/// so parallel execution is bit-identical to serial.
+class MultiCountPlan {
+ public:
+  /// Plain all-pairs plan: one unconditional channel per numeric attribute
+  /// (`boundaries[a]` describes attribute a's buckets; pointers must
+  /// outlive the plan), each counting every Boolean target.
+  MultiCountPlan(std::vector<const BucketBoundaries*> boundaries,
+                 int num_targets);
+
+  /// General plan over an explicit channel spec.
+  explicit MultiCountPlan(MultiCountSpec spec);
+
+  /// Accumulates one batch into every channel.
+  void Accumulate(const storage::ColumnarBatch& batch);
+
+  /// Computes the per-row mask of every condition for `batch`, shared by
+  /// all of that condition's channels. Must be called once per batch
+  /// BEFORE any direct AccumulateChannel calls for it (Accumulate does it
+  /// automatically); channel-parallel executors call it from the reader
+  /// thread so the concurrent channels only read the masks.
+  void PrepareConditionMasks(const storage::ColumnarBatch& batch);
+
+  /// Accumulates only channel `channel` of the batch (building block for
+  /// channel-parallel execution; disjoint channels are safe to run
+  /// concurrently on one plan once PrepareConditionMasks ran for the
+  /// batch).
+  void AccumulateChannel(const storage::ColumnarBatch& batch, int channel);
+
+  /// Adds `other`'s counts into this plan (other must have identical
+  /// shape). Merge order is the caller's contract for determinism.
+  void Merge(const MultiCountPlan& other);
+
+  int num_channels() const { return static_cast<int>(counts_.size()); }
+  int num_targets() const { return spec_.num_targets; }
+  /// Rows scanned so far (every channel sees the same rows).
+  int64_t total_tuples() const {
+    return counts_.empty() ? 0 : counts_[0].total_tuples;
+  }
+
+  /// Per-channel counts accumulated so far. For conditional channels u/v
+  /// cover only the satisfying rows (total_tuples covers all rows).
+  const BucketCounts& counts(int channel) const {
+    return counts_[static_cast<size_t>(channel)];
+  }
+  /// Moves channel `channel`'s counts out of the plan.
+  BucketCounts TakeCounts(int channel);
+
+  /// Assembles the Section 5 BucketSums view of channel `channel`'s k-th
+  /// sum target (copies u/min/max; the channel keeps its state, so every
+  /// sum target of a channel can be extracted).
+  BucketSums MakeBucketSums(int channel, int k) const;
+
+  /// The spec the plan was built from (shared with sharded partials).
+  const MultiCountSpec& spec() const { return spec_; }
+
+ private:
+  MultiCountSpec spec_;
+  std::vector<BucketCounts> counts_;
+  /// sums_[channel][k][bucket]: per-bucket sum of the channel's k-th sum
+  /// target column.
+  std::vector<std::vector<std::vector<double>>> sums_;
+  /// Per-channel bucket-index scratch reused across batches; per channel
+  /// so concurrent AccumulateChannel calls never share mutable state.
+  std::vector<std::vector<int32_t>> scratch_;
+  /// Per-condition row masks of the batch being accumulated (written by
+  /// PrepareConditionMasks, read-only during channel accumulation).
+  std::vector<std::vector<uint8_t>> condition_masks_;
 };
 
 /// Counts buckets of `values` (attribute A) while summing `target`

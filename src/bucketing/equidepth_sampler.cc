@@ -1,6 +1,7 @@
 #include "bucketing/equidepth_sampler.h"
 
 #include <algorithm>
+#include <cmath>
 #include <vector>
 
 namespace optrules::bucketing {
@@ -9,6 +10,12 @@ namespace {
 
 BucketBoundaries BoundariesFromSample(std::vector<double>& sample,
                                       int num_buckets) {
+  // NaN sample values belong to no bucket (the repo-wide NaN policy) and
+  // violate std::sort's strict weak ordering, so drop them before the
+  // quantile step.
+  sample.erase(std::remove_if(sample.begin(), sample.end(),
+                              [](double v) { return std::isnan(v); }),
+               sample.end());
   std::sort(sample.begin(), sample.end());
   return BucketBoundaries::FromSortedValues(sample, num_buckets);
 }

@@ -10,6 +10,10 @@ GkQuantileSketch::GkQuantileSketch(double epsilon) : epsilon_(epsilon) {
 }
 
 void GkQuantileSketch::Add(double value) {
+  // NaN values belong to no bucket (the repo-wide NaN policy); letting
+  // one into the summary would corrupt the rank invariants because NaN
+  // compares false against everything.
+  if (std::isnan(value)) return;
   // Locate the insertion point (first tuple with a larger value).
   auto it = std::upper_bound(
       summary_.begin(), summary_.end(), value,
@@ -105,9 +109,12 @@ BucketBoundaries BuildEquiDepthBoundariesGk(std::span<const double> values,
                                             int num_buckets,
                                             double epsilon) {
   OPTRULES_CHECK(num_buckets >= 1);
-  if (values.empty()) return BucketBoundaries::FromCutPoints({});
   GkQuantileSketch sketch(epsilon);
   for (const double value : values) sketch.Add(value);
+  // Guard on the sketch count, not values.empty(): Add() drops NaN (the
+  // repo-wide NaN policy), so a non-empty all-NaN column also leaves the
+  // sketch empty and gets the single all-covering bucket.
+  if (sketch.count() == 0) return BucketBoundaries::FromCutPoints({});
   return BoundariesFromGkSketch(sketch, num_buckets);
 }
 

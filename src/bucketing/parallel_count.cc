@@ -42,15 +42,19 @@ BucketCounts ParallelCountBuckets(
         total.v[static_cast<size_t>(t)][bi] +=
             part.v[static_cast<size_t>(t)][bi];
       }
-      if (!std::isnan(part.min_value[bi])) {
-        if (std::isnan(total.min_value[bi]) ||
-            part.min_value[bi] < total.min_value[bi]) {
-          total.min_value[bi] = part.min_value[bi];
-        }
-        if (std::isnan(total.max_value[bi]) ||
-            part.max_value[bi] > total.max_value[bi]) {
-          total.max_value[bi] = part.max_value[bi];
-        }
+      // Min and max merge independently (mirroring MultiCountPlan::Merge):
+      // nesting the max merge inside the min guard is correct only while
+      // the counting kernels always set the two together, and a future
+      // asymmetric update must not silently drop maxima.
+      if (!std::isnan(part.min_value[bi]) &&
+          (std::isnan(total.min_value[bi]) ||
+           part.min_value[bi] < total.min_value[bi])) {
+        total.min_value[bi] = part.min_value[bi];
+      }
+      if (!std::isnan(part.max_value[bi]) &&
+          (std::isnan(total.max_value[bi]) ||
+           part.max_value[bi] > total.max_value[bi])) {
+        total.max_value[bi] = part.max_value[bi];
       }
     }
     total.total_tuples += part.total_tuples;
@@ -77,16 +81,17 @@ void ExecuteSerial(storage::BatchSource& source, MultiCountPlan* plan) {
 
 /// Row-sharded execution: each worker scans a contiguous row range with
 /// its own range reader into a private partial plan; partials merge in
-/// shard order (bit-identical to serial).
+/// shard order (bit-identical to serial for counts and min/max; per-bucket
+/// double sums are deterministic for a given shard count but may differ
+/// from serial in the last ulp, since double addition reassociates).
 void ExecuteRowSharded(storage::BatchSource& source, MultiCountPlan* plan,
-                       ThreadPool& pool, int num_shards,
-                       const std::vector<const BucketBoundaries*>& bounds) {
+                       ThreadPool& pool, int num_shards) {
   source.NoteScanStarted();  // the whole sharded pass is ONE logical scan
   const int64_t n = source.NumTuples();
   std::vector<MultiCountPlan> partials;
   partials.reserve(static_cast<size_t>(num_shards));
   for (int s = 0; s < num_shards; ++s) {
-    partials.emplace_back(bounds, plan->num_targets());
+    partials.emplace_back(plan->spec());
   }
   pool.Run(num_shards, [&](int shard) {
     const int64_t begin = n * shard / num_shards;
@@ -100,17 +105,21 @@ void ExecuteRowSharded(storage::BatchSource& source, MultiCountPlan* plan,
   for (const MultiCountPlan& partial : partials) plan->Merge(partial);
 }
 
-/// Sequential reader, attribute-parallel accumulation: per batch the
-/// numeric attributes fan out across the pool (each attribute's counts
-/// are disjoint state inside the shared plan).
-void ExecuteAttributeParallel(storage::BatchSource& source,
-                              MultiCountPlan* plan, ThreadPool& pool) {
+/// Sequential reader, channel-parallel accumulation: per batch the
+/// channels fan out across the pool (each channel's counts and sums are
+/// disjoint state inside the shared plan). Every channel folds its rows
+/// serially, so even double sums stay bit-identical to a serial scan.
+void ExecuteChannelParallel(storage::BatchSource& source,
+                            MultiCountPlan* plan, ThreadPool& pool) {
   std::unique_ptr<storage::BatchReader> reader = source.CreateReader();
   storage::ColumnarBatch batch;
-  const int num_attrs = plan->num_attributes();
+  const int num_channels = plan->num_channels();
   while (reader->Next(&batch)) {
-    pool.Run(num_attrs,
-             [&](int attr) { plan->AccumulateAttribute(batch, attr); });
+    // Condition masks are computed once on the reader thread; the fanned
+    // out channels only read them.
+    plan->PrepareConditionMasks(batch);
+    pool.Run(num_channels,
+             [&](int channel) { plan->AccumulateChannel(batch, channel); });
   }
 }
 
@@ -119,18 +128,28 @@ void ExecuteAttributeParallel(storage::BatchSource& source,
 void ExecuteMultiCount(storage::BatchSource& source, MultiCountPlan* plan,
                        ThreadPool* pool) {
   OPTRULES_CHECK(plan != nullptr);
-  OPTRULES_CHECK(source.num_numeric() == plan->num_attributes());
+  for (const CountChannel& channel : plan->spec().channels) {
+    OPTRULES_CHECK(0 <= channel.column &&
+                   channel.column < source.num_numeric());
+    for (const int target : channel.sum_targets) {
+      OPTRULES_CHECK(0 <= target && target < source.num_numeric());
+    }
+  }
+  for (const std::vector<int>& condition : plan->spec().conditions) {
+    for (const int column : condition) {
+      OPTRULES_CHECK(0 <= column && column < source.num_boolean());
+    }
+  }
   OPTRULES_CHECK(source.num_boolean() == plan->num_targets());
-  if (pool == nullptr || pool->size() <= 1 || plan->num_attributes() == 0) {
+  if (pool == nullptr || pool->size() <= 1 || plan->num_channels() == 0) {
     ExecuteSerial(source, plan);
     return;
   }
   if (source.SupportsRangeReaders() && source.NumTuples() > 0) {
-    ExecuteRowSharded(source, plan, *pool, pool->size(),
-                      plan->boundaries());
+    ExecuteRowSharded(source, plan, *pool, pool->size());
     return;
   }
-  ExecuteAttributeParallel(source, plan, *pool);
+  ExecuteChannelParallel(source, plan, *pool);
 }
 
 }  // namespace optrules::bucketing

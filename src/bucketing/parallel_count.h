@@ -40,11 +40,15 @@ BucketCounts ParallelCountBuckets(
 ///
 /// Sources that support range readers (in-memory relations, PagedFiles)
 /// are sharded by rows: each worker accumulates a private partial plan
-/// over a contiguous shard and the partials merge in shard order. Other
-/// sources are read sequentially with the numeric attributes of each
-/// batch fanned out across the pool. Both schedules produce bit-identical
-/// counts to a serial scan, and both account exactly one scan on
-/// `source` (assertable via BatchSource::scans_started()).
+/// (built from the same MultiCountSpec) over a contiguous shard and the
+/// partials merge in shard order. Other sources are read sequentially
+/// with the plan's channels fanned out across the pool per batch. Both
+/// schedules produce bit-identical u/v counts and min/max to a serial
+/// scan and account exactly one scan on `source` (assertable via
+/// BatchSource::scans_started()). Per-bucket double sum channels are
+/// bit-identical under the channel-parallel schedule and deterministic
+/// under row-sharding (double addition reassociates at shard borders, so
+/// the last ulp can differ from serial).
 void ExecuteMultiCount(storage::BatchSource& source, MultiCountPlan* plan,
                        ThreadPool* pool);
 

@@ -1,6 +1,7 @@
 #include "bucketing/sort_bucketizer.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <vector>
@@ -48,7 +49,14 @@ class RankPicker {
 BucketBoundaries ExactEquiDepthBoundaries(std::span<const double> values,
                                           int num_buckets) {
   OPTRULES_CHECK(num_buckets >= 1);
-  std::vector<double> sorted(values.begin(), values.end());
+  std::vector<double> sorted;
+  sorted.reserve(values.size());
+  // NaN values belong to no bucket (the repo-wide NaN policy) and violate
+  // std::sort's strict weak ordering; plan the depths over the finite
+  // values only.
+  for (const double value : values) {
+    if (!std::isnan(value)) sorted.push_back(value);
+  }
   std::sort(sorted.begin(), sorted.end());
   return BucketBoundaries::FromSortedValues(sorted, num_buckets);
 }

@@ -11,8 +11,14 @@ GridCounts BuildGrid(std::span<const double> x_values,
   OPTRULES_CHECK(x_values.size() == target.size());
   GridCounts grid(x_boundaries.num_buckets(), y_boundaries.num_buckets());
   for (size_t row = 0; row < x_values.size(); ++row) {
-    grid.Add(x_boundaries.Locate(x_values[row]),
-             y_boundaries.Locate(y_values[row]), target[row] != 0);
+    const int x = x_boundaries.Locate(x_values[row]);
+    const int y = y_boundaries.Locate(y_values[row]);
+    // NaN coordinates belong to no cell (same policy as the 1-D kernels).
+    if (x == bucketing::BucketBoundaries::kNoBucket ||
+        y == bucketing::BucketBoundaries::kNoBucket) {
+      continue;
+    }
+    grid.Add(x, y, target[row] != 0);
   }
   return grid;
 }

@@ -25,6 +25,23 @@ uint64_t AttributeSalt(int numeric_index) {
   return 0x9e37 * static_cast<uint64_t>(numeric_index);
 }
 
+/// Seed offsets decorrelating the generalized (Section 4.3) and aggregate
+/// (Section 5) bucketings from the plain per-pair bucketing. Shared by
+/// Miner and MiningEngine so their boundaries are identical.
+constexpr uint64_t kGeneralizedSeedOffset = 0x517c;
+constexpr uint64_t kAggregateSeedOffset = 0xa4f;
+
+/// Renders a conjunction of Boolean attribute names as the rule's
+/// presumptive-condition text ("a=yes ^ b=yes").
+std::string ConditionText(const std::vector<std::string>& condition_attrs) {
+  std::string text;
+  for (const std::string& name : condition_attrs) {
+    if (!text.empty()) text += " ^ ";
+    text += name + "=yes";
+  }
+  return text;
+}
+
 std::string FormatDouble(double value) {
   char buffer[64];
   std::snprintf(buffer, sizeof(buffer), "%.4g", value);
@@ -69,6 +86,30 @@ std::vector<MinedRule> EmitRulesForPair(
       rule.confidence = range.confidence;
     }
     mined.push_back(std::move(rule));
+  }
+  return mined;
+}
+
+/// Shared Section 5 rendering: assembles a MinedAggregateRange from a
+/// compacted BucketSums and an optimizer result. Used by Miner and
+/// MiningEngine so the two paths are identical by construction.
+MinedAggregateRange ToMinedAggregate(const bucketing::BucketSums& sums,
+                                     const RangeAggregate& aggregate,
+                                     const std::string& range_attr,
+                                     const std::string& target_attr) {
+  MinedAggregateRange mined;
+  mined.range_attr = range_attr;
+  mined.target_attr = target_attr;
+  mined.found = aggregate.found;
+  if (aggregate.found) {
+    mined.range_lo = bucketing::RangeMinValue(sums, aggregate.s, aggregate.t);
+    mined.range_hi = bucketing::RangeMaxValue(sums, aggregate.s, aggregate.t);
+    mined.support_count = aggregate.support_count;
+    mined.support = sums.total_tuples > 0
+                        ? static_cast<double>(aggregate.support_count) /
+                              static_cast<double>(sums.total_tuples)
+                        : 0.0;
+    mined.average = aggregate.average;
   }
   return mined;
 }
@@ -139,56 +180,83 @@ MiningEngine::MiningEngine(storage::BatchSource* source,
 
 MiningEngine::~MiningEngine() = default;
 
-void MiningEngine::PlanBoundaries() {
+void MiningEngine::PlanBoundarySets(
+    std::span<const uint64_t> seed_offsets,
+    std::span<std::vector<bucketing::BucketBoundaries>* const> out) {
+  OPTRULES_CHECK(seed_offsets.size() == out.size());
   const int num_numeric = schema_.num_numeric();
-  boundaries_.reserve(static_cast<size_t>(num_numeric));
-  const bucketing::BoundaryPlan plan = ToBoundaryPlan(options_);
+  const size_t sets = seed_offsets.size();
+  for (size_t i = 0; i < sets; ++i) {
+    out[i]->clear();
+    out[i]->reserve(static_cast<size_t>(num_numeric));
+  }
+  if (sets == 0) return;
 
   if (relation_ != nullptr) {
     // In-memory fast path: plan from the columns directly, with the same
-    // per-attribute salts as the legacy Miner (bit-identical boundaries).
-    for (int a = 0; a < num_numeric; ++a) {
-      boundaries_.push_back(bucketing::BuildBoundaries(
-          relation_->NumericColumn(a), plan, AttributeSalt(a)));
+    // per-attribute salts and seed offsets as the legacy Miner
+    // (bit-identical boundaries). The deterministic bucketizers ignore
+    // seeds, so only the first set is actually planned; the rest copy it.
+    const size_t planned_sets =
+        options_.bucketizer == Bucketizer::kSampling ? sets : 1;
+    for (size_t i = 0; i < planned_sets; ++i) {
+      bucketing::BoundaryPlan plan = ToBoundaryPlan(options_);
+      plan.seed += seed_offsets[i];
+      for (int a = 0; a < num_numeric; ++a) {
+        out[i]->push_back(bucketing::BuildBoundaries(
+            relation_->NumericColumn(a), plan, AttributeSalt(a)));
+      }
     }
+    for (size_t i = planned_sets; i < sets; ++i) *out[i] = *out[0];
     return;
   }
 
-  // Generic path: ONE streaming pass plans every attribute at once.
+  // Generic path: ONE streaming pass plans every requested set at once.
   switch (options_.bucketizer) {
     case Bucketizer::kSampling: {
-      // Per-attribute reservoirs (shared bucketing::ReservoirSampler),
-      // each with its own deterministic generator, filled in one scan.
+      // One reservoir per (set, attribute), each with its own
+      // deterministic generator, all filled in one scan.
       const int64_t sample_size =
           options_.sample_per_bucket * options_.num_buckets;
       std::vector<bucketing::ReservoirSampler> reservoirs;
       std::vector<Rng> rngs;
-      reservoirs.reserve(static_cast<size_t>(num_numeric));
-      rngs.reserve(static_cast<size_t>(num_numeric));
-      for (int a = 0; a < num_numeric; ++a) {
-        reservoirs.emplace_back(sample_size);
-        rngs.emplace_back(options_.seed + AttributeSalt(a));
+      reservoirs.reserve(sets * static_cast<size_t>(num_numeric));
+      rngs.reserve(sets * static_cast<size_t>(num_numeric));
+      for (size_t i = 0; i < sets; ++i) {
+        for (int a = 0; a < num_numeric; ++a) {
+          reservoirs.emplace_back(sample_size);
+          rngs.emplace_back(options_.seed + seed_offsets[i] +
+                            AttributeSalt(a));
+        }
       }
       std::unique_ptr<storage::BatchReader> reader = source_->CreateReader();
       storage::ColumnarBatch batch;
       while (reader->Next(&batch)) {
-        for (int a = 0; a < num_numeric; ++a) {
-          const auto ai = static_cast<size_t>(a);
-          for (const double value : batch.numeric(a)) {
-            reservoirs[ai].Add(value, rngs[ai]);
+        for (size_t i = 0; i < sets; ++i) {
+          for (int a = 0; a < num_numeric; ++a) {
+            const size_t slot = i * static_cast<size_t>(num_numeric) +
+                                static_cast<size_t>(a);
+            for (const double value : batch.numeric(a)) {
+              reservoirs[slot].Add(value, rngs[slot]);
+            }
           }
         }
       }
-      for (int a = 0; a < num_numeric; ++a) {
-        boundaries_.push_back(reservoirs[static_cast<size_t>(a)]
-                                  .TakeBoundaries(options_.num_buckets));
+      for (size_t i = 0; i < sets; ++i) {
+        for (int a = 0; a < num_numeric; ++a) {
+          const size_t slot = i * static_cast<size_t>(num_numeric) +
+                              static_cast<size_t>(a);
+          out[i]->push_back(
+              reservoirs[slot].TakeBoundaries(options_.num_buckets));
+        }
       }
       return;
     }
     case Bucketizer::kGkSketch: {
       // One deterministic GK sketch per attribute, all fed in one scan;
       // identical to the in-memory sketch because insertion order is the
-      // row order either way.
+      // row order either way. Seeds are ignored, so every requested set
+      // shares the same boundaries.
       const double epsilon = ToBoundaryPlan(options_).EffectiveGkEpsilon();
       std::vector<bucketing::GkQuantileSketch> sketches;
       sketches.reserve(static_cast<size_t>(num_numeric));
@@ -203,18 +271,20 @@ void MiningEngine::PlanBoundaries() {
       }
       for (int a = 0; a < num_numeric; ++a) {
         const auto& sketch = sketches[static_cast<size_t>(a)];
-        boundaries_.push_back(
+        bucketing::BucketBoundaries boundaries =
             sketch.count() == 0
                 ? bucketing::BucketBoundaries::FromCutPoints({})
                 : bucketing::BoundariesFromGkSketch(sketch,
-                                                    options_.num_buckets));
+                                                    options_.num_buckets);
+        for (size_t i = 0; i < sets; ++i) out[i]->push_back(boundaries);
       }
       return;
     }
     case Bucketizer::kExactSort: {
       // Exact depths need the full columns; buffer them from one scan.
       // This is an in-memory fallback -- out-of-core exact bucketing goes
-      // through bucketing::NaiveSortBoundariesFromFile instead.
+      // through bucketing::NaiveSortBoundariesFromFile instead. Seeds are
+      // ignored, so every requested set shares the same boundaries.
       std::vector<std::vector<double>> columns(
           static_cast<size_t>(num_numeric));
       std::unique_ptr<storage::BatchReader> reader = source_->CreateReader();
@@ -227,8 +297,10 @@ void MiningEngine::PlanBoundaries() {
         }
       }
       for (int a = 0; a < num_numeric; ++a) {
-        boundaries_.push_back(bucketing::ExactEquiDepthBoundaries(
-            columns[static_cast<size_t>(a)], options_.num_buckets));
+        bucketing::BucketBoundaries boundaries =
+            bucketing::ExactEquiDepthBoundaries(
+                columns[static_cast<size_t>(a)], options_.num_buckets);
+        for (size_t i = 0; i < sets; ++i) out[i]->push_back(boundaries);
       }
       return;
     }
@@ -237,18 +309,75 @@ void MiningEngine::PlanBoundaries() {
 }
 
 void MiningEngine::RunCountingScan() {
-  std::vector<const bucketing::BucketBoundaries*> bounds;
-  bounds.reserve(boundaries_.size());
-  for (const bucketing::BucketBoundaries& b : boundaries_) {
-    bounds.push_back(&b);
+  const int num_numeric = schema_.num_numeric();
+  const auto num_attrs = static_cast<size_t>(num_numeric);
+  bucketing::MultiCountSpec spec;
+  spec.num_targets = schema_.num_boolean();
+  spec.conditions = conditions_;
+  // Base channels: every numeric attribute against every Boolean target.
+  for (int a = 0; a < num_numeric; ++a) {
+    bucketing::CountChannel channel;
+    channel.column = a;
+    channel.boundaries = &boundaries_[static_cast<size_t>(a)];
+    spec.channels.push_back(std::move(channel));
   }
-  bucketing::MultiCountPlan plan(std::move(bounds), schema_.num_boolean());
+  // Conditional channels (Section 4.3): every registered condition times
+  // every numeric attribute, over the generalized boundary set.
+  for (size_t c = 0; c < conditions_.size(); ++c) {
+    for (int a = 0; a < num_numeric; ++a) {
+      bucketing::CountChannel channel;
+      channel.column = a;
+      channel.boundaries = &generalized_boundaries_[static_cast<size_t>(a)];
+      channel.condition = static_cast<int>(c);
+      spec.channels.push_back(std::move(channel));
+    }
+  }
+  // Sum channels (Section 5): per range attribute, one channel summing
+  // every registered target over the aggregate boundary set.
+  const size_t aggregate_base = spec.channels.size();
+  if (!sum_targets_.empty()) {
+    for (int a = 0; a < num_numeric; ++a) {
+      bucketing::CountChannel channel;
+      channel.column = a;
+      channel.boundaries = &aggregate_boundaries_[static_cast<size_t>(a)];
+      channel.count_targets = false;
+      channel.sum_targets = sum_targets_;
+      spec.channels.push_back(std::move(channel));
+    }
+  }
+
+  bucketing::MultiCountPlan plan(std::move(spec));
   bucketing::ExecuteMultiCount(*source_, &plan, pool_);
   ++counting_scans_;
-  counts_.reserve(static_cast<size_t>(plan.num_attributes()));
-  for (int a = 0; a < plan.num_attributes(); ++a) {
+
+  counts_.reserve(num_attrs);
+  for (int a = 0; a < num_numeric; ++a) {
     counts_.push_back(plan.TakeCounts(a));
     bucketing::CompactEmptyBuckets(&counts_.back());
+  }
+  generalized_counts_.resize(conditions_.size());
+  for (size_t c = 0; c < conditions_.size(); ++c) {
+    generalized_counts_[c].reserve(num_attrs);
+    for (int a = 0; a < num_numeric; ++a) {
+      const size_t channel = num_attrs * (c + 1) + static_cast<size_t>(a);
+      generalized_counts_[c].push_back(
+          plan.TakeCounts(static_cast<int>(channel)));
+      bucketing::CompactEmptyBuckets(&generalized_counts_[c].back());
+    }
+  }
+  aggregate_sums_.assign(num_attrs, {});
+  if (!sum_targets_.empty()) {
+    for (int a = 0; a < num_numeric; ++a) {
+      const auto channel =
+          static_cast<int>(aggregate_base + static_cast<size_t>(a));
+      auto& per_target = aggregate_sums_[static_cast<size_t>(a)];
+      per_target.reserve(sum_targets_.size());
+      for (size_t k = 0; k < sum_targets_.size(); ++k) {
+        per_target.push_back(
+            plan.MakeBucketSums(channel, static_cast<int>(k)));
+        bucketing::CompactEmptyBuckets(&per_target.back());
+      }
+    }
   }
 }
 
@@ -259,25 +388,28 @@ void MiningEngine::Prepare() {
   OPTRULES_CHECK(0.0 <= options_.min_support && options_.min_support <= 1.0);
   OPTRULES_CHECK(0.0 <= options_.min_confidence &&
                  options_.min_confidence <= 1.0);
-  PlanBoundaries();
+  // One planning pass covers the base boundaries plus the decorrelated
+  // generalized / aggregate sets the session has registered so far.
+  std::vector<uint64_t> offsets = {0};
+  std::vector<std::vector<bucketing::BucketBoundaries>*> outs = {
+      &boundaries_};
+  if (!conditions_.empty()) {
+    offsets.push_back(kGeneralizedSeedOffset);
+    outs.push_back(&generalized_boundaries_);
+  }
+  if (!sum_targets_.empty()) {
+    offsets.push_back(kAggregateSeedOffset);
+    outs.push_back(&aggregate_boundaries_);
+  }
+  PlanBoundarySets(offsets, outs);
   RunCountingScan();
   prepared_ = true;
 }
 
 std::vector<MinedRule> MiningEngine::MineAllPairs() {
-  Prepare();
-  std::vector<MinedRule> all;
-  all.reserve(static_cast<size_t>(schema_.num_numeric()) *
-              static_cast<size_t>(schema_.num_boolean()) * 2);
-  for (int a = 0; a < schema_.num_numeric(); ++a) {
-    for (int b = 0; b < schema_.num_boolean(); ++b) {
-      std::vector<MinedRule> pair =
-          EmitRulesForPair(counts_[static_cast<size_t>(a)], b, options_,
-                           schema_.NumericName(a), schema_.BooleanName(b));
-      for (MinedRule& rule : pair) all.push_back(std::move(rule));
-    }
-  }
-  return all;
+  const ThresholdSet thresholds[] = {
+      {options_.min_support, options_.min_confidence}};
+  return MineAllPairs(thresholds);
 }
 
 Result<std::vector<MinedRule>> MiningEngine::MinePair(
@@ -290,6 +422,197 @@ Result<std::vector<MinedRule>> MiningEngine::MinePair(
   return EmitRulesForPair(
       counts_[static_cast<size_t>(numeric_index.value())],
       boolean_index.value(), options_, numeric_attr, boolean_attr);
+}
+
+std::vector<MinedRule> MiningEngine::MineAllPairs(
+    std::span<const ThresholdSet> sweep) {
+  Prepare();
+  std::vector<MinedRule> all;
+  all.reserve(sweep.size() * static_cast<size_t>(schema_.num_numeric()) *
+              static_cast<size_t>(schema_.num_boolean()) * 2);
+  for (const ThresholdSet& thresholds : sweep) {
+    MinerOptions swept = options_;
+    swept.min_support = thresholds.min_support;
+    swept.min_confidence = thresholds.min_confidence;
+    OPTRULES_CHECK(0.0 <= swept.min_support && swept.min_support <= 1.0);
+    OPTRULES_CHECK(0.0 <= swept.min_confidence &&
+                   swept.min_confidence <= 1.0);
+    for (int a = 0; a < schema_.num_numeric(); ++a) {
+      for (int b = 0; b < schema_.num_boolean(); ++b) {
+        std::vector<MinedRule> pair =
+            EmitRulesForPair(counts_[static_cast<size_t>(a)], b, swept,
+                             schema_.NumericName(a), schema_.BooleanName(b));
+        for (MinedRule& rule : pair) all.push_back(std::move(rule));
+      }
+    }
+  }
+  return all;
+}
+
+Result<int> MiningEngine::EnsureCondition(
+    const std::vector<std::string>& names) {
+  std::vector<int> indices;
+  indices.reserve(names.size());
+  for (const std::string& name : names) {
+    const Result<int> index = schema_.BooleanIndexOf(name);
+    if (!index.ok()) return index.status();
+    indices.push_back(index.value());
+  }
+  // Canonicalize the conjunction (order and duplicates don't change the
+  // mask) so a permuted spelling of a registered condition never triggers
+  // a needless supplemental scan; the rendered presumptive_condition text
+  // still follows the caller's per-query attribute order.
+  std::sort(indices.begin(), indices.end());
+  indices.erase(std::unique(indices.begin(), indices.end()), indices.end());
+  for (size_t c = 0; c < conditions_.size(); ++c) {
+    if (conditions_[c] == indices) return static_cast<int>(c);
+  }
+  conditions_.push_back(std::move(indices));
+  const int condition = static_cast<int>(conditions_.size()) - 1;
+  // A condition registered after the shared scan costs one supplemental
+  // scan; registered before, it rides along for free.
+  if (prepared_) AddConditionChannels(condition);
+  return condition;
+}
+
+Result<int> MiningEngine::EnsureSumTarget(const std::string& name) {
+  const Result<int> index = schema_.NumericIndexOf(name);
+  if (!index.ok()) return index.status();
+  for (size_t k = 0; k < sum_targets_.size(); ++k) {
+    if (sum_targets_[k] == index.value()) return static_cast<int>(k);
+  }
+  sum_targets_.push_back(index.value());
+  const int k = static_cast<int>(sum_targets_.size()) - 1;
+  if (prepared_) AddSumTargetChannels(index.value());
+  return k;
+}
+
+void MiningEngine::AddConditionChannels(int condition_index) {
+  if (generalized_boundaries_.empty()) {
+    const uint64_t offsets[] = {kGeneralizedSeedOffset};
+    std::vector<bucketing::BucketBoundaries>* outs[] = {
+        &generalized_boundaries_};
+    PlanBoundarySets(offsets, outs);
+  }
+  bucketing::MultiCountSpec spec;
+  spec.num_targets = schema_.num_boolean();
+  spec.conditions = {
+      conditions_[static_cast<size_t>(condition_index)]};
+  for (int a = 0; a < schema_.num_numeric(); ++a) {
+    bucketing::CountChannel channel;
+    channel.column = a;
+    channel.boundaries = &generalized_boundaries_[static_cast<size_t>(a)];
+    channel.condition = 0;
+    spec.channels.push_back(std::move(channel));
+  }
+  bucketing::MultiCountPlan plan(std::move(spec));
+  bucketing::ExecuteMultiCount(*source_, &plan, pool_);
+  ++counting_scans_;
+  generalized_counts_.emplace_back();
+  generalized_counts_.back().reserve(
+      static_cast<size_t>(schema_.num_numeric()));
+  for (int a = 0; a < schema_.num_numeric(); ++a) {
+    generalized_counts_.back().push_back(plan.TakeCounts(a));
+    bucketing::CompactEmptyBuckets(&generalized_counts_.back().back());
+  }
+}
+
+void MiningEngine::AddSumTargetChannels(int target) {
+  if (aggregate_boundaries_.empty()) {
+    const uint64_t offsets[] = {kAggregateSeedOffset};
+    std::vector<bucketing::BucketBoundaries>* outs[] = {
+        &aggregate_boundaries_};
+    PlanBoundarySets(offsets, outs);
+  }
+  bucketing::MultiCountSpec spec;
+  spec.num_targets = schema_.num_boolean();
+  for (int a = 0; a < schema_.num_numeric(); ++a) {
+    bucketing::CountChannel channel;
+    channel.column = a;
+    channel.boundaries = &aggregate_boundaries_[static_cast<size_t>(a)];
+    channel.count_targets = false;
+    channel.sum_targets = {target};
+    spec.channels.push_back(std::move(channel));
+  }
+  bucketing::MultiCountPlan plan(std::move(spec));
+  bucketing::ExecuteMultiCount(*source_, &plan, pool_);
+  ++counting_scans_;
+  if (aggregate_sums_.empty()) {
+    aggregate_sums_.assign(static_cast<size_t>(schema_.num_numeric()), {});
+  }
+  for (int a = 0; a < schema_.num_numeric(); ++a) {
+    auto& per_target = aggregate_sums_[static_cast<size_t>(a)];
+    per_target.push_back(plan.MakeBucketSums(a, 0));
+    bucketing::CompactEmptyBuckets(&per_target.back());
+  }
+}
+
+Status MiningEngine::RequestGeneralized(
+    const std::vector<std::string>& condition_attrs) {
+  const Result<int> condition = EnsureCondition(condition_attrs);
+  return condition.ok() ? Status::Ok() : condition.status();
+}
+
+Status MiningEngine::RequestAverageTarget(const std::string& target_attr) {
+  const Result<int> target = EnsureSumTarget(target_attr);
+  return target.ok() ? Status::Ok() : target.status();
+}
+
+Result<std::vector<MinedRule>> MiningEngine::MineGeneralized(
+    const std::string& numeric_attr,
+    const std::vector<std::string>& condition_attrs,
+    const std::string& objective_attr) {
+  const Result<int> numeric_index = schema_.NumericIndexOf(numeric_attr);
+  if (!numeric_index.ok()) return numeric_index.status();
+  const Result<int> objective_index = schema_.BooleanIndexOf(objective_attr);
+  if (!objective_index.ok()) return objective_index.status();
+  const Result<int> condition = EnsureCondition(condition_attrs);
+  if (!condition.ok()) return condition.status();
+  Prepare();
+  const bucketing::BucketCounts& counts =
+      generalized_counts_[static_cast<size_t>(condition.value())]
+                         [static_cast<size_t>(numeric_index.value())];
+  std::vector<MinedRule> mined = EmitRulesForPair(
+      counts, objective_index.value(), options_, numeric_attr,
+      objective_attr);
+  const std::string condition_text = ConditionText(condition_attrs);
+  for (MinedRule& rule : mined) rule.presumptive_condition = condition_text;
+  return mined;
+}
+
+Result<MinedAggregateRange> MiningEngine::MineMaximumAverageRange(
+    const std::string& range_attr, const std::string& target_attr,
+    double min_support) {
+  const Result<int> range_index = schema_.NumericIndexOf(range_attr);
+  if (!range_index.ok()) return range_index.status();
+  const Result<int> target = EnsureSumTarget(target_attr);
+  if (!target.ok()) return target.status();
+  Prepare();
+  const bucketing::BucketSums& sums =
+      SumsFor(range_index.value(), target.value());
+  RangeAggregate aggregate;
+  if (!sums.u.empty()) {
+    aggregate = MaximumAverageRange(
+        sums.u, sums.sum, MinSupportCount(sums.total_tuples, min_support));
+  }
+  return ToMinedAggregate(sums, aggregate, range_attr, target_attr);
+}
+
+Result<MinedAggregateRange> MiningEngine::MineMaximumSupportRange(
+    const std::string& range_attr, const std::string& target_attr,
+    double min_average) {
+  const Result<int> range_index = schema_.NumericIndexOf(range_attr);
+  if (!range_index.ok()) return range_index.status();
+  const Result<int> target = EnsureSumTarget(target_attr);
+  if (!target.ok()) return target.status();
+  Prepare();
+  const bucketing::BucketSums& sums =
+      SumsFor(range_index.value(), target.value());
+  RangeAggregate aggregate;
+  if (!sums.u.empty()) {
+    aggregate = MaximumSupportRange(sums.u, sums.sum, min_average);
+  }
+  return ToMinedAggregate(sums, aggregate, range_attr, target_attr);
 }
 
 // -------------------------------------------------------------- Miner ----
@@ -378,21 +701,19 @@ Result<std::vector<MinedRule>> Miner::MineGeneralized(
   // Materialize the C1 mask (conjunction of the condition attributes).
   const int64_t n = relation_->NumRows();
   std::vector<uint8_t> c1(static_cast<size_t>(n), 1);
-  std::string condition_text;
   for (const std::string& name : condition_attrs) {
     const Result<int> index = relation_->schema().BooleanIndexOf(name);
     if (!index.ok()) return index.status();
     const std::vector<uint8_t>& column =
         relation_->BooleanColumn(index.value());
     for (size_t row = 0; row < c1.size(); ++row) c1[row] &= column[row];
-    if (!condition_text.empty()) condition_text += " ^ ";
-    condition_text += name + "=yes";
   }
 
   const std::vector<double>& values =
       relation_->NumericColumn(numeric_index.value());
   bucketing::BoundaryPlan plan = ToBoundaryPlan(options_);
-  plan.seed += 0x517c;  // decorrelate from the plain per-pair bucketing
+  // Decorrelate from the plain per-pair bucketing.
+  plan.seed += kGeneralizedSeedOffset;
   const bucketing::BucketBoundaries boundaries = bucketing::BuildBoundaries(
       values, plan, AttributeSalt(numeric_index.value()));
   bucketing::BucketCounts counts = bucketing::CountBucketsConditional(
@@ -402,6 +723,7 @@ Result<std::vector<MinedRule>> Miner::MineGeneralized(
 
   std::vector<MinedRule> mined =
       EmitRulesForPair(counts, 0, options_, numeric_attr, objective_attr);
+  const std::string condition_text = ConditionText(condition_attrs);
   for (MinedRule& rule : mined) {
     rule.presumptive_condition = condition_text;
   }
@@ -421,34 +743,14 @@ Result<bucketing::BucketSums> BuildSums(const storage::Relation& relation,
   if (!b.ok()) return b.status();
   const std::vector<double>& values = relation.NumericColumn(a.value());
   bucketing::BoundaryPlan plan = ToBoundaryPlan(options);
-  plan.seed += 0xa4f;  // decorrelate from the per-pair bucketing
+  // Decorrelate from the per-pair bucketing.
+  plan.seed += kAggregateSeedOffset;
   const bucketing::BucketBoundaries boundaries = bucketing::BuildBoundaries(
       values, plan, AttributeSalt(a.value()));
   bucketing::BucketSums sums = bucketing::CountBucketSums(
       values, relation.NumericColumn(b.value()), boundaries);
   bucketing::CompactEmptyBuckets(&sums);
   return sums;
-}
-
-MinedAggregateRange ToMinedAggregate(const bucketing::BucketSums& sums,
-                                     const RangeAggregate& aggregate,
-                                     const std::string& range_attr,
-                                     const std::string& target_attr) {
-  MinedAggregateRange mined;
-  mined.range_attr = range_attr;
-  mined.target_attr = target_attr;
-  mined.found = aggregate.found;
-  if (aggregate.found) {
-    mined.range_lo = bucketing::RangeMinValue(sums, aggregate.s, aggregate.t);
-    mined.range_hi = bucketing::RangeMaxValue(sums, aggregate.s, aggregate.t);
-    mined.support_count = aggregate.support_count;
-    mined.support = sums.total_tuples > 0
-                        ? static_cast<double>(aggregate.support_count) /
-                              static_cast<double>(sums.total_tuples)
-                        : 0.0;
-    mined.average = aggregate.average;
-  }
-  return mined;
 }
 
 }  // namespace

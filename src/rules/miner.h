@@ -5,24 +5,29 @@
 //
 //  * MiningEngine -- the batch-execution session. It plans equi-depth
 //    boundaries for EVERY numeric attribute up front, then accumulates
-//    BucketCounts for every (numeric, Boolean) attribute pair in ONE
-//    shared columnar scan of the data (bucketing::MultiCountPlan over a
-//    storage::BatchSource, optionally partitioned over a ThreadPool), and
-//    finally answers rule queries from the cached counts. This is the
-//    paper's "complete set of optimized rules for all combinations of
-//    hundreds of numeric and Boolean attributes" path: the scan cost is
-//    paid once no matter how many pairs are mined, in memory or on disk.
+//    BucketCounts for every (numeric, Boolean) attribute pair -- plus the
+//    conditional channels of registered generalized conditions (Section
+//    4.3) and the per-bucket sum channels of registered aggregate targets
+//    (Section 5) -- in ONE shared columnar scan of the data
+//    (bucketing::MultiCountPlan over a storage::BatchSource, optionally
+//    partitioned over a ThreadPool), and finally answers plain,
+//    generalized, aggregate, and threshold-sweep queries from the cached
+//    channels. This is the paper's "complete set of optimized rules for
+//    all combinations of hundreds of numeric and Boolean attributes"
+//    path: the scan cost is paid once no matter how many queries are
+//    answered, in memory or on disk.
 //
 //  * Miner -- the legacy reference miner over an in-memory relation. It
-//    buckets lazily, one counting pass per numeric attribute, and is kept
-//    as the independently-simple implementation the engine is tested
-//    against (their outputs must be bit-identical).
+//    buckets lazily, one counting pass per query, and is kept as the
+//    independently-simple implementation the engine is tested against
+//    (their outputs must be bit-identical for every query kind).
 
 #ifndef OPTRULES_RULES_MINER_H_
 #define OPTRULES_RULES_MINER_H_
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -81,6 +86,12 @@ struct MinedRule {
   std::string ToString() const;
 };
 
+/// One (min_support, min_confidence) pair of a threshold sweep.
+struct ThresholdSet {
+  double min_support = 0.05;
+  double min_confidence = 0.5;
+};
+
 /// A mined Section 5 aggregate range for
 /// `avg(B | A in [range_lo, range_hi])`.
 struct MinedAggregateRange {
@@ -129,25 +140,82 @@ class MiningEngine {
   /// the first mining call does it).
   void Prepare();
 
+  /// Registers a generalized-rule presumptive condition (conjunction of
+  /// Boolean attributes, Section 4.3) so the shared counting scan
+  /// accumulates its conditional channels for every numeric attribute.
+  /// MineGeneralized auto-registers, but registering every condition
+  /// before the first mining call keeps counting_scans() at 1; a new
+  /// condition after the scan costs one supplemental scan on first use.
+  Status RequestGeneralized(const std::vector<std::string>& condition_attrs);
+
+  /// Registers a numeric attribute as a Section 5 aggregate target so the
+  /// shared counting scan accumulates its per-bucket sums for every range
+  /// attribute. Same pre-registration contract as RequestGeneralized.
+  Status RequestAverageTarget(const std::string& target_attr);
+
   /// Both optimized rules for every (numeric, Boolean) attribute pair,
   /// in (numeric-major, Boolean-minor) order, confidence rule before
   /// support rule -- the same order as Miner::MineAll().
   std::vector<MinedRule> MineAllPairs();
 
+  /// Threshold sweep from the same cached counts: the full MineAllPairs()
+  /// output at each threshold set, concatenated in sweep order. The scan
+  /// cost is paid once; every sweep entry is O(M) per pair.
+  std::vector<MinedRule> MineAllPairs(std::span<const ThresholdSet> sweep);
+
   /// Both optimized rules for the pair, from the cached counts.
   Result<std::vector<MinedRule>> MinePair(const std::string& numeric_attr,
                                           const std::string& boolean_attr);
 
+  /// Generalized rules (Section 4.3), answered from the cached
+  /// conditional channels; bit-identical to Miner::MineGeneralized.
+  Result<std::vector<MinedRule>> MineGeneralized(
+      const std::string& numeric_attr,
+      const std::vector<std::string>& condition_attrs,
+      const std::string& objective_attr);
+
+  /// Section 5 maximum-average range from the cached sum channels;
+  /// bit-identical to Miner::MineMaximumAverageRange for serial scans.
+  Result<MinedAggregateRange> MineMaximumAverageRange(
+      const std::string& range_attr, const std::string& target_attr,
+      double min_support);
+
+  /// Section 5 maximum-support range from the cached sum channels;
+  /// bit-identical to Miner::MineMaximumSupportRange for serial scans.
+  Result<MinedAggregateRange> MineMaximumSupportRange(
+      const std::string& range_attr, const std::string& target_attr,
+      double min_average);
+
   /// Number of counting scans performed over the data so far (0 before
-  /// Prepare, 1 after -- regardless of the number of pairs mined).
+  /// Prepare, 1 after -- regardless of the number of pairs, generalized,
+  /// aggregate, or sweep queries answered, as long as every condition /
+  /// aggregate target was registered before the first mining call).
   int64_t counting_scans() const { return counting_scans_; }
 
   const storage::Schema& schema() const { return schema_; }
   const MinerOptions& options() const { return options_; }
 
  private:
-  void PlanBoundaries();
+  /// Plans one boundary set per seed offset for every numeric attribute;
+  /// generic batch sources pay ONE streaming pass for the whole request
+  /// list (the deterministic bucketizers ignore seeds and are planned
+  /// once, then copied).
+  void PlanBoundarySets(
+      std::span<const uint64_t> seed_offsets,
+      std::span<std::vector<bucketing::BucketBoundaries>* const> out);
   void RunCountingScan();
+  /// Resolves + registers a condition; runs a supplemental scan when the
+  /// session is already prepared. Returns the condition's index.
+  Result<int> EnsureCondition(const std::vector<std::string>& names);
+  /// Resolves + registers an aggregate target; supplemental scan when
+  /// already prepared. Returns the target's sum-channel index.
+  Result<int> EnsureSumTarget(const std::string& name);
+  void AddConditionChannels(int condition_index);
+  void AddSumTargetChannels(int target);
+  const bucketing::BucketSums& SumsFor(int range_attr, int k) const {
+    return aggregate_sums_[static_cast<size_t>(range_attr)]
+                          [static_cast<size_t>(k)];
+  }
 
   const storage::Relation* relation_ = nullptr;  ///< in-memory fast path
   std::unique_ptr<storage::BatchSource> owned_source_;
@@ -157,9 +225,22 @@ class MiningEngine {
   ThreadPool* pool_;
   bool prepared_ = false;
   int64_t counting_scans_ = 0;
+  /// Registered generalized conditions (resolved Boolean indices, in
+  /// registration order) and aggregate sum targets (numeric indices).
+  std::vector<std::vector<int>> conditions_;
+  std::vector<int> sum_targets_;
+  /// Boundary sets: base per attribute, plus the decorrelated generalized
+  /// / aggregate sets (planned only when the session uses them).
   std::vector<bucketing::BucketBoundaries> boundaries_;
+  std::vector<bucketing::BucketBoundaries> generalized_boundaries_;
+  std::vector<bucketing::BucketBoundaries> aggregate_boundaries_;
   /// Compacted per-numeric-attribute counts (one v-row per Boolean attr).
   std::vector<bucketing::BucketCounts> counts_;
+  /// generalized_counts_[condition][attr], compacted.
+  std::vector<std::vector<bucketing::BucketCounts>> generalized_counts_;
+  /// aggregate_sums_[attr][k]: sums of sum_targets_[k] over attr's
+  /// aggregate buckets, compacted.
+  std::vector<std::vector<bucketing::BucketSums>> aggregate_sums_;
 };
 
 /// Legacy reference miner over an in-memory relation.
@@ -167,10 +248,10 @@ class MiningEngine {
 /// The relation must outlive the miner. Bucketings are computed lazily
 /// per numeric attribute and cached, so MineAll() pays one sampling pass
 /// and one counting pass per numeric attribute regardless of the number
-/// of Boolean targets. MiningEngine supersedes this for sweeps (one scan
-/// total instead of one per attribute); Miner stays as the simple
-/// reference implementation and for the lazily-counted single-pair and
-/// generalized/aggregate queries.
+/// of Boolean targets; generalized and aggregate queries re-count per
+/// call. MiningEngine supersedes this for every query kind (one scan
+/// total instead of one per attribute or per query); Miner stays as the
+/// simple reference implementation the engine is tested against.
 class Miner {
  public:
   Miner(const storage::Relation* relation, MinerOptions options);

@@ -90,14 +90,21 @@ Status PagedFileWriter::FlushBuffer() {
   return Status::Ok();
 }
 
-Status PagedFileWriter::AppendRawRow(const uint8_t* row) {
+Result<uint8_t*> PagedFileWriter::ReserveRow() {
   OPTRULES_CHECK(file_ != nullptr);
   if (buffer_used_ + row_bytes_ > buffer_.size()) {
     OPTRULES_RETURN_IF_ERROR(FlushBuffer());
   }
-  std::memcpy(buffer_.data() + buffer_used_, row, row_bytes_);
+  uint8_t* row = buffer_.data() + buffer_used_;
   buffer_used_ += row_bytes_;
   ++num_rows_;
+  return row;
+}
+
+Status PagedFileWriter::AppendRawRow(const uint8_t* row) {
+  Result<uint8_t*> slot = ReserveRow();
+  if (!slot.ok()) return slot.status();
+  std::memcpy(slot.value(), row, row_bytes_);
   return Status::Ok();
 }
 
@@ -105,13 +112,16 @@ Status PagedFileWriter::AppendRow(std::span<const double> numeric_values,
                                   std::span<const uint8_t> boolean_values) {
   OPTRULES_CHECK(numeric_values.size() == static_cast<size_t>(num_numeric_));
   OPTRULES_CHECK(boolean_values.size() == static_cast<size_t>(num_boolean_));
-  uint8_t row[4096];
-  OPTRULES_CHECK(row_bytes_ <= sizeof(row));
-  std::memcpy(row, numeric_values.data(),
+  // Serialize straight into the write buffer: Create() sizes it to hold at
+  // least one row, so arbitrarily wide schemas (the paper's "hundreds of
+  // numeric attributes") never hit a fixed-size staging array.
+  Result<uint8_t*> slot = ReserveRow();
+  if (!slot.ok()) return slot.status();
+  std::memcpy(slot.value(), numeric_values.data(),
               numeric_values.size() * sizeof(double));
-  std::memcpy(row + numeric_values.size() * sizeof(double),
+  std::memcpy(slot.value() + numeric_values.size() * sizeof(double),
               boolean_values.data(), boolean_values.size());
-  return AppendRawRow(row);
+  return Status::Ok();
 }
 
 Status PagedFileWriter::Close() {

@@ -60,6 +60,9 @@ class PagedFileWriter {
  private:
   PagedFileWriter() = default;
   Status FlushBuffer();
+  /// Claims the next row_bytes_ slot in the write buffer (flushing first
+  /// if full) and returns its write pointer; advances the row count.
+  Result<uint8_t*> ReserveRow();
 
   std::FILE* file_ = nullptr;
   std::string path_;

@@ -1,19 +1,29 @@
-// Differential fuzzing of the O(M) optimizers against the exhaustive
-// oracles, over adversarial bucket-array families where ties and
-// degenerate hulls are common: unit buckets, constant confidence,
-// monotone ramps, alternating blocks, plateau-heavy arrays, and wide
-// random mixes. This is the library's central correctness argument, so it
-// gets its own deep sweep beyond the per-module property tests.
+// Differential fuzzing in two layers. First, the O(M) optimizers against
+// the exhaustive oracles, over adversarial bucket-array families where
+// ties and degenerate hulls are common: unit buckets, constant
+// confidence, monotone ramps, alternating blocks, plateau-heavy arrays,
+// and wide random mixes. Second, the one-scan MiningEngine against the
+// legacy per-query Miner end to end, over randomized NaN-laden relations
+// (plain, generalized, and aggregate queries) and over disk-resident
+// paged files -- the library's central correctness argument, so it gets
+// its own deep sweep beyond the per-module property tests.
 
+#include <cmath>
+#include <cstdio>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "common/ratio.h"
 #include "common/rng.h"
+#include "datagen/table_generator.h"
+#include "rules/miner.h"
 #include "rules/naive.h"
 #include "rules/optimized_confidence.h"
 #include "rules/optimized_support.h"
+#include "storage/columnar_batch.h"
+#include "storage/paged_file.h"
 
 namespace optrules::rules {
 namespace {
@@ -162,6 +172,226 @@ TEST(DifferentialFuzzTest, DualityBetweenTheTwoOptimizations) {
     EXPECT_GE(supp_rule.support_count, min_support) << "round " << round;
     EXPECT_GE(supp_rule.support_count, conf_rule.support_count)
         << "round " << round;
+  }
+}
+
+// ------------------------- engine vs legacy end-to-end differential ----
+
+/// Random table with NaNs injected into every numeric column at a random
+/// per-column rate (0 .. ~20%), so empty buckets, NaN-only stretches, and
+/// NaN-poisoned aggregate targets all occur.
+storage::Relation RandomNanRelation(Rng& rng) {
+  datagen::TableConfig config;
+  config.num_rows = 500 + static_cast<int64_t>(rng.NextBounded(2500));
+  config.num_numeric = 2 + static_cast<int>(rng.NextBounded(3));
+  config.num_boolean = 1 + static_cast<int>(rng.NextBounded(3));
+  storage::Relation relation = datagen::GenerateTable(config, rng);
+  const double nan = std::nan("");
+  for (int a = 0; a < config.num_numeric; ++a) {
+    const double rate = 0.2 * rng.NextDouble();
+    std::vector<double>& column = relation.MutableNumericColumn(a);
+    for (double& value : column) {
+      if (rng.NextBernoulli(rate)) value = nan;
+    }
+  }
+  return relation;
+}
+
+void ExpectIdenticalRules(const std::vector<MinedRule>& a,
+                          const std::vector<MinedRule>& b, int round) {
+  ASSERT_EQ(a.size(), b.size()) << "round " << round;
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].found, b[i].found) << "round " << round << " rule " << i;
+    ASSERT_EQ(a[i].range_lo, b[i].range_lo) << "round " << round;
+    ASSERT_EQ(a[i].range_hi, b[i].range_hi) << "round " << round;
+    ASSERT_EQ(a[i].support_count, b[i].support_count) << "round " << round;
+    ASSERT_EQ(a[i].hit_count, b[i].hit_count) << "round " << round;
+    ASSERT_EQ(a[i].support, b[i].support) << "round " << round;
+    ASSERT_EQ(a[i].confidence, b[i].confidence) << "round " << round;
+    ASSERT_EQ(a[i].presumptive_condition, b[i].presumptive_condition)
+        << "round " << round;
+  }
+}
+
+void ExpectIdenticalAggregate(const MinedAggregateRange& a,
+                              const MinedAggregateRange& b, int round) {
+  ASSERT_EQ(a.found, b.found) << "round " << round;
+  ASSERT_EQ(a.range_lo, b.range_lo) << "round " << round;
+  ASSERT_EQ(a.range_hi, b.range_hi) << "round " << round;
+  ASSERT_EQ(a.support_count, b.support_count) << "round " << round;
+  ASSERT_EQ(a.support, b.support) << "round " << round;
+  if (std::isnan(a.average) || std::isnan(b.average)) {
+    ASSERT_TRUE(std::isnan(a.average) && std::isnan(b.average))
+        << "round " << round;
+  } else {
+    ASSERT_EQ(a.average, b.average) << "round " << round;
+  }
+}
+
+TEST(EngineDifferentialFuzzTest, NanLadenRelationsAllQueryKinds) {
+  Rng rng(90210);
+  for (int round = 0; round < 20; ++round) {
+    const storage::Relation relation = RandomNanRelation(rng);
+    const storage::Schema& schema = relation.schema();
+    MinerOptions options;
+    options.num_buckets = 20 + static_cast<int>(rng.NextBounded(60));
+    options.sample_per_bucket = 8;
+    options.min_support = 0.02 + 0.2 * rng.NextDouble();
+    options.min_confidence = 0.3 + 0.5 * rng.NextDouble();
+    options.seed = 1000 + static_cast<uint64_t>(round);
+
+    Miner legacy(&relation, options);
+    MiningEngine engine(&relation, options);
+    ExpectIdenticalRules(engine.MineAllPairs(), legacy.MineAll(), round);
+
+    // A random generalized query: condition = random Boolean subset.
+    std::vector<std::string> condition;
+    for (int b = 0; b < schema.num_boolean(); ++b) {
+      if (rng.NextBernoulli(0.5)) condition.push_back(schema.BooleanName(b));
+    }
+    const std::string numeric =
+        schema.NumericName(static_cast<int>(
+            rng.NextBounded(static_cast<uint64_t>(schema.num_numeric()))));
+    const std::string objective =
+        schema.BooleanName(static_cast<int>(
+            rng.NextBounded(static_cast<uint64_t>(schema.num_boolean()))));
+    auto engine_generalized =
+        engine.MineGeneralized(numeric, condition, objective);
+    auto legacy_generalized =
+        legacy.MineGeneralized(numeric, condition, objective);
+    ASSERT_TRUE(engine_generalized.ok());
+    ASSERT_TRUE(legacy_generalized.ok());
+    ExpectIdenticalRules(engine_generalized.value(),
+                         legacy_generalized.value(), round);
+
+    // A random aggregate pair (range and target may coincide).
+    const std::string range_attr =
+        schema.NumericName(static_cast<int>(
+            rng.NextBounded(static_cast<uint64_t>(schema.num_numeric()))));
+    const std::string target_attr =
+        schema.NumericName(static_cast<int>(
+            rng.NextBounded(static_cast<uint64_t>(schema.num_numeric()))));
+    const double min_support = 0.05 + 0.3 * rng.NextDouble();
+    auto engine_average =
+        engine.MineMaximumAverageRange(range_attr, target_attr, min_support);
+    auto legacy_average =
+        legacy.MineMaximumAverageRange(range_attr, target_attr, min_support);
+    ASSERT_TRUE(engine_average.ok());
+    ASSERT_TRUE(legacy_average.ok());
+    ExpectIdenticalAggregate(engine_average.value(), legacy_average.value(),
+                             round);
+    const double min_average = 2e5 + 6e5 * rng.NextDouble();
+    auto engine_support =
+        engine.MineMaximumSupportRange(range_attr, target_attr, min_average);
+    auto legacy_support =
+        legacy.MineMaximumSupportRange(range_attr, target_attr, min_average);
+    ASSERT_TRUE(engine_support.ok());
+    ASSERT_TRUE(legacy_support.ok());
+    ExpectIdenticalAggregate(engine_support.value(), legacy_support.value(),
+                             round);
+  }
+}
+
+TEST(EngineDifferentialFuzzTest, NanLadenPagedFilesMatchInMemoryEngine) {
+  // The disk path exercises the page -> column transpose and NaN byte
+  // round-tripping; GK boundaries are deterministic so file and memory
+  // engines must agree bit for bit.
+  Rng rng(60601);
+  for (int round = 0; round < 6; ++round) {
+    const storage::Relation relation = RandomNanRelation(rng);
+    MinerOptions options;
+    options.num_buckets = 16 + static_cast<int>(rng.NextBounded(48));
+    options.bucketizer = Bucketizer::kGkSketch;
+    const std::string path = testing::TempDir() + "/fuzz_nan_" +
+                             std::to_string(round) + ".optr";
+    ASSERT_TRUE(storage::WriteRelationToFile(relation, path).ok());
+    auto source_or = storage::PagedFileBatchSource::Open(
+        path, 128 + static_cast<int64_t>(rng.NextBounded(900)));
+    ASSERT_TRUE(source_or.ok());
+
+    MiningEngine memory_engine(&relation, options);
+    MiningEngine file_engine(source_or.value().get(), relation.schema(),
+                             options);
+    for (MiningEngine* engine : {&memory_engine, &file_engine}) {
+      ASSERT_TRUE(engine->RequestGeneralized({}).ok());
+      ASSERT_TRUE(
+          engine->RequestAverageTarget(relation.schema().NumericName(0))
+              .ok());
+    }
+    ExpectIdenticalRules(file_engine.MineAllPairs(),
+                         memory_engine.MineAllPairs(), round);
+    auto file_generalized = file_engine.MineGeneralized(
+        relation.schema().NumericName(0), {},
+        relation.schema().BooleanName(0));
+    auto memory_generalized = memory_engine.MineGeneralized(
+        relation.schema().NumericName(0), {},
+        relation.schema().BooleanName(0));
+    ASSERT_TRUE(file_generalized.ok());
+    ASSERT_TRUE(memory_generalized.ok());
+    ExpectIdenticalRules(file_generalized.value(),
+                         memory_generalized.value(), round);
+    auto file_average = file_engine.MineMaximumAverageRange(
+        relation.schema().NumericName(1), relation.schema().NumericName(0),
+        0.1);
+    auto memory_average = memory_engine.MineMaximumAverageRange(
+        relation.schema().NumericName(1), relation.schema().NumericName(0),
+        0.1);
+    ASSERT_TRUE(file_average.ok());
+    ASSERT_TRUE(memory_average.ok());
+    ExpectIdenticalAggregate(file_average.value(), memory_average.value(),
+                             round);
+    ASSERT_EQ(file_engine.counting_scans(), 1) << round;
+    std::remove(path.c_str());
+  }
+}
+
+TEST(EngineDifferentialFuzzTest, WideSchemaRoundTripsThroughPagedFiles) {
+  // Randomized wide schemas (hundreds of numeric attributes, i.e. row
+  // widths past the old 4096-byte AppendRow staging array) must survive
+  // the disk round trip bit for bit, NaNs included.
+  Rng rng(77077);
+  for (int round = 0; round < 4; ++round) {
+    const int num_numeric = 510 + static_cast<int>(rng.NextBounded(300));
+    const int num_boolean = 1 + static_cast<int>(rng.NextBounded(8));
+    const int64_t rows = 16 + static_cast<int64_t>(rng.NextBounded(48));
+    const storage::Schema schema =
+        storage::Schema::Synthetic(num_numeric, num_boolean);
+    storage::Relation relation(schema);
+    std::vector<double> numeric(static_cast<size_t>(num_numeric));
+    std::vector<uint8_t> boolean(static_cast<size_t>(num_boolean));
+    for (int64_t row = 0; row < rows; ++row) {
+      for (double& value : numeric) {
+        value = rng.NextBernoulli(0.05) ? std::nan("")
+                                        : rng.NextDouble() * 1e6 - 5e5;
+      }
+      for (uint8_t& value : boolean) {
+        value = rng.NextBernoulli(0.5) ? 1 : 0;
+      }
+      relation.AppendRow(numeric, boolean);
+    }
+    const std::string path = testing::TempDir() + "/fuzz_wide_" +
+                             std::to_string(round) + ".optr";
+    ASSERT_TRUE(storage::WriteRelationToFile(relation, path).ok());
+    auto read_or = storage::ReadRelationFromFile(path, schema);
+    ASSERT_TRUE(read_or.ok());
+    const storage::Relation& read = read_or.value();
+    ASSERT_EQ(read.NumRows(), rows) << round;
+    for (int64_t row = 0; row < rows; ++row) {
+      for (int a = 0; a < num_numeric; ++a) {
+        const double expected = relation.NumericValue(row, a);
+        const double got = read.NumericValue(row, a);
+        if (std::isnan(expected)) {
+          ASSERT_TRUE(std::isnan(got)) << round;
+        } else {
+          ASSERT_EQ(got, expected) << round;
+        }
+      }
+      for (int b = 0; b < num_boolean; ++b) {
+        ASSERT_EQ(read.BooleanValue(row, b), relation.BooleanValue(row, b))
+            << round;
+      }
+    }
+    std::remove(path.c_str());
   }
 }
 

@@ -244,16 +244,27 @@ TEST(ParallelCountTest, ExplicitPoolOverloadMatches) {
 
 // -------------------------------------------------------- NaN guards ----
 
-TEST(NanGuardTest, NanValuesNeverBecomeRangeEndpoints) {
+TEST(NanGuardTest, LocateSendsNanToNoBucket) {
+  const BucketBoundaries boundaries =
+      BucketBoundaries::FromCutPoints({10.0, 20.0});
+  EXPECT_EQ(boundaries.Locate(std::nan("")), BucketBoundaries::kNoBucket);
+  EXPECT_EQ(boundaries.Locate(5.0), 0);
+  EXPECT_EQ(boundaries.Locate(1e300), 2);
+}
+
+TEST(NanGuardTest, NanRowsCountTowardNButTowardNoBucket) {
   const double nan = std::nan("");
   const std::vector<double> values = {1.0, 2.0, nan, nan, 30.0};
   const std::vector<uint8_t> target = {1, 0, 1, 1, 1};
   const BucketBoundaries boundaries =
       BucketBoundaries::FromCutPoints({10.0, 20.0});
   BucketCounts counts = bucketing::CountBuckets(values, target, boundaries);
-  // NaNs land in bucket 0 (all cut comparisons are false) and are counted
-  // as tuples, but min/max must only track finite values.
-  EXPECT_EQ(counts.u[0], 4);
+  // The NaN policy: NaN rows inflate no bucket's u-count (they used to be
+  // silently routed to bucket 0), but the support denominator N still
+  // covers every tuple.
+  EXPECT_EQ(counts.u[0], 2);
+  EXPECT_EQ(counts.v[0][0], 1);
+  EXPECT_EQ(counts.total_tuples, 5);
   EXPECT_DOUBLE_EQ(counts.min_value[0], 1.0);
   EXPECT_DOUBLE_EQ(counts.max_value[0], 2.0);
   bucketing::CompactEmptyBuckets(&counts);
@@ -262,17 +273,39 @@ TEST(NanGuardTest, NanValuesNeverBecomeRangeEndpoints) {
   EXPECT_FALSE(std::isnan(bucketing::RangeMaxValue(counts, 0, 1)));
 }
 
-TEST(NanGuardTest, AllNanBucketFallsBackToUnboundedEdges) {
+TEST(NanGuardTest, AllNanColumnLeavesEveryBucketEmpty) {
   const double nan = std::nan("");
   const std::vector<double> values = {nan, nan};
   const std::vector<uint8_t> target = {1, 1};
   const BucketBoundaries boundaries = BucketBoundaries::FromCutPoints({});
   BucketCounts counts = bucketing::CountBuckets(values, target, boundaries);
+  EXPECT_EQ(counts.total_tuples, 2);
   bucketing::CompactEmptyBuckets(&counts);
-  ASSERT_EQ(counts.num_buckets(), 1);  // u = 2 > 0: survives compaction
-  EXPECT_TRUE(std::isinf(bucketing::RangeMinValue(counts, 0, 0)));
-  EXPECT_TRUE(std::isinf(bucketing::RangeMaxValue(counts, 0, 0)));
-  EXPECT_FALSE(std::isnan(bucketing::RangeMinValue(counts, 0, 0)));
+  // No bucket received a tuple, so compaction removes all of them; rule
+  // emission treats the empty array as "no range".
+  EXPECT_EQ(counts.num_buckets(), 0);
+}
+
+TEST(NanGuardTest, ConditionalAndSumKernelsSkipNanValues) {
+  const double nan = std::nan("");
+  const std::vector<double> values = {1.0, nan, 15.0, nan, 25.0};
+  const std::vector<uint8_t> c1 = {1, 1, 1, 1, 0};
+  const std::vector<uint8_t> c2 = {1, 1, 0, 1, 1};
+  const BucketBoundaries boundaries =
+      BucketBoundaries::FromCutPoints({10.0, 20.0});
+  const BucketCounts conditional =
+      bucketing::CountBucketsConditional(values, c1, c2, boundaries);
+  EXPECT_EQ(conditional.u, (std::vector<int64_t>{1, 1, 0}));
+  EXPECT_EQ(conditional.v[0], (std::vector<int64_t>{1, 0, 0}));
+  EXPECT_EQ(conditional.total_tuples, 5);
+
+  const std::vector<double> target = {10.0, 100.0, 20.0, 1000.0, 40.0};
+  const bucketing::BucketSums sums =
+      bucketing::CountBucketSums(values, target, boundaries);
+  // NaN range-attribute rows contribute to no bucket's count or sum.
+  EXPECT_EQ(sums.u, (std::vector<int64_t>{1, 1, 1}));
+  EXPECT_EQ(sums.sum, (std::vector<double>{10.0, 20.0, 40.0}));
+  EXPECT_EQ(sums.total_tuples, 5);
 }
 
 // ------------------------------------------------------ mining engine ----
@@ -440,8 +473,315 @@ TEST(MiningEngineTest, UnknownAttributesAreNotFoundErrors) {
             StatusCode::kNotFound);
   EXPECT_EQ(engine.MinePair("num0", "nope").status().code(),
             StatusCode::kNotFound);
+  EXPECT_EQ(engine.MineGeneralized("num0", {"nope"}, "bool0").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(
+      engine.MineMaximumAverageRange("num0", "nope", 0.1).status().code(),
+      StatusCode::kNotFound);
   // Failed lookups must not have triggered the counting scan.
   EXPECT_EQ(engine.counting_scans(), 0);
+}
+
+// ------------------------- generalized / aggregate / sweep equivalence ----
+
+/// Bitwise double equality that also accepts NaN == NaN: when the summed
+/// target attribute itself carries NaNs, both paths must propagate the
+/// identical NaN average.
+void ExpectSameDouble(double a, double b) {
+  if (std::isnan(a) || std::isnan(b)) {
+    EXPECT_TRUE(std::isnan(a) && std::isnan(b));
+    return;
+  }
+  EXPECT_EQ(a, b);
+}
+
+void ExpectSameAggregate(const Result<MinedAggregateRange>& a,
+                         const Result<MinedAggregateRange>& b) {
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value().found, b.value().found);
+  EXPECT_EQ(a.value().range_attr, b.value().range_attr);
+  EXPECT_EQ(a.value().target_attr, b.value().target_attr);
+  EXPECT_EQ(a.value().range_lo, b.value().range_lo);
+  EXPECT_EQ(a.value().range_hi, b.value().range_hi);
+  EXPECT_EQ(a.value().support_count, b.value().support_count);
+  EXPECT_EQ(a.value().support, b.value().support);
+  ExpectSameDouble(a.value().average, b.value().average);
+}
+
+void ExpectSameRuleResults(const Result<std::vector<MinedRule>>& a,
+                           const Result<std::vector<MinedRule>>& b) {
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ExpectSameRules(a.value(), b.value());
+  for (size_t i = 0; i < a.value().size(); ++i) {
+    EXPECT_EQ(a.value()[i].presumptive_condition,
+              b.value()[i].presumptive_condition);
+  }
+}
+
+TEST(MiningEngineTest, AllNanColumnIsSafeForEveryBucketizer) {
+  // A fully-NaN attribute (e.g. an all-null column) must not crash any
+  // bucketizer's planner -- the GK path used to CHECK-fail because its
+  // empty guard tested the input size, not the NaN-filtered sketch count.
+  storage::Relation relation = SmallRelation(500, 29);
+  for (double& value : relation.MutableNumericColumn(0)) {
+    value = std::nan("");
+  }
+  for (const Bucketizer bucketizer :
+       {Bucketizer::kSampling, Bucketizer::kGkSketch,
+        Bucketizer::kExactSort}) {
+    MinerOptions options;
+    options.num_buckets = 16;
+    options.sample_per_bucket = 4;
+    options.bucketizer = bucketizer;
+    Miner legacy(&relation, options);
+    MiningEngine engine(&relation, options);
+    const std::vector<MinedRule> rules = engine.MineAllPairs();
+    ExpectSameRules(rules, legacy.MineAll());
+    // Every pair on the all-NaN attribute reports "no range".
+    for (const MinedRule& rule : rules) {
+      if (rule.numeric_attr == "num0") {
+        EXPECT_FALSE(rule.found);
+      }
+    }
+  }
+}
+
+TEST(MiningEngineTest, GeneralizedRulesMatchLegacyMiner) {
+  const storage::Relation relation = SmallRelation(20000, 21);
+  MinerOptions options;
+  options.num_buckets = 120;
+  Miner legacy(&relation, options);
+  MiningEngine engine(&relation, options);
+  ExpectSameRuleResults(engine.MineGeneralized("num0", {"bool0"}, "bool1"),
+                        legacy.MineGeneralized("num0", {"bool0"}, "bool1"));
+  ExpectSameRuleResults(
+      engine.MineGeneralized("num2", {"bool0", "bool1"}, "bool0"),
+      legacy.MineGeneralized("num2", {"bool0", "bool1"}, "bool0"));
+  // The empty conjunction is a legal presumptive condition.
+  ExpectSameRuleResults(engine.MineGeneralized("num1", {}, "bool0"),
+                        legacy.MineGeneralized("num1", {}, "bool0"));
+}
+
+TEST(MiningEngineTest, AggregateRangesMatchLegacyMiner) {
+  const storage::Relation relation = SmallRelation(20000, 22);
+  MinerOptions options;
+  options.num_buckets = 150;
+  Miner legacy(&relation, options);
+  MiningEngine engine(&relation, options);
+  ExpectSameAggregate(engine.MineMaximumAverageRange("num0", "num1", 0.1),
+                      legacy.MineMaximumAverageRange("num0", "num1", 0.1));
+  ExpectSameAggregate(engine.MineMaximumAverageRange("num2", "num0", 0.25),
+                      legacy.MineMaximumAverageRange("num2", "num0", 0.25));
+  ExpectSameAggregate(
+      engine.MineMaximumSupportRange("num1", "num2", 520000.0),
+      legacy.MineMaximumSupportRange("num1", "num2", 520000.0));
+}
+
+TEST(MiningEngineTest, ThresholdSweepMatchesPerThresholdLegacyMiners) {
+  const storage::Relation relation = SmallRelation(15000, 23);
+  MinerOptions options;
+  options.num_buckets = 100;
+  MiningEngine engine(&relation, options);
+  const ThresholdSet sweep[] = {
+      {0.02, 0.3}, {0.05, 0.5}, {0.20, 0.8}, {0.50, 0.95}};
+  const std::vector<MinedRule> swept = engine.MineAllPairs(sweep);
+  EXPECT_EQ(engine.counting_scans(), 1);
+  const size_t per_sweep = 3 * 2 * 2;  // pairs x two rule kinds
+  ASSERT_EQ(swept.size(), per_sweep * std::size(sweep));
+  for (size_t i = 0; i < std::size(sweep); ++i) {
+    MinerOptions legacy_options = options;
+    legacy_options.min_support = sweep[i].min_support;
+    legacy_options.min_confidence = sweep[i].min_confidence;
+    Miner legacy(&relation, legacy_options);
+    const std::vector<MinedRule> expected = legacy.MineAll();
+    ExpectSameRules(
+        std::vector<MinedRule>(swept.begin() + i * per_sweep,
+                               swept.begin() + (i + 1) * per_sweep),
+        expected);
+  }
+}
+
+TEST(MiningEngineTest, AllQueryKindsTogetherCostOneCountingScan) {
+  const storage::Relation relation = SmallRelation(12000, 24);
+  storage::RelationBatchSource source(&relation);
+  MinerOptions options;
+  options.num_buckets = 80;
+  MiningEngine engine(&source, relation.schema(), options);
+  // Register the session's generalized conditions and aggregate targets
+  // up front so the shared scan accumulates every channel at once.
+  ASSERT_TRUE(engine.RequestGeneralized({"bool0"}).ok());
+  ASSERT_TRUE(engine.RequestGeneralized({"bool0", "bool1"}).ok());
+  ASSERT_TRUE(engine.RequestAverageTarget("num1").ok());
+
+  engine.MineAllPairs();
+  ASSERT_TRUE(engine.MineGeneralized("num0", {"bool0"}, "bool1").ok());
+  ASSERT_TRUE(
+      engine.MineGeneralized("num2", {"bool0", "bool1"}, "bool0").ok());
+  ASSERT_TRUE(engine.MineMaximumAverageRange("num0", "num1", 0.1).ok());
+  ASSERT_TRUE(engine.MineMaximumSupportRange("num2", "num1", 4e5).ok());
+  const ThresholdSet sweep[] = {{0.01, 0.4}, {0.10, 0.6}};
+  engine.MineAllPairs(sweep);
+
+  EXPECT_EQ(engine.counting_scans(), 1);
+  EXPECT_EQ(source.scans_started(), 2);  // planning + counting
+
+  // A permuted spelling of a registered conjunction is the same condition
+  // (the mask is order-independent); it must hit the cache, not rescan.
+  ASSERT_TRUE(
+      engine.MineGeneralized("num2", {"bool1", "bool0"}, "bool0").ok());
+  EXPECT_EQ(engine.counting_scans(), 1);
+
+  // A condition that was NOT pre-registered is still answerable, at the
+  // documented price of one supplemental scan on first use.
+  ASSERT_TRUE(engine.MineGeneralized("num1", {"bool1"}, "bool0").ok());
+  EXPECT_EQ(engine.counting_scans(), 2);
+  ASSERT_TRUE(engine.MineGeneralized("num0", {"bool1"}, "bool1").ok());
+  EXPECT_EQ(engine.counting_scans(), 2);  // cached from here on
+}
+
+TEST(MiningEngineTest, PooledEngineMatchesSerialForGeneralizedRules) {
+  const storage::Relation relation = SmallRelation(30000, 25);
+  MinerOptions options;
+  options.num_buckets = 90;
+  MiningEngine serial(&relation, options);
+  ThreadPool pool(4);
+  MiningEngine pooled(&relation, options, &pool);
+  for (MiningEngine* engine : {&serial, &pooled}) {
+    ASSERT_TRUE(engine->RequestGeneralized({"bool1"}).ok());
+  }
+  // Conditional count channels are integer state: the row-sharded
+  // schedule must be bit-identical to serial.
+  ExpectSameRuleResults(pooled.MineGeneralized("num1", {"bool1"}, "bool0"),
+                        serial.MineGeneralized("num1", {"bool1"}, "bool0"));
+  EXPECT_EQ(pooled.counting_scans(), 1);
+}
+
+// ---------------------------------------- NaN-laden end-to-end parity ----
+
+storage::Relation RelationWithNans(int64_t rows, uint64_t seed) {
+  storage::Relation relation = SmallRelation(rows, seed);
+  // Deterministically poke NaNs into every numeric column, including long
+  // stretches in column 0 so whole buckets go empty.
+  const double nan = std::nan("");
+  for (int a = 0; a < relation.schema().num_numeric(); ++a) {
+    std::vector<double>& column = relation.MutableNumericColumn(a);
+    for (size_t row = static_cast<size_t>(a); row < column.size();
+         row += 7 + static_cast<size_t>(a) * 3) {
+      column[row] = nan;
+    }
+  }
+  return relation;
+}
+
+TEST(MiningEngineTest, NanLadenRelationMatchesLegacyAcrossAllQueryKinds) {
+  const storage::Relation relation = RelationWithNans(20011, 26);
+  MinerOptions options;
+  options.num_buckets = 110;
+  Miner legacy(&relation, options);
+  MiningEngine engine(&relation, options);
+  ExpectSameRules(engine.MineAllPairs(), legacy.MineAll());
+  ExpectSameRuleResults(engine.MineGeneralized("num0", {"bool0"}, "bool1"),
+                        legacy.MineGeneralized("num0", {"bool0"}, "bool1"));
+  ExpectSameAggregate(engine.MineMaximumAverageRange("num1", "num2", 0.1),
+                      legacy.MineMaximumAverageRange("num1", "num2", 0.1));
+  ExpectSameAggregate(engine.MineMaximumSupportRange("num2", "num0", 4e5),
+                      legacy.MineMaximumSupportRange("num2", "num0", 4e5));
+}
+
+TEST(MiningEngineTest, NanLadenPagedFileMatchesLegacyWithGk) {
+  // NaN doubles round-trip through the fixed-width file format, and the
+  // disk-resident engine must reproduce the in-memory legacy miner bit
+  // for bit (GK boundaries are deterministic and insertion-order equal
+  // between the column and batch paths).
+  const storage::Relation relation = RelationWithNans(9001, 27);
+  const std::string path = testing::TempDir() + "/nan_engine.optr";
+  ASSERT_TRUE(storage::WriteRelationToFile(relation, path).ok());
+  auto source_or = storage::PagedFileBatchSource::Open(path, 512);
+  ASSERT_TRUE(source_or.ok());
+  MinerOptions options;
+  options.num_buckets = 60;
+  options.bucketizer = Bucketizer::kGkSketch;
+  Miner legacy(&relation, options);
+  MiningEngine engine(source_or.value().get(), relation.schema(), options);
+  ASSERT_TRUE(engine.RequestGeneralized({"bool1"}).ok());
+  ASSERT_TRUE(engine.RequestAverageTarget("num1").ok());
+  ExpectSameRules(engine.MineAllPairs(), legacy.MineAll());
+  ExpectSameRuleResults(engine.MineGeneralized("num2", {"bool1"}, "bool0"),
+                        legacy.MineGeneralized("num2", {"bool1"}, "bool0"));
+  ExpectSameAggregate(engine.MineMaximumAverageRange("num0", "num1", 0.15),
+                      legacy.MineMaximumAverageRange("num0", "num1", 0.15));
+  EXPECT_EQ(engine.counting_scans(), 1);
+  std::remove(path.c_str());
+}
+
+// ----------------------------------------------- wide-schema coverage ----
+
+TEST(WideSchemaTest, PagedFileRoundTripsSixHundredNumericAttributes) {
+  // 600 numeric attributes = 4800 row bytes, beyond the 4096-byte staging
+  // array AppendRow used to CHECK-crash on.
+  const int kNumeric = 600;
+  const int kBoolean = 5;
+  const int64_t kRows = 64;
+  const storage::Schema schema =
+      storage::Schema::Synthetic(kNumeric, kBoolean);
+  const std::string path = testing::TempDir() + "/wide_schema.optr";
+  auto writer_or = storage::PagedFileWriter::Create(path, kNumeric, kBoolean);
+  ASSERT_TRUE(writer_or.ok());
+  storage::PagedFileWriter writer = std::move(writer_or).value();
+  std::vector<double> numeric(static_cast<size_t>(kNumeric));
+  std::vector<uint8_t> boolean(static_cast<size_t>(kBoolean));
+  for (int64_t row = 0; row < kRows; ++row) {
+    for (int a = 0; a < kNumeric; ++a) {
+      numeric[static_cast<size_t>(a)] =
+          static_cast<double>(row) * 1000.0 + a;
+    }
+    for (int b = 0; b < kBoolean; ++b) {
+      boolean[static_cast<size_t>(b)] =
+          static_cast<uint8_t>((row + b) % 2);
+    }
+    ASSERT_TRUE(writer.AppendRow(numeric, boolean).ok());
+  }
+  ASSERT_TRUE(writer.Close().ok());
+
+  auto read_or = storage::ReadRelationFromFile(path, schema);
+  ASSERT_TRUE(read_or.ok());
+  const storage::Relation& read = read_or.value();
+  ASSERT_EQ(read.NumRows(), kRows);
+  for (int64_t row = 0; row < kRows; row += 17) {
+    for (int a = 0; a < kNumeric; a += 101) {
+      EXPECT_EQ(read.NumericValue(row, a),
+                static_cast<double>(row) * 1000.0 + a);
+    }
+    for (int b = 0; b < kBoolean; ++b) {
+      EXPECT_EQ(read.BooleanValue(row, b), (row + b) % 2 != 0);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(WideSchemaTest, WideEngineOverPagedFileMatchesLegacy) {
+  datagen::TableConfig config;
+  config.num_rows = 400;
+  config.num_numeric = 600;
+  config.num_boolean = 2;
+  Rng rng(28);
+  const storage::Relation relation = datagen::GenerateTable(config, rng);
+  const std::string path = testing::TempDir() + "/wide_engine.optr";
+  ASSERT_TRUE(storage::WriteRelationToFile(relation, path).ok());
+  auto source_or = storage::PagedFileBatchSource::Open(path);
+  ASSERT_TRUE(source_or.ok());
+
+  MinerOptions options;
+  options.num_buckets = 8;
+  options.sample_per_bucket = 4;
+  options.bucketizer = Bucketizer::kGkSketch;
+  Miner legacy(&relation, options);
+  MiningEngine engine(source_or.value().get(), relation.schema(), options);
+  ExpectSameRules(engine.MineAllPairs(), legacy.MineAll());
+  EXPECT_EQ(engine.counting_scans(), 1);
+  std::remove(path.c_str());
 }
 
 }  // namespace
