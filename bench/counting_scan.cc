@@ -1,0 +1,283 @@
+// Counting-scan microbench: the hot path of Algorithm 3.1 step 4.
+//
+// The shared counting scan assigns every tuple of every registered channel
+// to a bucket; this harness times exactly that kernel over a
+// rows x attrs x channels grid, in-memory (RelationBatchSource) and
+// out-of-core (PagedFileBatchSource), so the scan's perf trajectory is
+// machine-readable (OPTRULES_BENCH_JSON=1). Channel shapes mirror the
+// MiningEngine: base channels (attr x all Boolean targets), C conditional
+// channels per attribute sharing ONE generalized boundary set (Section
+// 4.3), and one sum channel per attribute (Section 5). A standalone
+// point-location loop isolates Locate/LocateBatch throughput from the
+// scatter passes.
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "bucketing/boundaries.h"
+#include "bucketing/counting.h"
+#include "bucketing/parallel_count.h"
+#include "common/timer.h"
+#include "datagen/table_generator.h"
+#include "storage/columnar_batch.h"
+#include "storage/paged_file.h"
+
+namespace {
+
+using optrules::bucketing::BoundaryPlan;
+using optrules::bucketing::BucketBoundaries;
+using optrules::bucketing::BuildBoundaries;
+using optrules::bucketing::CountChannel;
+using optrules::bucketing::ExecuteMultiCount;
+using optrules::bucketing::MultiCountPlan;
+using optrules::bucketing::MultiCountSpec;
+
+constexpr int kNumBuckets = 1000;
+constexpr int kReps = 3;
+
+/// Engine-shaped spec over the first `attrs` numeric columns: one base
+/// channel per attribute, `conditions` conditional channels per attribute
+/// (all sharing the per-attribute generalized boundary set, exactly the
+/// duplicate-location shape the shared bucket-index cache removes), and one
+/// sum channel per attribute when `with_sums`.
+MultiCountSpec MakeSpec(const std::vector<BucketBoundaries>& base,
+                        const std::vector<BucketBoundaries>& generalized,
+                        int attrs, int conditions, int num_boolean,
+                        bool with_sums) {
+  MultiCountSpec spec;
+  spec.num_targets = num_boolean;
+  for (int c = 0; c < conditions; ++c) {
+    spec.conditions.push_back({c % num_boolean});
+  }
+  for (int a = 0; a < attrs; ++a) {
+    CountChannel channel;
+    channel.column = a;
+    channel.boundaries = &base[static_cast<size_t>(a)];
+    spec.channels.push_back(std::move(channel));
+  }
+  for (int c = 0; c < conditions; ++c) {
+    for (int a = 0; a < attrs; ++a) {
+      CountChannel channel;
+      channel.column = a;
+      channel.boundaries = &generalized[static_cast<size_t>(a)];
+      channel.condition = c;
+      spec.channels.push_back(std::move(channel));
+    }
+  }
+  if (with_sums) {
+    for (int a = 0; a < attrs; ++a) {
+      CountChannel channel;
+      channel.column = a;
+      channel.boundaries = &base[static_cast<size_t>(a)];
+      channel.count_targets = false;
+      channel.sum_targets = {(a + 1) % attrs};
+      spec.channels.push_back(std::move(channel));
+    }
+  }
+  return spec;
+}
+
+/// Runs `spec` over one serial scan of `source` kReps times; returns the
+/// best wall time and folds a checksum into *checksum so the work cannot
+/// be dead-code-eliminated (and so before/after runs can be diffed).
+double TimeScan(optrules::storage::BatchSource& source,
+                const MultiCountSpec& spec, int64_t* checksum) {
+  double best = 0.0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    MultiCountPlan plan(spec);
+    optrules::WallTimer timer;
+    ExecuteMultiCount(source, &plan, nullptr);
+    const double seconds = timer.ElapsedSeconds();
+    if (rep == 0 || seconds < best) best = seconds;
+    if (rep == 0) {
+      for (int ch = 0; ch < plan.num_channels(); ++ch) {
+        const auto& counts = plan.counts(ch);
+        for (size_t b = 0; b < counts.u.size(); ++b) {
+          *checksum += counts.u[b] * static_cast<int64_t>(b + 1);
+        }
+      }
+    }
+  }
+  return best;
+}
+
+/// Drops `path` from the OS page cache so every out-of-core rep measures
+/// genuinely cold reads (a warm page cache makes fread a memcpy and hides
+/// any I/O overlap). The fdatasync matters: DONTNEED silently skips dirty
+/// pages, and the file was written moments ago. Best effort: a filesystem
+/// that ignores the advice just yields warm-cache numbers.
+void EvictFromPageCache(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDWR);
+  if (fd < 0) return;
+  ::fdatasync(fd);
+  ::posix_fadvise(fd, 0, 0, POSIX_FADV_DONTNEED);
+  ::close(fd);
+}
+
+}  // namespace
+
+int main() {
+  const int64_t scale = optrules::bench::BenchScale();
+  const int64_t rows = 1000000 * scale;
+  const int num_numeric = 8;
+  const int num_boolean = 8;
+  optrules::bench::JsonReporter json("counting_scan");
+  json.Add("rows", rows);
+  json.Add("num_buckets", static_cast<int64_t>(kNumBuckets));
+
+  optrules::datagen::TableConfig config;
+  config.num_rows = rows;
+  config.num_numeric = num_numeric;
+  config.num_boolean = num_boolean;
+  optrules::Rng rng(9001);
+  const optrules::storage::Relation table =
+      optrules::datagen::GenerateTable(config, rng);
+
+  BoundaryPlan boundary_plan;
+  boundary_plan.num_buckets = kNumBuckets;
+  std::vector<BucketBoundaries> base;
+  std::vector<BucketBoundaries> generalized;
+  for (int a = 0; a < num_numeric; ++a) {
+    base.push_back(BuildBoundaries(table.NumericColumn(a), boundary_plan,
+                                   static_cast<uint64_t>(a)));
+    generalized.push_back(BuildBoundaries(table.NumericColumn(a),
+                                          boundary_plan,
+                                          1000 + static_cast<uint64_t>(a)));
+  }
+
+  // ---- standalone point location: M=1000 buckets over one column -------
+  optrules::bench::PrintHeader("Point location (1000 buckets)");
+  {
+    const std::span<const double> values = table.NumericColumn(0);
+    const BucketBoundaries& boundaries = base[0];
+    int64_t sink = 0;
+    double scalar_best = 0.0;
+    for (int rep = 0; rep < kReps; ++rep) {
+      optrules::WallTimer timer;
+      for (const double value : values) sink += boundaries.Locate(value);
+      const double seconds = timer.ElapsedSeconds();
+      if (rep == 0 || seconds < scalar_best) scalar_best = seconds;
+    }
+    const double scalar_mps =
+        static_cast<double>(rows) / scalar_best / 1e6;
+    std::printf("scalar Locate:     %8.1f Mrows/s (checksum %lld)\n",
+                scalar_mps, static_cast<long long>(sink));
+    json.Add("locate_scalar_mrows_per_sec", scalar_mps);
+
+    std::vector<int32_t> out(values.size());
+    double batch_best = 0.0;
+    for (int rep = 0; rep < kReps; ++rep) {
+      optrules::WallTimer timer;
+      boundaries.LocateBatch(values, out);
+      const double seconds = timer.ElapsedSeconds();
+      if (rep == 0 || seconds < batch_best) batch_best = seconds;
+    }
+    int64_t batch_sink = 0;
+    for (const int32_t bucket : out) batch_sink += bucket;
+    // The scalar loop folded its checksum once per rep.
+    OPTRULES_CHECK(batch_sink * kReps == sink);
+    const double batch_mps =
+        static_cast<double>(rows) / batch_best / 1e6;
+    std::printf("LocateBatch:       %8.1f Mrows/s\n", batch_mps);
+    json.Add("locate_batch_mrows_per_sec", batch_mps);
+  }
+
+  // ---- in-memory grid: attrs x conditional channels --------------------
+  optrules::bench::PrintHeader(
+      "In-memory counting scan (serial, rows x attrs x channels)");
+  std::printf("%8s %12s %12s %12s %14s\n", "attrs", "conditions",
+              "channels", "time (s)", "Mrows*chan/s");
+  optrules::bench::PrintRule(64);
+  int64_t checksum = 0;
+  int64_t a8_c3_checksum = 0;
+  for (const int attrs : {2, 8}) {
+    for (const int conditions : {0, 3}) {
+      const MultiCountSpec spec = MakeSpec(base, generalized, attrs,
+                                           conditions, num_boolean,
+                                           /*with_sums=*/true);
+      const int channels = static_cast<int>(spec.channels.size());
+      optrules::storage::RelationBatchSource source(&table);
+      int64_t config_checksum = 0;
+      const double seconds = TimeScan(source, spec, &config_checksum);
+      if (attrs == 8 && conditions == 3) a8_c3_checksum = config_checksum;
+      checksum += config_checksum;
+      const double throughput = static_cast<double>(rows) * channels /
+                                seconds / 1e6;
+      std::printf("%8d %12d %12d %12.3f %14.1f\n", attrs, conditions,
+                  channels, seconds, throughput);
+      json.Add("inmem_a" + std::to_string(attrs) + "_c" +
+                   std::to_string(conditions) + "_seconds",
+               seconds);
+    }
+  }
+  json.Add("inmem_checksum", checksum);
+
+  // ---- out-of-core: PagedFile scan ------------------------------------
+  optrules::bench::PrintHeader("Out-of-core counting scan (PagedFile)");
+  const char* tmpdir = std::getenv("TMPDIR");
+  const std::string path =
+      std::string(tmpdir != nullptr ? tmpdir : "/tmp") +
+      "/counting_scan_bench.optr";
+  OPTRULES_CHECK(
+      optrules::storage::WriteRelationToFile(table, path).ok());
+  // Two shapes, cold page cache per rep: a2/c0 is prefetch-bound (light
+  // kernel, the read dominates), a8/c3 is compute-bound (the overlap hides
+  // the whole read). Sync vs double-buffered over identical pages must
+  // produce identical counts.
+  std::printf("%8s %12s %14s %14s %10s\n", "attrs", "conditions",
+              "sync (s)", "buffered (s)", "speedup");
+  optrules::bench::PrintRule(64);
+  for (const int conditions : {0, 3}) {
+    const int attrs = conditions == 0 ? 2 : num_numeric;
+    const MultiCountSpec spec = MakeSpec(base, generalized, attrs,
+                                         conditions, num_boolean,
+                                         /*with_sums=*/true);
+    double mode_seconds[2] = {0.0, 0.0};
+    int64_t mode_checksum[2] = {0, 0};
+    for (const bool buffered : {false, true}) {
+      double best = 0.0;
+      for (int rep = 0; rep < kReps; ++rep) {
+        EvictFromPageCache(path);
+        auto source_or = optrules::storage::PagedFileBatchSource::Open(
+            path, optrules::storage::kDefaultBatchRows,
+            buffered ? optrules::storage::PagedReadMode::kDoubleBuffered
+                     : optrules::storage::PagedReadMode::kSynchronous);
+        OPTRULES_CHECK(source_or.ok());
+        MultiCountPlan plan(spec);
+        optrules::WallTimer timer;
+        ExecuteMultiCount(*source_or.value(), &plan, nullptr);
+        const double seconds = timer.ElapsedSeconds();
+        if (rep == 0 || seconds < best) best = seconds;
+        if (rep == 0) {
+          int64_t& checksum_out = mode_checksum[buffered ? 1 : 0];
+          for (int ch = 0; ch < plan.num_channels(); ++ch) {
+            const auto& counts = plan.counts(ch);
+            for (size_t b = 0; b < counts.u.size(); ++b) {
+              checksum_out += counts.u[b] * static_cast<int64_t>(b + 1);
+            }
+          }
+        }
+      }
+      mode_seconds[buffered ? 1 : 0] = best;
+    }
+    OPTRULES_CHECK(mode_checksum[0] == mode_checksum[1]);  // sync == async
+    if (conditions == 3) {
+      OPTRULES_CHECK(mode_checksum[1] == a8_c3_checksum);  // disk == memory
+    }
+    std::printf("%8d %12d %14.3f %14.3f %9.2fx\n", attrs, conditions,
+                mode_seconds[0], mode_seconds[1],
+                mode_seconds[0] / mode_seconds[1]);
+    const std::string key = "paged_a" + std::to_string(attrs) + "_c" +
+                            std::to_string(conditions);
+    json.Add(key + "_sync_seconds", mode_seconds[0]);
+    json.Add(key + "_seconds", mode_seconds[1]);
+  }
+  std::remove(path.c_str());
+  return 0;
+}

@@ -36,6 +36,14 @@ class BucketBoundaries {
   static BucketBoundaries FromSortedValues(std::span<const double> sorted,
                                            int num_buckets);
 
+  /// Affine cuts lo + i * step (i = 1 .. num_buckets-1) with the
+  /// equi-width LocateBatch fast path pre-enabled whenever the parameters
+  /// allow it -- unlike the constructor's bitwise reconstruction, this
+  /// survives per-cut rounding (the neighbor fix-up keeps location exact
+  /// either way).
+  static BucketBoundaries FromEquiWidth(double lo, double step,
+                                        int num_buckets);
+
   /// Number of buckets (cut points + 1).
   int num_buckets() const {
     return static_cast<int>(cut_points_.size()) + 1;
@@ -51,6 +59,20 @@ class BucketBoundaries {
   /// that NaN rows count toward total_tuples but toward no bucket.
   int Locate(double x) const;
 
+  /// Batch point location: out[i] = Locate(values[i]) for every i,
+  /// bit-identical to the scalar call (including the NaN -> kNoBucket
+  /// policy) but without per-value function dispatch. The inner loop is a
+  /// branchless (conditional-move) binary search, or pure arithmetic with
+  /// an exactness fix-up when the cut points are affine (equi_width()).
+  /// The spans must have equal lengths.
+  void LocateBatch(std::span<const double> values,
+                   std::span<int32_t> out) const;
+
+  /// True when the cut points were detected as exactly affine
+  /// (cut[i] == cut[0] + i * step with step > 0), enabling the arithmetic
+  /// LocateBatch fast path. Exposed so tests can assert the detection.
+  bool equi_width() const { return equi_width_; }
+
   /// Interior cut points, ascending.
   const std::vector<double>& cut_points() const { return cut_points_; }
 
@@ -60,10 +82,20 @@ class BucketBoundaries {
   double UpperEdge(int i) const;
 
  private:
-  explicit BucketBoundaries(std::vector<double> cut_points)
-      : cut_points_(std::move(cut_points)) {}
+  explicit BucketBoundaries(std::vector<double> cut_points);
+
+  /// lower_bound index of `x` (number of cut points < x) via a branchless
+  /// binary search; `x` must not be NaN.
+  int LocateBranchless(double x) const;
+  /// lower_bound index of `x` on the equi-width fast path: an arithmetic
+  /// guess from the affine cut layout, then a bounded neighbor fix-up that
+  /// makes the result exact despite floating-point rounding in the guess.
+  int LocateEquiWidth(double x) const;
 
   std::vector<double> cut_points_;
+  bool equi_width_ = false;
+  double first_cut_ = 0.0;
+  double inv_step_ = 0.0;  ///< 1 / step of the affine layout
 };
 
 /// Strategy + parameters for boundary planning. This is the single

@@ -32,6 +32,46 @@ void UpdateMinMax(BucketCounts* counts, int bucket, double value) {
   if (std::isnan(hi) || value > hi) hi = value;
 }
 
+/// Shared core of the RangeMinValue overloads: first non-NaN min_value
+/// scanning buckets [s, t] forward, -infinity when every bucket in the
+/// range only ever saw NaN.
+double RangeMinValueImpl(std::span<const double> min_value, int s, int t) {
+  OPTRULES_CHECK(0 <= s && s <= t &&
+                 t < static_cast<int>(min_value.size()));
+  for (int b = s; b <= t; ++b) {
+    const double lo = min_value[static_cast<size_t>(b)];
+    if (!std::isnan(lo)) return lo;
+  }
+  return -std::numeric_limits<double>::infinity();
+}
+
+/// Shared core of the RangeMaxValue overloads: first non-NaN max_value
+/// scanning buckets [s, t] backward, +infinity when none.
+double RangeMaxValueImpl(std::span<const double> max_value, int s, int t) {
+  OPTRULES_CHECK(0 <= s && s <= t &&
+                 t < static_cast<int>(max_value.size()));
+  for (int b = t; b >= s; --b) {
+    const double hi = max_value[static_cast<size_t>(b)];
+    if (!std::isnan(hi)) return hi;
+  }
+  return std::numeric_limits<double>::infinity();
+}
+
+/// Shared core of the CompactEmptyBuckets overloads: compacts the rows
+/// with u[read] != 0 to the front, calling move_row(write, read) for every
+/// kept row that moves (u itself included), and returns the kept count for
+/// the caller's resizes.
+template <typename MoveRow>
+size_t CompactByU(std::span<const int64_t> u, MoveRow&& move_row) {
+  size_t write = 0;
+  for (size_t read = 0; read < u.size(); ++read) {
+    if (u[read] == 0) continue;
+    if (write != read) move_row(write, read);
+    ++write;
+  }
+  return write;
+}
+
 }  // namespace
 
 BucketCounts CountBucketsSlice(
@@ -126,46 +166,24 @@ BucketCounts CountBucketsFromStream(storage::TupleStream& stream,
 
 void CompactEmptyBuckets(BucketCounts* counts) {
   OPTRULES_CHECK(counts != nullptr);
-  const int m = counts->num_buckets();
-  int write = 0;
-  for (int read = 0; read < m; ++read) {
-    if (counts->u[static_cast<size_t>(read)] == 0) continue;
-    if (write != read) {
-      counts->u[static_cast<size_t>(write)] =
-          counts->u[static_cast<size_t>(read)];
-      counts->min_value[static_cast<size_t>(write)] =
-          counts->min_value[static_cast<size_t>(read)];
-      counts->max_value[static_cast<size_t>(write)] =
-          counts->max_value[static_cast<size_t>(read)];
-      for (auto& target : counts->v) {
-        target[static_cast<size_t>(write)] =
-            target[static_cast<size_t>(read)];
-      }
-    }
-    ++write;
-  }
-  counts->u.resize(static_cast<size_t>(write));
-  counts->min_value.resize(static_cast<size_t>(write));
-  counts->max_value.resize(static_cast<size_t>(write));
-  for (auto& target : counts->v) target.resize(static_cast<size_t>(write));
+  const size_t kept = CompactByU(counts->u, [counts](size_t w, size_t r) {
+    counts->u[w] = counts->u[r];
+    counts->min_value[w] = counts->min_value[r];
+    counts->max_value[w] = counts->max_value[r];
+    for (auto& target : counts->v) target[w] = target[r];
+  });
+  counts->u.resize(kept);
+  counts->min_value.resize(kept);
+  counts->max_value.resize(kept);
+  for (auto& target : counts->v) target.resize(kept);
 }
 
 double RangeMinValue(const BucketCounts& counts, int s, int t) {
-  OPTRULES_CHECK(0 <= s && s <= t && t < counts.num_buckets());
-  for (int b = s; b <= t; ++b) {
-    const double lo = counts.min_value[static_cast<size_t>(b)];
-    if (!std::isnan(lo)) return lo;
-  }
-  return -std::numeric_limits<double>::infinity();
+  return RangeMinValueImpl(counts.min_value, s, t);
 }
 
 double RangeMaxValue(const BucketCounts& counts, int s, int t) {
-  OPTRULES_CHECK(0 <= s && s <= t && t < counts.num_buckets());
-  for (int b = t; b >= s; --b) {
-    const double hi = counts.max_value[static_cast<size_t>(b)];
-    if (!std::isnan(hi)) return hi;
-  }
-  return std::numeric_limits<double>::infinity();
+  return RangeMaxValueImpl(counts.max_value, s, t);
 }
 
 MultiCountPlan::MultiCountPlan(
@@ -187,7 +205,9 @@ MultiCountPlan::MultiCountPlan(MultiCountSpec spec) : spec_(std::move(spec)) {
   OPTRULES_CHECK(spec_.num_targets >= 0);
   counts_.reserve(spec_.channels.size());
   sums_.reserve(spec_.channels.size());
+  sums_taken_.assign(spec_.channels.size(), 0);
   scratch_.resize(spec_.channels.size());
+  channel_group_.reserve(spec_.channels.size());
   condition_masks_.resize(spec_.conditions.size());
   for (const CountChannel& channel : spec_.channels) {
     OPTRULES_CHECK(channel.boundaries != nullptr);
@@ -202,11 +222,31 @@ MultiCountPlan::MultiCountPlan(MultiCountSpec spec) : spec_(std::move(spec)) {
         channel.sum_targets.size(),
         std::vector<double>(
             static_cast<size_t>(channel.boundaries->num_buckets()), 0.0));
+    // Channels sharing a (column, boundaries) pair -- the C conditional
+    // channels of a column, or a sum channel riding on a base channel's
+    // boundaries -- share ONE locate group, so PrepareBatch locates the
+    // column exactly once per batch for all of them. Boundaries identity
+    // is by pointer: the planners hand the same BucketBoundaries object to
+    // every channel of a boundary set.
+    size_t group = locate_groups_.size();
+    for (size_t g = 0; g < locate_groups_.size(); ++g) {
+      if (locate_groups_[g].column == channel.column &&
+          locate_groups_[g].boundaries == channel.boundaries) {
+        group = g;
+        break;
+      }
+    }
+    if (group == locate_groups_.size()) {
+      LocateGroup fresh;
+      fresh.column = channel.column;
+      fresh.boundaries = channel.boundaries;
+      locate_groups_.push_back(std::move(fresh));
+    }
+    channel_group_.push_back(group);
   }
 }
 
-void MultiCountPlan::PrepareConditionMasks(
-    const storage::ColumnarBatch& batch) {
+void MultiCountPlan::PrepareBatch(const storage::ColumnarBatch& batch) {
   const size_t rows = static_cast<size_t>(batch.num_rows());
   for (size_t c = 0; c < spec_.conditions.size(); ++c) {
     std::vector<uint8_t>& mask = condition_masks_[c];
@@ -217,6 +257,13 @@ void MultiCountPlan::PrepareConditionMasks(
         mask[row] &= condition[row];
       }
     }
+  }
+  // Shared bucket-index cache: each distinct (column, boundaries) pair is
+  // located once per batch, no matter how many channels consume it.
+  for (LocateGroup& group : locate_groups_) {
+    const std::span<const double> values = batch.numeric(group.column);
+    group.buckets.resize(values.size());
+    group.boundaries->LocateBatch(values, group.buckets);
   }
 }
 
@@ -229,35 +276,38 @@ void MultiCountPlan::AccumulateChannel(const storage::ColumnarBatch& batch,
   const std::span<const double> values = batch.numeric(channel.column);
   const size_t rows = values.size();
   BucketCounts& counts = counts_[ci];
-  std::vector<int32_t>& buckets = scratch_[ci];
-  buckets.resize(rows);
 
-  // Conditional channels bucket only the rows satisfying the conjunction;
-  // the mask was computed once for the batch by PrepareConditionMasks and
-  // is shared (read-only) by every channel of the condition.
-  const uint8_t* mask = nullptr;
+  const std::vector<int32_t>& located =
+      locate_groups_[channel_group_[ci]].buckets;
+  OPTRULES_CHECK(located.size() == rows);  // PrepareBatch ran for the batch
+  const int32_t* buckets = located.data();
+
+  // Conditional channels overlay the condition mask onto the shared cache
+  // once (into per-channel scratch, so concurrent channels of one plan
+  // never share mutable state); the scatter passes below then treat
+  // condition-failing rows exactly like NaN rows.
   if (channel.condition != CountChannel::kUnconditional) {
-    const std::vector<uint8_t>& shared =
+    const std::vector<uint8_t>& mask =
         condition_masks_[static_cast<size_t>(channel.condition)];
-    OPTRULES_CHECK(shared.size() == rows);  // PrepareConditionMasks ran
-    mask = shared.data();
+    OPTRULES_CHECK(mask.size() == rows);
+    std::vector<int32_t>& masked = scratch_[ci];
+    masked.resize(rows);
+    for (size_t row = 0; row < rows; ++row) {
+      masked[row] =
+          mask[row] != 0 ? buckets[row] : BucketBoundaries::kNoBucket;
+    }
+    buckets = masked.data();
   }
 
-  // Locate each value once, reusing the result for every target. NaN (and
-  // condition-failing) rows get kNoBucket: they count toward total_tuples
-  // but toward no bucket.
-  const BucketBoundaries& boundaries = *channel.boundaries;
+  // u-count pass (with min/max): the kNoBucket skip is the only
+  // data-dependent branch and fires only for NaN / condition-failing rows.
   for (size_t row = 0; row < rows; ++row) {
-    if (mask != nullptr && mask[row] == 0) {
-      buckets[row] = BucketBoundaries::kNoBucket;
-      continue;
-    }
-    const int bucket = boundaries.Locate(values[row]);
-    buckets[row] = bucket;
+    const int32_t bucket = buckets[row];
     if (bucket == BucketBoundaries::kNoBucket) continue;
     ++counts.u[static_cast<size_t>(bucket)];
     UpdateMinMax(&counts, bucket, values[row]);
   }
+  // One v pass per Boolean target over the cached indices.
   if (channel.count_targets) {
     for (int t = 0; t < spec_.num_targets; ++t) {
       const std::span<const uint8_t> target = batch.boolean(t);
@@ -270,6 +320,8 @@ void MultiCountPlan::AccumulateChannel(const storage::ColumnarBatch& batch,
       }
     }
   }
+  // One sum pass per sum target (row order fixed, so double sums stay
+  // bit-identical to the pre-cache kernel).
   for (size_t k = 0; k < channel.sum_targets.size(); ++k) {
     const std::span<const double> target =
         batch.numeric(channel.sum_targets[k]);
@@ -284,7 +336,7 @@ void MultiCountPlan::AccumulateChannel(const storage::ColumnarBatch& batch,
 }
 
 void MultiCountPlan::Accumulate(const storage::ColumnarBatch& batch) {
-  PrepareConditionMasks(batch);
+  PrepareBatch(batch);
   for (int channel = 0; channel < num_channels(); ++channel) {
     AccumulateChannel(batch, channel);
   }
@@ -351,6 +403,39 @@ BucketSums MultiCountPlan::MakeBucketSums(int channel, int k) const {
   return sums;
 }
 
+BucketSums MultiCountPlan::TakeBucketSums(int channel, int k) {
+  OPTRULES_CHECK(0 <= channel && channel < num_channels());
+  const auto ci = static_cast<size_t>(channel);
+  OPTRULES_CHECK(0 <= k && k < static_cast<int>(sums_[ci].size()));
+  std::vector<double>& source = sums_[ci][static_cast<size_t>(k)];
+  BucketCounts& counts = counts_[ci];
+  // A double take would silently hand out an empty sum array: the taken
+  // counter catches takes past the channel's target count, and the size
+  // equality catches re-taking a cleared k while others are outstanding.
+  OPTRULES_CHECK(sums_taken_[ci] < sums_[ci].size());
+  OPTRULES_CHECK(static_cast<int>(source.size()) == counts.num_buckets());
+  BucketSums sums;
+  sums.sum = std::move(source);
+  source.clear();
+  sums.total_tuples = counts.total_tuples;
+  ++sums_taken_[ci];
+  if (sums_taken_[ci] == sums_[ci].size()) {
+    // Last outstanding sum target of the channel: move the parallel arrays
+    // instead of deep-copying them.
+    sums.u = std::move(counts.u);
+    sums.min_value = std::move(counts.min_value);
+    sums.max_value = std::move(counts.max_value);
+    counts.u.clear();
+    counts.min_value.clear();
+    counts.max_value.clear();
+  } else {
+    sums.u = counts.u;
+    sums.min_value = counts.min_value;
+    sums.max_value = counts.max_value;
+  }
+  return sums;
+}
+
 BucketSums CountBucketSums(std::span<const double> values,
                            std::span<const double> target,
                            const BucketBoundaries& boundaries) {
@@ -380,43 +465,25 @@ BucketSums CountBucketSums(std::span<const double> values,
 }
 
 double RangeMinValue(const BucketSums& sums, int s, int t) {
-  OPTRULES_CHECK(0 <= s && s <= t && t < sums.num_buckets());
-  for (int b = s; b <= t; ++b) {
-    const double lo = sums.min_value[static_cast<size_t>(b)];
-    if (!std::isnan(lo)) return lo;
-  }
-  return -std::numeric_limits<double>::infinity();
+  return RangeMinValueImpl(sums.min_value, s, t);
 }
 
 double RangeMaxValue(const BucketSums& sums, int s, int t) {
-  OPTRULES_CHECK(0 <= s && s <= t && t < sums.num_buckets());
-  for (int b = t; b >= s; --b) {
-    const double hi = sums.max_value[static_cast<size_t>(b)];
-    if (!std::isnan(hi)) return hi;
-  }
-  return std::numeric_limits<double>::infinity();
+  return RangeMaxValueImpl(sums.max_value, s, t);
 }
 
 void CompactEmptyBuckets(BucketSums* sums) {
   OPTRULES_CHECK(sums != nullptr);
-  const int m = sums->num_buckets();
-  int write = 0;
-  for (int read = 0; read < m; ++read) {
-    const auto r = static_cast<size_t>(read);
-    if (sums->u[r] == 0) continue;
-    const auto w = static_cast<size_t>(write);
-    if (write != read) {
-      sums->u[w] = sums->u[r];
-      sums->sum[w] = sums->sum[r];
-      sums->min_value[w] = sums->min_value[r];
-      sums->max_value[w] = sums->max_value[r];
-    }
-    ++write;
-  }
-  sums->u.resize(static_cast<size_t>(write));
-  sums->sum.resize(static_cast<size_t>(write));
-  sums->min_value.resize(static_cast<size_t>(write));
-  sums->max_value.resize(static_cast<size_t>(write));
+  const size_t kept = CompactByU(sums->u, [sums](size_t w, size_t r) {
+    sums->u[w] = sums->u[r];
+    sums->sum[w] = sums->sum[r];
+    sums->min_value[w] = sums->min_value[r];
+    sums->max_value[w] = sums->max_value[r];
+  });
+  sums->u.resize(kept);
+  sums->sum.resize(kept);
+  sums->min_value.resize(kept);
+  sums->max_value.resize(kept);
 }
 
 }  // namespace optrules::bucketing

@@ -152,17 +152,20 @@ class MultiCountPlan {
   /// Accumulates one batch into every channel.
   void Accumulate(const storage::ColumnarBatch& batch);
 
-  /// Computes the per-row mask of every condition for `batch`, shared by
-  /// all of that condition's channels. Must be called once per batch
-  /// BEFORE any direct AccumulateChannel calls for it (Accumulate does it
-  /// automatically); channel-parallel executors call it from the reader
-  /// thread so the concurrent channels only read the masks.
-  void PrepareConditionMasks(const storage::ColumnarBatch& batch);
+  /// Per-batch shared preparation: computes the per-row mask of every
+  /// condition AND locates every distinct (column, boundaries) pair ONCE
+  /// into the shared bucket-index cache that all of its channels consume
+  /// (C conditional channels over one generalized boundary set used to
+  /// re-run Locate C times over identical boundaries). Must be called once
+  /// per batch BEFORE any direct AccumulateChannel calls for it
+  /// (Accumulate does it automatically); channel-parallel executors call
+  /// it from the reader thread so the concurrent channels only read the
+  /// masks and the cache.
+  void PrepareBatch(const storage::ColumnarBatch& batch);
 
   /// Accumulates only channel `channel` of the batch (building block for
   /// channel-parallel execution; disjoint channels are safe to run
-  /// concurrently on one plan once PrepareConditionMasks ran for the
-  /// batch).
+  /// concurrently on one plan once PrepareBatch ran for the batch).
   void AccumulateChannel(const storage::ColumnarBatch& batch, int channel);
 
   /// Adds `other`'s counts into this plan (other must have identical
@@ -189,20 +192,43 @@ class MultiCountPlan {
   /// sum target of a channel can be extracted).
   BucketSums MakeBucketSums(int channel, int k) const;
 
+  /// Destructive MakeBucketSums: moves the k-th sum array out of the plan,
+  /// and once every sum target of the channel has been taken the last take
+  /// moves u/min/max too instead of deep-copying them. Extraction loops
+  /// (the engine drains every (channel, k) exactly once per scan) stop
+  /// reallocating; each (channel, k) may be taken at most once.
+  BucketSums TakeBucketSums(int channel, int k);
+
   /// The spec the plan was built from (shared with sharded partials).
   const MultiCountSpec& spec() const { return spec_; }
 
  private:
+  /// One distinct (column, boundaries) pair shared by >= 1 channels, with
+  /// the per-batch bucket-index cache every consumer reads.
+  struct LocateGroup {
+    int column = 0;
+    const BucketBoundaries* boundaries = nullptr;
+    std::vector<int32_t> buckets;  ///< written by PrepareBatch only
+  };
+
   MultiCountSpec spec_;
   std::vector<BucketCounts> counts_;
   /// sums_[channel][k][bucket]: per-bucket sum of the channel's k-th sum
   /// target column.
   std::vector<std::vector<std::vector<double>>> sums_;
-  /// Per-channel bucket-index scratch reused across batches; per channel
-  /// so concurrent AccumulateChannel calls never share mutable state.
+  /// Sum targets already moved out via TakeBucketSums, per channel.
+  std::vector<size_t> sums_taken_;
+  /// Distinct (column, boundaries) pairs across all channels; each is
+  /// located exactly once per batch by PrepareBatch.
+  std::vector<LocateGroup> locate_groups_;
+  /// channel -> index into locate_groups_.
+  std::vector<size_t> channel_group_;
+  /// Per-channel masked-index scratch (conditional channels only) reused
+  /// across batches; per channel so concurrent AccumulateChannel calls
+  /// never share mutable state.
   std::vector<std::vector<int32_t>> scratch_;
   /// Per-condition row masks of the batch being accumulated (written by
-  /// PrepareConditionMasks, read-only during channel accumulation).
+  /// PrepareBatch, read-only during channel accumulation).
   std::vector<std::vector<uint8_t>> condition_masks_;
 };
 

@@ -12,13 +12,11 @@ BucketBoundaries EquiWidthBoundaries(std::span<const double> values,
       std::minmax_element(values.begin(), values.end());
   const double lo = *min_it;
   const double hi = *max_it;
-  std::vector<double> cuts;
-  cuts.reserve(static_cast<size_t>(num_buckets) - 1);
-  for (int i = 1; i < num_buckets; ++i) {
-    cuts.push_back(lo + (hi - lo) * static_cast<double>(i) /
-                            static_cast<double>(num_buckets));
-  }
-  return BucketBoundaries::FromCutPoints(std::move(cuts));
+  // Affine construction (lo + i * step) keeps the LocateBatch fast path
+  // enabled; the previous lo + (hi-lo)*i/m form rounded each cut
+  // independently and differed only in the last ulp.
+  return BucketBoundaries::FromEquiWidth(
+      lo, (hi - lo) / static_cast<double>(num_buckets), num_buckets);
 }
 
 }  // namespace optrules::bucketing

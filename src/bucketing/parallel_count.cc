@@ -115,9 +115,9 @@ void ExecuteChannelParallel(storage::BatchSource& source,
   storage::ColumnarBatch batch;
   const int num_channels = plan->num_channels();
   while (reader->Next(&batch)) {
-    // Condition masks are computed once on the reader thread; the fanned
-    // out channels only read them.
-    plan->PrepareConditionMasks(batch);
+    // Condition masks and the shared bucket-index cache are computed once
+    // on the reader thread; the fanned out channels only read them.
+    plan->PrepareBatch(batch);
     pool.Run(num_channels,
              [&](int channel) { plan->AccumulateChannel(batch, channel); });
   }

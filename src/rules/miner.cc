@@ -374,7 +374,7 @@ void MiningEngine::RunCountingScan() {
       per_target.reserve(sum_targets_.size());
       for (size_t k = 0; k < sum_targets_.size(); ++k) {
         per_target.push_back(
-            plan.MakeBucketSums(channel, static_cast<int>(k)));
+            plan.TakeBucketSums(channel, static_cast<int>(k)));
         bucketing::CompactEmptyBuckets(&per_target.back());
       }
     }
@@ -542,7 +542,7 @@ void MiningEngine::AddSumTargetChannels(int target) {
   }
   for (int a = 0; a < schema_.num_numeric(); ++a) {
     auto& per_target = aggregate_sums_[static_cast<size_t>(a)];
-    per_target.push_back(plan.MakeBucketSums(a, 0));
+    per_target.push_back(plan.TakeBucketSums(a, 0));
     bucketing::CompactEmptyBuckets(&per_target.back());
   }
 }

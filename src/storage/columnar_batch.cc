@@ -1,7 +1,10 @@
 #include "storage/columnar_batch.h"
 
 #include <algorithm>
+#include <condition_variable>
 #include <cstring>
+#include <mutex>
+#include <thread>
 
 namespace optrules::storage {
 
@@ -114,83 +117,184 @@ namespace {
 /// Reads fixed-width rows page-wise and transposes them into owned column
 /// buffers. Each reader has its own FILE handle, so sharded readers can
 /// stream concurrently.
+///
+/// In kDoubleBuffered mode a per-reader prefetch thread prepares page N+1
+/// (fread AND transpose, into its own slot of a two-slot ring) while the
+/// caller computes over page N's columns, so the whole per-page
+/// read+transpose cost overlaps with compute. The counters enforce
+/// produced_ - consumed_ <= 2 with the consumer holding slot consumed_ % 2
+/// and the producer filling produced_ % 2, so the threads are always in
+/// disjoint slots; a consumed slot is released only on the NEXT Next()
+/// call, because the batch spans handed to the caller alias the slot's
+/// column buffers and must stay valid until then. Batches are
+/// bit-identical across both modes.
 class PagedFileBatchReader : public BatchReader {
  public:
   PagedFileBatchReader(std::FILE* file, const PagedFileInfo& info,
-                       int64_t begin, int64_t end, int64_t batch_rows)
+                       int64_t begin, int64_t end, int64_t batch_rows,
+                       PagedReadMode mode)
       : file_(file),
         info_(info),
         position_(begin),
         end_(end),
-        batch_rows_(batch_rows) {
-    page_.resize(static_cast<size_t>(batch_rows) * info_.row_bytes);
-    numeric_.assign(static_cast<size_t>(info_.num_numeric),
-                    std::vector<double>(static_cast<size_t>(batch_rows)));
-    boolean_.assign(static_cast<size_t>(info_.num_boolean),
-                    std::vector<uint8_t>(static_cast<size_t>(batch_rows)));
+        batch_rows_(batch_rows),
+        mode_(mode) {
+    const size_t slots =
+        mode_ == PagedReadMode::kDoubleBuffered ? 2 : 1;
+    slots_.resize(slots);
+    for (PageSlot& slot : slots_) {
+      slot.page.resize(static_cast<size_t>(batch_rows) * info_.row_bytes);
+      slot.numeric.assign(
+          static_cast<size_t>(info_.num_numeric),
+          std::vector<double>(static_cast<size_t>(batch_rows)));
+      slot.boolean.assign(
+          static_cast<size_t>(info_.num_boolean),
+          std::vector<uint8_t>(static_cast<size_t>(batch_rows)));
+    }
+    if (mode_ == PagedReadMode::kDoubleBuffered && position_ < end_) {
+      prefetcher_ = std::thread([this] { PrefetchLoop(); });
+    }
   }
 
   ~PagedFileBatchReader() override {
+    if (prefetcher_.joinable()) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+      }
+      slot_free_cv_.notify_all();
+      prefetcher_.join();
+    }
     if (file_ != nullptr) std::fclose(file_);
   }
 
   bool Next(ColumnarBatch* batch) override {
     if (position_ >= end_) return false;
     const int64_t want = std::min(batch_rows_, end_ - position_);
-    const size_t got = std::fread(page_.data(), info_.row_bytes,
-                                  static_cast<size_t>(want), file_);
-    // end_ is bounded by the header's row count, so a short read means a
-    // truncated or failing file; silently accepting it would merge
-    // partial counts with no diagnostic.
-    OPTRULES_CHECK(got == static_cast<size_t>(want));
-    const auto rows = static_cast<int64_t>(got);
-    // Transpose the row-major page into the column buffers.
-    const size_t boolean_offset =
-        static_cast<size_t>(info_.num_numeric) * sizeof(double);
-    for (int64_t r = 0; r < rows; ++r) {
-      const uint8_t* row =
-          page_.data() + static_cast<size_t>(r) * info_.row_bytes;
-      for (int i = 0; i < info_.num_numeric; ++i) {
-        std::memcpy(&numeric_[static_cast<size_t>(i)][static_cast<size_t>(r)],
-                    row + static_cast<size_t>(i) * sizeof(double),
-                    sizeof(double));
+    const PageSlot* slot = nullptr;
+    if (mode_ == PagedReadMode::kDoubleBuffered) {
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        // Release the previously held slot (its spans die with this call)
+        // and wait for the prefetcher to publish the next one.
+        if (holding_slot_) {
+          ++consumed_;
+          slot_free_cv_.notify_all();
+        }
+        slot_ready_cv_.wait(lock, [&] { return produced_ > consumed_; });
+        holding_slot_ = true;
       }
-      for (int i = 0; i < info_.num_boolean; ++i) {
-        boolean_[static_cast<size_t>(i)][static_cast<size_t>(r)] =
-            row[boolean_offset + static_cast<size_t>(i)];
-      }
+      slot = &slots_[static_cast<size_t>(consumed_ % 2)];
+      OPTRULES_CHECK(slot->rows == want);
+    } else {
+      PageSlot& mine = slots_[0];
+      const size_t got = std::fread(mine.page.data(), info_.row_bytes,
+                                    static_cast<size_t>(want), file_);
+      // end_ is bounded by the header's row count, so a short read means a
+      // truncated or failing file; silently accepting it would merge
+      // partial counts with no diagnostic.
+      OPTRULES_CHECK(got == static_cast<size_t>(want));
+      mine.rows = want;
+      Transpose(&mine);
+      slot = &mine;
     }
     batch->Reset(info_.num_numeric, info_.num_boolean);
-    batch->SetRows(rows);
+    batch->SetRows(want);
     for (int i = 0; i < info_.num_numeric; ++i) {
-      batch->SetNumeric(i,
-                        std::span<const double>(numeric_[static_cast<size_t>(i)])
-                            .first(static_cast<size_t>(rows)));
+      batch->SetNumeric(
+          i, std::span<const double>(slot->numeric[static_cast<size_t>(i)])
+                 .first(static_cast<size_t>(want)));
     }
     for (int i = 0; i < info_.num_boolean; ++i) {
       batch->SetBoolean(
-          i, std::span<const uint8_t>(boolean_[static_cast<size_t>(i)])
-                 .first(static_cast<size_t>(rows)));
+          i, std::span<const uint8_t>(slot->boolean[static_cast<size_t>(i)])
+                 .first(static_cast<size_t>(want)));
     }
-    position_ += rows;
+    position_ += want;
     return true;
   }
 
  private:
+  struct PageSlot {
+    std::vector<uint8_t> page;  ///< row-major staging buffer
+    std::vector<std::vector<double>> numeric;
+    std::vector<std::vector<uint8_t>> boolean;
+    int64_t rows = 0;
+  };
+
+  /// Prefetch thread: reads and transposes every page of [begin, end)
+  /// into the two-slot ring, staying at most one page ahead of the
+  /// consumer.
+  void PrefetchLoop() {
+    int64_t remaining = end_ - position_;
+    while (remaining > 0) {
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        slot_free_cv_.wait(
+            lock, [&] { return stop_ || produced_ - consumed_ < 2; });
+        if (stop_) return;
+      }
+      PageSlot& slot = slots_[static_cast<size_t>(produced_ % 2)];
+      const int64_t want = std::min(batch_rows_, remaining);
+      const size_t got = std::fread(slot.page.data(), info_.row_bytes,
+                                    static_cast<size_t>(want), file_);
+      // Same truncation policy as the synchronous path.
+      OPTRULES_CHECK(got == static_cast<size_t>(want));
+      slot.rows = want;
+      Transpose(&slot);
+      remaining -= want;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++produced_;
+      }
+      slot_ready_cv_.notify_all();
+    }
+  }
+
+  /// Transposes the slot's row-major page into its column buffers.
+  void Transpose(PageSlot* slot) {
+    const size_t boolean_offset =
+        static_cast<size_t>(info_.num_numeric) * sizeof(double);
+    for (int64_t r = 0; r < slot->rows; ++r) {
+      const uint8_t* row =
+          slot->page.data() + static_cast<size_t>(r) * info_.row_bytes;
+      for (int i = 0; i < info_.num_numeric; ++i) {
+        std::memcpy(
+            &slot->numeric[static_cast<size_t>(i)][static_cast<size_t>(r)],
+            row + static_cast<size_t>(i) * sizeof(double), sizeof(double));
+      }
+      for (int i = 0; i < info_.num_boolean; ++i) {
+        slot->boolean[static_cast<size_t>(i)][static_cast<size_t>(r)] =
+            row[boolean_offset + static_cast<size_t>(i)];
+      }
+    }
+  }
+
   std::FILE* file_;
   PagedFileInfo info_;
   int64_t position_;
   int64_t end_;
   int64_t batch_rows_;
-  std::vector<uint8_t> page_;
-  std::vector<std::vector<double>> numeric_;
-  std::vector<std::vector<uint8_t>> boolean_;
+  PagedReadMode mode_;
+  // Double-buffer state. produced_/consumed_ are page counters guarded by
+  // mu_; the slot contents need no lock because the counters keep the two
+  // threads in disjoint slots, and the counter handoff under mu_ publishes
+  // the slot contents (release/acquire via the mutex).
+  std::vector<PageSlot> slots_;
+  std::mutex mu_;
+  std::condition_variable slot_ready_cv_;
+  std::condition_variable slot_free_cv_;
+  int64_t produced_ = 0;
+  int64_t consumed_ = 0;
+  bool holding_slot_ = false;
+  bool stop_ = false;
+  std::thread prefetcher_;
 };
 
 }  // namespace
 
 Result<std::unique_ptr<PagedFileBatchSource>> PagedFileBatchSource::Open(
-    const std::string& path, int64_t batch_rows) {
+    const std::string& path, int64_t batch_rows, PagedReadMode mode) {
   if (batch_rows <= 0) {
     return Status::InvalidArgument("batch_rows must be positive");
   }
@@ -201,6 +305,7 @@ Result<std::unique_ptr<PagedFileBatchSource>> PagedFileBatchSource::Open(
   source->path_ = path;
   source->info_ = info.value();
   source->batch_rows_ = batch_rows;
+  source->mode_ = mode;
   return source;
 }
 
@@ -233,7 +338,7 @@ std::unique_ptr<BatchReader> PagedFileBatchSource::CreateRangeReader(
   SeekToOffset(file, static_cast<uint64_t>(kPagedFileHeaderBytes) +
                          static_cast<uint64_t>(begin) * info_.row_bytes);
   return std::make_unique<PagedFileBatchReader>(file, info_, begin, end,
-                                                batch_rows_);
+                                                batch_rows_, mode_);
 }
 
 // --------------------------------------------------------- tuple stream ----

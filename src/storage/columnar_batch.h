@@ -142,6 +142,20 @@ class RelationBatchSource : public BatchSource {
   int64_t batch_rows_;
 };
 
+/// How PagedFileBatchSource readers overlap I/O with compute.
+enum class PagedReadMode {
+  /// A dedicated prefetch thread per reader reads page N+1 while the
+  /// caller transposes page N (double-buffered; the default). The thread
+  /// is per-reader rather than a shared-pool task on purpose: row-sharded
+  /// scans occupy every pool worker with readers that BLOCK on their next
+  /// page, so prefetches queued behind them on the same pool would
+  /// deadlock.
+  kDoubleBuffered,
+  /// Synchronous fread on the calling thread (the reference behavior;
+  /// batches are bit-identical to kDoubleBuffered).
+  kSynchronous,
+};
+
 /// Batch source over a PagedFile: each reader owns its own file handle,
 /// reads `batch_rows` fixed-width rows at a time, and transposes them into
 /// reusable column buffers. Supports range readers (readers seek to their
@@ -150,7 +164,8 @@ class RelationBatchSource : public BatchSource {
 class PagedFileBatchSource : public BatchSource {
  public:
   static Result<std::unique_ptr<PagedFileBatchSource>> Open(
-      const std::string& path, int64_t batch_rows = kDefaultBatchRows);
+      const std::string& path, int64_t batch_rows = kDefaultBatchRows,
+      PagedReadMode mode = PagedReadMode::kDoubleBuffered);
 
   int num_numeric() const override { return info_.num_numeric; }
   int num_boolean() const override { return info_.num_boolean; }
@@ -168,6 +183,7 @@ class PagedFileBatchSource : public BatchSource {
   std::string path_;
   PagedFileInfo info_;
   int64_t batch_rows_ = kDefaultBatchRows;
+  PagedReadMode mode_ = PagedReadMode::kDoubleBuffered;
 };
 
 /// Adapter from any legacy TupleStream to the batch API. The stream is

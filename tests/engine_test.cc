@@ -716,6 +716,74 @@ TEST(MiningEngineTest, NanLadenPagedFileMatchesLegacyWithGk) {
   std::remove(path.c_str());
 }
 
+TEST(MiningEngineTest, DoubleBufferedFileEngineMatchesSynchronousEverywhere) {
+  // The async prefetch reader must be invisible to every query kind: two
+  // engines over the same file, one per read mode, answer all-pairs,
+  // generalized, aggregate, and threshold-sweep queries bit-identically
+  // (GK boundaries keep the planning deterministic).
+  const storage::Relation relation = RelationWithNans(12007, 31);
+  const std::string path = testing::TempDir() + "/double_buffer_engine.optr";
+  ASSERT_TRUE(storage::WriteRelationToFile(relation, path).ok());
+  auto sync_or = storage::PagedFileBatchSource::Open(
+      path, 512, storage::PagedReadMode::kSynchronous);
+  auto buffered_or = storage::PagedFileBatchSource::Open(
+      path, 512, storage::PagedReadMode::kDoubleBuffered);
+  ASSERT_TRUE(sync_or.ok());
+  ASSERT_TRUE(buffered_or.ok());
+
+  MinerOptions options;
+  options.num_buckets = 70;
+  options.bucketizer = Bucketizer::kGkSketch;
+  MiningEngine sync_engine(sync_or.value().get(), relation.schema(),
+                           options);
+  MiningEngine buffered_engine(buffered_or.value().get(), relation.schema(),
+                               options);
+  for (MiningEngine* engine : {&sync_engine, &buffered_engine}) {
+    ASSERT_TRUE(engine->RequestGeneralized({"bool0"}).ok());
+    ASSERT_TRUE(engine->RequestAverageTarget("num2").ok());
+  }
+  ExpectSameRules(buffered_engine.MineAllPairs(), sync_engine.MineAllPairs());
+  ExpectSameRuleResults(
+      buffered_engine.MineGeneralized("num1", {"bool0"}, "bool1"),
+      sync_engine.MineGeneralized("num1", {"bool0"}, "bool1"));
+  ExpectSameAggregate(
+      buffered_engine.MineMaximumAverageRange("num0", "num2", 0.1),
+      sync_engine.MineMaximumAverageRange("num0", "num2", 0.1));
+  ExpectSameAggregate(
+      buffered_engine.MineMaximumSupportRange("num1", "num2", 4e5),
+      sync_engine.MineMaximumSupportRange("num1", "num2", 4e5));
+  const ThresholdSet sweep[] = {{0.02, 0.3}, {0.15, 0.7}};
+  ExpectSameRules(buffered_engine.MineAllPairs(sweep),
+                  sync_engine.MineAllPairs(sweep));
+  EXPECT_EQ(buffered_engine.counting_scans(), 1);
+  EXPECT_EQ(sync_engine.counting_scans(), 1);
+  std::remove(path.c_str());
+}
+
+TEST(MiningEngineTest, PooledDoubleBufferedFileEngineMatchesSerialSync) {
+  // Row-sharded scans over prefetching range readers (one prefetch thread
+  // per shard) must still merge to the serial synchronous answer.
+  const storage::Relation relation = RelationWithNans(15013, 32);
+  const std::string path = testing::TempDir() + "/double_buffer_pooled.optr";
+  ASSERT_TRUE(storage::WriteRelationToFile(relation, path).ok());
+  auto sync_or = storage::PagedFileBatchSource::Open(
+      path, 256, storage::PagedReadMode::kSynchronous);
+  auto buffered_or = storage::PagedFileBatchSource::Open(
+      path, 256, storage::PagedReadMode::kDoubleBuffered);
+  ASSERT_TRUE(sync_or.ok());
+  ASSERT_TRUE(buffered_or.ok());
+  MinerOptions options;
+  options.num_buckets = 50;
+  options.bucketizer = Bucketizer::kGkSketch;
+  MiningEngine serial(sync_or.value().get(), relation.schema(), options);
+  ThreadPool pool(4);
+  MiningEngine pooled(buffered_or.value().get(), relation.schema(), options,
+                      &pool);
+  ExpectSameRules(pooled.MineAllPairs(), serial.MineAllPairs());
+  EXPECT_EQ(pooled.counting_scans(), 1);
+  std::remove(path.c_str());
+}
+
 // ----------------------------------------------- wide-schema coverage ----
 
 TEST(WideSchemaTest, PagedFileRoundTripsSixHundredNumericAttributes) {

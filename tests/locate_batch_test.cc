@@ -1,0 +1,221 @@
+// Differential tests for BucketBoundaries::LocateBatch against the scalar
+// Locate and an independent std::lower_bound reference: random, duplicated,
+// affine (equi-width fast path), and empty cut-point sets, probed with
+// random values, exact cut values, their ulp neighbors, NaN, +/-inf, and
+// signed zero. The batch kernel must be bit-identical to the scalar call
+// everywhere, including the NaN -> kNoBucket policy.
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bucketing/boundaries.h"
+#include "bucketing/equiwidth.h"
+#include "common/rng.h"
+
+namespace optrules::bucketing {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+/// Ground truth nobody under test shares: lower_bound over the cuts, with
+/// the repo-wide NaN policy applied on top.
+int ReferenceLocate(const std::vector<double>& cuts, double x) {
+  if (std::isnan(x)) return BucketBoundaries::kNoBucket;
+  return static_cast<int>(std::lower_bound(cuts.begin(), cuts.end(), x) -
+                          cuts.begin());
+}
+
+/// Probes worth testing against any cut set: every cut exactly, its two
+/// ulp neighbors, the specials, and a spread of random values.
+std::vector<double> ProbeValues(const std::vector<double>& cuts, Rng& rng) {
+  std::vector<double> values = {kNaN, kInf, -kInf, 0.0, -0.0,
+                                std::numeric_limits<double>::max(),
+                                std::numeric_limits<double>::lowest(),
+                                std::numeric_limits<double>::denorm_min()};
+  for (const double cut : cuts) {
+    values.push_back(cut);
+    values.push_back(std::nextafter(cut, -kInf));
+    values.push_back(std::nextafter(cut, kInf));
+  }
+  const double lo = cuts.empty() ? -10.0 : cuts.front() - 10.0;
+  const double hi = cuts.empty() ? 10.0 : cuts.back() + 10.0;
+  for (int i = 0; i < 500; ++i) values.push_back(rng.NextUniform(lo, hi));
+  return values;
+}
+
+void ExpectBoundariesMatchReference(const BucketBoundaries& boundaries,
+                                    uint64_t seed) {
+  const std::vector<double>& cuts = boundaries.cut_points();
+  SCOPED_TRACE(testing::Message() << "cuts=" << cuts.size()
+                                  << " equi_width=" << boundaries.equi_width()
+                                  << " seed=" << seed);
+  Rng rng(seed);
+  const std::vector<double> values = ProbeValues(cuts, rng);
+  std::vector<int32_t> batch(values.size());
+  boundaries.LocateBatch(values, batch);
+  for (size_t i = 0; i < values.size(); ++i) {
+    const int expected = ReferenceLocate(cuts, values[i]);
+    ASSERT_EQ(boundaries.Locate(values[i]), expected)
+        << "scalar mismatch at value " << values[i];
+    ASSERT_EQ(batch[i], expected)
+        << "batch mismatch at value " << values[i];
+  }
+}
+
+void ExpectBatchMatchesScalarAndReference(const std::vector<double>& cuts,
+                                          uint64_t seed) {
+  ExpectBoundariesMatchReference(BucketBoundaries::FromCutPoints(cuts),
+                                 seed);
+}
+
+TEST(LocateBatchTest, EmptyCutPoints) {
+  ExpectBatchMatchesScalarAndReference({}, 1);
+}
+
+TEST(LocateBatchTest, SingleCutPoint) {
+  ExpectBatchMatchesScalarAndReference({3.25}, 2);
+}
+
+TEST(LocateBatchTest, DuplicatedCutPoints) {
+  ExpectBatchMatchesScalarAndReference({1.0, 1.0, 1.0, 2.0, 2.0, 7.5}, 3);
+  ExpectBatchMatchesScalarAndReference({4.0, 4.0, 4.0, 4.0}, 4);
+}
+
+TEST(LocateBatchTest, InfiniteCutPoints) {
+  ExpectBatchMatchesScalarAndReference({-kInf, 0.0, kInf}, 5);
+  ExpectBatchMatchesScalarAndReference({-kInf, -kInf}, 6);
+}
+
+TEST(LocateBatchTest, EquiWidthCutsUseFastPathAndStayExact) {
+  // An exactly affine layout (power-of-two step, so first + i * step is
+  // exact) must enable the fast path and still agree everywhere.
+  std::vector<double> cuts;
+  for (int i = 0; i < 1000; ++i) {
+    cuts.push_back(-4.0 + 0.25 * static_cast<double>(i));
+  }
+  const BucketBoundaries boundaries = BucketBoundaries::FromCutPoints(cuts);
+  EXPECT_TRUE(boundaries.equi_width());
+  ExpectBatchMatchesScalarAndReference(cuts, 7);
+}
+
+TEST(LocateBatchTest, EquiWidthBucketizerOutputEnablesFastPath) {
+  // The actual equi-width bucketizer must hand out fast-path boundaries
+  // (its cuts are built through FromEquiWidth, so per-cut rounding cannot
+  // defeat the detection) -- and stay exact on arbitrary ranges.
+  Rng rng(99);
+  for (int round = 0; round < 20; ++round) {
+    std::vector<double> values(257);
+    const double lo = rng.NextUniform(-1e6, 1e6);
+    const double hi = lo + rng.NextUniform(1e-3, 1e6);
+    for (double& v : values) v = rng.NextUniform(lo, hi);
+    const BucketBoundaries boundaries = EquiWidthBoundaries(values, 64);
+    ASSERT_TRUE(boundaries.equi_width());
+    ExpectBoundariesMatchReference(boundaries,
+                                   500 + static_cast<uint64_t>(round));
+  }
+}
+
+TEST(LocateBatchTest, FromEquiWidthMatchesReferenceOnDegenerateSteps) {
+  // Zero and denormal steps must NOT enable the arithmetic path (a
+  // denormal step's reciprocal overflows to +inf and would turn the
+  // guess into a NaN) -- and must still locate correctly.
+  const BucketBoundaries zero = BucketBoundaries::FromEquiWidth(1.0, 0.0, 8);
+  EXPECT_FALSE(zero.equi_width());
+  ExpectBoundariesMatchReference(zero, 601);
+  const BucketBoundaries denormal = BucketBoundaries::FromEquiWidth(
+      0.0, std::numeric_limits<double>::denorm_min(), 8);
+  EXPECT_FALSE(denormal.equi_width());
+  ExpectBoundariesMatchReference(denormal, 602);
+}
+
+TEST(LocateBatchTest, SubUlpStepsRejectFastPathButStayExact) {
+  // A near-constant large-magnitude column: the equi-width step is below
+  // one ulp of the values, so the rounded cuts collapse onto a couple of
+  // distinct doubles while the affine model keeps stepping. The drift
+  // audit must refuse the arithmetic path (whose fix-up walk would turn
+  // O(M) per row) and the branchless path must still be exact.
+  const double base = 1e15;
+  std::vector<double> values = {base, std::nextafter(base, kInf)};
+  const BucketBoundaries boundaries = EquiWidthBoundaries(values, 1000);
+  EXPECT_FALSE(boundaries.equi_width());
+  ExpectBoundariesMatchReference(boundaries, 603);
+}
+
+TEST(LocateBatchTest, NonAffineCutsRejectFastPath) {
+  // One perturbed interior cut must fall back to the branchless search --
+  // and keep the answers exact either way.
+  std::vector<double> cuts;
+  for (int i = 0; i < 64; ++i) cuts.push_back(static_cast<double>(i));
+  cuts[31] = std::nextafter(cuts[31], kInf);
+  const BucketBoundaries boundaries = BucketBoundaries::FromCutPoints(cuts);
+  EXPECT_FALSE(boundaries.equi_width());
+  ExpectBatchMatchesScalarAndReference(cuts, 8);
+}
+
+TEST(LocateBatchTest, DegenerateAffineLayoutsRejectFastPath) {
+  // Fewer than two cuts, zero step (duplicates), and infinite ends never
+  // qualify for the arithmetic path.
+  EXPECT_FALSE(BucketBoundaries::FromCutPoints({}).equi_width());
+  EXPECT_FALSE(BucketBoundaries::FromCutPoints({1.0}).equi_width());
+  EXPECT_FALSE(BucketBoundaries::FromCutPoints({2.0, 2.0}).equi_width());
+  EXPECT_FALSE(
+      BucketBoundaries::FromCutPoints({-kInf, 0.0, kInf}).equi_width());
+}
+
+TEST(LocateBatchTest, FuzzRandomCutSets) {
+  Rng rng(1234);
+  for (int round = 0; round < 50; ++round) {
+    const int num_cuts = static_cast<int>(rng.NextInt(0, 40));
+    std::vector<double> cuts;
+    for (int i = 0; i < num_cuts; ++i) {
+      cuts.push_back(rng.NextUniform(-1e6, 1e6));
+    }
+    // Duplicate a random prefix element sometimes (heavy-tie shapes).
+    if (num_cuts > 2 && rng.NextBernoulli(0.5)) {
+      cuts[static_cast<size_t>(rng.NextInt(1, num_cuts - 1))] = cuts[0];
+    }
+    std::sort(cuts.begin(), cuts.end());
+    ExpectBatchMatchesScalarAndReference(cuts,
+                                         9000 + static_cast<uint64_t>(round));
+  }
+}
+
+TEST(LocateBatchTest, FuzzAffineCutSets) {
+  // Affine layouts with arbitrary (non-power-of-two) steps: detection may
+  // or may not fire depending on rounding, but the answers must stay
+  // exact in both cases.
+  Rng rng(4321);
+  for (int round = 0; round < 50; ++round) {
+    const int num_cuts = static_cast<int>(rng.NextInt(2, 200));
+    const double first = rng.NextUniform(-1e3, 1e3);
+    const double step = rng.NextUniform(1e-3, 10.0);
+    std::vector<double> cuts;
+    for (int i = 0; i < num_cuts; ++i) {
+      cuts.push_back(first + step * static_cast<double>(i));
+    }
+    std::sort(cuts.begin(), cuts.end());  // rounding can perturb order
+    ExpectBatchMatchesScalarAndReference(cuts,
+                                         7000 + static_cast<uint64_t>(round));
+  }
+}
+
+TEST(LocateBatchTest, NaNAlwaysMapsToNoBucket) {
+  const BucketBoundaries boundaries =
+      BucketBoundaries::FromCutPoints({0.0, 1.0, 2.0});
+  const std::vector<double> values = {kNaN, 0.5, kNaN, kNaN, 1.5};
+  std::vector<int32_t> out(values.size());
+  boundaries.LocateBatch(values, out);
+  EXPECT_EQ(out[0], BucketBoundaries::kNoBucket);
+  EXPECT_EQ(out[1], 1);
+  EXPECT_EQ(out[2], BucketBoundaries::kNoBucket);
+  EXPECT_EQ(out[3], BucketBoundaries::kNoBucket);
+  EXPECT_EQ(out[4], 2);
+}
+
+}  // namespace
+}  // namespace optrules::bucketing
