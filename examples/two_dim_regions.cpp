@@ -1,17 +1,15 @@
 // Two-dimensional optimized regions (Section 1.4):
 //   (Age, Balance) in X => (CardLoan = yes)
-// where X is a rectangle or an x-monotone region of the 2-D bucket grid.
-// Also trains the Section 1.5 decision tree with range splits on the same
-// data and prints it.
+// where X is a rectangle or an x-monotone region of the 2-D bucket grid --
+// mined through the MiningEngine, so the region grid is counted by the
+// SAME single scan that answers every 1-D attribute pair. Also trains the
+// Section 1.5 decision tree with range splits on the same data and prints
+// it.
 
 #include <cstdio>
 
-#include "bucketing/equidepth_sampler.h"
-#include "common/rng.h"
 #include "datagen/bank.h"
-#include "region/grid.h"
-#include "region/rectangle.h"
-#include "region/xmonotone.h"
+#include "rules/miner.h"
 #include "tree/decision_tree.h"
 
 int main() {
@@ -21,69 +19,40 @@ int main() {
   const optrules::storage::Relation bank =
       optrules::datagen::GenerateBankCustomers(config, rng);
 
-  const int age = bank.schema().NumericIndexOf("Age").value();
-  const int balance = bank.schema().NumericIndexOf("Balance").value();
-  const int card_loan = bank.schema().BooleanIndexOf("CardLoan").value();
+  optrules::rules::MinerOptions options;
+  options.num_buckets = 200;
+  options.region_grid_buckets = 32;  // 32x32 equi-depth grid per pair
+  options.min_support = 0.05;
+  options.min_confidence = 0.5;
 
-  // 32x32 equi-depth grid over (Age, Balance).
-  optrules::bucketing::SamplerOptions sampler;
-  sampler.num_buckets = 32;
-  optrules::Rng sample_rng(22);
-  const auto bx = optrules::bucketing::BuildEquiDepthBoundaries(
-      bank.NumericColumn(age), sampler, sample_rng);
-  const auto by = optrules::bucketing::BuildEquiDepthBoundaries(
-      bank.NumericColumn(balance), sampler, sample_rng);
-  const optrules::region::GridCounts grid = optrules::region::BuildGrid(
-      bank.NumericColumn(age), bank.NumericColumn(balance),
-      bank.BooleanColumn(card_loan), bx, by);
+  // Register the region pair BEFORE the first query: its grid channel then
+  // rides the same counting scan as all the 1-D attribute pairs.
+  optrules::rules::MiningEngine engine(&bank, options);
+  if (!engine.RequestRegionPair("Age", "Balance").ok()) return 1;
+
+  const auto pairs = engine.MineAllPairs();
+  std::printf("1-D sweep: %zu optimized rules over every (numeric, Boolean) "
+              "pair\n\n",
+              pairs.size());
+
+  auto region_or = engine.MineOptimizedRegion("Age", "Balance", "CardLoan");
+  if (!region_or.ok()) return 1;
+  const optrules::rules::MinedRegion& region = region_or.value();
   std::printf("grid: %d x %d equi-depth buckets over (Age, Balance), %lld "
               "tuples\n\n",
-              grid.nx(), grid.ny(),
-              static_cast<long long>(grid.total_tuples()));
-
-  // Optimized-confidence rectangle with >= 5% support.
-  const optrules::region::RegionRule rect =
-      optrules::region::OptimizedConfidenceRectangle(
-          grid, grid.total_tuples() / 20);
-  if (rect.found) {
-    std::printf("optimized confidence rectangle:\n");
-    std::printf("  Age buckets [%d, %d] x Balance buckets [%d, %d]\n",
-                rect.x1, rect.x2, rect.y1, rect.y2);
-    std::printf("  support %.2f%%, confidence %.2f%%\n\n",
-                rect.support * 100.0, rect.confidence * 100.0);
-  }
-
-  // Largest >= 50%-confident rectangle.
-  const optrules::region::RegionRule wide =
-      optrules::region::OptimizedSupportRectangle(grid,
-                                                  optrules::Ratio(1, 2));
-  if (wide.found) {
-    std::printf("optimized support rectangle (conf >= 50%%):\n");
-    std::printf("  Age buckets [%d, %d] x Balance buckets [%d, %d], "
-                "support %.2f%%, confidence %.2f%%\n\n",
-                wide.x1, wide.x2, wide.y1, wide.y2, wide.support * 100.0,
-                wide.confidence * 100.0);
-  } else {
-    std::printf("no rectangle reaches 50%% confidence\n\n");
-  }
-
-  // Gain-optimized x-monotone region (theta = 50%).
-  const optrules::region::XMonotoneRegion region =
-      optrules::region::MaxGainXMonotoneRegion(grid, optrules::Ratio(1, 2));
-  if (region.found) {
-    std::printf("max-gain x-monotone region (theta 50%%):\n");
-    std::printf("  spans Age buckets [%d, %d], support %.2f%%, confidence "
-                "%.2f%%\n",
-                region.x_begin,
-                region.x_begin +
-                    static_cast<int>(region.column_ranges.size()) - 1,
-                region.support * 100.0, region.confidence * 100.0);
+              region.nx, region.ny,
+              static_cast<long long>(region.total_tuples));
+  std::printf("%s\n", region.ToString().c_str());
+  if (region.xmonotone_gain.found) {
     std::printf("  per-column Balance-bucket intervals:");
-    for (const auto& [s, t] : region.column_ranges) {
+    for (const auto& [s, t] : region.xmonotone_gain.column_ranges) {
       std::printf(" [%d,%d]", s, t);
     }
-    std::printf("\n\n");
+    std::printf("\n");
   }
+  std::printf("\ncounting scans for the whole session (1-D sweep + 2-D "
+              "regions): %lld\n\n",
+              static_cast<long long>(engine.counting_scans()));
 
   // Decision tree with range splits predicting CardLoan (Section 1.5).
   optrules::tree::TreeOptions tree_options;

@@ -57,6 +57,25 @@ double RangeMaxValueImpl(std::span<const double> max_value, int s, int t) {
   return std::numeric_limits<double>::infinity();
 }
 
+/// Neumaier-compensated accumulation: folds `value` into the running
+/// (sum, compensation) pair. The compensated total is sum + compensation,
+/// exact to well below one ulp of the naive running sum, which is what
+/// lets differently-sharded scans land on identical extracted sums. A
+/// non-finite running sum skips the compensation update: the correction
+/// terms would compute inf - inf = NaN and turn an honestly infinite (or
+/// NaN) total into NaN on extraction.
+void NeumaierAdd(double value, double& sum, double& compensation) {
+  const double next = sum + value;
+  if (std::isfinite(next)) {
+    if (std::abs(sum) >= std::abs(value)) {
+      compensation += (sum - next) + value;
+    } else {
+      compensation += (value - next) + sum;
+    }
+  }
+  sum = next;
+}
+
 /// Shared core of the CompactEmptyBuckets overloads: compacts the rows
 /// with u[read] != 0 to the front, calling move_row(write, read) for every
 /// kept row that moves (u itself included), and returns the kept count for
@@ -201,10 +220,33 @@ MultiCountPlan::MultiCountPlan(
   *this = MultiCountPlan(std::move(spec));
 }
 
+size_t MultiCountPlan::EnsureLocateGroup(int column,
+                                         const BucketBoundaries* boundaries) {
+  // Channels sharing a (column, boundaries) pair -- the C conditional
+  // channels of a column, a sum channel riding on a base channel's
+  // boundaries, or a grid axis over an already-bucketed column -- share
+  // ONE locate group, so PrepareBatch locates the column exactly once per
+  // batch for all of them. Boundaries identity is by pointer: the planners
+  // hand the same BucketBoundaries object to every channel of a boundary
+  // set.
+  for (size_t g = 0; g < locate_groups_.size(); ++g) {
+    if (locate_groups_[g].column == column &&
+        locate_groups_[g].boundaries == boundaries) {
+      return g;
+    }
+  }
+  LocateGroup fresh;
+  fresh.column = column;
+  fresh.boundaries = boundaries;
+  locate_groups_.push_back(std::move(fresh));
+  return locate_groups_.size() - 1;
+}
+
 MultiCountPlan::MultiCountPlan(MultiCountSpec spec) : spec_(std::move(spec)) {
   OPTRULES_CHECK(spec_.num_targets >= 0);
   counts_.reserve(spec_.channels.size());
   sums_.reserve(spec_.channels.size());
+  sum_comp_.reserve(spec_.channels.size());
   sums_taken_.assign(spec_.channels.size(), 0);
   scratch_.resize(spec_.channels.size());
   channel_group_.reserve(spec_.channels.size());
@@ -222,27 +264,31 @@ MultiCountPlan::MultiCountPlan(MultiCountSpec spec) : spec_(std::move(spec)) {
         channel.sum_targets.size(),
         std::vector<double>(
             static_cast<size_t>(channel.boundaries->num_buckets()), 0.0));
-    // Channels sharing a (column, boundaries) pair -- the C conditional
-    // channels of a column, or a sum channel riding on a base channel's
-    // boundaries -- share ONE locate group, so PrepareBatch locates the
-    // column exactly once per batch for all of them. Boundaries identity
-    // is by pointer: the planners hand the same BucketBoundaries object to
-    // every channel of a boundary set.
-    size_t group = locate_groups_.size();
-    for (size_t g = 0; g < locate_groups_.size(); ++g) {
-      if (locate_groups_[g].column == channel.column &&
-          locate_groups_[g].boundaries == channel.boundaries) {
-        group = g;
-        break;
-      }
-    }
-    if (group == locate_groups_.size()) {
-      LocateGroup fresh;
-      fresh.column = channel.column;
-      fresh.boundaries = channel.boundaries;
-      locate_groups_.push_back(std::move(fresh));
-    }
-    channel_group_.push_back(group);
+    sum_comp_.push_back(sums_.back());
+    channel_group_.push_back(
+        EnsureLocateGroup(channel.column, channel.boundaries));
+  }
+  grids_.reserve(spec_.grid_channels.size());
+  grid_groups_.reserve(spec_.grid_channels.size());
+  grid_scratch_.resize(spec_.grid_channels.size());
+  for (const GridChannel& channel : spec_.grid_channels) {
+    OPTRULES_CHECK(channel.x_boundaries != nullptr);
+    OPTRULES_CHECK(channel.y_boundaries != nullptr);
+    GridBucketCounts grid;
+    grid.nx = channel.x_boundaries->num_buckets();
+    grid.ny = channel.y_boundaries->num_buckets();
+    // The scatter pass folds (x, y) into one int32 cell index.
+    OPTRULES_CHECK(static_cast<int64_t>(grid.nx) * grid.ny <=
+                   std::numeric_limits<int32_t>::max());
+    const auto cells =
+        static_cast<size_t>(grid.nx) * static_cast<size_t>(grid.ny);
+    grid.u.assign(cells, 0);
+    grid.v.assign(static_cast<size_t>(spec_.num_targets),
+                  std::vector<int64_t>(cells, 0));
+    grids_.push_back(std::move(grid));
+    grid_groups_.emplace_back(
+        EnsureLocateGroup(channel.x_column, channel.x_boundaries),
+        EnsureLocateGroup(channel.y_column, channel.y_boundaries));
   }
 }
 
@@ -320,25 +366,77 @@ void MultiCountPlan::AccumulateChannel(const storage::ColumnarBatch& batch,
       }
     }
   }
-  // One sum pass per sum target (row order fixed, so double sums stay
-  // bit-identical to the pre-cache kernel).
+  // One Neumaier-compensated sum pass per sum target (row order fixed, so
+  // the serial chain is bit-identical to the compensated reference
+  // kernel).
   for (size_t k = 0; k < channel.sum_targets.size(); ++k) {
     const std::span<const double> target =
         batch.numeric(channel.sum_targets[k]);
     std::vector<double>& sum = sums_[ci][k];
+    std::vector<double>& comp = sum_comp_[ci][k];
     for (size_t row = 0; row < rows; ++row) {
       const int32_t bucket = buckets[row];
       if (bucket == BucketBoundaries::kNoBucket) continue;
-      sum[static_cast<size_t>(bucket)] += target[row];
+      NeumaierAdd(target[row], sum[static_cast<size_t>(bucket)],
+                  comp[static_cast<size_t>(bucket)]);
     }
   }
   counts.total_tuples += static_cast<int64_t>(rows);
+}
+
+void MultiCountPlan::AccumulateGridChannel(const storage::ColumnarBatch& batch,
+                                           int grid_channel) {
+  OPTRULES_CHECK(0 <= grid_channel && grid_channel < num_grid_channels());
+  OPTRULES_CHECK(batch.num_boolean() == spec_.num_targets);
+  const auto gi = static_cast<size_t>(grid_channel);
+  GridBucketCounts& grid = grids_[gi];
+  const std::vector<int32_t>& x_located =
+      locate_groups_[grid_groups_[gi].first].buckets;
+  const std::vector<int32_t>& y_located =
+      locate_groups_[grid_groups_[gi].second].buckets;
+  const size_t rows = static_cast<size_t>(batch.num_rows());
+  OPTRULES_CHECK(x_located.size() == rows);  // PrepareBatch ran for the batch
+  OPTRULES_CHECK(y_located.size() == rows);
+
+  // Fold the two cached axis indices into one flat cell index per row; a
+  // NaN in EITHER axis (kNoBucket) sends the row to no cell, mirroring the
+  // 1-D policy per axis pair.
+  std::vector<int32_t>& cells = grid_scratch_[gi];
+  cells.resize(rows);
+  const int32_t nx = grid.nx;
+  for (size_t row = 0; row < rows; ++row) {
+    const int32_t x = x_located[row];
+    const int32_t y = y_located[row];
+    cells[row] = (x == BucketBoundaries::kNoBucket ||
+                  y == BucketBoundaries::kNoBucket)
+                     ? BucketBoundaries::kNoBucket
+                     : y * nx + x;
+  }
+  for (size_t row = 0; row < rows; ++row) {
+    const int32_t cell = cells[row];
+    if (cell == BucketBoundaries::kNoBucket) continue;
+    ++grid.u[static_cast<size_t>(cell)];
+  }
+  for (int t = 0; t < spec_.num_targets; ++t) {
+    const std::span<const uint8_t> target = batch.boolean(t);
+    std::vector<int64_t>& v = grid.v[static_cast<size_t>(t)];
+    for (size_t row = 0; row < rows; ++row) {
+      const int32_t cell = cells[row];
+      if (cell == BucketBoundaries::kNoBucket) continue;
+      v[static_cast<size_t>(cell)] += static_cast<int64_t>(target[row] != 0);
+    }
+  }
+  // NaN rows still count toward the support denominator N.
+  grid.total_tuples += static_cast<int64_t>(rows);
 }
 
 void MultiCountPlan::Accumulate(const storage::ColumnarBatch& batch) {
   PrepareBatch(batch);
   for (int channel = 0; channel < num_channels(); ++channel) {
     AccumulateChannel(batch, channel);
+  }
+  for (int grid = 0; grid < num_grid_channels(); ++grid) {
+    AccumulateGridChannel(batch, grid);
   }
 }
 
@@ -375,9 +473,33 @@ void MultiCountPlan::Merge(const MultiCountPlan& other) {
     OPTRULES_CHECK(other.sums_[ci].size() == sums_[ci].size());
     for (size_t k = 0; k < sums_[ci].size(); ++k) {
       std::vector<double>& mine_sum = sums_[ci][k];
+      std::vector<double>& mine_comp = sum_comp_[ci][k];
       const std::vector<double>& their_sum = other.sums_[ci][k];
+      const std::vector<double>& their_comp = other.sum_comp_[ci][k];
       for (size_t b = 0; b < mine_sum.size(); ++b) {
-        mine_sum[b] += their_sum[b];
+        // Compensated merge: fold the partial's running sum in with
+        // Neumaier, then carry its compensation term over, so shard
+        // borders introduce no fresh rounding.
+        NeumaierAdd(their_sum[b], mine_sum[b], mine_comp[b]);
+        mine_comp[b] += their_comp[b];
+      }
+    }
+    mine.total_tuples += theirs.total_tuples;
+  }
+  OPTRULES_CHECK(other.num_grid_channels() == num_grid_channels());
+  for (int g = 0; g < num_grid_channels(); ++g) {
+    const auto gi = static_cast<size_t>(g);
+    GridBucketCounts& mine = grids_[gi];
+    const GridBucketCounts& theirs = other.grids_[gi];
+    OPTRULES_CHECK(theirs.nx == mine.nx && theirs.ny == mine.ny);
+    OPTRULES_CHECK(theirs.num_targets() == mine.num_targets());
+    for (size_t cell = 0; cell < mine.u.size(); ++cell) {
+      mine.u[cell] += theirs.u[cell];
+    }
+    for (int t = 0; t < mine.num_targets(); ++t) {
+      const auto ti = static_cast<size_t>(t);
+      for (size_t cell = 0; cell < mine.v[ti].size(); ++cell) {
+        mine.v[ti][cell] += theirs.v[ti][cell];
       }
     }
     mine.total_tuples += theirs.total_tuples;
@@ -389,6 +511,11 @@ BucketCounts MultiCountPlan::TakeCounts(int channel) {
   return std::move(counts_[static_cast<size_t>(channel)]);
 }
 
+GridBucketCounts MultiCountPlan::TakeGridCounts(int grid_channel) {
+  OPTRULES_CHECK(0 <= grid_channel && grid_channel < num_grid_channels());
+  return std::move(grids_[static_cast<size_t>(grid_channel)]);
+}
+
 BucketSums MultiCountPlan::MakeBucketSums(int channel, int k) const {
   OPTRULES_CHECK(0 <= channel && channel < num_channels());
   const auto ci = static_cast<size_t>(channel);
@@ -397,6 +524,9 @@ BucketSums MultiCountPlan::MakeBucketSums(int channel, int k) const {
   BucketSums sums;
   sums.u = counts.u;
   sums.sum = sums_[ci][static_cast<size_t>(k)];
+  const std::vector<double>& comp = sum_comp_[ci][static_cast<size_t>(k)];
+  // The extracted per-bucket sum is the compensated total.
+  for (size_t b = 0; b < sums.sum.size(); ++b) sums.sum[b] += comp[b];
   sums.min_value = counts.min_value;
   sums.max_value = counts.max_value;
   sums.total_tuples = counts.total_tuples;
@@ -417,6 +547,10 @@ BucketSums MultiCountPlan::TakeBucketSums(int channel, int k) {
   BucketSums sums;
   sums.sum = std::move(source);
   source.clear();
+  std::vector<double>& comp = sum_comp_[ci][static_cast<size_t>(k)];
+  // The extracted per-bucket sum is the compensated total.
+  for (size_t b = 0; b < sums.sum.size(); ++b) sums.sum[b] += comp[b];
+  comp.clear();
   sums.total_tuples = counts.total_tuples;
   ++sums_taken_[ci];
   if (sums_taken_[ci] == sums_[ci].size()) {
@@ -444,6 +578,9 @@ BucketSums CountBucketSums(std::span<const double> values,
   BucketSums sums;
   sums.u.assign(static_cast<size_t>(m), 0);
   sums.sum.assign(static_cast<size_t>(m), 0.0);
+  // Neumaier compensation terms, folded into sums.sum before returning so
+  // this reference kernel is bit-identical to the compensated plan path.
+  std::vector<double> comp(static_cast<size_t>(m), 0.0);
   sums.min_value.assign(static_cast<size_t>(m),
                         std::numeric_limits<double>::quiet_NaN());
   sums.max_value.assign(static_cast<size_t>(m),
@@ -453,12 +590,13 @@ BucketSums CountBucketSums(std::span<const double> values,
     if (located == BucketBoundaries::kNoBucket) continue;  // NaN: no bucket
     const auto bucket = static_cast<size_t>(located);
     ++sums.u[bucket];
-    sums.sum[bucket] += target[row];
+    NeumaierAdd(target[row], sums.sum[bucket], comp[bucket]);
     double& lo = sums.min_value[bucket];
     double& hi = sums.max_value[bucket];
     if (std::isnan(lo) || values[row] < lo) lo = values[row];
     if (std::isnan(hi) || values[row] > hi) hi = values[row];
   }
+  for (size_t b = 0; b < sums.sum.size(); ++b) sums.sum[b] += comp[b];
   // NaN rows still count toward the support denominator N.
   sums.total_tuples = static_cast<int64_t>(values.size());
   return sums;

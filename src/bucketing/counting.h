@@ -117,12 +117,45 @@ struct CountChannel {
   static constexpr int kUnconditional = -1;
 };
 
-/// Full shape of a multi-count scan: the channels, the Boolean-conjunction
-/// condition table they reference, and the number of Boolean targets every
-/// counting channel accumulates. Sharded partial plans are built from the
-/// same spec so Merge() is exact by construction.
+/// One two-dimensional grid channel of a MultiCountPlan (the Section 1.4
+/// region-rule extension): a pair of bucketed numeric columns scattered
+/// into an Nx-by-Ny cell grid, accumulating per-cell tuple counts u and
+/// one per-cell hit plane v per Boolean target. Both axes join the plan's
+/// shared locate-group cache, so a grid channel whose columns are already
+/// bucketed by other channels costs zero extra Locate passes.
+struct GridChannel {
+  int x_column = 0;
+  const BucketBoundaries* x_boundaries = nullptr;  ///< Nx = num_buckets()
+  int y_column = 0;
+  const BucketBoundaries* y_boundaries = nullptr;  ///< Ny = num_buckets()
+};
+
+/// Per-cell statistics of one grid channel, row-major by y (cell (x, y) at
+/// index y*nx + x) -- the flat-array twin of region::GridCounts. A row
+/// whose x or y value is NaN lands in no cell but still counts toward
+/// total_tuples (the repo-wide NaN policy, applied per axis pair).
+struct GridBucketCounts {
+  int nx = 0;
+  int ny = 0;
+  /// u[y*nx + x]: tuples in cell (x, y).
+  std::vector<int64_t> u;
+  /// v[t][y*nx + x]: tuples in cell (x, y) meeting Boolean target t.
+  std::vector<std::vector<int64_t>> v;
+  /// All tuples scanned (the support denominator N), NaN rows included.
+  int64_t total_tuples = 0;
+
+  int num_cells() const { return static_cast<int>(u.size()); }
+  int num_targets() const { return static_cast<int>(v.size()); }
+};
+
+/// Full shape of a multi-count scan: the 1-D channels, the 2-D grid
+/// channels, the Boolean-conjunction condition table they reference, and
+/// the number of Boolean targets every counting channel accumulates.
+/// Sharded partial plans are built from the same spec so Merge() is exact
+/// by construction.
 struct MultiCountSpec {
   std::vector<CountChannel> channels;
+  std::vector<GridChannel> grid_channels;
   /// Each condition is a conjunction of Boolean column indices (an empty
   /// conjunction is satisfied by every row).
   std::vector<std::vector<int>> conditions;
@@ -130,14 +163,15 @@ struct MultiCountSpec {
   int num_targets = 0;
 };
 
-/// Counts EVERY channel of a spec -- plain, conditional, and summing --
-/// in one shared scan: the columnar core of Algorithm 3.1 step 4
-/// generalized to the paper's "all combinations of hundreds of numeric and
-/// Boolean attributes" workload, Section 4.3 generalized rules, and the
-/// Section 5 average operator. One plan instance accumulates a
-/// BucketCounts per channel (each with one v-row per target) plus the
-/// channel's sum arrays; partial plans from sharded scans Merge() exactly,
-/// so parallel execution is bit-identical to serial.
+/// Counts EVERY channel of a spec -- plain, conditional, summing, and
+/// two-dimensional grid -- in one shared scan: the columnar core of
+/// Algorithm 3.1 step 4 generalized to the paper's "all combinations of
+/// hundreds of numeric and Boolean attributes" workload, Section 4.3
+/// generalized rules, the Section 5 average operator, and the Section 1.4
+/// region grids. One plan instance accumulates a BucketCounts per channel
+/// (each with one v-row per target) plus the channel's sum arrays and a
+/// GridBucketCounts per grid channel; partial plans from sharded scans
+/// Merge() exactly, so parallel execution is bit-identical to serial.
 class MultiCountPlan {
  public:
   /// Plain all-pairs plan: one unconditional channel per numeric attribute
@@ -168,11 +202,18 @@ class MultiCountPlan {
   /// concurrently on one plan once PrepareBatch ran for the batch).
   void AccumulateChannel(const storage::ColumnarBatch& batch, int channel);
 
+  /// Accumulates only grid channel `grid_channel` of the batch; same
+  /// concurrency contract as AccumulateChannel (grid channels own disjoint
+  /// state and only read the shared bucket-index cache).
+  void AccumulateGridChannel(const storage::ColumnarBatch& batch,
+                             int grid_channel);
+
   /// Adds `other`'s counts into this plan (other must have identical
   /// shape). Merge order is the caller's contract for determinism.
   void Merge(const MultiCountPlan& other);
 
   int num_channels() const { return static_cast<int>(counts_.size()); }
+  int num_grid_channels() const { return static_cast<int>(grids_.size()); }
   int num_targets() const { return spec_.num_targets; }
   /// Rows scanned so far (every channel sees the same rows).
   int64_t total_tuples() const {
@@ -186,6 +227,13 @@ class MultiCountPlan {
   }
   /// Moves channel `channel`'s counts out of the plan.
   BucketCounts TakeCounts(int channel);
+
+  /// Per-cell counts of grid channel `grid_channel` accumulated so far.
+  const GridBucketCounts& grid_counts(int grid_channel) const {
+    return grids_[static_cast<size_t>(grid_channel)];
+  }
+  /// Moves grid channel `grid_channel`'s counts out of the plan.
+  GridBucketCounts TakeGridCounts(int grid_channel);
 
   /// Assembles the Section 5 BucketSums view of channel `channel`'s k-th
   /// sum target (copies u/min/max; the channel keeps its state, so every
@@ -211,11 +259,24 @@ class MultiCountPlan {
     std::vector<int32_t> buckets;  ///< written by PrepareBatch only
   };
 
+  /// Index of the locate group for (column, boundaries), creating it if
+  /// this is the first channel to bucket that pair.
+  size_t EnsureLocateGroup(int column, const BucketBoundaries* boundaries);
+
   MultiCountSpec spec_;
   std::vector<BucketCounts> counts_;
-  /// sums_[channel][k][bucket]: per-bucket sum of the channel's k-th sum
-  /// target column.
+  /// Per-grid-channel cell counts, aligned with spec_.grid_channels.
+  std::vector<GridBucketCounts> grids_;
+  /// Locate-group indices of each grid channel's two axes.
+  std::vector<std::pair<size_t, size_t>> grid_groups_;
+  /// sums_[channel][k][bucket]: per-bucket running sum of the channel's
+  /// k-th sum target column, with sum_comp_ holding the matching Neumaier
+  /// compensation terms. Every accumulation and merge is compensated, so
+  /// the extracted sum (running + compensation) is exact to well below one
+  /// ulp and, because the row-sharded executor fixes its shard layout
+  /// independently of the pool size, bit-identical for any pool.
   std::vector<std::vector<std::vector<double>>> sums_;
+  std::vector<std::vector<std::vector<double>>> sum_comp_;
   /// Sum targets already moved out via TakeBucketSums, per channel.
   std::vector<size_t> sums_taken_;
   /// Distinct (column, boundaries) pairs across all channels; each is
@@ -227,6 +288,9 @@ class MultiCountPlan {
   /// across batches; per channel so concurrent AccumulateChannel calls
   /// never share mutable state.
   std::vector<std::vector<int32_t>> scratch_;
+  /// Per-grid-channel cell-index scratch (the x/y caches folded to one
+  /// flat cell index per row), same concurrency contract as scratch_.
+  std::vector<std::vector<int32_t>> grid_scratch_;
   /// Per-condition row masks of the batch being accumulated (written by
   /// PrepareBatch, read-only during channel accumulation).
   std::vector<std::vector<uint8_t>> condition_masks_;

@@ -79,11 +79,25 @@ void ExecuteSerial(storage::BatchSource& source, MultiCountPlan* plan) {
   while (reader->Next(&batch)) plan->Accumulate(batch);
 }
 
+/// Number of row shards for a source of `num_tuples` rows. The layout is
+/// a pure function of the row count -- NEVER of the pool size -- so the
+/// partial plans and their shard-order merge are identical no matter how
+/// many workers execute them: even the compensated double sums come out
+/// bit-identical under any pool size. Pools larger than the shard count
+/// idle; pools smaller queue shards.
+int RowShardCount(int64_t num_tuples) {
+  constexpr int64_t kMinRowsPerShard = 8192;
+  constexpr int64_t kMaxRowShards = 32;
+  return static_cast<int>(
+      std::clamp(num_tuples / kMinRowsPerShard, int64_t{1}, kMaxRowShards));
+}
+
 /// Row-sharded execution: each worker scans a contiguous row range with
 /// its own range reader into a private partial plan; partials merge in
-/// shard order (bit-identical to serial for counts and min/max; per-bucket
-/// double sums are deterministic for a given shard count but may differ
-/// from serial in the last ulp, since double addition reassociates).
+/// shard order. Counts and min/max are bit-identical to serial; per-bucket
+/// double sums are Neumaier-compensated and, because the shard layout is
+/// pool-independent, bit-identical across all pool sizes (the last ulp can
+/// still differ from the unsharded serial chain).
 void ExecuteRowSharded(storage::BatchSource& source, MultiCountPlan* plan,
                        ThreadPool& pool, int num_shards) {
   source.NoteScanStarted();  // the whole sharded pass is ONE logical scan
@@ -106,20 +120,27 @@ void ExecuteRowSharded(storage::BatchSource& source, MultiCountPlan* plan,
 }
 
 /// Sequential reader, channel-parallel accumulation: per batch the
-/// channels fan out across the pool (each channel's counts and sums are
-/// disjoint state inside the shared plan). Every channel folds its rows
-/// serially, so even double sums stay bit-identical to a serial scan.
+/// channels (1-D and grid alike) fan out across the pool (each channel's
+/// counts, sums, and cells are disjoint state inside the shared plan).
+/// Every channel folds its rows serially, so even double sums stay
+/// bit-identical to a serial scan.
 void ExecuteChannelParallel(storage::BatchSource& source,
                             MultiCountPlan* plan, ThreadPool& pool) {
   std::unique_ptr<storage::BatchReader> reader = source.CreateReader();
   storage::ColumnarBatch batch;
   const int num_channels = plan->num_channels();
+  const int num_units = num_channels + plan->num_grid_channels();
   while (reader->Next(&batch)) {
     // Condition masks and the shared bucket-index cache are computed once
     // on the reader thread; the fanned out channels only read them.
     plan->PrepareBatch(batch);
-    pool.Run(num_channels,
-             [&](int channel) { plan->AccumulateChannel(batch, channel); });
+    pool.Run(num_units, [&](int unit) {
+      if (unit < num_channels) {
+        plan->AccumulateChannel(batch, unit);
+      } else {
+        plan->AccumulateGridChannel(batch, unit - num_channels);
+      }
+    });
   }
 }
 
@@ -135,18 +156,29 @@ void ExecuteMultiCount(storage::BatchSource& source, MultiCountPlan* plan,
       OPTRULES_CHECK(0 <= target && target < source.num_numeric());
     }
   }
+  for (const GridChannel& channel : plan->spec().grid_channels) {
+    OPTRULES_CHECK(0 <= channel.x_column &&
+                   channel.x_column < source.num_numeric());
+    OPTRULES_CHECK(0 <= channel.y_column &&
+                   channel.y_column < source.num_numeric());
+  }
   for (const std::vector<int>& condition : plan->spec().conditions) {
     for (const int column : condition) {
       OPTRULES_CHECK(0 <= column && column < source.num_boolean());
     }
   }
   OPTRULES_CHECK(source.num_boolean() == plan->num_targets());
-  if (pool == nullptr || pool->size() <= 1 || plan->num_channels() == 0) {
+  // A pool of size 1 still takes the sharded path (with the same
+  // pool-independent shard layout), so its sums are bit-identical to any
+  // larger pool's; only pool == nullptr is the unsharded serial reference.
+  if (pool == nullptr ||
+      plan->num_channels() + plan->num_grid_channels() == 0) {
     ExecuteSerial(source, plan);
     return;
   }
   if (source.SupportsRangeReaders() && source.NumTuples() > 0) {
-    ExecuteRowSharded(source, plan, *pool, pool->size());
+    ExecuteRowSharded(source, plan, *pool,
+                      RowShardCount(source.NumTuples()));
     return;
   }
   ExecuteChannelParallel(source, plan, *pool);

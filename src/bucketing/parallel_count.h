@@ -41,14 +41,18 @@ BucketCounts ParallelCountBuckets(
 /// Sources that support range readers (in-memory relations, PagedFiles)
 /// are sharded by rows: each worker accumulates a private partial plan
 /// (built from the same MultiCountSpec) over a contiguous shard and the
-/// partials merge in shard order. Other sources are read sequentially
-/// with the plan's channels fanned out across the pool per batch. Both
-/// schedules produce bit-identical u/v counts and min/max to a serial
-/// scan and account exactly one scan on `source` (assertable via
-/// BatchSource::scans_started()). Per-bucket double sum channels are
-/// bit-identical under the channel-parallel schedule and deterministic
-/// under row-sharding (double addition reassociates at shard borders, so
-/// the last ulp can differ from serial).
+/// partials merge in shard order. The shard layout is a pure function of
+/// the row count -- never of the pool size -- so results are identical
+/// for ANY pool, including a pool of size 1. Other sources are read
+/// sequentially with the plan's channels (1-D and grid) fanned out across
+/// the pool per batch. Both schedules produce bit-identical u/v counts,
+/// grid cells, and min/max to a serial scan and account exactly one scan
+/// on `source` (assertable via BatchSource::scans_started()). Per-bucket
+/// double sum channels are Neumaier-compensated: bit-identical under the
+/// channel-parallel schedule, and bit-identical across all pool sizes
+/// under row-sharding (the compensated merge still reassociates at shard
+/// borders, so the last ulp can differ from the nullptr-pool serial
+/// chain).
 void ExecuteMultiCount(storage::BatchSource& source, MultiCountPlan* plan,
                        ThreadPool* pool);
 

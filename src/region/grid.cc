@@ -1,6 +1,26 @@
 #include "region/grid.h"
 
+#include <utility>
+
+#include "bucketing/counting.h"
+
 namespace optrules::region {
+
+GridCounts GridCounts::FromCells(int nx, int ny, std::vector<int64_t> u,
+                                 std::vector<int64_t> v,
+                                 int64_t total_tuples) {
+  OPTRULES_CHECK(nx >= 1 && ny >= 1);
+  const auto cells = static_cast<size_t>(nx) * static_cast<size_t>(ny);
+  OPTRULES_CHECK(u.size() == cells);
+  OPTRULES_CHECK(v.size() == cells);
+  GridCounts grid;
+  grid.nx_ = nx;
+  grid.ny_ = ny;
+  grid.u_ = std::move(u);
+  grid.v_ = std::move(v);
+  grid.total_tuples_ = total_tuples;
+  return grid;
+}
 
 GridCounts BuildGrid(std::span<const double> x_values,
                      std::span<const double> y_values,
@@ -13,14 +33,24 @@ GridCounts BuildGrid(std::span<const double> x_values,
   for (size_t row = 0; row < x_values.size(); ++row) {
     const int x = x_boundaries.Locate(x_values[row]);
     const int y = y_boundaries.Locate(y_values[row]);
-    // NaN coordinates belong to no cell (same policy as the 1-D kernels).
+    // NaN coordinates belong to no cell but still count toward N (same
+    // policy as the 1-D kernels).
     if (x == bucketing::BucketBoundaries::kNoBucket ||
         y == bucketing::BucketBoundaries::kNoBucket) {
+      grid.AddMissing();
       continue;
     }
     grid.Add(x, y, target[row] != 0);
   }
   return grid;
+}
+
+GridCounts FromGridBucketCounts(const bucketing::GridBucketCounts& cells,
+                                int target) {
+  OPTRULES_CHECK(0 <= target && target < cells.num_targets());
+  return GridCounts::FromCells(cells.nx, cells.ny, cells.u,
+                               cells.v[static_cast<size_t>(target)],
+                               cells.total_tuples);
 }
 
 }  // namespace optrules::region

@@ -15,6 +15,10 @@
 #include "bucketing/boundaries.h"
 #include "common/logging.h"
 
+namespace optrules::bucketing {
+struct GridBucketCounts;  // counting.h; only referenced, never stored here
+}  // namespace optrules::bucketing
+
 namespace optrules::region {
 
 /// Cell counts of a 2-D bucket grid, row-major by y (cell (x, y) is at
@@ -30,6 +34,13 @@ class GridCounts {
     OPTRULES_CHECK(nx >= 1 && ny >= 1);
   }
 
+  /// Adopts pre-accumulated cell arrays (row-major by y, sized nx*ny):
+  /// the bridge from an engine-produced bucketing::GridBucketCounts plane
+  /// to the region miners. `total_tuples` is the support denominator N and
+  /// may exceed the cell total (NaN rows belong to no cell).
+  static GridCounts FromCells(int nx, int ny, std::vector<int64_t> u,
+                              std::vector<int64_t> v, int64_t total_tuples);
+
   int nx() const { return nx_; }
   int ny() const { return ny_; }
   int64_t total_tuples() const { return total_tuples_; }
@@ -43,6 +54,10 @@ class GridCounts {
     if (hit) ++v_[Index(x, y)];
     ++total_tuples_;
   }
+
+  /// Counts one tuple toward the support denominator N without placing it
+  /// in any cell -- the NaN policy for rows whose x or y value is NaN.
+  void AddMissing() { ++total_tuples_; }
 
  private:
   size_t Index(int x, int y) const {
@@ -60,12 +75,20 @@ class GridCounts {
 };
 
 /// Builds an nx-by-ny grid over two numeric columns and a Boolean target.
-/// All spans must have equal length.
+/// All spans must have equal length. A row with NaN in either column lands
+/// in no cell but still counts toward total_tuples (the repo-wide NaN
+/// policy, mirrored per axis pair).
 GridCounts BuildGrid(std::span<const double> x_values,
                      std::span<const double> y_values,
                      std::span<const uint8_t> target,
                      const bucketing::BucketBoundaries& x_boundaries,
                      const bucketing::BucketBoundaries& y_boundaries);
+
+/// The region-miner view of one Boolean target plane of an engine-produced
+/// grid channel (bucketing::MultiCountPlan grid counting): copies cell u
+/// and the target's v plane, keeping N = all scanned tuples.
+GridCounts FromGridBucketCounts(const bucketing::GridBucketCounts& cells,
+                                int target);
 
 }  // namespace optrules::region
 

@@ -25,11 +25,13 @@ uint64_t AttributeSalt(int numeric_index) {
   return 0x9e37 * static_cast<uint64_t>(numeric_index);
 }
 
-/// Seed offsets decorrelating the generalized (Section 4.3) and aggregate
-/// (Section 5) bucketings from the plain per-pair bucketing. Shared by
-/// Miner and MiningEngine so their boundaries are identical.
+/// Seed offsets decorrelating the generalized (Section 4.3), aggregate
+/// (Section 5), and region-grid (Section 1.4) bucketings from the plain
+/// per-pair bucketing. Shared by Miner and MiningEngine so their
+/// boundaries are identical.
 constexpr uint64_t kGeneralizedSeedOffset = 0x517c;
 constexpr uint64_t kAggregateSeedOffset = 0xa4f;
+constexpr uint64_t kRegionSeedOffset = 0x2d9b;
 
 /// Renders a conjunction of Boolean attribute names as the rule's
 /// presumptive-condition text ("a=yes ^ b=yes").
@@ -114,7 +116,67 @@ MinedAggregateRange ToMinedAggregate(const bucketing::BucketSums& sums,
   return mined;
 }
 
+/// Shared Section 1.4 region emission: runs both rectangle optimizers and
+/// the x-monotone gain DP over one grid and assembles the MinedRegion.
+/// Used by Miner and MiningEngine so the two paths are bit-identical by
+/// construction (the engine's grid channel and the legacy
+/// region::BuildGrid pass produce identical grids).
+MinedRegion MineRegionFromGrid(const region::GridCounts& grid,
+                               const MinerOptions& options,
+                               const std::string& x_attr,
+                               const std::string& y_attr,
+                               const std::string& target_attr) {
+  MinedRegion mined;
+  mined.x_attr = x_attr;
+  mined.y_attr = y_attr;
+  mined.target_attr = target_attr;
+  mined.nx = grid.nx();
+  mined.ny = grid.ny();
+  mined.total_tuples = grid.total_tuples();
+  mined.confidence_rectangle = region::OptimizedConfidenceRectangle(
+      grid, MinSupportCount(grid.total_tuples(), options.min_support));
+  mined.support_rectangle = region::OptimizedSupportRectangle(
+      grid, Ratio::FromDouble(options.min_confidence));
+  mined.xmonotone_gain = region::MaxGainXMonotoneRegion(
+      grid, Ratio::FromDouble(options.min_confidence));
+  mined.found = mined.confidence_rectangle.found ||
+                mined.support_rectangle.found || mined.xmonotone_gain.found;
+  return mined;
+}
+
 }  // namespace
+
+std::string MinedRegion::ToString() const {
+  std::string text = "(" + x_attr + ", " + y_attr + ") in R => (" +
+                     target_attr + "=yes) on a " + std::to_string(nx) + "x" +
+                     std::to_string(ny) + " grid:";
+  const auto rectangle_line = [](const char* label,
+                                 const region::RegionRule& rule) {
+    if (!rule.found) {
+      return "\n  " + std::string(label) + ": none";
+    }
+    return "\n  " + std::string(label) + ": x[" + std::to_string(rule.x1) +
+           ", " + std::to_string(rule.x2) + "] y[" + std::to_string(rule.y1) +
+           ", " + std::to_string(rule.y2) + "]  [support " +
+           FormatDouble(rule.support * 100.0) + "%, confidence " +
+           FormatDouble(rule.confidence * 100.0) + "%]";
+  };
+  text += rectangle_line("confidence rectangle", confidence_rectangle);
+  text += rectangle_line("support rectangle", support_rectangle);
+  if (!xmonotone_gain.found) {
+    text += "\n  x-monotone gain region: none";
+  } else {
+    text += "\n  x-monotone gain region: columns [" +
+            std::to_string(xmonotone_gain.x_begin) + ", " +
+            std::to_string(
+                xmonotone_gain.x_begin +
+                static_cast<int>(xmonotone_gain.column_ranges.size()) - 1) +
+            "], gain " + FormatDouble(xmonotone_gain.gain) + "  [support " +
+            FormatDouble(xmonotone_gain.support * 100.0) + "%, confidence " +
+            FormatDouble(xmonotone_gain.confidence * 100.0) + "%]";
+  }
+  return text;
+}
 
 bucketing::BoundaryPlan ToBoundaryPlan(const MinerOptions& options) {
   bucketing::BoundaryPlan plan;
@@ -181,51 +243,90 @@ MiningEngine::MiningEngine(storage::BatchSource* source,
 MiningEngine::~MiningEngine() = default;
 
 void MiningEngine::PlanBoundarySets(
-    std::span<const uint64_t> seed_offsets,
+    std::span<const BoundarySetRequest> requests,
     std::span<std::vector<bucketing::BucketBoundaries>* const> out) {
-  OPTRULES_CHECK(seed_offsets.size() == out.size());
+  OPTRULES_CHECK(requests.size() == out.size());
   const int num_numeric = schema_.num_numeric();
-  const size_t sets = seed_offsets.size();
+  const size_t sets = requests.size();
   for (size_t i = 0; i < sets; ++i) {
+    OPTRULES_CHECK(requests[i].num_buckets >= 1);
+    OPTRULES_CHECK(requests[i].column_mask.empty() ||
+                   requests[i].column_mask.size() ==
+                       static_cast<size_t>(num_numeric));
     out[i]->clear();
     out[i]->reserve(static_cast<size_t>(num_numeric));
   }
   if (sets == 0) return;
 
+  // Whether set `i` plans attribute `a`; masked-out attributes get empty
+  // placeholder boundaries (never consumed by the caller).
+  const auto needs = [&requests](size_t i, int a) {
+    return requests[i].column_mask.empty() ||
+           requests[i].column_mask[static_cast<size_t>(a)] != 0;
+  };
+  const auto placeholder = [] {
+    return bucketing::BucketBoundaries::FromCutPoints({});
+  };
+  // For the seed-ignoring (deterministic) bucketizers, the earliest set
+  // whose boundaries set `i` can simply copy: same bucket count, and the
+  // earlier set planned at least the columns `i` needs (unmasked, or the
+  // identical mask). Returns `i` itself when set `i` must be planned.
+  const auto first_copyable = [&requests](size_t i) {
+    for (size_t j = 0; j < i; ++j) {
+      if (requests[j].num_buckets == requests[i].num_buckets &&
+          (requests[j].column_mask.empty() ||
+           requests[j].column_mask == requests[i].column_mask)) {
+        return j;
+      }
+    }
+    return i;
+  };
+
   if (relation_ != nullptr) {
     // In-memory fast path: plan from the columns directly, with the same
     // per-attribute salts and seed offsets as the legacy Miner
     // (bit-identical boundaries). The deterministic bucketizers ignore
-    // seeds, so only the first set is actually planned; the rest copy it.
-    const size_t planned_sets =
-        options_.bucketizer == Bucketizer::kSampling ? sets : 1;
-    for (size_t i = 0; i < planned_sets; ++i) {
+    // seeds, so sets sharing a bucket count share boundaries and are
+    // planned once.
+    for (size_t i = 0; i < sets; ++i) {
+      if (options_.bucketizer != Bucketizer::kSampling) {
+        const size_t same = first_copyable(i);
+        if (same != i) {
+          *out[i] = *out[same];
+          continue;
+        }
+      }
       bucketing::BoundaryPlan plan = ToBoundaryPlan(options_);
-      plan.seed += seed_offsets[i];
+      plan.seed += requests[i].seed_offset;
+      plan.num_buckets = requests[i].num_buckets;
       for (int a = 0; a < num_numeric; ++a) {
-        out[i]->push_back(bucketing::BuildBoundaries(
-            relation_->NumericColumn(a), plan, AttributeSalt(a)));
+        out[i]->push_back(
+            needs(i, a)
+                ? bucketing::BuildBoundaries(relation_->NumericColumn(a),
+                                             plan, AttributeSalt(a))
+                : placeholder());
       }
     }
-    for (size_t i = planned_sets; i < sets; ++i) *out[i] = *out[0];
     return;
   }
 
   // Generic path: ONE streaming pass plans every requested set at once.
   switch (options_.bucketizer) {
     case Bucketizer::kSampling: {
-      // One reservoir per (set, attribute), each with its own
-      // deterministic generator, all filled in one scan.
-      const int64_t sample_size =
-          options_.sample_per_bucket * options_.num_buckets;
+      // One reservoir per planned (set, attribute) -- sized for the set's
+      // bucket count -- each with its own deterministic generator, all
+      // filled in one scan. Masked-out slots stay empty and cost nothing.
       std::vector<bucketing::ReservoirSampler> reservoirs;
       std::vector<Rng> rngs;
       reservoirs.reserve(sets * static_cast<size_t>(num_numeric));
       rngs.reserve(sets * static_cast<size_t>(num_numeric));
       for (size_t i = 0; i < sets; ++i) {
+        const int64_t sample_size =
+            options_.sample_per_bucket * requests[i].num_buckets;
         for (int a = 0; a < num_numeric; ++a) {
-          reservoirs.emplace_back(sample_size);
-          rngs.emplace_back(options_.seed + seed_offsets[i] +
+          // Masked-out slots get a minimal reservoir that is never fed.
+          reservoirs.emplace_back(needs(i, a) ? sample_size : 1);
+          rngs.emplace_back(options_.seed + requests[i].seed_offset +
                             AttributeSalt(a));
         }
       }
@@ -234,6 +335,7 @@ void MiningEngine::PlanBoundarySets(
       while (reader->Next(&batch)) {
         for (size_t i = 0; i < sets; ++i) {
           for (int a = 0; a < num_numeric; ++a) {
+            if (!needs(i, a)) continue;
             const size_t slot = i * static_cast<size_t>(num_numeric) +
                                 static_cast<size_t>(a);
             for (const double value : batch.numeric(a)) {
@@ -247,36 +349,73 @@ void MiningEngine::PlanBoundarySets(
           const size_t slot = i * static_cast<size_t>(num_numeric) +
                               static_cast<size_t>(a);
           out[i]->push_back(
-              reservoirs[slot].TakeBoundaries(options_.num_buckets));
+              needs(i, a)
+                  ? reservoirs[slot].TakeBoundaries(requests[i].num_buckets)
+                  : placeholder());
         }
       }
       return;
     }
     case Bucketizer::kGkSketch: {
-      // One deterministic GK sketch per attribute, all fed in one scan;
-      // identical to the in-memory sketch because insertion order is the
-      // row order either way. Seeds are ignored, so every requested set
-      // shares the same boundaries.
-      const double epsilon = ToBoundaryPlan(options_).EffectiveGkEpsilon();
+      // One deterministic GK sketch per (distinct epsilon, attribute),
+      // all fed in one scan; identical to the in-memory sketch because
+      // insertion order is the row order either way. Seeds are ignored,
+      // but the auto epsilon depends on the bucket count, so sets with
+      // different bucket counts may need their own sketch group.
+      std::vector<double> epsilons(sets);
+      std::vector<size_t> group_of(sets);
+      std::vector<double> distinct;
+      for (size_t i = 0; i < sets; ++i) {
+        bucketing::BoundaryPlan plan = ToBoundaryPlan(options_);
+        plan.num_buckets = requests[i].num_buckets;
+        epsilons[i] = plan.EffectiveGkEpsilon();
+        size_t g = distinct.size();
+        for (size_t d = 0; d < distinct.size(); ++d) {
+          if (distinct[d] == epsilons[i]) {
+            g = d;
+            break;
+          }
+        }
+        if (g == distinct.size()) distinct.push_back(epsilons[i]);
+        group_of[i] = g;
+      }
+      // Per group, sketch only the attributes some member set plans.
+      std::vector<std::vector<uint8_t>> group_needs(
+          distinct.size(),
+          std::vector<uint8_t>(static_cast<size_t>(num_numeric), 0));
+      for (size_t i = 0; i < sets; ++i) {
+        for (int a = 0; a < num_numeric; ++a) {
+          if (needs(i, a)) group_needs[group_of[i]][static_cast<size_t>(a)] = 1;
+        }
+      }
       std::vector<bucketing::GkQuantileSketch> sketches;
-      sketches.reserve(static_cast<size_t>(num_numeric));
-      for (int a = 0; a < num_numeric; ++a) sketches.emplace_back(epsilon);
+      sketches.reserve(distinct.size() * static_cast<size_t>(num_numeric));
+      for (const double epsilon : distinct) {
+        for (int a = 0; a < num_numeric; ++a) sketches.emplace_back(epsilon);
+      }
       std::unique_ptr<storage::BatchReader> reader = source_->CreateReader();
       storage::ColumnarBatch batch;
       while (reader->Next(&batch)) {
-        for (int a = 0; a < num_numeric; ++a) {
-          auto& sketch = sketches[static_cast<size_t>(a)];
-          for (const double value : batch.numeric(a)) sketch.Add(value);
+        for (size_t g = 0; g < distinct.size(); ++g) {
+          for (int a = 0; a < num_numeric; ++a) {
+            if (group_needs[g][static_cast<size_t>(a)] == 0) continue;
+            auto& sketch = sketches[g * static_cast<size_t>(num_numeric) +
+                                    static_cast<size_t>(a)];
+            for (const double value : batch.numeric(a)) sketch.Add(value);
+          }
         }
       }
-      for (int a = 0; a < num_numeric; ++a) {
-        const auto& sketch = sketches[static_cast<size_t>(a)];
-        bucketing::BucketBoundaries boundaries =
-            sketch.count() == 0
-                ? bucketing::BucketBoundaries::FromCutPoints({})
-                : bucketing::BoundariesFromGkSketch(sketch,
-                                                    options_.num_buckets);
-        for (size_t i = 0; i < sets; ++i) out[i]->push_back(boundaries);
+      for (size_t i = 0; i < sets; ++i) {
+        for (int a = 0; a < num_numeric; ++a) {
+          const auto& sketch =
+              sketches[group_of[i] * static_cast<size_t>(num_numeric) +
+                       static_cast<size_t>(a)];
+          out[i]->push_back(
+              !needs(i, a) || sketch.count() == 0
+                  ? placeholder()
+                  : bucketing::BoundariesFromGkSketch(
+                        sketch, requests[i].num_buckets));
+        }
       }
       return;
     }
@@ -284,23 +423,40 @@ void MiningEngine::PlanBoundarySets(
       // Exact depths need the full columns; buffer them from one scan.
       // This is an in-memory fallback -- out-of-core exact bucketing goes
       // through bucketing::NaiveSortBoundariesFromFile instead. Seeds are
-      // ignored, so every requested set shares the same boundaries.
+      // ignored, so sets sharing a bucket count copy the first set's
+      // boundaries instead of re-sorting every column.
+      std::vector<uint8_t> any_needs(static_cast<size_t>(num_numeric), 0);
+      for (size_t i = 0; i < sets; ++i) {
+        for (int a = 0; a < num_numeric; ++a) {
+          if (needs(i, a)) any_needs[static_cast<size_t>(a)] = 1;
+        }
+      }
       std::vector<std::vector<double>> columns(
           static_cast<size_t>(num_numeric));
       std::unique_ptr<storage::BatchReader> reader = source_->CreateReader();
       storage::ColumnarBatch batch;
       while (reader->Next(&batch)) {
         for (int a = 0; a < num_numeric; ++a) {
+          if (any_needs[static_cast<size_t>(a)] == 0) continue;
           const std::span<const double> values = batch.numeric(a);
           auto& column = columns[static_cast<size_t>(a)];
           column.insert(column.end(), values.begin(), values.end());
         }
       }
-      for (int a = 0; a < num_numeric; ++a) {
-        bucketing::BucketBoundaries boundaries =
-            bucketing::ExactEquiDepthBoundaries(
-                columns[static_cast<size_t>(a)], options_.num_buckets);
-        for (size_t i = 0; i < sets; ++i) out[i]->push_back(boundaries);
+      for (size_t i = 0; i < sets; ++i) {
+        const size_t same = first_copyable(i);
+        if (same != i) {
+          *out[i] = *out[same];
+          continue;
+        }
+        for (int a = 0; a < num_numeric; ++a) {
+          out[i]->push_back(
+              needs(i, a)
+                  ? bucketing::ExactEquiDepthBoundaries(
+                        columns[static_cast<size_t>(a)],
+                        requests[i].num_buckets)
+                  : placeholder());
+        }
       }
       return;
     }
@@ -345,6 +501,17 @@ void MiningEngine::RunCountingScan() {
       spec.channels.push_back(std::move(channel));
     }
   }
+  // Grid channels (Section 1.4): one per registered region pair, over the
+  // region boundary set (region_grid_buckets buckets per axis). Pairs
+  // sharing an axis share its locate group inside the plan.
+  for (const RegionPair& pair : region_pairs_) {
+    bucketing::GridChannel channel;
+    channel.x_column = pair.x;
+    channel.x_boundaries = &region_boundaries_[static_cast<size_t>(pair.x)];
+    channel.y_column = pair.y;
+    channel.y_boundaries = &region_boundaries_[static_cast<size_t>(pair.y)];
+    spec.grid_channels.push_back(channel);
+  }
 
   bucketing::MultiCountPlan plan(std::move(spec));
   bucketing::ExecuteMultiCount(*source_, &plan, pool_);
@@ -379,31 +546,53 @@ void MiningEngine::RunCountingScan() {
       }
     }
   }
+  region_grids_.clear();
+  region_grids_.reserve(region_pairs_.size());
+  for (size_t p = 0; p < region_pairs_.size(); ++p) {
+    region_grids_.push_back(plan.TakeGridCounts(static_cast<int>(p)));
+  }
 }
 
 void MiningEngine::Prepare() {
   if (prepared_) return;
   OPTRULES_CHECK(options_.num_buckets >= 1);
   OPTRULES_CHECK(options_.sample_per_bucket >= 1);
+  OPTRULES_CHECK(options_.region_grid_buckets >= 1);
   OPTRULES_CHECK(0.0 <= options_.min_support && options_.min_support <= 1.0);
   OPTRULES_CHECK(0.0 <= options_.min_confidence &&
                  options_.min_confidence <= 1.0);
   // One planning pass covers the base boundaries plus the decorrelated
-  // generalized / aggregate sets the session has registered so far.
-  std::vector<uint64_t> offsets = {0};
+  // generalized / aggregate / region sets the session has registered so
+  // far.
+  std::vector<BoundarySetRequest> requests = {{0, options_.num_buckets}};
   std::vector<std::vector<bucketing::BucketBoundaries>*> outs = {
       &boundaries_};
   if (!conditions_.empty()) {
-    offsets.push_back(kGeneralizedSeedOffset);
+    requests.push_back({kGeneralizedSeedOffset, options_.num_buckets});
     outs.push_back(&generalized_boundaries_);
   }
   if (!sum_targets_.empty()) {
-    offsets.push_back(kAggregateSeedOffset);
+    requests.push_back({kAggregateSeedOffset, options_.num_buckets});
     outs.push_back(&aggregate_boundaries_);
   }
-  PlanBoundarySets(offsets, outs);
+  if (!region_pairs_.empty()) {
+    region_planned_ = RegionColumnMask();
+    requests.push_back(
+        {kRegionSeedOffset, options_.region_grid_buckets, region_planned_});
+    outs.push_back(&region_boundaries_);
+  }
+  PlanBoundarySets(requests, outs);
   RunCountingScan();
   prepared_ = true;
+}
+
+std::vector<uint8_t> MiningEngine::RegionColumnMask() const {
+  std::vector<uint8_t> mask(static_cast<size_t>(schema_.num_numeric()), 0);
+  for (const RegionPair& pair : region_pairs_) {
+    mask[static_cast<size_t>(pair.x)] = 1;
+    mask[static_cast<size_t>(pair.y)] = 1;
+  }
+  return mask;
 }
 
 std::vector<MinedRule> MiningEngine::MineAllPairs() {
@@ -489,10 +678,11 @@ Result<int> MiningEngine::EnsureSumTarget(const std::string& name) {
 
 void MiningEngine::AddConditionChannels(int condition_index) {
   if (generalized_boundaries_.empty()) {
-    const uint64_t offsets[] = {kGeneralizedSeedOffset};
+    const BoundarySetRequest requests[] = {
+        {kGeneralizedSeedOffset, options_.num_buckets}};
     std::vector<bucketing::BucketBoundaries>* outs[] = {
         &generalized_boundaries_};
-    PlanBoundarySets(offsets, outs);
+    PlanBoundarySets(requests, outs);
   }
   bucketing::MultiCountSpec spec;
   spec.num_targets = schema_.num_boolean();
@@ -519,10 +709,11 @@ void MiningEngine::AddConditionChannels(int condition_index) {
 
 void MiningEngine::AddSumTargetChannels(int target) {
   if (aggregate_boundaries_.empty()) {
-    const uint64_t offsets[] = {kAggregateSeedOffset};
+    const BoundarySetRequest requests[] = {
+        {kAggregateSeedOffset, options_.num_buckets}};
     std::vector<bucketing::BucketBoundaries>* outs[] = {
         &aggregate_boundaries_};
-    PlanBoundarySets(offsets, outs);
+    PlanBoundarySets(requests, outs);
   }
   bucketing::MultiCountSpec spec;
   spec.num_targets = schema_.num_boolean();
@@ -547,6 +738,55 @@ void MiningEngine::AddSumTargetChannels(int target) {
   }
 }
 
+Result<int> MiningEngine::EnsureRegionPair(const std::string& x_attr,
+                                           const std::string& y_attr) {
+  const Result<int> x = schema_.NumericIndexOf(x_attr);
+  if (!x.ok()) return x.status();
+  const Result<int> y = schema_.NumericIndexOf(y_attr);
+  if (!y.ok()) return y.status();
+  const RegionPair pair{x.value(), y.value()};
+  for (size_t p = 0; p < region_pairs_.size(); ++p) {
+    if (region_pairs_[p] == pair) return static_cast<int>(p);
+  }
+  region_pairs_.push_back(pair);
+  const int index = static_cast<int>(region_pairs_.size()) - 1;
+  // A pair registered after the shared scan costs one supplemental scan;
+  // registered before, its grid channel rides along for free.
+  if (prepared_) AddRegionChannel(index);
+  return index;
+}
+
+void MiningEngine::AddRegionChannel(int pair_index) {
+  const RegionPair& late = region_pairs_[static_cast<size_t>(pair_index)];
+  // Re-plan the region set when it has never been planned or the late
+  // pair uses an axis column outside the planned mask (each column's
+  // boundaries are derived independently, so columns already planned come
+  // out identical).
+  if (region_boundaries_.empty() ||
+      region_planned_[static_cast<size_t>(late.x)] == 0 ||
+      region_planned_[static_cast<size_t>(late.y)] == 0) {
+    region_planned_ = RegionColumnMask();
+    const BoundarySetRequest requests[] = {
+        {kRegionSeedOffset, options_.region_grid_buckets, region_planned_}};
+    std::vector<bucketing::BucketBoundaries>* outs[] = {
+        &region_boundaries_};
+    PlanBoundarySets(requests, outs);
+  }
+  bucketing::MultiCountSpec spec;
+  spec.num_targets = schema_.num_boolean();
+  const RegionPair& pair = region_pairs_[static_cast<size_t>(pair_index)];
+  bucketing::GridChannel channel;
+  channel.x_column = pair.x;
+  channel.x_boundaries = &region_boundaries_[static_cast<size_t>(pair.x)];
+  channel.y_column = pair.y;
+  channel.y_boundaries = &region_boundaries_[static_cast<size_t>(pair.y)];
+  spec.grid_channels.push_back(channel);
+  bucketing::MultiCountPlan plan(std::move(spec));
+  bucketing::ExecuteMultiCount(*source_, &plan, pool_);
+  ++counting_scans_;
+  region_grids_.push_back(plan.TakeGridCounts(0));
+}
+
 Status MiningEngine::RequestGeneralized(
     const std::vector<std::string>& condition_attrs) {
   const Result<int> condition = EnsureCondition(condition_attrs);
@@ -556,6 +796,25 @@ Status MiningEngine::RequestGeneralized(
 Status MiningEngine::RequestAverageTarget(const std::string& target_attr) {
   const Result<int> target = EnsureSumTarget(target_attr);
   return target.ok() ? Status::Ok() : target.status();
+}
+
+Status MiningEngine::RequestRegionPair(const std::string& x_attr,
+                                       const std::string& y_attr) {
+  const Result<int> pair = EnsureRegionPair(x_attr, y_attr);
+  return pair.ok() ? Status::Ok() : pair.status();
+}
+
+Result<MinedRegion> MiningEngine::MineOptimizedRegion(
+    const std::string& x_attr, const std::string& y_attr,
+    const std::string& target_attr) {
+  const Result<int> target = schema_.BooleanIndexOf(target_attr);
+  if (!target.ok()) return target.status();
+  const Result<int> pair = EnsureRegionPair(x_attr, y_attr);
+  if (!pair.ok()) return pair.status();
+  Prepare();
+  const region::GridCounts grid = region::FromGridBucketCounts(
+      region_grids_[static_cast<size_t>(pair.value())], target.value());
+  return MineRegionFromGrid(grid, options_, x_attr, y_attr, target_attr);
 }
 
 Result<std::vector<MinedRule>> MiningEngine::MineGeneralized(
@@ -782,6 +1041,32 @@ Result<MinedAggregateRange> Miner::MineMaximumSupportRange(
     aggregate = MaximumSupportRange(sums.u, sums.sum, min_average);
   }
   return ToMinedAggregate(sums, aggregate, range_attr, target_attr);
+}
+
+Result<MinedRegion> Miner::MineOptimizedRegion(
+    const std::string& x_attr, const std::string& y_attr,
+    const std::string& target_attr) {
+  const storage::Schema& schema = relation_->schema();
+  const Result<int> x = schema.NumericIndexOf(x_attr);
+  if (!x.ok()) return x.status();
+  const Result<int> y = schema.NumericIndexOf(y_attr);
+  if (!y.ok()) return y.status();
+  const Result<int> target = schema.BooleanIndexOf(target_attr);
+  if (!target.ok()) return target.status();
+
+  // Same region boundary recipe as the engine: region_grid_buckets per
+  // axis, seed decorrelated by kRegionSeedOffset, per-attribute salts.
+  bucketing::BoundaryPlan plan = ToBoundaryPlan(options_);
+  plan.seed += kRegionSeedOffset;
+  plan.num_buckets = options_.region_grid_buckets;
+  const bucketing::BucketBoundaries x_boundaries = bucketing::BuildBoundaries(
+      relation_->NumericColumn(x.value()), plan, AttributeSalt(x.value()));
+  const bucketing::BucketBoundaries y_boundaries = bucketing::BuildBoundaries(
+      relation_->NumericColumn(y.value()), plan, AttributeSalt(y.value()));
+  const region::GridCounts grid = region::BuildGrid(
+      relation_->NumericColumn(x.value()), relation_->NumericColumn(y.value()),
+      relation_->BooleanColumn(target.value()), x_boundaries, y_boundaries);
+  return MineRegionFromGrid(grid, options_, x_attr, y_attr, target_attr);
 }
 
 }  // namespace optrules::rules

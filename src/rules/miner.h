@@ -35,6 +35,8 @@
 #include "bucketing/counting.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "region/rectangle.h"
+#include "region/xmonotone.h"
 #include "rules/rule.h"
 #include "storage/columnar_batch.h"
 #include "storage/relation.h"
@@ -55,6 +57,12 @@ struct MinerOptions {
   Bucketizer bucketizer = Bucketizer::kSampling;
   /// Rank-error fraction for the GK bucketizer (ignored otherwise).
   double gk_epsilon = 0.0;  ///< 0 = auto: 1 / (4 * num_buckets)
+  /// Per-axis bucket count of two-dimensional region grids (Section 1.4):
+  /// each registered region pair is counted into a
+  /// region_grid_buckets x region_grid_buckets equi-depth cell grid. Kept
+  /// separate from num_buckets because the region optimizers are
+  /// O(nx * ny^2) in the grid resolution.
+  int region_grid_buckets = 32;
 };
 
 /// The bucketizer fields of `options` as a bucketing::BoundaryPlan.
@@ -90,6 +98,31 @@ struct MinedRule {
 struct ThresholdSet {
   double min_support = 0.05;
   double min_confidence = 0.5;
+};
+
+/// The two-dimensional optimized regions mined for one
+/// `(X, Y) in R => C` attribute triple (Section 1.4): both rectangle
+/// optimizations plus the gain-optimized x-monotone region, all answered
+/// from one nx-by-ny equi-depth grid over (X, Y). Bucket indices inside
+/// the sub-results refer to that grid.
+struct MinedRegion {
+  bool found = false;  ///< any of the three searches found a region
+  std::string x_attr;
+  std::string y_attr;
+  std::string target_attr;
+  int nx = 0;
+  int ny = 0;
+  /// All tuples scanned (the support denominator), NaN rows included.
+  int64_t total_tuples = 0;
+  /// Max confidence s.t. support >= MinerOptions::min_support.
+  region::RegionRule confidence_rectangle;
+  /// Max support s.t. confidence >= MinerOptions::min_confidence.
+  region::RegionRule support_rectangle;
+  /// Max gain at theta = MinerOptions::min_confidence.
+  region::XMonotoneRegion xmonotone_gain;
+
+  /// Human-readable multi-line rendering.
+  std::string ToString() const;
 };
 
 /// A mined Section 5 aggregate range for
@@ -153,6 +186,14 @@ class MiningEngine {
   /// attribute. Same pre-registration contract as RequestGeneralized.
   Status RequestAverageTarget(const std::string& target_attr);
 
+  /// Registers a two-dimensional region pair (Section 1.4) so the shared
+  /// counting scan scatters its region_grid_buckets^2 cell grid -- per-cell
+  /// u plus one v plane per Boolean target -- as a grid channel of the same
+  /// single scan. Same pre-registration contract as RequestGeneralized; a
+  /// pair registered after the scan costs one supplemental scan.
+  Status RequestRegionPair(const std::string& x_attr,
+                           const std::string& y_attr);
+
   /// Both optimized rules for every (numeric, Boolean) attribute pair,
   /// in (numeric-major, Boolean-minor) order, confidence rule before
   /// support rule -- the same order as Miner::MineAll().
@@ -186,6 +227,17 @@ class MiningEngine {
       const std::string& range_attr, const std::string& target_attr,
       double min_average);
 
+  /// Two-dimensional optimized regions (Section 1.4) for
+  /// `(x_attr, y_attr) in R => target_attr`, answered from the cached grid
+  /// channel of the shared counting scan: the optimized-confidence and
+  /// optimized-support rectangles plus the max-gain x-monotone region.
+  /// Bit-identical to Miner::MineOptimizedRegion. Auto-registers the pair
+  /// (one supplemental scan when it was not pre-registered); any Boolean
+  /// target can be queried against a registered pair at no extra scan.
+  Result<MinedRegion> MineOptimizedRegion(const std::string& x_attr,
+                                          const std::string& y_attr,
+                                          const std::string& target_attr);
+
   /// Number of counting scans performed over the data so far (0 before
   /// Prepare, 1 after -- regardless of the number of pairs, generalized,
   /// aggregate, or sweep queries answered, as long as every condition /
@@ -196,12 +248,30 @@ class MiningEngine {
   const MinerOptions& options() const { return options_; }
 
  private:
-  /// Plans one boundary set per seed offset for every numeric attribute;
+  /// One boundary set to plan: numeric attributes bucketed into
+  /// `num_buckets` buckets under the session seed + `seed_offset`. An
+  /// empty `column_mask` plans every attribute; otherwise only attributes
+  /// with column_mask[a] != 0 are planned (the rest get empty placeholder
+  /// boundaries) -- the region set uses this so a wide schema does not
+  /// pay per-attribute planning for a handful of registered grid axes.
+  struct BoundarySetRequest {
+    uint64_t seed_offset = 0;
+    int num_buckets = 0;
+    std::vector<uint8_t> column_mask;
+  };
+  /// A registered two-dimensional region pair (numeric column indices).
+  struct RegionPair {
+    int x = 0;
+    int y = 0;
+    friend bool operator==(const RegionPair&, const RegionPair&) = default;
+  };
+
+  /// Plans one boundary set per request for every numeric attribute;
   /// generic batch sources pay ONE streaming pass for the whole request
-  /// list (the deterministic bucketizers ignore seeds and are planned
-  /// once, then copied).
+  /// list (the deterministic bucketizers ignore seeds and are planned once
+  /// per distinct bucket count, then copied).
   void PlanBoundarySets(
-      std::span<const uint64_t> seed_offsets,
+      std::span<const BoundarySetRequest> requests,
       std::span<std::vector<bucketing::BucketBoundaries>* const> out);
   void RunCountingScan();
   /// Resolves + registers a condition; runs a supplemental scan when the
@@ -210,8 +280,15 @@ class MiningEngine {
   /// Resolves + registers an aggregate target; supplemental scan when
   /// already prepared. Returns the target's sum-channel index.
   Result<int> EnsureSumTarget(const std::string& name);
+  /// Resolves + registers a region pair; supplemental scan when already
+  /// prepared. Returns the pair's grid index.
+  Result<int> EnsureRegionPair(const std::string& x_attr,
+                               const std::string& y_attr);
   void AddConditionChannels(int condition_index);
   void AddSumTargetChannels(int target);
+  void AddRegionChannel(int pair_index);
+  /// Mask of numeric columns any registered region pair uses as an axis.
+  std::vector<uint8_t> RegionColumnMask() const;
   const bucketing::BucketSums& SumsFor(int range_attr, int k) const {
     return aggregate_sums_[static_cast<size_t>(range_attr)]
                           [static_cast<size_t>(k)];
@@ -226,14 +303,21 @@ class MiningEngine {
   bool prepared_ = false;
   int64_t counting_scans_ = 0;
   /// Registered generalized conditions (resolved Boolean indices, in
-  /// registration order) and aggregate sum targets (numeric indices).
+  /// registration order), aggregate sum targets (numeric indices), and
+  /// two-dimensional region pairs.
   std::vector<std::vector<int>> conditions_;
   std::vector<int> sum_targets_;
+  std::vector<RegionPair> region_pairs_;
   /// Boundary sets: base per attribute, plus the decorrelated generalized
-  /// / aggregate sets (planned only when the session uses them).
+  /// / aggregate / region sets (planned only when the session uses them;
+  /// the region set is region_grid_buckets buckets per attribute).
   std::vector<bucketing::BucketBoundaries> boundaries_;
   std::vector<bucketing::BucketBoundaries> generalized_boundaries_;
   std::vector<bucketing::BucketBoundaries> aggregate_boundaries_;
+  std::vector<bucketing::BucketBoundaries> region_boundaries_;
+  /// Which columns region_boundaries_ actually planned (a late pair on a
+  /// column outside this mask re-plans the region set).
+  std::vector<uint8_t> region_planned_;
   /// Compacted per-numeric-attribute counts (one v-row per Boolean attr).
   std::vector<bucketing::BucketCounts> counts_;
   /// generalized_counts_[condition][attr], compacted.
@@ -241,6 +325,10 @@ class MiningEngine {
   /// aggregate_sums_[attr][k]: sums of sum_targets_[k] over attr's
   /// aggregate buckets, compacted.
   std::vector<std::vector<bucketing::BucketSums>> aggregate_sums_;
+  /// region_grids_[p]: cell grid of region_pairs_[p] (per-cell u plus one
+  /// v plane per Boolean target; grids keep their empty cells -- the
+  /// region miners handle u == 0 cells directly).
+  std::vector<bucketing::GridBucketCounts> region_grids_;
 };
 
 /// Legacy reference miner over an in-memory relation.
@@ -287,6 +375,16 @@ class Miner {
   Result<MinedAggregateRange> MineMaximumSupportRange(
       const std::string& range_attr, const std::string& target_attr,
       double min_average);
+
+  /// Two-dimensional optimized regions (Section 1.4): builds the
+  /// region_grid_buckets^2 equi-depth grid over (x_attr, y_attr) with a
+  /// private row-at-a-time counting pass (region::BuildGrid) and runs the
+  /// same optimizers as the engine -- the independently-simple reference
+  /// path MiningEngine::MineOptimizedRegion is tested bit-identical
+  /// against.
+  Result<MinedRegion> MineOptimizedRegion(const std::string& x_attr,
+                                          const std::string& y_attr,
+                                          const std::string& target_attr);
 
   const MinerOptions& options() const { return options_; }
 

@@ -1,13 +1,21 @@
-// Differential fuzzing in two layers. First, the O(M) optimizers against
-// the exhaustive oracles, over adversarial bucket-array families where
-// ties and degenerate hulls are common: unit buckets, constant
+// Differential fuzzing in three layers. First, the O(M) optimizers
+// against the exhaustive oracles, over adversarial bucket-array families
+// where ties and degenerate hulls are common: unit buckets, constant
 // confidence, monotone ramps, alternating blocks, plateau-heavy arrays,
 // and wide random mixes. Second, the one-scan MiningEngine against the
 // legacy per-query Miner end to end, over randomized NaN-laden relations
 // (plain, generalized, and aggregate queries) and over disk-resident
 // paged files -- the library's central correctness argument, so it gets
-// its own deep sweep beyond the per-module property tests.
+// its own deep sweep beyond the per-module property tests. Third, the
+// two-dimensional layer: grid channels against the row-at-a-time
+// region::BuildGrid reference (random rectangular grids, NaN rates, and
+// schemas; relations AND paged files, synchronous and double-buffered)
+// and engine region mining against Miner::MineOptimizedRegion bit for
+// bit.
+//
+// Every fuzz stream honors OPTRULES_FUZZ_SEED (see fuzz_seed.h).
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <string>
@@ -17,7 +25,11 @@
 
 #include "common/ratio.h"
 #include "common/rng.h"
+#include "bucketing/parallel_count.h"
+#include "common/thread_pool.h"
 #include "datagen/table_generator.h"
+#include "fuzz_seed.h"
+#include "region/grid.h"
 #include "rules/miner.h"
 #include "rules/naive.h"
 #include "rules/optimized_confidence.h"
@@ -27,6 +39,8 @@
 
 namespace optrules::rules {
 namespace {
+
+using testfuzz::FuzzSeed;
 
 struct Instance {
   std::vector<int64_t> u;
@@ -99,7 +113,7 @@ class DifferentialFuzzTest : public testing::TestWithParam<Family> {};
 
 TEST_P(DifferentialFuzzTest, OptimizedConfidenceAgreesWithOracle) {
   const Family family = GetParam();
-  Rng rng(static_cast<uint64_t>(family) * 1000 + 17);
+  Rng rng(FuzzSeed(static_cast<uint64_t>(family) * 1000 + 17));
   for (int round = 0; round < 120; ++round) {
     const int m = 1 + static_cast<int>(rng.NextBounded(60));
     const Instance instance = MakeInstance(family, m, rng);
@@ -124,7 +138,7 @@ TEST_P(DifferentialFuzzTest, OptimizedConfidenceAgreesWithOracle) {
 
 TEST_P(DifferentialFuzzTest, OptimizedSupportAgreesWithOracle) {
   const Family family = GetParam();
-  Rng rng(static_cast<uint64_t>(family) * 1000 + 71);
+  Rng rng(FuzzSeed(static_cast<uint64_t>(family) * 1000 + 71));
   const Ratio thresholds[] = {Ratio(0, 1),   Ratio(1, 10), Ratio(1, 3),
                               Ratio(1, 2),   Ratio(2, 3),  Ratio(9, 10),
                               Ratio(1, 1)};
@@ -157,7 +171,7 @@ INSTANTIATE_TEST_SUITE_P(
 // optimized-confidence rule at min support S has confidence C, then the
 // optimized-support rule at threshold C has support >= S.
 TEST(DifferentialFuzzTest, DualityBetweenTheTwoOptimizations) {
-  Rng rng(4242);
+  Rng rng(FuzzSeed(4242));
   for (int round = 0; round < 200; ++round) {
     const int m = 2 + static_cast<int>(rng.NextBounded(40));
     const Instance instance = MakeInstance(Family::kRandomWide, m, rng);
@@ -229,7 +243,7 @@ void ExpectIdenticalAggregate(const MinedAggregateRange& a,
 }
 
 TEST(EngineDifferentialFuzzTest, NanLadenRelationsAllQueryKinds) {
-  Rng rng(90210);
+  Rng rng(FuzzSeed(90210));
   for (int round = 0; round < 20; ++round) {
     const storage::Relation relation = RandomNanRelation(rng);
     const storage::Schema& schema = relation.schema();
@@ -296,7 +310,7 @@ TEST(EngineDifferentialFuzzTest, NanLadenPagedFilesMatchInMemoryEngine) {
   // The disk path exercises the page -> column transpose and NaN byte
   // round-tripping; GK boundaries are deterministic so file and memory
   // engines must agree bit for bit.
-  Rng rng(60601);
+  Rng rng(FuzzSeed(60601));
   for (int round = 0; round < 6; ++round) {
     const storage::Relation relation = RandomNanRelation(rng);
     MinerOptions options;
@@ -349,7 +363,7 @@ TEST(EngineDifferentialFuzzTest, WideSchemaRoundTripsThroughPagedFiles) {
   // Randomized wide schemas (hundreds of numeric attributes, i.e. row
   // widths past the old 4096-byte AppendRow staging array) must survive
   // the disk round trip bit for bit, NaNs included.
-  Rng rng(77077);
+  Rng rng(FuzzSeed(77077));
   for (int round = 0; round < 4; ++round) {
     const int num_numeric = 510 + static_cast<int>(rng.NextBounded(300));
     const int num_boolean = 1 + static_cast<int>(rng.NextBounded(8));
@@ -390,6 +404,237 @@ TEST(EngineDifferentialFuzzTest, WideSchemaRoundTripsThroughPagedFiles) {
         ASSERT_EQ(read.BooleanValue(row, b), relation.BooleanValue(row, b))
             << round;
       }
+    }
+    std::remove(path.c_str());
+  }
+}
+
+// ----------------------- two-dimensional grid / region differential ----
+
+void ExpectIdenticalRegionRule(const region::RegionRule& a,
+                               const region::RegionRule& b, int round) {
+  ASSERT_EQ(a.found, b.found) << "round " << round;
+  ASSERT_EQ(a.x1, b.x1) << "round " << round;
+  ASSERT_EQ(a.x2, b.x2) << "round " << round;
+  ASSERT_EQ(a.y1, b.y1) << "round " << round;
+  ASSERT_EQ(a.y2, b.y2) << "round " << round;
+  ASSERT_EQ(a.support_count, b.support_count) << "round " << round;
+  ASSERT_EQ(a.hit_count, b.hit_count) << "round " << round;
+  ASSERT_EQ(a.support, b.support) << "round " << round;
+  ASSERT_EQ(a.confidence, b.confidence) << "round " << round;
+}
+
+void ExpectIdenticalRegion(const Result<MinedRegion>& a_or,
+                           const Result<MinedRegion>& b_or, int round) {
+  ASSERT_TRUE(a_or.ok()) << "round " << round;
+  ASSERT_TRUE(b_or.ok()) << "round " << round;
+  const MinedRegion& a = a_or.value();
+  const MinedRegion& b = b_or.value();
+  ASSERT_EQ(a.found, b.found) << "round " << round;
+  ASSERT_EQ(a.nx, b.nx) << "round " << round;
+  ASSERT_EQ(a.ny, b.ny) << "round " << round;
+  ASSERT_EQ(a.total_tuples, b.total_tuples) << "round " << round;
+  ExpectIdenticalRegionRule(a.confidence_rectangle, b.confidence_rectangle,
+                            round);
+  ExpectIdenticalRegionRule(a.support_rectangle, b.support_rectangle, round);
+  ASSERT_EQ(a.xmonotone_gain.found, b.xmonotone_gain.found)
+      << "round " << round;
+  ASSERT_EQ(a.xmonotone_gain.x_begin, b.xmonotone_gain.x_begin)
+      << "round " << round;
+  ASSERT_EQ(a.xmonotone_gain.column_ranges, b.xmonotone_gain.column_ranges)
+      << "round " << round;
+  ASSERT_EQ(a.xmonotone_gain.support_count, b.xmonotone_gain.support_count)
+      << "round " << round;
+  ASSERT_EQ(a.xmonotone_gain.hit_count, b.xmonotone_gain.hit_count)
+      << "round " << round;
+  ASSERT_EQ(a.xmonotone_gain.gain, b.xmonotone_gain.gain)
+      << "round " << round;
+}
+
+void ExpectGridMatchesReference(const bucketing::GridBucketCounts& cells,
+                                const storage::Relation& relation, int x_attr,
+                                int y_attr,
+                                const bucketing::BucketBoundaries& bx,
+                                const bucketing::BucketBoundaries& by,
+                                int round) {
+  ASSERT_EQ(cells.nx, bx.num_buckets()) << "round " << round;
+  ASSERT_EQ(cells.ny, by.num_buckets()) << "round " << round;
+  ASSERT_EQ(cells.total_tuples, relation.NumRows()) << "round " << round;
+  for (int t = 0; t < cells.num_targets(); ++t) {
+    const region::GridCounts expected = region::BuildGrid(
+        relation.NumericColumn(x_attr), relation.NumericColumn(y_attr),
+        relation.BooleanColumn(t), bx, by);
+    const region::GridCounts actual = region::FromGridBucketCounts(cells, t);
+    ASSERT_EQ(actual.total_tuples(), expected.total_tuples())
+        << "round " << round << " target " << t;
+    for (int y = 0; y < cells.ny; ++y) {
+      for (int x = 0; x < cells.nx; ++x) {
+        ASSERT_EQ(actual.u(x, y), expected.u(x, y))
+            << "round " << round << " cell " << x << "," << y;
+        ASSERT_EQ(actual.v(x, y), expected.v(x, y))
+            << "round " << round << " target " << t << " cell " << x << ","
+            << y;
+      }
+    }
+  }
+}
+
+TEST(RegionDifferentialFuzzTest, GridChannelMatchesBuildGridEverywhere) {
+  // Random NaN-laden schemas and random RECTANGULAR grids (nx != ny,
+  // random cut points, x may equal y), counted through the grid channel
+  // over an in-memory relation, a paged file in both read modes, and a
+  // pooled row-sharded scan -- every path must reproduce the
+  // row-at-a-time BuildGrid reference cell for cell, for every Boolean
+  // target.
+  Rng rng(FuzzSeed(31337));
+  for (int round = 0; round < 8; ++round) {
+    const storage::Relation relation = RandomNanRelation(rng);
+    const storage::Schema& schema = relation.schema();
+    const int x_attr =
+        static_cast<int>(rng.NextBounded(
+            static_cast<uint64_t>(schema.num_numeric())));
+    const int y_attr =
+        static_cast<int>(rng.NextBounded(
+            static_cast<uint64_t>(schema.num_numeric())));
+    const auto random_boundaries = [&rng](int num_buckets) {
+      std::vector<double> cuts;
+      for (int i = 0; i < num_buckets - 1; ++i) {
+        cuts.push_back(rng.NextUniform(0.0, 1e6));
+      }
+      std::sort(cuts.begin(), cuts.end());
+      return bucketing::BucketBoundaries::FromCutPoints(std::move(cuts));
+    };
+    const auto bx =
+        random_boundaries(1 + static_cast<int>(rng.NextBounded(40)));
+    const auto by =
+        random_boundaries(1 + static_cast<int>(rng.NextBounded(40)));
+
+    const auto make_spec = [&] {
+      bucketing::MultiCountSpec spec;
+      spec.num_targets = schema.num_boolean();
+      // A base channel on the x column shares its locate group with the
+      // grid when the boundaries object matches.
+      bucketing::CountChannel base;
+      base.column = x_attr;
+      base.boundaries = &bx;
+      spec.channels.push_back(std::move(base));
+      bucketing::GridChannel grid;
+      grid.x_column = x_attr;
+      grid.x_boundaries = &bx;
+      grid.y_column = y_attr;
+      grid.y_boundaries = &by;
+      spec.grid_channels.push_back(grid);
+      return spec;
+    };
+
+    // In-memory serial.
+    {
+      storage::RelationBatchSource source(&relation, 256);
+      bucketing::MultiCountPlan plan(make_spec());
+      bucketing::ExecuteMultiCount(source, &plan, nullptr);
+      ExpectGridMatchesReference(plan.grid_counts(0), relation, x_attr,
+                                 y_attr, bx, by, round);
+    }
+    // In-memory pooled (row-sharded grid Merge).
+    {
+      ThreadPool pool(3);
+      storage::RelationBatchSource source(&relation, 256);
+      bucketing::MultiCountPlan plan(make_spec());
+      bucketing::ExecuteMultiCount(source, &plan, &pool);
+      EXPECT_EQ(source.scans_started(), 1) << round;
+      ExpectGridMatchesReference(plan.grid_counts(0), relation, x_attr,
+                                 y_attr, bx, by, round);
+    }
+    // Paged file, synchronous and double-buffered.
+    const std::string path = testing::TempDir() + "/fuzz_grid_" +
+                             std::to_string(round) + ".optr";
+    ASSERT_TRUE(storage::WriteRelationToFile(relation, path).ok());
+    for (const storage::PagedReadMode mode :
+         {storage::PagedReadMode::kSynchronous,
+          storage::PagedReadMode::kDoubleBuffered}) {
+      auto source_or = storage::PagedFileBatchSource::Open(
+          path, 128 + static_cast<int64_t>(rng.NextBounded(400)), mode);
+      ASSERT_TRUE(source_or.ok());
+      bucketing::MultiCountPlan plan(make_spec());
+      bucketing::ExecuteMultiCount(*source_or.value(), &plan, nullptr);
+      ExpectGridMatchesReference(plan.grid_counts(0), relation, x_attr,
+                                 y_attr, bx, by, round);
+    }
+    std::remove(path.c_str());
+  }
+}
+
+TEST(RegionDifferentialFuzzTest, EngineRegionsMatchLegacyMiner) {
+  // End to end: random schemas, NaN rates, grid resolutions, and
+  // thresholds; MiningEngine::MineOptimizedRegion (grid channel inside
+  // the one shared scan) against Miner::MineOptimizedRegion (private
+  // BuildGrid pass), bit for bit -- while the same session also answers
+  // the 1-D sweep from the same single scan.
+  Rng rng(FuzzSeed(24601));
+  for (int round = 0; round < 10; ++round) {
+    const storage::Relation relation = RandomNanRelation(rng);
+    const storage::Schema& schema = relation.schema();
+    MinerOptions options;
+    options.num_buckets = 16 + static_cast<int>(rng.NextBounded(60));
+    options.region_grid_buckets = 2 + static_cast<int>(rng.NextBounded(30));
+    options.sample_per_bucket = 8;
+    options.min_support = 0.02 + 0.2 * rng.NextDouble();
+    options.min_confidence = 0.3 + 0.5 * rng.NextDouble();
+    options.seed = 5000 + static_cast<uint64_t>(round);
+
+    const std::string x = schema.NumericName(static_cast<int>(
+        rng.NextBounded(static_cast<uint64_t>(schema.num_numeric()))));
+    const std::string y = schema.NumericName(static_cast<int>(
+        rng.NextBounded(static_cast<uint64_t>(schema.num_numeric()))));
+    const std::string target = schema.BooleanName(static_cast<int>(
+        rng.NextBounded(static_cast<uint64_t>(schema.num_boolean()))));
+
+    Miner legacy(&relation, options);
+    MiningEngine engine(&relation, options);
+    ASSERT_TRUE(engine.RequestRegionPair(x, y).ok());
+    ExpectIdenticalRules(engine.MineAllPairs(), legacy.MineAll(), round);
+    ExpectIdenticalRegion(engine.MineOptimizedRegion(x, y, target),
+                          legacy.MineOptimizedRegion(x, y, target), round);
+    ASSERT_EQ(engine.counting_scans(), 1) << round;
+  }
+}
+
+TEST(RegionDifferentialFuzzTest, PagedEngineRegionsMatchMemoryEngine) {
+  // Out-of-core 2-D mining: the paged-file engine (synchronous AND
+  // double-buffered) must reproduce the in-memory engine's regions bit
+  // for bit (GK boundaries keep planning deterministic across the column
+  // and batch paths).
+  Rng rng(FuzzSeed(11235));
+  for (int round = 0; round < 5; ++round) {
+    const storage::Relation relation = RandomNanRelation(rng);
+    const storage::Schema& schema = relation.schema();
+    MinerOptions options;
+    options.num_buckets = 16 + static_cast<int>(rng.NextBounded(48));
+    options.region_grid_buckets = 2 + static_cast<int>(rng.NextBounded(30));
+    options.bucketizer = Bucketizer::kGkSketch;
+    const std::string x = schema.NumericName(0);
+    const std::string y =
+        schema.NumericName(schema.num_numeric() > 1 ? 1 : 0);
+    const std::string target = schema.BooleanName(0);
+
+    MiningEngine memory_engine(&relation, options);
+    ASSERT_TRUE(memory_engine.RequestRegionPair(x, y).ok());
+    const auto expected = memory_engine.MineOptimizedRegion(x, y, target);
+
+    const std::string path = testing::TempDir() + "/fuzz_region_" +
+                             std::to_string(round) + ".optr";
+    ASSERT_TRUE(storage::WriteRelationToFile(relation, path).ok());
+    for (const storage::PagedReadMode mode :
+         {storage::PagedReadMode::kSynchronous,
+          storage::PagedReadMode::kDoubleBuffered}) {
+      auto source_or = storage::PagedFileBatchSource::Open(
+          path, 128 + static_cast<int64_t>(rng.NextBounded(600)), mode);
+      ASSERT_TRUE(source_or.ok());
+      MiningEngine file_engine(source_or.value().get(), schema, options);
+      ASSERT_TRUE(file_engine.RequestRegionPair(x, y).ok());
+      ExpectIdenticalRegion(file_engine.MineOptimizedRegion(x, y, target),
+                            expected, round);
+      ASSERT_EQ(file_engine.counting_scans(), 1) << round;
     }
     std::remove(path.c_str());
   }

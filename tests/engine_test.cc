@@ -4,6 +4,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -308,6 +309,47 @@ TEST(NanGuardTest, ConditionalAndSumKernelsSkipNanValues) {
   EXPECT_EQ(sums.total_tuples, 5);
 }
 
+TEST(NanGuardTest, InfiniteSumTargetsStayInfiniteUnderCompensation) {
+  // +/-inf is in-domain for sum targets. The Neumaier compensation terms
+  // must not turn an honestly infinite per-bucket sum into NaN
+  // (inf - inf = NaN inside the naive correction).
+  const double inf = std::numeric_limits<double>::infinity();
+  const std::vector<double> values = {1.0, 2.0, 3.0, 15.0};
+  const std::vector<double> target = {10.0, inf, 5.0, -inf};
+  const BucketBoundaries boundaries =
+      BucketBoundaries::FromCutPoints({10.0});
+  const bucketing::BucketSums sums =
+      bucketing::CountBucketSums(values, target, boundaries);
+  EXPECT_TRUE(std::isinf(sums.sum[0]));
+  EXPECT_GT(sums.sum[0], 0.0);
+  EXPECT_TRUE(std::isinf(sums.sum[1]));
+  EXPECT_LT(sums.sum[1], 0.0);
+
+  // Same through a plan sum channel (the engine path).
+  storage::Relation relation(storage::Schema::Synthetic(2, 1));
+  for (size_t row = 0; row < values.size(); ++row) {
+    const double numeric[] = {values[row], target[row]};
+    const uint8_t boolean[] = {0};
+    relation.AppendRow(numeric, boolean);
+  }
+  bucketing::MultiCountSpec spec;
+  spec.num_targets = 1;
+  bucketing::CountChannel channel;
+  channel.column = 0;
+  channel.boundaries = &boundaries;
+  channel.count_targets = false;
+  channel.sum_targets = {1};
+  spec.channels.push_back(std::move(channel));
+  bucketing::MultiCountPlan plan(std::move(spec));
+  storage::RelationBatchSource source(&relation, 2);
+  bucketing::ExecuteMultiCount(source, &plan, nullptr);
+  const bucketing::BucketSums plan_sums = plan.TakeBucketSums(0, 0);
+  EXPECT_TRUE(std::isinf(plan_sums.sum[0]));
+  EXPECT_GT(plan_sums.sum[0], 0.0);
+  EXPECT_TRUE(std::isinf(plan_sums.sum[1]));
+  EXPECT_LT(plan_sums.sum[1], 0.0);
+}
+
 // ------------------------------------------------------ mining engine ----
 
 void ExpectSameRules(const std::vector<MinedRule>& a,
@@ -609,11 +651,13 @@ TEST(MiningEngineTest, AllQueryKindsTogetherCostOneCountingScan) {
   MinerOptions options;
   options.num_buckets = 80;
   MiningEngine engine(&source, relation.schema(), options);
-  // Register the session's generalized conditions and aggregate targets
-  // up front so the shared scan accumulates every channel at once.
+  // Register the session's generalized conditions, aggregate targets, and
+  // region pairs up front so the shared scan accumulates every channel --
+  // 1-D and 2-D grid alike -- at once.
   ASSERT_TRUE(engine.RequestGeneralized({"bool0"}).ok());
   ASSERT_TRUE(engine.RequestGeneralized({"bool0", "bool1"}).ok());
   ASSERT_TRUE(engine.RequestAverageTarget("num1").ok());
+  ASSERT_TRUE(engine.RequestRegionPair("num0", "num1").ok());
 
   engine.MineAllPairs();
   ASSERT_TRUE(engine.MineGeneralized("num0", {"bool0"}, "bool1").ok());
@@ -621,6 +665,8 @@ TEST(MiningEngineTest, AllQueryKindsTogetherCostOneCountingScan) {
       engine.MineGeneralized("num2", {"bool0", "bool1"}, "bool0").ok());
   ASSERT_TRUE(engine.MineMaximumAverageRange("num0", "num1", 0.1).ok());
   ASSERT_TRUE(engine.MineMaximumSupportRange("num2", "num1", 4e5).ok());
+  ASSERT_TRUE(engine.MineOptimizedRegion("num0", "num1", "bool0").ok());
+  ASSERT_TRUE(engine.MineOptimizedRegion("num0", "num1", "bool1").ok());
   const ThresholdSet sweep[] = {{0.01, 0.4}, {0.10, 0.6}};
   engine.MineAllPairs(sweep);
 
@@ -639,6 +685,13 @@ TEST(MiningEngineTest, AllQueryKindsTogetherCostOneCountingScan) {
   EXPECT_EQ(engine.counting_scans(), 2);
   ASSERT_TRUE(engine.MineGeneralized("num0", {"bool1"}, "bool1").ok());
   EXPECT_EQ(engine.counting_scans(), 2);  // cached from here on
+
+  // Same contract for a late region pair: one supplemental scan on first
+  // use, then cached for every Boolean target.
+  ASSERT_TRUE(engine.MineOptimizedRegion("num1", "num2", "bool0").ok());
+  EXPECT_EQ(engine.counting_scans(), 3);
+  ASSERT_TRUE(engine.MineOptimizedRegion("num1", "num2", "bool1").ok());
+  EXPECT_EQ(engine.counting_scans(), 3);
 }
 
 TEST(MiningEngineTest, PooledEngineMatchesSerialForGeneralizedRules) {
@@ -656,6 +709,196 @@ TEST(MiningEngineTest, PooledEngineMatchesSerialForGeneralizedRules) {
   ExpectSameRuleResults(pooled.MineGeneralized("num1", {"bool1"}, "bool0"),
                         serial.MineGeneralized("num1", {"bool1"}, "bool0"));
   EXPECT_EQ(pooled.counting_scans(), 1);
+}
+
+// ------------------------------------------------ region (2-D) parity ----
+
+void ExpectSameRegionRule(const region::RegionRule& a,
+                          const region::RegionRule& b) {
+  EXPECT_EQ(a.found, b.found);
+  EXPECT_EQ(a.x1, b.x1);
+  EXPECT_EQ(a.x2, b.x2);
+  EXPECT_EQ(a.y1, b.y1);
+  EXPECT_EQ(a.y2, b.y2);
+  EXPECT_EQ(a.support_count, b.support_count);
+  EXPECT_EQ(a.hit_count, b.hit_count);
+  EXPECT_EQ(a.support, b.support);
+  EXPECT_EQ(a.confidence, b.confidence);
+}
+
+void ExpectSameRegion(const Result<MinedRegion>& a_or,
+                      const Result<MinedRegion>& b_or) {
+  ASSERT_TRUE(a_or.ok());
+  ASSERT_TRUE(b_or.ok());
+  const MinedRegion& a = a_or.value();
+  const MinedRegion& b = b_or.value();
+  EXPECT_EQ(a.found, b.found);
+  EXPECT_EQ(a.nx, b.nx);
+  EXPECT_EQ(a.ny, b.ny);
+  EXPECT_EQ(a.total_tuples, b.total_tuples);
+  {
+    SCOPED_TRACE("confidence rectangle");
+    ExpectSameRegionRule(a.confidence_rectangle, b.confidence_rectangle);
+  }
+  {
+    SCOPED_TRACE("support rectangle");
+    ExpectSameRegionRule(a.support_rectangle, b.support_rectangle);
+  }
+  EXPECT_EQ(a.xmonotone_gain.found, b.xmonotone_gain.found);
+  EXPECT_EQ(a.xmonotone_gain.x_begin, b.xmonotone_gain.x_begin);
+  EXPECT_EQ(a.xmonotone_gain.column_ranges, b.xmonotone_gain.column_ranges);
+  EXPECT_EQ(a.xmonotone_gain.support_count, b.xmonotone_gain.support_count);
+  EXPECT_EQ(a.xmonotone_gain.hit_count, b.xmonotone_gain.hit_count);
+  EXPECT_EQ(a.xmonotone_gain.support, b.xmonotone_gain.support);
+  EXPECT_EQ(a.xmonotone_gain.confidence, b.xmonotone_gain.confidence);
+  EXPECT_EQ(a.xmonotone_gain.gain, b.xmonotone_gain.gain);
+}
+
+TEST(MiningEngineTest, RegionsMatchLegacyOnBankAndRetail) {
+  {
+    datagen::BankConfig config;
+    config.num_customers = 25000;
+    Rng rng(33);
+    const storage::Relation bank =
+        datagen::GenerateBankCustomers(config, rng);
+    MinerOptions options;
+    options.num_buckets = 100;
+    options.region_grid_buckets = 24;
+    Miner legacy(&bank, options);
+    MiningEngine engine(&bank, options);
+    ExpectSameRegion(engine.MineOptimizedRegion("Age", "Balance", "CardLoan"),
+                     legacy.MineOptimizedRegion("Age", "Balance", "CardLoan"));
+    EXPECT_EQ(engine.counting_scans(), 1);
+  }
+  {
+    datagen::RetailConfig config;
+    config.num_transactions = 25000;
+    Rng rng(34);
+    const storage::Relation retail = datagen::GenerateRetail(config, rng);
+    const storage::Schema& schema = retail.schema();
+    MinerOptions options;
+    options.num_buckets = 80;
+    options.region_grid_buckets = 16;
+    Miner legacy(&retail, options);
+    MiningEngine engine(&retail, options);
+    const std::string x = schema.NumericName(0);
+    const std::string y = schema.NumericName(1);
+    const std::string target = schema.BooleanName(0);
+    ExpectSameRegion(engine.MineOptimizedRegion(x, y, target),
+                     legacy.MineOptimizedRegion(x, y, target));
+  }
+}
+
+TEST(MiningEngineTest, FileEngineRegionsMatchLegacyWithGk) {
+  // Out-of-core 2-D mining: the disk-resident engine's grid channel must
+  // reproduce the in-memory legacy BuildGrid path bit for bit, in both
+  // paged read modes (GK boundaries keep the planning deterministic).
+  datagen::BankConfig config;
+  config.num_customers = 20000;
+  Rng rng(35);
+  const storage::Relation bank = datagen::GenerateBankCustomers(config, rng);
+  const std::string path = testing::TempDir() + "/region_engine.optr";
+  ASSERT_TRUE(storage::WriteRelationToFile(bank, path).ok());
+
+  MinerOptions options;
+  options.num_buckets = 60;
+  options.region_grid_buckets = 20;
+  options.bucketizer = Bucketizer::kGkSketch;
+  Miner legacy(&bank, options);
+  const auto expected =
+      legacy.MineOptimizedRegion("Age", "Balance", "CardLoan");
+
+  for (const storage::PagedReadMode mode :
+       {storage::PagedReadMode::kSynchronous,
+        storage::PagedReadMode::kDoubleBuffered}) {
+    auto source_or = storage::PagedFileBatchSource::Open(path, 512, mode);
+    ASSERT_TRUE(source_or.ok());
+    MiningEngine engine(source_or.value().get(), bank.schema(), options);
+    ASSERT_TRUE(engine.RequestRegionPair("Age", "Balance").ok());
+    ExpectSameRegion(engine.MineOptimizedRegion("Age", "Balance", "CardLoan"),
+                     expected);
+    // Any Boolean target of a registered pair answers from the cache.
+    ASSERT_TRUE(
+        engine.MineOptimizedRegion("Age", "Balance", "AutoWithdrawal").ok());
+    EXPECT_EQ(engine.counting_scans(), 1);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(MiningEngineTest, LateRegionPairOnUnplannedColumnMatchesLegacy) {
+  // The region boundary set is planned only for registered axis columns.
+  // A pair registered AFTER the scan that uses a brand-new column must
+  // re-plan that set (supplemental scan) and still match the legacy path
+  // bit for bit on both the old and the new pair.
+  const storage::Relation relation = SmallRelation(15017, 38);
+  MinerOptions options;
+  options.num_buckets = 70;
+  options.region_grid_buckets = 12;
+  Miner legacy(&relation, options);
+  MiningEngine engine(&relation, options);
+  ASSERT_TRUE(engine.RequestRegionPair("num0", "num1").ok());
+  ExpectSameRegion(engine.MineOptimizedRegion("num0", "num1", "bool0"),
+                   legacy.MineOptimizedRegion("num0", "num1", "bool0"));
+  EXPECT_EQ(engine.counting_scans(), 1);
+  // num2 was outside the planned mask; the late pair re-plans + rescans.
+  ExpectSameRegion(engine.MineOptimizedRegion("num2", "num0", "bool1"),
+                   legacy.MineOptimizedRegion("num2", "num0", "bool1"));
+  EXPECT_EQ(engine.counting_scans(), 2);
+  // And the originally-planned pair still answers from the cache.
+  ExpectSameRegion(engine.MineOptimizedRegion("num0", "num1", "bool1"),
+                   legacy.MineOptimizedRegion("num0", "num1", "bool1"));
+  EXPECT_EQ(engine.counting_scans(), 2);
+}
+
+TEST(MiningEngineTest, PooledRegionQueriesMatchSerialAcrossShardCounts) {
+  // The grid channels of row-sharded partial plans must Merge
+  // bit-identically to the serial scan, for 1/2/8-way pools.
+  const storage::Relation relation = SmallRelation(30011, 36);
+  MinerOptions options;
+  options.num_buckets = 90;
+  options.region_grid_buckets = 18;
+  MiningEngine serial(&relation, options);
+  ASSERT_TRUE(serial.RequestRegionPair("num0", "num2").ok());
+  const auto expected = serial.MineOptimizedRegion("num0", "num2", "bool0");
+  for (const int pool_size : {1, 2, 8}) {
+    ThreadPool pool(pool_size);
+    MiningEngine pooled(&relation, options, &pool);
+    ASSERT_TRUE(pooled.RequestRegionPair("num0", "num2").ok());
+    SCOPED_TRACE(pool_size);
+    ExpectSameRegion(pooled.MineOptimizedRegion("num0", "num2", "bool0"),
+                     expected);
+    EXPECT_EQ(pooled.counting_scans(), 1);
+  }
+}
+
+TEST(MiningEngineTest, AverageRangeBitIdenticalAcrossPoolSizes) {
+  // Regression for the ROADMAP sums item: Neumaier-compensated per-bucket
+  // sums over a pool-size-independent shard layout make aggregate mining
+  // bit-identical at ANY pool size (1, 3, and 7 here) -- including the
+  // mined average, which is a double.
+  const storage::Relation relation = SmallRelation(50021, 37);
+  MinerOptions options;
+  options.num_buckets = 120;
+  std::vector<Result<MinedAggregateRange>> results;
+  for (const int pool_size : {1, 3, 7}) {
+    ThreadPool pool(pool_size);
+    MiningEngine engine(&relation, options, &pool);
+    ASSERT_TRUE(engine.RequestAverageTarget("num1").ok());
+    results.push_back(
+        engine.MineMaximumAverageRange("num0", "num1", 0.05));
+    ASSERT_TRUE(results.back().ok());
+    ASSERT_TRUE(results.back().value().found);
+  }
+  for (size_t i = 1; i < results.size(); ++i) {
+    SCOPED_TRACE(i);
+    const MinedAggregateRange& a = results[0].value();
+    const MinedAggregateRange& b = results[i].value();
+    EXPECT_EQ(a.range_lo, b.range_lo);
+    EXPECT_EQ(a.range_hi, b.range_hi);
+    EXPECT_EQ(a.support_count, b.support_count);
+    EXPECT_EQ(a.support, b.support);
+    EXPECT_EQ(a.average, b.average);  // exact double equality
+  }
 }
 
 // ---------------------------------------- NaN-laden end-to-end parity ----

@@ -1,0 +1,35 @@
+// OPTRULES_FUZZ_SEED support for the fuzz test layers.
+//
+// When the env var is set (a decimal uint64), every fuzz stream mixes it
+// into its per-test default seed, so CI can rotate seeds run to run while
+// any recorded value reproduces a failure deterministically:
+//   OPTRULES_FUZZ_SEED=12345 ctest -L fuzz
+// Unset, the defaults keep the suite fully deterministic.
+
+#ifndef OPTRULES_TESTS_FUZZ_SEED_H_
+#define OPTRULES_TESTS_FUZZ_SEED_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+namespace optrules::testfuzz {
+
+inline uint64_t FuzzSeed(uint64_t default_seed) {
+  const char* env = std::getenv("OPTRULES_FUZZ_SEED");
+  if (env == nullptr || env[0] == '\0') return default_seed;
+  const uint64_t base = std::strtoull(env, nullptr, 10);
+  // Mix rather than replace so distinct fuzz streams inside one binary
+  // stay decorrelated under a single env seed.
+  const uint64_t seed = base ^ (default_seed * 0x9e3779b97f4a7c15ULL);
+  std::fprintf(stderr,
+               "OPTRULES_FUZZ_SEED=%llu -> stream seed %llu (default %llu)\n",
+               static_cast<unsigned long long>(base),
+               static_cast<unsigned long long>(seed),
+               static_cast<unsigned long long>(default_seed));
+  return seed;
+}
+
+}  // namespace optrules::testfuzz
+
+#endif  // OPTRULES_TESTS_FUZZ_SEED_H_

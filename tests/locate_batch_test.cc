@@ -15,6 +15,7 @@
 #include "bucketing/boundaries.h"
 #include "bucketing/equiwidth.h"
 #include "common/rng.h"
+#include "fuzz_seed.h"
 
 namespace optrules::bucketing {
 namespace {
@@ -168,7 +169,7 @@ TEST(LocateBatchTest, DegenerateAffineLayoutsRejectFastPath) {
 }
 
 TEST(LocateBatchTest, FuzzRandomCutSets) {
-  Rng rng(1234);
+  Rng rng(testfuzz::FuzzSeed(1234));
   for (int round = 0; round < 50; ++round) {
     const int num_cuts = static_cast<int>(rng.NextInt(0, 40));
     std::vector<double> cuts;
@@ -189,7 +190,7 @@ TEST(LocateBatchTest, FuzzAffineCutSets) {
   // Affine layouts with arbitrary (non-power-of-two) steps: detection may
   // or may not fire depending on rounding, but the answers must stay
   // exact in both cases.
-  Rng rng(4321);
+  Rng rng(testfuzz::FuzzSeed(4321));
   for (int round = 0; round < 50; ++round) {
     const int num_cuts = static_cast<int>(rng.NextInt(2, 200));
     const double first = rng.NextUniform(-1e3, 1e3);

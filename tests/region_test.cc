@@ -1,14 +1,24 @@
 // Tests for two-dimensional region mining (grid, rectangles, x-monotone
-// regions), including brute-force oracles on small grids.
+// regions), including brute-force oracles on small grids, the grid NaN
+// policy, and the MultiCountPlan grid channel against the row-at-a-time
+// BuildGrid reference.
 
+#include <cmath>
+#include <tuple>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "bucketing/counting.h"
+#include "bucketing/parallel_count.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "region/grid.h"
 #include "region/rectangle.h"
 #include "region/xmonotone.h"
+#include "storage/columnar_batch.h"
+#include "storage/relation.h"
+#include "storage/tuple_stream.h"
 
 namespace optrules::region {
 namespace {
@@ -60,6 +70,240 @@ TEST(GridTest, BuildGridCountsCells) {
   EXPECT_EQ(grid.u(1, 1), 2);  // (9,9) and (5,9)
   EXPECT_EQ(grid.v(1, 1), 2);
   EXPECT_EQ(grid.u(0, 1), 0);
+}
+
+TEST(GridTest, NanCoordinatesLandInNoCellButCountTowardN) {
+  // Mirrors the 1-D NaN policy tests: a NaN in EITHER grid axis sends the
+  // row to no cell, but the row still counts toward the support
+  // denominator N.
+  const double nan = std::nan("");
+  const std::vector<double> xs = {1.0, nan, 9.0, nan, 5.0};
+  const std::vector<double> ys = {1.0, 1.0, nan, nan, 9.0};
+  const std::vector<uint8_t> target = {1, 1, 1, 1, 1};
+  const auto bx = bucketing::BucketBoundaries::FromCutPoints({4.0});
+  const auto by = bucketing::BucketBoundaries::FromCutPoints({4.0});
+  const GridCounts grid = BuildGrid(xs, ys, target, bx, by);
+  EXPECT_EQ(grid.total_tuples(), 5);  // NaN rows still count toward N
+  int64_t cell_total = 0;
+  for (int y = 0; y < grid.ny(); ++y) {
+    for (int x = 0; x < grid.nx(); ++x) cell_total += grid.u(x, y);
+  }
+  EXPECT_EQ(cell_total, 2);  // only the two fully-located rows
+  EXPECT_EQ(grid.u(0, 0), 1);  // (1,1)
+  EXPECT_EQ(grid.u(1, 1), 1);  // (5,9)
+}
+
+TEST(GridTest, AllNanAxisLeavesEmptyGridWithFullN) {
+  const double nan = std::nan("");
+  const std::vector<double> xs = {nan, nan, nan};
+  const std::vector<double> ys = {1.0, 2.0, 3.0};
+  const std::vector<uint8_t> target = {1, 0, 1};
+  const auto bounds = bucketing::BucketBoundaries::FromCutPoints({2.0});
+  const GridCounts grid = BuildGrid(xs, ys, target, bounds, bounds);
+  EXPECT_EQ(grid.total_tuples(), 3);
+  for (int y = 0; y < grid.ny(); ++y) {
+    for (int x = 0; x < grid.nx(); ++x) {
+      EXPECT_EQ(grid.u(x, y), 0);
+      EXPECT_EQ(grid.v(x, y), 0);
+    }
+  }
+}
+
+TEST(GridTest, FromCellsAdoptsEngineArrays) {
+  // The engine bridge: a GridBucketCounts target plane becomes a
+  // GridCounts with N possibly exceeding the cell total (NaN rows).
+  bucketing::GridBucketCounts cells;
+  cells.nx = 2;
+  cells.ny = 3;
+  cells.u = {1, 2, 3, 4, 5, 6};
+  cells.v = {{0, 1, 1, 2, 2, 3}, {1, 1, 1, 1, 1, 1}};
+  cells.total_tuples = 25;
+  const GridCounts grid = FromGridBucketCounts(cells, 0);
+  EXPECT_EQ(grid.nx(), 2);
+  EXPECT_EQ(grid.ny(), 3);
+  EXPECT_EQ(grid.total_tuples(), 25);
+  EXPECT_EQ(grid.u(1, 2), 6);  // row-major by y
+  EXPECT_EQ(grid.v(1, 2), 3);
+  const GridCounts plane1 = FromGridBucketCounts(cells, 1);
+  EXPECT_EQ(plane1.v(0, 0), 1);
+}
+
+// ------------------------------------------------------- grid channel ----
+
+/// Kernel-level grid-channel cases mirroring the 1-D NaN policy tests: the
+/// engine-side MultiCountPlan grid scatter must agree cell-for-cell with
+/// the row-at-a-time BuildGrid reference, NaNs included.
+TEST(GridChannelTest, PlanGridMatchesBuildGridWithNans) {
+  const double nan = std::nan("");
+  storage::Relation relation(storage::Schema::Synthetic(2, 2));
+  Rng rng(404);
+  for (int row = 0; row < 3000; ++row) {
+    const double x = rng.NextBernoulli(0.15) ? nan : rng.NextUniform(0, 100);
+    const double y = rng.NextBernoulli(0.10) ? nan : rng.NextUniform(0, 100);
+    const std::vector<double> numeric = {x, y};
+    const std::vector<uint8_t> boolean = {
+        rng.NextBernoulli(0.4) ? uint8_t{1} : uint8_t{0},
+        rng.NextBernoulli(0.7) ? uint8_t{1} : uint8_t{0}};
+    relation.AppendRow(numeric, boolean);
+  }
+  // A deliberately rectangular grid: 4 x-buckets by 7 y-buckets.
+  const auto bx =
+      bucketing::BucketBoundaries::FromCutPoints({25.0, 50.0, 75.0});
+  const auto by = bucketing::BucketBoundaries::FromCutPoints(
+      {10.0, 30.0, 45.0, 60.0, 80.0, 95.0});
+
+  bucketing::MultiCountSpec spec;
+  spec.num_targets = 2;
+  bucketing::GridChannel channel;
+  channel.x_column = 0;
+  channel.x_boundaries = &bx;
+  channel.y_column = 1;
+  channel.y_boundaries = &by;
+  spec.grid_channels.push_back(channel);
+  bucketing::MultiCountPlan plan(std::move(spec));
+  storage::RelationBatchSource source(&relation, /*batch_rows=*/256);
+  auto reader = source.CreateReader();
+  storage::ColumnarBatch batch;
+  while (reader->Next(&batch)) plan.Accumulate(batch);
+
+  const bucketing::GridBucketCounts& cells = plan.grid_counts(0);
+  ASSERT_EQ(cells.nx, 4);
+  ASSERT_EQ(cells.ny, 7);
+  EXPECT_EQ(cells.total_tuples, relation.NumRows());
+  for (int t = 0; t < 2; ++t) {
+    const GridCounts expected =
+        BuildGrid(relation.NumericColumn(0), relation.NumericColumn(1),
+                  relation.BooleanColumn(t), bx, by);
+    const GridCounts actual = FromGridBucketCounts(cells, t);
+    ASSERT_EQ(actual.total_tuples(), expected.total_tuples()) << t;
+    for (int y = 0; y < 7; ++y) {
+      for (int x = 0; x < 4; ++x) {
+        ASSERT_EQ(actual.u(x, y), expected.u(x, y)) << x << "," << y;
+        ASSERT_EQ(actual.v(x, y), expected.v(x, y)) << x << "," << y;
+      }
+    }
+  }
+}
+
+TEST(GridChannelTest, GridSharesLocatePassWithBaseChannelsAndMerges) {
+  // A grid channel over columns that 1-D channels already bucket must
+  // reuse their located indices (same boundaries objects), and partial
+  // plans must merge grids exactly.
+  storage::Relation relation(storage::Schema::Synthetic(2, 1));
+  Rng rng(405);
+  for (int row = 0; row < 1000; ++row) {
+    const std::vector<double> numeric = {rng.NextUniform(0, 10),
+                                         rng.NextUniform(0, 10)};
+    const std::vector<uint8_t> boolean = {
+        rng.NextBernoulli(0.5) ? uint8_t{1} : uint8_t{0}};
+    relation.AppendRow(numeric, boolean);
+  }
+  const auto bx = bucketing::BucketBoundaries::FromCutPoints({3.0, 6.0});
+  const auto by = bucketing::BucketBoundaries::FromCutPoints({5.0});
+
+  const auto make_spec = [&] {
+    bucketing::MultiCountSpec spec;
+    spec.num_targets = 1;
+    for (int a = 0; a < 2; ++a) {
+      bucketing::CountChannel channel;
+      channel.column = a;
+      channel.boundaries = a == 0 ? &bx : &by;
+      spec.channels.push_back(std::move(channel));
+    }
+    bucketing::GridChannel grid;
+    grid.x_column = 0;
+    grid.x_boundaries = &bx;
+    grid.y_column = 1;
+    grid.y_boundaries = &by;
+    spec.grid_channels.push_back(grid);
+    return spec;
+  };
+
+  bucketing::MultiCountPlan serial(make_spec());
+  storage::RelationBatchSource source(&relation, 128);
+  auto reader = source.CreateReader();
+  storage::ColumnarBatch batch;
+  while (reader->Next(&batch)) serial.Accumulate(batch);
+
+  // Two half-table partials merged in order must equal the serial scan.
+  bucketing::MultiCountPlan merged(make_spec());
+  bucketing::MultiCountPlan second(make_spec());
+  const int64_t half = relation.NumRows() / 2;
+  for (auto [plan, begin, end] :
+       {std::tuple{&merged, int64_t{0}, half},
+        std::tuple{&second, half, relation.NumRows()}}) {
+    auto range_reader = source.CreateRangeReader(begin, end);
+    while (range_reader->Next(&batch)) plan->Accumulate(batch);
+  }
+  merged.Merge(second);
+
+  const bucketing::GridBucketCounts& a = serial.grid_counts(0);
+  const bucketing::GridBucketCounts& b = merged.grid_counts(0);
+  EXPECT_EQ(a.u, b.u);
+  EXPECT_EQ(a.v, b.v);
+  EXPECT_EQ(a.total_tuples, b.total_tuples);
+  // And the grid agrees with the BuildGrid reference.
+  const GridCounts expected =
+      BuildGrid(relation.NumericColumn(0), relation.NumericColumn(1),
+                relation.BooleanColumn(0), bx, by);
+  const GridCounts actual = FromGridBucketCounts(a, 0);
+  for (int y = 0; y < 2; ++y) {
+    for (int x = 0; x < 3; ++x) {
+      EXPECT_EQ(actual.u(x, y), expected.u(x, y));
+      EXPECT_EQ(actual.v(x, y), expected.v(x, y));
+    }
+  }
+}
+
+TEST(GridChannelTest, ChannelParallelScheduleMatchesSerial) {
+  // TupleStreamBatchSource has no range readers, so the pooled executor
+  // fans channels -- grid channels included -- out per batch; grid cells
+  // must come out bit-identical to the serial scan.
+  storage::Relation relation(storage::Schema::Synthetic(2, 2));
+  Rng rng(406);
+  for (int row = 0; row < 4000; ++row) {
+    const std::vector<double> numeric = {rng.NextUniform(0, 50),
+                                         rng.NextUniform(0, 50)};
+    const std::vector<uint8_t> boolean = {
+        rng.NextBernoulli(0.3) ? uint8_t{1} : uint8_t{0},
+        rng.NextBernoulli(0.6) ? uint8_t{1} : uint8_t{0}};
+    relation.AppendRow(numeric, boolean);
+  }
+  const auto bx = bucketing::BucketBoundaries::FromCutPoints({20.0, 35.0});
+  const auto by = bucketing::BucketBoundaries::FromCutPoints({10.0, 40.0});
+  const auto make_spec = [&] {
+    bucketing::MultiCountSpec spec;
+    spec.num_targets = 2;
+    bucketing::CountChannel base;
+    base.column = 0;
+    base.boundaries = &bx;
+    spec.channels.push_back(std::move(base));
+    bucketing::GridChannel grid;
+    grid.x_column = 0;
+    grid.x_boundaries = &bx;
+    grid.y_column = 1;
+    grid.y_boundaries = &by;
+    spec.grid_channels.push_back(grid);
+    return spec;
+  };
+
+  storage::RelationTupleStream serial_stream(&relation);
+  storage::TupleStreamBatchSource serial_source(&serial_stream, 512);
+  bucketing::MultiCountPlan serial(make_spec());
+  bucketing::ExecuteMultiCount(serial_source, &serial, nullptr);
+
+  storage::RelationTupleStream stream(&relation);
+  storage::TupleStreamBatchSource source(&stream, 512);
+  ThreadPool pool(4);
+  bucketing::MultiCountPlan parallel(make_spec());
+  bucketing::ExecuteMultiCount(source, &parallel, &pool);
+  EXPECT_EQ(source.scans_started(), 1);
+
+  EXPECT_EQ(parallel.grid_counts(0).u, serial.grid_counts(0).u);
+  EXPECT_EQ(parallel.grid_counts(0).v, serial.grid_counts(0).v);
+  EXPECT_EQ(parallel.grid_counts(0).total_tuples,
+            serial.grid_counts(0).total_tuples);
+  EXPECT_EQ(parallel.counts(0).u, serial.counts(0).u);
 }
 
 // -------------------------------------------------------- rectangles ----
