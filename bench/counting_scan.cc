@@ -16,6 +16,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -25,6 +26,8 @@
 #include "bucketing/parallel_count.h"
 #include "common/timer.h"
 #include "datagen/table_generator.h"
+#include "dist/coordinator.h"
+#include "dist/partitioned_table.h"
 #include "storage/columnar_batch.h"
 #include "storage/paged_file.h"
 
@@ -278,6 +281,67 @@ int main() {
     json.Add(key + "_sync_seconds", mode_seconds[0]);
     json.Add(key + "_seconds", mode_seconds[1]);
   }
+
+  // ---- partitioned / distributed scan: worker scaling curve ------------
+  // The same a8/c3 channel load sharded over K=4 partition PagedFiles and
+  // driven through the DistributedScanCoordinator at 1/2/4 in-process
+  // workers (each partition scanned by the serial reference chain, so the
+  // worker count changes wall clock only). Counts must reproduce the
+  // in-memory checksum at every worker count: partitioning is
+  // permutation of rows and the merge is exact.
+  optrules::bench::PrintHeader(
+      "Partitioned scan (K=4 partitions, in-process workers)");
+  const std::string dist_dir =
+      std::string(tmpdir != nullptr ? tmpdir : "/tmp") +
+      "/counting_scan_bench_parts";
+  std::filesystem::remove_all(dist_dir);
+  constexpr int kPartitions = 4;
+  {
+    optrules::dist::PartitionOptions partition_options;
+    partition_options.num_partitions = kPartitions;
+    auto table = optrules::dist::PartitionPagedFile(
+        path, optrules::storage::Schema::Synthetic(num_numeric, num_boolean),
+        dist_dir, partition_options);
+    OPTRULES_CHECK(table.ok());
+    const MultiCountSpec spec = MakeSpec(base, generalized, num_numeric, 3,
+                                         num_boolean, /*with_sums=*/true);
+    std::printf("%8s %12s %14s\n", "workers", "time (s)", "speedup");
+    optrules::bench::PrintRule(40);
+    double one_worker = 0.0;
+    for (const int workers : {1, 2, kPartitions}) {
+      optrules::dist::DistributedScanOptions scan_options;
+      scan_options.max_workers = workers;
+      double best = 0.0;
+      int64_t dist_checksum = 0;
+      for (int rep = 0; rep < kReps; ++rep) {
+        for (int p = 0; p < kPartitions; ++p) {
+          EvictFromPageCache(table.value().PartitionPath(p));
+        }
+        optrules::dist::DistributedScanCoordinator coordinator(
+            &table.value(), scan_options);
+        MultiCountPlan plan(spec);
+        optrules::WallTimer timer;
+        OPTRULES_CHECK(coordinator.Execute(&plan).ok());
+        const double seconds = timer.ElapsedSeconds();
+        if (rep == 0 || seconds < best) best = seconds;
+        if (rep == 0) {
+          dist_checksum = 0;
+          for (int ch = 0; ch < plan.num_channels(); ++ch) {
+            const auto& counts = plan.counts(ch);
+            for (size_t b = 0; b < counts.u.size(); ++b) {
+              dist_checksum += counts.u[b] * static_cast<int64_t>(b + 1);
+            }
+          }
+        }
+      }
+      OPTRULES_CHECK(dist_checksum == a8_c3_checksum);  // sharded == memory
+      if (workers == 1) one_worker = best;
+      std::printf("%8d %12.3f %13.2fx\n", workers, best,
+                  one_worker / best);
+      json.Add("dist_k4_w" + std::to_string(workers) + "_seconds", best);
+    }
+  }
+  std::filesystem::remove_all(dist_dir);
   std::remove(path.c_str());
   return 0;
 }

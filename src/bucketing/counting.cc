@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
+
+#include "common/bytes.h"
 
 namespace optrules::bucketing {
 
@@ -568,6 +571,125 @@ BucketSums MultiCountPlan::TakeBucketSums(int channel, int k) {
     sums.max_value = counts.max_value;
   }
   return sums;
+}
+
+namespace {
+
+// ---- partial-plan wire payload (AppendPartialState / LoadPartialState) ----
+//
+// Layout: a magic + version word, then every accumulator array in spec
+// order with a 64-bit element-count prefix (common/bytes.h primitives).
+// Doubles are bit-copied, so a deserialized partial merges bit-identically
+// to the in-process one. The encoding is native-endian: the distributed
+// layer ships partials between processes of one architecture (pipes on one
+// machine, or a homogeneous cluster), and the header word doubles as an
+// endianness check.
+
+constexpr uint32_t kPartialStateMagic = 0x4d435053;  // "MCPS"
+constexpr uint32_t kPartialStateVersion = 1;
+
+using bytes::AppendArray;
+using bytes::AppendScalar;
+
+}  // namespace
+
+void MultiCountPlan::AppendPartialState(std::vector<uint8_t>* out) const {
+  OPTRULES_CHECK(out != nullptr);
+  AppendScalar(out, kPartialStateMagic);
+  AppendScalar(out, kPartialStateVersion);
+  AppendScalar<uint32_t>(out, static_cast<uint32_t>(counts_.size()));
+  AppendScalar<uint32_t>(out, static_cast<uint32_t>(grids_.size()));
+  for (size_t ci = 0; ci < counts_.size(); ++ci) {
+    const BucketCounts& counts = counts_[ci];
+    AppendScalar<int64_t>(out, counts.total_tuples);
+    AppendArray(out, counts.u);
+    AppendScalar<uint32_t>(out, static_cast<uint32_t>(counts.v.size()));
+    for (const std::vector<int64_t>& v : counts.v) AppendArray(out, v);
+    AppendArray(out, counts.min_value);
+    AppendArray(out, counts.max_value);
+    AppendScalar<uint32_t>(out, static_cast<uint32_t>(sums_[ci].size()));
+    for (size_t k = 0; k < sums_[ci].size(); ++k) {
+      AppendArray(out, sums_[ci][k]);
+      AppendArray(out, sum_comp_[ci][k]);
+    }
+  }
+  for (const GridBucketCounts& grid : grids_) {
+    AppendScalar<int32_t>(out, grid.nx);
+    AppendScalar<int32_t>(out, grid.ny);
+    AppendScalar<int64_t>(out, grid.total_tuples);
+    AppendArray(out, grid.u);
+    AppendScalar<uint32_t>(out, static_cast<uint32_t>(grid.v.size()));
+    for (const std::vector<int64_t>& v : grid.v) AppendArray(out, v);
+  }
+}
+
+Status MultiCountPlan::LoadPartialState(std::span<const uint8_t> bytes) {
+  bytes::ByteReader reader(bytes);
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  OPTRULES_RETURN_IF_ERROR(reader.ReadScalar(&magic));
+  OPTRULES_RETURN_IF_ERROR(reader.ReadScalar(&version));
+  if (magic != kPartialStateMagic) {
+    return Status::Corruption("bad partial plan state magic");
+  }
+  if (version != kPartialStateVersion) {
+    return Status::Corruption("unsupported partial plan state version");
+  }
+  uint32_t num_channels = 0;
+  uint32_t num_grids = 0;
+  OPTRULES_RETURN_IF_ERROR(reader.ReadScalar(&num_channels));
+  OPTRULES_RETURN_IF_ERROR(reader.ReadScalar(&num_grids));
+  if (num_channels != counts_.size() || num_grids != grids_.size()) {
+    return Status::Corruption("partial plan state shape mismatch");
+  }
+  for (size_t ci = 0; ci < counts_.size(); ++ci) {
+    BucketCounts& counts = counts_[ci];
+    const auto buckets = static_cast<size_t>(counts.num_buckets());
+    OPTRULES_RETURN_IF_ERROR(reader.ReadScalar(&counts.total_tuples));
+    OPTRULES_RETURN_IF_ERROR(reader.ReadArrayExact(&counts.u, buckets));
+    uint32_t num_targets = 0;
+    OPTRULES_RETURN_IF_ERROR(reader.ReadScalar(&num_targets));
+    if (num_targets != counts.v.size()) {
+      return Status::Corruption("partial plan state shape mismatch");
+    }
+    for (std::vector<int64_t>& v : counts.v) {
+      OPTRULES_RETURN_IF_ERROR(reader.ReadArrayExact(&v, buckets));
+    }
+    OPTRULES_RETURN_IF_ERROR(reader.ReadArrayExact(&counts.min_value, buckets));
+    OPTRULES_RETURN_IF_ERROR(reader.ReadArrayExact(&counts.max_value, buckets));
+    uint32_t num_sums = 0;
+    OPTRULES_RETURN_IF_ERROR(reader.ReadScalar(&num_sums));
+    if (num_sums != sums_[ci].size()) {
+      return Status::Corruption("partial plan state shape mismatch");
+    }
+    for (size_t k = 0; k < sums_[ci].size(); ++k) {
+      OPTRULES_RETURN_IF_ERROR(reader.ReadArrayExact(&sums_[ci][k], buckets));
+      OPTRULES_RETURN_IF_ERROR(reader.ReadArrayExact(&sum_comp_[ci][k], buckets));
+    }
+  }
+  for (GridBucketCounts& grid : grids_) {
+    int32_t nx = 0;
+    int32_t ny = 0;
+    OPTRULES_RETURN_IF_ERROR(reader.ReadScalar(&nx));
+    OPTRULES_RETURN_IF_ERROR(reader.ReadScalar(&ny));
+    if (nx != grid.nx || ny != grid.ny) {
+      return Status::Corruption("partial plan state shape mismatch");
+    }
+    OPTRULES_RETURN_IF_ERROR(reader.ReadScalar(&grid.total_tuples));
+    OPTRULES_RETURN_IF_ERROR(reader.ReadArrayExact(&grid.u, grid.u.size()));
+    uint32_t num_targets = 0;
+    OPTRULES_RETURN_IF_ERROR(reader.ReadScalar(&num_targets));
+    if (num_targets != grid.v.size()) {
+      return Status::Corruption("partial plan state shape mismatch");
+    }
+    for (std::vector<int64_t>& v : grid.v) {
+      OPTRULES_RETURN_IF_ERROR(reader.ReadArrayExact(&v, v.size()));
+    }
+  }
+  if (!reader.AtEnd()) {
+    return Status::Corruption("trailing bytes in partial plan state");
+  }
+  return Status::Ok();
 }
 
 BucketSums CountBucketSums(std::span<const double> values,

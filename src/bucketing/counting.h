@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "bucketing/boundaries.h"
+#include "common/status.h"
 #include "storage/columnar_batch.h"
 #include "storage/tuple_stream.h"
 
@@ -249,6 +250,21 @@ class MultiCountPlan {
 
   /// The spec the plan was built from (shared with sharded partials).
   const MultiCountSpec& spec() const { return spec_; }
+
+  /// Appends the plan's accumulated state -- per-channel counts, grids,
+  /// and the compensated (sum, compensation) pairs, bit-exact -- to `out`
+  /// in a stable NATIVE-endian layout. This is the partial-plan payload
+  /// of the distributed wire protocol: a worker serializes its partial,
+  /// the coordinator loads it into a same-spec plan and Merge()s, so
+  /// remote partials merge exactly like in-process ones (doubles travel
+  /// as bit patterns; the format assumes one architecture across
+  /// processes, and the magic word doubles as an endianness check).
+  void AppendPartialState(std::vector<uint8_t>* out) const;
+
+  /// Restores state written by AppendPartialState into this plan,
+  /// overwriting its accumulators. The plan must have been built from the
+  /// same spec (shape is validated); fails on truncation or mismatch.
+  Status LoadPartialState(std::span<const uint8_t> bytes);
 
  private:
   /// One distinct (column, boundaries) pair shared by >= 1 channels, with

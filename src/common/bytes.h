@@ -1,0 +1,156 @@
+// Byte-buffer serialization primitives shared by the partial-plan state
+// encoding (bucketing::MultiCountPlan) and the distributed wire protocol
+// (dist/wire): native-endian scalar/array appends over std::vector<uint8_t>
+// and a bounds-checked reader whose length checks are written against the
+// REMAINING byte count, so hostile 64-bit length prefixes can neither
+// overflow the cursor arithmetic nor trigger multi-GB allocations.
+
+#ifndef OPTRULES_COMMON_BYTES_H_
+#define OPTRULES_COMMON_BYTES_H_
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/status.h"
+
+namespace optrules::bytes {
+
+/// Incremental 64-bit FNV-1a. One definition serves every durable hash
+/// in the repo (the manifest schema-integrity hash and the kHash
+/// partition router both feed persisted formats, so their constants must
+/// never diverge).
+class Fnv1a {
+ public:
+  explicit Fnv1a(uint64_t seed = 0) : hash_(kOffsetBasis ^ seed) {}
+
+  void Mix(uint8_t byte) {
+    hash_ ^= byte;
+    hash_ *= kPrime;
+  }
+  void Mix(std::span<const uint8_t> data) {
+    for (const uint8_t byte : data) Mix(byte);
+  }
+
+  uint64_t digest() const { return hash_; }
+
+ private:
+  static constexpr uint64_t kOffsetBasis = 0xcbf29ce484222325ull;
+  static constexpr uint64_t kPrime = 0x100000001b3ull;
+
+  uint64_t hash_;
+};
+
+/// Appends one trivially-copyable scalar in native byte order.
+template <typename T>
+void AppendScalar(std::vector<uint8_t>* out, T value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const size_t offset = out->size();
+  out->resize(offset + sizeof(T));
+  std::memcpy(out->data() + offset, &value, sizeof(T));
+}
+
+/// Appends a u64 element count followed by the raw array bytes.
+template <typename T>
+void AppendArray(std::vector<uint8_t>* out, const std::vector<T>& values) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  AppendScalar<uint64_t>(out, static_cast<uint64_t>(values.size()));
+  const size_t offset = out->size();
+  out->resize(offset + values.size() * sizeof(T));
+  if (!values.empty()) {
+    std::memcpy(out->data() + offset, values.data(),
+                values.size() * sizeof(T));
+  }
+}
+
+/// Appends a u64 byte count followed by the string bytes.
+inline void AppendString(std::vector<uint8_t>* out,
+                         const std::string& value) {
+  AppendScalar<uint64_t>(out, static_cast<uint64_t>(value.size()));
+  out->insert(out->end(), value.begin(), value.end());
+}
+
+/// Bounds-checked cursor over an encoded buffer. Every read validates
+/// against the remaining bytes before touching memory and fails with
+/// Corruption instead of crashing on truncated or hostile input.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const uint8_t> bytes) : bytes_(bytes) {}
+
+  template <typename T>
+  Status ReadScalar(T* value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (sizeof(T) > remaining()) {
+      return Status::Corruption("truncated byte stream");
+    }
+    std::memcpy(value, bytes_.data() + offset_, sizeof(T));
+    offset_ += sizeof(T);
+    return Status::Ok();
+  }
+
+  /// Reads a count-prefixed array; the count is validated against the
+  /// remaining bytes BEFORE any allocation.
+  template <typename T>
+  Status ReadArray(std::vector<T>* values) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    uint64_t count = 0;
+    OPTRULES_RETURN_IF_ERROR(ReadScalar(&count));
+    if (count > remaining() / sizeof(T)) {
+      return Status::Corruption("truncated byte stream");
+    }
+    const size_t byte_count = static_cast<size_t>(count) * sizeof(T);
+    values->resize(static_cast<size_t>(count));
+    if (count != 0) {
+      std::memcpy(values->data(), bytes_.data() + offset_, byte_count);
+    }
+    offset_ += byte_count;
+    return Status::Ok();
+  }
+
+  /// ReadArray variant for shapes fixed by out-of-band context: any other
+  /// element count is Corruption.
+  template <typename T>
+  Status ReadArrayExact(std::vector<T>* values, size_t expected_size) {
+    uint64_t count = 0;
+    OPTRULES_RETURN_IF_ERROR(ReadScalar(&count));
+    if (count != expected_size) {
+      return Status::Corruption("byte stream shape mismatch");
+    }
+    const size_t byte_count = static_cast<size_t>(count) * sizeof(T);
+    if (byte_count > remaining()) {
+      return Status::Corruption("truncated byte stream");
+    }
+    values->resize(static_cast<size_t>(count));
+    if (count != 0) {
+      std::memcpy(values->data(), bytes_.data() + offset_, byte_count);
+    }
+    offset_ += byte_count;
+    return Status::Ok();
+  }
+
+  Status ReadString(std::string* value) {
+    uint64_t size = 0;
+    OPTRULES_RETURN_IF_ERROR(ReadScalar(&size));
+    if (size > remaining()) {
+      return Status::Corruption("truncated byte stream");
+    }
+    value->assign(reinterpret_cast<const char*>(bytes_.data()) + offset_,
+                  static_cast<size_t>(size));
+    offset_ += static_cast<size_t>(size);
+    return Status::Ok();
+  }
+
+  size_t remaining() const { return bytes_.size() - offset_; }
+  bool AtEnd() const { return offset_ == bytes_.size(); }
+
+ private:
+  std::span<const uint8_t> bytes_;
+  size_t offset_ = 0;
+};
+
+}  // namespace optrules::bytes
+
+#endif  // OPTRULES_COMMON_BYTES_H_

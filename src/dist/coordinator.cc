@@ -1,0 +1,102 @@
+#include "dist/coordinator.h"
+
+#include <algorithm>
+#include <optional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace optrules::dist {
+
+DistributedScanCoordinator::DistributedScanCoordinator(
+    const PartitionedTable* table, DistributedScanOptions options)
+    : table_(table), options_(std::move(options)) {
+  OPTRULES_CHECK(table != nullptr);
+  OPTRULES_CHECK(options_.max_workers >= 0);
+  OPTRULES_CHECK(options_.batch_rows >= 1);
+}
+
+Status DistributedScanCoordinator::Execute(bucketing::MultiCountPlan* plan) {
+  OPTRULES_CHECK(plan != nullptr);
+  const int partitions = table_->num_partitions();
+  const int workers =
+      options_.max_workers == 0
+          ? partitions
+          : std::min(options_.max_workers, partitions);
+
+  // One worker per concurrent slot, built on first use and kept for the
+  // coordinator's lifetime (supplemental scans reuse the same daemons).
+  // Subprocess spawns can fail (missing daemon binary), so the roster is
+  // completed before any scan starts.
+  if (static_cast<int>(roster_.size()) != workers) {
+    roster_.clear();
+    roster_.reserve(static_cast<size_t>(workers));
+    for (int w = 0; w < workers; ++w) {
+      if (options_.worker_kind == WorkerKind::kInProcess) {
+        roster_.push_back(std::make_unique<InProcessScanWorker>());
+      } else {
+        Result<std::unique_ptr<SubprocessScanWorker>> worker =
+            SubprocessScanWorker::Spawn(
+                ResolveWorkerdPath(options_.workerd_path));
+        if (!worker.ok()) {
+          roster_.clear();
+          return worker.status();
+        }
+        roster_.push_back(std::move(worker).value());
+      }
+    }
+  }
+
+  PartitionScanSpec scan_spec;
+  scan_spec.spec = &plan->spec();
+  scan_spec.batch_rows = options_.batch_rows;
+  scan_spec.read_mode = options_.read_mode;
+
+  // Static partition assignment: worker w serves partitions w, w+W, ...
+  // sequentially. Each slot stores its partial (or error) by partition
+  // index; nothing is merged until every scan finished, so the merge
+  // below runs strictly in partition order no matter which worker
+  // finished first.
+  std::vector<std::optional<bucketing::MultiCountPlan>> partials(
+      static_cast<size_t>(partitions));
+  std::vector<Status> errors(static_cast<size_t>(partitions));
+  const auto serve = [&](int w) {
+    for (int p = w; p < partitions; p += workers) {
+      Result<bucketing::MultiCountPlan> partial =
+          roster_[static_cast<size_t>(w)]->CountPartition(
+              table_->PartitionPath(p), scan_spec);
+      if (partial.ok()) {
+        partials[static_cast<size_t>(p)].emplace(
+            std::move(partial).value());
+      } else {
+        errors[static_cast<size_t>(p)] = partial.status();
+      }
+    }
+  };
+  if (workers == 1) {
+    serve(0);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<size_t>(workers));
+    for (int w = 0; w < workers; ++w) threads.emplace_back(serve, w);
+    for (std::thread& thread : threads) thread.join();
+  }
+
+  for (int p = 0; p < partitions; ++p) {
+    if (!errors[static_cast<size_t>(p)].ok()) {
+      // A failed scan may have left a daemon in an unknown pipe state;
+      // drop the roster so the next Execute starts from fresh workers.
+      roster_.clear();
+      return errors[static_cast<size_t>(p)];
+    }
+  }
+  // Deterministic merge: fixed partition order, independent of worker
+  // scheduling.
+  for (int p = 0; p < partitions; ++p) {
+    plan->Merge(*partials[static_cast<size_t>(p)]);
+  }
+  partition_scans_ += partitions;
+  return Status::Ok();
+}
+
+}  // namespace optrules::dist

@@ -1,0 +1,78 @@
+// DistributedScanCoordinator: one logical counting scan over a
+// PartitionedTable.
+//
+// The MultiCountPlan::Merge contract already makes partial counts exact;
+// what the coordinator adds is the fan-out and a DETERMINISTIC merge: it
+// assigns partitions to workers (in-process threads or optrules_workerd
+// subprocesses), collects one partial plan per partition, and merges them
+// in fixed partition order 0..K-1. Because each worker partial is the
+// serial reference chain over its partition, the merged result is a pure
+// function of (table, spec): bit-identical counts/grids/min/max for any
+// worker count or worker kind, and bit-identical Neumaier-compensated
+// sums for any worker count (the merged sums can differ from a single
+// unpartitioned file's serial chain only in the last ulp, exactly as the
+// row-sharded pool schedule already documents).
+
+#ifndef OPTRULES_DIST_COORDINATOR_H_
+#define OPTRULES_DIST_COORDINATOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "bucketing/counting.h"
+#include "common/status.h"
+#include "dist/partitioned_table.h"
+#include "dist/scan_worker.h"
+
+namespace optrules::dist {
+
+/// Which worker implementation the coordinator fans out to.
+enum class WorkerKind {
+  kInProcess,   ///< threads in this process, one partition scan each
+  kSubprocess,  ///< forked optrules_workerd daemons over pipes
+};
+
+/// Fan-out parameters of a distributed scan.
+struct DistributedScanOptions {
+  WorkerKind worker_kind = WorkerKind::kInProcess;
+  /// Concurrent workers; 0 = one per partition. Worker w serves
+  /// partitions w, w + W, w + 2W, ... sequentially. The worker count
+  /// never changes results, only wall clock.
+  int max_workers = 0;
+  int64_t batch_rows = storage::kDefaultBatchRows;
+  storage::PagedReadMode read_mode =
+      storage::PagedReadMode::kDoubleBuffered;
+  /// optrules_workerd binary for kSubprocess; empty = $OPTRULES_WORKERD.
+  std::string workerd_path;
+};
+
+/// Drives one MultiCountSpec over every partition of a table.
+class DistributedScanCoordinator {
+ public:
+  DistributedScanCoordinator(const PartitionedTable* table,
+                             DistributedScanOptions options);
+
+  /// Fans plan->spec() out to the workers (one scan per partition, at
+  /// most max_workers concurrent) and merges the partial plans into
+  /// *plan in partition order. On error the plan's accumulated state is
+  /// unspecified; the first failing partition's status (lowest partition
+  /// index) is returned.
+  Status Execute(bucketing::MultiCountPlan* plan);
+
+  /// Physical partition scans executed across all Execute() calls.
+  int64_t partition_scans() const { return partition_scans_; }
+
+ private:
+  const PartitionedTable* table_;
+  DistributedScanOptions options_;
+  int64_t partition_scans_ = 0;
+  /// Worker roster, built on first Execute() and reused by later scans
+  /// (a subprocess daemon serves many requests over one pipe, so a
+  /// session with supplemental scans does not re-fork per scan). Dropped
+  /// after a failed Execute so the next call starts from fresh workers.
+  std::vector<std::unique_ptr<ScanWorker>> roster_;
+};
+
+}  // namespace optrules::dist
+
+#endif  // OPTRULES_DIST_COORDINATOR_H_

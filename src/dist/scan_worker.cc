@@ -1,0 +1,157 @@
+#include "dist/scan_worker.h"
+
+#include <csignal>
+#include <cstdlib>
+#include <utility>
+
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "bucketing/parallel_count.h"
+#include "dist/wire.h"
+
+namespace optrules::dist {
+
+namespace {
+
+/// A worker that died between frames turns coordinator writes into EPIPE;
+/// without this, the default SIGPIPE disposition would kill the whole
+/// coordinator process instead of surfacing an IoError status.
+void IgnoreSigpipeOnce() {
+  static const bool ignored = [] {
+    std::signal(SIGPIPE, SIG_IGN);
+    return true;
+  }();
+  (void)ignored;
+}
+
+}  // namespace
+
+Result<bucketing::MultiCountPlan> InProcessScanWorker::CountPartition(
+    const std::string& partition_path, const PartitionScanSpec& spec) {
+  OPTRULES_CHECK(spec.spec != nullptr);
+  Result<std::unique_ptr<storage::PagedFileBatchSource>> source =
+      storage::PagedFileBatchSource::Open(partition_path, spec.batch_rows,
+                                          spec.read_mode);
+  if (!source.ok()) return source.status();
+  bucketing::MultiCountPlan plan(*spec.spec);
+  // Serial reference chain (see the header): partials are a pure function
+  // of (partition file, spec) -- parallelism lives across partitions.
+  bucketing::ExecuteMultiCount(*source.value(), &plan, nullptr);
+  return plan;
+}
+
+Result<std::unique_ptr<SubprocessScanWorker>> SubprocessScanWorker::Spawn(
+    const std::string& workerd_path) {
+  if (workerd_path.empty()) {
+    return Status::InvalidArgument(
+        "no worker daemon binary configured (set DistributedScanOptions::"
+        "workerd_path or the OPTRULES_WORKERD environment variable)");
+  }
+  IgnoreSigpipeOnce();
+  int to_child[2];    // coordinator writes -> child stdin
+  int from_child[2];  // child stdout -> coordinator reads
+  // O_CLOEXEC matters with several workers: without it, worker B's child
+  // would inherit worker A's pipe fds, keeping A's stdout write end open
+  // after A dies -- the coordinator's ReadFrame would then hang forever
+  // instead of reporting the dead daemon. dup2 onto stdio below clears
+  // the flag for the child's own two ends.
+  if (::pipe2(to_child, O_CLOEXEC) != 0) {
+    return Status::IoError("pipe2() failed");
+  }
+  if (::pipe2(from_child, O_CLOEXEC) != 0) {
+    ::close(to_child[0]);
+    ::close(to_child[1]);
+    return Status::IoError("pipe2() failed");
+  }
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    for (const int fd : {to_child[0], to_child[1], from_child[0],
+                         from_child[1]}) {
+      ::close(fd);
+    }
+    return Status::IoError("fork() failed");
+  }
+  if (pid == 0) {
+    // Child: wire the pipe pair to stdin/stdout and become the daemon.
+    // If the host process runs with stdio fds closed, pipe2 may have
+    // handed out fd 0/1 -- dup2 onto the same fd would be a no-op that
+    // LEAVES O_CLOEXEC set, so raise the ends above stderr first. The
+    // original (O_CLOEXEC) pipe fds close themselves at exec; the raised
+    // duplicates alias the daemon's own stdio pipes and are harmless.
+    int in_fd = to_child[0];
+    int out_fd = from_child[1];
+    while (in_fd >= 0 && in_fd <= STDERR_FILENO) in_fd = ::dup(in_fd);
+    while (out_fd >= 0 && out_fd <= STDERR_FILENO) out_fd = ::dup(out_fd);
+    if (in_fd < 0 || out_fd < 0 ||
+        ::dup2(in_fd, STDIN_FILENO) < 0 ||
+        ::dup2(out_fd, STDOUT_FILENO) < 0) {
+      ::_exit(127);
+    }
+    ::execl(workerd_path.c_str(), "optrules_workerd",
+            static_cast<char*>(nullptr));
+    // exec failed; the parent sees EOF on its next read and reports it.
+    ::_exit(127);
+  }
+  ::close(to_child[0]);
+  ::close(from_child[1]);
+  std::unique_ptr<SubprocessScanWorker> worker(new SubprocessScanWorker());
+  worker->to_child_ = to_child[1];
+  worker->from_child_ = from_child[0];
+  worker->pid_ = pid;
+  return worker;
+}
+
+SubprocessScanWorker::~SubprocessScanWorker() {
+  if (to_child_ >= 0) {
+    // Best-effort shutdown frame; closing the pipe alone also ends the
+    // worker loop (clean EOF).
+    const uint8_t shutdown[] = {static_cast<uint8_t>(FrameKind::kShutdown)};
+    (void)WriteFrame(to_child_, shutdown);
+    ::close(to_child_);
+  }
+  if (from_child_ >= 0) ::close(from_child_);
+  if (pid_ > 0) {
+    int wstatus = 0;
+    (void)::waitpid(pid_, &wstatus, 0);
+  }
+}
+
+Result<bucketing::MultiCountPlan> SubprocessScanWorker::CountPartition(
+    const std::string& partition_path, const PartitionScanSpec& spec) {
+  OPTRULES_CHECK(spec.spec != nullptr);
+  std::vector<uint8_t> request;
+  EncodeScanRequest(partition_path, spec.batch_rows, spec.read_mode,
+                    *spec.spec, &request);
+  OPTRULES_RETURN_IF_ERROR(WriteFrame(to_child_, request));
+  std::vector<uint8_t> reply;
+  const Status read = ReadFrame(from_child_, &reply);
+  if (read.code() == StatusCode::kNotFound) {
+    return Status::IoError("worker daemon exited before replying: " +
+                           partition_path);
+  }
+  OPTRULES_RETURN_IF_ERROR(read);
+  if (reply.empty()) {
+    return Status::Corruption("empty reply frame from worker");
+  }
+  const FrameKind kind = static_cast<FrameKind>(reply[0]);
+  if (kind == FrameKind::kError) return DecodeErrorFrame(reply);
+  if (kind != FrameKind::kScanResult) {
+    return Status::Corruption("unexpected reply frame kind from worker");
+  }
+  // Rebuild the partial locally from the coordinator-side spec, then load
+  // the worker's bit-exact accumulator state into it.
+  bucketing::MultiCountPlan plan(*spec.spec);
+  OPTRULES_RETURN_IF_ERROR(plan.LoadPartialState(
+      std::span<const uint8_t>(reply).subspan(1)));
+  return plan;
+}
+
+std::string ResolveWorkerdPath(const std::string& configured) {
+  if (!configured.empty()) return configured;
+  const char* env = std::getenv("OPTRULES_WORKERD");
+  return env != nullptr ? env : "";
+}
+
+}  // namespace optrules::dist

@@ -1,0 +1,101 @@
+// ScanWorker: one executor of partition counting scans.
+//
+// The coordinator hands each worker a (partition file, MultiCountSpec)
+// pair and gets back a partial MultiCountPlan. Two implementations:
+//
+//  * InProcessScanWorker -- opens the partition with its own
+//    (double-buffered by default) reader and runs ExecuteMultiCount right
+//    here. The per-machine path.
+//  * SubprocessScanWorker -- forks an optrules_workerd process and speaks
+//    the length-prefixed pipe protocol (spec + boundaries down, serialized
+//    partial plan state up), so multi-process / multi-machine execution is
+//    exercised for real; the returned partials are bit-identical to the
+//    in-process worker's because both run the serial reference chain over
+//    the same bytes and doubles travel as bit patterns.
+//
+// Worker partials are always the serial (pool == nullptr) chain: a pure
+// function of (partition file, spec), which is what makes the
+// coordinator's fixed-order merge deterministic for ANY worker count and
+// worker kind. Parallelism comes from scanning partitions concurrently.
+
+#ifndef OPTRULES_DIST_SCAN_WORKER_H_
+#define OPTRULES_DIST_SCAN_WORKER_H_
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "bucketing/counting.h"
+#include "common/status.h"
+#include "storage/columnar_batch.h"
+
+namespace optrules::dist {
+
+/// Reader parameters + the spec one partition scan runs.
+struct PartitionScanSpec {
+  /// Spec to count; must outlive the call (the returned plan was built
+  /// from it, boundary pointers included).
+  const bucketing::MultiCountSpec* spec = nullptr;
+  int64_t batch_rows = storage::kDefaultBatchRows;
+  storage::PagedReadMode read_mode =
+      storage::PagedReadMode::kDoubleBuffered;
+};
+
+/// Executes counting scans over single partition files.
+class ScanWorker {
+ public:
+  virtual ~ScanWorker() = default;
+
+  /// Counts `spec` over the partition PagedFile at `partition_path` and
+  /// returns the partial plan (serial reference chain; see file comment).
+  virtual Result<bucketing::MultiCountPlan> CountPartition(
+      const std::string& partition_path, const PartitionScanSpec& spec) = 0;
+};
+
+/// Same-process worker with its own double-buffered partition reader.
+class InProcessScanWorker final : public ScanWorker {
+ public:
+  Result<bucketing::MultiCountPlan> CountPartition(
+      const std::string& partition_path,
+      const PartitionScanSpec& spec) override;
+};
+
+/// Worker backed by a forked optrules_workerd subprocess. One worker can
+/// serve many CountPartition calls sequentially over its pipe pair; the
+/// destructor sends a shutdown frame and reaps the child.
+class SubprocessScanWorker final : public ScanWorker {
+ public:
+  /// Forks + execs `workerd_path` (an optrules_workerd binary) with a pipe
+  /// pair on its stdin/stdout. Side effect, once per process: sets the
+  /// SIGPIPE disposition to SIG_IGN so a daemon dying between frames
+  /// surfaces as an IoError on the coordinator's next write instead of
+  /// killing the embedding process -- hosts that install their own
+  /// SIGPIPE handling should do so AFTER the first Spawn.
+  static Result<std::unique_ptr<SubprocessScanWorker>> Spawn(
+      const std::string& workerd_path);
+
+  ~SubprocessScanWorker() override;
+  SubprocessScanWorker(const SubprocessScanWorker&) = delete;
+  SubprocessScanWorker& operator=(const SubprocessScanWorker&) = delete;
+
+  Result<bucketing::MultiCountPlan> CountPartition(
+      const std::string& partition_path,
+      const PartitionScanSpec& spec) override;
+
+ private:
+  SubprocessScanWorker() = default;
+
+  int to_child_ = -1;    ///< write end: requests
+  int from_child_ = -1;  ///< read end: replies
+  pid_t pid_ = -1;
+};
+
+/// Resolves the worker daemon binary: `configured` when non-empty, else
+/// the OPTRULES_WORKERD environment variable, else "" (caller errors).
+std::string ResolveWorkerdPath(const std::string& configured);
+
+}  // namespace optrules::dist
+
+#endif  // OPTRULES_DIST_SCAN_WORKER_H_

@@ -1,0 +1,81 @@
+// Wire protocol of the distributed scan subsystem.
+//
+// Workers and the coordinator exchange length-prefixed frames over pipes:
+//   [u32 payload length][payload]
+// where payload[0] is a FrameKind byte. A scan request carries the
+// partition file path, the reader parameters, and a self-contained
+// MultiCountSpec (boundary cut points serialized by value, so the worker
+// reconstructs bit-identical BucketBoundaries); a scan result carries the
+// MultiCountPlan partial state (bucketing::AppendPartialState). All
+// multi-byte values are native-endian: the protocol connects processes of
+// one architecture (local pipes, or a homogeneous cluster).
+
+#ifndef OPTRULES_DIST_WIRE_H_
+#define OPTRULES_DIST_WIRE_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bucketing/counting.h"
+#include "common/status.h"
+#include "storage/columnar_batch.h"
+
+namespace optrules::dist {
+
+/// First payload byte of every frame.
+enum class FrameKind : uint8_t {
+  kScanRequest = 1,  ///< coordinator -> worker: count one partition
+  kScanResult = 2,   ///< worker -> coordinator: partial plan state
+  kError = 3,        ///< worker -> coordinator: status code + message
+  kShutdown = 4,     ///< coordinator -> worker: exit the loop
+};
+
+/// Writes one [length][payload] frame to `fd`, handling short writes.
+Status WriteFrame(int fd, std::span<const uint8_t> payload);
+
+/// Reads the next frame into *payload. A clean EOF at a frame boundary
+/// returns NotFound (the peer closed the pipe); EOF mid-frame is
+/// Corruption.
+Status ReadFrame(int fd, std::vector<uint8_t>* payload);
+
+/// A decoded scan request. `spec` points into `boundaries`, so the struct
+/// is move-only and must outlive any plan built from the spec.
+struct ScanRequestFrame {
+  ScanRequestFrame() = default;
+  ScanRequestFrame(ScanRequestFrame&&) = default;
+  ScanRequestFrame& operator=(ScanRequestFrame&&) = default;
+  ScanRequestFrame(const ScanRequestFrame&) = delete;
+  ScanRequestFrame& operator=(const ScanRequestFrame&) = delete;
+
+  std::string partition_path;
+  int64_t batch_rows = storage::kDefaultBatchRows;
+  storage::PagedReadMode read_mode =
+      storage::PagedReadMode::kDoubleBuffered;
+  /// Deserialized boundary objects, in first-use order; the spec's channel
+  /// pointers reference these (stable across moves of the frame).
+  std::vector<bucketing::BucketBoundaries> boundaries;
+  bucketing::MultiCountSpec spec;
+};
+
+/// Encodes a kScanRequest payload. Every distinct BucketBoundaries
+/// pointer across channels and grid axes is serialized once (by cut
+/// points) and referenced by index, mirroring the plan's locate groups.
+void EncodeScanRequest(const std::string& partition_path, int64_t batch_rows,
+                       storage::PagedReadMode read_mode,
+                       const bucketing::MultiCountSpec& spec,
+                       std::vector<uint8_t>* out);
+
+/// Decodes a kScanRequest payload (payload[0] must be kScanRequest).
+Result<ScanRequestFrame> DecodeScanRequest(std::span<const uint8_t> payload);
+
+/// Encodes a kError payload from a status.
+void EncodeErrorFrame(const Status& status, std::vector<uint8_t>* out);
+
+/// Decodes a kError payload back into the status it carried.
+Status DecodeErrorFrame(std::span<const uint8_t> payload);
+
+}  // namespace optrules::dist
+
+#endif  // OPTRULES_DIST_WIRE_H_

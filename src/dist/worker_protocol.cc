@@ -1,0 +1,148 @@
+#include "dist/worker_protocol.h"
+
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "bucketing/counting.h"
+#include "bucketing/parallel_count.h"
+#include "dist/wire.h"
+#include "storage/columnar_batch.h"
+
+namespace optrules::dist {
+
+namespace {
+
+/// Conservative upper estimate of the partial-state reply size: the
+/// dominant per-bucket / per-cell arrays (u, v planes, min/max, sum +
+/// compensation pairs) at 8 bytes per slot, plus a small per-array
+/// overhead. Used to refuse specs whose reply could never fit a frame
+/// BEFORE any accumulator is allocated.
+uint64_t EstimateReplyBytes(const bucketing::MultiCountSpec& spec) {
+  uint64_t bytes = 64;
+  for (const bucketing::CountChannel& channel : spec.channels) {
+    const auto buckets =
+        static_cast<uint64_t>(channel.boundaries->num_buckets());
+    const uint64_t rows = 3 +
+                          (channel.count_targets
+                               ? static_cast<uint64_t>(spec.num_targets)
+                               : 0) +
+                          2 * channel.sum_targets.size();
+    bytes += 64 + rows * (8 + buckets * 8);
+  }
+  for (const bucketing::GridChannel& channel : spec.grid_channels) {
+    const uint64_t cells =
+        static_cast<uint64_t>(channel.x_boundaries->num_buckets()) *
+        static_cast<uint64_t>(channel.y_boundaries->num_buckets());
+    bytes += 64 + (1 + static_cast<uint64_t>(spec.num_targets)) *
+                      (8 + cells * 8);
+  }
+  return bytes;
+}
+
+/// Frames are capped at 1 GiB (wire.cc); leave headroom for overhead.
+constexpr uint64_t kMaxReplyBytes = 1ull << 29;  // 512 MiB
+
+/// Validates every column reference of a decoded spec against the opened
+/// partition's attribute counts. ExecuteMultiCount enforces the same
+/// invariants with CHECKs, but a daemon must answer a corrupt or
+/// mis-addressed frame with an error frame, not a process abort.
+Status ValidateSpecForSource(const bucketing::MultiCountSpec& spec,
+                             int num_numeric, int num_boolean) {
+  const auto numeric_ok = [num_numeric](int column) {
+    return 0 <= column && column < num_numeric;
+  };
+  if (spec.num_targets != num_boolean) {
+    return Status::InvalidArgument(
+        "scan request num_targets does not match partition");
+  }
+  for (const bucketing::CountChannel& channel : spec.channels) {
+    if (!numeric_ok(channel.column)) {
+      return Status::InvalidArgument("channel column out of range");
+    }
+    for (const int target : channel.sum_targets) {
+      if (!numeric_ok(target)) {
+        return Status::InvalidArgument("sum target column out of range");
+      }
+    }
+  }
+  for (const bucketing::GridChannel& channel : spec.grid_channels) {
+    if (!numeric_ok(channel.x_column) || !numeric_ok(channel.y_column)) {
+      return Status::InvalidArgument("grid axis column out of range");
+    }
+    if (static_cast<int64_t>(channel.x_boundaries->num_buckets()) *
+            channel.y_boundaries->num_buckets() >
+        std::numeric_limits<int32_t>::max()) {
+      return Status::InvalidArgument("grid cell count overflows int32");
+    }
+  }
+  for (const std::vector<int>& condition : spec.conditions) {
+    for (const int column : condition) {
+      if (column < 0 || column >= num_boolean) {
+        return Status::InvalidArgument("condition column out of range");
+      }
+    }
+  }
+  // Refuse specs whose serialized partial could never fit a reply frame,
+  // before allocating multi-GB accumulators (the daemon must answer with
+  // an error frame, never die on bad_alloc or the frame-size CHECK).
+  if (EstimateReplyBytes(spec) > kMaxReplyBytes) {
+    return Status::InvalidArgument(
+        "scan result would exceed the reply frame size");
+  }
+  return Status::Ok();
+}
+
+/// Runs one decoded scan request; returns the kScanResult payload or an
+/// error to be shipped back as a kError frame.
+Status ServeScanRequest(std::span<const uint8_t> request,
+                        std::vector<uint8_t>* reply) {
+  Result<ScanRequestFrame> frame = DecodeScanRequest(request);
+  if (!frame.ok()) return frame.status();
+  Result<std::unique_ptr<storage::PagedFileBatchSource>> source =
+      storage::PagedFileBatchSource::Open(frame.value().partition_path,
+                                          frame.value().batch_rows,
+                                          frame.value().read_mode);
+  if (!source.ok()) return source.status();
+  OPTRULES_RETURN_IF_ERROR(ValidateSpecForSource(
+      frame.value().spec, source.value()->num_numeric(),
+      source.value()->num_boolean()));
+  // The worker's partial is the serial reference chain (pool == nullptr):
+  // a pure function of (partition file, spec), so any worker count -- and
+  // the in-process worker -- produces bit-identical partials.
+  bucketing::MultiCountPlan plan(frame.value().spec);
+  bucketing::ExecuteMultiCount(*source.value(), &plan, nullptr);
+  reply->push_back(static_cast<uint8_t>(FrameKind::kScanResult));
+  plan.AppendPartialState(reply);
+  return Status::Ok();
+}
+
+}  // namespace
+
+int RunWorkerLoop(int in_fd, int out_fd) {
+  std::vector<uint8_t> request;
+  std::vector<uint8_t> reply;
+  while (true) {
+    const Status read = ReadFrame(in_fd, &request);
+    if (read.code() == StatusCode::kNotFound) return 0;  // clean EOF
+    if (!read.ok()) return 1;
+    const FrameKind kind = request.empty()
+                               ? FrameKind::kShutdown
+                               : static_cast<FrameKind>(request[0]);
+    if (kind == FrameKind::kShutdown) return 0;
+    reply.clear();
+    if (kind != FrameKind::kScanRequest) {
+      EncodeErrorFrame(
+          Status::InvalidArgument("unexpected frame kind"), &reply);
+    } else {
+      const Status served = ServeScanRequest(request, &reply);
+      if (!served.ok()) {
+        reply.clear();
+        EncodeErrorFrame(served, &reply);
+      }
+    }
+    if (!WriteFrame(out_fd, reply).ok()) return 1;
+  }
+}
+
+}  // namespace optrules::dist

@@ -1,0 +1,22 @@
+// Server side of the worker pipe protocol.
+//
+// optrules_workerd (and any in-process test harness) drives this loop:
+// read a frame, run the requested partition scan, reply with the partial
+// plan state, repeat until the coordinator closes the pipe or sends a
+// shutdown frame. Errors while serving one request are reported as error
+// frames and do NOT kill the worker -- the coordinator decides whether to
+// retry elsewhere.
+
+#ifndef OPTRULES_DIST_WORKER_PROTOCOL_H_
+#define OPTRULES_DIST_WORKER_PROTOCOL_H_
+
+namespace optrules::dist {
+
+/// Serves scan requests from `in_fd`, writing replies to `out_fd`, until
+/// clean EOF or a kShutdown frame. Returns a process exit code (0 on a
+/// clean shutdown, 1 when the pipe broke mid-frame).
+int RunWorkerLoop(int in_fd, int out_fd);
+
+}  // namespace optrules::dist
+
+#endif  // OPTRULES_DIST_WORKER_PROTOCOL_H_

@@ -240,7 +240,39 @@ MiningEngine::MiningEngine(storage::BatchSource* source,
   OPTRULES_CHECK(schema_.num_boolean() == source->num_boolean());
 }
 
+MiningEngine::MiningEngine(const dist::PartitionedTable* table,
+                           MinerOptions options,
+                           dist::DistributedScanOptions dist_options)
+    : partitioned_(table),
+      dist_options_(std::move(dist_options)),
+      options_(options) {
+  OPTRULES_CHECK(table != nullptr);
+  schema_ = table->schema();
+  // The concatenated source feeds boundary planning (one streaming pass in
+  // manifest order); counting scans go through the coordinator instead and
+  // account their logical scans on this source via NoteScanStarted.
+  owned_source_ = std::make_unique<dist::PartitionedTableBatchSource>(
+      table, dist_options_.batch_rows, dist_options_.read_mode);
+  source_ = owned_source_.get();
+}
+
 MiningEngine::~MiningEngine() = default;
+
+Status MiningEngine::ExecuteCount(bucketing::MultiCountPlan* plan) {
+  if (partitioned_ != nullptr) {
+    if (coordinator_ == nullptr) {
+      coordinator_ = std::make_unique<dist::DistributedScanCoordinator>(
+          partitioned_, dist_options_);
+    }
+    OPTRULES_RETURN_IF_ERROR(coordinator_->Execute(plan));
+    // The fan-out read the whole table once: account ONE logical scan, so
+    // scans_started() keeps meaning "times the data was read".
+    source_->NoteScanStarted();
+    return Status::Ok();
+  }
+  bucketing::ExecuteMultiCount(*source_, plan, pool_);
+  return Status::Ok();
+}
 
 void MiningEngine::PlanBoundarySets(
     std::span<const BoundarySetRequest> requests,
@@ -464,7 +496,7 @@ void MiningEngine::PlanBoundarySets(
   OPTRULES_CHECK(false);
 }
 
-void MiningEngine::RunCountingScan() {
+Status MiningEngine::RunCountingScan() {
   const int num_numeric = schema_.num_numeric();
   const auto num_attrs = static_cast<size_t>(num_numeric);
   bucketing::MultiCountSpec spec;
@@ -501,20 +533,21 @@ void MiningEngine::RunCountingScan() {
       spec.channels.push_back(std::move(channel));
     }
   }
-  // Grid channels (Section 1.4): one per registered region pair, over the
-  // region boundary set (region_grid_buckets buckets per axis). Pairs
-  // sharing an axis share its locate group inside the plan.
+  // Grid channels (Section 1.4): one per registered region pair, each
+  // axis over the region boundary set of that axis' bucket count (nx for
+  // x, ny for y -- rectangular pairs are first-class). Pairs sharing an
+  // (axis, count) share its locate group inside the plan.
   for (const RegionPair& pair : region_pairs_) {
     bucketing::GridChannel channel;
     channel.x_column = pair.x;
-    channel.x_boundaries = &region_boundaries_[static_cast<size_t>(pair.x)];
+    channel.x_boundaries = &RegionBoundary(pair.nx, pair.x);
     channel.y_column = pair.y;
-    channel.y_boundaries = &region_boundaries_[static_cast<size_t>(pair.y)];
+    channel.y_boundaries = &RegionBoundary(pair.ny, pair.y);
     spec.grid_channels.push_back(channel);
   }
 
   bucketing::MultiCountPlan plan(std::move(spec));
-  bucketing::ExecuteMultiCount(*source_, &plan, pool_);
+  OPTRULES_RETURN_IF_ERROR(ExecuteCount(&plan));
   ++counting_scans_;
 
   counts_.reserve(num_attrs);
@@ -533,6 +566,7 @@ void MiningEngine::RunCountingScan() {
     }
   }
   aggregate_sums_.assign(num_attrs, {});
+  hull_contexts_.clear();  // derived from the sums being replaced
   if (!sum_targets_.empty()) {
     for (int a = 0; a < num_numeric; ++a) {
       const auto channel =
@@ -551,48 +585,83 @@ void MiningEngine::RunCountingScan() {
   for (size_t p = 0; p < region_pairs_.size(); ++p) {
     region_grids_.push_back(plan.TakeGridCounts(static_cast<int>(p)));
   }
+  return Status::Ok();
 }
 
 void MiningEngine::Prepare() {
-  if (prepared_) return;
+  const Status status = TryPrepare();
+  if (!status.ok()) {
+    std::fprintf(stderr, "MiningEngine::Prepare failed: %s\n",
+                 status.ToString().c_str());
+  }
+  OPTRULES_CHECK(status.ok());
+}
+
+Status MiningEngine::TryPrepare() {
+  if (prepared_) return Status::Ok();
   OPTRULES_CHECK(options_.num_buckets >= 1);
   OPTRULES_CHECK(options_.sample_per_bucket >= 1);
   OPTRULES_CHECK(options_.region_grid_buckets >= 1);
   OPTRULES_CHECK(0.0 <= options_.min_support && options_.min_support <= 1.0);
   OPTRULES_CHECK(0.0 <= options_.min_confidence &&
                  options_.min_confidence <= 1.0);
+  // Partitions that vanished since the table was opened must fail softly
+  // here; the planning stream below treats a partition disappearing
+  // MID-scan as fatal, so the window is re-validated up front.
+  if (partitioned_ != nullptr) {
+    OPTRULES_RETURN_IF_ERROR(partitioned_->Validate());
+  }
   // One planning pass covers the base boundaries plus the decorrelated
   // generalized / aggregate / region sets the session has registered so
   // far.
-  std::vector<BoundarySetRequest> requests = {{0, options_.num_buckets}};
+  std::vector<BoundarySetRequest> requests = {{0, options_.num_buckets, {}}};
   std::vector<std::vector<bucketing::BucketBoundaries>*> outs = {
       &boundaries_};
   if (!conditions_.empty()) {
-    requests.push_back({kGeneralizedSeedOffset, options_.num_buckets});
+    requests.push_back({kGeneralizedSeedOffset, options_.num_buckets, {}});
     outs.push_back(&generalized_boundaries_);
   }
   if (!sum_targets_.empty()) {
-    requests.push_back({kAggregateSeedOffset, options_.num_buckets});
+    requests.push_back({kAggregateSeedOffset, options_.num_buckets, {}});
     outs.push_back(&aggregate_boundaries_);
   }
   if (!region_pairs_.empty()) {
-    region_planned_ = RegionColumnMask();
-    requests.push_back(
-        {kRegionSeedOffset, options_.region_grid_buckets, region_planned_});
-    outs.push_back(&region_boundaries_);
+    // One request per distinct grid bucket count (rectangular pairs plan
+    // their x axis at nx and y axis at ny), each masked to the columns
+    // that actually use it.
+    region_planned_ = RegionColumnMasks();
+    for (auto& [count, mask] : region_planned_) {
+      requests.push_back({kRegionSeedOffset, count, mask});
+      outs.push_back(&region_boundaries_[count]);
+    }
   }
   PlanBoundarySets(requests, outs);
-  RunCountingScan();
+  OPTRULES_RETURN_IF_ERROR(RunCountingScan());
   prepared_ = true;
+  return Status::Ok();
 }
 
-std::vector<uint8_t> MiningEngine::RegionColumnMask() const {
-  std::vector<uint8_t> mask(static_cast<size_t>(schema_.num_numeric()), 0);
+std::map<int, std::vector<uint8_t>> MiningEngine::RegionColumnMasks() const {
+  std::map<int, std::vector<uint8_t>> masks;
+  const auto mark = [this, &masks](int count, int column) {
+    std::vector<uint8_t>& mask = masks[count];
+    if (mask.empty()) {
+      mask.assign(static_cast<size_t>(schema_.num_numeric()), 0);
+    }
+    mask[static_cast<size_t>(column)] = 1;
+  };
   for (const RegionPair& pair : region_pairs_) {
-    mask[static_cast<size_t>(pair.x)] = 1;
-    mask[static_cast<size_t>(pair.y)] = 1;
+    mark(pair.nx, pair.x);
+    mark(pair.ny, pair.y);
   }
-  return mask;
+  return masks;
+}
+
+const bucketing::BucketBoundaries& MiningEngine::RegionBoundary(
+    int num_buckets, int column) const {
+  const auto it = region_boundaries_.find(num_buckets);
+  OPTRULES_CHECK(it != region_boundaries_.end());
+  return it->second[static_cast<size_t>(column)];
 }
 
 std::vector<MinedRule> MiningEngine::MineAllPairs() {
@@ -659,8 +728,15 @@ Result<int> MiningEngine::EnsureCondition(
   conditions_.push_back(std::move(indices));
   const int condition = static_cast<int>(conditions_.size()) - 1;
   // A condition registered after the shared scan costs one supplemental
-  // scan; registered before, it rides along for free.
-  if (prepared_) AddConditionChannels(condition);
+  // scan; registered before, it rides along for free. A failed
+  // supplemental scan rolls the registration back so a retry re-scans.
+  if (prepared_) {
+    const Status status = AddConditionChannels(condition);
+    if (!status.ok()) {
+      conditions_.pop_back();
+      return status;
+    }
+  }
   return condition;
 }
 
@@ -672,14 +748,20 @@ Result<int> MiningEngine::EnsureSumTarget(const std::string& name) {
   }
   sum_targets_.push_back(index.value());
   const int k = static_cast<int>(sum_targets_.size()) - 1;
-  if (prepared_) AddSumTargetChannels(index.value());
+  if (prepared_) {
+    const Status status = AddSumTargetChannels(index.value());
+    if (!status.ok()) {
+      sum_targets_.pop_back();
+      return status;
+    }
+  }
   return k;
 }
 
-void MiningEngine::AddConditionChannels(int condition_index) {
+Status MiningEngine::AddConditionChannels(int condition_index) {
   if (generalized_boundaries_.empty()) {
     const BoundarySetRequest requests[] = {
-        {kGeneralizedSeedOffset, options_.num_buckets}};
+        {kGeneralizedSeedOffset, options_.num_buckets, {}}};
     std::vector<bucketing::BucketBoundaries>* outs[] = {
         &generalized_boundaries_};
     PlanBoundarySets(requests, outs);
@@ -696,7 +778,7 @@ void MiningEngine::AddConditionChannels(int condition_index) {
     spec.channels.push_back(std::move(channel));
   }
   bucketing::MultiCountPlan plan(std::move(spec));
-  bucketing::ExecuteMultiCount(*source_, &plan, pool_);
+  OPTRULES_RETURN_IF_ERROR(ExecuteCount(&plan));
   ++counting_scans_;
   generalized_counts_.emplace_back();
   generalized_counts_.back().reserve(
@@ -705,12 +787,13 @@ void MiningEngine::AddConditionChannels(int condition_index) {
     generalized_counts_.back().push_back(plan.TakeCounts(a));
     bucketing::CompactEmptyBuckets(&generalized_counts_.back().back());
   }
+  return Status::Ok();
 }
 
-void MiningEngine::AddSumTargetChannels(int target) {
+Status MiningEngine::AddSumTargetChannels(int target) {
   if (aggregate_boundaries_.empty()) {
     const BoundarySetRequest requests[] = {
-        {kAggregateSeedOffset, options_.num_buckets}};
+        {kAggregateSeedOffset, options_.num_buckets, {}}};
     std::vector<bucketing::BucketBoundaries>* outs[] = {
         &aggregate_boundaries_};
     PlanBoundarySets(requests, outs);
@@ -726,7 +809,7 @@ void MiningEngine::AddSumTargetChannels(int target) {
     spec.channels.push_back(std::move(channel));
   }
   bucketing::MultiCountPlan plan(std::move(spec));
-  bucketing::ExecuteMultiCount(*source_, &plan, pool_);
+  OPTRULES_RETURN_IF_ERROR(ExecuteCount(&plan));
   ++counting_scans_;
   if (aggregate_sums_.empty()) {
     aggregate_sums_.assign(static_cast<size_t>(schema_.num_numeric()), {});
@@ -736,55 +819,81 @@ void MiningEngine::AddSumTargetChannels(int target) {
     per_target.push_back(plan.TakeBucketSums(a, 0));
     bucketing::CompactEmptyBuckets(&per_target.back());
   }
+  return Status::Ok();
 }
 
 Result<int> MiningEngine::EnsureRegionPair(const std::string& x_attr,
-                                           const std::string& y_attr) {
+                                           const std::string& y_attr,
+                                           int nx, int ny) {
+  if (nx < 1 || ny < 1) {
+    return Status::InvalidArgument("region grid shape must be >= 1x1");
+  }
   const Result<int> x = schema_.NumericIndexOf(x_attr);
   if (!x.ok()) return x.status();
   const Result<int> y = schema_.NumericIndexOf(y_attr);
   if (!y.ok()) return y.status();
-  const RegionPair pair{x.value(), y.value()};
+  const RegionPair pair{x.value(), y.value(), nx, ny};
   for (size_t p = 0; p < region_pairs_.size(); ++p) {
     if (region_pairs_[p] == pair) return static_cast<int>(p);
   }
   region_pairs_.push_back(pair);
   const int index = static_cast<int>(region_pairs_.size()) - 1;
   // A pair registered after the shared scan costs one supplemental scan;
-  // registered before, its grid channel rides along for free.
-  if (prepared_) AddRegionChannel(index);
+  // registered before, its grid channel rides along for free (failed
+  // supplemental scans roll the registration back).
+  if (prepared_) {
+    const Status status = AddRegionChannel(index);
+    if (!status.ok()) {
+      region_pairs_.pop_back();
+      return status;
+    }
+  }
   return index;
 }
 
-void MiningEngine::AddRegionChannel(int pair_index) {
-  const RegionPair& late = region_pairs_[static_cast<size_t>(pair_index)];
-  // Re-plan the region set when it has never been planned or the late
-  // pair uses an axis column outside the planned mask (each column's
-  // boundaries are derived independently, so columns already planned come
-  // out identical).
-  if (region_boundaries_.empty() ||
-      region_planned_[static_cast<size_t>(late.x)] == 0 ||
-      region_planned_[static_cast<size_t>(late.y)] == 0) {
-    region_planned_ = RegionColumnMask();
-    const BoundarySetRequest requests[] = {
-        {kRegionSeedOffset, options_.region_grid_buckets, region_planned_}};
-    std::vector<bucketing::BucketBoundaries>* outs[] = {
-        &region_boundaries_};
-    PlanBoundarySets(requests, outs);
+int MiningEngine::FindRegionPair(int x, int y) const {
+  for (size_t p = 0; p < region_pairs_.size(); ++p) {
+    if (region_pairs_[p].x == x && region_pairs_[p].y == y) {
+      return static_cast<int>(p);
+    }
   }
+  return -1;
+}
+
+Status MiningEngine::AddRegionChannel(int pair_index) {
+  const RegionPair& pair = region_pairs_[static_cast<size_t>(pair_index)];
+  // Re-plan a region set when its bucket count has never been planned or
+  // the late pair buckets a column outside that count's planned mask
+  // (each column's boundaries are derived independently, so columns
+  // already planned come out identical).
+  const auto ensure_planned = [this](int count, int column) {
+    std::vector<uint8_t>& planned = region_planned_[count];
+    if (!planned.empty() && planned[static_cast<size_t>(column)] != 0) {
+      return;
+    }
+    std::map<int, std::vector<uint8_t>> masks = RegionColumnMasks();
+    planned = std::move(masks[count]);
+    const BoundarySetRequest requests[] = {
+        {kRegionSeedOffset, count, planned}};
+    std::vector<bucketing::BucketBoundaries>* outs[] = {
+        &region_boundaries_[count]};
+    PlanBoundarySets(requests, outs);
+  };
+  ensure_planned(pair.nx, pair.x);
+  ensure_planned(pair.ny, pair.y);
   bucketing::MultiCountSpec spec;
   spec.num_targets = schema_.num_boolean();
-  const RegionPair& pair = region_pairs_[static_cast<size_t>(pair_index)];
   bucketing::GridChannel channel;
   channel.x_column = pair.x;
-  channel.x_boundaries = &region_boundaries_[static_cast<size_t>(pair.x)];
+  channel.x_boundaries = &RegionBoundary(pair.nx, pair.x);
   channel.y_column = pair.y;
-  channel.y_boundaries = &region_boundaries_[static_cast<size_t>(pair.y)];
+  channel.y_boundaries = &RegionBoundary(pair.ny, pair.y);
   spec.grid_channels.push_back(channel);
   bucketing::MultiCountPlan plan(std::move(spec));
-  bucketing::ExecuteMultiCount(*source_, &plan, pool_);
+  OPTRULES_RETURN_IF_ERROR(ExecuteCount(&plan));
   ++counting_scans_;
   region_grids_.push_back(plan.TakeGridCounts(0));
+  return Status::Ok();
 }
 
 Status MiningEngine::RequestGeneralized(
@@ -800,7 +909,14 @@ Status MiningEngine::RequestAverageTarget(const std::string& target_attr) {
 
 Status MiningEngine::RequestRegionPair(const std::string& x_attr,
                                        const std::string& y_attr) {
-  const Result<int> pair = EnsureRegionPair(x_attr, y_attr);
+  return RequestRegionPair(x_attr, y_attr, options_.region_grid_buckets,
+                           options_.region_grid_buckets);
+}
+
+Status MiningEngine::RequestRegionPair(const std::string& x_attr,
+                                       const std::string& y_attr, int nx,
+                                       int ny) {
+  const Result<int> pair = EnsureRegionPair(x_attr, y_attr, nx, ny);
   return pair.ok() ? Status::Ok() : pair.status();
 }
 
@@ -809,7 +925,19 @@ Result<MinedRegion> MiningEngine::MineOptimizedRegion(
     const std::string& target_attr) {
   const Result<int> target = schema_.BooleanIndexOf(target_attr);
   if (!target.ok()) return target.status();
-  const Result<int> pair = EnsureRegionPair(x_attr, y_attr);
+  // An already-registered pair over (x, y) answers at its registered grid
+  // shape (rectangular included); otherwise auto-register the square
+  // default, at the documented supplemental-scan price when late.
+  Result<int> pair = [&]() -> Result<int> {
+    const Result<int> x = schema_.NumericIndexOf(x_attr);
+    if (!x.ok()) return x.status();
+    const Result<int> y = schema_.NumericIndexOf(y_attr);
+    if (!y.ok()) return y.status();
+    const int found = FindRegionPair(x.value(), y.value());
+    if (found >= 0) return found;
+    return EnsureRegionPair(x_attr, y_attr, options_.region_grid_buckets,
+                            options_.region_grid_buckets);
+  }();
   if (!pair.ok()) return pair.status();
   Prepare();
   const region::GridCounts grid = region::FromGridBucketCounts(
@@ -839,6 +967,25 @@ Result<std::vector<MinedRule>> MiningEngine::MineGeneralized(
   return mined;
 }
 
+const SlopePairContext& MiningEngine::HullContextFor(int range_attr,
+                                                     int k) {
+  const auto a = static_cast<size_t>(range_attr);
+  const auto ki = static_cast<size_t>(k);
+  if (hull_contexts_.size() < aggregate_sums_.size()) {
+    hull_contexts_.resize(aggregate_sums_.size());
+  }
+  if (hull_contexts_[a].size() < aggregate_sums_[a].size()) {
+    hull_contexts_[a].resize(aggregate_sums_[a].size());
+  }
+  std::unique_ptr<SlopePairContext>& slot = hull_contexts_[a][ki];
+  if (slot == nullptr) {
+    const bucketing::BucketSums& sums = SumsFor(range_attr, k);
+    slot = std::make_unique<SlopePairContext>(sums.u, sums.sum);
+    ++hull_contexts_built_;
+  }
+  return *slot;
+}
+
 Result<MinedAggregateRange> MiningEngine::MineMaximumAverageRange(
     const std::string& range_attr, const std::string& target_attr,
     double min_support) {
@@ -851,8 +998,16 @@ Result<MinedAggregateRange> MiningEngine::MineMaximumAverageRange(
       SumsFor(range_index.value(), target.value());
   RangeAggregate aggregate;
   if (!sums.u.empty()) {
-    aggregate = MaximumAverageRange(
-        sums.u, sums.sum, MinSupportCount(sums.total_tuples, min_support));
+    // Identical to MaximumAverageRange(sums.u, sums.sum, ...) but the
+    // threshold-independent hull context is built once per (range,
+    // target) pair and reused by every later threshold.
+    const SlopePairContext& context =
+        HullContextFor(range_index.value(), target.value());
+    const SlopePair pair = context.Solve(
+        MinSupportCount(sums.total_tuples, min_support));
+    if (pair.found) {
+      aggregate = MakeRangeAggregate(sums.u, sums.sum, pair.m, pair.n - 1);
+    }
   }
   return ToMinedAggregate(sums, aggregate, range_attr, target_attr);
 }
@@ -1046,6 +1201,14 @@ Result<MinedAggregateRange> Miner::MineMaximumSupportRange(
 Result<MinedRegion> Miner::MineOptimizedRegion(
     const std::string& x_attr, const std::string& y_attr,
     const std::string& target_attr) {
+  return MineOptimizedRegion(x_attr, y_attr, target_attr,
+                             options_.region_grid_buckets,
+                             options_.region_grid_buckets);
+}
+
+Result<MinedRegion> Miner::MineOptimizedRegion(
+    const std::string& x_attr, const std::string& y_attr,
+    const std::string& target_attr, int nx, int ny) {
   const storage::Schema& schema = relation_->schema();
   const Result<int> x = schema.NumericIndexOf(x_attr);
   if (!x.ok()) return x.status();
@@ -1053,14 +1216,19 @@ Result<MinedRegion> Miner::MineOptimizedRegion(
   if (!y.ok()) return y.status();
   const Result<int> target = schema.BooleanIndexOf(target_attr);
   if (!target.ok()) return target.status();
+  if (nx < 1 || ny < 1) {
+    return Status::InvalidArgument("region grid shape must be >= 1x1");
+  }
 
-  // Same region boundary recipe as the engine: region_grid_buckets per
-  // axis, seed decorrelated by kRegionSeedOffset, per-attribute salts.
+  // Same region boundary recipe as the engine: each axis bucketed at its
+  // own count (nx / ny), seed decorrelated by kRegionSeedOffset,
+  // per-attribute salts.
   bucketing::BoundaryPlan plan = ToBoundaryPlan(options_);
   plan.seed += kRegionSeedOffset;
-  plan.num_buckets = options_.region_grid_buckets;
+  plan.num_buckets = nx;
   const bucketing::BucketBoundaries x_boundaries = bucketing::BuildBoundaries(
       relation_->NumericColumn(x.value()), plan, AttributeSalt(x.value()));
+  plan.num_buckets = ny;
   const bucketing::BucketBoundaries y_boundaries = bucketing::BuildBoundaries(
       relation_->NumericColumn(y.value()), plan, AttributeSalt(y.value()));
   const region::GridCounts grid = region::BuildGrid(

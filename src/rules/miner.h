@@ -26,6 +26,7 @@
 #define OPTRULES_RULES_MINER_H_
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <span>
 #include <string>
@@ -35,8 +36,10 @@
 #include "bucketing/counting.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "dist/coordinator.h"
 #include "region/rectangle.h"
 #include "region/xmonotone.h"
+#include "rules/optimized_confidence.h"
 #include "rules/rule.h"
 #include "storage/columnar_batch.h"
 #include "storage/relation.h"
@@ -165,13 +168,40 @@ class MiningEngine {
   MiningEngine(storage::BatchSource* source, storage::Schema schema,
                MinerOptions options, ThreadPool* pool = nullptr);
 
+  /// Engine over a partitioned table (src/dist/): boundary planning
+  /// streams the partitions concatenated in manifest order (one pass),
+  /// and every counting scan fans out through a
+  /// DistributedScanCoordinator -- K physical partition scans, in-process
+  /// or optrules_workerd subprocess workers, merged in fixed partition
+  /// order into ONE logical scan, so counting_scans() stays 1 for a full
+  /// mixed session exactly like the single-file paths. Results are a pure
+  /// function of (table, options): the worker count and worker kind never
+  /// change a single bit. Note that partitioning reorders rows, so the
+  /// order-sensitive bucketizers (sampling, GK) plan boundaries over the
+  /// partitioned order -- deterministic, but only guaranteed identical to
+  /// a single-file session when the row order is preserved (round-robin
+  /// K = 1) or the bucketizer is permutation-invariant (kExactSort).
+  MiningEngine(const dist::PartitionedTable* table, MinerOptions options,
+               dist::DistributedScanOptions dist_options = {});
+
   ~MiningEngine();
   MiningEngine(const MiningEngine&) = delete;
   MiningEngine& operator=(const MiningEngine&) = delete;
 
   /// Plans boundaries and runs the shared counting scan now (otherwise
-  /// the first mining call does it).
+  /// the first mining call does it). A failed scan is a fatal error here;
+  /// sessions that want to handle scan failures -- e.g. a distributed
+  /// session whose worker daemon binary or partition files may be missing
+  /// -- call TryPrepare() first and get the Status instead.
   void Prepare();
+
+  /// Prepare() with an error path: plans + scans, returning the first
+  /// failure (no-op Ok when already prepared). On error the session stays
+  /// unprepared and TryPrepare can be retried. Partition files are
+  /// re-validated up front, so tables broken BEFORE the call fail softly;
+  /// a partition vanishing in the middle of the scan itself remains
+  /// fatal (readers have no mid-stream error channel).
+  Status TryPrepare();
 
   /// Registers a generalized-rule presumptive condition (conjunction of
   /// Boolean attributes, Section 4.3) so the shared counting scan
@@ -193,6 +223,14 @@ class MiningEngine {
   /// pair registered after the scan costs one supplemental scan.
   Status RequestRegionPair(const std::string& x_attr,
                            const std::string& y_attr);
+
+  /// Rectangular per-request grid: like the overload above but with an
+  /// explicit nx-by-ny cell resolution (the region optimizers are
+  /// O(nx * ny^2), so a request can spend resolution on the axis that
+  /// needs it). Pairs with different shapes coexist in one session; each
+  /// axis plans its boundaries at that axis' bucket count.
+  Status RequestRegionPair(const std::string& x_attr,
+                           const std::string& y_attr, int nx, int ny);
 
   /// Both optimized rules for every (numeric, Boolean) attribute pair,
   /// in (numeric-major, Boolean-minor) order, confidence rule before
@@ -241,8 +279,16 @@ class MiningEngine {
   /// Number of counting scans performed over the data so far (0 before
   /// Prepare, 1 after -- regardless of the number of pairs, generalized,
   /// aggregate, or sweep queries answered, as long as every condition /
-  /// aggregate target was registered before the first mining call).
+  /// aggregate target was registered before the first mining call). For a
+  /// partitioned engine this counts LOGICAL scans: one distributed scan =
+  /// one, however many partitions it fanned out to.
   int64_t counting_scans() const { return counting_scans_; }
+
+  /// Number of SlopePairContext (hull tree) builds so far: repeated
+  /// aggregate queries on one (range, target) pair at different
+  /// thresholds reuse the cached context, so this stays at one per pair
+  /// (tests assert the reuse).
+  int64_t hull_contexts_built() const { return hull_contexts_built_; }
 
   const storage::Schema& schema() const { return schema_; }
   const MinerOptions& options() const { return options_; }
@@ -259,10 +305,13 @@ class MiningEngine {
     int num_buckets = 0;
     std::vector<uint8_t> column_mask;
   };
-  /// A registered two-dimensional region pair (numeric column indices).
+  /// A registered two-dimensional region pair (numeric column indices)
+  /// with its grid resolution (nx need not equal ny).
   struct RegionPair {
     int x = 0;
     int y = 0;
+    int nx = 0;
+    int ny = 0;
     friend bool operator==(const RegionPair&, const RegionPair&) = default;
   };
 
@@ -273,35 +322,63 @@ class MiningEngine {
   void PlanBoundarySets(
       std::span<const BoundarySetRequest> requests,
       std::span<std::vector<bucketing::BucketBoundaries>* const> out);
-  void RunCountingScan();
+  Status RunCountingScan();
+  /// Runs `plan` over exactly one logical scan of the session's data:
+  /// ExecuteMultiCount over the source, or -- for a partitioned engine --
+  /// a distributed fan-out merged in partition order (whose worker or
+  /// partition failures surface as the returned Status).
+  Status ExecuteCount(bucketing::MultiCountPlan* plan);
   /// Resolves + registers a condition; runs a supplemental scan when the
   /// session is already prepared. Returns the condition's index.
   Result<int> EnsureCondition(const std::vector<std::string>& names);
   /// Resolves + registers an aggregate target; supplemental scan when
   /// already prepared. Returns the target's sum-channel index.
   Result<int> EnsureSumTarget(const std::string& name);
-  /// Resolves + registers a region pair; supplemental scan when already
-  /// prepared. Returns the pair's grid index.
+  /// Resolves + registers a region pair at the given grid shape;
+  /// supplemental scan when already prepared. Returns the pair's grid
+  /// index.
   Result<int> EnsureRegionPair(const std::string& x_attr,
-                               const std::string& y_attr);
-  void AddConditionChannels(int condition_index);
-  void AddSumTargetChannels(int target);
-  void AddRegionChannel(int pair_index);
-  /// Mask of numeric columns any registered region pair uses as an axis.
-  std::vector<uint8_t> RegionColumnMask() const;
+                               const std::string& y_attr, int nx, int ny);
+  /// Index of the first registered pair over (x, y) columns regardless of
+  /// grid shape, or -1.
+  int FindRegionPair(int x, int y) const;
+  /// Supplemental-scan paths for late registrations; a failed scan is
+  /// returned and the registration rolled back by the caller.
+  Status AddConditionChannels(int condition_index);
+  Status AddSumTargetChannels(int target);
+  Status AddRegionChannel(int pair_index);
+  /// Per distinct region bucket count, the mask of numeric columns some
+  /// registered pair buckets at that count (x axes contribute their nx,
+  /// y axes their ny).
+  std::map<int, std::vector<uint8_t>> RegionColumnMasks() const;
+  /// Boundaries of region axis `column` at `num_buckets` (must be
+  /// planned).
+  const bucketing::BucketBoundaries& RegionBoundary(int num_buckets,
+                                                    int column) const;
   const bucketing::BucketSums& SumsFor(int range_attr, int k) const {
     return aggregate_sums_[static_cast<size_t>(range_attr)]
                           [static_cast<size_t>(k)];
   }
+  /// Cached hull context of SumsFor(range_attr, k), built on first use.
+  const SlopePairContext& HullContextFor(int range_attr, int k);
 
   const storage::Relation* relation_ = nullptr;  ///< in-memory fast path
   std::unique_ptr<storage::BatchSource> owned_source_;
   storage::BatchSource* source_ = nullptr;
+  /// Distributed session state (null for single-source engines): counting
+  /// scans fan out through the session coordinator instead of
+  /// ExecuteMultiCount. The coordinator persists so supplemental scans
+  /// reuse its worker roster (no re-fork per scan) and its
+  /// partition_scans() accounting spans the session.
+  const dist::PartitionedTable* partitioned_ = nullptr;
+  dist::DistributedScanOptions dist_options_;
+  std::unique_ptr<dist::DistributedScanCoordinator> coordinator_;
   storage::Schema schema_;
   MinerOptions options_;
-  ThreadPool* pool_;
+  ThreadPool* pool_ = nullptr;
   bool prepared_ = false;
   int64_t counting_scans_ = 0;
+  int64_t hull_contexts_built_ = 0;
   /// Registered generalized conditions (resolved Boolean indices, in
   /// registration order), aggregate sum targets (numeric indices), and
   /// two-dimensional region pairs.
@@ -309,15 +386,18 @@ class MiningEngine {
   std::vector<int> sum_targets_;
   std::vector<RegionPair> region_pairs_;
   /// Boundary sets: base per attribute, plus the decorrelated generalized
-  /// / aggregate / region sets (planned only when the session uses them;
-  /// the region set is region_grid_buckets buckets per attribute).
+  /// / aggregate / region sets (planned only when the session uses them).
   std::vector<bucketing::BucketBoundaries> boundaries_;
   std::vector<bucketing::BucketBoundaries> generalized_boundaries_;
   std::vector<bucketing::BucketBoundaries> aggregate_boundaries_;
-  std::vector<bucketing::BucketBoundaries> region_boundaries_;
-  /// Which columns region_boundaries_ actually planned (a late pair on a
-  /// column outside this mask re-plans the region set).
-  std::vector<uint8_t> region_planned_;
+  /// Region boundary sets, one per distinct grid bucket count in use
+  /// (rectangular pairs plan their x axis at nx and y axis at ny), each a
+  /// per-attribute vector with placeholders for masked-out columns.
+  std::map<int, std::vector<bucketing::BucketBoundaries>>
+      region_boundaries_;
+  /// Which columns each region set actually planned (a late pair on an
+  /// unplanned (count, column) re-plans that count's set).
+  std::map<int, std::vector<uint8_t>> region_planned_;
   /// Compacted per-numeric-attribute counts (one v-row per Boolean attr).
   std::vector<bucketing::BucketCounts> counts_;
   /// generalized_counts_[condition][attr], compacted.
@@ -325,6 +405,11 @@ class MiningEngine {
   /// aggregate_sums_[attr][k]: sums of sum_targets_[k] over attr's
   /// aggregate buckets, compacted.
   std::vector<std::vector<bucketing::BucketSums>> aggregate_sums_;
+  /// hull_contexts_[attr][k]: lazily built SlopePairContext over
+  /// aggregate_sums_[attr][k], reused by every aggregate query on that
+  /// pair regardless of threshold.
+  std::vector<std::vector<std::unique_ptr<SlopePairContext>>>
+      hull_contexts_;
   /// region_grids_[p]: cell grid of region_pairs_[p] (per-cell u plus one
   /// v plane per Boolean target; grids keep their empty cells -- the
   /// region miners handle u == 0 cells directly).
@@ -385,6 +470,14 @@ class Miner {
   Result<MinedRegion> MineOptimizedRegion(const std::string& x_attr,
                                           const std::string& y_attr,
                                           const std::string& target_attr);
+
+  /// Rectangular variant: an explicit nx-by-ny grid (the engine's
+  /// RequestRegionPair(x, y, nx, ny) is tested bit-identical against
+  /// this).
+  Result<MinedRegion> MineOptimizedRegion(const std::string& x_attr,
+                                          const std::string& y_attr,
+                                          const std::string& target_attr,
+                                          int nx, int ny);
 
   const MinerOptions& options() const { return options_; }
 

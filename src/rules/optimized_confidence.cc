@@ -34,32 +34,40 @@ bool BetterCandidate(const std::vector<Point>& q, int m1, int n1, int m2,
 
 }  // namespace
 
-SlopePair OptimalSlopePair(std::span<const int64_t> u,
-                           std::span<const double> v,
-                           int64_t min_support_count) {
+SlopePairContext::SlopePairContext(std::span<const int64_t> u,
+                                   std::span<const double> v) {
   OPTRULES_CHECK(u.size() == v.size());
-  const int m_buckets = static_cast<int>(u.size());
+  num_buckets_ = static_cast<int>(u.size());
+  if (num_buckets_ == 0) return;
+
+  // Q_k = (sum_{i<k} u_i, sum_{i<k} v_i), k = 0..M.
+  q_.resize(static_cast<size_t>(num_buckets_) + 1);
+  q_[0] = {0.0, 0.0};
+  for (int k = 1; k <= num_buckets_; ++k) {
+    OPTRULES_CHECK(u[static_cast<size_t>(k - 1)] >= 1);
+    q_[static_cast<size_t>(k)] = {
+        q_[static_cast<size_t>(k - 1)].x +
+            static_cast<double>(u[static_cast<size_t>(k - 1)]),
+        q_[static_cast<size_t>(k - 1)].y + v[static_cast<size_t>(k - 1)]};
+  }
+  // Preparatory phase (the geometry-heavy O(M) step), done once; every
+  // Solve() copies this U_0 prototype instead of re-deriving it.
+  tree_.emplace(q_);
+}
+
+SlopePair SlopePairContext::Solve(int64_t min_support_count) const {
+  const int m_buckets = num_buckets_;
+  const std::vector<Point>& q = q_;
   SlopePair best;
   if (m_buckets == 0) return best;
   if (min_support_count < 1) min_support_count = 1;
-
-  // Q_k = (sum_{i<k} u_i, sum_{i<k} v_i), k = 0..M.
-  std::vector<Point> q(static_cast<size_t>(m_buckets) + 1);
-  q[0] = {0.0, 0.0};
-  for (int k = 1; k <= m_buckets; ++k) {
-    OPTRULES_CHECK(u[static_cast<size_t>(k - 1)] >= 1);
-    q[static_cast<size_t>(k)] = {
-        q[static_cast<size_t>(k - 1)].x +
-            static_cast<double>(u[static_cast<size_t>(k - 1)]),
-        q[static_cast<size_t>(k - 1)].y + v[static_cast<size_t>(k - 1)]};
-  }
   // No range can be ample at all?
   if (q[static_cast<size_t>(m_buckets)].x - q[0].x <
       static_cast<double>(min_support_count)) {
     return best;
   }
 
-  ConvexHullTree tree(q);
+  ConvexHullTree tree = *tree_;  // restore U_0 (array copies only)
   tree.AdvanceBase();  // S = U_1; the first candidate base is r(0) >= 1.
   int i = 1;
 
@@ -140,6 +148,12 @@ SlopePair OptimalSlopePair(std::span<const int64_t> u,
     }
   }
   return best;
+}
+
+SlopePair OptimalSlopePair(std::span<const int64_t> u,
+                           std::span<const double> v,
+                           int64_t min_support_count) {
+  return SlopePairContext(u, v).Solve(min_support_count);
 }
 
 RangeRule OptimizedConfidenceRule(std::span<const int64_t> u,

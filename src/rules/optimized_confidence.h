@@ -10,8 +10,12 @@
 #define OPTRULES_RULES_OPTIMIZED_CONFIDENCE_H_
 
 #include <cstdint>
+#include <optional>
 #include <span>
+#include <vector>
 
+#include "hull/convex_hull_tree.h"
+#include "hull/point.h"
 #include "rules/rule.h"
 
 namespace optrules::rules {
@@ -26,10 +30,39 @@ struct SlopePair {
   int n = -1;
 };
 
+/// The threshold-independent part of the slope-pair search: the prefix
+/// points Q_0..Q_M and the preparatory-phase convex-hull tree (Algorithm
+/// 4.1's constructor, the geometry-heavy step). Build it once per (u, v)
+/// bucket array and Solve() at any number of support thresholds -- each
+/// call copies the U_0 prototype tree (plain array copies, no orientation
+/// predicates) and runs the tangent walk. MiningEngine caches one context
+/// per aggregate (range attribute, target) pair so repeated
+/// MineMaximumAverageRange calls at different thresholds stop rebuilding
+/// the hull from scratch.
+class SlopePairContext {
+ public:
+  /// Requires u_i >= 1 for every bucket (u may be empty).
+  SlopePairContext(std::span<const int64_t> u, std::span<const double> v);
+
+  /// The optimal slope pair at `min_support_count` (clamped to >= 1);
+  /// identical to OptimalSlopePair(u, v, min_support_count).
+  SlopePair Solve(int64_t min_support_count) const;
+
+  int num_buckets() const { return num_buckets_; }
+
+ private:
+  int num_buckets_ = 0;
+  /// Q_k = (sum_{i<k} u_i, sum_{i<k} v_i), k = 0..M.
+  std::vector<hull::Point> q_;
+  /// Prototype tree at U_0; Solve() copies it instead of re-running the
+  /// preparatory phase.
+  std::optional<hull::ConvexHullTree> tree_;
+};
+
 /// Core O(M) optimizer over real-valued per-bucket weights `v` (tuple
 /// counts for rules; attribute sums for the Section 5 average operator).
 /// Requires u_i >= 1 for every bucket. `min_support_count` is clamped to a
-/// minimum of 1 tuple.
+/// minimum of 1 tuple. One-shot form of SlopePairContext::Solve.
 SlopePair OptimalSlopePair(std::span<const int64_t> u,
                            std::span<const double> v,
                            int64_t min_support_count);

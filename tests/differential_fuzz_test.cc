@@ -18,6 +18,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -28,6 +29,9 @@
 #include "bucketing/parallel_count.h"
 #include "common/thread_pool.h"
 #include "datagen/table_generator.h"
+#include "dist/coordinator.h"
+#include "dist/partitioned_table.h"
+#include "dist/scan_worker.h"
 #include "fuzz_seed.h"
 #include "region/grid.h"
 #include "rules/miner.h"
@@ -588,13 +592,26 @@ TEST(RegionDifferentialFuzzTest, EngineRegionsMatchLegacyMiner) {
         rng.NextBounded(static_cast<uint64_t>(schema.num_numeric()))));
     const std::string target = schema.BooleanName(static_cast<int>(
         rng.NextBounded(static_cast<uint64_t>(schema.num_boolean()))));
+    // Half the rounds request an explicit rectangular nx-by-ny grid (the
+    // engine-level rectangular path); the rest use the square default.
+    const bool rectangular = rng.NextBernoulli(0.5);
+    const int nx = 2 + static_cast<int>(rng.NextBounded(28));
+    const int ny = 2 + static_cast<int>(rng.NextBounded(28));
 
     Miner legacy(&relation, options);
     MiningEngine engine(&relation, options);
-    ASSERT_TRUE(engine.RequestRegionPair(x, y).ok());
+    if (rectangular) {
+      ASSERT_TRUE(engine.RequestRegionPair(x, y, nx, ny).ok());
+    } else {
+      ASSERT_TRUE(engine.RequestRegionPair(x, y).ok());
+    }
     ExpectIdenticalRules(engine.MineAllPairs(), legacy.MineAll(), round);
-    ExpectIdenticalRegion(engine.MineOptimizedRegion(x, y, target),
-                          legacy.MineOptimizedRegion(x, y, target), round);
+    ExpectIdenticalRegion(
+        engine.MineOptimizedRegion(x, y, target),
+        rectangular
+            ? legacy.MineOptimizedRegion(x, y, target, nx, ny)
+            : legacy.MineOptimizedRegion(x, y, target),
+        round);
     ASSERT_EQ(engine.counting_scans(), 1) << round;
   }
 }
@@ -637,6 +654,155 @@ TEST(RegionDifferentialFuzzTest, PagedEngineRegionsMatchMemoryEngine) {
       ASSERT_EQ(file_engine.counting_scans(), 1) << round;
     }
     std::remove(path.c_str());
+  }
+}
+
+// ----------------------- partitioned / distributed scan differential ----
+
+/// Bit-exact plan comparison: counts, grids, min/max, and the extracted
+/// compensated sums.
+void ExpectIdenticalPlans(const bucketing::MultiCountPlan& a,
+                          const bucketing::MultiCountPlan& b, int round) {
+  ASSERT_EQ(a.num_channels(), b.num_channels()) << "round " << round;
+  ASSERT_EQ(a.num_grid_channels(), b.num_grid_channels())
+      << "round " << round;
+  for (int c = 0; c < a.num_channels(); ++c) {
+    const bucketing::BucketCounts& ca = a.counts(c);
+    const bucketing::BucketCounts& cb = b.counts(c);
+    ASSERT_EQ(ca.total_tuples, cb.total_tuples)
+        << "round " << round << " channel " << c;
+    ASSERT_EQ(ca.u, cb.u) << "round " << round << " channel " << c;
+    ASSERT_EQ(ca.v, cb.v) << "round " << round << " channel " << c;
+    for (size_t bkt = 0; bkt < ca.min_value.size(); ++bkt) {
+      ASSERT_EQ(std::isnan(ca.min_value[bkt]),
+                std::isnan(cb.min_value[bkt]));
+      if (!std::isnan(ca.min_value[bkt])) {
+        ASSERT_EQ(ca.min_value[bkt], cb.min_value[bkt]);
+        ASSERT_EQ(ca.max_value[bkt], cb.max_value[bkt]);
+      }
+    }
+    const size_t num_sums =
+        a.spec().channels[static_cast<size_t>(c)].sum_targets.size();
+    for (size_t k = 0; k < num_sums; ++k) {
+      const bucketing::BucketSums sa =
+          a.MakeBucketSums(c, static_cast<int>(k));
+      const bucketing::BucketSums sb =
+          b.MakeBucketSums(c, static_cast<int>(k));
+      ASSERT_EQ(sa.sum.size(), sb.sum.size());
+      for (size_t bkt = 0; bkt < sa.sum.size(); ++bkt) {
+        ASSERT_EQ(std::isnan(sa.sum[bkt]), std::isnan(sb.sum[bkt]));
+        if (!std::isnan(sa.sum[bkt])) {
+          ASSERT_EQ(sa.sum[bkt], sb.sum[bkt])
+              << "round " << round << " channel " << c << " target " << k
+              << " bucket " << bkt;
+        }
+      }
+    }
+  }
+  for (int g = 0; g < a.num_grid_channels(); ++g) {
+    const bucketing::GridBucketCounts& ga = a.grid_counts(g);
+    const bucketing::GridBucketCounts& gb = b.grid_counts(g);
+    ASSERT_EQ(ga.total_tuples, gb.total_tuples) << "round " << round;
+    ASSERT_EQ(ga.u, gb.u) << "round " << round << " grid " << g;
+    ASSERT_EQ(ga.v, gb.v) << "round " << round << " grid " << g;
+  }
+}
+
+TEST(DistDifferentialFuzzTest, PartitionedScanMatchesSingleRelation) {
+  // Random NaN-laden schemas, random K, random partitioner, random worker
+  // counts, in-process AND subprocess workers: the distributed scan must
+  // reproduce the single-relation serial reference bit for bit -- counts,
+  // rectangular grids, min/max, and the compensated per-bucket sums.
+  Rng rng(FuzzSeed(55501));
+  const bool have_workerd = !dist::ResolveWorkerdPath("").empty();
+  for (int round = 0; round < 8; ++round) {
+    const storage::Relation relation = RandomNanRelation(rng);
+    const storage::Schema& schema = relation.schema();
+    // Random rectangular boundaries per attribute plus a grid whose axes
+    // may coincide.
+    const auto random_boundaries = [&rng](int num_buckets) {
+      std::vector<double> cuts;
+      for (int i = 0; i < num_buckets - 1; ++i) {
+        cuts.push_back(rng.NextUniform(-1e5, 9e5));
+      }
+      std::sort(cuts.begin(), cuts.end());
+      return bucketing::BucketBoundaries::FromCutPoints(std::move(cuts));
+    };
+    std::vector<bucketing::BucketBoundaries> base;
+    for (int a = 0; a < schema.num_numeric(); ++a) {
+      base.push_back(
+          random_boundaries(2 + static_cast<int>(rng.NextBounded(30))));
+    }
+    const bucketing::BucketBoundaries grid_y =
+        random_boundaries(2 + static_cast<int>(rng.NextBounded(20)));
+    bucketing::MultiCountSpec spec;
+    spec.num_targets = schema.num_boolean();
+    spec.conditions.push_back({0});
+    for (int a = 0; a < schema.num_numeric(); ++a) {
+      bucketing::CountChannel channel;
+      channel.column = a;
+      channel.boundaries = &base[static_cast<size_t>(a)];
+      spec.channels.push_back(std::move(channel));
+    }
+    bucketing::CountChannel conditional;
+    conditional.column =
+        static_cast<int>(rng.NextBounded(
+            static_cast<uint64_t>(schema.num_numeric())));
+    conditional.boundaries = &base[static_cast<size_t>(conditional.column)];
+    conditional.condition = 0;
+    spec.channels.push_back(std::move(conditional));
+    bucketing::CountChannel summing;
+    summing.column = 0;
+    summing.boundaries = &base[0];
+    summing.count_targets = false;
+    summing.sum_targets = {schema.num_numeric() > 1 ? 1 : 0};
+    spec.channels.push_back(std::move(summing));
+    bucketing::GridChannel grid;
+    grid.x_column = static_cast<int>(rng.NextBounded(
+        static_cast<uint64_t>(schema.num_numeric())));
+    grid.x_boundaries = &base[static_cast<size_t>(grid.x_column)];
+    grid.y_column = static_cast<int>(rng.NextBounded(
+        static_cast<uint64_t>(schema.num_numeric())));
+    grid.y_boundaries = &grid_y;
+    spec.grid_channels.push_back(grid);
+
+    // Single-relation serial reference.
+    storage::RelationBatchSource reference_source(&relation);
+    bucketing::MultiCountPlan reference(spec);
+    bucketing::ExecuteMultiCount(reference_source, &reference, nullptr);
+
+    dist::PartitionOptions partition_options;
+    partition_options.num_partitions =
+        1 + static_cast<int>(rng.NextBounded(8));
+    partition_options.strategy = rng.NextBernoulli(0.5)
+                                     ? dist::PartitionStrategy::kRoundRobin
+                                     : dist::PartitionStrategy::kHash;
+    partition_options.hash_seed = rng.Next64();
+    const std::string dir = testing::TempDir() + "/fuzz_partition_" +
+                            std::to_string(round);
+    std::filesystem::remove_all(dir);
+    auto table = dist::PartitionRelation(relation, dir, partition_options);
+    ASSERT_TRUE(table.ok()) << table.status().ToString();
+
+    dist::DistributedScanOptions scan_options;
+    scan_options.max_workers =
+        static_cast<int>(rng.NextBounded(
+            static_cast<uint64_t>(partition_options.num_partitions) + 1));
+    scan_options.batch_rows = 64 + static_cast<int64_t>(rng.NextBounded(500));
+    scan_options.read_mode = rng.NextBernoulli(0.5)
+                                 ? storage::PagedReadMode::kSynchronous
+                                 : storage::PagedReadMode::kDoubleBuffered;
+    // Subprocess workers on alternating rounds (when the daemon binary is
+    // available); both kinds must be bit-identical to the reference.
+    if (have_workerd && round % 2 == 1) {
+      scan_options.worker_kind = dist::WorkerKind::kSubprocess;
+    }
+    dist::DistributedScanCoordinator coordinator(&table.value(),
+                                                 scan_options);
+    bucketing::MultiCountPlan partitioned(spec);
+    ASSERT_TRUE(coordinator.Execute(&partitioned).ok()) << "round " << round;
+    ExpectIdenticalPlans(partitioned, reference, round);
+    std::filesystem::remove_all(dir);
   }
 }
 

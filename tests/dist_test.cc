@@ -1,0 +1,954 @@
+// Tests of the distributed scan subsystem (src/dist/): manifest I/O,
+// the partitioner, the wire format, in-process and subprocess workers,
+// the coordinator's deterministic merge, and the MiningEngine wired to a
+// PartitionedTable -- including the acceptance contract: a full mixed
+// session over K partitions, in-process and subprocess workers, is
+// bit-identical to the single-PagedFile path with counting_scans() == 1.
+//
+// Subprocess tests spawn the optrules_workerd binary named by the
+// OPTRULES_WORKERD environment variable (set by ctest); they skip when it
+// is absent so the binary can run standalone.
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bucketing/boundaries.h"
+#include "bucketing/counting.h"
+#include "bucketing/parallel_count.h"
+#include "common/rng.h"
+#include "datagen/table_generator.h"
+#include "dist/coordinator.h"
+#include "dist/manifest.h"
+#include "dist/partitioned_table.h"
+#include "dist/scan_worker.h"
+#include "dist/wire.h"
+#include "rules/miner.h"
+#include "storage/csv.h"
+#include "storage/paged_file.h"
+
+namespace optrules::dist {
+namespace {
+
+using bucketing::BucketBoundaries;
+using bucketing::CountChannel;
+using bucketing::GridChannel;
+using bucketing::MultiCountPlan;
+using bucketing::MultiCountSpec;
+
+std::string TempDir(const std::string& name) {
+  const std::string dir = testing::TempDir() + "/" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+storage::Relation TestRelation(int64_t rows, uint64_t seed,
+                               int num_numeric = 3, int num_boolean = 2) {
+  datagen::TableConfig config;
+  config.num_rows = rows;
+  config.num_numeric = num_numeric;
+  config.num_boolean = num_boolean;
+  Rng rng(seed);
+  storage::Relation relation = datagen::GenerateTable(config, rng);
+  // Sprinkle NaNs so the no-bucket policy is exercised through the wire.
+  std::vector<double>& column = relation.MutableNumericColumn(0);
+  for (size_t row = 0; row < column.size(); row += 97) {
+    column[row] = std::nan("");
+  }
+  return relation;
+}
+
+/// An engine-shaped spec over `relation`'s schema: base channels for every
+/// numeric attribute, one conditional channel, one sum channel, one grid
+/// channel (rectangular).
+MultiCountSpec MakeMixedSpec(const storage::Schema& schema,
+                             const std::vector<BucketBoundaries>& base,
+                             const BucketBoundaries& grid_y) {
+  MultiCountSpec spec;
+  spec.num_targets = schema.num_boolean();
+  spec.conditions.push_back({0});
+  for (int a = 0; a < schema.num_numeric(); ++a) {
+    CountChannel channel;
+    channel.column = a;
+    channel.boundaries = &base[static_cast<size_t>(a)];
+    spec.channels.push_back(std::move(channel));
+  }
+  CountChannel conditional;
+  conditional.column = 1;
+  conditional.boundaries = &base[1];
+  conditional.condition = 0;
+  spec.channels.push_back(std::move(conditional));
+  CountChannel summing;
+  summing.column = 0;
+  summing.boundaries = &base[0];
+  summing.count_targets = false;
+  summing.sum_targets = {1, 2};
+  spec.channels.push_back(std::move(summing));
+  GridChannel grid;
+  grid.x_column = 0;
+  grid.x_boundaries = &base[0];
+  grid.y_column = 1;
+  grid.y_boundaries = &grid_y;
+  spec.grid_channels.push_back(grid);
+  return spec;
+}
+
+std::vector<BucketBoundaries> BaseBoundaries(
+    const storage::Relation& relation, int num_buckets) {
+  bucketing::BoundaryPlan plan;
+  plan.bucketizer = bucketing::Bucketizer::kExactSort;
+  plan.num_buckets = num_buckets;
+  std::vector<BucketBoundaries> base;
+  for (int a = 0; a < relation.schema().num_numeric(); ++a) {
+    base.push_back(bucketing::BuildBoundaries(relation.NumericColumn(a),
+                                              plan,
+                                              static_cast<uint64_t>(a)));
+  }
+  return base;
+}
+
+void ExpectPlansIdentical(const MultiCountPlan& a, const MultiCountPlan& b) {
+  ASSERT_EQ(a.num_channels(), b.num_channels());
+  ASSERT_EQ(a.num_grid_channels(), b.num_grid_channels());
+  for (int c = 0; c < a.num_channels(); ++c) {
+    const bucketing::BucketCounts& ca = a.counts(c);
+    const bucketing::BucketCounts& cb = b.counts(c);
+    EXPECT_EQ(ca.total_tuples, cb.total_tuples) << "channel " << c;
+    ASSERT_EQ(ca.u, cb.u) << "channel " << c;
+    ASSERT_EQ(ca.v, cb.v) << "channel " << c;
+    ASSERT_EQ(ca.u.size(), cb.min_value.size());
+    for (size_t bkt = 0; bkt < ca.min_value.size(); ++bkt) {
+      const bool a_nan = std::isnan(ca.min_value[bkt]);
+      const bool b_nan = std::isnan(cb.min_value[bkt]);
+      ASSERT_EQ(a_nan, b_nan);
+      if (!a_nan) {
+        ASSERT_EQ(ca.min_value[bkt], cb.min_value[bkt]);
+        ASSERT_EQ(ca.max_value[bkt], cb.max_value[bkt]);
+      }
+    }
+    const size_t num_sums = a.spec().channels[static_cast<size_t>(c)]
+                                .sum_targets.size();
+    for (size_t k = 0; k < num_sums; ++k) {
+      const bucketing::BucketSums sa =
+          a.MakeBucketSums(c, static_cast<int>(k));
+      const bucketing::BucketSums sb =
+          b.MakeBucketSums(c, static_cast<int>(k));
+      ASSERT_EQ(sa.sum, sb.sum) << "channel " << c << " sum target " << k;
+    }
+  }
+  for (int g = 0; g < a.num_grid_channels(); ++g) {
+    const bucketing::GridBucketCounts& ga = a.grid_counts(g);
+    const bucketing::GridBucketCounts& gb = b.grid_counts(g);
+    EXPECT_EQ(ga.total_tuples, gb.total_tuples);
+    ASSERT_EQ(ga.u, gb.u) << "grid " << g;
+    ASSERT_EQ(ga.v, gb.v) << "grid " << g;
+  }
+}
+
+// ----------------------------------------------------------- manifest ----
+
+TEST(ManifestTest, RoundTripsSchemaPartitionsAndStats) {
+  const std::string dir = TempDir("manifest_roundtrip");
+  ASSERT_TRUE(std::filesystem::create_directories(dir));
+  PartitionManifest manifest;
+  auto schema = storage::Schema::Create(
+      {{"age", storage::AttrKind::kNumeric},
+       {"account balance", storage::AttrKind::kNumeric},
+       {"card loan", storage::AttrKind::kBoolean}});
+  ASSERT_TRUE(schema.ok());
+  manifest.schema = schema.value();
+  manifest.partitions = {{"part-00000.optr", 5}, {"part-00001.optr", 7}};
+  manifest.numeric_stats = {{-1.5, 2.25},
+                            {0.1, std::numeric_limits<double>::infinity()}};
+  ASSERT_TRUE(WriteManifest(manifest, dir).ok());
+
+  Result<PartitionManifest> read = ReadManifest(dir);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(read.value().schema, manifest.schema);
+  EXPECT_EQ(read.value().schema_hash, SchemaHash(manifest.schema));
+  ASSERT_EQ(read.value().num_partitions(), 2);
+  EXPECT_EQ(read.value().partitions[0].file, "part-00000.optr");
+  EXPECT_EQ(read.value().partitions[1].num_rows, 7);
+  EXPECT_EQ(read.value().total_rows(), 12);
+  ASSERT_EQ(read.value().numeric_stats.size(), 2u);
+  EXPECT_EQ(read.value().numeric_stats[0].min_value, -1.5);
+  EXPECT_EQ(read.value().numeric_stats[0].max_value, 2.25);
+  EXPECT_TRUE(std::isinf(read.value().numeric_stats[1].max_value));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ManifestTest, RejectsTamperedSchema) {
+  const std::string dir = TempDir("manifest_tampered");
+  ASSERT_TRUE(std::filesystem::create_directories(dir));
+  PartitionManifest manifest;
+  manifest.schema = storage::Schema::Synthetic(2, 1);
+  manifest.partitions = {{"part-00000.optr", 1}};
+  manifest.numeric_stats.resize(2);
+  ASSERT_TRUE(WriteManifest(manifest, dir).ok());
+  // Flip one attribute name in the manifest text.
+  const std::string path = dir + "/" + kManifestFileName;
+  std::string text;
+  {
+    std::FILE* file = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(file, nullptr);
+    char chunk[4096];
+    size_t got;
+    while ((got = std::fread(chunk, 1, sizeof(chunk), file)) > 0) {
+      text.append(chunk, got);
+    }
+    std::fclose(file);
+  }
+  const size_t pos = text.find("attr numeric num0");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 17, "attr numeric hack");
+  {
+    std::FILE* file = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(file, nullptr);
+    ASSERT_EQ(std::fwrite(text.data(), 1, text.size(), file), text.size());
+    std::fclose(file);
+  }
+  const Result<PartitionManifest> read = ReadManifest(dir);
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kCorruption);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ManifestTest, MissingDirectoryIsIoError) {
+  const Result<PartitionManifest> read =
+      ReadManifest(testing::TempDir() + "/does_not_exist_xyz");
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kIoError);
+}
+
+// -------------------------------------------------------- partitioner ----
+
+TEST(PartitionerTest, RoundRobinSplitsRowsInOrder) {
+  const storage::Relation relation = TestRelation(101, 11);
+  const std::string dir = TempDir("rr_split");
+  PartitionOptions options;
+  options.num_partitions = 3;
+  Result<PartitionedTable> table = PartitionRelation(relation, dir, options);
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  EXPECT_EQ(table.value().num_partitions(), 3);
+  EXPECT_EQ(table.value().total_rows(), relation.NumRows());
+  // Partition p holds rows p, p+3, p+6, ... in original order, exactly.
+  for (int p = 0; p < 3; ++p) {
+    Result<storage::Relation> part = storage::ReadRelationFromFile(
+        table.value().PartitionPath(p), relation.schema());
+    ASSERT_TRUE(part.ok());
+    ASSERT_EQ(part.value().NumRows(), table.value().partition_rows(p));
+    int64_t source_row = p;
+    for (int64_t row = 0; row < part.value().NumRows();
+         ++row, source_row += 3) {
+      for (int a = 0; a < relation.schema().num_numeric(); ++a) {
+        const double expected = relation.NumericValue(source_row, a);
+        const double got = part.value().NumericValue(row, a);
+        if (std::isnan(expected)) {
+          ASSERT_TRUE(std::isnan(got));
+        } else {
+          ASSERT_EQ(got, expected);
+        }
+      }
+      for (int b = 0; b < relation.schema().num_boolean(); ++b) {
+        ASSERT_EQ(part.value().BooleanValue(row, b),
+                  relation.BooleanValue(source_row, b));
+      }
+    }
+  }
+  // Stats: NaN-safe min/max of every numeric column.
+  for (int a = 0; a < relation.schema().num_numeric(); ++a) {
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -lo;
+    for (const double value : relation.NumericColumn(a)) {
+      if (std::isnan(value)) continue;
+      lo = std::min(lo, value);
+      hi = std::max(hi, value);
+    }
+    const AttributeStats& stats =
+        table.value().manifest().numeric_stats[static_cast<size_t>(a)];
+    EXPECT_EQ(stats.min_value, lo);
+    EXPECT_EQ(stats.max_value, hi);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(PartitionerTest, HashRoutingIsDeterministicAndComplete) {
+  const storage::Relation relation = TestRelation(300, 12);
+  PartitionOptions options;
+  options.num_partitions = 4;
+  options.strategy = PartitionStrategy::kHash;
+  const std::string dir_a = TempDir("hash_a");
+  const std::string dir_b = TempDir("hash_b");
+  Result<PartitionedTable> a = PartitionRelation(relation, dir_a, options);
+  Result<PartitionedTable> b = PartitionRelation(relation, dir_b, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value().total_rows(), relation.NumRows());
+  for (int p = 0; p < 4; ++p) {
+    EXPECT_EQ(a.value().partition_rows(p), b.value().partition_rows(p));
+  }
+  std::filesystem::remove_all(dir_a);
+  std::filesystem::remove_all(dir_b);
+}
+
+TEST(PartitionerTest, OpenValidatesPartitionFiles) {
+  const storage::Relation relation = TestRelation(64, 13);
+  const std::string dir = TempDir("open_validate");
+  PartitionOptions options;
+  options.num_partitions = 2;
+  ASSERT_TRUE(PartitionRelation(relation, dir, options).ok());
+  ASSERT_TRUE(PartitionedTable::Open(dir).ok());
+  // Deleting a partition file must fail Open, not a later scan.
+  std::filesystem::remove(dir + "/part-00001.optr");
+  EXPECT_FALSE(PartitionedTable::Open(dir).ok());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(PartitionerTest, PartitionPagedFileMatchesPartitionRelation) {
+  const storage::Relation relation = TestRelation(200, 14);
+  const std::string paged = testing::TempDir() + "/dist_single.optr";
+  ASSERT_TRUE(storage::WriteRelationToFile(relation, paged).ok());
+  PartitionOptions options;
+  options.num_partitions = 3;
+  const std::string dir_r = TempDir("from_relation");
+  const std::string dir_f = TempDir("from_file");
+  Result<PartitionedTable> from_relation =
+      PartitionRelation(relation, dir_r, options);
+  Result<PartitionedTable> from_file =
+      PartitionPagedFile(paged, relation.schema(), dir_f, options);
+  ASSERT_TRUE(from_relation.ok());
+  ASSERT_TRUE(from_file.ok()) << from_file.status().ToString();
+  for (int p = 0; p < 3; ++p) {
+    EXPECT_EQ(from_relation.value().partition_rows(p),
+              from_file.value().partition_rows(p));
+    // Byte-identical partition files: same rows, same order, same layout.
+    const auto read = [](const std::string& path) {
+      std::FILE* file = std::fopen(path.c_str(), "rb");
+      std::string bytes;
+      char chunk[4096];
+      size_t got;
+      while ((got = std::fread(chunk, 1, sizeof(chunk), file)) > 0) {
+        bytes.append(chunk, got);
+      }
+      std::fclose(file);
+      return bytes;
+    };
+    EXPECT_EQ(read(from_relation.value().PartitionPath(p)),
+              read(from_file.value().PartitionPath(p)))
+        << "partition " << p;
+  }
+  std::remove(paged.c_str());
+  std::filesystem::remove_all(dir_r);
+  std::filesystem::remove_all(dir_f);
+}
+
+TEST(PartitionerTest, RepartitioningReplacesTheTableWholesale) {
+  const storage::Relation relation = TestRelation(120, 29);
+  const std::string dir = TempDir("repartition");
+  PartitionOptions options;
+  options.num_partitions = 4;
+  ASSERT_TRUE(PartitionRelation(relation, dir, options).ok());
+  // Re-partition the same directory at a smaller K: the staged swap must
+  // leave no stale part files from the old layout behind.
+  options.num_partitions = 2;
+  Result<PartitionedTable> table = PartitionRelation(relation, dir, options);
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  EXPECT_EQ(table.value().num_partitions(), 2);
+  EXPECT_EQ(table.value().total_rows(), relation.NumRows());
+  EXPECT_FALSE(std::filesystem::exists(dir + "/part-00002.optr"));
+  EXPECT_FALSE(std::filesystem::exists(dir + ".staging"));
+  ASSERT_TRUE(PartitionedTable::Open(dir).ok());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(PartitionerTest, CsvPartitionsLikeItsRelation) {
+  storage::Relation relation = TestRelation(80, 26);
+  // CSV cells round-trip decimally, so drop the NaNs TestRelation injects
+  // and compare via the re-read relation rather than the original.
+  std::vector<double>& column = relation.MutableNumericColumn(0);
+  for (double& value : column) {
+    if (std::isnan(value)) value = 0.0;
+  }
+  const std::string csv = testing::TempDir() + "/dist_input.csv";
+  ASSERT_TRUE(storage::WriteCsv(relation, csv).ok());
+  const std::string dir = TempDir("from_csv");
+  PartitionOptions options;
+  options.num_partitions = 3;
+  Result<PartitionedTable> table = PartitionCsv(csv, dir, options);
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  EXPECT_EQ(table.value().total_rows(), relation.NumRows());
+  EXPECT_EQ(table.value().schema(), relation.schema());
+  std::remove(csv.c_str());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(PartitionerTest, ConcatSourceReplaysPartitionsInManifestOrder) {
+  const storage::Relation relation = TestRelation(150, 15);
+  const std::string dir = TempDir("concat");
+  PartitionOptions options;
+  options.num_partitions = 4;
+  Result<PartitionedTable> table = PartitionRelation(relation, dir, options);
+  ASSERT_TRUE(table.ok());
+  PartitionedTableBatchSource source(&table.value(), 32);
+  EXPECT_EQ(source.NumTuples(), relation.NumRows());
+  std::unique_ptr<storage::BatchReader> reader = source.CreateReader();
+  storage::ColumnarBatch batch;
+  std::vector<double> streamed;
+  while (reader->Next(&batch)) {
+    const std::span<const double> column = batch.numeric(1);
+    streamed.insert(streamed.end(), column.begin(), column.end());
+  }
+  ASSERT_EQ(static_cast<int64_t>(streamed.size()), relation.NumRows());
+  // Round-robin: partition-concatenated order is row p, p+4, ... per p.
+  size_t index = 0;
+  for (int p = 0; p < 4; ++p) {
+    for (int64_t row = p; row < relation.NumRows(); row += 4) {
+      ASSERT_EQ(streamed[index++], relation.NumericValue(row, 1));
+    }
+  }
+  EXPECT_EQ(source.scans_started(), 1);
+  std::filesystem::remove_all(dir);
+}
+
+// --------------------------------------------------------------- wire ----
+
+TEST(WireTest, ScanRequestRoundTrips) {
+  const storage::Relation relation = TestRelation(64, 16);
+  const std::vector<BucketBoundaries> base = BaseBoundaries(relation, 8);
+  const BucketBoundaries grid_y =
+      BucketBoundaries::FromCutPoints({0.25, 0.5});
+  const MultiCountSpec spec =
+      MakeMixedSpec(relation.schema(), base, grid_y);
+  std::vector<uint8_t> payload;
+  EncodeScanRequest("/some/partition.optr", 1234,
+                    storage::PagedReadMode::kSynchronous, spec, &payload);
+  Result<ScanRequestFrame> frame = DecodeScanRequest(payload);
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  EXPECT_EQ(frame.value().partition_path, "/some/partition.optr");
+  EXPECT_EQ(frame.value().batch_rows, 1234);
+  EXPECT_EQ(frame.value().read_mode, storage::PagedReadMode::kSynchronous);
+  const MultiCountSpec& decoded = frame.value().spec;
+  EXPECT_EQ(decoded.num_targets, spec.num_targets);
+  EXPECT_EQ(decoded.conditions, spec.conditions);
+  ASSERT_EQ(decoded.channels.size(), spec.channels.size());
+  for (size_t c = 0; c < spec.channels.size(); ++c) {
+    EXPECT_EQ(decoded.channels[c].column, spec.channels[c].column);
+    EXPECT_EQ(decoded.channels[c].condition, spec.channels[c].condition);
+    EXPECT_EQ(decoded.channels[c].count_targets,
+              spec.channels[c].count_targets);
+    EXPECT_EQ(decoded.channels[c].sum_targets,
+              spec.channels[c].sum_targets);
+    ASSERT_NE(decoded.channels[c].boundaries, nullptr);
+    EXPECT_EQ(decoded.channels[c].boundaries->cut_points(),
+              spec.channels[c].boundaries->cut_points());
+  }
+  ASSERT_EQ(decoded.grid_channels.size(), 1u);
+  EXPECT_EQ(decoded.grid_channels[0].y_boundaries->cut_points(),
+            grid_y.cut_points());
+  // Shared boundary identity survives the wire: the grid's x axis reuses
+  // channel 0's boundaries object, so locate groups still dedupe.
+  EXPECT_EQ(decoded.grid_channels[0].x_boundaries,
+            decoded.channels[0].boundaries);
+  // Corrupt payloads fail, never crash.
+  std::vector<uint8_t> truncated(payload.begin(),
+                                 payload.begin() + payload.size() / 2);
+  EXPECT_FALSE(DecodeScanRequest(truncated).ok());
+}
+
+TEST(WireTest, PartialPlanStateRoundTripsBitExactly) {
+  const storage::Relation relation = TestRelation(500, 17);
+  const std::vector<BucketBoundaries> base = BaseBoundaries(relation, 10);
+  const BucketBoundaries grid_y =
+      BucketBoundaries::FromCutPoints({1e5, 4e5});
+  const MultiCountSpec spec =
+      MakeMixedSpec(relation.schema(), base, grid_y);
+
+  storage::RelationBatchSource source(&relation, 128);
+  MultiCountPlan original(spec);
+  bucketing::ExecuteMultiCount(source, &original, nullptr);
+  std::vector<uint8_t> bytes;
+  original.AppendPartialState(&bytes);
+
+  MultiCountPlan restored(spec);
+  ASSERT_TRUE(restored.LoadPartialState(bytes).ok());
+  ExpectPlansIdentical(restored, original);
+
+  // Truncation and shape mismatch are detected.
+  MultiCountPlan scratch(spec);
+  EXPECT_FALSE(scratch
+                   .LoadPartialState(std::span<const uint8_t>(bytes)
+                                         .subspan(0, bytes.size() - 3))
+                   .ok());
+  MultiCountSpec narrow;
+  narrow.num_targets = relation.schema().num_boolean();
+  CountChannel only;
+  only.column = 0;
+  only.boundaries = &base[0];
+  narrow.channels.push_back(only);
+  MultiCountPlan wrong_shape(narrow);
+  EXPECT_FALSE(wrong_shape.LoadPartialState(bytes).ok());
+}
+
+TEST(WireTest, ErrorFrameRoundTrips) {
+  std::vector<uint8_t> payload;
+  EncodeErrorFrame(Status::NotFound("no such partition"), &payload);
+  const Status status = DecodeErrorFrame(payload);
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(status.message(), "no such partition");
+}
+
+// ------------------------------------------------------------ workers ----
+
+/// Reference: serial scan of the whole relation.
+MultiCountPlan ReferencePlan(const storage::Relation& relation,
+                             const MultiCountSpec& spec) {
+  storage::RelationBatchSource source(&relation);
+  MultiCountPlan plan(spec);
+  bucketing::ExecuteMultiCount(source, &plan, nullptr);
+  return plan;
+}
+
+/// Merges per-partition worker partials in partition order.
+MultiCountPlan MergeWorkerPartials(ScanWorker& worker,
+                                   const PartitionedTable& table,
+                                   const MultiCountSpec& spec) {
+  PartitionScanSpec scan_spec;
+  scan_spec.spec = &spec;
+  MultiCountPlan merged(spec);
+  for (int p = 0; p < table.num_partitions(); ++p) {
+    Result<MultiCountPlan> partial =
+        worker.CountPartition(table.PartitionPath(p), scan_spec);
+    EXPECT_TRUE(partial.ok()) << partial.status().ToString();
+    merged.Merge(partial.value());
+  }
+  return merged;
+}
+
+TEST(ScanWorkerTest, InProcessWorkerPartialsMergeToReference) {
+  const storage::Relation relation = TestRelation(700, 18);
+  const std::vector<BucketBoundaries> base = BaseBoundaries(relation, 12);
+  const BucketBoundaries grid_y = BucketBoundaries::FromCutPoints({2e5});
+  const MultiCountSpec spec =
+      MakeMixedSpec(relation.schema(), base, grid_y);
+  const std::string dir = TempDir("worker_inproc");
+  PartitionOptions options;
+  options.num_partitions = 3;
+  Result<PartitionedTable> table = PartitionRelation(relation, dir, options);
+  ASSERT_TRUE(table.ok());
+
+  InProcessScanWorker worker;
+  const MultiCountPlan merged =
+      MergeWorkerPartials(worker, table.value(), spec);
+  const MultiCountPlan reference = ReferencePlan(relation, spec);
+  // Counts/grids/min/max are permutation-invariant, so the partitioned
+  // merge must equal the single-relation serial reference bit for bit;
+  // the compensated sums agree too on this data (asserted exactly).
+  ExpectPlansIdentical(merged, reference);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ScanWorkerTest, SubprocessWorkerMatchesInProcess) {
+  if (ResolveWorkerdPath("").empty()) {
+    GTEST_SKIP() << "OPTRULES_WORKERD not set";
+  }
+  const storage::Relation relation = TestRelation(600, 19);
+  const std::vector<BucketBoundaries> base = BaseBoundaries(relation, 9);
+  const BucketBoundaries grid_y = BucketBoundaries::FromCutPoints({3e5});
+  const MultiCountSpec spec =
+      MakeMixedSpec(relation.schema(), base, grid_y);
+  const std::string dir = TempDir("worker_subproc");
+  PartitionOptions options;
+  options.num_partitions = 3;
+  Result<PartitionedTable> table = PartitionRelation(relation, dir, options);
+  ASSERT_TRUE(table.ok());
+
+  Result<std::unique_ptr<SubprocessScanWorker>> subprocess =
+      SubprocessScanWorker::Spawn(ResolveWorkerdPath(""));
+  ASSERT_TRUE(subprocess.ok()) << subprocess.status().ToString();
+  // ONE daemon serves all three partitions sequentially over its pipe.
+  const MultiCountPlan remote =
+      MergeWorkerPartials(*subprocess.value(), table.value(), spec);
+  InProcessScanWorker local;
+  const MultiCountPlan in_process =
+      MergeWorkerPartials(local, table.value(), spec);
+  ExpectPlansIdentical(remote, in_process);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ScanWorkerTest, SubprocessWorkerReportsMissingPartition) {
+  if (ResolveWorkerdPath("").empty()) {
+    GTEST_SKIP() << "OPTRULES_WORKERD not set";
+  }
+  Result<std::unique_ptr<SubprocessScanWorker>> worker =
+      SubprocessScanWorker::Spawn(ResolveWorkerdPath(""));
+  ASSERT_TRUE(worker.ok());
+  MultiCountSpec spec;
+  spec.num_targets = 1;
+  const BucketBoundaries boundaries =
+      BucketBoundaries::FromCutPoints({1.0});
+  CountChannel channel;
+  channel.column = 0;
+  channel.boundaries = &boundaries;
+  spec.channels.push_back(channel);
+  PartitionScanSpec scan_spec;
+  scan_spec.spec = &spec;
+  // The error comes back as a frame; the daemon survives to serve again.
+  Result<MultiCountPlan> missing = worker.value()->CountPartition(
+      testing::TempDir() + "/no_such_partition.optr", scan_spec);
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kIoError);
+  Result<MultiCountPlan> still_missing = worker.value()->CountPartition(
+      testing::TempDir() + "/still_missing.optr", scan_spec);
+  EXPECT_FALSE(still_missing.ok());
+}
+
+TEST(ScanWorkerTest, SpawnFailsWithoutBinary) {
+  EXPECT_FALSE(SubprocessScanWorker::Spawn("").ok());
+}
+
+// -------------------------------------------------------- coordinator ----
+
+TEST(CoordinatorTest, MergeIsIdenticalForAnyWorkerCount) {
+  const storage::Relation relation = TestRelation(900, 20);
+  const std::vector<BucketBoundaries> base = BaseBoundaries(relation, 14);
+  const BucketBoundaries grid_y = BucketBoundaries::FromCutPoints({2e5});
+  const MultiCountSpec spec =
+      MakeMixedSpec(relation.schema(), base, grid_y);
+  const MultiCountPlan reference = ReferencePlan(relation, spec);
+  for (const PartitionStrategy strategy :
+       {PartitionStrategy::kRoundRobin, PartitionStrategy::kHash}) {
+    const std::string dir = TempDir("coord_workers");
+    PartitionOptions options;
+    options.num_partitions = 5;
+    options.strategy = strategy;
+    Result<PartitionedTable> table =
+        PartitionRelation(relation, dir, options);
+    ASSERT_TRUE(table.ok());
+    for (const int workers : {1, 2, 5}) {
+      DistributedScanOptions scan_options;
+      scan_options.max_workers = workers;
+      DistributedScanCoordinator coordinator(&table.value(), scan_options);
+      MultiCountPlan plan(spec);
+      ASSERT_TRUE(coordinator.Execute(&plan).ok());
+      EXPECT_EQ(coordinator.partition_scans(), 5);
+      ExpectPlansIdentical(plan, reference);
+    }
+    std::filesystem::remove_all(dir);
+  }
+}
+
+TEST(CoordinatorTest, SubprocessWorkersMatchInProcess) {
+  if (ResolveWorkerdPath("").empty()) {
+    GTEST_SKIP() << "OPTRULES_WORKERD not set";
+  }
+  const storage::Relation relation = TestRelation(400, 21);
+  const std::vector<BucketBoundaries> base = BaseBoundaries(relation, 7);
+  const BucketBoundaries grid_y = BucketBoundaries::FromCutPoints({1e5});
+  const MultiCountSpec spec =
+      MakeMixedSpec(relation.schema(), base, grid_y);
+  const std::string dir = TempDir("coord_subproc");
+  PartitionOptions options;
+  options.num_partitions = 4;
+  Result<PartitionedTable> table = PartitionRelation(relation, dir, options);
+  ASSERT_TRUE(table.ok());
+
+  MultiCountPlan in_process(spec);
+  {
+    DistributedScanCoordinator coordinator(&table.value(), {});
+    ASSERT_TRUE(coordinator.Execute(&in_process).ok());
+  }
+  DistributedScanOptions scan_options;
+  scan_options.worker_kind = WorkerKind::kSubprocess;
+  scan_options.max_workers = 2;  // 2 daemons x 2 partitions each
+  DistributedScanCoordinator coordinator(&table.value(), scan_options);
+  MultiCountPlan subprocess(spec);
+  ASSERT_TRUE(coordinator.Execute(&subprocess).ok());
+  ExpectPlansIdentical(subprocess, in_process);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CoordinatorTest, MissingWorkerBinaryIsAnError) {
+  const storage::Relation relation = TestRelation(50, 22);
+  const std::string dir = TempDir("coord_missing_binary");
+  PartitionOptions options;
+  options.num_partitions = 2;
+  Result<PartitionedTable> table = PartitionRelation(relation, dir, options);
+  ASSERT_TRUE(table.ok());
+  DistributedScanOptions scan_options;
+  scan_options.worker_kind = WorkerKind::kSubprocess;
+  scan_options.workerd_path = "/no/such/binary";
+  DistributedScanCoordinator coordinator(&table.value(), scan_options);
+  const std::vector<BucketBoundaries> base = BaseBoundaries(relation, 4);
+  const BucketBoundaries grid_y = BucketBoundaries::FromCutPoints({0.0});
+  MultiCountPlan plan(MakeMixedSpec(relation.schema(), base, grid_y));
+  // exec fails inside the child, so the first partition scan reports the
+  // dead pipe as an error instead of hanging.
+  EXPECT_FALSE(coordinator.Execute(&plan).ok());
+  std::filesystem::remove_all(dir);
+}
+
+// ------------------------------------- engine over a PartitionedTable ----
+
+using rules::MinedAggregateRange;
+using rules::MinedRegion;
+using rules::MinedRule;
+using rules::MinerOptions;
+using rules::MiningEngine;
+
+void ExpectSameRules(const std::vector<MinedRule>& a,
+                     const std::vector<MinedRule>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].found, b[i].found) << "rule " << i;
+    ASSERT_EQ(a[i].range_lo, b[i].range_lo) << "rule " << i;
+    ASSERT_EQ(a[i].range_hi, b[i].range_hi) << "rule " << i;
+    ASSERT_EQ(a[i].support_count, b[i].support_count) << "rule " << i;
+    ASSERT_EQ(a[i].hit_count, b[i].hit_count) << "rule " << i;
+    ASSERT_EQ(a[i].support, b[i].support) << "rule " << i;
+    ASSERT_EQ(a[i].confidence, b[i].confidence) << "rule " << i;
+  }
+}
+
+void ExpectSameAggregate(const Result<MinedAggregateRange>& a_or,
+                         const Result<MinedAggregateRange>& b_or) {
+  ASSERT_TRUE(a_or.ok());
+  ASSERT_TRUE(b_or.ok());
+  const MinedAggregateRange& a = a_or.value();
+  const MinedAggregateRange& b = b_or.value();
+  ASSERT_EQ(a.found, b.found);
+  ASSERT_EQ(a.range_lo, b.range_lo);
+  ASSERT_EQ(a.range_hi, b.range_hi);
+  ASSERT_EQ(a.support_count, b.support_count);
+  ASSERT_EQ(a.support, b.support);
+  ASSERT_EQ(a.average, b.average);
+}
+
+void ExpectSameRegion(const Result<MinedRegion>& a_or,
+                      const Result<MinedRegion>& b_or) {
+  ASSERT_TRUE(a_or.ok());
+  ASSERT_TRUE(b_or.ok());
+  const MinedRegion& a = a_or.value();
+  const MinedRegion& b = b_or.value();
+  ASSERT_EQ(a.found, b.found);
+  ASSERT_EQ(a.nx, b.nx);
+  ASSERT_EQ(a.ny, b.ny);
+  ASSERT_EQ(a.total_tuples, b.total_tuples);
+  ASSERT_EQ(a.confidence_rectangle.support_count,
+            b.confidence_rectangle.support_count);
+  ASSERT_EQ(a.confidence_rectangle.hit_count,
+            b.confidence_rectangle.hit_count);
+  ASSERT_EQ(a.support_rectangle.support_count,
+            b.support_rectangle.support_count);
+  ASSERT_EQ(a.xmonotone_gain.gain, b.xmonotone_gain.gain);
+  ASSERT_EQ(a.xmonotone_gain.column_ranges, b.xmonotone_gain.column_ranges);
+}
+
+/// The acceptance contract: a full mixed session (all-pairs + generalized
+/// + average + region) over a PartitionedTable with K in {1, 3, 8}
+/// partitions, in-process and subprocess workers, is bit-identical to the
+/// single-PagedFile engine, with counting_scans() == 1 (K physical
+/// partition scans behind it). kExactSort keeps boundary planning
+/// permutation-invariant so the partitioned row order cannot leak in.
+TEST(PartitionedEngineTest, MixedSessionMatchesSinglePagedFile) {
+  const storage::Relation relation = TestRelation(4000, 23, 4, 3);
+  const storage::Schema& schema = relation.schema();
+  MinerOptions options;
+  options.num_buckets = 60;
+  options.region_grid_buckets = 12;
+  options.bucketizer = rules::Bucketizer::kExactSort;
+
+  const std::string paged = testing::TempDir() + "/dist_engine_single.optr";
+  ASSERT_TRUE(storage::WriteRelationToFile(relation, paged).ok());
+  auto single_source = storage::PagedFileBatchSource::Open(paged);
+  ASSERT_TRUE(single_source.ok());
+  MiningEngine reference(single_source.value().get(), schema, options);
+  const auto run_session = [&schema](MiningEngine& engine) {
+    ASSERT_TRUE(engine.RequestGeneralized({schema.BooleanName(0)}).ok());
+    ASSERT_TRUE(engine.RequestAverageTarget(schema.NumericName(1)).ok());
+    ASSERT_TRUE(
+        engine
+            .RequestRegionPair(schema.NumericName(0), schema.NumericName(1))
+            .ok());
+    engine.Prepare();
+  };
+  run_session(reference);
+  const std::vector<MinedRule> reference_rules = reference.MineAllPairs();
+  const auto reference_generalized = reference.MineGeneralized(
+      schema.NumericName(2), {schema.BooleanName(0)}, schema.BooleanName(1));
+  ASSERT_TRUE(reference_generalized.ok());
+  const auto reference_average = reference.MineMaximumAverageRange(
+      schema.NumericName(0), schema.NumericName(1), 0.1);
+  const auto reference_support = reference.MineMaximumSupportRange(
+      schema.NumericName(0), schema.NumericName(1), 1e5);
+  const auto reference_region = reference.MineOptimizedRegion(
+      schema.NumericName(0), schema.NumericName(1), schema.BooleanName(0));
+  ASSERT_EQ(reference.counting_scans(), 1);
+
+  const bool have_workerd = !ResolveWorkerdPath("").empty();
+  for (const int k : {1, 3, 8}) {
+    const std::string dir =
+        TempDir("engine_mixed_k" + std::to_string(k));
+    PartitionOptions partition_options;
+    partition_options.num_partitions = k;
+    Result<PartitionedTable> table =
+        PartitionRelation(relation, dir, partition_options);
+    ASSERT_TRUE(table.ok());
+
+    std::vector<DistributedScanOptions> variants;
+    variants.push_back({});  // in-process, one worker per partition
+    DistributedScanOptions two_workers;
+    two_workers.max_workers = 2;
+    variants.push_back(two_workers);
+    if (have_workerd) {
+      DistributedScanOptions subprocess;
+      subprocess.worker_kind = WorkerKind::kSubprocess;
+      subprocess.max_workers = k == 1 ? 1 : 2;
+      variants.push_back(subprocess);
+    }
+    for (const DistributedScanOptions& variant : variants) {
+      MiningEngine engine(&table.value(), options, variant);
+      run_session(engine);
+      ExpectSameRules(engine.MineAllPairs(), reference_rules);
+      const auto generalized = engine.MineGeneralized(
+          schema.NumericName(2), {schema.BooleanName(0)},
+          schema.BooleanName(1));
+      ASSERT_TRUE(generalized.ok());
+      ExpectSameRules(generalized.value(), reference_generalized.value());
+      ExpectSameAggregate(
+          engine.MineMaximumAverageRange(schema.NumericName(0),
+                                         schema.NumericName(1), 0.1),
+          reference_average);
+      ExpectSameAggregate(
+          engine.MineMaximumSupportRange(schema.NumericName(0),
+                                         schema.NumericName(1), 1e5),
+          reference_support);
+      ExpectSameRegion(
+          engine.MineOptimizedRegion(schema.NumericName(0),
+                                     schema.NumericName(1),
+                                     schema.BooleanName(0)),
+          reference_region);
+      EXPECT_EQ(engine.counting_scans(), 1)
+          << "k=" << k << " subprocess="
+          << (variant.worker_kind == WorkerKind::kSubprocess);
+    }
+    std::filesystem::remove_all(dir);
+  }
+  std::remove(paged.c_str());
+}
+
+/// With K = 1 round-robin the partitioned row order IS the original
+/// order, so even the order-sensitive default sampling bucketizer must
+/// match the single-file engine bit for bit.
+TEST(PartitionedEngineTest, SinglePartitionMatchesWithSamplingBucketizer) {
+  const storage::Relation relation = TestRelation(2500, 24);
+  const storage::Schema& schema = relation.schema();
+  MinerOptions options;
+  options.num_buckets = 40;
+
+  const std::string paged = testing::TempDir() + "/dist_engine_k1.optr";
+  ASSERT_TRUE(storage::WriteRelationToFile(relation, paged).ok());
+  auto single_source = storage::PagedFileBatchSource::Open(paged);
+  ASSERT_TRUE(single_source.ok());
+  MiningEngine reference(single_source.value().get(), schema, options);
+
+  const std::string dir = TempDir("engine_k1_sampling");
+  PartitionOptions partition_options;
+  partition_options.num_partitions = 1;
+  Result<PartitionedTable> table =
+      PartitionRelation(relation, dir, partition_options);
+  ASSERT_TRUE(table.ok());
+  MiningEngine engine(&table.value(), options);
+  ExpectSameRules(engine.MineAllPairs(), reference.MineAllPairs());
+  std::filesystem::remove_all(dir);
+  std::remove(paged.c_str());
+}
+
+/// Misconfigured distributed sessions surface a Status through
+/// TryPrepare instead of aborting the host process, and recover once the
+/// configuration is fixable (here: switching worker kinds).
+TEST(PartitionedEngineTest, TryPrepareSurfacesWorkerFailures) {
+  const storage::Relation relation = TestRelation(300, 27);
+  const std::string dir = TempDir("engine_try_prepare");
+  PartitionOptions partition_options;
+  partition_options.num_partitions = 2;
+  Result<PartitionedTable> table =
+      PartitionRelation(relation, dir, partition_options);
+  ASSERT_TRUE(table.ok());
+  DistributedScanOptions scan_options;
+  scan_options.worker_kind = WorkerKind::kSubprocess;
+  scan_options.workerd_path = "/no/such/binary";
+  MinerOptions options;
+  options.num_buckets = 8;
+  {
+    MiningEngine engine(&table.value(), options, scan_options);
+    const Status status = engine.TryPrepare();
+    ASSERT_FALSE(status.ok());
+    EXPECT_EQ(engine.counting_scans(), 0);
+  }
+  // Same table, in-process workers: fine.
+  MiningEngine engine(&table.value(), options);
+  EXPECT_TRUE(engine.TryPrepare().ok());
+  EXPECT_EQ(engine.counting_scans(), 1);
+  std::filesystem::remove_all(dir);
+}
+
+/// A partition deleted AFTER Open but BEFORE the session starts fails
+/// softly through TryPrepare's up-front revalidation.
+TEST(PartitionedEngineTest, TryPrepareSurfacesVanishedPartition) {
+  const storage::Relation relation = TestRelation(200, 28);
+  const std::string dir = TempDir("engine_vanished_partition");
+  PartitionOptions partition_options;
+  partition_options.num_partitions = 2;
+  Result<PartitionedTable> table =
+      PartitionRelation(relation, dir, partition_options);
+  ASSERT_TRUE(table.ok());
+  std::filesystem::remove(table.value().PartitionPath(1));
+  MinerOptions options;
+  options.num_buckets = 8;
+  MiningEngine engine(&table.value(), options);
+  const Status status = engine.TryPrepare();
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+  EXPECT_EQ(engine.counting_scans(), 0);
+  std::filesystem::remove_all(dir);
+}
+
+/// A late region pair on a partitioned engine costs the documented one
+/// supplemental (distributed) scan and still matches the reference.
+TEST(PartitionedEngineTest, LateRegionPairCostsOneSupplementalScan) {
+  const storage::Relation relation = TestRelation(1200, 25);
+  const storage::Schema& schema = relation.schema();
+  MinerOptions options;
+  options.num_buckets = 30;
+  options.region_grid_buckets = 8;
+  options.bucketizer = rules::Bucketizer::kExactSort;
+  const std::string dir = TempDir("engine_late_region");
+  PartitionOptions partition_options;
+  partition_options.num_partitions = 3;
+  Result<PartitionedTable> table =
+      PartitionRelation(relation, dir, partition_options);
+  ASSERT_TRUE(table.ok());
+  MiningEngine engine(&table.value(), options);
+  engine.MineAllPairs();
+  EXPECT_EQ(engine.counting_scans(), 1);
+  const auto region = engine.MineOptimizedRegion(
+      schema.NumericName(0), schema.NumericName(1), schema.BooleanName(0));
+  ASSERT_TRUE(region.ok());
+  EXPECT_EQ(engine.counting_scans(), 2);
+
+  rules::Miner legacy(&relation, options);
+  // kExactSort boundaries are permutation-invariant, so the legacy miner
+  // over the unpartitioned relation is still the bit-identical reference.
+  const auto expected = legacy.MineOptimizedRegion(
+      schema.NumericName(0), schema.NumericName(1), schema.BooleanName(0));
+  ExpectSameRegion(region, expected);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace optrules::dist

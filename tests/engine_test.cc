@@ -1095,5 +1095,83 @@ TEST(WideSchemaTest, WideEngineOverPagedFileMatchesLegacy) {
   std::remove(path.c_str());
 }
 
+// -------------------- rectangular grids + hull context caching ----------
+
+TEST(MiningEngineTest, RectangularRegionGridsMatchLegacy) {
+  const storage::Relation relation = SmallRelation(20000, 71);
+  MinerOptions options;
+  options.num_buckets = 60;
+  options.region_grid_buckets = 10;
+  Miner legacy(&relation, options);
+  MiningEngine engine(&relation, options);
+  // Mixed shapes in ONE session: a wide grid, a tall grid whose x axis
+  // shares a bucket count with the wide grid's y axis (they must share a
+  // region boundary set), and the square default -- all from one scan.
+  ASSERT_TRUE(engine.RequestRegionPair("num0", "num1", 24, 6).ok());
+  ASSERT_TRUE(engine.RequestRegionPair("num1", "num2", 6, 18).ok());
+  ASSERT_TRUE(engine.RequestRegionPair("num0", "num2").ok());
+  const auto wide = engine.MineOptimizedRegion("num0", "num1", "bool0");
+  ASSERT_TRUE(wide.ok());
+  EXPECT_EQ(wide.value().nx, 24);
+  EXPECT_EQ(wide.value().ny, 6);
+  ExpectSameRegion(
+      wide, legacy.MineOptimizedRegion("num0", "num1", "bool0", 24, 6));
+  ExpectSameRegion(
+      engine.MineOptimizedRegion("num1", "num2", "bool1"),
+      legacy.MineOptimizedRegion("num1", "num2", "bool1", 6, 18));
+  ExpectSameRegion(engine.MineOptimizedRegion("num0", "num2", "bool0"),
+                   legacy.MineOptimizedRegion("num0", "num2", "bool0"));
+  // The 1-D sweep rides the same scan, unaffected by the grid shapes.
+  ExpectSameRules(engine.MineAllPairs(), legacy.MineAll());
+  EXPECT_EQ(engine.counting_scans(), 1);
+  // Degenerate shapes are rejected, not CHECK-crashed.
+  EXPECT_FALSE(engine.RequestRegionPair("num0", "num1", 0, 4).ok());
+}
+
+TEST(MiningEngineTest, LateRectangularPairCostsOneSupplementalScan) {
+  const storage::Relation relation = SmallRelation(12000, 72);
+  MinerOptions options;
+  options.num_buckets = 50;
+  Miner legacy(&relation, options);
+  MiningEngine engine(&relation, options);
+  engine.MineAllPairs();
+  EXPECT_EQ(engine.counting_scans(), 1);
+  // A late rectangular pair plans its two fresh bucket counts and costs
+  // the documented one supplemental scan.
+  ASSERT_TRUE(engine.RequestRegionPair("num1", "num0", 5, 9).ok());
+  EXPECT_EQ(engine.counting_scans(), 2);
+  ExpectSameRegion(engine.MineOptimizedRegion("num1", "num0", "bool1"),
+                   legacy.MineOptimizedRegion("num1", "num0", "bool1", 5, 9));
+  EXPECT_EQ(engine.counting_scans(), 2);
+}
+
+TEST(MiningEngineTest, RepeatedAggregateQueriesReuseHullContext) {
+  const storage::Relation relation = SmallRelation(20000, 73);
+  MinerOptions options;
+  options.num_buckets = 120;
+  Miner legacy(&relation, options);
+  MiningEngine engine(&relation, options);
+  ASSERT_TRUE(engine.RequestAverageTarget("num1").ok());
+  // A threshold sweep over ONE (range, target) pair builds the hull
+  // context once and stays bit-identical to the per-call legacy miner.
+  for (const double min_support : {0.02, 0.1, 0.25, 0.6}) {
+    ExpectSameAggregate(
+        engine.MineMaximumAverageRange("num0", "num1", min_support),
+        legacy.MineMaximumAverageRange("num0", "num1", min_support));
+  }
+  EXPECT_EQ(engine.hull_contexts_built(), 1);
+  // A different range attribute is a different context.
+  ExpectSameAggregate(engine.MineMaximumAverageRange("num2", "num1", 0.1),
+                      legacy.MineMaximumAverageRange("num2", "num1", 0.1));
+  EXPECT_EQ(engine.hull_contexts_built(), 2);
+  // Support-range queries reuse the cached sums; the effective-index scan
+  // has no threshold-independent structure, so no context is built.
+  ExpectSameAggregate(
+      engine.MineMaximumSupportRange("num0", "num1", 4.5e5),
+      legacy.MineMaximumSupportRange("num0", "num1", 4.5e5));
+  EXPECT_EQ(engine.hull_contexts_built(), 2);
+  EXPECT_EQ(engine.counting_scans(), 1);
+}
+
 }  // namespace
 }  // namespace optrules::rules

@@ -1,0 +1,16 @@
+// optrules_workerd: distributed-scan worker daemon.
+//
+// Speaks the length-prefixed pipe protocol on stdin/stdout: the
+// coordinator sends scan-request frames (partition path + MultiCountSpec
+// + boundaries), the worker replies with serialized partial
+// MultiCountPlan state, until EOF or a shutdown frame. Spawned by
+// dist::SubprocessScanWorker; runnable by hand for debugging:
+//   optrules_workerd < requests.bin > replies.bin
+
+#include <unistd.h>
+
+#include "dist/worker_protocol.h"
+
+int main() {
+  return optrules::dist::RunWorkerLoop(STDIN_FILENO, STDOUT_FILENO);
+}
