@@ -90,14 +90,19 @@ MultiCountSpec MakeSpec(const std::vector<BucketBoundaries>& base,
 /// best wall time and folds a checksum into *checksum so the work cannot
 /// be dead-code-eliminated (and so before/after runs can be diffed).
 double TimeScan(optrules::storage::BatchSource& source,
-                const MultiCountSpec& spec, int64_t* checksum) {
+                const MultiCountSpec& spec, int64_t* checksum,
+                optrules::bucketing::ScanPhaseTimes* best_phases = nullptr) {
   double best = 0.0;
   for (int rep = 0; rep < kReps; ++rep) {
     MultiCountPlan plan(spec);
+    optrules::bucketing::ScanPhaseTimes phases;
+    if (best_phases != nullptr) plan.set_phase_times(&phases);
     optrules::WallTimer timer;
     ExecuteMultiCount(source, &plan, nullptr);
     const double seconds = timer.ElapsedSeconds();
-    if (rep == 0 || seconds < best) best = seconds;
+    const bool is_best = rep == 0 || seconds < best;
+    if (is_best) best = seconds;
+    if (is_best && best_phases != nullptr) *best_phases = phases;
     if (rep == 0) {
       for (int ch = 0; ch < plan.num_channels(); ++ch) {
         const auto& counts = plan.counts(ch);
@@ -207,80 +212,124 @@ int main() {
       const int channels = static_cast<int>(spec.channels.size());
       optrules::storage::RelationBatchSource source(&table);
       int64_t config_checksum = 0;
-      const double seconds = TimeScan(source, spec, &config_checksum);
+      optrules::bucketing::ScanPhaseTimes phases;
+      const double seconds = TimeScan(source, spec, &config_checksum,
+                                      &phases);
       if (attrs == 8 && conditions == 3) a8_c3_checksum = config_checksum;
       checksum += config_checksum;
       const double throughput = static_cast<double>(rows) * channels /
                                 seconds / 1e6;
-      std::printf("%8d %12d %12d %12.3f %14.1f\n", attrs, conditions,
-                  channels, seconds, throughput);
-      json.Add("inmem_a" + std::to_string(attrs) + "_c" +
-                   std::to_string(conditions) + "_seconds",
-               seconds);
+      std::printf("%8d %12d %12d %12.3f %14.1f  "
+                  "(locate %.3f, mask %.3f, scatter %.3f)\n",
+                  attrs, conditions, channels, seconds, throughput,
+                  phases.locate_seconds, phases.mask_seconds,
+                  phases.scatter_seconds);
+      const std::string key = "inmem_a" + std::to_string(attrs) + "_c" +
+                              std::to_string(conditions);
+      json.Add(key + "_seconds", seconds);
+      json.Add(key + "_locate_seconds", phases.locate_seconds);
+      json.Add(key + "_mask_seconds", phases.mask_seconds);
+      json.Add(key + "_scatter_seconds", phases.scatter_seconds);
     }
   }
   json.Add("inmem_checksum", checksum);
 
   // ---- out-of-core: PagedFile scan ------------------------------------
-  optrules::bench::PrintHeader("Out-of-core counting scan (PagedFile)");
-  const char* tmpdir = std::getenv("TMPDIR");
-  const std::string path =
-      std::string(tmpdir != nullptr ? tmpdir : "/tmp") +
-      "/counting_scan_bench.optr";
-  OPTRULES_CHECK(
-      optrules::storage::WriteRelationToFile(table, path).ok());
   // Two shapes, cold page cache per rep: a2/c0 is prefetch-bound (light
   // kernel, the read dominates), a8/c3 is compute-bound (the overlap hides
   // the whole read). Sync vs double-buffered over identical pages must
-  // produce identical counts.
-  std::printf("%8s %12s %14s %14s %10s\n", "attrs", "conditions",
-              "sync (s)", "buffered (s)", "speedup");
-  optrules::bench::PrintRule(64);
-  for (const int conditions : {0, 3}) {
-    const int attrs = conditions == 0 ? 2 : num_numeric;
-    const MultiCountSpec spec = MakeSpec(base, generalized, attrs,
-                                         conditions, num_boolean,
-                                         /*with_sums=*/true);
-    double mode_seconds[2] = {0.0, 0.0};
-    int64_t mode_checksum[2] = {0, 0};
-    for (const bool buffered : {false, true}) {
-      double best = 0.0;
-      for (int rep = 0; rep < kReps; ++rep) {
-        EvictFromPageCache(path);
-        auto source_or = optrules::storage::PagedFileBatchSource::Open(
-            path, optrules::storage::kDefaultBatchRows,
-            buffered ? optrules::storage::PagedReadMode::kDoubleBuffered
-                     : optrules::storage::PagedReadMode::kSynchronous);
-        OPTRULES_CHECK(source_or.ok());
-        MultiCountPlan plan(spec);
-        optrules::WallTimer timer;
-        ExecuteMultiCount(*source_or.value(), &plan, nullptr);
-        const double seconds = timer.ElapsedSeconds();
-        if (rep == 0 || seconds < best) best = seconds;
-        if (rep == 0) {
-          int64_t& checksum_out = mode_checksum[buffered ? 1 : 0];
-          for (int ch = 0; ch < plan.num_channels(); ++ch) {
-            const auto& counts = plan.counts(ch);
-            for (size_t b = 0; b < counts.u.size(); ++b) {
-              checksum_out += counts.u[b] * static_cast<int64_t>(b + 1);
+  // produce identical counts, as must the columnar v2 layout (the default;
+  // zero-transpose reads) vs the row-major v1 reference copy.
+  const char* tmpdir = std::getenv("TMPDIR");
+  const std::string tmp_base =
+      std::string(tmpdir != nullptr ? tmpdir : "/tmp") +
+      "/counting_scan_bench";
+  const auto run_paged_shapes = [&](const std::string& file_path,
+                                    const std::string& key_prefix) {
+    std::printf("%8s %12s %14s %14s %10s %12s\n", "attrs", "conditions",
+                "sync (s)", "buffered (s)", "speedup", "io wait (s)");
+    optrules::bench::PrintRule(76);
+    for (const int conditions : {0, 3}) {
+      const int attrs = conditions == 0 ? 2 : num_numeric;
+      const MultiCountSpec spec = MakeSpec(base, generalized, attrs,
+                                           conditions, num_boolean,
+                                           /*with_sums=*/true);
+      double mode_seconds[2] = {0.0, 0.0};
+      double mode_io_wait[2] = {0.0, 0.0};
+      int64_t mode_checksum[2] = {0, 0};
+      optrules::bucketing::ScanPhaseTimes mode_phases[2];
+      for (const bool buffered : {false, true}) {
+        double best = 0.0;
+        for (int rep = 0; rep < kReps; ++rep) {
+          EvictFromPageCache(file_path);
+          auto source_or = optrules::storage::PagedFileBatchSource::Open(
+              file_path, optrules::storage::kDefaultBatchRows,
+              buffered ? optrules::storage::PagedReadMode::kDoubleBuffered
+                       : optrules::storage::PagedReadMode::kSynchronous);
+          OPTRULES_CHECK(source_or.ok());
+          MultiCountPlan plan(spec);
+          optrules::bucketing::ScanPhaseTimes phases;
+          plan.set_phase_times(&phases);
+          optrules::WallTimer timer;
+          ExecuteMultiCount(*source_or.value(), &plan, nullptr);
+          const double seconds = timer.ElapsedSeconds();
+          const bool is_best = rep == 0 || seconds < best;
+          if (is_best) {
+            best = seconds;
+            mode_phases[buffered ? 1 : 0] = phases;
+            mode_io_wait[buffered ? 1 : 0] =
+                source_or.value()->TotalIoWaitSeconds();
+          }
+          if (rep == 0) {
+            int64_t& checksum_out = mode_checksum[buffered ? 1 : 0];
+            for (int ch = 0; ch < plan.num_channels(); ++ch) {
+              const auto& counts = plan.counts(ch);
+              for (size_t b = 0; b < counts.u.size(); ++b) {
+                checksum_out += counts.u[b] * static_cast<int64_t>(b + 1);
+              }
             }
           }
         }
+        mode_seconds[buffered ? 1 : 0] = best;
       }
-      mode_seconds[buffered ? 1 : 0] = best;
+      OPTRULES_CHECK(mode_checksum[0] == mode_checksum[1]);  // sync == async
+      if (conditions == 3) {
+        OPTRULES_CHECK(mode_checksum[1] == a8_c3_checksum);  // disk == mem
+      }
+      std::printf("%8d %12d %14.3f %14.3f %9.2fx %12.3f\n", attrs,
+                  conditions, mode_seconds[0], mode_seconds[1],
+                  mode_seconds[0] / mode_seconds[1], mode_io_wait[1]);
+      const std::string key = key_prefix + "_a" + std::to_string(attrs) +
+                              "_c" + std::to_string(conditions);
+      json.Add(key + "_sync_seconds", mode_seconds[0]);
+      json.Add(key + "_seconds", mode_seconds[1]);
+      json.Add(key + "_sync_io_wait_seconds", mode_io_wait[0]);
+      json.Add(key + "_io_wait_seconds", mode_io_wait[1]);
+      json.Add(key + "_locate_seconds", mode_phases[1].locate_seconds);
+      json.Add(key + "_mask_seconds", mode_phases[1].mask_seconds);
+      json.Add(key + "_scatter_seconds", mode_phases[1].scatter_seconds);
     }
-    OPTRULES_CHECK(mode_checksum[0] == mode_checksum[1]);  // sync == async
-    if (conditions == 3) {
-      OPTRULES_CHECK(mode_checksum[1] == a8_c3_checksum);  // disk == memory
-    }
-    std::printf("%8d %12d %14.3f %14.3f %9.2fx\n", attrs, conditions,
-                mode_seconds[0], mode_seconds[1],
-                mode_seconds[0] / mode_seconds[1]);
-    const std::string key = "paged_a" + std::to_string(attrs) + "_c" +
-                            std::to_string(conditions);
-    json.Add(key + "_sync_seconds", mode_seconds[0]);
-    json.Add(key + "_seconds", mode_seconds[1]);
+  };
+
+  optrules::bench::PrintHeader(
+      "Out-of-core counting scan (PagedFile, columnar v2)");
+  const std::string path = tmp_base + ".optr";
+  OPTRULES_CHECK(
+      optrules::storage::WriteRelationToFile(table, path).ok());
+  run_paged_shapes(path, "paged");
+
+  optrules::bench::PrintHeader(
+      "Out-of-core counting scan (PagedFile, row-major v1 reference)");
+  const std::string v1_path = tmp_base + "_v1.optr";
+  {
+    optrules::storage::PagedFileWriterOptions v1_options;
+    v1_options.format = optrules::storage::PagedFileFormat::kRowMajorV1;
+    OPTRULES_CHECK(
+        optrules::storage::WriteRelationToFile(table, v1_path, v1_options)
+            .ok());
   }
+  run_paged_shapes(v1_path, "paged_v1");
+  std::remove(v1_path.c_str());
 
   // ---- partitioned / distributed scan: worker scaling curve ------------
   // The same a8/c3 channel load sharded over K=4 partition PagedFiles and

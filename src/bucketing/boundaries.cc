@@ -159,22 +159,23 @@ int BucketBoundaries::Locate(double x) const {
   return equi_width_ ? LocateEquiWidth(x) : LocateBranchless(x);
 }
 
-void BucketBoundaries::LocateBatch(std::span<const double> values,
-                                   std::span<int32_t> out) const {
+int64_t BucketBoundaries::LocateBatch(std::span<const double> values,
+                                      std::span<int32_t> out) const {
+  return LocateBatchWithKernels(simd::Active(), values, out);
+}
+
+int64_t BucketBoundaries::LocateBatchWithKernels(
+    const simd::Kernels& kernels, std::span<const double> values,
+    std::span<int32_t> out) const {
   OPTRULES_CHECK(values.size() == out.size());
   if (equi_width_) {
-    for (size_t i = 0; i < values.size(); ++i) {
-      const double x = values[i];
-      out[i] = std::isnan(x) ? kNoBucket : LocateEquiWidth(x);
-    }
-    return;
+    return kernels.locate_equi_width(values.data(), values.size(),
+                                     cut_points_.data(), cut_points_.size(),
+                                     first_cut_, inv_step_, out.data());
   }
-  for (size_t i = 0; i < values.size(); ++i) {
-    const double x = values[i];
-    // isnan and the select both lower to branch-free compares, so the only
-    // branches in the loop are the fixed-trip-count search iterations.
-    out[i] = std::isnan(x) ? kNoBucket : LocateBranchless(x);
-  }
+  return kernels.locate_search(values.data(), values.size(),
+                               cut_points_.data(), cut_points_.size(),
+                               out.data());
 }
 
 double BucketBoundaries::LowerEdge(int i) const {

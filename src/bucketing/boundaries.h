@@ -12,6 +12,7 @@
 #include <span>
 #include <vector>
 
+#include "bucketing/simd_kernels.h"
 #include "common/logging.h"
 
 namespace optrules::bucketing {
@@ -61,12 +62,20 @@ class BucketBoundaries {
 
   /// Batch point location: out[i] = Locate(values[i]) for every i,
   /// bit-identical to the scalar call (including the NaN -> kNoBucket
-  /// policy) but without per-value function dispatch. The inner loop is a
-  /// branchless (conditional-move) binary search, or pure arithmetic with
-  /// an exactness fix-up when the cut points are affine (equi_width()).
-  /// The spans must have equal lengths.
-  void LocateBatch(std::span<const double> values,
-                   std::span<int32_t> out) const;
+  /// policy) but without per-value function dispatch. Runs on the active
+  /// SIMD kernel arm (simd::Active()): vectorized arithmetic location when
+  /// the cut points are affine (equi_width()), a vectorized gather/compare
+  /// ladder otherwise, or the branchless scalar kernels under
+  /// OPTRULES_FORCE_SCALAR=1. Returns the number of kNoBucket entries
+  /// written (the NaN count). The spans must have equal lengths.
+  int64_t LocateBatch(std::span<const double> values,
+                      std::span<int32_t> out) const;
+
+  /// LocateBatch pinned to one specific kernel arm -- the differential
+  /// tests use this to prove every arm bit-identical on shared inputs.
+  int64_t LocateBatchWithKernels(const simd::Kernels& kernels,
+                                 std::span<const double> values,
+                                 std::span<int32_t> out) const;
 
   /// True when the cut points were detected as exactly affine
   /// (cut[i] == cut[0] + i * step with step > 0), enabling the arithmetic

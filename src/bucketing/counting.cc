@@ -5,7 +5,9 @@
 #include <cstring>
 #include <limits>
 
+#include "bucketing/simd_kernels.h"
 #include "common/bytes.h"
+#include "common/timer.h"
 
 namespace optrules::bucketing {
 
@@ -77,6 +79,75 @@ void NeumaierAdd(double value, double& sum, double& compensation) {
     }
   }
   sum = next;
+}
+
+/// The scatter passes of one channel over one batch, templated on the row
+/// source so the hot loops compile guard- and indirection-free. kCompact
+/// reads rows through `sel` (a compacted ascending index list; m is its
+/// length) instead of scanning all m rows densely; kGuard keeps the
+/// kNoBucket skip (needed only when the batch has NaN rows -- the caller
+/// drops it when the locate pass reported none). Every variant visits the
+/// surviving rows in the same ascending order as the guarded reference
+/// arm, so u/v/min-max and the per-bucket Neumaier chains are
+/// bit-identical across all four instantiations.
+template <bool kCompact, bool kGuard>
+void ChannelScatterPasses(const storage::ColumnarBatch& batch,
+                          const CountChannel& channel, int num_targets,
+                          std::span<const double> values,
+                          const int32_t* buckets, const int32_t* sel,
+                          size_t m, BucketCounts& counts,
+                          std::vector<std::vector<double>>& sums,
+                          std::vector<std::vector<double>>& comps) {
+  // u-count + min/max pass. The ternary min/max form lowers to compares
+  // plus conditional moves, where the reference's guarded stores paid a
+  // (well-predicted but real) branch per row.
+  for (size_t k = 0; k < m; ++k) {
+    const size_t row = kCompact ? static_cast<size_t>(sel[k]) : k;
+    const int32_t bucket = buckets[row];
+    if constexpr (kGuard) {
+      if (bucket == BucketBoundaries::kNoBucket) continue;
+    }
+    const auto b = static_cast<size_t>(bucket);
+    ++counts.u[b];
+    const double value = values[row];
+    double& lo = counts.min_value[b];
+    double& hi = counts.max_value[b];
+    lo = (std::isnan(lo) || value < lo) ? value : lo;
+    hi = (std::isnan(hi) || value > hi) ? value : hi;
+  }
+  // One v pass per Boolean target.
+  if (channel.count_targets) {
+    for (int t = 0; t < num_targets; ++t) {
+      const std::span<const uint8_t> target = batch.boolean(t);
+      std::vector<int64_t>& v = counts.v[static_cast<size_t>(t)];
+      for (size_t k = 0; k < m; ++k) {
+        const size_t row = kCompact ? static_cast<size_t>(sel[k]) : k;
+        const int32_t bucket = buckets[row];
+        if constexpr (kGuard) {
+          if (bucket == BucketBoundaries::kNoBucket) continue;
+        }
+        v[static_cast<size_t>(bucket)] +=
+            static_cast<int64_t>(target[row] != 0);
+      }
+    }
+  }
+  // One Neumaier-compensated sum pass per sum target (strictly sequential
+  // scalar chain; row order fixed => bit-identical sums).
+  for (size_t s = 0; s < channel.sum_targets.size(); ++s) {
+    const std::span<const double> target =
+        batch.numeric(channel.sum_targets[s]);
+    std::vector<double>& sum = sums[s];
+    std::vector<double>& comp = comps[s];
+    for (size_t k = 0; k < m; ++k) {
+      const size_t row = kCompact ? static_cast<size_t>(sel[k]) : k;
+      const int32_t bucket = buckets[row];
+      if constexpr (kGuard) {
+        if (bucket == BucketBoundaries::kNoBucket) continue;
+      }
+      NeumaierAdd(target[row], sum[static_cast<size_t>(bucket)],
+                  comp[static_cast<size_t>(bucket)]);
+    }
+  }
 }
 
 /// Shared core of the CompactEmptyBuckets overloads: compacts the rows
@@ -254,6 +325,7 @@ MultiCountPlan::MultiCountPlan(MultiCountSpec spec) : spec_(std::move(spec)) {
   scratch_.resize(spec_.channels.size());
   channel_group_.reserve(spec_.channels.size());
   condition_masks_.resize(spec_.conditions.size());
+  condition_rows_.resize(spec_.conditions.size());
   for (const CountChannel& channel : spec_.channels) {
     OPTRULES_CHECK(channel.boundaries != nullptr);
     OPTRULES_CHECK(channel.condition == CountChannel::kUnconditional ||
@@ -297,22 +369,39 @@ MultiCountPlan::MultiCountPlan(MultiCountSpec spec) : spec_(std::move(spec)) {
 
 void MultiCountPlan::PrepareBatch(const storage::ColumnarBatch& batch) {
   const size_t rows = static_cast<size_t>(batch.num_rows());
+  const simd::Kernels& kernels =
+      simd::ForceScalar() ? simd::ScalarKernels() : simd::Active();
+  WallTimer timer;
   for (size_t c = 0; c < spec_.conditions.size(); ++c) {
     std::vector<uint8_t>& mask = condition_masks_[c];
     mask.assign(rows, 1);
     for (const int column : spec_.conditions[c]) {
       const std::span<const uint8_t> condition = batch.boolean(column);
-      for (size_t row = 0; row < rows; ++row) {
-        mask[row] &= condition[row];
-      }
+      kernels.mask_and(mask.data(), condition.data(), rows);
     }
+    // Compact the mask to an ascending row-index list once, so every
+    // conditional channel's scatter passes iterate only satisfying rows.
+    std::vector<int32_t>& rows_list = condition_rows_[c];
+    rows_list.resize(rows);
+    const size_t kept =
+        simd::CompactMaskIndices(mask.data(), rows, rows_list.data());
+    rows_list.resize(kept);
+  }
+  if (phase_times_ != nullptr) {
+    phase_times_->mask_seconds += timer.ElapsedSeconds();
+    timer.Reset();
   }
   // Shared bucket-index cache: each distinct (column, boundaries) pair is
   // located once per batch, no matter how many channels consume it.
   for (LocateGroup& group : locate_groups_) {
     const std::span<const double> values = batch.numeric(group.column);
     group.buckets.resize(values.size());
-    group.boundaries->LocateBatch(values, group.buckets);
+    group.no_bucket =
+        group.boundaries->LocateBatchWithKernels(kernels, values,
+                                                 group.buckets);
+  }
+  if (phase_times_ != nullptr) {
+    phase_times_->locate_seconds += timer.ElapsedSeconds();
   }
 }
 
@@ -326,11 +415,55 @@ void MultiCountPlan::AccumulateChannel(const storage::ColumnarBatch& batch,
   const size_t rows = values.size();
   BucketCounts& counts = counts_[ci];
 
-  const std::vector<int32_t>& located =
-      locate_groups_[channel_group_[ci]].buckets;
+  const LocateGroup& group = locate_groups_[channel_group_[ci]];
+  const std::vector<int32_t>& located = group.buckets;
   OPTRULES_CHECK(located.size() == rows);  // PrepareBatch ran for the batch
   const int32_t* buckets = located.data();
+  WallTimer timer;
 
+  if (!simd::ForceScalar()) {
+    // Fast arm. Conditional channels iterate their compacted row-index
+    // list (PrepareBatch) instead of overlaying a ~50/50 mask -- the
+    // overlay cost one branch mispredict per mask flip in every scatter
+    // pass. The kNoBucket guard is dropped entirely when the locate pass
+    // saw no NaN in this column (the common case).
+    const int32_t* sel = nullptr;
+    size_t m = rows;
+    if (channel.condition != CountChannel::kUnconditional) {
+      const auto cond = static_cast<size_t>(channel.condition);
+      OPTRULES_CHECK(condition_masks_[cond].size() == rows);
+      sel = condition_rows_[cond].data();
+      m = condition_rows_[cond].size();
+    }
+    const bool guard = group.no_bucket != 0;
+    if (sel != nullptr) {
+      if (guard) {
+        ChannelScatterPasses<true, true>(batch, channel, spec_.num_targets,
+                                         values, buckets, sel, m, counts,
+                                         sums_[ci], sum_comp_[ci]);
+      } else {
+        ChannelScatterPasses<true, false>(batch, channel, spec_.num_targets,
+                                          values, buckets, sel, m, counts,
+                                          sums_[ci], sum_comp_[ci]);
+      }
+    } else if (guard) {
+      ChannelScatterPasses<false, true>(batch, channel, spec_.num_targets,
+                                        values, buckets, sel, m, counts,
+                                        sums_[ci], sum_comp_[ci]);
+    } else {
+      ChannelScatterPasses<false, false>(batch, channel, spec_.num_targets,
+                                         values, buckets, sel, m, counts,
+                                         sums_[ci], sum_comp_[ci]);
+    }
+    counts.total_tuples += static_cast<int64_t>(rows);
+    if (phase_times_ != nullptr) {
+      phase_times_->scatter_seconds += timer.ElapsedSeconds();
+    }
+    return;
+  }
+
+  // Reference arm (OPTRULES_FORCE_SCALAR=1): the pre-SIMD guarded scatter,
+  // kept verbatim as the bit-identity baseline the differential tests pin.
   // Conditional channels overlay the condition mask onto the shared cache
   // once (into per-channel scratch, so concurrent channels of one plan
   // never share mutable state); the scatter passes below then treat
@@ -385,6 +518,9 @@ void MultiCountPlan::AccumulateChannel(const storage::ColumnarBatch& batch,
     }
   }
   counts.total_tuples += static_cast<int64_t>(rows);
+  if (phase_times_ != nullptr) {
+    phase_times_->scatter_seconds += timer.ElapsedSeconds();
+  }
 }
 
 void MultiCountPlan::AccumulateGridChannel(const storage::ColumnarBatch& batch,
@@ -401,20 +537,18 @@ void MultiCountPlan::AccumulateGridChannel(const storage::ColumnarBatch& batch,
   OPTRULES_CHECK(x_located.size() == rows);  // PrepareBatch ran for the batch
   OPTRULES_CHECK(y_located.size() == rows);
 
+  WallTimer timer;
   // Fold the two cached axis indices into one flat cell index per row; a
   // NaN in EITHER axis (kNoBucket) sends the row to no cell, mirroring the
-  // 1-D policy per axis pair.
+  // 1-D policy per axis pair. Axis indices are -1 or non-negative, so the
+  // kernels' bitwise-or miss test is exactly the two-sided kNoBucket
+  // check, on every arm.
   std::vector<int32_t>& cells = grid_scratch_[gi];
   cells.resize(rows);
-  const int32_t nx = grid.nx;
-  for (size_t row = 0; row < rows; ++row) {
-    const int32_t x = x_located[row];
-    const int32_t y = y_located[row];
-    cells[row] = (x == BucketBoundaries::kNoBucket ||
-                  y == BucketBoundaries::kNoBucket)
-                     ? BucketBoundaries::kNoBucket
-                     : y * nx + x;
-  }
+  const simd::Kernels& kernels =
+      simd::ForceScalar() ? simd::ScalarKernels() : simd::Active();
+  kernels.fold_cells(x_located.data(), y_located.data(), rows, grid.nx,
+                     cells.data());
   for (size_t row = 0; row < rows; ++row) {
     const int32_t cell = cells[row];
     if (cell == BucketBoundaries::kNoBucket) continue;
@@ -431,6 +565,9 @@ void MultiCountPlan::AccumulateGridChannel(const storage::ColumnarBatch& batch,
   }
   // NaN rows still count toward the support denominator N.
   grid.total_tuples += static_cast<int64_t>(rows);
+  if (phase_times_ != nullptr) {
+    phase_times_->scatter_seconds += timer.ElapsedSeconds();
+  }
 }
 
 void MultiCountPlan::Accumulate(const storage::ColumnarBatch& batch) {

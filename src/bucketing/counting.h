@@ -149,6 +149,19 @@ struct GridBucketCounts {
   int num_targets() const { return static_cast<int>(v.size()); }
 };
 
+/// Per-phase wall-clock breakdown of a counting scan, accumulated by a
+/// MultiCountPlan when a sink is attached via set_phase_times(). The three
+/// phases partition the plan's own CPU work: point location (the shared
+/// LocateBatch passes), condition-mask evaluation + compaction, and the
+/// u/v/min-max/sum scatter passes. I/O wait is the caller's to measure
+/// (the bench times its reader separately). Accumulation is not
+/// synchronized -- attach a sink only to serially-executed plans.
+struct ScanPhaseTimes {
+  double locate_seconds = 0.0;
+  double mask_seconds = 0.0;
+  double scatter_seconds = 0.0;
+};
+
 /// Full shape of a multi-count scan: the 1-D channels, the 2-D grid
 /// channels, the Boolean-conjunction condition table they reference, and
 /// the number of Boolean targets every counting channel accumulates.
@@ -251,6 +264,11 @@ class MultiCountPlan {
   /// The spec the plan was built from (shared with sharded partials).
   const MultiCountSpec& spec() const { return spec_; }
 
+  /// Attaches (or detaches, with nullptr) a per-phase timing sink the plan
+  /// adds its locate / mask / scatter wall-clock into. Unsynchronized:
+  /// only attach when the plan is accumulated serially.
+  void set_phase_times(ScanPhaseTimes* times) { phase_times_ = times; }
+
   /// Appends the plan's accumulated state -- per-channel counts, grids,
   /// and the compensated (sum, compensation) pairs, bit-exact -- to `out`
   /// in a stable NATIVE-endian layout. This is the partial-plan payload
@@ -273,6 +291,9 @@ class MultiCountPlan {
     int column = 0;
     const BucketBoundaries* boundaries = nullptr;
     std::vector<int32_t> buckets;  ///< written by PrepareBatch only
+    /// kNoBucket entries in `buckets` (the batch's NaN rows for this
+    /// column). Zero lets the scatter passes drop their per-row guard.
+    int64_t no_bucket = 0;
   };
 
   /// Index of the locate group for (column, boundaries), creating it if
@@ -310,6 +331,15 @@ class MultiCountPlan {
   /// Per-condition row masks of the batch being accumulated (written by
   /// PrepareBatch, read-only during channel accumulation).
   std::vector<std::vector<uint8_t>> condition_masks_;
+  /// Per-condition ascending row indices of the mask's satisfying rows
+  /// (written by PrepareBatch). Conditional channels iterate these lists
+  /// instead of testing a ~50/50 mask per row: the overlay path paid one
+  /// branch mispredict per mask flip in EVERY scatter pass, the compacted
+  /// list costs none while visiting rows in the same ascending order --
+  /// so u/v/min-max and the Neumaier sum chains stay bit-identical.
+  std::vector<std::vector<int32_t>> condition_rows_;
+  /// Optional per-phase timing sink (unsynchronized; serial plans only).
+  ScanPhaseTimes* phase_times_ = nullptr;
 };
 
 /// Counts buckets of `values` (attribute A) while summing `target`

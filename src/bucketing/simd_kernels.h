@@ -1,0 +1,95 @@
+// Runtime-dispatched SIMD counting kernels.
+//
+// The counting scan's per-row work -- point location, condition-mask
+// conjunction, and the 2-D cell fold -- is data-parallel with no
+// cross-row dependencies, so it vectorizes. This header is the single
+// dispatch point: one Kernels table per instruction-set arm (scalar
+// reference, AVX2, AVX-512), resolved once at startup via cpuid, with the
+// branchless scalar kernels as the bit-identical fallback on every
+// machine. OPTRULES_FORCE_SCALAR=1 (read once at startup) pins the
+// reference arm; SetForceScalarForTest flips the same pin in-process so
+// differential tests can run both arms on identical inputs.
+//
+// Bit-identity contract: every kernel of every arm must produce EXACTLY
+// the bytes the scalar reference produces -- locate results are the unique
+// std::lower_bound index (NaN lanes -> kNoBucket, lane for lane), mask and
+// fold results are pure integer ops. The SIMD locate arms guarantee this
+// by validating each lane against the lower_bound invariant and falling
+// back to the scalar walk for any lane the bounded vector fix-up did not
+// settle.
+
+#ifndef OPTRULES_BUCKETING_SIMD_KERNELS_H_
+#define OPTRULES_BUCKETING_SIMD_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace optrules::bucketing::simd {
+
+/// One instruction-set arm of the counting kernels. All function pointers
+/// are always non-null within a registered table.
+struct Kernels {
+  /// Human-readable arm name ("scalar", "avx2", "avx512").
+  const char* name;
+
+  /// General sorted-cuts point location: out[i] = lower_bound(cuts, x) for
+  /// every value, except NaN values which map to -1 (kNoBucket). Returns
+  /// the number of -1 entries written (the NaN lane count).
+  int64_t (*locate_search)(const double* values, size_t n,
+                           const double* cuts, size_t num_cuts,
+                           int32_t* out);
+
+  /// Equi-width arithmetic point location over affine cuts
+  /// (cuts[i] ~= first_cut + i / inv_step): same contract as locate_search
+  /// but O(1) per value. Callers must only use it on layouts that passed
+  /// the BucketBoundaries drift audit.
+  int64_t (*locate_equi_width)(const double* values, size_t n,
+                               const double* cuts, size_t num_cuts,
+                               double first_cut, double inv_step,
+                               int32_t* out);
+
+  /// In-place byte conjunction: mask[i] &= condition[i].
+  void (*mask_and)(uint8_t* mask, const uint8_t* condition, size_t n);
+
+  /// 2-D cell fold: cells[i] = y[i] * nx + x[i], or -1 when either axis
+  /// index is -1 (the NaN policy applied per axis pair).
+  void (*fold_cells)(const int32_t* x, const int32_t* y, size_t n,
+                     int32_t nx, int32_t* cells);
+};
+
+/// The always-available scalar reference arm.
+const Kernels& ScalarKernels();
+
+/// AVX2 / AVX-512 arms, or nullptr when the translation unit was compiled
+/// without the matching -m flags. Runtime cpuid gating happens in
+/// Active()/AvailableKernels(), not here.
+const Kernels* Avx2KernelsOrNull();
+const Kernels* Avx512KernelsOrNull();
+
+/// The arm the counting scan should use right now: the widest arm this
+/// CPU supports, or the scalar reference when force-scalar is pinned.
+const Kernels& Active();
+
+/// Every arm usable on this machine (scalar first), independent of the
+/// force-scalar pin -- the differential tests iterate this to prove the
+/// arms bit-identical on shared inputs.
+std::span<const Kernels* const> AvailableKernels();
+
+/// True when OPTRULES_FORCE_SCALAR=1 was set at startup or a test pinned
+/// the reference path via SetForceScalarForTest.
+bool ForceScalar();
+
+/// Test hook: pins (or unpins) the scalar reference arm in-process, so one
+/// test binary can run both dispatch arms on the same inputs.
+void SetForceScalarForTest(bool force);
+
+/// Branchless mask compaction: writes the indices of the nonzero bytes of
+/// `mask` to `out` (ascending) and returns how many were written. `out`
+/// must have room for n entries. This is what lets conditional channels
+/// iterate only their satisfying rows with no per-row branch at all.
+size_t CompactMaskIndices(const uint8_t* mask, size_t n, int32_t* out);
+
+}  // namespace optrules::bucketing::simd
+
+#endif  // OPTRULES_BUCKETING_SIMD_KERNELS_H_

@@ -1,0 +1,238 @@
+// AVX2 arm of the counting kernels. This translation unit is compiled
+// with -mavx2 (per-file flag set by CMake when the compiler supports it);
+// when it is not, the registration function returns nullptr and dispatch
+// stays on the scalar reference. Runtime cpuid gating lives in
+// simd_kernels.cc -- nothing here executes unless the CPU reports AVX2.
+
+#include "bucketing/simd_kernels.h"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include "bucketing/simd_kernels_scalar.inl.h"
+
+namespace optrules::bucketing::simd {
+
+namespace {
+
+using internal::ScalarLocateEquiWidthOne;
+using internal::ScalarLocateSearchOne;
+
+/// Low 32 bits of each 64-bit lane, compacted into the low 128 bits.
+inline __m128i PackQwordsToDwords(__m256i v) {
+  const __m256i perm = _mm256_permutevar8x32_epi32(
+      v, _mm256_setr_epi32(0, 2, 4, 6, 0, 0, 0, 0));
+  return _mm256_castsi256_si128(perm);
+}
+
+/// Vectorized branchless lower_bound for four values at once: the same
+/// conditional-advance ladder as the scalar walk (the probe sequence is a
+/// function of num_cuts only, so all lanes share one trip count), with the
+/// cut loads turned into gathers. NaN lanes compare false everywhere and
+/// settle on index 0; the caller blends them to -1.
+inline __m256i LowerBound4(__m256d x, const double* cuts, size_t num_cuts) {
+  __m256i base = _mm256_setzero_si256();  // four int64 indices
+  size_t n = num_cuts;
+  while (n > 1) {
+    const size_t half = n / 2;
+    const __m256i probe_index = _mm256_add_epi64(
+        base, _mm256_set1_epi64x(static_cast<long long>(half - 1)));
+    const __m256d probe = _mm256_i64gather_pd(cuts, probe_index, 8);
+    const __m256d lt = _mm256_cmp_pd(probe, x, _CMP_LT_OQ);
+    base = _mm256_add_epi64(
+        base, _mm256_and_si256(_mm256_castpd_si256(lt),
+                               _mm256_set1_epi64x(
+                                   static_cast<long long>(half))));
+    n -= half;
+  }
+  const __m256d last = _mm256_i64gather_pd(cuts, base, 8);
+  const __m256d lt = _mm256_cmp_pd(last, x, _CMP_LT_OQ);
+  // The compare mask is 0 or -1 per lane; subtracting it adds the final
+  // "*base < x" step of the scalar walk.
+  return _mm256_sub_epi64(base, _mm256_castpd_si256(lt));
+}
+
+int64_t LocateSearchAvx2(const double* values, size_t n, const double* cuts,
+                         size_t num_cuts, int32_t* out) {
+  int64_t no_bucket = 0;
+  size_t i = 0;
+  if (num_cuts > 0) {
+    const __m128i no_bucket_vec = _mm_set1_epi32(-1);
+    // Two independent four-lane ladders per iteration: the gathers of one
+    // chain execute under the latency of the other's.
+    for (; i + 8 <= n; i += 8) {
+      const __m256d x0 = _mm256_loadu_pd(values + i);
+      const __m256d x1 = _mm256_loadu_pd(values + i + 4);
+      const __m256d nan0 = _mm256_cmp_pd(x0, x0, _CMP_UNORD_Q);
+      const __m256d nan1 = _mm256_cmp_pd(x1, x1, _CMP_UNORD_Q);
+      __m128i idx0 = PackQwordsToDwords(LowerBound4(x0, cuts, num_cuts));
+      __m128i idx1 = PackQwordsToDwords(LowerBound4(x1, cuts, num_cuts));
+      idx0 = _mm_blendv_epi8(idx0, no_bucket_vec,
+                             PackQwordsToDwords(_mm256_castpd_si256(nan0)));
+      idx1 = _mm_blendv_epi8(idx1, no_bucket_vec,
+                             PackQwordsToDwords(_mm256_castpd_si256(nan1)));
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i), idx0);
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i + 4), idx1);
+      no_bucket += __builtin_popcount(
+          static_cast<unsigned>(_mm256_movemask_pd(nan0)) |
+          (static_cast<unsigned>(_mm256_movemask_pd(nan1)) << 4));
+    }
+  }
+  for (; i < n; ++i) {
+    const int32_t bucket = ScalarLocateSearchOne(cuts, num_cuts, values[i]);
+    out[i] = bucket;
+    no_bucket += static_cast<int64_t>(bucket < 0);
+  }
+  return no_bucket;
+}
+
+int64_t LocateEquiWidthAvx2(const double* values, size_t n,
+                            const double* cuts, size_t num_cuts,
+                            double first_cut, double inv_step, int32_t* out) {
+  int64_t no_bucket = 0;
+  size_t i = 0;
+  if (num_cuts > 0) {
+    const __m256d vfirst = _mm256_set1_pd(first_cut);
+    const __m256d vinv = _mm256_set1_pd(inv_step);
+    const __m256d vn_pd = _mm256_set1_pd(static_cast<double>(num_cuts));
+    const __m128i vn = _mm_set1_epi32(static_cast<int32_t>(num_cuts));
+    const __m128i vn_minus_1 =
+        _mm_set1_epi32(static_cast<int32_t>(num_cuts) - 1);
+    const __m128i vzero = _mm_setzero_si128();
+    const __m128i vone = _mm_set1_epi32(1);
+    const __m128i vall = _mm_set1_epi32(-1);
+    for (; i + 4 <= n; i += 4) {
+      const __m256d x = _mm256_loadu_pd(values + i);
+      const __m256d nan_pd = _mm256_cmp_pd(x, x, _CMP_UNORD_Q);
+      // ceil((x - first) / step), clamped to [0, n] exactly like the
+      // scalar walk. min_pd maps a NaN guess (NaN x) to n -- in range for
+      // the gathers; the lane is blended to -1 below regardless.
+      __m256d guess = _mm256_round_pd(
+          _mm256_mul_pd(_mm256_sub_pd(x, vfirst), vinv),
+          _MM_FROUND_TO_POS_INF | _MM_FROUND_NO_EXC);
+      guess = _mm256_min_pd(guess, vn_pd);
+      guess = _mm256_max_pd(guess, _mm256_setzero_pd());
+      __m128i idx = _mm256_cvttpd_epi32(guess);
+      // Bounded fix-up, two up then two down steps (the drift audit
+      // guarantees guesses land within two slots of the answer at cut
+      // points; anything the walk does not settle falls back to scalar).
+      for (int step = 0; step < 2; ++step) {
+        const __m128i can_up = _mm_cmplt_epi32(idx, vn);
+        const __m128i probe_index = _mm_min_epi32(idx, vn_minus_1);
+        const __m256d probe = _mm256_i32gather_pd(cuts, probe_index, 8);
+        const __m256d lt = _mm256_cmp_pd(probe, x, _CMP_LT_OQ);
+        const __m128i up = _mm_and_si128(
+            can_up, PackQwordsToDwords(_mm256_castpd_si256(lt)));
+        idx = _mm_sub_epi32(idx, up);  // up mask is -1: subtracts -1
+      }
+      for (int step = 0; step < 2; ++step) {
+        const __m128i can_down = _mm_cmpgt_epi32(idx, vzero);
+        const __m128i probe_index =
+            _mm_max_epi32(_mm_sub_epi32(idx, vone), vzero);
+        const __m256d probe = _mm256_i32gather_pd(cuts, probe_index, 8);
+        const __m256d ge = _mm256_cmp_pd(probe, x, _CMP_GE_OQ);
+        const __m128i down = _mm_and_si128(
+            can_down, PackQwordsToDwords(_mm256_castpd_si256(ge)));
+        idx = _mm_add_epi32(idx, down);  // down mask is -1: subtracts 1
+      }
+      // Per-lane lower_bound invariant:
+      //   (idx == 0 || cuts[idx-1] < x) && (idx == n || cuts[idx] >= x).
+      // lower_bound's answer is the unique index satisfying it, so a lane
+      // that validates IS bit-identical to the scalar result.
+      const __m128i is_zero = _mm_cmpeq_epi32(idx, vzero);
+      const __m256d below = _mm256_i32gather_pd(
+          cuts, _mm_max_epi32(_mm_sub_epi32(idx, vone), vzero), 8);
+      const __m128i low_ok = _mm_or_si128(
+          is_zero, PackQwordsToDwords(_mm256_castpd_si256(
+                       _mm256_cmp_pd(below, x, _CMP_LT_OQ))));
+      const __m128i is_n = _mm_cmpeq_epi32(idx, vn);
+      const __m256d at = _mm256_i32gather_pd(
+          cuts, _mm_min_epi32(idx, vn_minus_1), 8);
+      const __m128i high_ok = _mm_or_si128(
+          is_n, PackQwordsToDwords(_mm256_castpd_si256(
+                    _mm256_cmp_pd(at, x, _CMP_GE_OQ))));
+      const __m128i nan32 = PackQwordsToDwords(_mm256_castpd_si256(nan_pd));
+      // NaN lanes are settled by definition (they become -1).
+      const __m128i valid =
+          _mm_or_si128(_mm_and_si128(low_ok, high_ok), nan32);
+      idx = _mm_blendv_epi8(idx, vall, nan32);
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i), idx);
+      no_bucket +=
+          __builtin_popcount(static_cast<unsigned>(_mm256_movemask_pd(nan_pd)));
+      const int unsettled =
+          _mm_movemask_ps(_mm_castsi128_ps(_mm_xor_si128(valid, vall)));
+      if (unsettled != 0) {
+        for (int lane = 0; lane < 4; ++lane) {
+          if ((unsettled >> lane) & 1) {
+            out[i + static_cast<size_t>(lane)] = ScalarLocateEquiWidthOne(
+                cuts, num_cuts, first_cut, inv_step,
+                values[i + static_cast<size_t>(lane)]);
+          }
+        }
+      }
+    }
+  }
+  for (; i < n; ++i) {
+    const int32_t bucket = ScalarLocateEquiWidthOne(cuts, num_cuts, first_cut,
+                                                    inv_step, values[i]);
+    out[i] = bucket;
+    no_bucket += static_cast<int64_t>(bucket < 0);
+  }
+  return no_bucket;
+}
+
+void MaskAndAvx2(uint8_t* mask, const uint8_t* condition, size_t n) {
+  size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i m = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(mask + i));
+    const __m256i c = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(condition + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(mask + i),
+                        _mm256_and_si256(m, c));
+  }
+  for (; i < n; ++i) mask[i] &= condition[i];
+}
+
+void FoldCellsAvx2(const int32_t* x, const int32_t* y, size_t n, int32_t nx,
+                   int32_t* cells) {
+  const __m256i vnx = _mm256_set1_epi32(nx);
+  const __m256i vall = _mm256_set1_epi32(-1);
+  const __m256i vzero = _mm256_setzero_si256();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i vx =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(x + i));
+    const __m256i vy =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(y + i));
+    const __m256i miss =
+        _mm256_cmpgt_epi32(vzero, _mm256_or_si256(vx, vy));
+    const __m256i cell =
+        _mm256_add_epi32(_mm256_mullo_epi32(vy, vnx), vx);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(cells + i),
+                        _mm256_blendv_epi8(cell, vall, miss));
+  }
+  for (; i < n; ++i) {
+    cells[i] = (x[i] | y[i]) < 0 ? -1 : y[i] * nx + x[i];
+  }
+}
+
+const Kernels kAvx2 = {"avx2", LocateSearchAvx2, LocateEquiWidthAvx2,
+                       MaskAndAvx2, FoldCellsAvx2};
+
+}  // namespace
+
+const Kernels* Avx2KernelsOrNull() { return &kAvx2; }
+
+}  // namespace optrules::bucketing::simd
+
+#else  // !defined(__AVX2__)
+
+namespace optrules::bucketing::simd {
+
+const Kernels* Avx2KernelsOrNull() { return nullptr; }
+
+}  // namespace optrules::bucketing::simd
+
+#endif  // defined(__AVX2__)

@@ -1,0 +1,68 @@
+// Scalar cores shared by every kernel arm (internal header).
+//
+// The SIMD translation units handle remainder tails and unsettled lanes
+// with these exact functions, so tail rows and fallback lanes are
+// bit-identical to the scalar reference arm BY CONSTRUCTION, not by
+// parallel maintenance of two copies. Include only from simd_kernels*.cc.
+
+#ifndef OPTRULES_BUCKETING_SIMD_KERNELS_SCALAR_INL_H_
+#define OPTRULES_BUCKETING_SIMD_KERNELS_SCALAR_INL_H_
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+namespace optrules::bucketing::simd::internal {
+
+/// Branchless lower_bound over sorted cuts: the number of cuts < x. `x`
+/// must not be NaN. Identical to the pre-SIMD
+/// BucketBoundaries::LocateBranchless loop (conditional-move advance).
+inline int32_t ScalarLowerBound(const double* cuts, size_t num_cuts,
+                                double x) {
+  if (num_cuts == 0) return 0;
+  const double* base = cuts;
+  size_t n = num_cuts;
+  while (n > 1) {
+    const size_t half = n / 2;
+    base += static_cast<size_t>(base[half - 1] < x) * half;
+    n -= half;
+  }
+  return static_cast<int32_t>(base - cuts) + static_cast<int32_t>(*base < x);
+}
+
+/// Arithmetic lower_bound over affine cuts with the bounded neighbor
+/// fix-up walk; `x` must not be NaN. Identical to the pre-SIMD
+/// BucketBoundaries::LocateEquiWidth.
+inline int32_t ScalarEquiWidthLowerBound(const double* cuts, size_t num_cuts,
+                                         double first_cut, double inv_step,
+                                         double x) {
+  const auto n = static_cast<int64_t>(num_cuts);
+  double guess = std::ceil((x - first_cut) * inv_step);
+  // Clamp in double first: the raw guess can be +/-inf for infinite x,
+  // which must not reach the integer cast.
+  guess = std::min(guess, static_cast<double>(n));
+  guess = std::max(guess, 0.0);
+  int64_t index = static_cast<int64_t>(guess);
+  while (index < n && cuts[static_cast<size_t>(index)] < x) ++index;
+  while (index > 0 && cuts[static_cast<size_t>(index - 1)] >= x) --index;
+  return static_cast<int32_t>(index);
+}
+
+/// One full scalar locate step (NaN policy applied): returns the bucket
+/// index or -1, used for SIMD tail rows.
+inline int32_t ScalarLocateSearchOne(const double* cuts, size_t num_cuts,
+                                     double x) {
+  if (std::isnan(x)) return -1;
+  return ScalarLowerBound(cuts, num_cuts, x);
+}
+
+inline int32_t ScalarLocateEquiWidthOne(const double* cuts, size_t num_cuts,
+                                        double first_cut, double inv_step,
+                                        double x) {
+  if (std::isnan(x)) return -1;
+  return ScalarEquiWidthLowerBound(cuts, num_cuts, first_cut, inv_step, x);
+}
+
+}  // namespace optrules::bucketing::simd::internal
+
+#endif  // OPTRULES_BUCKETING_SIMD_KERNELS_SCALAR_INL_H_

@@ -73,6 +73,35 @@ Result<BucketBoundaries> NaiveSortBoundariesFromFile(
     return Status::InvalidArgument("numeric_attr out of range");
   }
 
+  // ExternalSort shuffles fixed-width whole-row records, which requires the
+  // row-major v1 layout. A columnar v2 table gets stream-converted to a
+  // temporary v1 file first -- "Naive Sort" pays an extra full rewrite
+  // then, which is exactly the kind of whole-table-sort cost the paper's
+  // one-scan bucketizers avoid.
+  std::string sort_input = table_path;
+  std::string row_major_temp;
+  if (info.format_version != 1) {
+    row_major_temp = sorted_path + ".rowmajor";
+    Result<std::unique_ptr<storage::FileTupleStream>> convert_or =
+        storage::FileTupleStream::Open(table_path);
+    if (!convert_or.ok()) return convert_or.status();
+    storage::PagedFileWriterOptions v1_options;
+    v1_options.format = storage::PagedFileFormat::kRowMajorV1;
+    Result<storage::PagedFileWriter> writer_or = storage::PagedFileWriter::
+        Create(row_major_temp, info.num_numeric, info.num_boolean,
+               v1_options);
+    if (!writer_or.ok()) return writer_or.status();
+    storage::PagedFileWriter writer = std::move(writer_or).value();
+    storage::TupleView tuple;
+    while (convert_or.value()->Next(&tuple)) {
+      OPTRULES_RETURN_IF_ERROR(writer.AppendRow(
+          {tuple.numeric, static_cast<size_t>(info.num_numeric)},
+          {tuple.booleans, static_cast<size_t>(info.num_boolean)}));
+    }
+    OPTRULES_RETURN_IF_ERROR(writer.Close());
+    sort_input = row_major_temp;
+  }
+
   storage::ExternalSortOptions sort_options;
   sort_options.record_bytes = info.row_bytes;
   sort_options.key_offset =
@@ -81,7 +110,8 @@ Result<BucketBoundaries> NaiveSortBoundariesFromFile(
   sort_options.memory_budget_bytes = memory_budget_bytes;
   sort_options.temp_dir = temp_dir;
   Result<storage::ExternalSortStats> sort_result =
-      storage::ExternalSort(table_path, sorted_path, sort_options);
+      storage::ExternalSort(sort_input, sorted_path, sort_options);
+  if (!row_major_temp.empty()) std::remove(row_major_temp.c_str());
   if (!sort_result.ok()) return sort_result.status();
 
   Result<std::unique_ptr<storage::FileTupleStream>> stream_or =

@@ -241,6 +241,9 @@ class ConcatReader : public storage::BatchReader {
       // PartitionedTable::Validate() immediately before scanning, as
       // MiningEngine::TryPrepare does.
       OPTRULES_CHECK(source.ok());
+      // The old reader must die before the source it was created from
+      // (its destructor reports I/O-wait time into the source).
+      reader_.reset();
       source_ = std::move(source).value();
       reader_ = source_->CreateReader();
       ++next_partition_;

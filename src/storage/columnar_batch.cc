@@ -6,6 +6,8 @@
 #include <mutex>
 #include <thread>
 
+#include "common/timer.h"
+
 namespace optrules::storage {
 
 void ColumnarBatch::Reset(int num_numeric, int num_boolean) {
@@ -132,13 +134,14 @@ class PagedFileBatchReader : public BatchReader {
  public:
   PagedFileBatchReader(std::FILE* file, const PagedFileInfo& info,
                        int64_t begin, int64_t end, int64_t batch_rows,
-                       PagedReadMode mode)
+                       PagedReadMode mode, std::atomic<double>* io_wait_accum)
       : file_(file),
         info_(info),
         position_(begin),
         end_(end),
         batch_rows_(batch_rows),
-        mode_(mode) {
+        mode_(mode),
+        io_wait_accum_(io_wait_accum) {
     const size_t slots =
         mode_ == PagedReadMode::kDoubleBuffered ? 2 : 1;
     slots_.resize(slots);
@@ -166,6 +169,9 @@ class PagedFileBatchReader : public BatchReader {
       prefetcher_.join();
     }
     if (file_ != nullptr) std::fclose(file_);
+    if (io_wait_accum_ != nullptr) {
+      io_wait_accum_->fetch_add(io_wait_seconds_);
+    }
   }
 
   bool Next(ColumnarBatch* batch) override {
@@ -174,6 +180,7 @@ class PagedFileBatchReader : public BatchReader {
     const PageSlot* slot = nullptr;
     if (mode_ == PagedReadMode::kDoubleBuffered) {
       {
+        WallTimer wait_timer;
         std::unique_lock<std::mutex> lock(mu_);
         // Release the previously held slot (its spans die with this call)
         // and wait for the prefetcher to publish the next one.
@@ -183,13 +190,16 @@ class PagedFileBatchReader : public BatchReader {
         }
         slot_ready_cv_.wait(lock, [&] { return produced_ > consumed_; });
         holding_slot_ = true;
+        io_wait_seconds_ += wait_timer.ElapsedSeconds();
       }
       slot = &slots_[static_cast<size_t>(consumed_ % 2)];
       OPTRULES_CHECK(slot->rows == want);
     } else {
       PageSlot& mine = slots_[0];
+      WallTimer read_timer;
       const size_t got = std::fread(mine.page.data(), info_.row_bytes,
                                     static_cast<size_t>(want), file_);
+      io_wait_seconds_ += read_timer.ElapsedSeconds();
       // end_ is bounded by the header's row count, so a short read means a
       // truncated or failing file; silently accepting it would merge
       // partial counts with no diagnostic.
@@ -289,6 +299,192 @@ class PagedFileBatchReader : public BatchReader {
   bool holding_slot_ = false;
   bool stop_ = false;
   std::thread prefetcher_;
+  std::atomic<double>* io_wait_accum_;
+  double io_wait_seconds_ = 0.0;
+};
+
+/// Zero-transpose reader over a columnar v2 file. A slot holds one raw
+/// on-disk page; batches are spans pointing directly into its column runs
+/// (offset by the batch's position inside the page), so there is no
+/// per-row work at all between fread and the counting kernels. Batches
+/// clamp to page boundaries -- counting results are independent of batch
+/// splits (row order is preserved), so this is invisible to consumers.
+///
+/// The consumer holds the slot containing its current page across multiple
+/// Next() calls (batch_rows is usually much smaller than rows_per_page)
+/// and releases it only when position_ crosses into the next page; the
+/// double-buffered prefetch thread stays one PAGE ahead (not one batch),
+/// reading raw pages with zero processing on either side of the handoff.
+/// The produced_/consumed_ counter protocol is the same as the v1
+/// reader's.
+class PagedFileV2BatchReader : public BatchReader {
+ public:
+  PagedFileV2BatchReader(std::FILE* file, const PagedFileInfo& info,
+                         int64_t begin, int64_t end, int64_t batch_rows,
+                         PagedReadMode mode,
+                         std::atomic<double>* io_wait_accum)
+      : file_(file),
+        info_(info),
+        position_(begin),
+        end_(end),
+        batch_rows_(batch_rows),
+        mode_(mode),
+        io_wait_accum_(io_wait_accum),
+        next_page_to_read_(begin /
+                           static_cast<int64_t>(info.rows_per_page)) {
+    OPTRULES_CHECK(info_.format_version == 2);
+    const size_t slots =
+        mode_ == PagedReadMode::kDoubleBuffered ? 2 : 1;
+    slots_.resize(slots);
+    for (PageSlot& slot : slots_) {
+      slot.page.resize(info_.page_stride());
+    }
+    if (mode_ == PagedReadMode::kDoubleBuffered && position_ < end_) {
+      prefetcher_ = std::thread([this] { PrefetchLoop(); });
+    }
+  }
+
+  ~PagedFileV2BatchReader() override {
+    if (prefetcher_.joinable()) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+      }
+      slot_free_cv_.notify_all();
+      prefetcher_.join();
+    }
+    if (file_ != nullptr) std::fclose(file_);
+    if (io_wait_accum_ != nullptr) {
+      io_wait_accum_->fetch_add(io_wait_seconds_);
+    }
+  }
+
+  bool Next(ColumnarBatch* batch) override {
+    if (position_ >= end_) return false;
+    const auto rpp = static_cast<int64_t>(info_.rows_per_page);
+    const int64_t page = position_ / rpp;
+    if (!holding_slot_ || held_page_ != page) AcquirePage(page);
+    const PageSlot& slot = slots_[static_cast<size_t>(held_slot_)];
+    const int64_t in_page = position_ - page * rpp;
+    const int64_t want = std::min(
+        {batch_rows_, end_ - position_, slot.rows - in_page});
+    OPTRULES_CHECK(want > 0);
+    const uint8_t* base = slot.page.data();
+    batch->Reset(info_.num_numeric, info_.num_boolean);
+    batch->SetRows(want);
+    for (int c = 0; c < info_.num_numeric; ++c) {
+      // The run is 8-byte aligned: the directory is padded to 8 bytes and
+      // the page buffer is allocator-aligned.
+      const auto* run = reinterpret_cast<const double*>(
+          base + info_.numeric_run_offset(c));
+      batch->SetNumeric(
+          c, std::span<const double>(run + in_page,
+                                     static_cast<size_t>(want)));
+    }
+    for (int b = 0; b < info_.num_boolean; ++b) {
+      batch->SetBoolean(
+          b, std::span<const uint8_t>(
+                 base + info_.boolean_run_offset(b) + in_page,
+                 static_cast<size_t>(want)));
+    }
+    position_ += want;
+    return true;
+  }
+
+ private:
+  struct PageSlot {
+    std::vector<uint8_t> page;  ///< one raw on-disk page (page_stride bytes)
+    int64_t page_index = -1;
+    int64_t rows = 0;  ///< rows stored in this page (partial last page)
+  };
+
+  /// Reads the next sequential page into `slot` (the file position is
+  /// always at the next unread page -- pages are consumed strictly in
+  /// order). Pages are full-stride on disk even when partially filled.
+  void ReadPage(PageSlot* slot) {
+    WallTimer read_timer;
+    const size_t got =
+        std::fread(slot->page.data(), 1, slot->page.size(), file_);
+    const double elapsed = read_timer.ElapsedSeconds();
+    OPTRULES_CHECK(got == slot->page.size());
+    slot->page_index = next_page_to_read_;
+    slot->rows = info_.rows_in_page(next_page_to_read_);
+    const Status valid = ValidateV2Page(info_, slot->page_index, slot->page);
+    OPTRULES_CHECK(valid.ok());
+    ++next_page_to_read_;
+    if (mode_ == PagedReadMode::kSynchronous) {
+      io_wait_seconds_ += elapsed;
+    }
+  }
+
+  /// Makes `page` the held slot: releases the previous page's slot and
+  /// either reads the page synchronously or waits for the prefetcher.
+  void AcquirePage(int64_t page) {
+    if (mode_ == PagedReadMode::kSynchronous) {
+      ReadPage(&slots_[0]);
+      held_slot_ = 0;
+    } else {
+      WallTimer wait_timer;
+      std::unique_lock<std::mutex> lock(mu_);
+      if (holding_slot_) {
+        ++consumed_;
+        slot_free_cv_.notify_all();
+      }
+      slot_ready_cv_.wait(lock, [&] { return produced_ > consumed_; });
+      io_wait_seconds_ += wait_timer.ElapsedSeconds();
+      held_slot_ = static_cast<int>(consumed_ % 2);
+    }
+    holding_slot_ = true;
+    held_page_ = page;
+    OPTRULES_CHECK(
+        slots_[static_cast<size_t>(held_slot_)].page_index == page);
+  }
+
+  /// Prefetch thread: reads every page covering [begin, end) into the
+  /// two-slot ring, staying at most one page ahead of the consumer.
+  void PrefetchLoop() {
+    const auto rpp = static_cast<int64_t>(info_.rows_per_page);
+    const int64_t last_page = (end_ - 1) / rpp;
+    for (int64_t page = next_page_to_read_; page <= last_page; ++page) {
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        slot_free_cv_.wait(
+            lock, [&] { return stop_ || produced_ - consumed_ < 2; });
+        if (stop_) return;
+      }
+      ReadPage(&slots_[static_cast<size_t>(produced_ % 2)]);
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++produced_;
+      }
+      slot_ready_cv_.notify_all();
+    }
+  }
+
+  std::FILE* file_;
+  PagedFileInfo info_;
+  int64_t position_;
+  int64_t end_;
+  int64_t batch_rows_;
+  PagedReadMode mode_;
+  std::atomic<double>* io_wait_accum_;
+  double io_wait_seconds_ = 0.0;
+  /// Next sequential page the file position points at. Owned by the
+  /// reading side: the consumer in synchronous mode, the prefetch thread
+  /// in double-buffered mode (which reads its initial value before the
+  /// consumer ever touches a slot).
+  int64_t next_page_to_read_;
+  std::vector<PageSlot> slots_;
+  std::mutex mu_;
+  std::condition_variable slot_ready_cv_;
+  std::condition_variable slot_free_cv_;
+  int64_t produced_ = 0;
+  int64_t consumed_ = 0;
+  bool holding_slot_ = false;
+  int held_slot_ = 0;
+  int64_t held_page_ = -1;
+  bool stop_ = false;
+  std::thread prefetcher_;
 };
 
 }  // namespace
@@ -335,10 +531,21 @@ std::unique_ptr<BatchReader> PagedFileBatchSource::CreateRangeReader(
   OPTRULES_CHECK(0 <= begin && begin <= end && end <= info_.num_rows);
   std::FILE* file = std::fopen(path_.c_str(), "rb");
   OPTRULES_CHECK(file != nullptr);
-  SeekToOffset(file, static_cast<uint64_t>(kPagedFileHeaderBytes) +
+  if (info_.format_version == 2) {
+    // Seek to the page containing `begin`; the reader skips the in-page
+    // prefix rows via its position arithmetic.
+    const int64_t first_page =
+        begin / static_cast<int64_t>(info_.rows_per_page);
+    SeekToOffset(file, static_cast<uint64_t>(info_.header_bytes) +
+                           static_cast<uint64_t>(first_page) *
+                               info_.page_stride());
+    return std::make_unique<PagedFileV2BatchReader>(
+        file, info_, begin, end, batch_rows_, mode_, &io_wait_seconds_);
+  }
+  SeekToOffset(file, static_cast<uint64_t>(info_.header_bytes) +
                          static_cast<uint64_t>(begin) * info_.row_bytes);
-  return std::make_unique<PagedFileBatchReader>(file, info_, begin, end,
-                                                batch_rows_, mode_);
+  return std::make_unique<PagedFileBatchReader>(
+      file, info_, begin, end, batch_rows_, mode_, &io_wait_seconds_);
 }
 
 // --------------------------------------------------------- tuple stream ----

@@ -7,13 +7,16 @@
 // blocks of whole columns: producers hand out batches of numeric column
 // slices plus Boolean byte-column slices, and the kernels iterate tight
 // span loops with one virtual call per *batch*. In-memory relations serve
-// zero-copy views into their columns; disk-resident PagedFiles transpose
-// each page into reusable column buffers; any legacy TupleStream can be
-// adapted. All three feed the same hot loop (bucketing::MultiCountPlan).
+// zero-copy views into their columns; disk-resident PagedFiles serve
+// column slices pointing straight into the raw page image (columnar v2;
+// zero transpose) or transpose each row-major page into reusable column
+// buffers (legacy v1); any legacy TupleStream can be adapted. All feed the
+// same hot loop (bucketing::MultiCountPlan).
 
 #ifndef OPTRULES_STORAGE_COLUMNAR_BATCH_H_
 #define OPTRULES_STORAGE_COLUMNAR_BATCH_H_
 
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
 #include <memory>
@@ -156,11 +159,15 @@ enum class PagedReadMode {
   kSynchronous,
 };
 
-/// Batch source over a PagedFile: each reader owns its own file handle,
-/// reads `batch_rows` fixed-width rows at a time, and transposes them into
-/// reusable column buffers. Supports range readers (readers seek to their
-/// shard), so disk-resident counting can also be sharded when the storage
-/// below tolerates concurrent sequential streams.
+/// Batch source over a PagedFile: each reader owns its own file handle and
+/// streams `batch_rows`-row batches. Readers must be destroyed before the
+/// source that created them (they report their I/O-wait time into it). For columnar v2 files the batch spans
+/// point directly into the reader's raw page image (zero per-row work;
+/// batches additionally clamp to page boundaries). For row-major v1 files
+/// each page is transposed into reusable column buffers. Supports range
+/// readers (readers seek to their shard), so disk-resident counting can
+/// also be sharded when the storage below tolerates concurrent sequential
+/// streams.
 class PagedFileBatchSource : public BatchSource {
  public:
   static Result<std::unique_ptr<PagedFileBatchSource>> Open(
@@ -174,6 +181,15 @@ class PagedFileBatchSource : public BatchSource {
   std::unique_ptr<BatchReader> CreateRangeReader(int64_t begin,
                                                  int64_t end) override;
 
+  /// Header metadata of the open file (format version, page geometry).
+  const PagedFileInfo& info() const { return info_; }
+
+  /// Total seconds this source's readers spent blocked on file I/O
+  /// (synchronous freads, or waiting on the prefetch thread in
+  /// double-buffered mode), accumulated when each reader is destroyed.
+  /// The bench harness reports this as the scan's I/O-wait phase.
+  double TotalIoWaitSeconds() const { return io_wait_seconds_.load(); }
+
  protected:
   std::unique_ptr<BatchReader> DoCreateReader() override;
 
@@ -184,6 +200,7 @@ class PagedFileBatchSource : public BatchSource {
   PagedFileInfo info_;
   int64_t batch_rows_ = kDefaultBatchRows;
   PagedReadMode mode_ = PagedReadMode::kDoubleBuffered;
+  std::atomic<double> io_wait_seconds_{0.0};
 };
 
 /// Adapter from any legacy TupleStream to the batch API. The stream is

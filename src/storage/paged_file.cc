@@ -1,5 +1,6 @@
 #include "storage/paged_file.h"
 
+#include <algorithm>
 #include <cstring>
 
 namespace optrules::storage {
@@ -7,7 +8,6 @@ namespace optrules::storage {
 namespace {
 
 constexpr uint32_t kMagic = 0x4f505452;  // "OPTR"
-constexpr uint32_t kVersion = 1;
 
 void PutU32(uint8_t* dst, uint32_t v) { std::memcpy(dst, &v, 4); }
 void PutU64(uint8_t* dst, uint64_t v) { std::memcpy(dst, &v, 8); }
@@ -22,12 +22,148 @@ uint64_t GetU64(const uint8_t* src) {
   return v;
 }
 
+size_t RoundUp8(size_t n) { return (n + 7) & ~size_t{7}; }
+
+/// Auto page size: the largest power-of-two row count whose column payload
+/// stays around 1 MiB, clamped to [256, 65536]. Power-of-two keeps the
+/// row -> (page, offset) split cheap and the clamp bounds both per-page
+/// overhead (wide schemas) and page count (narrow schemas).
+uint32_t AutoRowsPerPage(size_t row_bytes) {
+  constexpr size_t kTargetPayload = size_t{1} << 20;
+  uint32_t rows = 256;
+  while (rows < 65536 &&
+         size_t{rows} * 2 * row_bytes <= kTargetPayload) {
+    rows *= 2;
+  }
+  return rows;
+}
+
+/// Fills a v2 page's column-offset directory (identical on every page).
+void WriteDirectory(const PagedFileInfo& geom, uint8_t* page) {
+  for (int c = 0; c < geom.num_numeric; ++c) {
+    PutU32(page + static_cast<size_t>(c) * 4,
+           static_cast<uint32_t>(geom.numeric_run_offset(c)));
+  }
+  for (int b = 0; b < geom.num_boolean; ++b) {
+    PutU32(page + (static_cast<size_t>(geom.num_numeric) +
+                   static_cast<size_t>(b)) *
+                      4,
+           static_cast<uint32_t>(geom.boolean_run_offset(b)));
+  }
+}
+
+/// Geometry snapshot used by the writer (num_rows irrelevant there).
+PagedFileInfo MakeV2Geometry(int num_numeric, int num_boolean,
+                             uint32_t rows_per_page) {
+  PagedFileInfo geom;
+  geom.num_numeric = num_numeric;
+  geom.num_boolean = num_boolean;
+  geom.row_bytes = static_cast<size_t>(num_numeric) * sizeof(double) +
+                   static_cast<size_t>(num_boolean);
+  geom.format_version = 2;
+  geom.rows_per_page = rows_per_page;
+  geom.header_bytes = kPagedFileV2HeaderBytes;
+  return geom;
+}
+
 }  // namespace
 
-Result<PagedFileWriter> PagedFileWriter::Create(const std::string& path,
-                                                int num_numeric,
-                                                int num_boolean,
-                                                size_t buffer_bytes) {
+size_t PagedFileInfo::directory_bytes() const {
+  return RoundUp8(
+      (static_cast<size_t>(num_numeric) + static_cast<size_t>(num_boolean)) *
+      4);
+}
+
+size_t PagedFileInfo::numeric_run_offset(int c) const {
+  return directory_bytes() +
+         static_cast<size_t>(c) * rows_per_page * sizeof(double);
+}
+
+size_t PagedFileInfo::boolean_run_offset(int b) const {
+  return directory_bytes() +
+         static_cast<size_t>(num_numeric) * rows_per_page * sizeof(double) +
+         static_cast<size_t>(b) * rows_per_page;
+}
+
+size_t PagedFileInfo::page_stride() const {
+  return RoundUp8(boolean_run_offset(num_boolean));
+}
+
+int64_t PagedFileInfo::num_pages() const {
+  if (rows_per_page == 0) return 0;
+  return (num_rows + rows_per_page - 1) /
+         static_cast<int64_t>(rows_per_page);
+}
+
+int64_t PagedFileInfo::rows_in_page(int64_t page) const {
+  const int64_t begin = page * static_cast<int64_t>(rows_per_page);
+  return std::min<int64_t>(rows_per_page, num_rows - begin);
+}
+
+Status ValidateV2Page(const PagedFileInfo& info, int64_t page_index,
+                      std::span<const uint8_t> page) {
+  OPTRULES_CHECK(info.format_version == 2);
+  OPTRULES_CHECK(page.size() == info.page_stride());
+  for (int c = 0; c < info.num_numeric; ++c) {
+    if (GetU32(page.data() + static_cast<size_t>(c) * 4) !=
+        info.numeric_run_offset(c)) {
+      return Status::Corruption("page directory mismatch (numeric column " +
+                                std::to_string(c) + ", page " +
+                                std::to_string(page_index) + ")");
+    }
+  }
+  for (int b = 0; b < info.num_boolean; ++b) {
+    if (GetU32(page.data() + (static_cast<size_t>(info.num_numeric) +
+                              static_cast<size_t>(b)) *
+                                 4) != info.boolean_run_offset(b)) {
+      return Status::Corruption("page directory mismatch (boolean column " +
+                                std::to_string(b) + ", page " +
+                                std::to_string(page_index) + ")");
+    }
+  }
+  const int64_t rows = info.rows_in_page(page_index);
+  if (rows < 0 || rows > static_cast<int64_t>(info.rows_per_page)) {
+    return Status::Corruption("page " + std::to_string(page_index) +
+                              " out of range");
+  }
+  if (rows == static_cast<int64_t>(info.rows_per_page)) return Status::Ok();
+  // Partial last page: the unused tail of every column run (and the final
+  // stride pad) must be zero -- the writer's stale-byte guarantee.
+  auto all_zero = [&page](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      if (page[i] != 0) return false;
+    }
+    return true;
+  };
+  const auto used = static_cast<size_t>(rows);
+  for (int c = 0; c < info.num_numeric; ++c) {
+    const size_t run = info.numeric_run_offset(c);
+    if (!all_zero(run + used * sizeof(double),
+                  run + info.rows_per_page * sizeof(double))) {
+      return Status::Corruption("stale bytes after numeric column " +
+                                std::to_string(c) + " in partial page " +
+                                std::to_string(page_index));
+    }
+  }
+  for (int b = 0; b < info.num_boolean; ++b) {
+    const size_t run = info.boolean_run_offset(b);
+    if (!all_zero(run + used, run + info.rows_per_page)) {
+      return Status::Corruption("stale bytes after boolean column " +
+                                std::to_string(b) + " in partial page " +
+                                std::to_string(page_index));
+    }
+  }
+  if (!all_zero(info.boolean_run_offset(info.num_boolean),
+                info.page_stride())) {
+    return Status::Corruption("stale bytes in stride pad of page " +
+                              std::to_string(page_index));
+  }
+  return Status::Ok();
+}
+
+Result<PagedFileWriter> PagedFileWriter::Create(
+    const std::string& path, int num_numeric, int num_boolean,
+    const PagedFileWriterOptions& options) {
   if (num_numeric < 0 || num_boolean < 0 || num_numeric + num_boolean == 0) {
     return Status::InvalidArgument("invalid attribute counts");
   }
@@ -38,23 +174,50 @@ Result<PagedFileWriter> PagedFileWriter::Create(const std::string& path,
   PagedFileWriter writer;
   writer.file_ = file;
   writer.path_ = path;
+  writer.format_ = options.format;
   writer.num_numeric_ = num_numeric;
   writer.num_boolean_ = num_boolean;
   writer.row_bytes_ = static_cast<size_t>(num_numeric) * sizeof(double) +
                       static_cast<size_t>(num_boolean);
-  writer.buffer_.resize(std::max(buffer_bytes, writer.row_bytes_));
 
-  uint8_t header[kPagedFileHeaderBytes];
+  const bool v2 = options.format == PagedFileFormat::kColumnarV2;
+  const size_t header_bytes =
+      v2 ? kPagedFileV2HeaderBytes : kPagedFileHeaderBytes;
+  uint8_t header[kPagedFileV2HeaderBytes] = {0};
   PutU32(header, kMagic);
-  PutU32(header + 4, kVersion);
+  PutU32(header + 4, static_cast<uint32_t>(options.format));
   PutU32(header + 8, static_cast<uint32_t>(num_numeric));
   PutU32(header + 12, static_cast<uint32_t>(num_boolean));
   PutU64(header + 16, 0);  // row count patched in Close().
-  if (std::fwrite(header, 1, sizeof(header), file) != sizeof(header)) {
+  if (v2) {
+    writer.rows_per_page_ = options.rows_per_page != 0
+                                ? options.rows_per_page
+                                : AutoRowsPerPage(writer.row_bytes_);
+    const PagedFileInfo geom =
+        MakeV2Geometry(num_numeric, num_boolean, writer.rows_per_page_);
+    writer.directory_bytes_ = geom.directory_bytes();
+    writer.page_stride_ = geom.page_stride();
+    writer.buffer_.assign(writer.page_stride_, 0);
+    WriteDirectory(geom, writer.buffer_.data());
+    PutU32(header + 24, writer.rows_per_page_);
+    PutU32(header + 28, 0);  // reserved
+  } else {
+    writer.buffer_.resize(std::max(options.buffer_bytes, writer.row_bytes_));
+  }
+  if (std::fwrite(header, 1, header_bytes, file) != header_bytes) {
     std::fclose(file);
     return Status::IoError("cannot write header: " + path);
   }
   return writer;
+}
+
+Result<PagedFileWriter> PagedFileWriter::Create(const std::string& path,
+                                                int num_numeric,
+                                                int num_boolean,
+                                                size_t buffer_bytes) {
+  PagedFileWriterOptions options;
+  options.buffer_bytes = buffer_bytes;
+  return Create(path, num_numeric, num_boolean, options);
 }
 
 PagedFileWriter::PagedFileWriter(PagedFileWriter&& other) noexcept {
@@ -68,12 +231,17 @@ PagedFileWriter& PagedFileWriter::operator=(
   file_ = other.file_;
   other.file_ = nullptr;
   path_ = std::move(other.path_);
+  format_ = other.format_;
   num_numeric_ = other.num_numeric_;
   num_boolean_ = other.num_boolean_;
   row_bytes_ = other.row_bytes_;
   num_rows_ = other.num_rows_;
   buffer_ = std::move(other.buffer_);
   buffer_used_ = other.buffer_used_;
+  rows_per_page_ = other.rows_per_page_;
+  directory_bytes_ = other.directory_bytes_;
+  page_stride_ = other.page_stride_;
+  row_in_page_ = other.row_in_page_;
   return *this;
 }
 
@@ -101,7 +269,69 @@ Result<uint8_t*> PagedFileWriter::ReserveRow() {
   return row;
 }
 
+Status PagedFileWriter::FlushPage() {
+  if (std::fwrite(buffer_.data(), 1, page_stride_, file_) != page_stride_) {
+    return Status::IoError("write failed: " + path_);
+  }
+  // Clear the payload for the next page (the directory is identical on
+  // every page and stays in place), so a final partial page is zero-padded
+  // by construction rather than by a separate pass.
+  std::memset(buffer_.data() + directory_bytes_, 0,
+              page_stride_ - directory_bytes_);
+  row_in_page_ = 0;
+  return Status::Ok();
+}
+
+Status PagedFileWriter::AppendRowV2(const double* numeric_values,
+                                    const uint8_t* boolean_values) {
+  OPTRULES_CHECK(file_ != nullptr);
+  uint8_t* page = buffer_.data();
+  const size_t r = row_in_page_;
+  size_t offset = directory_bytes_ + r * sizeof(double);
+  for (int c = 0; c < num_numeric_; ++c) {
+    std::memcpy(page + offset, numeric_values + c, sizeof(double));
+    offset += size_t{rows_per_page_} * sizeof(double);
+  }
+  offset = directory_bytes_ +
+           static_cast<size_t>(num_numeric_) * rows_per_page_ *
+               sizeof(double) +
+           r;
+  for (int b = 0; b < num_boolean_; ++b) {
+    page[offset] = boolean_values[b];
+    offset += rows_per_page_;
+  }
+  ++row_in_page_;
+  ++num_rows_;
+  if (row_in_page_ == rows_per_page_) return FlushPage();
+  return Status::Ok();
+}
+
 Status PagedFileWriter::AppendRawRow(const uint8_t* row) {
+  if (format_ == PagedFileFormat::kColumnarV2) {
+    // The row-major bytes may be unaligned (caller-owned buffer), so the
+    // doubles go through a memcpy-based scatter.
+    uint8_t* page = buffer_.data();
+    const size_t r = row_in_page_;
+    size_t offset = directory_bytes_ + r * sizeof(double);
+    for (int c = 0; c < num_numeric_; ++c) {
+      std::memcpy(page + offset, row + static_cast<size_t>(c) * 8,
+                  sizeof(double));
+      offset += size_t{rows_per_page_} * sizeof(double);
+    }
+    const uint8_t* booleans = row + static_cast<size_t>(num_numeric_) * 8;
+    offset = directory_bytes_ +
+             static_cast<size_t>(num_numeric_) * rows_per_page_ *
+                 sizeof(double) +
+             r;
+    for (int b = 0; b < num_boolean_; ++b) {
+      page[offset] = booleans[b];
+      offset += rows_per_page_;
+    }
+    ++row_in_page_;
+    ++num_rows_;
+    if (row_in_page_ == rows_per_page_) return FlushPage();
+    return Status::Ok();
+  }
   Result<uint8_t*> slot = ReserveRow();
   if (!slot.ok()) return slot.status();
   std::memcpy(slot.value(), row, row_bytes_);
@@ -112,6 +342,9 @@ Status PagedFileWriter::AppendRow(std::span<const double> numeric_values,
                                   std::span<const uint8_t> boolean_values) {
   OPTRULES_CHECK(numeric_values.size() == static_cast<size_t>(num_numeric_));
   OPTRULES_CHECK(boolean_values.size() == static_cast<size_t>(num_boolean_));
+  if (format_ == PagedFileFormat::kColumnarV2) {
+    return AppendRowV2(numeric_values.data(), boolean_values.data());
+  }
   // Serialize straight into the write buffer: Create() sizes it to hold at
   // least one row, so arbitrarily wide schemas (the paper's "hundreds of
   // numeric attributes") never hit a fixed-size staging array.
@@ -126,7 +359,17 @@ Status PagedFileWriter::AppendRow(std::span<const double> numeric_values,
 
 Status PagedFileWriter::Close() {
   OPTRULES_CHECK(file_ != nullptr);
-  OPTRULES_RETURN_IF_ERROR(FlushBuffer());
+  if (format_ == PagedFileFormat::kColumnarV2) {
+    if (row_in_page_ > 0) {
+      // Partial last page: the payload past row_in_page_ was never written
+      // and is still zero from FlushPage()/Create(), so flushing as-is
+      // gives the zero-padded tail readers assert on.
+      OPTRULES_RETURN_IF_ERROR(FlushPage());
+    }
+  } else {
+    OPTRULES_RETURN_IF_ERROR(FlushBuffer());
+  }
+  // The row count lives at byte 16 in both header versions.
   if (std::fseek(file_, 16, SEEK_SET) != 0) {
     return Status::IoError("seek failed: " + path_);
   }
@@ -144,31 +387,46 @@ Status PagedFileWriter::Close() {
 Result<PagedFileInfo> ReadPagedFileInfo(const std::string& path) {
   std::FILE* file = std::fopen(path.c_str(), "rb");
   if (file == nullptr) return Status::IoError("cannot open: " + path);
-  uint8_t header[kPagedFileHeaderBytes];
+  uint8_t header[kPagedFileV2HeaderBytes];
   const size_t got = std::fread(header, 1, sizeof(header), file);
   std::fclose(file);
-  if (got != sizeof(header)) {
+  // An empty v1 file is exactly 24 bytes, so only the common prefix is
+  // required up front; v2 needs the full 32.
+  if (got < kPagedFileHeaderBytes) {
     return Status::Corruption("short header: " + path);
   }
   if (GetU32(header) != kMagic) {
     return Status::Corruption("bad magic: " + path);
   }
-  if (GetU32(header + 4) != kVersion) {
+  const uint32_t version = GetU32(header + 4);
+  if (version != 1 && version != 2) {
     return Status::Corruption("unsupported version: " + path);
   }
   PagedFileInfo info;
+  info.format_version = version;
   info.num_numeric = static_cast<int>(GetU32(header + 8));
   info.num_boolean = static_cast<int>(GetU32(header + 12));
   info.num_rows = static_cast<int64_t>(GetU64(header + 16));
   info.row_bytes = static_cast<size_t>(info.num_numeric) * sizeof(double) +
                    static_cast<size_t>(info.num_boolean);
+  if (version == 2) {
+    if (got < kPagedFileV2HeaderBytes) {
+      return Status::Corruption("short header: " + path);
+    }
+    info.header_bytes = kPagedFileV2HeaderBytes;
+    info.rows_per_page = GetU32(header + 24);
+    if (info.rows_per_page == 0) {
+      return Status::Corruption("zero rows_per_page: " + path);
+    }
+  }
   return info;
 }
 
-Status WriteRelationToFile(const Relation& relation,
-                           const std::string& path) {
-  Result<PagedFileWriter> writer_or = PagedFileWriter::Create(
-      path, relation.schema().num_numeric(), relation.schema().num_boolean());
+Status WriteRelationToFile(const Relation& relation, const std::string& path,
+                           const PagedFileWriterOptions& options) {
+  Result<PagedFileWriter> writer_or =
+      PagedFileWriter::Create(path, relation.schema().num_numeric(),
+                              relation.schema().num_boolean(), options);
   if (!writer_or.ok()) return writer_or.status();
   PagedFileWriter writer = std::move(writer_or).value();
   std::vector<double> numeric_row(
@@ -188,6 +446,11 @@ Status WriteRelationToFile(const Relation& relation,
   return writer.Close();
 }
 
+Status WriteRelationToFile(const Relation& relation,
+                           const std::string& path) {
+  return WriteRelationToFile(relation, path, PagedFileWriterOptions{});
+}
+
 Result<Relation> ReadRelationFromFile(const std::string& path,
                                       const Schema& schema) {
   Result<PagedFileInfo> info_or = ReadPagedFileInfo(path);
@@ -200,16 +463,45 @@ Result<Relation> ReadRelationFromFile(const std::string& path,
   }
   std::FILE* file = std::fopen(path.c_str(), "rb");
   if (file == nullptr) return Status::IoError("cannot open: " + path);
-  if (std::fseek(file, static_cast<long>(kPagedFileHeaderBytes), SEEK_SET) !=
-      0) {
+  if (std::fseek(file, static_cast<long>(info.header_bytes), SEEK_SET) != 0) {
     std::fclose(file);
     return Status::IoError("seek failed: " + path);
   }
   Relation relation(schema);
   relation.Reserve(info.num_rows);
-  std::vector<uint8_t> row(info.row_bytes);
   std::vector<double> numeric_row(static_cast<size_t>(info.num_numeric));
   std::vector<uint8_t> boolean_row(static_cast<size_t>(info.num_boolean));
+  if (info.format_version == 2) {
+    std::vector<uint8_t> page(info.page_stride());
+    for (int64_t p = 0; p < info.num_pages(); ++p) {
+      if (std::fread(page.data(), 1, page.size(), file) != page.size()) {
+        std::fclose(file);
+        return Status::Corruption("truncated file: " + path);
+      }
+      const Status valid = ValidateV2Page(info, p, page);
+      if (!valid.ok()) {
+        std::fclose(file);
+        return valid;
+      }
+      const int64_t rows = info.rows_in_page(p);
+      for (int64_t r = 0; r < rows; ++r) {
+        for (int c = 0; c < info.num_numeric; ++c) {
+          std::memcpy(&numeric_row[static_cast<size_t>(c)],
+                      page.data() + info.numeric_run_offset(c) +
+                          static_cast<size_t>(r) * sizeof(double),
+                      sizeof(double));
+        }
+        for (int b = 0; b < info.num_boolean; ++b) {
+          boolean_row[static_cast<size_t>(b)] =
+              page[info.boolean_run_offset(b) + static_cast<size_t>(r)];
+        }
+        relation.AppendRow(numeric_row, boolean_row);
+      }
+    }
+    std::fclose(file);
+    return relation;
+  }
+  std::vector<uint8_t> row(info.row_bytes);
   for (int64_t r = 0; r < info.num_rows; ++r) {
     if (std::fread(row.data(), 1, info.row_bytes, file) != info.row_bytes) {
       std::fclose(file);

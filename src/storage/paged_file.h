@@ -1,15 +1,40 @@
-// Fixed-width binary row store.
+// Fixed-width binary table store, row-major (v1) or columnar (v2).
 //
 // This is the out-of-core substrate: the paper's motivating setting is a
 // database much larger than main memory, where sorting every numeric
 // attribute is prohibitively expensive and a single sequential scan is the
-// only affordable full-table access. PagedFile stores rows in the Schema
-// row layout (doubles then boolean bytes) behind a small header, and the
-// reader scans it through a bounded buffer.
+// only affordable full-table access. PagedFile stores tables behind a small
+// header in one of two on-disk formats, and the readers scan them through
+// bounded buffers.
 //
-// Layout:
-//   [magic u32][version u32][num_numeric u32][num_boolean u32][num_rows u64]
-//   row 0, row 1, ... (Schema::RowBytes() bytes each)
+// v1 (row-major, 24-byte header):
+//   [magic u32][version=1][num_numeric u32][num_boolean u32][num_rows u64]
+//   row 0, row 1, ... (Schema::RowBytes() bytes each: doubles then booleans)
+//
+// v2 (columnar pages, 32-byte header):
+//   [magic u32][version=2][num_numeric u32][num_boolean u32][num_rows u64]
+//   [rows_per_page u32][reserved u32]
+//   page 0, page 1, ... (page_stride() bytes each, fixed stride)
+//
+// Each v2 page holds rows_per_page rows split into per-column contiguous
+// runs, so a scan can hand out column slices with zero transpose work:
+//
+//   [column-offset directory: (nn + nb) u32 entries, padded to 8 bytes]
+//   [numeric column 0 run: rows_per_page doubles]
+//   ...
+//   [numeric column nn-1 run]
+//   [boolean column 0 run: rows_per_page bytes]
+//   ...
+//   [boolean column nb-1 run]
+//   [zero pad to 8-byte stride]
+//
+// The directory is redundant (offsets are derivable from the header) and
+// exists as a per-page integrity check; readers validate it. The last page
+// may hold fewer than rows_per_page rows; its unused tail bytes are written
+// as zero and readers assert that, so stale buffer content can never leak
+// into a file. Because the directory is padded to 8 bytes and pages start
+// at 8-byte multiples from an 8-byte-aligned header end, every numeric run
+// is 8-byte aligned inside a malloc'd page buffer.
 
 #ifndef OPTRULES_STORAGE_PAGED_FILE_H_
 #define OPTRULES_STORAGE_PAGED_FILE_H_
@@ -26,13 +51,39 @@
 
 namespace optrules::storage {
 
-/// Size of the PagedFile header in bytes.
+/// Size of the v1 PagedFile header in bytes.
 inline constexpr size_t kPagedFileHeaderBytes = 24;
+/// Size of the v2 (columnar) PagedFile header in bytes.
+inline constexpr size_t kPagedFileV2HeaderBytes = 32;
+
+/// On-disk layout of a PagedFile; the numeric value is the header version.
+enum class PagedFileFormat : uint32_t {
+  kRowMajorV1 = 1,  ///< rows serialized back to back (legacy; still written
+                    ///< where a consumer needs fixed-width whole-row records,
+                    ///< e.g. as ExternalSort input)
+  kColumnarV2 = 2,  ///< per-column runs inside fixed-stride pages (default)
+};
+
+/// Options for PagedFileWriter::Create.
+struct PagedFileWriterOptions {
+  PagedFileFormat format = PagedFileFormat::kColumnarV2;
+  /// Rows per v2 page; 0 = auto-size so a page's column payload is on the
+  /// order of 1 MiB (clamped to [256, 65536]). Ignored for v1.
+  uint32_t rows_per_page = 0;
+  /// Write-buffer size for v1 (v2 buffers exactly one page instead).
+  size_t buffer_bytes = 1 << 20;
+};
 
 /// Buffered sequential writer of a PagedFile.
 class PagedFileWriter {
  public:
   /// Creates/truncates `path` for a table with the given attribute counts.
+  static Result<PagedFileWriter> Create(const std::string& path,
+                                        int num_numeric, int num_boolean,
+                                        const PagedFileWriterOptions& options);
+
+  /// Back-compat convenience: default options (columnar v2) with an
+  /// explicit v1-style buffer size.
   static Result<PagedFileWriter> Create(const std::string& path,
                                         int num_numeric, int num_boolean,
                                         size_t buffer_bytes = 1 << 20);
@@ -47,11 +98,15 @@ class PagedFileWriter {
   Status AppendRow(std::span<const double> numeric_values,
                    std::span<const uint8_t> boolean_values);
 
-  /// Appends one row already serialized in the file layout.
+  /// Appends one row already serialized in the v1 row layout (doubles then
+  /// boolean bytes). Works for both formats: the v2 writer scatters the
+  /// fields into its page's column runs, so producers that hash or route on
+  /// serialized row bytes (the partitioner) need no format awareness.
   Status AppendRawRow(const uint8_t* row);
 
-  /// Flushes, patches the row count into the header, and closes the file.
-  /// Must be called exactly once before destruction for a valid file.
+  /// Flushes (zero-padding a partial v2 page), patches the row count into
+  /// the header, and closes the file. Must be called exactly once before
+  /// destruction for a valid file.
   Status Close();
 
   /// Rows appended so far.
@@ -60,36 +115,75 @@ class PagedFileWriter {
  private:
   PagedFileWriter() = default;
   Status FlushBuffer();
-  /// Claims the next row_bytes_ slot in the write buffer (flushing first
-  /// if full) and returns its write pointer; advances the row count.
+  /// v1: claims the next row_bytes_ slot in the write buffer (flushing
+  /// first if full) and returns its write pointer; advances the row count.
   Result<uint8_t*> ReserveRow();
+  /// v2: writes the staged page (already zero-padded) and clears the
+  /// payload region for the next page.
+  Status FlushPage();
+  /// v2: scatters one row into the staged page's column runs.
+  Status AppendRowV2(const double* numeric_values,
+                     const uint8_t* boolean_values);
 
   std::FILE* file_ = nullptr;
   std::string path_;
+  PagedFileFormat format_ = PagedFileFormat::kRowMajorV1;
   int num_numeric_ = 0;
   int num_boolean_ = 0;
   size_t row_bytes_ = 0;
   int64_t num_rows_ = 0;
-  std::vector<uint8_t> buffer_;
-  size_t buffer_used_ = 0;
+  std::vector<uint8_t> buffer_;  ///< v1: row buffer; v2: one staged page
+  size_t buffer_used_ = 0;       ///< v1 only
+  // v2 page geometry (all zero for v1).
+  uint32_t rows_per_page_ = 0;
+  size_t directory_bytes_ = 0;
+  size_t page_stride_ = 0;
+  uint32_t row_in_page_ = 0;
 };
 
-/// Metadata of an open PagedFile.
+/// Metadata of an open PagedFile, with the v2 page geometry derived from
+/// the header fields (the same formulas the writer used).
 struct PagedFileInfo {
   int num_numeric = 0;
   int num_boolean = 0;
   int64_t num_rows = 0;
-  size_t row_bytes = 0;
+  size_t row_bytes = 0;  ///< v1 row width (also the logical row width of v2)
+  uint32_t format_version = 1;
+  uint32_t rows_per_page = 0;  ///< v2 only; 0 for v1
+  size_t header_bytes = kPagedFileHeaderBytes;
+
+  /// v2 geometry. All require format_version == 2.
+  size_t directory_bytes() const;
+  /// Byte offset of numeric column `c`'s run inside a page.
+  size_t numeric_run_offset(int c) const;
+  /// Byte offset of boolean column `b`'s run inside a page.
+  size_t boolean_run_offset(int b) const;
+  /// Fixed on-disk size of every page (8-byte multiple).
+  size_t page_stride() const;
+  /// Number of pages covering num_rows.
+  int64_t num_pages() const;
+  /// Rows actually stored in page `page` (only the last may be partial).
+  int64_t rows_in_page(int64_t page) const;
 };
 
-/// Reads and validates the header of `path`.
+/// Validates one v2 page image against the derived geometry: the stored
+/// column-offset directory must match, and on a partial (last) page every
+/// byte past the stored rows must be zero -- the writer's stale-byte
+/// guarantee. `page.size()` must equal info.page_stride().
+Status ValidateV2Page(const PagedFileInfo& info, int64_t page_index,
+                      std::span<const uint8_t> page);
+
+/// Reads and validates the header of `path` (either format version).
 Result<PagedFileInfo> ReadPagedFileInfo(const std::string& path);
 
 /// Writes an entire in-memory relation to `path` in PagedFile format.
 Status WriteRelationToFile(const Relation& relation, const std::string& path);
+Status WriteRelationToFile(const Relation& relation, const std::string& path,
+                           const PagedFileWriterOptions& options);
 
-/// Loads an entire PagedFile into memory. `schema` must match the stored
-/// attribute counts; pass Schema::Synthetic(...) when names don't matter.
+/// Loads an entire PagedFile (either format) into memory. `schema` must
+/// match the stored attribute counts; pass Schema::Synthetic(...) when
+/// names don't matter.
 Result<Relation> ReadRelationFromFile(const std::string& path,
                                       const Schema& schema);
 

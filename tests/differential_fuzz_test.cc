@@ -27,6 +27,7 @@
 #include "common/ratio.h"
 #include "common/rng.h"
 #include "bucketing/parallel_count.h"
+#include "bucketing/simd_kernels.h"
 #include "common/thread_pool.h"
 #include "datagen/table_generator.h"
 #include "dist/coordinator.h"
@@ -45,6 +46,19 @@ namespace optrules::rules {
 namespace {
 
 using testfuzz::FuzzSeed;
+
+/// Alternates the on-disk format across fuzz rounds so every paged-file
+/// sweep covers columnar v2 (auto and tiny multi-page geometries) AND the
+/// legacy row-major v1 layout with the same data.
+storage::PagedFileWriterOptions FuzzFileFormat(int round) {
+  storage::PagedFileWriterOptions options;
+  if (round % 2 == 1) {
+    options.format = storage::PagedFileFormat::kRowMajorV1;
+  } else if (round % 4 == 2) {
+    options.rows_per_page = 64;  // force multiple pages + a partial tail
+  }
+  return options;
+}
 
 struct Instance {
   std::vector<int64_t> u;
@@ -322,7 +336,9 @@ TEST(EngineDifferentialFuzzTest, NanLadenPagedFilesMatchInMemoryEngine) {
     options.bucketizer = Bucketizer::kGkSketch;
     const std::string path = testing::TempDir() + "/fuzz_nan_" +
                              std::to_string(round) + ".optr";
-    ASSERT_TRUE(storage::WriteRelationToFile(relation, path).ok());
+    ASSERT_TRUE(
+        storage::WriteRelationToFile(relation, path, FuzzFileFormat(round))
+            .ok());
     auto source_or = storage::PagedFileBatchSource::Open(
         path, 128 + static_cast<int64_t>(rng.NextBounded(900)));
     ASSERT_TRUE(source_or.ok());
@@ -363,6 +379,57 @@ TEST(EngineDifferentialFuzzTest, NanLadenPagedFilesMatchInMemoryEngine) {
   }
 }
 
+TEST(EngineDifferentialFuzzTest, ForcedScalarReferenceArmMatchesSimd) {
+  // OPTRULES_FORCE_SCALAR pins both the scalar locate kernels and the
+  // reference (overlay + guarded) accumulation arm; a full mining session
+  // must be bit-identical between that reference path and the dispatched
+  // SIMD path. GK boundaries are deterministic, so any divergence is a
+  // kernel bug, not sampling noise.
+  struct ScopedForceScalar {
+    explicit ScopedForceScalar(bool force) {
+      bucketing::simd::SetForceScalarForTest(force);
+    }
+    ~ScopedForceScalar() { bucketing::simd::SetForceScalarForTest(false); }
+  };
+  Rng rng(FuzzSeed(51515));
+  for (int round = 0; round < 5; ++round) {
+    const storage::Relation relation = RandomNanRelation(rng);
+    MinerOptions options;
+    options.num_buckets = 16 + static_cast<int>(rng.NextBounded(48));
+    options.bucketizer = Bucketizer::kGkSketch;
+    const std::string average_target = relation.schema().NumericName(0);
+    const std::string average_range = relation.schema().NumericName(1);
+
+    std::vector<MinedRule> simd_rules;
+    Result<MinedAggregateRange> simd_average =
+        Status::InvalidArgument("unset");
+    {
+      ScopedForceScalar force(false);
+      MiningEngine engine(&relation, options);
+      ASSERT_TRUE(engine.RequestAverageTarget(average_target).ok());
+      simd_rules = engine.MineAllPairs();
+      simd_average =
+          engine.MineMaximumAverageRange(average_range, average_target, 0.1);
+    }
+    std::vector<MinedRule> scalar_rules;
+    Result<MinedAggregateRange> scalar_average =
+        Status::InvalidArgument("unset");
+    {
+      ScopedForceScalar force(true);
+      MiningEngine engine(&relation, options);
+      ASSERT_TRUE(engine.RequestAverageTarget(average_target).ok());
+      scalar_rules = engine.MineAllPairs();
+      scalar_average =
+          engine.MineMaximumAverageRange(average_range, average_target, 0.1);
+    }
+    ExpectIdenticalRules(simd_rules, scalar_rules, round);
+    ASSERT_TRUE(simd_average.ok());
+    ASSERT_TRUE(scalar_average.ok());
+    ExpectIdenticalAggregate(simd_average.value(), scalar_average.value(),
+                             round);
+  }
+}
+
 TEST(EngineDifferentialFuzzTest, WideSchemaRoundTripsThroughPagedFiles) {
   // Randomized wide schemas (hundreds of numeric attributes, i.e. row
   // widths past the old 4096-byte AppendRow staging array) must survive
@@ -389,7 +456,9 @@ TEST(EngineDifferentialFuzzTest, WideSchemaRoundTripsThroughPagedFiles) {
     }
     const std::string path = testing::TempDir() + "/fuzz_wide_" +
                              std::to_string(round) + ".optr";
-    ASSERT_TRUE(storage::WriteRelationToFile(relation, path).ok());
+    ASSERT_TRUE(
+        storage::WriteRelationToFile(relation, path, FuzzFileFormat(round))
+            .ok());
     auto read_or = storage::ReadRelationFromFile(path, schema);
     ASSERT_TRUE(read_or.ok());
     const storage::Relation& read = read_or.value();
@@ -552,7 +621,9 @@ TEST(RegionDifferentialFuzzTest, GridChannelMatchesBuildGridEverywhere) {
     // Paged file, synchronous and double-buffered.
     const std::string path = testing::TempDir() + "/fuzz_grid_" +
                              std::to_string(round) + ".optr";
-    ASSERT_TRUE(storage::WriteRelationToFile(relation, path).ok());
+    ASSERT_TRUE(
+        storage::WriteRelationToFile(relation, path, FuzzFileFormat(round))
+            .ok());
     for (const storage::PagedReadMode mode :
          {storage::PagedReadMode::kSynchronous,
           storage::PagedReadMode::kDoubleBuffered}) {
@@ -640,7 +711,9 @@ TEST(RegionDifferentialFuzzTest, PagedEngineRegionsMatchMemoryEngine) {
 
     const std::string path = testing::TempDir() + "/fuzz_region_" +
                              std::to_string(round) + ".optr";
-    ASSERT_TRUE(storage::WriteRelationToFile(relation, path).ok());
+    ASSERT_TRUE(
+        storage::WriteRelationToFile(relation, path, FuzzFileFormat(round))
+            .ok());
     for (const storage::PagedReadMode mode :
          {storage::PagedReadMode::kSynchronous,
           storage::PagedReadMode::kDoubleBuffered}) {

@@ -642,6 +642,63 @@ TEST(CoordinatorTest, MergeIsIdenticalForAnyWorkerCount) {
   }
 }
 
+TEST(CoordinatorTest, MixedFormatPartitionsScanIdentically) {
+  // A PartitionedTable may hold a mix of on-disk format versions (e.g.
+  // partitions written before and after the columnar v2 rollout). The
+  // manifest records rows and schema, not layout; every reader negotiates
+  // the version per file, so a mixed table must validate and scan
+  // bit-identically to the all-v2 table it started as.
+  const storage::Relation relation = TestRelation(700, 23);
+  const std::vector<BucketBoundaries> base = BaseBoundaries(relation, 11);
+  const BucketBoundaries grid_y = BucketBoundaries::FromCutPoints({2e5});
+  const MultiCountSpec spec =
+      MakeMixedSpec(relation.schema(), base, grid_y);
+  const MultiCountPlan reference = ReferencePlan(relation, spec);
+  const std::string dir = TempDir("coord_mixed_formats");
+  PartitionOptions options;
+  options.num_partitions = 3;
+  Result<PartitionedTable> table = PartitionRelation(relation, dir, options);
+  ASSERT_TRUE(table.ok());
+
+  // Rewrite partition 1 in the legacy row-major v1 layout, same rows and
+  // order, then re-open the table from the untouched manifest.
+  const std::string part1 = table.value().PartitionPath(1);
+  Result<storage::PagedFileInfo> before = storage::ReadPagedFileInfo(part1);
+  ASSERT_TRUE(before.ok());
+  ASSERT_EQ(before.value().format_version, 2u);
+  Result<storage::Relation> part1_rows =
+      storage::ReadRelationFromFile(part1, relation.schema());
+  ASSERT_TRUE(part1_rows.ok());
+  storage::PagedFileWriterOptions v1;
+  v1.format = storage::PagedFileFormat::kRowMajorV1;
+  ASSERT_TRUE(
+      storage::WriteRelationToFile(part1_rows.value(), part1, v1).ok());
+  Result<storage::PagedFileInfo> after = storage::ReadPagedFileInfo(part1);
+  ASSERT_TRUE(after.ok());
+  ASSERT_EQ(after.value().format_version, 1u);
+
+  Result<PartitionedTable> mixed = PartitionedTable::Open(dir);
+  ASSERT_TRUE(mixed.ok()) << mixed.status().ToString();
+  {
+    DistributedScanCoordinator coordinator(&mixed.value(), {});
+    MultiCountPlan plan(spec);
+    ASSERT_TRUE(coordinator.Execute(&plan).ok());
+    ExpectPlansIdentical(plan, reference);
+  }
+  if (!ResolveWorkerdPath("").empty()) {
+    // The subprocess worker re-opens the partition file in its own
+    // process; version negotiation must survive the hop too.
+    DistributedScanOptions scan_options;
+    scan_options.worker_kind = WorkerKind::kSubprocess;
+    scan_options.max_workers = 2;
+    DistributedScanCoordinator coordinator(&mixed.value(), scan_options);
+    MultiCountPlan plan(spec);
+    ASSERT_TRUE(coordinator.Execute(&plan).ok());
+    ExpectPlansIdentical(plan, reference);
+  }
+  std::filesystem::remove_all(dir);
+}
+
 TEST(CoordinatorTest, SubprocessWorkersMatchInProcess) {
   if (ResolveWorkerdPath("").empty()) {
     GTEST_SKIP() << "OPTRULES_WORKERD not set";

@@ -59,13 +59,45 @@ void ExpectBoundariesMatchReference(const BucketBoundaries& boundaries,
   const std::vector<double> values = ProbeValues(cuts, rng);
   std::vector<int32_t> batch(values.size());
   boundaries.LocateBatch(values, batch);
+  int64_t expected_no_bucket = 0;
   for (size_t i = 0; i < values.size(); ++i) {
     const int expected = ReferenceLocate(cuts, values[i]);
+    if (expected == BucketBoundaries::kNoBucket) ++expected_no_bucket;
     ASSERT_EQ(boundaries.Locate(values[i]), expected)
         << "scalar mismatch at value " << values[i];
     ASSERT_EQ(batch[i], expected)
         << "batch mismatch at value " << values[i];
   }
+  // EVERY registered kernel arm (scalar, avx2, avx512 -- whatever this
+  // machine offers) must be bit-identical to the reference on the same
+  // probes, including the remainder tails shorter than the vector width:
+  // each arm runs over every prefix length up to two vector widths plus
+  // the full probe set.
+  for (const simd::Kernels* kernels : simd::AvailableKernels()) {
+    SCOPED_TRACE(testing::Message() << "arm=" << kernels->name);
+    std::vector<size_t> lengths;
+    for (size_t n = 0; n <= std::min<size_t>(17, values.size()); ++n) {
+      lengths.push_back(n);
+    }
+    lengths.push_back(values.size());
+    for (const size_t n : lengths) {
+      std::vector<int32_t> out(n, -7);  // poison: every lane must be set
+      const int64_t no_bucket = boundaries.LocateBatchWithKernels(
+          *kernels, std::span<const double>(values).first(n),
+          std::span<int32_t>(out));
+      int64_t want_no_bucket = 0;
+      for (size_t i = 0; i < n; ++i) {
+        const int expected = ReferenceLocate(cuts, values[i]);
+        if (expected == BucketBoundaries::kNoBucket) ++want_no_bucket;
+        ASSERT_EQ(out[i], expected)
+            << "arm " << kernels->name << " lane " << i << " of " << n
+            << " value " << values[i];
+      }
+      ASSERT_EQ(no_bucket, want_no_bucket)
+          << "arm " << kernels->name << " NaN count over " << n;
+    }
+  }
+  (void)expected_no_bucket;
 }
 
 void ExpectBatchMatchesScalarAndReference(const std::vector<double>& cuts,

@@ -197,7 +197,11 @@ TEST_P(ExternalSortTest, SortsByKeyAttribute) {
   const std::string input = TempPath("sort_in.optr");
   const std::string output = TempPath("sort_out.optr");
   const Relation relation = RandomRelation(param.rows, 2, 1, param.seed);
-  ASSERT_TRUE(WriteRelationToFile(relation, input).ok());
+  // ExternalSort shuffles fixed-width whole-row records, so it only
+  // applies to the row-major v1 layout.
+  PagedFileWriterOptions v1;
+  v1.format = PagedFileFormat::kRowMajorV1;
+  ASSERT_TRUE(WriteRelationToFile(relation, input, v1).ok());
 
   ExternalSortOptions options;
   options.record_bytes = relation.schema().RowBytes();
@@ -274,7 +278,9 @@ TEST(ExternalSortTest, PreservesWholeRecords) {
     const double row[] = {v};
     relation.AppendRow(row, std::span<const uint8_t>(&flag, 1));
   }
-  ASSERT_TRUE(WriteRelationToFile(relation, input).ok());
+  PagedFileWriterOptions v1;
+  v1.format = PagedFileFormat::kRowMajorV1;
+  ASSERT_TRUE(WriteRelationToFile(relation, input, v1).ok());
   ExternalSortOptions options;
   options.record_bytes = relation.schema().RowBytes();
   options.key_offset = 0;
@@ -396,6 +402,271 @@ TEST(PagedFileBatchSourceTest, DoubleBufferedReaderAbandonedMidScan) {
   ColumnarBatch batch;
   ASSERT_TRUE(reader->Next(&batch));
   reader.reset();  // abandon with pages outstanding
+  std::remove(path.c_str());
+}
+
+// ------------------------------------------- columnar v2 page format ----
+
+std::vector<uint8_t> ReadAllBytes(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  std::vector<uint8_t> bytes(static_cast<size_t>(std::ftell(f)));
+  std::fseek(f, 0, SEEK_SET);
+  EXPECT_EQ(std::fread(bytes.data(), 1, bytes.size(), f), bytes.size());
+  std::fclose(f);
+  return bytes;
+}
+
+TEST(PagedFileV2Test, RoundTripAcrossFormatVersions) {
+  const Relation original = RandomRelation(1013, 3, 2, 11);
+  const std::string v1_path = TempPath("formats_v1.optr");
+  const std::string v2_path = TempPath("formats_v2.optr");
+  PagedFileWriterOptions v1;
+  v1.format = PagedFileFormat::kRowMajorV1;
+  ASSERT_TRUE(WriteRelationToFile(original, v1_path, v1).ok());
+  ASSERT_TRUE(WriteRelationToFile(original, v2_path).ok());  // default v2
+
+  Result<PagedFileInfo> v1_info = ReadPagedFileInfo(v1_path);
+  Result<PagedFileInfo> v2_info = ReadPagedFileInfo(v2_path);
+  ASSERT_TRUE(v1_info.ok());
+  ASSERT_TRUE(v2_info.ok());
+  EXPECT_EQ(v1_info.value().format_version, 1u);
+  EXPECT_EQ(v1_info.value().header_bytes, kPagedFileHeaderBytes);
+  EXPECT_EQ(v1_info.value().rows_per_page, 0u);
+  EXPECT_EQ(v2_info.value().format_version, 2u);
+  EXPECT_EQ(v2_info.value().header_bytes, kPagedFileV2HeaderBytes);
+  EXPECT_GE(v2_info.value().rows_per_page, 1u);
+  EXPECT_EQ(v1_info.value().num_rows, v2_info.value().num_rows);
+  EXPECT_EQ(v1_info.value().row_bytes, v2_info.value().row_bytes);
+
+  // Both formats reload to the identical relation, bit for bit.
+  Result<Relation> from_v1 =
+      ReadRelationFromFile(v1_path, Schema::Synthetic(3, 2));
+  Result<Relation> from_v2 =
+      ReadRelationFromFile(v2_path, Schema::Synthetic(3, 2));
+  ASSERT_TRUE(from_v1.ok());
+  ASSERT_TRUE(from_v2.ok());
+  ASSERT_EQ(from_v1.value().NumRows(), original.NumRows());
+  ASSERT_EQ(from_v2.value().NumRows(), original.NumRows());
+  for (int c = 0; c < 3; ++c) {
+    EXPECT_EQ(from_v1.value().NumericColumn(c), original.NumericColumn(c));
+    EXPECT_EQ(from_v2.value().NumericColumn(c), original.NumericColumn(c));
+  }
+  for (int c = 0; c < 2; ++c) {
+    EXPECT_EQ(from_v1.value().BooleanColumn(c), original.BooleanColumn(c));
+    EXPECT_EQ(from_v2.value().BooleanColumn(c), original.BooleanColumn(c));
+  }
+  std::remove(v1_path.c_str());
+  std::remove(v2_path.c_str());
+}
+
+TEST(PagedFileV2Test, PagesAreFixedStrideAndPartialPageIsZeroFilled) {
+  const std::string path = TempPath("partial_page.optr");
+  PagedFileWriterOptions options;
+  options.rows_per_page = 64;
+  // 100 rows / 64 per page = one full page + one partial (36 rows).
+  const Relation relation = RandomRelation(100, 2, 1, 12);
+  ASSERT_TRUE(WriteRelationToFile(relation, path, options).ok());
+  Result<PagedFileInfo> info_or = ReadPagedFileInfo(path);
+  ASSERT_TRUE(info_or.ok());
+  const PagedFileInfo& info = info_or.value();
+  EXPECT_EQ(info.rows_per_page, 64u);
+  EXPECT_EQ(info.num_pages(), 2);
+  EXPECT_EQ(info.rows_in_page(0), 64);
+  EXPECT_EQ(info.rows_in_page(1), 36);
+
+  const std::vector<uint8_t> bytes = ReadAllBytes(path);
+  ASSERT_EQ(bytes.size(),
+            kPagedFileV2HeaderBytes + 2 * info.page_stride());
+  const std::span<const uint8_t> all(bytes);
+  EXPECT_TRUE(
+      ValidateV2Page(info, 0,
+                     all.subspan(kPagedFileV2HeaderBytes,
+                                 info.page_stride()))
+          .ok());
+  EXPECT_TRUE(
+      ValidateV2Page(info, 1,
+                     all.subspan(kPagedFileV2HeaderBytes +
+                                     info.page_stride(),
+                                 info.page_stride()))
+          .ok());
+  // Every byte past row 36 in the partial page's runs must be zero.
+  const size_t page1 = kPagedFileV2HeaderBytes + info.page_stride();
+  for (int c = 0; c < 2; ++c) {
+    for (size_t i = 36 * sizeof(double); i < 64 * sizeof(double); ++i) {
+      ASSERT_EQ(bytes[page1 + info.numeric_run_offset(c) + i], 0u);
+    }
+  }
+  for (size_t i = 36; i < 64; ++i) {
+    ASSERT_EQ(bytes[page1 + info.boolean_run_offset(0) + i], 0u);
+  }
+
+  // A stale byte planted in the partial page's dead space must be caught
+  // on read (the writer's zero-fill guarantee, enforced).
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  const long stale_offset = static_cast<long>(
+      page1 + info.numeric_run_offset(1) + 50 * sizeof(double));
+  ASSERT_EQ(std::fseek(f, stale_offset, SEEK_SET), 0);
+  const uint8_t stale = 0xab;
+  ASSERT_EQ(std::fwrite(&stale, 1, 1, f), 1u);
+  ASSERT_EQ(std::fclose(f), 0);
+  EXPECT_EQ(ReadRelationFromFile(path, Schema::Synthetic(2, 1))
+                .status()
+                .code(),
+            StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(PagedFileV2Test, CorruptDirectoryIsCaughtOnRead) {
+  const std::string path = TempPath("bad_directory.optr");
+  PagedFileWriterOptions options;
+  options.rows_per_page = 32;
+  ASSERT_TRUE(
+      WriteRelationToFile(RandomRelation(40, 2, 1, 13), path, options).ok());
+  // Flip a directory entry in page 0.
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fseek(f, static_cast<long>(kPagedFileV2HeaderBytes + 4),
+                       SEEK_SET),
+            0);
+  const uint32_t junk = 0xdeadbeef;
+  ASSERT_EQ(std::fwrite(&junk, 1, 4, f), 4u);
+  ASSERT_EQ(std::fclose(f), 0);
+  EXPECT_EQ(ReadRelationFromFile(path, Schema::Synthetic(2, 1))
+                .status()
+                .code(),
+            StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(PagedFileV2Test, BatchScansMatchV1AcrossPagesAndModes) {
+  // Multiple pages with batch sizes that do NOT divide rows_per_page, so
+  // batches clamp at page boundaries; the scanned VALUES must still be
+  // bit-identical to the v1 row-major scan in both read modes.
+  const int64_t rows = 10007;
+  const Relation relation = RandomRelation(rows, 4, 3, 14);
+  const std::string v1_path = TempPath("scan_v1.optr");
+  const std::string v2_path = TempPath("scan_v2.optr");
+  PagedFileWriterOptions v1;
+  v1.format = PagedFileFormat::kRowMajorV1;
+  PagedFileWriterOptions v2;
+  v2.rows_per_page = 512;
+  ASSERT_TRUE(WriteRelationToFile(relation, v1_path, v1).ok());
+  ASSERT_TRUE(WriteRelationToFile(relation, v2_path, v2).ok());
+  for (const int64_t batch_rows :
+       {int64_t{1}, int64_t{7}, int64_t{500}, int64_t{512}, rows}) {
+    SCOPED_TRACE(testing::Message() << "batch_rows=" << batch_rows);
+    auto v1_source =
+        PagedFileBatchSource::Open(v1_path, batch_rows,
+                                   PagedReadMode::kSynchronous);
+    auto v2_sync =
+        PagedFileBatchSource::Open(v2_path, batch_rows,
+                                   PagedReadMode::kSynchronous);
+    auto v2_buffered =
+        PagedFileBatchSource::Open(v2_path, batch_rows,
+                                   PagedReadMode::kDoubleBuffered);
+    ASSERT_TRUE(v1_source.ok());
+    ASSERT_TRUE(v2_sync.ok());
+    ASSERT_TRUE(v2_buffered.ok());
+    const DrainedScan expected = DrainScan(*v1_source.value());
+    const DrainedScan sync = DrainScan(*v2_sync.value());
+    const DrainedScan buffered = DrainScan(*v2_buffered.value());
+    // Batch structure differs from v1 (page clamping) but must agree
+    // between the two v2 modes; the values must agree with v1 everywhere.
+    EXPECT_EQ(sync.batch_sizes, buffered.batch_sizes);
+    EXPECT_EQ(sync.numeric, expected.numeric);
+    EXPECT_EQ(sync.boolean, expected.boolean);
+    EXPECT_EQ(buffered.numeric, expected.numeric);
+    EXPECT_EQ(buffered.boolean, expected.boolean);
+  }
+  // I/O wait accounting accumulated as readers retired.
+  std::remove(v1_path.c_str());
+  std::remove(v2_path.c_str());
+}
+
+TEST(PagedFileV2Test, RangeReadersStartMidPage) {
+  const int64_t rows = 4099;
+  const Relation relation = RandomRelation(rows, 2, 2, 15);
+  const std::string v1_path = TempPath("range_v1.optr");
+  const std::string v2_path = TempPath("range_v2.optr");
+  PagedFileWriterOptions v1;
+  v1.format = PagedFileFormat::kRowMajorV1;
+  PagedFileWriterOptions v2;
+  v2.rows_per_page = 256;
+  ASSERT_TRUE(WriteRelationToFile(relation, v1_path, v1).ok());
+  ASSERT_TRUE(WriteRelationToFile(relation, v2_path, v2).ok());
+  auto v1_source =
+      PagedFileBatchSource::Open(v1_path, 100, PagedReadMode::kSynchronous);
+  ASSERT_TRUE(v1_source.ok());
+  // Shard splits chosen to start mid-page, at a page boundary, and in the
+  // final partial page.
+  const int64_t splits[] = {0, 77, 256, 1000, 4096, rows};
+  for (const PagedReadMode mode :
+       {PagedReadMode::kSynchronous, PagedReadMode::kDoubleBuffered}) {
+    auto v2_source = PagedFileBatchSource::Open(v2_path, 100, mode);
+    ASSERT_TRUE(v2_source.ok());
+    for (size_t s = 0; s + 1 < std::size(splits); ++s) {
+      SCOPED_TRACE(testing::Message()
+                   << "shard=[" << splits[s] << "," << splits[s + 1] << ")");
+      auto expected_reader =
+          v1_source.value()->CreateRangeReader(splits[s], splits[s + 1]);
+      auto v2_reader =
+          v2_source.value()->CreateRangeReader(splits[s], splits[s + 1]);
+      // Drain both and compare flattened values (batch shapes differ).
+      std::vector<double> expected_values;
+      std::vector<double> got_values;
+      ColumnarBatch batch;
+      while (expected_reader->Next(&batch)) {
+        for (int64_t r = 0; r < batch.num_rows(); ++r) {
+          for (int a = 0; a < 2; ++a) {
+            expected_values.push_back(
+                batch.numeric(a)[static_cast<size_t>(r)]);
+          }
+        }
+      }
+      while (v2_reader->Next(&batch)) {
+        for (int64_t r = 0; r < batch.num_rows(); ++r) {
+          for (int a = 0; a < 2; ++a) {
+            got_values.push_back(batch.numeric(a)[static_cast<size_t>(r)]);
+          }
+        }
+      }
+      EXPECT_EQ(got_values, expected_values);
+    }
+  }
+  std::remove(v1_path.c_str());
+  std::remove(v2_path.c_str());
+}
+
+TEST(PagedFileV2Test, TupleStreamGathersFromColumnRuns) {
+  const std::string path = TempPath("tuples_v2.optr");
+  const Relation relation = RandomRelation(1000, 4, 2, 16);
+  PagedFileWriterOptions options;
+  options.rows_per_page = 128;  // several pages incl. a partial last one
+  ASSERT_TRUE(WriteRelationToFile(relation, path, options).ok());
+  Result<std::unique_ptr<FileTupleStream>> file_or =
+      FileTupleStream::Open(path);
+  ASSERT_TRUE(file_or.ok());
+  FileTupleStream& stream = *file_or.value();
+  RelationTupleStream memory_stream(&relation);
+  TupleView file_view;
+  TupleView memory_view;
+  while (memory_stream.Next(&memory_view)) {
+    ASSERT_TRUE(stream.Next(&file_view));
+    for (int c = 0; c < 4; ++c) {
+      EXPECT_DOUBLE_EQ(file_view.numeric[c], memory_view.numeric[c]);
+    }
+    for (int c = 0; c < 2; ++c) {
+      EXPECT_EQ(file_view.booleans[c], memory_view.booleans[c]);
+    }
+  }
+  EXPECT_FALSE(stream.Next(&file_view));
+  stream.Reset();
+  int64_t count = 0;
+  while (stream.Next(&file_view)) ++count;
+  EXPECT_EQ(count, 1000);
   std::remove(path.c_str());
 }
 
