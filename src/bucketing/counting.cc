@@ -646,6 +646,33 @@ void MultiCountPlan::Merge(const MultiCountPlan& other) {
   }
 }
 
+void MultiCountPlan::AddSkippedRows(int64_t rows) {
+  OPTRULES_CHECK(rows >= 0);
+  for (BucketCounts& counts : counts_) counts.total_tuples += rows;
+  for (GridBucketCounts& grid : grids_) grid.total_tuples += rows;
+}
+
+storage::ScanPruneSpec DerivePruneSpec(const MultiCountSpec& spec) {
+  storage::ScanPruneSpec prune;
+  prune.units.reserve(spec.channels.size() + spec.grid_channels.size());
+  for (const CountChannel& channel : spec.channels) {
+    storage::ScanPruneSpec::Unit unit;
+    unit.numeric_columns.push_back(channel.column);
+    if (channel.condition != CountChannel::kUnconditional) {
+      unit.boolean_true =
+          spec.conditions[static_cast<size_t>(channel.condition)];
+    }
+    prune.units.push_back(std::move(unit));
+  }
+  for (const GridChannel& grid : spec.grid_channels) {
+    storage::ScanPruneSpec::Unit unit;
+    unit.numeric_columns.push_back(grid.x_column);
+    unit.numeric_columns.push_back(grid.y_column);
+    prune.units.push_back(std::move(unit));
+  }
+  return prune;
+}
+
 BucketCounts MultiCountPlan::TakeCounts(int channel) {
   OPTRULES_CHECK(0 <= channel && channel < num_channels());
   return std::move(counts_[static_cast<size_t>(channel)]);

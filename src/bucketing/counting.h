@@ -226,6 +226,14 @@ class MultiCountPlan {
   /// shape). Merge order is the caller's contract for determinism.
   void Merge(const MultiCountPlan& other);
 
+  /// Accounts `rows` rows that the reader skipped because zone maps or
+  /// partition stats proved them dead under DerivePruneSpec(spec()): such
+  /// rows contribute ONLY to the support denominator (every channel's and
+  /// grid's total_tuples), never to u/v/min-max/sums, so adding them here
+  /// keeps pruned scans bit-identical to unpruned ones. Travels through
+  /// AppendPartialState/Merge like any other count.
+  void AddSkippedRows(int64_t rows);
+
   int num_channels() const { return static_cast<int>(counts_.size()); }
   int num_grid_channels() const { return static_cast<int>(grids_.size()); }
   int num_targets() const { return spec_.num_targets; }
@@ -341,6 +349,16 @@ class MultiCountPlan {
   /// Optional per-phase timing sink (unsynchronized; serial plans only).
   ScanPhaseTimes* phase_times_ = nullptr;
 };
+
+/// Content requirements that make a page/partition skippable for `spec`:
+/// one ScanPruneSpec::Unit per 1-D channel (its bucketed column plus its
+/// condition's conjunct columns -- a conditional channel accumulates
+/// nothing where the conjunction is everywhere-false, an unconditional one
+/// nothing where the column is all-NaN) and one per grid channel (both
+/// axis columns; a row with either axis NaN lands in no cell). Install the
+/// result on the BatchSource before a counting scan and add the readers'
+/// pruned_rows() back via MultiCountPlan::AddSkippedRows.
+storage::ScanPruneSpec DerivePruneSpec(const MultiCountSpec& spec);
 
 /// Counts buckets of `values` (attribute A) while summing `target`
 /// (attribute B) per bucket. Spans must be equal length.

@@ -72,11 +72,31 @@ BucketCounts ParallelCountBuckets(
 
 namespace {
 
+/// Installs DerivePruneSpec(plan->spec()) on the source for the duration
+/// of one counting pass and clears it on scope exit (the spec is not
+/// synchronized against readers, so it must never outlive the pass).
+class PruneSpecGuard {
+ public:
+  PruneSpecGuard(storage::BatchSource& source, const MultiCountSpec& spec)
+      : source_(source) {
+    auto prune =
+        std::make_shared<storage::ScanPruneSpec>(DerivePruneSpec(spec));
+    if (!prune->empty()) source_.InstallPruneSpec(std::move(prune));
+  }
+  ~PruneSpecGuard() { source_.InstallPruneSpec(nullptr); }
+  PruneSpecGuard(const PruneSpecGuard&) = delete;
+  PruneSpecGuard& operator=(const PruneSpecGuard&) = delete;
+
+ private:
+  storage::BatchSource& source_;
+};
+
 /// Serial fallback: one reader, one plan.
 void ExecuteSerial(storage::BatchSource& source, MultiCountPlan* plan) {
   std::unique_ptr<storage::BatchReader> reader = source.CreateReader();
   storage::ColumnarBatch batch;
   while (reader->Next(&batch)) plan->Accumulate(batch);
+  plan->AddSkippedRows(reader->pruned_rows());
 }
 
 /// Number of row shards for a source of `num_tuples` rows. The layout is
@@ -115,6 +135,7 @@ void ExecuteRowSharded(storage::BatchSource& source, MultiCountPlan* plan,
     storage::ColumnarBatch batch;
     MultiCountPlan& partial = partials[static_cast<size_t>(shard)];
     while (reader->Next(&batch)) partial.Accumulate(batch);
+    partial.AddSkippedRows(reader->pruned_rows());
   });
   for (const MultiCountPlan& partial : partials) plan->Merge(partial);
 }
@@ -142,6 +163,7 @@ void ExecuteChannelParallel(storage::BatchSource& source,
       }
     });
   }
+  plan->AddSkippedRows(reader->pruned_rows());
 }
 
 }  // namespace
@@ -168,6 +190,11 @@ void ExecuteMultiCount(storage::BatchSource& source, MultiCountPlan* plan,
     }
   }
   OPTRULES_CHECK(source.num_boolean() == plan->num_targets());
+  // Let the source's readers skip pages/partitions that provably cannot
+  // contribute to this plan; the readers account the skipped rows and the
+  // executors add them back via AddSkippedRows, so pruning is invisible in
+  // the results.
+  PruneSpecGuard prune_guard(source, plan->spec());
   // A pool of size 1 still takes the sharded path (with the same
   // pool-independent shard layout), so its sums are bit-identical to any
   // larger pool's; only pool == nullptr is the unsharded serial reference.

@@ -53,6 +53,11 @@ BucketCounts ParallelCountBuckets(
 /// under row-sharding (the compensated merge still reassociates at shard
 /// borders, so the last ulp can differ from the nullptr-pool serial
 /// chain).
+///
+/// The pass installs DerivePruneSpec(plan->spec()) on the source for its
+/// duration, so pooled PagedFile readers may skip zone-map-dead pages;
+/// skipped rows are added back via MultiCountPlan::AddSkippedRows, keeping
+/// pruned results bit-identical to unpruned ones.
 void ExecuteMultiCount(storage::BatchSource& source, MultiCountPlan* plan,
                        ThreadPool* pool);
 

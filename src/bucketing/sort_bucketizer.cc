@@ -44,6 +44,57 @@ class RankPicker {
   std::vector<double> cuts_;
 };
 
+/// RecordSource that packs tuples streamed from any PagedFile (columnar v2
+/// pages included) into the fixed-width v1 row layout the external sort
+/// shuffles: numeric doubles back to back, then boolean bytes.
+class TupleRecordSource final : public storage::RecordSource {
+ public:
+  TupleRecordSource(storage::FileTupleStream* stream, int num_numeric,
+                    int num_boolean)
+      : stream_(stream),
+        num_numeric_(num_numeric),
+        num_boolean_(num_boolean),
+        row_bytes_(sizeof(double) * static_cast<size_t>(num_numeric) +
+                   static_cast<size_t>(num_boolean)) {}
+
+  size_t ReadRecords(uint8_t* out, size_t max_records) override {
+    size_t produced = 0;
+    storage::TupleView tuple;
+    while (produced < max_records && stream_->Next(&tuple)) {
+      uint8_t* row = out + produced * row_bytes_;
+      std::memcpy(row, tuple.numeric,
+                  sizeof(double) * static_cast<size_t>(num_numeric_));
+      std::memcpy(row + sizeof(double) * static_cast<size_t>(num_numeric_),
+                  tuple.booleans, static_cast<size_t>(num_boolean_));
+      ++produced;
+    }
+    return produced;
+  }
+
+ private:
+  storage::FileTupleStream* stream_;
+  int num_numeric_;
+  int num_boolean_;
+  size_t row_bytes_;
+};
+
+/// The 24-byte v1 PagedFile header for a sorted output of known shape --
+/// row count included up front, since sorting never changes it.
+std::vector<uint8_t> V1Header(int num_numeric, int num_boolean,
+                              int64_t num_rows) {
+  std::vector<uint8_t> header(storage::kPagedFileHeaderBytes, 0);
+  const auto put_u32 = [&header](size_t offset, uint32_t v) {
+    std::memcpy(header.data() + offset, &v, sizeof(v));
+  };
+  put_u32(0, 0x4f505452);  // "OPTR"
+  put_u32(4, static_cast<uint32_t>(storage::PagedFileFormat::kRowMajorV1));
+  put_u32(8, static_cast<uint32_t>(num_numeric));
+  put_u32(12, static_cast<uint32_t>(num_boolean));
+  const auto rows = static_cast<uint64_t>(num_rows);
+  std::memcpy(header.data() + 16, &rows, sizeof(rows));
+  return header;
+}
+
 }  // namespace
 
 BucketBoundaries ExactEquiDepthBoundaries(std::span<const double> values,
@@ -73,45 +124,34 @@ Result<BucketBoundaries> NaiveSortBoundariesFromFile(
     return Status::InvalidArgument("numeric_attr out of range");
   }
 
-  // ExternalSort shuffles fixed-width whole-row records, which requires the
-  // row-major v1 layout. A columnar v2 table gets stream-converted to a
-  // temporary v1 file first -- "Naive Sort" pays an extra full rewrite
-  // then, which is exactly the kind of whole-table-sort cost the paper's
-  // one-scan bucketizers avoid.
-  std::string sort_input = table_path;
-  std::string row_major_temp;
-  if (info.format_version != 1) {
-    row_major_temp = sorted_path + ".rowmajor";
-    Result<std::unique_ptr<storage::FileTupleStream>> convert_or =
-        storage::FileTupleStream::Open(table_path);
-    if (!convert_or.ok()) return convert_or.status();
-    storage::PagedFileWriterOptions v1_options;
-    v1_options.format = storage::PagedFileFormat::kRowMajorV1;
-    Result<storage::PagedFileWriter> writer_or = storage::PagedFileWriter::
-        Create(row_major_temp, info.num_numeric, info.num_boolean,
-               v1_options);
-    if (!writer_or.ok()) return writer_or.status();
-    storage::PagedFileWriter writer = std::move(writer_or).value();
-    storage::TupleView tuple;
-    while (convert_or.value()->Next(&tuple)) {
-      OPTRULES_RETURN_IF_ERROR(writer.AppendRow(
-          {tuple.numeric, static_cast<size_t>(info.num_numeric)},
-          {tuple.booleans, static_cast<size_t>(info.num_boolean)}));
-    }
-    OPTRULES_RETURN_IF_ERROR(writer.Close());
-    sort_input = row_major_temp;
-  }
-
+  // ExternalSort shuffles fixed-width whole-row records. A v1 input is
+  // already that shape and sorts file-to-file; a columnar v2 table is
+  // streamed page by page straight into the run generator, each tuple
+  // packed into the v1 row layout on the fly -- no row-major temporary
+  // rewrite. Either way the sorted output is a valid v1 PagedFile.
   storage::ExternalSortOptions sort_options;
   sort_options.record_bytes = info.row_bytes;
   sort_options.key_offset =
       static_cast<size_t>(numeric_attr) * sizeof(double);
-  sort_options.header_bytes = storage::kPagedFileHeaderBytes;
   sort_options.memory_budget_bytes = memory_budget_bytes;
   sort_options.temp_dir = temp_dir;
   Result<storage::ExternalSortStats> sort_result =
-      storage::ExternalSort(sort_input, sorted_path, sort_options);
-  if (!row_major_temp.empty()) std::remove(row_major_temp.c_str());
+      storage::ExternalSortStats{};
+  if (info.format_version == 1) {
+    sort_options.header_bytes = storage::kPagedFileHeaderBytes;
+    sort_result = storage::ExternalSort(table_path, sorted_path,
+                                        sort_options);
+  } else {
+    Result<std::unique_ptr<storage::FileTupleStream>> input_or =
+        storage::FileTupleStream::Open(table_path);
+    if (!input_or.ok()) return input_or.status();
+    TupleRecordSource source(input_or.value().get(), info.num_numeric,
+                             info.num_boolean);
+    const std::vector<uint8_t> header =
+        V1Header(info.num_numeric, info.num_boolean, info.num_rows);
+    sort_result = storage::ExternalSortRecords(source, sorted_path, header,
+                                               sort_options);
+  }
   if (!sort_result.ok()) return sort_result.status();
 
   Result<std::unique_ptr<storage::FileTupleStream>> stream_or =

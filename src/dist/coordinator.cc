@@ -52,19 +52,37 @@ Status DistributedScanCoordinator::Execute(bucketing::MultiCountPlan* plan) {
   scan_spec.batch_rows = options_.batch_rows;
   scan_spec.read_mode = options_.read_mode;
 
+  // Manifest pruning happens before any dispatch: a partition whose
+  // per-partition stats prove it dead under the spec's derived ranges
+  // contributes only its row count, which AddSkippedRows injects during
+  // the merge below -- no worker, no file open, no pages.
+  const storage::ScanPruneSpec prune =
+      bucketing::DerivePruneSpec(plan->spec());
+  std::vector<char> dead(static_cast<size_t>(partitions), 0);
+  if (!prune.empty()) {
+    for (int p = 0; p < partitions; ++p) {
+      dead[static_cast<size_t>(p)] =
+          PartitionIsDead(*table_, prune, p) ? 1 : 0;
+    }
+  }
+
   // Static partition assignment: worker w serves partitions w, w+W, ...
-  // sequentially. Each slot stores its partial (or error) by partition
-  // index; nothing is merged until every scan finished, so the merge
-  // below runs strictly in partition order no matter which worker
-  // finished first.
+  // sequentially. Each slot stores its partial (or error) and scan stats
+  // by partition index; nothing is merged until every scan finished, so
+  // the merge below runs strictly in partition order no matter which
+  // worker finished first.
   std::vector<std::optional<bucketing::MultiCountPlan>> partials(
       static_cast<size_t>(partitions));
   std::vector<Status> errors(static_cast<size_t>(partitions));
+  std::vector<storage::BatchSourceStats> stats(
+      static_cast<size_t>(partitions));
   const auto serve = [&](int w) {
     for (int p = w; p < partitions; p += workers) {
+      if (dead[static_cast<size_t>(p)] != 0) continue;
       Result<bucketing::MultiCountPlan> partial =
           roster_[static_cast<size_t>(w)]->CountPartition(
-              table_->PartitionPath(p), scan_spec);
+              table_->PartitionPath(p), scan_spec,
+              &stats[static_cast<size_t>(p)]);
       if (partial.ok()) {
         partials[static_cast<size_t>(p)].emplace(
             std::move(partial).value());
@@ -91,11 +109,21 @@ Status DistributedScanCoordinator::Execute(bucketing::MultiCountPlan* plan) {
     }
   }
   // Deterministic merge: fixed partition order, independent of worker
-  // scheduling.
+  // scheduling. Pruned partitions enter as pure row-count additions.
+  int64_t scanned = 0;
   for (int p = 0; p < partitions; ++p) {
+    if (dead[static_cast<size_t>(p)] != 0) {
+      plan->AddSkippedRows(table_->partition_rows(p));
+      ++scan_stats_.partitions_skipped;
+      continue;
+    }
     plan->Merge(*partials[static_cast<size_t>(p)]);
+    scan_stats_.cache_hits += stats[static_cast<size_t>(p)].cache_hits;
+    scan_stats_.cache_misses += stats[static_cast<size_t>(p)].cache_misses;
+    scan_stats_.pages_skipped += stats[static_cast<size_t>(p)].pages_skipped;
+    ++scanned;
   }
-  partition_scans_ += partitions;
+  partition_scans_ += scanned;
   return Status::Ok();
 }
 

@@ -54,18 +54,30 @@ class DistributedScanCoordinator {
 
   /// Fans plan->spec() out to the workers (one scan per partition, at
   /// most max_workers concurrent) and merges the partial plans into
-  /// *plan in partition order. On error the plan's accumulated state is
-  /// unspecified; the first failing partition's status (lowest partition
-  /// index) is returned.
+  /// *plan in partition order. Partitions the manifest's per-partition
+  /// stats prove dead under the spec's derived prune ranges are never
+  /// dispatched at all; their row counts enter the plan through
+  /// AddSkippedRows during the merge, so the merged result stays
+  /// bit-identical to a no-pruning run. On error the plan's accumulated
+  /// state is unspecified; the first failing partition's status (lowest
+  /// partition index) is returned.
   Status Execute(bucketing::MultiCountPlan* plan);
 
-  /// Physical partition scans executed across all Execute() calls.
+  /// Physical partition scans executed across all Execute() calls
+  /// (pruned partitions are not counted -- they were never scanned).
   int64_t partition_scans() const { return partition_scans_; }
+
+  /// Cache/pruning counters accumulated across all Execute() calls:
+  /// partitions_skipped from coordinator-side manifest pruning, the rest
+  /// folded from per-partition worker stats (subprocess workers report
+  /// pages_skipped only; their buffer-pool hits stay in the daemon).
+  storage::BatchSourceStats scan_stats() const { return scan_stats_; }
 
  private:
   const PartitionedTable* table_;
   DistributedScanOptions options_;
   int64_t partition_scans_ = 0;
+  storage::BatchSourceStats scan_stats_;
   /// Worker roster, built on first Execute() and reused by later scans
   /// (a subprocess daemon serves many requests over one pipe, so a
   /// session with supplemental scans does not re-fork per scan). Dropped

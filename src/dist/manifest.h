@@ -39,6 +39,14 @@ struct AttributeStats {
   double max_value = -std::numeric_limits<double>::infinity();
 };
 
+/// Observed 0/1 range of one Boolean attribute; the empty sentinel is
+/// min > max (mirroring the zone-map convention), and max_value == 0
+/// means "no true row".
+struct BooleanStats {
+  uint8_t min_value = 1;
+  uint8_t max_value = 0;
+};
+
 /// The manifest contents of a partitioned table.
 struct PartitionManifest {
   storage::Schema schema;
@@ -47,9 +55,27 @@ struct PartitionManifest {
   std::vector<PartitionInfo> partitions;
   /// Per numeric attribute, aligned with schema numeric indices.
   std::vector<AttributeStats> numeric_stats;
+  /// Optional per-partition per-column stats -- the partition-granular
+  /// twin of the v2 zone maps, letting a coordinator skip whole partitions
+  /// a ScanPruneSpec proves dead. Present iff has_partition_stats (older
+  /// manifests lack the sections and simply never prune partitions).
+  bool has_partition_stats = false;
+  /// [p * num_numeric + c]; NaN values skipped, sentinel when all-NaN.
+  std::vector<AttributeStats> partition_numeric_stats;
+  /// [p * num_boolean + b].
+  std::vector<BooleanStats> partition_boolean_stats;
 
   int num_partitions() const { return static_cast<int>(partitions.size()); }
   int64_t total_rows() const;
+
+  const AttributeStats& PartitionNumeric(int p, int c) const {
+    return partition_numeric_stats[static_cast<size_t>(
+        p * schema.num_numeric() + c)];
+  }
+  const BooleanStats& PartitionBoolean(int p, int b) const {
+    return partition_boolean_stats[static_cast<size_t>(
+        p * schema.num_boolean() + b)];
+  }
 };
 
 /// Order-sensitive FNV-1a hash over the schema's attribute names and

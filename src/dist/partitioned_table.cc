@@ -97,6 +97,13 @@ Status WritePartitionedTable(storage::BatchSource& source,
   const int num_numeric = schema.num_numeric();
   const int num_boolean = schema.num_boolean();
   std::vector<AttributeStats> stats(static_cast<size_t>(num_numeric));
+  // Per-partition stats ([p * num_numeric + c] / [p * num_boolean + b]);
+  // the coordinator prunes whole partitions with these, so they follow the
+  // same NaN-skipping sentinel rules as the zone maps.
+  std::vector<AttributeStats> part_numeric(
+      static_cast<size_t>(k) * static_cast<size_t>(num_numeric));
+  std::vector<BooleanStats> part_boolean(
+      static_cast<size_t>(k) * static_cast<size_t>(num_boolean));
   std::vector<uint8_t> row(schema.RowBytes());
   std::unique_ptr<storage::BatchReader> reader = source.CreateReader();
   storage::ColumnarBatch batch;
@@ -126,6 +133,21 @@ Status WritePartitionedTable(storage::BatchSource& source,
               ? static_cast<int>(row_index % k)
               : static_cast<int>(HashRowBytes(row, options.hash_seed) %
                                  static_cast<uint64_t>(k));
+      for (int a = 0; a < num_numeric; ++a) {
+        const double value = batch.numeric(a)[static_cast<size_t>(r)];
+        if (!std::isnan(value)) {
+          AttributeStats& stat =
+              part_numeric[static_cast<size_t>(p * num_numeric + a)];
+          if (value < stat.min_value) stat.min_value = value;
+          if (value > stat.max_value) stat.max_value = value;
+        }
+      }
+      for (int b = 0; b < num_boolean; ++b) {
+        BooleanStats& stat =
+            part_boolean[static_cast<size_t>(p * num_boolean + b)];
+        if (booleans[b] < stat.min_value) stat.min_value = booleans[b];
+        if (booleans[b] > stat.max_value) stat.max_value = booleans[b];
+      }
       OPTRULES_RETURN_IF_ERROR(
           writers[static_cast<size_t>(p)].AppendRawRow(row.data()));
       ++row_index;
@@ -136,6 +158,9 @@ Status WritePartitionedTable(storage::BatchSource& source,
   manifest.schema = schema;
   manifest.schema_hash = SchemaHash(schema);
   manifest.numeric_stats = std::move(stats);
+  manifest.has_partition_stats = true;
+  manifest.partition_numeric_stats = std::move(part_numeric);
+  manifest.partition_boolean_stats = std::move(part_boolean);
   manifest.partitions.reserve(static_cast<size_t>(k));
   for (int p = 0; p < k; ++p) {
     PartitionInfo partition;
@@ -221,20 +246,62 @@ Result<PartitionedTable> PartitionCsv(const std::string& csv_path,
 
 namespace {
 
+/// Stat accumulators a ConcatReader folds its partition sources into.
+struct ConcatStatSinks {
+  std::atomic<int64_t>* cache_hits = nullptr;
+  std::atomic<int64_t>* cache_misses = nullptr;
+  std::atomic<int64_t>* pages_skipped = nullptr;
+  std::atomic<int64_t>* partitions_skipped = nullptr;
+};
+
+}  // namespace
+
+bool PartitionIsDead(const PartitionedTable& table,
+                     const storage::ScanPruneSpec& spec, int p) {
+  const PartitionManifest& manifest = table.manifest();
+  if (!manifest.has_partition_stats || spec.empty()) return false;
+  return storage::AllUnitsDead(
+      spec,
+      [&](int c) {
+        const AttributeStats& stat = manifest.PartitionNumeric(p, c);
+        return stat.min_value <= stat.max_value;
+      },
+      [&](int b) { return manifest.PartitionBoolean(p, b).max_value != 0; });
+}
+
+namespace {
+
 /// Reader that walks the partitions in manifest order, delegating to one
-/// partition reader at a time.
+/// partition reader at a time. Partitions the manifest stats prove dead
+/// under the installed prune spec are skipped without opening their files;
+/// the spec is re-installed on each live partition's source so zone maps
+/// prune pages inside it too.
 class ConcatReader : public storage::BatchReader {
  public:
   ConcatReader(const PartitionedTable* table, int64_t batch_rows,
-               storage::PagedReadMode mode)
-      : table_(table), batch_rows_(batch_rows), mode_(mode) {}
+               storage::PagedReadMode mode,
+               std::shared_ptr<const storage::ScanPruneSpec> prune,
+               const ConcatStatSinks& sinks)
+      : table_(table),
+        batch_rows_(batch_rows),
+        mode_(mode),
+        prune_(std::move(prune)),
+        sinks_(sinks) {}
+
+  ~ConcatReader() override { FinishPartition(); }
 
   bool Next(storage::ColumnarBatch* batch) override {
     while (true) {
       if (reader_ != nullptr && reader_->Next(batch)) return true;
       if (next_partition_ >= table_->num_partitions()) return false;
+      const int p = next_partition_++;
+      if (prune_ != nullptr && PartitionIsDead(*table_, *prune_, p)) {
+        pruned_rows_ += table_->partition_rows(p);
+        ++partitions_skipped_;
+        continue;
+      }
       Result<std::unique_ptr<storage::PagedFileBatchSource>> source =
-          table_->OpenPartition(next_partition_, batch_rows_, mode_);
+          table_->OpenPartition(p, batch_rows_, mode_);
       // A partition vanishing MID-scan is fatal (BatchReader::Next has no
       // error channel, and silently truncating the table would corrupt
       // results); callers that need a soft failure re-run
@@ -243,18 +310,54 @@ class ConcatReader : public storage::BatchReader {
       OPTRULES_CHECK(source.ok());
       // The old reader must die before the source it was created from
       // (its destructor reports I/O-wait time into the source).
-      reader_.reset();
+      FinishPartition();
       source_ = std::move(source).value();
+      source_->InstallPruneSpec(prune_);
       reader_ = source_->CreateReader();
-      ++next_partition_;
     }
   }
 
+  int64_t pruned_rows() const override {
+    return pruned_rows_ +
+           (reader_ != nullptr ? reader_->pruned_rows() : 0);
+  }
+
  private:
+  /// Retires the current partition: banks its reader's pruned rows, then
+  /// destroys reader before source and folds the source's cache/pruning
+  /// counters into the parent sinks.
+  void FinishPartition() {
+    if (reader_ != nullptr) {
+      pruned_rows_ += reader_->pruned_rows();
+      reader_.reset();
+    }
+    if (source_ != nullptr) {
+      const storage::BatchSourceStats stats = source_->SourceStats();
+      if (sinks_.cache_hits != nullptr) {
+        sinks_.cache_hits->fetch_add(stats.cache_hits);
+      }
+      if (sinks_.cache_misses != nullptr) {
+        sinks_.cache_misses->fetch_add(stats.cache_misses);
+      }
+      if (sinks_.pages_skipped != nullptr) {
+        sinks_.pages_skipped->fetch_add(stats.pages_skipped);
+      }
+      source_.reset();
+    }
+    if (sinks_.partitions_skipped != nullptr && partitions_skipped_ > 0) {
+      sinks_.partitions_skipped->fetch_add(partitions_skipped_);
+      partitions_skipped_ = 0;
+    }
+  }
+
   const PartitionedTable* table_;
   int64_t batch_rows_;
   storage::PagedReadMode mode_;
+  std::shared_ptr<const storage::ScanPruneSpec> prune_;
+  ConcatStatSinks sinks_;
   int next_partition_ = 0;
+  int64_t pruned_rows_ = 0;
+  int64_t partitions_skipped_ = 0;
   std::unique_ptr<storage::PagedFileBatchSource> source_;
   std::unique_ptr<storage::BatchReader> reader_;
 };
@@ -282,7 +385,13 @@ int64_t PartitionedTableBatchSource::NumTuples() const {
 
 std::unique_ptr<storage::BatchReader>
 PartitionedTableBatchSource::DoCreateReader() {
-  return std::make_unique<ConcatReader>(table_, batch_rows_, mode_);
+  ConcatStatSinks sinks;
+  sinks.cache_hits = &cache_hits_;
+  sinks.cache_misses = &cache_misses_;
+  sinks.pages_skipped = &pages_skipped_;
+  sinks.partitions_skipped = &partitions_skipped_;
+  return std::make_unique<ConcatReader>(table_, batch_rows_, mode_,
+                                        prune_spec(), sinks);
 }
 
 }  // namespace optrules::dist

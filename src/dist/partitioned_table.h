@@ -12,6 +12,7 @@
 #ifndef OPTRULES_DIST_PARTITIONED_TABLE_H_
 #define OPTRULES_DIST_PARTITIONED_TABLE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -21,6 +22,7 @@
 #include "dist/manifest.h"
 #include "storage/columnar_batch.h"
 #include "storage/relation.h"
+#include "storage/scan_prune.h"
 #include "storage/schema.h"
 
 namespace optrules::dist {
@@ -109,12 +111,29 @@ Result<PartitionedTable> PartitionCsv(const std::string& csv_path,
                                       const std::string& dir,
                                       const PartitionOptions& options);
 
+/// True when the manifest's per-partition stats prove partition `p` dead
+/// under `spec`: some listed numeric column is all-NaN there, or some
+/// condition conjunct is all-false, for EVERY unit of the spec -- the
+/// partition can contribute nothing but its row count. Tables written
+/// before per-partition stats existed (has_partition_stats == false) are
+/// never pruned. Used by the concatenating reader and the distributed
+/// coordinator, which must agree on what "dead" means.
+bool PartitionIsDead(const PartitionedTable& table,
+                     const storage::ScanPruneSpec& spec, int p);
+
 /// Sequential batch source over a whole partitioned table: partitions are
 /// concatenated in manifest order (the same order the coordinator merges
 /// partials). This is what boundary planning streams; counting goes
 /// through the DistributedScanCoordinator instead, which accounts its
 /// logical scans here via NoteScanStarted so `scans_started()` keeps
 /// meaning "times the data was read" for partitioned sessions too.
+///
+/// An installed ScanPruneSpec flows two ways: partitions the manifest's
+/// per-partition stats prove dead are skipped wholesale (accounted as
+/// partitions_skipped + pruned rows), and the spec is re-installed on each
+/// live partition's PagedFileBatchSource so its zone maps prune pages too.
+/// SourceStats() aggregates the partition sources' cache and pruning
+/// counters.
 class PartitionedTableBatchSource : public storage::BatchSource {
  public:
   explicit PartitionedTableBatchSource(
@@ -127,6 +146,15 @@ class PartitionedTableBatchSource : public storage::BatchSource {
   int num_boolean() const override;
   int64_t NumTuples() const override;
 
+  storage::BatchSourceStats SourceStats() const override {
+    storage::BatchSourceStats stats;
+    stats.cache_hits = cache_hits_.load();
+    stats.cache_misses = cache_misses_.load();
+    stats.pages_skipped = pages_skipped_.load();
+    stats.partitions_skipped = partitions_skipped_.load();
+    return stats;
+  }
+
  protected:
   std::unique_ptr<storage::BatchReader> DoCreateReader() override;
 
@@ -134,6 +162,10 @@ class PartitionedTableBatchSource : public storage::BatchSource {
   const PartitionedTable* table_;
   int64_t batch_rows_;
   storage::PagedReadMode mode_;
+  std::atomic<int64_t> cache_hits_{0};
+  std::atomic<int64_t> cache_misses_{0};
+  std::atomic<int64_t> pages_skipped_{0};
+  std::atomic<int64_t> partitions_skipped_{0};
 };
 
 }  // namespace optrules::dist

@@ -9,6 +9,7 @@
 #include <unistd.h>
 
 #include "bucketing/parallel_count.h"
+#include "common/bytes.h"
 #include "dist/wire.h"
 
 namespace optrules::dist {
@@ -29,7 +30,8 @@ void IgnoreSigpipeOnce() {
 }  // namespace
 
 Result<bucketing::MultiCountPlan> InProcessScanWorker::CountPartition(
-    const std::string& partition_path, const PartitionScanSpec& spec) {
+    const std::string& partition_path, const PartitionScanSpec& spec,
+    storage::BatchSourceStats* stats) {
   OPTRULES_CHECK(spec.spec != nullptr);
   Result<std::unique_ptr<storage::PagedFileBatchSource>> source =
       storage::PagedFileBatchSource::Open(partition_path, spec.batch_rows,
@@ -38,7 +40,11 @@ Result<bucketing::MultiCountPlan> InProcessScanWorker::CountPartition(
   bucketing::MultiCountPlan plan(*spec.spec);
   // Serial reference chain (see the header): partials are a pure function
   // of (partition file, spec) -- parallelism lives across partitions.
+  // (The read path below may still serve pages from the shared buffer
+  // pool and prune zone-map-dead pages; both are invisible in the
+  // partial's counts.)
   bucketing::ExecuteMultiCount(*source.value(), &plan, nullptr);
+  if (stats != nullptr) *stats = source.value()->SourceStats();
   return plan;
 }
 
@@ -119,7 +125,8 @@ SubprocessScanWorker::~SubprocessScanWorker() {
 }
 
 Result<bucketing::MultiCountPlan> SubprocessScanWorker::CountPartition(
-    const std::string& partition_path, const PartitionScanSpec& spec) {
+    const std::string& partition_path, const PartitionScanSpec& spec,
+    storage::BatchSourceStats* stats) {
   OPTRULES_CHECK(spec.spec != nullptr);
   std::vector<uint8_t> request;
   EncodeScanRequest(partition_path, spec.batch_rows, spec.read_mode,
@@ -140,11 +147,19 @@ Result<bucketing::MultiCountPlan> SubprocessScanWorker::CountPartition(
   if (kind != FrameKind::kScanResult) {
     return Status::Corruption("unexpected reply frame kind from worker");
   }
+  // kScanResult payload: [kind][u64 pages_skipped][partial plan state].
+  uint64_t pages_skipped = 0;
+  bytes::ByteReader header(std::span<const uint8_t>(reply).subspan(1));
+  OPTRULES_RETURN_IF_ERROR(header.ReadScalar(&pages_skipped));
+  if (stats != nullptr) {
+    *stats = {};
+    stats->pages_skipped = static_cast<int64_t>(pages_skipped);
+  }
   // Rebuild the partial locally from the coordinator-side spec, then load
   // the worker's bit-exact accumulator state into it.
   bucketing::MultiCountPlan plan(*spec.spec);
   OPTRULES_RETURN_IF_ERROR(plan.LoadPartialState(
-      std::span<const uint8_t>(reply).subspan(1)));
+      std::span<const uint8_t>(reply).subspan(1 + sizeof(uint64_t))));
   return plan;
 }
 

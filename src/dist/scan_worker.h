@@ -50,16 +50,23 @@ class ScanWorker {
 
   /// Counts `spec` over the partition PagedFile at `partition_path` and
   /// returns the partial plan (serial reference chain; see file comment).
+  /// `stats`, when non-null, receives the scan's cache/pruning counters:
+  /// full counters from the in-process worker, pages_skipped only from the
+  /// subprocess worker (the daemon's buffer-pool hits happen in its own
+  /// process and are not shipped back). Pages a worker pruned are already
+  /// accounted inside the partial's total_tuples, so the counters are
+  /// diagnostics, never inputs to the merge.
   virtual Result<bucketing::MultiCountPlan> CountPartition(
-      const std::string& partition_path, const PartitionScanSpec& spec) = 0;
+      const std::string& partition_path, const PartitionScanSpec& spec,
+      storage::BatchSourceStats* stats = nullptr) = 0;
 };
 
 /// Same-process worker with its own double-buffered partition reader.
 class InProcessScanWorker final : public ScanWorker {
  public:
   Result<bucketing::MultiCountPlan> CountPartition(
-      const std::string& partition_path,
-      const PartitionScanSpec& spec) override;
+      const std::string& partition_path, const PartitionScanSpec& spec,
+      storage::BatchSourceStats* stats) override;
 };
 
 /// Worker backed by a forked optrules_workerd subprocess. One worker can
@@ -81,8 +88,8 @@ class SubprocessScanWorker final : public ScanWorker {
   SubprocessScanWorker& operator=(const SubprocessScanWorker&) = delete;
 
   Result<bucketing::MultiCountPlan> CountPartition(
-      const std::string& partition_path,
-      const PartitionScanSpec& spec) override;
+      const std::string& partition_path, const PartitionScanSpec& spec,
+      storage::BatchSourceStats* stats) override;
 
  private:
   SubprocessScanWorker() = default;

@@ -6,6 +6,7 @@
 
 #include "bucketing/counting.h"
 #include "bucketing/parallel_count.h"
+#include "common/bytes.h"
 #include "dist/wire.h"
 #include "storage/columnar_batch.h"
 
@@ -112,7 +113,13 @@ Status ServeScanRequest(std::span<const uint8_t> request,
   // the in-process worker -- produces bit-identical partials.
   bucketing::MultiCountPlan plan(frame.value().spec);
   bucketing::ExecuteMultiCount(*source.value(), &plan, nullptr);
+  // Readers are gone once ExecuteMultiCount returns, so the source's
+  // counters are final. Only pages_skipped travels back: buffer-pool hits
+  // happen in this process and mean nothing to the coordinator.
+  const storage::BatchSourceStats stats = source.value()->SourceStats();
   reply->push_back(static_cast<uint8_t>(FrameKind::kScanResult));
+  bytes::AppendScalar<uint64_t>(
+      reply, static_cast<uint64_t>(stats.pages_skipped));
   plan.AppendPartialState(reply);
   return Status::Ok();
 }

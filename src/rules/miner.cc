@@ -274,6 +274,19 @@ Status MiningEngine::ExecuteCount(bucketing::MultiCountPlan* plan) {
   return Status::Ok();
 }
 
+storage::BatchSourceStats MiningEngine::scan_stats() const {
+  storage::BatchSourceStats stats;
+  if (source_ != nullptr) stats = source_->SourceStats();
+  if (coordinator_ != nullptr) {
+    const storage::BatchSourceStats dist = coordinator_->scan_stats();
+    stats.cache_hits += dist.cache_hits;
+    stats.cache_misses += dist.cache_misses;
+    stats.pages_skipped += dist.pages_skipped;
+    stats.partitions_skipped += dist.partitions_skipped;
+  }
+  return stats;
+}
+
 void MiningEngine::PlanBoundarySets(
     std::span<const BoundarySetRequest> requests,
     std::span<std::vector<bucketing::BucketBoundaries>* const> out) {

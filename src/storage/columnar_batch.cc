@@ -116,6 +116,19 @@ std::unique_ptr<BatchReader> RelationBatchSource::CreateRangeReader(
 
 namespace {
 
+/// Seeks to an absolute byte offset in chunks that fit a 32-bit long, so
+/// shard offsets in files beyond 2 GiB work on every platform (plain
+/// fseek takes a long, which is 32 bits on some targets).
+void SeekToOffset(std::FILE* file, uint64_t offset) {
+  OPTRULES_CHECK(std::fseek(file, 0, SEEK_SET) == 0);
+  constexpr uint64_t kChunk = 1u << 30;
+  while (offset > 0) {
+    const uint64_t step = std::min(offset, kChunk);
+    OPTRULES_CHECK(std::fseek(file, static_cast<long>(step), SEEK_CUR) == 0);
+    offset -= step;
+  }
+}
+
 /// Reads fixed-width rows page-wise and transposes them into owned column
 /// buffers. Each reader has its own FILE handle, so sharded readers can
 /// stream concurrently.
@@ -487,10 +500,427 @@ class PagedFileV2BatchReader : public BatchReader {
   std::thread prefetcher_;
 };
 
+// ------------------------------------------------- pooled read path ----
+
+/// Everything a pooled reader needs from its source: where the pages live,
+/// how to identify them in the pool, what may be pruned, and where to
+/// accumulate the counters when the reader dies.
+struct PooledReaderContext {
+  std::string path;
+  PagedFileInfo info;
+  BufferPool* pool = nullptr;
+  uint64_t file_id = 0;
+  std::shared_ptr<const ZoneMapIndex> zones;
+  std::shared_ptr<const ScanPruneSpec> prune;
+  std::atomic<double>* io_wait_accum = nullptr;
+  std::atomic<int64_t>* hits_accum = nullptr;
+  std::atomic<int64_t>* misses_accum = nullptr;
+  std::atomic<int64_t>* skipped_accum = nullptr;
+};
+
+/// True when page `page` provably contributes nothing to the installed
+/// prune spec beyond its row count: a numeric column "has a value" iff its
+/// zone-map bounds are non-sentinel (min <= max), a Boolean column "has a
+/// true row" iff its max byte is 1.
+bool PageIsDead(const PooledReaderContext& ctx, int64_t page) {
+  if (ctx.zones == nullptr || ctx.prune == nullptr || ctx.prune->empty()) {
+    return false;
+  }
+  const ZoneMapIndex& z = *ctx.zones;
+  return AllUnitsDead(
+      *ctx.prune,
+      [&](int c) { return z.NumericMin(page, c) <= z.NumericMax(page, c); },
+      [&](int b) { return z.BooleanMax(page, b) != 0; });
+}
+
+/// Zero-transpose reader over a columnar v2 file whose pages flow through
+/// the shared BufferPool. The reader PINS the frame holding its current
+/// page and serves batch spans pointing straight into the pinned bytes --
+/// the pin is released only when the scan crosses into the next page, so
+/// spans outlive the Next() call that produced them exactly as in the
+/// private-buffer reader. Pages the installed ScanPruneSpec proves dead
+/// are skipped without touching the pool (their rows are accounted via
+/// pruned_rows()).
+///
+/// In kDoubleBuffered mode a per-reader prefetch thread with its own FILE
+/// handle walks the same live-page sequence one page ahead of the consumer
+/// and issues BufferPool::Prefetch hints; the pool's loading-frame
+/// protocol makes the consumer's later Fetch wait on the in-flight load
+/// instead of re-reading, which is what turns the old private two-slot
+/// ring into shared cache warming. Pacing is by live-page ORDINAL (pruned
+/// pages are invisible to it), so a long dead stretch cannot stall the
+/// prefetcher behind page-number arithmetic.
+class PooledV2BatchReader : public BatchReader {
+ public:
+  PooledV2BatchReader(PooledReaderContext ctx, std::FILE* file, int64_t begin,
+                      int64_t end, int64_t batch_rows, PagedReadMode mode)
+      : ctx_(std::move(ctx)),
+        file_(file),
+        begin_(begin),
+        position_(begin),
+        end_(end),
+        batch_rows_(batch_rows) {
+    OPTRULES_CHECK(ctx_.info.format_version == 2);
+    if (mode == PagedReadMode::kDoubleBuffered && position_ < end_) {
+      prefetch_file_ = std::fopen(ctx_.path.c_str(), "rb");
+      if (prefetch_file_ != nullptr) {
+        prefetcher_ = std::thread([this] { PrefetchLoop(); });
+      }
+    }
+  }
+
+  ~PooledV2BatchReader() override {
+    if (prefetcher_.joinable()) {
+      {
+        std::lock_guard<std::mutex> lock(pf_mu_);
+        stop_ = true;
+      }
+      pf_cv_.notify_all();
+      prefetcher_.join();
+    }
+    if (prefetch_file_ != nullptr) std::fclose(prefetch_file_);
+    pin_.Reset();
+    if (file_ != nullptr) std::fclose(file_);
+    if (ctx_.io_wait_accum != nullptr) {
+      ctx_.io_wait_accum->fetch_add(io_wait_seconds_);
+    }
+    if (ctx_.hits_accum != nullptr) ctx_.hits_accum->fetch_add(hits_);
+    if (ctx_.misses_accum != nullptr) ctx_.misses_accum->fetch_add(misses_);
+    if (ctx_.skipped_accum != nullptr) {
+      ctx_.skipped_accum->fetch_add(pages_skipped_);
+    }
+  }
+
+  bool Next(ColumnarBatch* batch) override {
+    const auto rpp = static_cast<int64_t>(ctx_.info.rows_per_page);
+    while (position_ < end_) {
+      const int64_t page = position_ / rpp;
+      const int64_t page_limit =
+          std::min(end_, page * rpp + ctx_.info.rows_in_page(page));
+      if (PageIsDead(ctx_, page)) {
+        pruned_rows_ += page_limit - position_;
+        ++pages_skipped_;
+        position_ = (page + 1) * rpp;
+        continue;
+      }
+      if (!pin_ || pinned_page_ != page) PinPage(page);
+      const int64_t in_page = position_ - page * rpp;
+      const int64_t want = std::min(batch_rows_, page_limit - position_);
+      OPTRULES_CHECK(want > 0);
+      const uint8_t* base = pin_.data();
+      batch->Reset(ctx_.info.num_numeric, ctx_.info.num_boolean);
+      batch->SetRows(want);
+      for (int c = 0; c < ctx_.info.num_numeric; ++c) {
+        const auto* run = reinterpret_cast<const double*>(
+            base + ctx_.info.numeric_run_offset(c));
+        batch->SetNumeric(c, std::span<const double>(
+                                 run + in_page, static_cast<size_t>(want)));
+      }
+      for (int b = 0; b < ctx_.info.num_boolean; ++b) {
+        batch->SetBoolean(
+            b, std::span<const uint8_t>(
+                   base + ctx_.info.boolean_run_offset(b) + in_page,
+                   static_cast<size_t>(want)));
+      }
+      position_ += want;
+      return true;
+    }
+    return false;
+  }
+
+  int64_t pruned_rows() const override { return pruned_rows_; }
+
+ private:
+  /// Loader for page `page` reading through `file` (the consumer's handle
+  /// or the prefetcher's -- each thread only ever passes its own).
+  BufferPool::Loader MakeLoader(std::FILE* file, int64_t page) {
+    const size_t stride = ctx_.info.page_stride();
+    return [this, file, page, stride](uint8_t* dest) -> Status {
+      SeekToOffset(file, static_cast<uint64_t>(ctx_.info.header_bytes) +
+                             static_cast<uint64_t>(page) * stride);
+      if (std::fread(dest, 1, stride, file) != stride) {
+        return Status::IoError("short read of page " +
+                               std::to_string(page) + " in " + ctx_.path);
+      }
+      return ValidateV2Page(ctx_.info, page,
+                            std::span<const uint8_t>(dest, stride));
+    };
+  }
+
+  void PinPage(int64_t page) {
+    WallTimer wait_timer;
+    bool was_hit = false;
+    Result<BufferPool::Pin> pin =
+        ctx_.pool->Fetch(ctx_.file_id, page, ctx_.info.page_stride(),
+                         MakeLoader(file_, page), &was_hit);
+    // end_ is bounded by the header's row count, so a failed load means a
+    // truncated or corrupt file; silently accepting it would merge partial
+    // counts with no diagnostic (same policy as the unpooled readers).
+    OPTRULES_CHECK(pin.ok());
+    pin_ = std::move(pin.value());
+    pinned_page_ = page;
+    io_wait_seconds_ += wait_timer.ElapsedSeconds();
+    if (was_hit) {
+      ++hits_;
+    } else {
+      ++misses_;
+    }
+    if (prefetcher_.joinable()) {
+      {
+        std::lock_guard<std::mutex> lock(pf_mu_);
+        ++live_pages_consumed_;
+      }
+      pf_cv_.notify_all();
+    }
+  }
+
+  /// Prefetch thread: warms the pool with every live page of [begin, end)
+  /// in scan order, at most one live page past what the consumer pinned.
+  void PrefetchLoop() {
+    const auto rpp = static_cast<int64_t>(ctx_.info.rows_per_page);
+    const int64_t first_page = begin_ / rpp;
+    const int64_t last_page = (end_ - 1) / rpp;
+    int64_t ordinal = 0;  // index into the live-page sequence
+    for (int64_t page = first_page; page <= last_page; ++page) {
+      if (PageIsDead(ctx_, page)) continue;
+      {
+        std::unique_lock<std::mutex> lock(pf_mu_);
+        pf_cv_.wait(lock, [&] {
+          return stop_ || ordinal <= live_pages_consumed_;
+        });
+        if (stop_) return;
+      }
+      ctx_.pool->Prefetch(ctx_.file_id, page, ctx_.info.page_stride(),
+                          MakeLoader(prefetch_file_, page));
+      ++ordinal;
+    }
+  }
+
+  PooledReaderContext ctx_;
+  std::FILE* file_;
+  const int64_t begin_;  ///< immutable; the prefetch thread reads it
+  int64_t position_;
+  int64_t end_;
+  int64_t batch_rows_;
+  BufferPool::Pin pin_;
+  int64_t pinned_page_ = -1;
+  int64_t pruned_rows_ = 0;
+  int64_t pages_skipped_ = 0;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+  double io_wait_seconds_ = 0.0;
+  // Prefetch pacing: the consumer counts the live pages it has pinned;
+  // the prefetcher stalls until its next live page is at most one past
+  // that count.
+  std::FILE* prefetch_file_ = nullptr;
+  std::mutex pf_mu_;
+  std::condition_variable pf_cv_;
+  int64_t live_pages_consumed_ = 0;
+  bool stop_ = false;
+  std::thread prefetcher_;
+};
+
+/// Pooled reader over a row-major v1 file. v1 has no page geometry, so the
+/// reader imposes one: fixed BLOCKS of rows (a pure function of the row
+/// width, so every reader of the file agrees on block boundaries and the
+/// pool can share frames across readers and sessions), cached in the pool
+/// keyed by block index. The consumer pins its current block and
+/// transposes batch-sized slices into owned column buffers; batches clamp
+/// to block boundaries (counting results are independent of batch splits).
+/// v1 files carry no zone maps, so there is no pruning here. Prefetch
+/// pacing mirrors the v2 reader, minus the pruning.
+class PooledV1BatchReader : public BatchReader {
+ public:
+  /// Rows per cached block: the v1 analogue of AutoRowsPerPage's ~1 MiB
+  /// target, clamped to [256, 65536].
+  static int64_t BlockRows(size_t row_bytes) {
+    const auto rows = static_cast<int64_t>((size_t{1} << 20) / row_bytes);
+    return std::clamp<int64_t>(rows, 256, 65536);
+  }
+
+  PooledV1BatchReader(PooledReaderContext ctx, std::FILE* file, int64_t begin,
+                      int64_t end, int64_t batch_rows, PagedReadMode mode)
+      : ctx_(std::move(ctx)),
+        file_(file),
+        begin_(begin),
+        position_(begin),
+        end_(end),
+        batch_rows_(batch_rows),
+        block_rows_(BlockRows(ctx_.info.row_bytes)) {
+    OPTRULES_CHECK(ctx_.info.format_version == 1);
+    numeric_.assign(static_cast<size_t>(ctx_.info.num_numeric),
+                    std::vector<double>(static_cast<size_t>(batch_rows)));
+    boolean_.assign(static_cast<size_t>(ctx_.info.num_boolean),
+                    std::vector<uint8_t>(static_cast<size_t>(batch_rows)));
+    if (mode == PagedReadMode::kDoubleBuffered && position_ < end_) {
+      prefetch_file_ = std::fopen(ctx_.path.c_str(), "rb");
+      if (prefetch_file_ != nullptr) {
+        prefetcher_ = std::thread([this] { PrefetchLoop(); });
+      }
+    }
+  }
+
+  ~PooledV1BatchReader() override {
+    if (prefetcher_.joinable()) {
+      {
+        std::lock_guard<std::mutex> lock(pf_mu_);
+        stop_ = true;
+      }
+      pf_cv_.notify_all();
+      prefetcher_.join();
+    }
+    if (prefetch_file_ != nullptr) std::fclose(prefetch_file_);
+    pin_.Reset();
+    if (file_ != nullptr) std::fclose(file_);
+    if (ctx_.io_wait_accum != nullptr) {
+      ctx_.io_wait_accum->fetch_add(io_wait_seconds_);
+    }
+    if (ctx_.hits_accum != nullptr) ctx_.hits_accum->fetch_add(hits_);
+    if (ctx_.misses_accum != nullptr) ctx_.misses_accum->fetch_add(misses_);
+  }
+
+  bool Next(ColumnarBatch* batch) override {
+    if (position_ >= end_) return false;
+    const int64_t block = position_ / block_rows_;
+    if (!pin_ || pinned_block_ != block) PinBlock(block);
+    const int64_t block_limit =
+        std::min(end_, std::min((block + 1) * block_rows_,
+                                ctx_.info.num_rows));
+    const int64_t want = std::min(batch_rows_, block_limit - position_);
+    OPTRULES_CHECK(want > 0);
+    const int64_t in_block = position_ - block * block_rows_;
+    Transpose(in_block, want);
+    batch->Reset(ctx_.info.num_numeric, ctx_.info.num_boolean);
+    batch->SetRows(want);
+    for (int i = 0; i < ctx_.info.num_numeric; ++i) {
+      batch->SetNumeric(
+          i, std::span<const double>(numeric_[static_cast<size_t>(i)])
+                 .first(static_cast<size_t>(want)));
+    }
+    for (int i = 0; i < ctx_.info.num_boolean; ++i) {
+      batch->SetBoolean(
+          i, std::span<const uint8_t>(boolean_[static_cast<size_t>(i)])
+                 .first(static_cast<size_t>(want)));
+    }
+    position_ += want;
+    return true;
+  }
+
+ private:
+  /// Rows stored in `block` (only the last block of the file is partial).
+  int64_t RowsInBlock(int64_t block) const {
+    return std::min(block_rows_,
+                    ctx_.info.num_rows - block * block_rows_);
+  }
+
+  BufferPool::Loader MakeLoader(std::FILE* file, int64_t block) {
+    const size_t bytes =
+        static_cast<size_t>(RowsInBlock(block)) * ctx_.info.row_bytes;
+    return [this, file, block, bytes](uint8_t* dest) -> Status {
+      SeekToOffset(file,
+                   static_cast<uint64_t>(ctx_.info.header_bytes) +
+                       static_cast<uint64_t>(block * block_rows_) *
+                           ctx_.info.row_bytes);
+      if (std::fread(dest, 1, bytes, file) != bytes) {
+        return Status::IoError("short read of block " +
+                               std::to_string(block) + " in " + ctx_.path);
+      }
+      return Status::Ok();
+    };
+  }
+
+  void PinBlock(int64_t block) {
+    WallTimer wait_timer;
+    bool was_hit = false;
+    const size_t bytes =
+        static_cast<size_t>(RowsInBlock(block)) * ctx_.info.row_bytes;
+    Result<BufferPool::Pin> pin = ctx_.pool->Fetch(
+        ctx_.file_id, block, bytes, MakeLoader(file_, block), &was_hit);
+    OPTRULES_CHECK(pin.ok());
+    pin_ = std::move(pin.value());
+    pinned_block_ = block;
+    io_wait_seconds_ += wait_timer.ElapsedSeconds();
+    if (was_hit) {
+      ++hits_;
+    } else {
+      ++misses_;
+    }
+    if (prefetcher_.joinable()) {
+      {
+        std::lock_guard<std::mutex> lock(pf_mu_);
+        ++blocks_consumed_;
+      }
+      pf_cv_.notify_all();
+    }
+  }
+
+  /// Transposes rows [in_block, in_block + rows) of the pinned block into
+  /// the owned column buffers.
+  void Transpose(int64_t in_block, int64_t rows) {
+    const size_t boolean_offset =
+        static_cast<size_t>(ctx_.info.num_numeric) * sizeof(double);
+    const uint8_t* base =
+        pin_.data() + static_cast<size_t>(in_block) * ctx_.info.row_bytes;
+    for (int64_t r = 0; r < rows; ++r) {
+      const uint8_t* row = base + static_cast<size_t>(r) * ctx_.info.row_bytes;
+      for (int i = 0; i < ctx_.info.num_numeric; ++i) {
+        std::memcpy(
+            &numeric_[static_cast<size_t>(i)][static_cast<size_t>(r)],
+            row + static_cast<size_t>(i) * sizeof(double), sizeof(double));
+      }
+      for (int i = 0; i < ctx_.info.num_boolean; ++i) {
+        boolean_[static_cast<size_t>(i)][static_cast<size_t>(r)] =
+            row[boolean_offset + static_cast<size_t>(i)];
+      }
+    }
+  }
+
+  void PrefetchLoop() {
+    const int64_t first_block = begin_ / block_rows_;
+    const int64_t last_block = (end_ - 1) / block_rows_;
+    int64_t ordinal = 0;
+    for (int64_t block = first_block; block <= last_block; ++block) {
+      {
+        std::unique_lock<std::mutex> lock(pf_mu_);
+        pf_cv_.wait(lock,
+                    [&] { return stop_ || ordinal <= blocks_consumed_; });
+        if (stop_) return;
+      }
+      const size_t bytes =
+          static_cast<size_t>(RowsInBlock(block)) * ctx_.info.row_bytes;
+      ctx_.pool->Prefetch(ctx_.file_id, block, bytes,
+                          MakeLoader(prefetch_file_, block));
+      ++ordinal;
+    }
+  }
+
+  PooledReaderContext ctx_;
+  std::FILE* file_;
+  const int64_t begin_;  ///< immutable; the prefetch thread reads it
+  int64_t position_;
+  int64_t end_;
+  int64_t batch_rows_;
+  int64_t block_rows_;
+  BufferPool::Pin pin_;
+  int64_t pinned_block_ = -1;
+  std::vector<std::vector<double>> numeric_;
+  std::vector<std::vector<uint8_t>> boolean_;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+  double io_wait_seconds_ = 0.0;
+  std::FILE* prefetch_file_ = nullptr;
+  std::mutex pf_mu_;
+  std::condition_variable pf_cv_;
+  int64_t blocks_consumed_ = 0;
+  bool stop_ = false;
+  std::thread prefetcher_;
+};
+
 }  // namespace
 
 Result<std::unique_ptr<PagedFileBatchSource>> PagedFileBatchSource::Open(
-    const std::string& path, int64_t batch_rows, PagedReadMode mode) {
+    const std::string& path, int64_t batch_rows, PagedReadMode mode,
+    BufferPool* pool) {
   if (batch_rows <= 0) {
     return Status::InvalidArgument("batch_rows must be positive");
   }
@@ -502,6 +932,22 @@ Result<std::unique_ptr<PagedFileBatchSource>> PagedFileBatchSource::Open(
   source->info_ = info.value();
   source->batch_rows_ = batch_rows;
   source->mode_ = mode;
+  if (pool != nullptr) {
+    Result<uint64_t> file_id = pool->RegisterFile(path);
+    if (file_id.ok()) {
+      source->pool_ = pool;
+      source->pool_file_id_ = file_id.value();
+    }
+    // Registration failure (the file vanished between the header read and
+    // the stat) falls back to the unpooled path; the readers will surface
+    // any real I/O problem.
+  }
+  if (source->info_.has_zone_maps) {
+    Result<ZoneMapIndex> zones = ReadZoneMapIndex(path, source->info_);
+    if (!zones.ok()) return zones.status();
+    source->zones_ =
+        std::make_shared<const ZoneMapIndex>(std::move(zones.value()));
+  }
   return source;
 }
 
@@ -509,28 +955,30 @@ std::unique_ptr<BatchReader> PagedFileBatchSource::DoCreateReader() {
   return CreateRangeReader(0, info_.num_rows);
 }
 
-namespace {
-
-/// Seeks to an absolute byte offset in chunks that fit a 32-bit long, so
-/// shard offsets in files beyond 2 GiB work on every platform (plain
-/// fseek takes a long, which is 32 bits on some targets).
-void SeekToOffset(std::FILE* file, uint64_t offset) {
-  OPTRULES_CHECK(std::fseek(file, 0, SEEK_SET) == 0);
-  constexpr uint64_t kChunk = 1u << 30;
-  while (offset > 0) {
-    const uint64_t step = std::min(offset, kChunk);
-    OPTRULES_CHECK(std::fseek(file, static_cast<long>(step), SEEK_CUR) == 0);
-    offset -= step;
-  }
-}
-
-}  // namespace
-
 std::unique_ptr<BatchReader> PagedFileBatchSource::CreateRangeReader(
     int64_t begin, int64_t end) {
   OPTRULES_CHECK(0 <= begin && begin <= end && end <= info_.num_rows);
   std::FILE* file = std::fopen(path_.c_str(), "rb");
   OPTRULES_CHECK(file != nullptr);
+  if (pool_ != nullptr) {
+    PooledReaderContext ctx;
+    ctx.path = path_;
+    ctx.info = info_;
+    ctx.pool = pool_;
+    ctx.file_id = pool_file_id_;
+    ctx.zones = zones_;
+    ctx.prune = prune_spec();
+    ctx.io_wait_accum = &io_wait_seconds_;
+    ctx.hits_accum = &cache_hits_;
+    ctx.misses_accum = &cache_misses_;
+    ctx.skipped_accum = &pages_skipped_;
+    if (info_.format_version == 2) {
+      return std::make_unique<PooledV2BatchReader>(
+          std::move(ctx), file, begin, end, batch_rows_, mode_);
+    }
+    return std::make_unique<PooledV1BatchReader>(
+        std::move(ctx), file, begin, end, batch_rows_, mode_);
+  }
   if (info_.format_version == 2) {
     // Seek to the page containing `begin`; the reader skips the in-page
     // prefix rows via its position arithmetic.

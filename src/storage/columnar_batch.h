@@ -25,8 +25,10 @@
 #include <vector>
 
 #include "common/status.h"
+#include "storage/buffer_pool.h"
 #include "storage/paged_file.h"
 #include "storage/relation.h"
+#include "storage/scan_prune.h"
 #include "storage/tuple_stream.h"
 
 namespace optrules::storage {
@@ -77,6 +79,28 @@ class BatchReader {
   /// batch contents are unspecified then). Spans installed into `batch`
   /// are invalidated by the following Next() call.
   virtual bool Next(ColumnarBatch* batch) = 0;
+
+  /// Rows this reader skipped so far because the source's installed
+  /// ScanPruneSpec proved they cannot contribute (zone-map page pruning,
+  /// manifest partition pruning). The executor adds them back into the
+  /// plan via MultiCountPlan::AddSkippedRows, so pruned results stay
+  /// bit-identical to the unpruned reference.
+  virtual int64_t pruned_rows() const { return 0; }
+};
+
+/// Cache and pruning counters of one BatchSource, accumulated across all
+/// of its (destroyed) readers.
+struct BatchSourceStats {
+  int64_t cache_hits = 0;    ///< buffer-pool fetches served without I/O
+  int64_t cache_misses = 0;  ///< buffer-pool fetches that paid a page load
+  int64_t pages_skipped = 0;
+  int64_t partitions_skipped = 0;
+
+  double cache_hit_rate() const {
+    const int64_t total = cache_hits + cache_misses;
+    return total == 0 ? 0.0 : static_cast<double>(cache_hits) /
+                                  static_cast<double>(total);
+  }
 };
 
 /// A table that can be scanned in columnar batches. Each CreateReader()
@@ -113,11 +137,29 @@ class BatchSource {
   /// sharded passes call it once for the whole pass).
   void NoteScanStarted() { ++scans_started_; }
 
+  /// Installs (or clears, with nullptr) the prune requirements of the scan
+  /// about to run; readers created while a spec is installed may skip
+  /// provably non-contributing pages/partitions (they account the rows via
+  /// pruned_rows()). Install BEFORE creating readers and clear after the
+  /// last reader died -- the spec is not synchronized against concurrent
+  /// readers. Sources without page/partition stats simply ignore it.
+  void InstallPruneSpec(std::shared_ptr<const ScanPruneSpec> spec) {
+    prune_spec_ = std::move(spec);
+  }
+  const std::shared_ptr<const ScanPruneSpec>& prune_spec() const {
+    return prune_spec_;
+  }
+
+  /// Cache/pruning counters accumulated by this source's readers (complete
+  /// once the readers are destroyed). Zero for purely in-memory sources.
+  virtual BatchSourceStats SourceStats() const { return {}; }
+
  protected:
   virtual std::unique_ptr<BatchReader> DoCreateReader() = 0;
 
  private:
   int64_t scans_started_ = 0;
+  std::shared_ptr<const ScanPruneSpec> prune_spec_;
 };
 
 /// Zero-copy batch source over an in-memory Relation: batches are subspans
@@ -170,9 +212,15 @@ enum class PagedReadMode {
 /// streams.
 class PagedFileBatchSource : public BatchSource {
  public:
+  /// `pool` routes every page read through the shared LRU cache (readers
+  /// pin the frame their spans point into); nullptr -- or a default pool
+  /// disabled via OPTRULES_BUFFER_POOL_BYTES=0 -- keeps the original
+  /// private-buffer read path as the bit-identical reference. Zone maps,
+  /// when the file carries them, are loaded and validated here.
   static Result<std::unique_ptr<PagedFileBatchSource>> Open(
       const std::string& path, int64_t batch_rows = kDefaultBatchRows,
-      PagedReadMode mode = PagedReadMode::kDoubleBuffered);
+      PagedReadMode mode = PagedReadMode::kDoubleBuffered,
+      BufferPool* pool = BufferPool::Default());
 
   int num_numeric() const override { return info_.num_numeric; }
   int num_boolean() const override { return info_.num_boolean; }
@@ -184,11 +232,26 @@ class PagedFileBatchSource : public BatchSource {
   /// Header metadata of the open file (format version, page geometry).
   const PagedFileInfo& info() const { return info_; }
 
+  /// Zone-map index of the file, or nullptr (v1, or v2 without the
+  /// trailer).
+  const ZoneMapIndex* zone_maps() const { return zones_.get(); }
+
+  /// The buffer pool page reads go through (nullptr = bypass).
+  BufferPool* buffer_pool() const { return pool_; }
+
   /// Total seconds this source's readers spent blocked on file I/O
   /// (synchronous freads, or waiting on the prefetch thread in
   /// double-buffered mode), accumulated when each reader is destroyed.
   /// The bench harness reports this as the scan's I/O-wait phase.
   double TotalIoWaitSeconds() const { return io_wait_seconds_.load(); }
+
+  BatchSourceStats SourceStats() const override {
+    BatchSourceStats stats;
+    stats.cache_hits = cache_hits_.load();
+    stats.cache_misses = cache_misses_.load();
+    stats.pages_skipped = pages_skipped_.load();
+    return stats;
+  }
 
  protected:
   std::unique_ptr<BatchReader> DoCreateReader() override;
@@ -200,7 +263,13 @@ class PagedFileBatchSource : public BatchSource {
   PagedFileInfo info_;
   int64_t batch_rows_ = kDefaultBatchRows;
   PagedReadMode mode_ = PagedReadMode::kDoubleBuffered;
+  BufferPool* pool_ = nullptr;
+  uint64_t pool_file_id_ = 0;
+  std::shared_ptr<const ZoneMapIndex> zones_;
   std::atomic<double> io_wait_seconds_{0.0};
+  std::atomic<int64_t> cache_hits_{0};
+  std::atomic<int64_t> cache_misses_{0};
+  std::atomic<int64_t> pages_skipped_{0};
 };
 
 /// Adapter from any legacy TupleStream to the batch API. The stream is

@@ -44,6 +44,21 @@ struct File {
   }
 };
 
+/// Records fread straight out of an open file (does not own the handle).
+class FileRecordSource final : public RecordSource {
+ public:
+  FileRecordSource(std::FILE* file, size_t record_bytes)
+      : file_(file), record_bytes_(record_bytes) {}
+
+  size_t ReadRecords(uint8_t* out, size_t max_records) override {
+    return std::fread(out, record_bytes_, max_records, file_);
+  }
+
+ private:
+  std::FILE* file_;
+  size_t record_bytes_;
+};
+
 /// Buffered reader of one sorted run during the merge phase.
 class RunReader {
  public:
@@ -82,26 +97,14 @@ class RunReader {
 
 }  // namespace
 
-Result<ExternalSortStats> ExternalSort(const std::string& input_path,
-                                       const std::string& output_path,
-                                       const ExternalSortOptions& options) {
+Result<ExternalSortStats> ExternalSortRecords(
+    RecordSource& source, const std::string& output_path,
+    std::span<const uint8_t> header, const ExternalSortOptions& options) {
   if (options.record_bytes == 0) {
     return Status::InvalidArgument("record_bytes must be > 0");
   }
   if (options.key_offset + sizeof(double) > options.record_bytes) {
     return Status::InvalidArgument("key does not fit in record");
-  }
-
-  File input;
-  input.f = std::fopen(input_path.c_str(), "rb");
-  if (input.f == nullptr) {
-    return Status::IoError("cannot open: " + input_path);
-  }
-
-  std::vector<uint8_t> header(options.header_bytes);
-  if (options.header_bytes > 0 &&
-      std::fread(header.data(), 1, header.size(), input.f) != header.size()) {
-    return Status::Corruption("short header: " + input_path);
   }
 
   // Phase 1: run generation.
@@ -114,8 +117,7 @@ Result<ExternalSortStats> ExternalSort(const std::string& input_path,
 
   const RecordLess less{options.record_bytes, options.key_offset};
   while (true) {
-    const size_t got = std::fread(chunk.data(), options.record_bytes,
-                                  records_per_run, input.f);
+    const size_t got = source.ReadRecords(chunk.data(), records_per_run);
     if (got == 0) break;
     total_records += static_cast<int64_t>(got);
     pointers.clear();
@@ -153,7 +155,7 @@ Result<ExternalSortStats> ExternalSort(const std::string& input_path,
   if (output.f == nullptr) {
     return Status::IoError("cannot create: " + output_path);
   }
-  if (options.header_bytes > 0 &&
+  if (!header.empty() &&
       std::fwrite(header.data(), 1, header.size(), output.f) !=
           header.size()) {
     return Status::IoError("header write failed: " + output_path);
@@ -206,6 +208,32 @@ Result<ExternalSortStats> ExternalSort(const std::string& input_path,
   stats.num_records = total_records;
   stats.num_runs = static_cast<int>(run_paths.size());
   return stats;
+}
+
+Result<ExternalSortStats> ExternalSort(const std::string& input_path,
+                                       const std::string& output_path,
+                                       const ExternalSortOptions& options) {
+  if (options.record_bytes == 0) {
+    return Status::InvalidArgument("record_bytes must be > 0");
+  }
+  if (options.key_offset + sizeof(double) > options.record_bytes) {
+    return Status::InvalidArgument("key does not fit in record");
+  }
+
+  File input;
+  input.f = std::fopen(input_path.c_str(), "rb");
+  if (input.f == nullptr) {
+    return Status::IoError("cannot open: " + input_path);
+  }
+
+  std::vector<uint8_t> header(options.header_bytes);
+  if (options.header_bytes > 0 &&
+      std::fread(header.data(), 1, header.size(), input.f) != header.size()) {
+    return Status::Corruption("short header: " + input_path);
+  }
+
+  FileRecordSource source(input.f, options.record_bytes);
+  return ExternalSortRecords(source, output_path, header, options);
 }
 
 }  // namespace optrules::storage

@@ -5,11 +5,18 @@
 // bounded memory budget. Records are fixed-width byte strings compared by a
 // little-endian IEEE double at a fixed offset (ties broken by memcmp of the
 // whole record, making the sort deterministic).
+//
+// Input comes either from a file of back-to-back records (the classic
+// path) or from any RecordSource -- which is how a columnar v2 table is
+// sorted without first being rewritten as a row-major temporary: the
+// bucketizer streams pages and packs rows straight into the run
+// generator.
 
 #ifndef OPTRULES_STORAGE_EXTERNAL_SORT_H_
 #define OPTRULES_STORAGE_EXTERNAL_SORT_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 
 #include "common/status.h"
@@ -21,6 +28,7 @@ struct ExternalSortOptions {
   size_t record_bytes = 0;      ///< width of each record (required, > 0)
   size_t key_offset = 0;        ///< byte offset of the double sort key
   size_t header_bytes = 0;      ///< input prefix copied verbatim to output
+                                ///< (file-input overload only)
   size_t memory_budget_bytes = 64 << 20;  ///< max bytes sorted in memory
   std::string temp_dir = "/tmp";          ///< directory for run files
 };
@@ -31,9 +39,29 @@ struct ExternalSortStats {
   int num_runs = 0;
 };
 
+/// Streams fixed-width records into the run generator.
+class RecordSource {
+ public:
+  virtual ~RecordSource() = default;
+
+  /// Fills `out` with up to `max_records` consecutive records (each
+  /// ExternalSortOptions::record_bytes wide) and returns how many were
+  /// produced; 0 means end of input.
+  virtual size_t ReadRecords(uint8_t* out, size_t max_records) = 0;
+};
+
+/// Sorts the records produced by `source` into `output_path`, writing
+/// `header` verbatim before the first record. Run generation + k-way
+/// merge; never holds more than `memory_budget_bytes` of record data in
+/// memory (options.header_bytes is ignored here -- the header is the
+/// span).
+Result<ExternalSortStats> ExternalSortRecords(
+    RecordSource& source, const std::string& output_path,
+    std::span<const uint8_t> header, const ExternalSortOptions& options);
+
 /// Sorts `input_path` into `output_path` (both fixed-width record files
-/// with an optional header). Uses run generation + k-way merge; never holds
-/// more than `memory_budget_bytes` of record data in memory.
+/// with an optional `options.header_bytes` header, copied verbatim).
+/// Thin wrapper over ExternalSortRecords with a file-backed source.
 Result<ExternalSortStats> ExternalSort(const std::string& input_path,
                                        const std::string& output_path,
                                        const ExternalSortOptions& options);

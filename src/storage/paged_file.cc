@@ -1,13 +1,24 @@
 #include "storage/paged_file.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
+#include <limits>
+
+#include "storage/buffer_pool.h"
 
 namespace optrules::storage {
 
 namespace {
 
-constexpr uint32_t kMagic = 0x4f505452;  // "OPTR"
+constexpr uint32_t kMagic = 0x4f505452;      // "OPTR"
+constexpr uint32_t kZoneMapMagic = 0x4f50545a;  // "OPTZ"
+/// Zone-map trailer prefix: magic + 4 pad bytes (keeps the double pairs
+/// 8-aligned relative to the trailer start).
+constexpr size_t kZoneMapTrailerPrefixBytes = 8;
+/// Bit 0 of the v2 header's reserved word: a zone-map trailer follows the
+/// last page.
+constexpr uint32_t kHeaderFlagZoneMaps = 1;
 
 void PutU32(uint8_t* dst, uint32_t v) { std::memcpy(dst, &v, 4); }
 void PutU64(uint8_t* dst, uint64_t v) { std::memcpy(dst, &v, 8); }
@@ -100,6 +111,16 @@ int64_t PagedFileInfo::rows_in_page(int64_t page) const {
   return std::min<int64_t>(rows_per_page, num_rows - begin);
 }
 
+int64_t PagedFileInfo::zone_map_offset() const {
+  return static_cast<int64_t>(header_bytes) +
+         num_pages() * static_cast<int64_t>(page_stride());
+}
+
+size_t PagedFileInfo::zone_map_entry_bytes() const {
+  return static_cast<size_t>(num_numeric) * 2 * sizeof(double) +
+         static_cast<size_t>(num_boolean) * 2;
+}
+
 Status ValidateV2Page(const PagedFileInfo& info, int64_t page_index,
                       std::span<const uint8_t> page) {
   OPTRULES_CHECK(info.format_version == 2);
@@ -171,6 +192,11 @@ Result<PagedFileWriter> PagedFileWriter::Create(
   if (file == nullptr) {
     return Status::IoError("cannot create file: " + path);
   }
+  // fopen("wb") truncates in place (same inode), so drop any frames the
+  // default pool cached for a previous file at this path.
+  if (BufferPool* pool = BufferPool::Default(); pool != nullptr) {
+    pool->InvalidateFile(path);
+  }
   PagedFileWriter writer;
   writer.file_ = file;
   writer.path_ = path;
@@ -200,7 +226,13 @@ Result<PagedFileWriter> PagedFileWriter::Create(
     writer.buffer_.assign(writer.page_stride_, 0);
     WriteDirectory(geom, writer.buffer_.data());
     PutU32(header + 24, writer.rows_per_page_);
-    PutU32(header + 28, 0);  // reserved
+    writer.zone_maps_ = options.zone_maps;
+    PutU32(header + 28, writer.zone_maps_ ? kHeaderFlagZoneMaps : 0);
+    if (writer.zone_maps_) {
+      writer.ResetZoneAccumulators();
+      writer.zone_trailer_.assign(kZoneMapTrailerPrefixBytes, 0);
+      PutU32(writer.zone_trailer_.data(), kZoneMapMagic);
+    }
   } else {
     writer.buffer_.resize(std::max(options.buffer_bytes, writer.row_bytes_));
   }
@@ -242,7 +274,41 @@ PagedFileWriter& PagedFileWriter::operator=(
   directory_bytes_ = other.directory_bytes_;
   page_stride_ = other.page_stride_;
   row_in_page_ = other.row_in_page_;
+  zone_maps_ = other.zone_maps_;
+  zone_min_ = std::move(other.zone_min_);
+  zone_max_ = std::move(other.zone_max_);
+  zone_bool_min_ = std::move(other.zone_bool_min_);
+  zone_bool_max_ = std::move(other.zone_bool_max_);
+  zone_trailer_ = std::move(other.zone_trailer_);
   return *this;
+}
+
+void PagedFileWriter::ResetZoneAccumulators() {
+  zone_min_.assign(static_cast<size_t>(num_numeric_),
+                   std::numeric_limits<double>::infinity());
+  zone_max_.assign(static_cast<size_t>(num_numeric_),
+                   -std::numeric_limits<double>::infinity());
+  zone_bool_min_.assign(static_cast<size_t>(num_boolean_), 1);
+  zone_bool_max_.assign(static_cast<size_t>(num_boolean_), 0);
+}
+
+void PagedFileWriter::AppendZoneEntry() {
+  const size_t base = zone_trailer_.size();
+  zone_trailer_.resize(base + static_cast<size_t>(num_numeric_) * 2 *
+                                  sizeof(double) +
+                       static_cast<size_t>(num_boolean_) * 2);
+  uint8_t* out = zone_trailer_.data() + base;
+  for (int c = 0; c < num_numeric_; ++c) {
+    std::memcpy(out, &zone_min_[static_cast<size_t>(c)], sizeof(double));
+    out += sizeof(double);
+    std::memcpy(out, &zone_max_[static_cast<size_t>(c)], sizeof(double));
+    out += sizeof(double);
+  }
+  for (int b = 0; b < num_boolean_; ++b) {
+    *out++ = zone_bool_min_[static_cast<size_t>(b)];
+    *out++ = zone_bool_max_[static_cast<size_t>(b)];
+  }
+  ResetZoneAccumulators();
 }
 
 PagedFileWriter::~PagedFileWriter() {
@@ -273,6 +339,7 @@ Status PagedFileWriter::FlushPage() {
   if (std::fwrite(buffer_.data(), 1, page_stride_, file_) != page_stride_) {
     return Status::IoError("write failed: " + path_);
   }
+  if (zone_maps_) AppendZoneEntry();
   // Clear the payload for the next page (the directory is identical on
   // every page and stays in place), so a final partial page is zero-padded
   // by construction rather than by a separate pass.
@@ -300,6 +367,25 @@ Status PagedFileWriter::AppendRowV2(const double* numeric_values,
     page[offset] = boolean_values[b];
     offset += rows_per_page_;
   }
+  if (zone_maps_) {
+    for (int c = 0; c < num_numeric_; ++c) {
+      const double v = numeric_values[c];
+      if (!std::isnan(v)) {
+        const auto i = static_cast<size_t>(c);
+        if (v < zone_min_[i]) zone_min_[i] = v;
+        if (v > zone_max_[i]) zone_max_[i] = v;
+      }
+    }
+    for (int b = 0; b < num_boolean_; ++b) {
+      const auto i = static_cast<size_t>(b);
+      if (boolean_values[b] < zone_bool_min_[i]) {
+        zone_bool_min_[i] = boolean_values[b];
+      }
+      if (boolean_values[b] > zone_bool_max_[i]) {
+        zone_bool_max_[i] = boolean_values[b];
+      }
+    }
+  }
   ++row_in_page_;
   ++num_rows_;
   if (row_in_page_ == rows_per_page_) return FlushPage();
@@ -316,6 +402,15 @@ Status PagedFileWriter::AppendRawRow(const uint8_t* row) {
     for (int c = 0; c < num_numeric_; ++c) {
       std::memcpy(page + offset, row + static_cast<size_t>(c) * 8,
                   sizeof(double));
+      if (zone_maps_) {
+        double v;
+        std::memcpy(&v, row + static_cast<size_t>(c) * 8, sizeof(double));
+        if (!std::isnan(v)) {
+          const auto i = static_cast<size_t>(c);
+          if (v < zone_min_[i]) zone_min_[i] = v;
+          if (v > zone_max_[i]) zone_max_[i] = v;
+        }
+      }
       offset += size_t{rows_per_page_} * sizeof(double);
     }
     const uint8_t* booleans = row + static_cast<size_t>(num_numeric_) * 8;
@@ -325,6 +420,11 @@ Status PagedFileWriter::AppendRawRow(const uint8_t* row) {
              r;
     for (int b = 0; b < num_boolean_; ++b) {
       page[offset] = booleans[b];
+      if (zone_maps_) {
+        const auto i = static_cast<size_t>(b);
+        if (booleans[b] < zone_bool_min_[i]) zone_bool_min_[i] = booleans[b];
+        if (booleans[b] > zone_bool_max_[i]) zone_bool_max_[i] = booleans[b];
+      }
       offset += rows_per_page_;
     }
     ++row_in_page_;
@@ -366,6 +466,11 @@ Status PagedFileWriter::Close() {
       // gives the zero-padded tail readers assert on.
       OPTRULES_RETURN_IF_ERROR(FlushPage());
     }
+    if (zone_maps_ &&
+        std::fwrite(zone_trailer_.data(), 1, zone_trailer_.size(), file_) !=
+            zone_trailer_.size()) {
+      return Status::IoError("zone-map trailer write failed: " + path_);
+    }
   } else {
     OPTRULES_RETURN_IF_ERROR(FlushBuffer());
   }
@@ -381,6 +486,12 @@ Status PagedFileWriter::Close() {
   const int rc = std::fclose(file_);
   file_ = nullptr;
   if (rc != 0) return Status::IoError("close failed: " + path_);
+  // The bytes behind `path_` just changed: a long-lived default pool must
+  // not serve frames cached from a previous file at this path (file
+  // timestamps are too coarse to catch a quick same-size rewrite).
+  if (BufferPool* pool = BufferPool::Default(); pool != nullptr) {
+    pool->InvalidateFile(path_);
+  }
   return Status::Ok();
 }
 
@@ -418,8 +529,153 @@ Result<PagedFileInfo> ReadPagedFileInfo(const std::string& path) {
     if (info.rows_per_page == 0) {
       return Status::Corruption("zero rows_per_page: " + path);
     }
+    info.has_zone_maps = (GetU32(header + 28) & kHeaderFlagZoneMaps) != 0;
   }
   return info;
+}
+
+Result<ZoneMapIndex> ReadZoneMapIndex(const std::string& path,
+                                      const PagedFileInfo& info) {
+  OPTRULES_CHECK(info.format_version == 2 && info.has_zone_maps);
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return Status::IoError("cannot open: " + path);
+  const int64_t pages = info.num_pages();
+  const size_t entry = info.zone_map_entry_bytes();
+  const int64_t trailer_bytes =
+      static_cast<int64_t>(kZoneMapTrailerPrefixBytes) +
+      pages * static_cast<int64_t>(entry);
+  // The trailer must END the file: seek there first so a truncated or
+  // over-long file fails here instead of feeding garbage bounds to the
+  // pruning layer.
+  if (std::fseek(file, 0, SEEK_END) != 0) {
+    std::fclose(file);
+    return Status::IoError("seek failed: " + path);
+  }
+  if (std::ftell(file) != static_cast<long>(info.zone_map_offset() +
+                                            trailer_bytes)) {
+    std::fclose(file);
+    return Status::Corruption("zone-map trailer size mismatch: " + path);
+  }
+  if (std::fseek(file, static_cast<long>(info.zone_map_offset()),
+                 SEEK_SET) != 0) {
+    std::fclose(file);
+    return Status::IoError("seek failed: " + path);
+  }
+  uint8_t prefix[kZoneMapTrailerPrefixBytes];
+  if (std::fread(prefix, 1, sizeof(prefix), file) != sizeof(prefix)) {
+    std::fclose(file);
+    return Status::Corruption("truncated zone-map trailer: " + path);
+  }
+  if (GetU32(prefix) != kZoneMapMagic) {
+    std::fclose(file);
+    return Status::Corruption("bad zone-map trailer magic: " + path);
+  }
+  ZoneMapIndex zones;
+  zones.num_numeric = info.num_numeric;
+  zones.num_boolean = info.num_boolean;
+  zones.num_pages = pages;
+  zones.numeric_min.resize(static_cast<size_t>(pages) *
+                           static_cast<size_t>(info.num_numeric));
+  zones.numeric_max.resize(zones.numeric_min.size());
+  zones.boolean_min.resize(static_cast<size_t>(pages) *
+                           static_cast<size_t>(info.num_boolean));
+  zones.boolean_max.resize(zones.boolean_min.size());
+  std::vector<uint8_t> buffer(entry);
+  for (int64_t p = 0; p < pages; ++p) {
+    if (std::fread(buffer.data(), 1, entry, file) != entry) {
+      std::fclose(file);
+      return Status::Corruption("truncated zone-map trailer: " + path);
+    }
+    const uint8_t* in = buffer.data();
+    for (int c = 0; c < info.num_numeric; ++c) {
+      double lo;
+      double hi;
+      std::memcpy(&lo, in, sizeof(double));
+      in += sizeof(double);
+      std::memcpy(&hi, in, sizeof(double));
+      in += sizeof(double);
+      // Bounds are NaN-skipped by construction; a NaN bound, or an
+      // inverted pair that is not the all-NaN sentinel (+inf, -inf), can
+      // only come from corruption -- and a bad bound would silently prune
+      // live pages, so it is rejected like a directory mismatch.
+      const bool sentinel =
+          lo == std::numeric_limits<double>::infinity() &&
+          hi == -std::numeric_limits<double>::infinity();
+      if (std::isnan(lo) || std::isnan(hi) || (lo > hi && !sentinel)) {
+        std::fclose(file);
+        return Status::Corruption("invalid zone-map bounds (page " +
+                                  std::to_string(p) + ", numeric column " +
+                                  std::to_string(c) + "): " + path);
+      }
+      zones.numeric_min[static_cast<size_t>(p * info.num_numeric + c)] = lo;
+      zones.numeric_max[static_cast<size_t>(p * info.num_numeric + c)] = hi;
+    }
+    for (int b = 0; b < info.num_boolean; ++b) {
+      const uint8_t lo = *in++;
+      const uint8_t hi = *in++;
+      if (lo > 1 || hi > 1 || lo > hi) {
+        std::fclose(file);
+        return Status::Corruption("invalid zone-map bounds (page " +
+                                  std::to_string(p) + ", boolean column " +
+                                  std::to_string(b) + "): " + path);
+      }
+      zones.boolean_min[static_cast<size_t>(p * info.num_boolean + b)] = lo;
+      zones.boolean_max[static_cast<size_t>(p * info.num_boolean + b)] = hi;
+    }
+  }
+  std::fclose(file);
+  return zones;
+}
+
+Status ValidateZoneMapEntry(const PagedFileInfo& info,
+                            const ZoneMapIndex& zones, int64_t page_index,
+                            std::span<const uint8_t> page) {
+  OPTRULES_CHECK(page.size() == info.page_stride());
+  const int64_t rows = info.rows_in_page(page_index);
+  for (int c = 0; c < info.num_numeric; ++c) {
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -std::numeric_limits<double>::infinity();
+    const uint8_t* run = page.data() + info.numeric_run_offset(c);
+    for (int64_t r = 0; r < rows; ++r) {
+      double v;
+      std::memcpy(&v, run + static_cast<size_t>(r) * sizeof(double),
+                  sizeof(double));
+      if (std::isnan(v)) continue;
+      if (v < lo) lo = v;
+      if (v > hi) hi = v;
+    }
+    if (std::memcmp(&lo, &zones.numeric_min[static_cast<size_t>(
+                              page_index * info.num_numeric + c)],
+                    sizeof(double)) != 0 ||
+        std::memcmp(&hi, &zones.numeric_max[static_cast<size_t>(
+                              page_index * info.num_numeric + c)],
+                    sizeof(double)) != 0) {
+      return Status::Corruption("zone map disagrees with page content "
+                                "(page " +
+                                std::to_string(page_index) +
+                                ", numeric column " + std::to_string(c) +
+                                ")");
+    }
+  }
+  for (int b = 0; b < info.num_boolean; ++b) {
+    uint8_t lo = 1;
+    uint8_t hi = 0;
+    const uint8_t* run = page.data() + info.boolean_run_offset(b);
+    for (int64_t r = 0; r < rows; ++r) {
+      const uint8_t v = run[r];
+      if (v < lo) lo = v;
+      if (v > hi) hi = v;
+    }
+    if (lo != zones.BooleanMin(page_index, b) ||
+        hi != zones.BooleanMax(page_index, b)) {
+      return Status::Corruption("zone map disagrees with page content "
+                                "(page " +
+                                std::to_string(page_index) +
+                                ", boolean column " + std::to_string(b) +
+                                ")");
+    }
+  }
+  return Status::Ok();
 }
 
 Status WriteRelationToFile(const Relation& relation, const std::string& path,
@@ -472,13 +728,28 @@ Result<Relation> ReadRelationFromFile(const std::string& path,
   std::vector<double> numeric_row(static_cast<size_t>(info.num_numeric));
   std::vector<uint8_t> boolean_row(static_cast<size_t>(info.num_boolean));
   if (info.format_version == 2) {
+    // Full-file loads are the integrity backstop: on top of the per-page
+    // directory/zero-tail checks, cross-check every zone-map entry against
+    // the actual page content when the file carries them.
+    ZoneMapIndex zones;
+    if (info.has_zone_maps) {
+      Result<ZoneMapIndex> zones_or = ReadZoneMapIndex(path, info);
+      if (!zones_or.ok()) {
+        std::fclose(file);
+        return zones_or.status();
+      }
+      zones = std::move(zones_or).value();
+    }
     std::vector<uint8_t> page(info.page_stride());
     for (int64_t p = 0; p < info.num_pages(); ++p) {
       if (std::fread(page.data(), 1, page.size(), file) != page.size()) {
         std::fclose(file);
         return Status::Corruption("truncated file: " + path);
       }
-      const Status valid = ValidateV2Page(info, p, page);
+      Status valid = ValidateV2Page(info, p, page);
+      if (valid.ok() && info.has_zone_maps) {
+        valid = ValidateZoneMapEntry(info, zones, p, page);
+      }
       if (!valid.ok()) {
         std::fclose(file);
         return valid;

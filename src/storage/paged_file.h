@@ -72,6 +72,11 @@ struct PagedFileWriterOptions {
   uint32_t rows_per_page = 0;
   /// Write-buffer size for v1 (v2 buffers exactly one page instead).
   size_t buffer_bytes = 1 << 20;
+  /// v2 only: accumulate per-page per-column min/max (NaN-skipped) while
+  /// writing and append the zone-map trailer readers prune scans with.
+  /// Flagged in the header's reserved word; files written without zone
+  /// maps (and every v1 file) read everywhere, they just never prune.
+  bool zone_maps = true;
 };
 
 /// Buffered sequential writer of a PagedFile.
@@ -124,6 +129,12 @@ class PagedFileWriter {
   /// v2: scatters one row into the staged page's column runs.
   Status AppendRowV2(const double* numeric_values,
                      const uint8_t* boolean_values);
+  /// v2 zone maps: resets the staged page's per-column accumulators to the
+  /// empty sentinels (+inf/-inf, 1/0).
+  void ResetZoneAccumulators();
+  /// v2 zone maps: appends the staged page's accumulated entry to the
+  /// trailer image and resets the accumulators.
+  void AppendZoneEntry();
 
   std::FILE* file_ = nullptr;
   std::string path_;
@@ -139,6 +150,14 @@ class PagedFileWriter {
   size_t directory_bytes_ = 0;
   size_t page_stride_ = 0;
   uint32_t row_in_page_ = 0;
+  // v2 zone maps: per-column accumulators of the page being staged, plus
+  // the growing trailer image appended to the file in Close().
+  bool zone_maps_ = false;
+  std::vector<double> zone_min_;
+  std::vector<double> zone_max_;
+  std::vector<uint8_t> zone_bool_min_;
+  std::vector<uint8_t> zone_bool_max_;
+  std::vector<uint8_t> zone_trailer_;
 };
 
 /// Metadata of an open PagedFile, with the v2 page geometry derived from
@@ -151,6 +170,9 @@ struct PagedFileInfo {
   uint32_t format_version = 1;
   uint32_t rows_per_page = 0;  ///< v2 only; 0 for v1
   size_t header_bytes = kPagedFileHeaderBytes;
+  /// v2 only: the file carries a zone-map trailer after the last page
+  /// (bit 0 of the header's reserved word).
+  bool has_zone_maps = false;
 
   /// v2 geometry. All require format_version == 2.
   size_t directory_bytes() const;
@@ -164,7 +186,58 @@ struct PagedFileInfo {
   int64_t num_pages() const;
   /// Rows actually stored in page `page` (only the last may be partial).
   int64_t rows_in_page(int64_t page) const;
+  /// Byte offset of the zone-map trailer (just past the last page).
+  int64_t zone_map_offset() const;
+  /// On-disk bytes of one page's zone-map entry (nn min/max double pairs
+  /// followed by nb min/max byte pairs, packed).
+  size_t zone_map_entry_bytes() const;
 };
+
+/// In-memory zone-map index of one v2 file: per page and per column the
+/// min/max over the stored values, with NaNs skipped. A page whose numeric
+/// column saw only NaNs carries the empty sentinel (min = +inf > max =
+/// -inf); Boolean min/max are 0/1 bytes, so max == 0 means "no true row in
+/// this page". Scans prune pages with these, so the index is validated
+/// structurally at load time (like the per-page offset directory) and can
+/// be cross-checked against page content with ValidateZoneMapEntry.
+struct ZoneMapIndex {
+  int num_numeric = 0;
+  int num_boolean = 0;
+  int64_t num_pages = 0;
+  /// [page * num_numeric + c]
+  std::vector<double> numeric_min;
+  std::vector<double> numeric_max;
+  /// [page * num_boolean + b]
+  std::vector<uint8_t> boolean_min;
+  std::vector<uint8_t> boolean_max;
+
+  double NumericMin(int64_t page, int c) const {
+    return numeric_min[static_cast<size_t>(page * num_numeric + c)];
+  }
+  double NumericMax(int64_t page, int c) const {
+    return numeric_max[static_cast<size_t>(page * num_numeric + c)];
+  }
+  uint8_t BooleanMin(int64_t page, int b) const {
+    return boolean_min[static_cast<size_t>(page * num_boolean + b)];
+  }
+  uint8_t BooleanMax(int64_t page, int b) const {
+    return boolean_max[static_cast<size_t>(page * num_boolean + b)];
+  }
+};
+
+/// Loads and validates the zone-map trailer of `path` (info must come from
+/// ReadPagedFileInfo on the same file and have has_zone_maps set). Fails
+/// with Corruption on a bad trailer magic, a trailer whose size disagrees
+/// with the page count, NaN bounds, inverted non-sentinel bounds, or
+/// non-0/1 Boolean bounds.
+Result<ZoneMapIndex> ReadZoneMapIndex(const std::string& path,
+                                      const PagedFileInfo& info);
+
+/// Deep integrity check: recomputes page `page_index`'s zone-map entry
+/// from the page image and compares it bit-exactly against the index.
+Status ValidateZoneMapEntry(const PagedFileInfo& info,
+                            const ZoneMapIndex& zones, int64_t page_index,
+                            std::span<const uint8_t> page);
 
 /// Validates one v2 page image against the derived geometry: the stored
 /// column-offset directory must match, and on a partial (last) page every

@@ -1,0 +1,74 @@
+// Content requirements that let a scan skip pages and partitions.
+//
+// A counting scan's channels only ever touch a row through (a) the bucket
+// of a numeric column -- and every non-NaN value lands in SOME bucket, so
+// the only way a column contributes nothing is to be entirely NaN -- and
+// (b) Boolean condition conjunctions, which are false everywhere when any
+// conjunct column has no true row. ScanPruneSpec captures exactly that:
+// one Unit per counting/grid channel listing the columns whose emptiness
+// kills the unit. A page (zone maps) or partition (manifest stats) whose
+// stats kill EVERY unit provably contributes nothing to the scan beyond
+// its row count, so the reader can skip it and account the rows into
+// total_tuples afterwards -- bit-identical to having scanned it.
+//
+// The struct lives in storage (not bucketing) because the paged readers
+// evaluate it against zone maps; bucketing derives it from a
+// MultiCountSpec (DerivePruneSpec in bucketing/counting.h).
+
+#ifndef OPTRULES_STORAGE_SCAN_PRUNE_H_
+#define OPTRULES_STORAGE_SCAN_PRUNE_H_
+
+#include <functional>
+#include <vector>
+
+namespace optrules::storage {
+
+struct ScanPruneSpec {
+  /// One channel's requirements. The unit is DEAD in a page/partition --
+  /// contributes nothing beyond the row count -- iff ANY listed numeric
+  /// column has no non-NaN value there, or ANY listed Boolean column has
+  /// no true row there. (A 1-D channel lists its bucketed column plus its
+  /// condition conjuncts; a grid channel lists both axis columns.)
+  struct Unit {
+    std::vector<int> numeric_columns;
+    std::vector<int> boolean_true;
+  };
+  std::vector<Unit> units;
+
+  bool empty() const { return units.empty(); }
+};
+
+/// True when `spec` is non-empty and every unit is dead under the given
+/// per-column predicates: numeric_has_value(c) = "column c has >= 1
+/// non-NaN value here", boolean_has_true(b) = "column b has >= 1 true row
+/// here". Evaluated per page / per partition, so the indirection cost is
+/// negligible.
+inline bool AllUnitsDead(
+    const ScanPruneSpec& spec,
+    const std::function<bool(int)>& numeric_has_value,
+    const std::function<bool(int)>& boolean_has_true) {
+  if (spec.units.empty()) return false;
+  for (const ScanPruneSpec::Unit& unit : spec.units) {
+    bool dead = false;
+    for (int c : unit.numeric_columns) {
+      if (!numeric_has_value(c)) {
+        dead = true;
+        break;
+      }
+    }
+    if (!dead) {
+      for (int b : unit.boolean_true) {
+        if (!boolean_has_true(b)) {
+          dead = true;
+          break;
+        }
+      }
+    }
+    if (!dead) return false;
+  }
+  return true;
+}
+
+}  // namespace optrules::storage
+
+#endif  // OPTRULES_STORAGE_SCAN_PRUNE_H_

@@ -19,6 +19,7 @@
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -28,6 +29,7 @@
 #include "common/rng.h"
 #include "bucketing/parallel_count.h"
 #include "bucketing/simd_kernels.h"
+#include "bucketing/sort_bucketizer.h"
 #include "common/thread_pool.h"
 #include "datagen/table_generator.h"
 #include "dist/coordinator.h"
@@ -39,6 +41,7 @@
 #include "rules/naive.h"
 #include "rules/optimized_confidence.h"
 #include "rules/optimized_support.h"
+#include "storage/buffer_pool.h"
 #include "storage/columnar_batch.h"
 #include "storage/paged_file.h"
 
@@ -57,7 +60,26 @@ storage::PagedFileWriterOptions FuzzFileFormat(int round) {
   } else if (round % 4 == 2) {
     options.rows_per_page = 64;  // force multiple pages + a partial tail
   }
+  // Zone maps come and go across rounds: every reader must accept
+  // trailer-less v2 files, and pruning may only ever be an optimization.
+  options.zone_maps = round % 3 != 0;
   return options;
+}
+
+/// Rotates the page-cache configuration across paged fuzz rounds: the
+/// unpooled bypass reference path, a deliberately thrashing tiny pool,
+/// and a holds-everything large pool. The pool (when any) must outlive
+/// every source opened against it.
+std::unique_ptr<storage::BufferPool> FuzzPool(int round) {
+  switch (round % 3) {
+    case 0:
+      return nullptr;  // bypass: the uncached direct read path, no pruning
+    case 1:
+      return std::make_unique<storage::BufferPool>(size_t{1} << 14);
+    default:
+      return std::make_unique<storage::BufferPool>(
+          storage::kDefaultBufferPoolBytes);
+  }
 }
 
 struct Instance {
@@ -339,8 +361,10 @@ TEST(EngineDifferentialFuzzTest, NanLadenPagedFilesMatchInMemoryEngine) {
     ASSERT_TRUE(
         storage::WriteRelationToFile(relation, path, FuzzFileFormat(round))
             .ok());
+    const std::unique_ptr<storage::BufferPool> pool = FuzzPool(round);
     auto source_or = storage::PagedFileBatchSource::Open(
-        path, 128 + static_cast<int64_t>(rng.NextBounded(900)));
+        path, 128 + static_cast<int64_t>(rng.NextBounded(900)),
+        storage::PagedReadMode::kDoubleBuffered, pool.get());
     ASSERT_TRUE(source_or.ok());
 
     MiningEngine memory_engine(&relation, options);
@@ -624,11 +648,13 @@ TEST(RegionDifferentialFuzzTest, GridChannelMatchesBuildGridEverywhere) {
     ASSERT_TRUE(
         storage::WriteRelationToFile(relation, path, FuzzFileFormat(round))
             .ok());
+    const std::unique_ptr<storage::BufferPool> file_pool = FuzzPool(round);
     for (const storage::PagedReadMode mode :
          {storage::PagedReadMode::kSynchronous,
           storage::PagedReadMode::kDoubleBuffered}) {
       auto source_or = storage::PagedFileBatchSource::Open(
-          path, 128 + static_cast<int64_t>(rng.NextBounded(400)), mode);
+          path, 128 + static_cast<int64_t>(rng.NextBounded(400)), mode,
+          file_pool.get());
       ASSERT_TRUE(source_or.ok());
       bucketing::MultiCountPlan plan(make_spec());
       bucketing::ExecuteMultiCount(*source_or.value(), &plan, nullptr);
@@ -714,11 +740,13 @@ TEST(RegionDifferentialFuzzTest, PagedEngineRegionsMatchMemoryEngine) {
     ASSERT_TRUE(
         storage::WriteRelationToFile(relation, path, FuzzFileFormat(round))
             .ok());
+    const std::unique_ptr<storage::BufferPool> file_pool = FuzzPool(round);
     for (const storage::PagedReadMode mode :
          {storage::PagedReadMode::kSynchronous,
           storage::PagedReadMode::kDoubleBuffered}) {
       auto source_or = storage::PagedFileBatchSource::Open(
-          path, 128 + static_cast<int64_t>(rng.NextBounded(600)), mode);
+          path, 128 + static_cast<int64_t>(rng.NextBounded(600)), mode,
+          file_pool.get());
       ASSERT_TRUE(source_or.ok());
       MiningEngine file_engine(source_or.value().get(), schema, options);
       ASSERT_TRUE(file_engine.RequestRegionPair(x, y).ok());
@@ -779,6 +807,86 @@ void ExpectIdenticalPlans(const bucketing::MultiCountPlan& a,
     ASSERT_EQ(ga.u, gb.u) << "round " << round << " grid " << g;
     ASSERT_EQ(ga.v, gb.v) << "round " << round << " grid " << g;
   }
+}
+
+TEST(EngineDifferentialFuzzTest, SelectiveConditionPruningIsExact) {
+  // Zone-map pruning under a rare, clustered condition: the condition
+  // Boolean is true only inside a narrow random window, so almost every
+  // page carries no true condition byte and every (conditional) unit of
+  // the spec is provably dead there. The pooled scan must actually skip
+  // pages AND still reproduce the unpooled, unpruned reference bit for
+  // bit -- skipped rows may contribute nothing but total_tuples.
+  Rng rng(FuzzSeed(80808));
+  int64_t pages_skipped = 0;
+  for (int round = 0; round < 8; ++round) {
+    storage::Relation relation = RandomNanRelation(rng);
+    const int64_t rows = relation.NumRows();
+    std::vector<uint8_t>& cond = relation.MutableBooleanColumn(0);
+    const int64_t begin = static_cast<int64_t>(
+        rng.NextBounded(static_cast<uint64_t>(rows)));
+    const int64_t end = std::min<int64_t>(
+        rows, begin + 1 + static_cast<int64_t>(rng.NextBounded(200)));
+    for (int64_t i = 0; i < rows; ++i) {
+      if (i < begin || i >= end) cond[static_cast<size_t>(i)] = 0;
+    }
+
+    const storage::Schema& schema = relation.schema();
+    const auto equi = [&relation](int a) {
+      return bucketing::ExactEquiDepthBoundaries(relation.NumericColumn(a),
+                                                 16);
+    };
+    std::vector<bucketing::BucketBoundaries> base;
+    for (int a = 0; a < schema.num_numeric(); ++a) base.push_back(equi(a));
+    bucketing::MultiCountSpec spec;
+    spec.num_targets = schema.num_boolean();
+    spec.conditions.push_back({0});
+    for (int a = 0; a < schema.num_numeric(); ++a) {
+      bucketing::CountChannel channel;
+      channel.column = a;
+      channel.boundaries = &base[static_cast<size_t>(a)];
+      channel.condition = 0;
+      spec.channels.push_back(std::move(channel));
+    }
+    bucketing::CountChannel summing;
+    summing.column = 0;
+    summing.boundaries = &base[0];
+    summing.condition = 0;
+    summing.count_targets = false;
+    summing.sum_targets = {schema.num_numeric() > 1 ? 1 : 0};
+    spec.channels.push_back(std::move(summing));
+
+    storage::PagedFileWriterOptions file_options;
+    file_options.rows_per_page = 64;  // many prunable pages per file
+    const std::string path = testing::TempDir() + "/fuzz_prune_" +
+                             std::to_string(round) + ".optr";
+    ASSERT_TRUE(
+        storage::WriteRelationToFile(relation, path, file_options).ok());
+
+    const storage::PagedReadMode mode =
+        round % 2 == 0 ? storage::PagedReadMode::kSynchronous
+                       : storage::PagedReadMode::kDoubleBuffered;
+    const int64_t batch_rows =
+        64 + static_cast<int64_t>(rng.NextBounded(500));
+
+    bucketing::MultiCountPlan reference(spec);
+    {
+      auto bypass_or = storage::PagedFileBatchSource::Open(
+          path, batch_rows, mode, /*pool=*/nullptr);
+      ASSERT_TRUE(bypass_or.ok());
+      bucketing::ExecuteMultiCount(*bypass_or.value(), &reference, nullptr);
+    }
+    storage::BufferPool cache(storage::kDefaultBufferPoolBytes);
+    auto pooled_or =
+        storage::PagedFileBatchSource::Open(path, batch_rows, mode, &cache);
+    ASSERT_TRUE(pooled_or.ok());
+    bucketing::MultiCountPlan pruned(spec);
+    bucketing::ExecuteMultiCount(*pooled_or.value(), &pruned, nullptr);
+    ExpectIdenticalPlans(pruned, reference, round);
+    pages_skipped += pooled_or.value()->SourceStats().pages_skipped;
+    std::remove(path.c_str());
+  }
+  // Across the sweep the clustered condition must have made pruning fire.
+  EXPECT_GT(pages_skipped, 0);
 }
 
 TEST(DistDifferentialFuzzTest, PartitionedScanMatchesSingleRelation) {

@@ -599,11 +599,11 @@ TEST(ScanWorkerTest, SubprocessWorkerReportsMissingPartition) {
   scan_spec.spec = &spec;
   // The error comes back as a frame; the daemon survives to serve again.
   Result<MultiCountPlan> missing = worker.value()->CountPartition(
-      testing::TempDir() + "/no_such_partition.optr", scan_spec);
+      testing::TempDir() + "/no_such_partition.optr", scan_spec, nullptr);
   ASSERT_FALSE(missing.ok());
   EXPECT_EQ(missing.status().code(), StatusCode::kIoError);
   Result<MultiCountPlan> still_missing = worker.value()->CountPartition(
-      testing::TempDir() + "/still_missing.optr", scan_spec);
+      testing::TempDir() + "/still_missing.optr", scan_spec, nullptr);
   EXPECT_FALSE(still_missing.ok());
 }
 
@@ -695,6 +695,64 @@ TEST(CoordinatorTest, MixedFormatPartitionsScanIdentically) {
     MultiCountPlan plan(spec);
     ASSERT_TRUE(coordinator.Execute(&plan).ok());
     ExpectPlansIdentical(plan, reference);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CoordinatorTest, ManifestPruningSkipsDeadPartitionsBitExactly) {
+  // Condition Boolean 0 is true only on rows congruent to 0 mod 4; under
+  // round-robin partitioning into 4 partitions every true row lands in
+  // partition 0, so the manifest's per-partition stats prove partitions
+  // 1-3 dead for an all-conditional spec. The coordinator must skip them
+  // before dispatch -- in-process AND subprocess workers -- and still
+  // merge to the single-relation serial reference bit for bit (skipped
+  // partitions contribute their row counts, nothing else).
+  storage::Relation relation = TestRelation(1000, 77);
+  std::vector<uint8_t>& cond = relation.MutableBooleanColumn(0);
+  for (size_t i = 0; i < cond.size(); ++i) {
+    if (i % 4 != 0) cond[i] = 0;
+  }
+  const std::vector<BucketBoundaries> base = BaseBoundaries(relation, 12);
+  MultiCountSpec spec;
+  spec.num_targets = relation.schema().num_boolean();
+  spec.conditions.push_back({0});
+  for (int a = 0; a < relation.schema().num_numeric(); ++a) {
+    CountChannel channel;
+    channel.column = a;
+    channel.boundaries = &base[static_cast<size_t>(a)];
+    channel.condition = 0;
+    spec.channels.push_back(std::move(channel));
+  }
+  CountChannel summing;
+  summing.column = 0;
+  summing.boundaries = &base[0];
+  summing.condition = 0;
+  summing.count_targets = false;
+  summing.sum_targets = {1, 2};
+  spec.channels.push_back(std::move(summing));
+  const MultiCountPlan reference = ReferencePlan(relation, spec);
+
+  const std::string dir = TempDir("coord_prune");
+  PartitionOptions options;
+  options.num_partitions = 4;
+  Result<PartitionedTable> table = PartitionRelation(relation, dir, options);
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  ASSERT_TRUE(table.value().manifest().has_partition_stats);
+
+  std::vector<WorkerKind> kinds = {WorkerKind::kInProcess};
+  if (!ResolveWorkerdPath("").empty()) {
+    kinds.push_back(WorkerKind::kSubprocess);
+  }
+  for (const WorkerKind kind : kinds) {
+    DistributedScanOptions scan_options;
+    scan_options.worker_kind = kind;
+    scan_options.max_workers = 2;
+    DistributedScanCoordinator coordinator(&table.value(), scan_options);
+    MultiCountPlan plan(spec);
+    ASSERT_TRUE(coordinator.Execute(&plan).ok());
+    ExpectPlansIdentical(plan, reference);
+    EXPECT_EQ(coordinator.scan_stats().partitions_skipped, 3);
+    EXPECT_EQ(coordinator.partition_scans(), 1);
   }
   std::filesystem::remove_all(dir);
 }

@@ -1,6 +1,7 @@
 // Tests for PagedFile, tuple streams, and the external merge sort.
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <iterator>
@@ -465,6 +466,10 @@ TEST(PagedFileV2Test, PagesAreFixedStrideAndPartialPageIsZeroFilled) {
   const std::string path = TempPath("partial_page.optr");
   PagedFileWriterOptions options;
   options.rows_per_page = 64;
+  // Raw-layout assertions below measure the exact file size; keep the
+  // optional zone-map trailer out (which also covers the zone-map-less
+  // v2 read path).
+  options.zone_maps = false;
   // 100 rows / 64 per page = one full page + one partial (36 rows).
   const Relation relation = RandomRelation(100, 2, 1, 12);
   ASSERT_TRUE(WriteRelationToFile(relation, path, options).ok());
@@ -667,6 +672,160 @@ TEST(PagedFileV2Test, TupleStreamGathersFromColumnRuns) {
   int64_t count = 0;
   while (stream.Next(&file_view)) ++count;
   EXPECT_EQ(count, 1000);
+  std::remove(path.c_str());
+}
+
+// ----------------------------------------------------------- zone maps ----
+
+TEST(ZoneMapTest, RoundTripValidatesAndCarriesSentinels) {
+  const std::string path = TempPath("zones.optr");
+  Relation relation(Schema::Synthetic(2, 2));
+  // 3 pages of 64: page 1's column 0 is all-NaN (numeric sentinel), and
+  // boolean column 1 is true only inside page 2 (max == 0 elsewhere).
+  for (int64_t i = 0; i < 160; ++i) {
+    const int64_t page = i / 64;
+    const double numeric[] = {
+        page == 1 ? std::nan("") : static_cast<double>(i),
+        1000.0 - static_cast<double>(i)};
+    const uint8_t boolean[] = {1, static_cast<uint8_t>(page == 2 ? 1 : 0)};
+    relation.AppendRow(numeric, boolean);
+  }
+  PagedFileWriterOptions options;
+  options.rows_per_page = 64;
+  ASSERT_TRUE(WriteRelationToFile(relation, path, options).ok());
+
+  Result<PagedFileInfo> info_or = ReadPagedFileInfo(path);
+  ASSERT_TRUE(info_or.ok());
+  const PagedFileInfo& info = info_or.value();
+  ASSERT_TRUE(info.has_zone_maps);
+  Result<ZoneMapIndex> zones_or = ReadZoneMapIndex(path, info);
+  ASSERT_TRUE(zones_or.ok()) << zones_or.status().ToString();
+  const ZoneMapIndex& zones = zones_or.value();
+  ASSERT_EQ(zones.num_pages, 3);
+
+  // Page 0: column 0 spans [0, 63]; page 1: the all-NaN sentinel
+  // (min = +inf > max = -inf); page 2 spans [128, 159].
+  EXPECT_EQ(zones.NumericMin(0, 0), 0.0);
+  EXPECT_EQ(zones.NumericMax(0, 0), 63.0);
+  EXPECT_GT(zones.NumericMin(1, 0), zones.NumericMax(1, 0));
+  EXPECT_EQ(zones.NumericMin(2, 0), 128.0);
+  EXPECT_EQ(zones.NumericMax(2, 0), 159.0);
+  // Boolean 1 has a true row only in page 2.
+  EXPECT_EQ(zones.BooleanMax(0, 1), 0);
+  EXPECT_EQ(zones.BooleanMax(1, 1), 0);
+  EXPECT_EQ(zones.BooleanMax(2, 1), 1);
+  EXPECT_EQ(zones.BooleanMin(0, 0), 1);
+
+  // Deep validation: every stored entry is bit-exactly recomputable from
+  // its page image.
+  const std::vector<uint8_t> bytes = ReadAllBytes(path);
+  const std::span<const uint8_t> all(bytes);
+  for (int64_t page = 0; page < zones.num_pages; ++page) {
+    EXPECT_TRUE(ValidateZoneMapEntry(
+                    info, zones, page,
+                    all.subspan(kPagedFileV2HeaderBytes +
+                                    static_cast<size_t>(page) *
+                                        info.page_stride(),
+                                info.page_stride()))
+                    .ok())
+        << "page " << page;
+  }
+
+  // The whole-file reader cross-checks zone maps on load and still
+  // round-trips the relation exactly.
+  Result<Relation> loaded =
+      ReadRelationFromFile(path, Schema::Synthetic(2, 2));
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().NumericColumn(1), relation.NumericColumn(1));
+  std::remove(path.c_str());
+}
+
+TEST(ZoneMapTest, WriterOptionTurnsTrailerOff) {
+  const std::string path = TempPath("no_zones.optr");
+  PagedFileWriterOptions options;
+  options.zone_maps = false;
+  ASSERT_TRUE(
+      WriteRelationToFile(RandomRelation(100, 2, 1, 5), path, options).ok());
+  Result<PagedFileInfo> info = ReadPagedFileInfo(path);
+  ASSERT_TRUE(info.ok());
+  EXPECT_FALSE(info.value().has_zone_maps);
+  // Zone-map-less v2 files read everywhere; they just never prune.
+  EXPECT_TRUE(ReadRelationFromFile(path, Schema::Synthetic(2, 1)).ok());
+  std::remove(path.c_str());
+}
+
+TEST(ZoneMapTest, TamperedTrailerIsCaught) {
+  const std::string path = TempPath("zones_tamper.optr");
+  PagedFileWriterOptions options;
+  options.rows_per_page = 32;
+  ASSERT_TRUE(
+      WriteRelationToFile(RandomRelation(100, 2, 1, 6), path, options).ok());
+  Result<PagedFileInfo> info_or = ReadPagedFileInfo(path);
+  ASSERT_TRUE(info_or.ok());
+  const PagedFileInfo& info = info_or.value();
+  ASSERT_TRUE(info.has_zone_maps);
+
+  // A plausible-but-wrong bound (min lowered by 1) passes the structural
+  // checks; only the deep bit-exact recompute can catch it.
+  {
+    Result<ZoneMapIndex> zones_or = ReadZoneMapIndex(path, info);
+    ASSERT_TRUE(zones_or.ok());
+    ZoneMapIndex zones = std::move(zones_or).value();
+    zones.numeric_min[0] -= 1.0;
+    const std::vector<uint8_t> bytes = ReadAllBytes(path);
+    EXPECT_FALSE(ValidateZoneMapEntry(
+                     info, zones, 0,
+                     std::span<const uint8_t>(bytes).subspan(
+                         kPagedFileV2HeaderBytes, info.page_stride()))
+                     .ok());
+  }
+
+  // Inverted non-sentinel bounds are rejected structurally at load.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    // First numeric pair of the trailer: [magic u32][4 pad] then min, max.
+    const long min_offset = static_cast<long>(info.zone_map_offset()) + 8;
+    const double huge = 1e300;
+    ASSERT_EQ(std::fseek(f, min_offset, SEEK_SET), 0);
+    ASSERT_EQ(std::fwrite(&huge, sizeof(huge), 1, f), 1u);
+    ASSERT_EQ(std::fclose(f), 0);
+    EXPECT_EQ(ReadZoneMapIndex(path, info).status().code(),
+              StatusCode::kCorruption);
+  }
+
+  // A clobbered trailer magic is caught immediately.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fseek(f, static_cast<long>(info.zone_map_offset()),
+                         SEEK_SET),
+              0);
+    const uint32_t junk = 0xdeadbeef;
+    ASSERT_EQ(std::fwrite(&junk, sizeof(junk), 1, f), 1u);
+    ASSERT_EQ(std::fclose(f), 0);
+    EXPECT_EQ(ReadZoneMapIndex(path, info).status().code(),
+              StatusCode::kCorruption);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ZoneMapTest, TruncatedTrailerIsCaught) {
+  const std::string path = TempPath("zones_trunc.optr");
+  PagedFileWriterOptions options;
+  options.rows_per_page = 32;
+  ASSERT_TRUE(
+      WriteRelationToFile(RandomRelation(100, 2, 1, 7), path, options).ok());
+  Result<PagedFileInfo> info = ReadPagedFileInfo(path);
+  ASSERT_TRUE(info.ok());
+  const std::vector<uint8_t> bytes = ReadAllBytes(path);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size() - 4, f),
+            bytes.size() - 4);
+  ASSERT_EQ(std::fclose(f), 0);
+  EXPECT_EQ(ReadZoneMapIndex(path, info.value()).status().code(),
+            StatusCode::kCorruption);
   std::remove(path.c_str());
 }
 
