@@ -22,6 +22,7 @@ enum class StatusCode {
   kCorruption,
   kOutOfRange,
   kInternal,
+  kDeadlineExceeded,
 };
 
 /// Returns a stable human-readable name for `code` ("OK", "IoError", ...).
@@ -59,6 +60,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   /// True iff this status represents success.

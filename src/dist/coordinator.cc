@@ -1,6 +1,10 @@
 #include "dist/coordinator.h"
 
 #include <algorithm>
+#include <cmath>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
 #include <optional>
 #include <thread>
 #include <utility>
@@ -14,6 +18,64 @@ DistributedScanCoordinator::DistributedScanCoordinator(
   OPTRULES_CHECK(table != nullptr);
   OPTRULES_CHECK(options_.max_workers >= 0);
   OPTRULES_CHECK(options_.batch_rows >= 1);
+  OPTRULES_CHECK(options_.max_partition_attempts >= 1);
+  OPTRULES_CHECK(options_.max_respawns >= 0);
+  OPTRULES_CHECK(options_.retry_backoff >= 1.0);
+}
+
+Result<std::unique_ptr<ScanWorker>>
+DistributedScanCoordinator::MakeWorker() {
+  if (options_.worker_factory) return options_.worker_factory();
+  if (options_.worker_kind == WorkerKind::kInProcess) {
+    return std::unique_ptr<ScanWorker>(
+        std::make_unique<InProcessScanWorker>());
+  }
+  Result<std::unique_ptr<SubprocessScanWorker>> worker =
+      SubprocessScanWorker::Spawn(ResolveWorkerdPath(options_.workerd_path));
+  if (!worker.ok()) return worker.status();
+  return std::unique_ptr<ScanWorker>(std::move(worker).value());
+}
+
+Status DistributedScanCoordinator::RepairRoster(int workers) {
+  if (static_cast<int>(roster_.size()) != workers) {
+    // Worker-count change (or first Execute): build a fresh roster.
+    // Spawns can fail (missing daemon binary), so the roster is
+    // completed before any scan starts.
+    roster_.clear();
+    roster_.reserve(static_cast<size_t>(workers));
+    for (int w = 0; w < workers; ++w) {
+      Result<std::unique_ptr<ScanWorker>> worker = MakeWorker();
+      if (!worker.ok()) {
+        roster_.clear();
+        return worker.status();
+      }
+      roster_.push_back(std::move(worker).value());
+    }
+    return Status::Ok();
+  }
+  // Reused roster: keep every worker that is still live, replace only the
+  // broken ones. A daemon that died since the last Execute (or a slot a
+  // failed Execute already discarded) shows up as a null/unhealthy slot
+  // or a failed ping; each replacement of a previously-live worker counts
+  // as a respawn.
+  const int64_t ping_timeout_ms =
+      options_.liveness_timeout_ms > 0 ? options_.liveness_timeout_ms
+                                       : 2'000;
+  for (int w = 0; w < workers; ++w) {
+    std::unique_ptr<ScanWorker>& slot = roster_[static_cast<size_t>(w)];
+    if (slot != nullptr && slot->healthy() &&
+        slot->Ping(ping_timeout_ms).ok()) {
+      continue;
+    }
+    Result<std::unique_ptr<ScanWorker>> worker = MakeWorker();
+    if (!worker.ok()) {
+      slot = nullptr;
+      return worker.status();
+    }
+    slot = std::move(worker).value();
+    ++scan_stats_.workers_respawned;
+  }
+  return Status::Ok();
 }
 
 Status DistributedScanCoordinator::Execute(bucketing::MultiCountPlan* plan) {
@@ -24,33 +86,13 @@ Status DistributedScanCoordinator::Execute(bucketing::MultiCountPlan* plan) {
           ? partitions
           : std::min(options_.max_workers, partitions);
 
-  // One worker per concurrent slot, built on first use and kept for the
-  // coordinator's lifetime (supplemental scans reuse the same daemons).
-  // Subprocess spawns can fail (missing daemon binary), so the roster is
-  // completed before any scan starts.
-  if (static_cast<int>(roster_.size()) != workers) {
-    roster_.clear();
-    roster_.reserve(static_cast<size_t>(workers));
-    for (int w = 0; w < workers; ++w) {
-      if (options_.worker_kind == WorkerKind::kInProcess) {
-        roster_.push_back(std::make_unique<InProcessScanWorker>());
-      } else {
-        Result<std::unique_ptr<SubprocessScanWorker>> worker =
-            SubprocessScanWorker::Spawn(
-                ResolveWorkerdPath(options_.workerd_path));
-        if (!worker.ok()) {
-          roster_.clear();
-          return worker.status();
-        }
-        roster_.push_back(std::move(worker).value());
-      }
-    }
-  }
+  OPTRULES_RETURN_IF_ERROR(RepairRoster(workers));
 
-  PartitionScanSpec scan_spec;
-  scan_spec.spec = &plan->spec();
-  scan_spec.batch_rows = options_.batch_rows;
-  scan_spec.read_mode = options_.read_mode;
+  PartitionScanSpec base_spec;
+  base_spec.spec = &plan->spec();
+  base_spec.batch_rows = options_.batch_rows;
+  base_spec.read_mode = options_.read_mode;
+  base_spec.liveness_timeout_ms = options_.liveness_timeout_ms;
 
   // Manifest pruning happens before any dispatch: a partition whose
   // per-partition stats prove it dead under the spec's derived ranges
@@ -66,50 +108,225 @@ Status DistributedScanCoordinator::Execute(bucketing::MultiCountPlan* plan) {
     }
   }
 
-  // Static partition assignment: worker w serves partitions w, w+W, ...
-  // sequentially. Each slot stores its partial (or error) and scan stats
-  // by partition index; nothing is merged until every scan finished, so
-  // the merge below runs strictly in partition order no matter which
-  // worker finished first.
+  // Scheduler state, all guarded by `mu`. Results land keyed by partition
+  // index and nothing merges until every live partition is done, so the
+  // merge below runs strictly in partition order no matter which worker
+  // (or which ATTEMPT -- retries and speculative duplicates produce the
+  // same bits) finished first.
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<int> pending;  // claimable live partitions, index order
   std::vector<std::optional<bucketing::MultiCountPlan>> partials(
       static_cast<size_t>(partitions));
-  std::vector<Status> errors(static_cast<size_t>(partitions));
   std::vector<storage::BatchSourceStats> stats(
       static_cast<size_t>(partitions));
+  std::vector<Status> errors(static_cast<size_t>(partitions));
+  std::vector<int> attempts(static_cast<size_t>(partitions), 0);
+  std::vector<int> inflight(static_cast<size_t>(partitions), 0);
+  std::vector<char> done(static_cast<size_t>(partitions), 0);
+  std::vector<char> speculated(static_cast<size_t>(partitions), 0);
+  std::vector<char> slot_dead(static_cast<size_t>(workers), 0);
+  int undone = 0;
+  for (int p = 0; p < partitions; ++p) {
+    if (dead[static_cast<size_t>(p)] != 0) continue;
+    pending.push_back(p);
+    ++undone;
+  }
+  bool failed = false;
+  Status global_failure;  // set when the fleet dies, not one partition
+  int respawns_left = options_.max_respawns;
+  int active_workers = workers;
+  int64_t retries = 0;
+  int64_t respawned = 0;
+  int64_t stolen = 0;
+
+  // What slot w could run right now (mu held). Order of preference: its
+  // own static stride, then -- per scheduling mode -- someone else's
+  // unstarted partition (a steal) or an orphaned/retried partition, then
+  // a speculative duplicate of the in-flight tail.
+  enum class ClaimKind { kNone, kQueued, kSpeculative };
+  struct Claim {
+    ClaimKind kind = ClaimKind::kNone;
+    int partition = -1;
+  };
+  const auto find_claim = [&](int w) -> Claim {
+    for (const int p : pending) {
+      if (p % workers == w) return {ClaimKind::kQueued, p};
+    }
+    if (options_.scheduling == ScanScheduling::kWorkQueue) {
+      if (!pending.empty()) return {ClaimKind::kQueued, pending.front()};
+    } else {
+      // Strict static schedule: foreign partitions are claimable only as
+      // failover -- retries, or stride partitions whose owner slot died.
+      for (const int p : pending) {
+        if (attempts[static_cast<size_t>(p)] > 0 ||
+            slot_dead[static_cast<size_t>(p % workers)] != 0) {
+          return {ClaimKind::kQueued, p};
+        }
+      }
+    }
+    if (options_.speculative_tail && pending.empty()) {
+      for (int p = 0; p < partitions; ++p) {
+        if (done[static_cast<size_t>(p)] == 0 &&
+            dead[static_cast<size_t>(p)] == 0 &&
+            inflight[static_cast<size_t>(p)] == 1 &&
+            speculated[static_cast<size_t>(p)] == 0) {
+          return {ClaimKind::kSpeculative, p};
+        }
+      }
+    }
+    return {};
+  };
+
   const auto serve = [&](int w) {
-    for (int p = w; p < partitions; p += workers) {
-      if (dead[static_cast<size_t>(p)] != 0) continue;
+    for (;;) {
+      Claim claim;
+      int attempt = 0;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] {
+          return failed || undone == 0 ||
+                 find_claim(w).kind != ClaimKind::kNone;
+        });
+        if (failed || undone == 0) return;
+        claim = find_claim(w);
+        const size_t p = static_cast<size_t>(claim.partition);
+        if (claim.kind == ClaimKind::kQueued) {
+          pending.erase(
+              std::find(pending.begin(), pending.end(), claim.partition));
+          if (claim.partition % workers != w && attempts[p] == 0) {
+            ++stolen;
+          }
+        } else {
+          speculated[p] = 1;
+        }
+        attempt = attempts[p];
+        ++inflight[p];
+      }
+
+      PartitionScanSpec scan_spec = base_spec;
+      if (options_.partition_deadline_ms > 0) {
+        // Exponential backoff: retries of one partition get a longer
+        // deadline each time, so a tuned deadline cannot starve a
+        // genuinely slow partition indefinitely.
+        scan_spec.deadline_ms = static_cast<int64_t>(
+            static_cast<double>(options_.partition_deadline_ms) *
+            std::pow(options_.retry_backoff, attempt));
+      }
+      storage::BatchSourceStats attempt_stats;
       Result<bucketing::MultiCountPlan> partial =
           roster_[static_cast<size_t>(w)]->CountPartition(
-              table_->PartitionPath(p), scan_spec,
-              &stats[static_cast<size_t>(p)]);
+              table_->PartitionPath(claim.partition), scan_spec,
+              &attempt_stats);
+
+      std::unique_lock<std::mutex> lock(mu);
+      const size_t p = static_cast<size_t>(claim.partition);
+      --inflight[p];
       if (partial.ok()) {
-        partials[static_cast<size_t>(p)].emplace(
-            std::move(partial).value());
-      } else {
-        errors[static_cast<size_t>(p)] = partial.status();
+        // First bit-exact partial wins; a duplicate (speculative run, or
+        // a retry racing its predecessor) is identical by construction
+        // and is discarded, never double-merged.
+        if (done[p] == 0) {
+          done[p] = 1;
+          partials[p].emplace(std::move(partial).value());
+          stats[p] = attempt_stats;
+          --undone;
+          if (undone == 0) cv.notify_all();
+        }
+      } else if (done[p] == 0) {
+        ++attempts[p];
+        errors[p] = partial.status();
+        const bool retryable =
+            partial.status().code() != StatusCode::kInvalidArgument;
+        if (retryable && attempts[p] < options_.max_partition_attempts) {
+          // Head of the queue: a wounded partition re-dispatches before
+          // fresh work so its backoff clock starts immediately.
+          pending.push_front(claim.partition);
+          ++retries;
+          cv.notify_all();
+        } else if (inflight[p] == 0) {
+          failed = true;
+          cv.notify_all();
+        }
+        // else: another attempt at p is still in flight and may yet
+        // succeed; its completion decides the partition's fate.
+      }
+
+      if (!roster_[static_cast<size_t>(w)]->healthy()) {
+        // This slot's transport broke (daemon crashed, hung, or spoke
+        // garbage). Respawn within budget; otherwise retire the slot --
+        // remaining work fails over to the surviving slots.
+        std::unique_ptr<ScanWorker> fresh;
+        Status spawn_status;
+        if (respawns_left > 0) {
+          --respawns_left;
+          lock.unlock();
+          Result<std::unique_ptr<ScanWorker>> spawned = MakeWorker();
+          lock.lock();
+          if (spawned.ok()) {
+            fresh = std::move(spawned).value();
+          } else {
+            spawn_status = spawned.status();
+          }
+        } else {
+          spawn_status = Status::IoError(
+              "worker respawn budget exhausted for this scan");
+        }
+        if (fresh != nullptr) {
+          roster_[static_cast<size_t>(w)] = std::move(fresh);
+          ++respawned;
+        } else {
+          slot_dead[static_cast<size_t>(w)] = 1;
+          if (--active_workers == 0 && undone > 0 && !failed) {
+            failed = true;
+            global_failure = spawn_status;
+          }
+          // Static-mode peers may now claim this slot's stride.
+          cv.notify_all();
+          return;
+        }
       }
     }
   };
-  if (workers == 1) {
-    serve(0);
-  } else {
-    std::vector<std::thread> threads;
-    threads.reserve(static_cast<size_t>(workers));
-    for (int w = 0; w < workers; ++w) threads.emplace_back(serve, w);
-    for (std::thread& thread : threads) thread.join();
-  }
 
-  for (int p = 0; p < partitions; ++p) {
-    if (!errors[static_cast<size_t>(p)].ok()) {
-      // A failed scan may have left a daemon in an unknown pipe state;
-      // drop the roster so the next Execute starts from fresh workers.
-      roster_.clear();
-      return errors[static_cast<size_t>(p)];
+  if (undone > 0) {
+    if (workers == 1) {
+      serve(0);
+    } else {
+      std::vector<std::thread> threads;
+      threads.reserve(static_cast<size_t>(workers));
+      for (int w = 0; w < workers; ++w) threads.emplace_back(serve, w);
+      for (std::thread& thread : threads) thread.join();
     }
   }
+
+  scan_stats_.retries += retries;
+  scan_stats_.workers_respawned += respawned;
+  scan_stats_.partitions_stolen += stolen;
+
+  // Keep the roster, but null out any worker whose transport broke (a
+  // retired slot, or a worker that went unhealthy on its final attempt):
+  // the next Execute replaces exactly those, and ONLY those -- healthy
+  // daemons keep serving even after a failed scan.
+  for (std::unique_ptr<ScanWorker>& slot : roster_) {
+    if (slot != nullptr && !slot->healthy()) slot = nullptr;
+  }
+
+  if (failed || undone > 0) {
+    for (int p = 0; p < partitions; ++p) {
+      if (dead[static_cast<size_t>(p)] == 0 &&
+          done[static_cast<size_t>(p)] == 0 &&
+          !errors[static_cast<size_t>(p)].ok()) {
+        return errors[static_cast<size_t>(p)];
+      }
+    }
+    if (!global_failure.ok()) return global_failure;
+    return Status::Internal("distributed scan failed without a status");
+  }
+
   // Deterministic merge: fixed partition order, independent of worker
-  // scheduling. Pruned partitions enter as pure row-count additions.
+  // scheduling, retries, and speculation. Pruned partitions enter as
+  // pure row-count additions.
   int64_t scanned = 0;
   for (int p = 0; p < partitions; ++p) {
     if (dead[static_cast<size_t>(p)] != 0) {

@@ -12,12 +12,24 @@
 // sums for any worker count (the merged sums can differ from a single
 // unpartitioned file's serial chain only in the last ulp, exactly as the
 // row-sharded pool schedule already documents).
+//
+// Fault tolerance rides on the same purity: a partition whose scan fails
+// (error frame, dead pipe, crashed or hung daemon) is simply re-run -- on
+// a surviving worker, or on a freshly respawned daemon when the failed
+// worker's transport broke -- and every re-run produces the same bits, so
+// retries, work stealing, and speculative duplicates never change the
+// merged result. Scheduling decides only WHO scans a partition and WHEN;
+// the merge consumes exactly one partial per live partition, in partition
+// order, no matter how many attempts produced it.
 
 #ifndef OPTRULES_DIST_COORDINATOR_H_
 #define OPTRULES_DIST_COORDINATOR_H_
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "bucketing/counting.h"
 #include "common/status.h"
@@ -32,18 +44,57 @@ enum class WorkerKind {
   kSubprocess,  ///< forked optrules_workerd daemons over pipes
 };
 
+/// How partitions are handed to worker slots.
+enum class ScanScheduling {
+  /// Each slot prefers its static stride (w, w+W, ...) but an idle slot
+  /// steals unstarted partitions from slow peers. The default: same
+  /// merged bits as kStatic, better wall clock under stragglers.
+  kWorkQueue,
+  /// Strict static assignment (slot w serves exactly w, w+W, ...);
+  /// retried partitions still fail over to any live slot. Kept for
+  /// benchmarking the stealing win and for reproducing old schedules.
+  kStatic,
+};
+
 /// Fan-out parameters of a distributed scan.
 struct DistributedScanOptions {
   WorkerKind worker_kind = WorkerKind::kInProcess;
-  /// Concurrent workers; 0 = one per partition. Worker w serves
-  /// partitions w, w + W, w + 2W, ... sequentially. The worker count
-  /// never changes results, only wall clock.
+  /// Concurrent worker slots; 0 = one per partition. The worker count
+  /// and schedule never change results, only wall clock.
   int max_workers = 0;
   int64_t batch_rows = storage::kDefaultBatchRows;
   storage::PagedReadMode read_mode =
       storage::PagedReadMode::kDoubleBuffered;
   /// optrules_workerd binary for kSubprocess; empty = $OPTRULES_WORKERD.
   std::string workerd_path;
+
+  ScanScheduling scheduling = ScanScheduling::kWorkQueue;
+  /// Total attempts (first try + retries) a partition gets before its
+  /// failure fails the scan. InvalidArgument failures are permanent and
+  /// never retried; everything else -- error frames, dead pipes, corrupt
+  /// frames, deadline expiries -- is presumed transient.
+  int max_partition_attempts = 3;
+  /// Budget of replacement workers per Execute(): how many broken-
+  /// transport workers (crashed/hung daemons) may be respawned before
+  /// the slot is abandoned. The scan itself fails only when no live
+  /// slots remain with partitions still undone.
+  int max_respawns = 8;
+  /// Per-attempt reply deadline in ms; 0 = none. Grows by retry_backoff
+  /// per retry of the same partition, so a deadline tuned to the common
+  /// case does not starve a genuinely slow partition forever.
+  int64_t partition_deadline_ms = 0;
+  double retry_backoff = 2.0;
+  /// Max silent gap before a subprocess worker counts as hung (daemons
+  /// heartbeat every ~100 ms mid-scan); 0 = none. A hung daemon is
+  /// SIGKILLed, reaped, and its partition retried.
+  int64_t liveness_timeout_ms = 10'000;
+  /// When the pending queue drains, idle slots may re-run the still
+  /// in-flight tail partition; the first bit-exact partial wins and
+  /// duplicates are discarded, so this only cuts tail latency.
+  bool speculative_tail = false;
+  /// Test/bench hook: when set, every worker (initial roster and
+  /// respawns) comes from this factory instead of worker_kind.
+  std::function<Result<std::unique_ptr<ScanWorker>>()> worker_factory;
 };
 
 /// Drives one MultiCountSpec over every partition of a table.
@@ -58,30 +109,46 @@ class DistributedScanCoordinator {
   /// stats prove dead under the spec's derived prune ranges are never
   /// dispatched at all; their row counts enter the plan through
   /// AddSkippedRows during the merge, so the merged result stays
-  /// bit-identical to a no-pruning run. On error the plan's accumulated
-  /// state is unspecified; the first failing partition's status (lowest
-  /// partition index) is returned.
+  /// bit-identical to a no-pruning run. Failed partition scans are
+  /// retried per DistributedScanOptions (failing workers replaced up to
+  /// the respawn budget); the scan fails only when some partition
+  /// exhausts its attempts or no live workers remain, and then the
+  /// failed partition with the lowest index determines the returned
+  /// status. On error the plan's accumulated state is unspecified.
   Status Execute(bucketing::MultiCountPlan* plan);
 
-  /// Physical partition scans executed across all Execute() calls
-  /// (pruned partitions are not counted -- they were never scanned).
+  /// Partition scans MERGED across all Execute() calls: one per live
+  /// partition per successful scan. Pruned partitions are not counted
+  /// (never scanned); failed or duplicate attempts are not counted
+  /// either (tracked by scan_stats().retries instead), so this is the
+  /// logical scan count, independent of fault injection.
   int64_t partition_scans() const { return partition_scans_; }
 
-  /// Cache/pruning counters accumulated across all Execute() calls:
-  /// partitions_skipped from coordinator-side manifest pruning, the rest
-  /// folded from per-partition worker stats (subprocess workers report
-  /// pages_skipped only; their buffer-pool hits stay in the daemon).
+  /// Counters accumulated across all Execute() calls: cache/pruning
+  /// stats folded from per-partition worker stats (subprocess workers
+  /// report pages_skipped only; their buffer-pool hits stay in the
+  /// daemon), partitions_skipped from coordinator-side manifest pruning,
+  /// plus the fault-tolerance counters retries, workers_respawned, and
+  /// partitions_stolen.
   storage::BatchSourceStats scan_stats() const { return scan_stats_; }
 
  private:
+  /// Builds one worker per options_ (factory > worker_kind).
+  Result<std::unique_ptr<ScanWorker>> MakeWorker();
+  /// Ensures roster_ holds `workers` live workers: full rebuild on size
+  /// change, otherwise pings survivors and replaces the broken ones
+  /// (replacements of previously-live workers count as respawns).
+  Status RepairRoster(int workers);
+
   const PartitionedTable* table_;
   DistributedScanOptions options_;
   int64_t partition_scans_ = 0;
   storage::BatchSourceStats scan_stats_;
   /// Worker roster, built on first Execute() and reused by later scans
   /// (a subprocess daemon serves many requests over one pipe, so a
-  /// session with supplemental scans does not re-fork per scan). Dropped
-  /// after a failed Execute so the next call starts from fresh workers.
+  /// session with supplemental scans does not re-fork per scan). After a
+  /// failed Execute only the workers that actually broke are dropped;
+  /// healthy daemons keep serving the next call.
   std::vector<std::unique_ptr<ScanWorker>> roster_;
 };
 

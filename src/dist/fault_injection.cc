@@ -1,0 +1,30 @@
+#include "dist/fault_injection.h"
+
+#include <chrono>
+#include <thread>
+
+namespace optrules::dist {
+
+Result<bucketing::MultiCountPlan> FaultInjectingScanWorker::CountPartition(
+    const std::string& partition_path, const PartitionScanSpec& spec,
+    storage::BatchSourceStats* stats) {
+  if (!healthy_) {
+    return Status::IoError("fault-injected worker is down");
+  }
+  const int64_t ordinal = calls_++;
+  for (const InjectedFault& fault : faults_) {
+    if (fault.at_call != ordinal) continue;
+    if (fault.delay_ms > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(fault.delay_ms));
+    }
+    if (!fault.status.ok()) {
+      if (fault.mark_unhealthy) healthy_ = false;
+      return fault.status;
+    }
+    break;  // delay-only fault: fall through to the real scan
+  }
+  return inner_->CountPartition(partition_path, spec, stats);
+}
+
+}  // namespace optrules::dist

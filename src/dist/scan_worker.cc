@@ -1,5 +1,7 @@
 #include "dist/scan_worker.h"
 
+#include <cerrno>
+#include <chrono>
 #include <csignal>
 #include <cstdlib>
 #include <utility>
@@ -25,6 +27,38 @@ void IgnoreSigpipeOnce() {
     return true;
   }();
   (void)ignored;
+}
+
+int64_t NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Reaps `pid` without blocking forever: WNOHANG polling for `budget_ms`,
+/// escalating through `escalate_sig` (SIGTERM, then SIGKILL) when the
+/// child has not exited by the end of a budget slice. The final SIGKILL
+/// wait is blocking -- after SIGKILL the child cannot run user code, so
+/// the wait is bounded by kernel teardown, not by daemon behavior.
+void ReapWithEscalation(pid_t pid, int64_t wnohang_budget_ms,
+                        int64_t sigterm_budget_ms) {
+  if (pid <= 0) return;
+  int wstatus = 0;
+  const auto poll_until = [&](int64_t budget_ms) {
+    const int64_t deadline = NowMs() + budget_ms;
+    do {
+      const pid_t done = ::waitpid(pid, &wstatus, WNOHANG);
+      if (done == pid || (done < 0 && errno != EINTR)) return true;
+      ::usleep(5 * 1000);
+    } while (NowMs() < deadline);
+    return false;
+  };
+  if (poll_until(wnohang_budget_ms)) return;
+  ::kill(pid, SIGTERM);
+  if (poll_until(sigterm_budget_ms)) return;
+  ::kill(pid, SIGKILL);
+  while (::waitpid(pid, &wstatus, 0) < 0 && errno == EINTR) {
+  }
 }
 
 }  // namespace
@@ -112,15 +146,44 @@ Result<std::unique_ptr<SubprocessScanWorker>> SubprocessScanWorker::Spawn(
 SubprocessScanWorker::~SubprocessScanWorker() {
   if (to_child_ >= 0) {
     // Best-effort shutdown frame; closing the pipe alone also ends the
-    // worker loop (clean EOF).
-    const uint8_t shutdown[] = {static_cast<uint8_t>(FrameKind::kShutdown)};
-    (void)WriteFrame(to_child_, shutdown);
+    // worker loop (clean EOF). Skipped on an unhealthy worker: its pipe
+    // state is unknown and the write could block on a full buffer.
+    if (healthy_) {
+      const uint8_t shutdown[] = {
+          static_cast<uint8_t>(FrameKind::kShutdown)};
+      (void)WriteFrame(to_child_, shutdown);
+    }
     ::close(to_child_);
+    to_child_ = -1;
   }
-  if (from_child_ >= 0) ::close(from_child_);
+  if (from_child_ >= 0) {
+    ::close(from_child_);
+    from_child_ = -1;
+  }
+  // WNOHANG poll first (a healthy daemon exits promptly on EOF/shutdown),
+  // then SIGTERM, then SIGKILL: a wedged daemon can never hang the
+  // embedding process at shutdown.
+  ReapWithEscalation(pid_, /*wnohang_budget_ms=*/50,
+                     /*sigterm_budget_ms=*/200);
+  pid_ = -1;
+}
+
+void SubprocessScanWorker::KillNow() {
+  healthy_ = false;
+  if (to_child_ >= 0) {
+    ::close(to_child_);
+    to_child_ = -1;
+  }
+  if (from_child_ >= 0) {
+    ::close(from_child_);
+    from_child_ = -1;
+  }
   if (pid_ > 0) {
+    ::kill(pid_, SIGKILL);
     int wstatus = 0;
-    (void)::waitpid(pid_, &wstatus, 0);
+    while (::waitpid(pid_, &wstatus, 0) < 0 && errno == EINTR) {
+    }
+    pid_ = -1;
   }
 }
 
@@ -128,29 +191,78 @@ Result<bucketing::MultiCountPlan> SubprocessScanWorker::CountPartition(
     const std::string& partition_path, const PartitionScanSpec& spec,
     storage::BatchSourceStats* stats) {
   OPTRULES_CHECK(spec.spec != nullptr);
+  if (!healthy_) {
+    return Status::IoError("subprocess worker already failed; respawn it");
+  }
   std::vector<uint8_t> request;
   EncodeScanRequest(partition_path, spec.batch_rows, spec.read_mode,
                     *spec.spec, &request);
-  OPTRULES_RETURN_IF_ERROR(WriteFrame(to_child_, request));
-  std::vector<uint8_t> reply;
-  const Status read = ReadFrame(from_child_, &reply);
-  if (read.code() == StatusCode::kNotFound) {
-    return Status::IoError("worker daemon exited before replying: " +
-                           partition_path);
+  const Status wrote = WriteFrame(to_child_, request);
+  if (!wrote.ok()) {
+    // EPIPE: the daemon died between requests. Reap it now.
+    KillNow();
+    return wrote;
   }
-  OPTRULES_RETURN_IF_ERROR(read);
-  if (reply.empty()) {
-    return Status::Corruption("empty reply frame from worker");
+  const int64_t start_ms = NowMs();
+  std::vector<uint8_t> reply;
+  for (;;) {
+    FrameTimeouts timeouts;
+    timeouts.liveness_ms = spec.liveness_timeout_ms;
+    if (spec.deadline_ms > 0) {
+      // Heartbeat frames reset the liveness clock but never the total
+      // deadline: recompute the remaining budget each iteration.
+      const int64_t remaining = spec.deadline_ms - (NowMs() - start_ms);
+      if (remaining <= 0) {
+        KillNow();
+        return Status::DeadlineExceeded(
+            "partition scan deadline exceeded: " + partition_path);
+      }
+      timeouts.total_ms = remaining;
+    }
+    const Status read = ReadFrameTimed(from_child_, &reply, timeouts);
+    if (read.code() == StatusCode::kNotFound) {
+      // Clean EOF: the daemon exited (crashed, or exec failed). Reap.
+      KillNow();
+      return Status::IoError("worker daemon exited before replying: " +
+                             partition_path);
+    }
+    if (read.code() == StatusCode::kDeadlineExceeded) {
+      // Hung (liveness) or over-deadline daemon: it may be wedged
+      // mid-scan holding resources, so SIGKILL it immediately.
+      KillNow();
+      return read;
+    }
+    if (!read.ok()) {
+      // Mid-frame EOF or I/O failure: pipe state unknown.
+      KillNow();
+      return read;
+    }
+    if (reply.empty()) {
+      KillNow();
+      return Status::Corruption("empty reply frame from worker");
+    }
+    if (static_cast<FrameKind>(reply[0]) == FrameKind::kHeartbeat) {
+      continue;  // mid-scan keepalive, not the reply
+    }
+    break;
   }
   const FrameKind kind = static_cast<FrameKind>(reply[0]);
+  // A clean error frame means the daemon served the request and reported
+  // a failure: the transport is intact and the worker stays healthy.
   if (kind == FrameKind::kError) return DecodeErrorFrame(reply);
   if (kind != FrameKind::kScanResult) {
+    // Garbage on the reply stream: everything after this byte is suspect.
+    KillNow();
     return Status::Corruption("unexpected reply frame kind from worker");
   }
   // kScanResult payload: [kind][u64 pages_skipped][partial plan state].
   uint64_t pages_skipped = 0;
   bytes::ByteReader header(std::span<const uint8_t>(reply).subspan(1));
-  OPTRULES_RETURN_IF_ERROR(header.ReadScalar(&pages_skipped));
+  const Status header_read = header.ReadScalar(&pages_skipped);
+  if (!header_read.ok()) {
+    KillNow();
+    return header_read;
+  }
   if (stats != nullptr) {
     *stats = {};
     stats->pages_skipped = static_cast<int64_t>(pages_skipped);
@@ -158,9 +270,56 @@ Result<bucketing::MultiCountPlan> SubprocessScanWorker::CountPartition(
   // Rebuild the partial locally from the coordinator-side spec, then load
   // the worker's bit-exact accumulator state into it.
   bucketing::MultiCountPlan plan(*spec.spec);
-  OPTRULES_RETURN_IF_ERROR(plan.LoadPartialState(
-      std::span<const uint8_t>(reply).subspan(1 + sizeof(uint64_t))));
+  const Status loaded = plan.LoadPartialState(
+      std::span<const uint8_t>(reply).subspan(1 + sizeof(uint64_t)));
+  if (!loaded.ok()) {
+    KillNow();
+    return loaded;
+  }
   return plan;
+}
+
+Status SubprocessScanWorker::Ping(int64_t timeout_ms) {
+  if (!healthy_) {
+    return Status::IoError("subprocess worker already failed");
+  }
+  const uint8_t ping[] = {static_cast<uint8_t>(FrameKind::kPing)};
+  const Status wrote = WriteFrame(to_child_, ping);
+  if (!wrote.ok()) {
+    KillNow();
+    return wrote;
+  }
+  const int64_t start_ms = NowMs();
+  std::vector<uint8_t> reply;
+  for (;;) {
+    FrameTimeouts timeouts;
+    if (timeout_ms > 0) {
+      const int64_t remaining = timeout_ms - (NowMs() - start_ms);
+      if (remaining <= 0) {
+        KillNow();
+        return Status::DeadlineExceeded("worker ping timed out");
+      }
+      timeouts.total_ms = remaining;
+    }
+    const Status read = ReadFrameTimed(from_child_, &reply, timeouts);
+    if (!read.ok()) {
+      KillNow();
+      return read.code() == StatusCode::kNotFound
+                 ? Status::IoError("worker daemon exited")
+                 : read;
+    }
+    if (!reply.empty() &&
+        static_cast<FrameKind>(reply[0]) == FrameKind::kHeartbeat) {
+      continue;  // stale keepalive from an earlier scan
+    }
+    break;
+  }
+  if (reply.empty() ||
+      static_cast<FrameKind>(reply[0]) != FrameKind::kPong) {
+    KillNow();
+    return Status::Corruption("unexpected ping reply from worker");
+  }
+  return Status::Ok();
 }
 
 std::string ResolveWorkerdPath(const std::string& configured) {

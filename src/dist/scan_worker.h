@@ -16,7 +16,14 @@
 // Worker partials are always the serial (pool == nullptr) chain: a pure
 // function of (partition file, spec), which is what makes the
 // coordinator's fixed-order merge deterministic for ANY worker count and
-// worker kind. Parallelism comes from scanning partitions concurrently.
+// worker kind -- and what makes retry, failover, and speculative
+// re-execution safe: every re-run of a partition produces the same bits,
+// so the coordinator can merge whichever attempt finishes first.
+//
+// Failure semantics: a worker whose transport broke (dead pipe, truncated
+// or garbage frame, deadline expiry) reports healthy() == false and must
+// be discarded -- its pipe state is unknown. A clean kError frame leaves
+// the worker healthy: the daemon answered, only the request failed.
 
 #ifndef OPTRULES_DIST_SCAN_WORKER_H_
 #define OPTRULES_DIST_SCAN_WORKER_H_
@@ -41,6 +48,14 @@ struct PartitionScanSpec {
   int64_t batch_rows = storage::kDefaultBatchRows;
   storage::PagedReadMode read_mode =
       storage::PagedReadMode::kDoubleBuffered;
+  /// Per-attempt reply deadline in ms; 0 = none. Subprocess workers kill
+  /// the daemon on expiry (DeadlineExceeded); in-process workers cannot
+  /// abandon a running scan and ignore it.
+  int64_t deadline_ms = 0;
+  /// Maximum silent gap before the daemon counts as hung; 0 = none. The
+  /// daemon heartbeats every ~100 ms mid-scan, so expiry means hung, not
+  /// slow. Subprocess-only, like deadline_ms.
+  int64_t liveness_timeout_ms = 0;
 };
 
 /// Executes counting scans over single partition files.
@@ -59,6 +74,17 @@ class ScanWorker {
   virtual Result<bucketing::MultiCountPlan> CountPartition(
       const std::string& partition_path, const PartitionScanSpec& spec,
       storage::BatchSourceStats* stats = nullptr) = 0;
+
+  /// Cheap health probe (kPing/kPong for subprocess workers). A failed
+  /// ping marks the worker unhealthy. `timeout_ms` bounds the wait.
+  virtual Status Ping(int64_t timeout_ms) {
+    (void)timeout_ms;
+    return Status::Ok();
+  }
+
+  /// False once the worker's transport is broken (dead or hung daemon,
+  /// corrupt frame): the worker must be replaced, not reused.
+  virtual bool healthy() const { return true; }
 };
 
 /// Same-process worker with its own double-buffered partition reader.
@@ -71,7 +97,9 @@ class InProcessScanWorker final : public ScanWorker {
 
 /// Worker backed by a forked optrules_workerd subprocess. One worker can
 /// serve many CountPartition calls sequentially over its pipe pair; the
-/// destructor sends a shutdown frame and reaps the child.
+/// destructor sends a shutdown frame and reaps the child with WNOHANG +
+/// SIGTERM -> SIGKILL escalation, so a wedged daemon can never hang the
+/// embedding process at shutdown.
 class SubprocessScanWorker final : public ScanWorker {
  public:
   /// Forks + execs `workerd_path` (an optrules_workerd binary) with a pipe
@@ -91,12 +119,25 @@ class SubprocessScanWorker final : public ScanWorker {
       const std::string& partition_path, const PartitionScanSpec& spec,
       storage::BatchSourceStats* stats) override;
 
+  Status Ping(int64_t timeout_ms) override;
+
+  bool healthy() const override { return healthy_; }
+
+  /// Child pid, for tests that kill the daemon externally.
+  pid_t pid() const { return pid_; }
+
  private:
   SubprocessScanWorker() = default;
+
+  /// Marks the worker unusable and SIGKILLs + reaps the child now (used
+  /// on deadline expiry: the daemon may be wedged mid-scan and must not
+  /// linger until the destructor).
+  void KillNow();
 
   int to_child_ = -1;    ///< write end: requests
   int from_child_ = -1;  ///< read end: replies
   pid_t pid_ = -1;
+  bool healthy_ = true;
 };
 
 /// Resolves the worker daemon binary: `configured` when non-empty, else

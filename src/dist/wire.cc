@@ -1,10 +1,13 @@
 #include "dist/wire.h"
 
+#include <poll.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <limits>
 
 #include "common/bytes.h"
 
@@ -28,11 +31,75 @@ Status WriteAll(int fd, const uint8_t* data, size_t size) {
   return Status::Ok();
 }
 
+using SteadyClock = std::chrono::steady_clock;
+
+/// Time budget of one timed frame read: the total deadline is fixed at
+/// construction; the liveness window restarts whenever bytes arrive.
+struct ReadDeadline {
+  int64_t liveness_ms = 0;
+  SteadyClock::time_point total_deadline;
+  bool has_total = false;
+
+  explicit ReadDeadline(const FrameTimeouts& timeouts)
+      : liveness_ms(timeouts.liveness_ms) {
+    if (timeouts.total_ms > 0) {
+      has_total = true;
+      total_deadline =
+          SteadyClock::now() + std::chrono::milliseconds(timeouts.total_ms);
+    }
+  }
+
+  bool unlimited() const { return liveness_ms <= 0 && !has_total; }
+};
+
+/// Blocks until `fd` is readable or the deadline expires. OK = readable.
+Status WaitReadable(int fd, const ReadDeadline& deadline) {
+  for (;;) {
+    int timeout_ms = -1;
+    if (deadline.has_total) {
+      const auto remaining = std::chrono::duration_cast<
+          std::chrono::milliseconds>(deadline.total_deadline -
+                                     SteadyClock::now());
+      if (remaining.count() <= 0) {
+        return Status::DeadlineExceeded("partition scan deadline exceeded");
+      }
+      timeout_ms = static_cast<int>(std::min<int64_t>(
+          remaining.count() + 1, std::numeric_limits<int>::max()));
+    }
+    if (deadline.liveness_ms > 0) {
+      const int liveness = static_cast<int>(std::min<int64_t>(
+          deadline.liveness_ms, std::numeric_limits<int>::max()));
+      timeout_ms = timeout_ms < 0 ? liveness : std::min(timeout_ms, liveness);
+    }
+    struct pollfd pfd = {fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("pipe poll failed: ") +
+                             std::strerror(errno));
+    }
+    if (ready > 0) return Status::Ok();
+    // poll timed out: decide which budget ran out. A liveness window that
+    // is shorter than the remaining total means the peer went silent.
+    if (deadline.has_total &&
+        SteadyClock::now() >= deadline.total_deadline) {
+      return Status::DeadlineExceeded("partition scan deadline exceeded");
+    }
+    return Status::DeadlineExceeded("worker silent past liveness timeout");
+  }
+}
+
 /// Reads exactly `size` bytes; at_start distinguishes clean EOF (NotFound)
-/// from a truncated frame (Corruption).
-Status ReadAll(int fd, uint8_t* data, size_t size, bool at_start) {
+/// from a truncated frame (Corruption). A non-null deadline bounds the
+/// wait before every read (any arriving byte restarts the liveness
+/// window by construction: the next wait starts fresh).
+Status ReadAll(int fd, uint8_t* data, size_t size, bool at_start,
+               const ReadDeadline* deadline = nullptr) {
   size_t got = 0;
   while (got < size) {
+    if (deadline != nullptr && !deadline->unlimited()) {
+      OPTRULES_RETURN_IF_ERROR(WaitReadable(fd, *deadline));
+    }
     const ssize_t n = ::read(fd, data + got, size - got);
     if (n < 0) {
       if (errno == EINTR) continue;
@@ -83,6 +150,23 @@ Status ReadFrame(int fd, std::vector<uint8_t>* payload) {
   payload->resize(length);
   if (length == 0) return Status::Ok();
   return ReadAll(fd, payload->data(), length, /*at_start=*/false);
+}
+
+Status ReadFrameTimed(int fd, std::vector<uint8_t>* payload,
+                      const FrameTimeouts& timeouts) {
+  OPTRULES_CHECK(payload != nullptr);
+  const ReadDeadline deadline(timeouts);
+  uint32_t length = 0;
+  uint8_t header[sizeof(length)];
+  OPTRULES_RETURN_IF_ERROR(
+      ReadAll(fd, header, sizeof(header), /*at_start=*/true, &deadline));
+  std::memcpy(&length, header, sizeof(length));
+  if (length > kMaxFrameBytes) {
+    return Status::Corruption("oversized frame");
+  }
+  payload->resize(length);
+  if (length == 0) return Status::Ok();
+  return ReadAll(fd, payload->data(), length, /*at_start=*/false, &deadline);
 }
 
 void EncodeScanRequest(const std::string& partition_path, int64_t batch_rows,

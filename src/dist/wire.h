@@ -30,6 +30,9 @@ enum class FrameKind : uint8_t {
   kScanResult = 2,   ///< worker -> coordinator: partial plan state
   kError = 3,        ///< worker -> coordinator: status code + message
   kShutdown = 4,     ///< coordinator -> worker: exit the loop
+  kPing = 5,         ///< coordinator -> worker: health check
+  kPong = 6,         ///< worker -> coordinator: kPing acknowledgement
+  kHeartbeat = 7,    ///< worker -> coordinator: still alive mid-scan
 };
 
 /// Writes one [length][payload] frame to `fd`, handling short writes.
@@ -39,6 +42,24 @@ Status WriteFrame(int fd, std::span<const uint8_t> payload);
 /// returns NotFound (the peer closed the pipe); EOF mid-frame is
 /// Corruption.
 Status ReadFrame(int fd, std::vector<uint8_t>* payload);
+
+/// Timeouts for ReadFrameTimed, both in milliseconds, 0 = unlimited.
+struct FrameTimeouts {
+  /// Maximum silent gap between any two bytes. A worker mid-scan ships a
+  /// kHeartbeat frame every ~100 ms, so a gap this long means the peer is
+  /// hung (not merely slow): the read fails with DeadlineExceeded.
+  int64_t liveness_ms = 0;
+  /// Maximum total time for this frame, heartbeats included: the
+  /// per-partition deadline. Expiry fails with DeadlineExceeded.
+  int64_t total_ms = 0;
+};
+
+/// ReadFrame with poll()-based timeouts: distinguishes a hung peer
+/// (liveness_ms of silence) and an overall deadline (total_ms) from slow
+/// but live scans. Either expiry returns DeadlineExceeded and leaves the
+/// stream mid-frame (the connection must be considered unusable).
+Status ReadFrameTimed(int fd, std::vector<uint8_t>* payload,
+                      const FrameTimeouts& timeouts);
 
 /// A decoded scan request. `spec` points into `boundaries`, so the struct
 /// is move-only and must outlive any plan built from the spec.

@@ -1,8 +1,20 @@
 #include "dist/worker_protocol.h"
 
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <chrono>
+#include <condition_variable>
 #include <limits>
 #include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
 #include <vector>
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
 
 #include "bucketing/counting.h"
 #include "bucketing/parallel_count.h"
@@ -94,6 +106,161 @@ Status ValidateSpecForSource(const bucketing::MultiCountSpec& spec,
   return Status::Ok();
 }
 
+// ------------------------------------------------------ fault hooks ----
+
+/// One armed fault, parsed from OPTRULES_WORKERD_FAULT (see the header
+/// for the grammar). Fires once at scan-request ordinal `at_request`.
+struct WorkerFault {
+  enum class Kind {
+    kNone,
+    kCrashBeforeReply,
+    kCrashMidFrame,
+    kGarbageFrame,
+    kErrorFrame,
+    kStall,
+    kHang,
+  };
+  Kind kind = Kind::kNone;
+  int64_t sleep_ms = 0;
+  int64_t at_request = 0;
+};
+
+/// `rotate` mode: atomically increment the counter file (flock'd text
+/// integer) to obtain this daemon's unique spawn ordinal. -1 = no counter
+/// configured; rotation stays inert.
+int64_t ClaimRotationOrdinal() {
+  const char* path = std::getenv("OPTRULES_WORKERD_FAULT_COUNTER");
+  if (path == nullptr || path[0] == '\0') return -1;
+  const int fd = ::open(path, O_RDWR | O_CREAT, 0644);
+  if (fd < 0) return -1;
+  if (::flock(fd, LOCK_EX) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  char buffer[32] = {0};
+  const ssize_t got = ::pread(fd, buffer, sizeof(buffer) - 1, 0);
+  const int64_t ordinal = got > 0 ? std::atoll(buffer) : 0;
+  const std::string next = std::to_string(ordinal + 1);
+  (void)::ftruncate(fd, 0);
+  (void)::pwrite(fd, next.data(), next.size(), 0);
+  ::close(fd);  // releases the flock
+  return ordinal;
+}
+
+WorkerFault ParseWorkerFault(const char* spec) {
+  WorkerFault fault;
+  if (spec == nullptr) spec = std::getenv("OPTRULES_WORKERD_FAULT");
+  if (spec == nullptr || spec[0] == '\0') return fault;
+  std::string text(spec);
+  if (text == "rotate") {
+    // Sparse deterministic pattern keyed by spawn ordinal: ~2 in 5
+    // daemons fault exactly once on their first scan request, so a
+    // whole dist test suite survives on default retry/respawn budgets
+    // while every failover path still fires.
+    const int64_t ordinal = ClaimRotationOrdinal();
+    if (ordinal < 0) return fault;
+    if (ordinal % 5 == 1) {
+      fault.kind = WorkerFault::Kind::kErrorFrame;
+    } else if (ordinal % 5 == 3) {
+      fault.kind = WorkerFault::Kind::kCrashBeforeReply;
+    }
+    return fault;
+  }
+  const size_t at = text.find('@');
+  if (at != std::string::npos) {
+    fault.at_request = std::atoll(text.c_str() + at + 1);
+    text.resize(at);
+  }
+  const size_t colon = text.find(':');
+  if (colon != std::string::npos) {
+    fault.sleep_ms = std::atoll(text.c_str() + colon + 1);
+    text.resize(colon);
+  }
+  if (text == "crash-before-reply") {
+    fault.kind = WorkerFault::Kind::kCrashBeforeReply;
+  } else if (text == "crash-mid-frame") {
+    fault.kind = WorkerFault::Kind::kCrashMidFrame;
+  } else if (text == "garbage-frame") {
+    fault.kind = WorkerFault::Kind::kGarbageFrame;
+  } else if (text == "error-frame") {
+    fault.kind = WorkerFault::Kind::kErrorFrame;
+  } else if (text == "stall") {
+    fault.kind = WorkerFault::Kind::kStall;
+  } else if (text == "hang") {
+    fault.kind = WorkerFault::Kind::kHang;
+  }
+  if (fault.kind == WorkerFault::Kind::kNone) return fault;
+  // A configured token file gates the fault: exactly one daemon of a
+  // fleet can claim it (unlink is atomic), so respawned replacements run
+  // clean and a faulty scan still converges deterministically.
+  const char* token = std::getenv("OPTRULES_WORKERD_FAULT_TOKEN");
+  if (token != nullptr && token[0] != '\0' && ::unlink(token) != 0) {
+    fault.kind = WorkerFault::Kind::kNone;
+  }
+  return fault;
+}
+
+// -------------------------------------------------- keepalive writer ----
+
+/// Serializes all writes to the reply pipe: the heartbeat thread and the
+/// main loop share the fd, and frames must never interleave mid-frame.
+class FrameWriter {
+ public:
+  explicit FrameWriter(int fd) : fd_(fd) {}
+
+  Status Write(std::span<const uint8_t> payload) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return WriteFrame(fd_, payload);
+  }
+
+ private:
+  int fd_;
+  std::mutex mu_;
+};
+
+constexpr int64_t kHeartbeatIntervalMs = 100;
+
+/// Ships kHeartbeat frames every interval while in scope (unless
+/// suppressed -- the `hang` fault). Write failures are ignored: a
+/// coordinator that already gave up on this daemon closed the pipe.
+class ScopedHeartbeats {
+ public:
+  ScopedHeartbeats(FrameWriter* writer, bool suppressed) {
+    if (suppressed) return;
+    thread_ = std::thread([this, writer] {
+      const uint8_t heartbeat[] = {
+          static_cast<uint8_t>(FrameKind::kHeartbeat)};
+      std::unique_lock<std::mutex> lock(mu_);
+      while (!stop_) {
+        if (cv_.wait_for(lock,
+                         std::chrono::milliseconds(kHeartbeatIntervalMs),
+                         [this] { return stop_; })) {
+          break;
+        }
+        lock.unlock();
+        (void)writer->Write(heartbeat);
+        lock.lock();
+      }
+    });
+  }
+
+  ~ScopedHeartbeats() {
+    if (!thread_.joinable()) return;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+ private:
+  std::thread thread_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
 /// Runs one decoded scan request; returns the kScanResult payload or an
 /// error to be shipped back as a kError frame.
 Status ServeScanRequest(std::span<const uint8_t> request,
@@ -124,11 +291,28 @@ Status ServeScanRequest(std::span<const uint8_t> request,
   return Status::Ok();
 }
 
+/// Writes a deliberately truncated frame (length prefix larger than the
+/// bytes that follow) so the peer observes "pipe closed mid-frame".
+void WriteTruncatedFrame(int fd) {
+  const uint32_t claimed = 64;
+  uint8_t header[sizeof(claimed)];
+  std::memcpy(header, &claimed, sizeof(claimed));
+  (void)!::write(fd, header, sizeof(header));
+  const uint8_t partial[8] = {0};
+  (void)!::write(fd, partial, sizeof(partial));
+}
+
 }  // namespace
 
-int RunWorkerLoop(int in_fd, int out_fd) {
+int RunWorkerLoop(int in_fd, int out_fd, const char* fault_spec) {
+  // The heartbeat thread may race a coordinator that killed this daemon's
+  // pipe; EPIPE must surface as a write error, not SIGPIPE death.
+  std::signal(SIGPIPE, SIG_IGN);
+  WorkerFault fault = ParseWorkerFault(fault_spec);
+  FrameWriter writer(out_fd);
   std::vector<uint8_t> request;
   std::vector<uint8_t> reply;
+  int64_t scan_requests = 0;
   while (true) {
     const Status read = ReadFrame(in_fd, &request);
     if (read.code() == StatusCode::kNotFound) return 0;  // clean EOF
@@ -137,18 +321,70 @@ int RunWorkerLoop(int in_fd, int out_fd) {
                                ? FrameKind::kShutdown
                                : static_cast<FrameKind>(request[0]);
     if (kind == FrameKind::kShutdown) return 0;
+    if (kind == FrameKind::kPing) {
+      const uint8_t pong[] = {static_cast<uint8_t>(FrameKind::kPong)};
+      if (!writer.Write(pong).ok()) return 1;
+      continue;
+    }
     reply.clear();
     if (kind != FrameKind::kScanRequest) {
       EncodeErrorFrame(
           Status::InvalidArgument("unexpected frame kind"), &reply);
-    } else {
+      if (!writer.Write(reply).ok()) return 1;
+      continue;
+    }
+    const bool fault_now = fault.kind != WorkerFault::Kind::kNone &&
+                           scan_requests == fault.at_request;
+    ++scan_requests;
+    {
+      // Heartbeats cover the whole serve, injected sleeps included, so a
+      // stalled straggler stays distinguishable from a hung daemon.
+      ScopedHeartbeats heartbeats(
+          &writer,
+          /*suppressed=*/fault_now &&
+              fault.kind == WorkerFault::Kind::kHang);
+      if (fault_now) {
+        switch (fault.kind) {
+          case WorkerFault::Kind::kStall:
+          case WorkerFault::Kind::kHang:
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(fault.sleep_ms));
+            break;
+          case WorkerFault::Kind::kCrashBeforeReply:
+            // The genuine kill -9 mid-scan: the request was read, the
+            // reply never comes, the pid dies without cleanup.
+            (void)::raise(SIGKILL);
+            break;
+          case WorkerFault::Kind::kCrashMidFrame:
+            WriteTruncatedFrame(out_fd);
+            (void)::raise(SIGKILL);
+            break;
+          case WorkerFault::Kind::kGarbageFrame: {
+            const uint8_t garbage[] = {0xEE, 0xBE, 0xEF};
+            if (!writer.Write(garbage).ok()) return 1;
+            fault.kind = WorkerFault::Kind::kNone;
+            continue;
+          }
+          case WorkerFault::Kind::kErrorFrame: {
+            reply.clear();
+            EncodeErrorFrame(Status::Internal("injected worker fault"),
+                             &reply);
+            if (!writer.Write(reply).ok()) return 1;
+            fault.kind = WorkerFault::Kind::kNone;
+            continue;
+          }
+          case WorkerFault::Kind::kNone:
+            break;
+        }
+        fault.kind = WorkerFault::Kind::kNone;  // every fault is one-shot
+      }
       const Status served = ServeScanRequest(request, &reply);
       if (!served.ok()) {
         reply.clear();
         EncodeErrorFrame(served, &reply);
       }
-    }
-    if (!WriteFrame(out_fd, reply).ok()) return 1;
+    }  // heartbeats stop before the reply ships
+    if (!writer.Write(reply).ok()) return 1;
   }
 }
 

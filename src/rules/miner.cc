@@ -283,6 +283,9 @@ storage::BatchSourceStats MiningEngine::scan_stats() const {
     stats.cache_misses += dist.cache_misses;
     stats.pages_skipped += dist.pages_skipped;
     stats.partitions_skipped += dist.partitions_skipped;
+    stats.retries += dist.retries;
+    stats.workers_respawned += dist.workers_respawned;
+    stats.partitions_stolen += dist.partitions_stolen;
   }
   return stats;
 }

@@ -95,6 +95,14 @@ struct BatchSourceStats {
   int64_t cache_misses = 0;  ///< buffer-pool fetches that paid a page load
   int64_t pages_skipped = 0;
   int64_t partitions_skipped = 0;
+  // Fault-tolerance counters, populated only by the distributed scan
+  // coordinator (zero for plain sources): partition scans re-dispatched
+  // after a worker failure, worker daemons (re)spawned beyond the initial
+  // roster build, and partitions served by a worker other than their
+  // static owner (work-stealing / failover takeovers).
+  int64_t retries = 0;
+  int64_t workers_respawned = 0;
+  int64_t partitions_stolen = 0;
 
   double cache_hit_rate() const {
     const int64_t total = cache_hits + cache_misses;

@@ -185,10 +185,13 @@ TEST(BufferPoolTest, CapacityOnePoolThrashesCorrectly) {
   EXPECT_EQ(pool.bytes_used(), 0u);  // nothing can stay resident
   const BufferPool::Stats stats = pool.stats();
   EXPECT_EQ(stats.hits + stats.misses, kThreads * kRounds);
-  // Concurrent fetchers may share an in-flight load (counted as hits),
-  // but with no residency the steady state is missing.
+  // With no residency the steady state is missing, and every installed
+  // frame is eventually evicted. Concurrent fetchers of one page may share
+  // a single in-flight load: each waiter is charged a miss but the shared
+  // frame evicts only once, so evictions can trail misses (never exceed).
   EXPECT_GT(stats.misses, 0);
-  EXPECT_GE(stats.evictions, stats.misses);
+  EXPECT_GT(stats.evictions, 0);
+  EXPECT_LE(stats.evictions, stats.misses);
 }
 
 TEST(BufferPoolTest, PrefetchWarmsWithoutTouchingCounters) {

@@ -16,10 +16,14 @@
 // Every fuzz stream honors OPTRULES_FUZZ_SEED (see fuzz_seed.h).
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
+#include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -33,6 +37,7 @@
 #include "common/thread_pool.h"
 #include "datagen/table_generator.h"
 #include "dist/coordinator.h"
+#include "dist/fault_injection.h"
 #include "dist/partitioned_table.h"
 #include "dist/scan_worker.h"
 #include "fuzz_seed.h"
@@ -889,6 +894,65 @@ TEST(EngineDifferentialFuzzTest, SelectiveConditionPruningIsExact) {
   EXPECT_GT(pages_skipped, 0);
 }
 
+/// Random mixed spec (per-attribute channels, a conditional channel, a
+/// compensated-sum channel, and a rectangular grid whose axes may
+/// coincide) plus the boundary storage it points into. Filled in place
+/// by BuildRandomDistSpec -- spec holds pointers to base/grid_y, so the
+/// holder must not move afterwards.
+struct RandomDistSpec {
+  std::vector<bucketing::BucketBoundaries> base;
+  bucketing::BucketBoundaries grid_y =
+      bucketing::BucketBoundaries::FromCutPoints({});
+  bucketing::MultiCountSpec spec;
+};
+
+void BuildRandomDistSpec(Rng& rng, const storage::Schema& schema,
+                         RandomDistSpec* out) {
+  const auto random_boundaries = [&rng](int num_buckets) {
+    std::vector<double> cuts;
+    for (int i = 0; i < num_buckets - 1; ++i) {
+      cuts.push_back(rng.NextUniform(-1e5, 9e5));
+    }
+    std::sort(cuts.begin(), cuts.end());
+    return bucketing::BucketBoundaries::FromCutPoints(std::move(cuts));
+  };
+  for (int a = 0; a < schema.num_numeric(); ++a) {
+    out->base.push_back(
+        random_boundaries(2 + static_cast<int>(rng.NextBounded(30))));
+  }
+  out->grid_y = random_boundaries(2 + static_cast<int>(rng.NextBounded(20)));
+  bucketing::MultiCountSpec& spec = out->spec;
+  spec.num_targets = schema.num_boolean();
+  spec.conditions.push_back({0});
+  for (int a = 0; a < schema.num_numeric(); ++a) {
+    bucketing::CountChannel channel;
+    channel.column = a;
+    channel.boundaries = &out->base[static_cast<size_t>(a)];
+    spec.channels.push_back(std::move(channel));
+  }
+  bucketing::CountChannel conditional;
+  conditional.column = static_cast<int>(
+      rng.NextBounded(static_cast<uint64_t>(schema.num_numeric())));
+  conditional.boundaries =
+      &out->base[static_cast<size_t>(conditional.column)];
+  conditional.condition = 0;
+  spec.channels.push_back(std::move(conditional));
+  bucketing::CountChannel summing;
+  summing.column = 0;
+  summing.boundaries = &out->base[0];
+  summing.count_targets = false;
+  summing.sum_targets = {schema.num_numeric() > 1 ? 1 : 0};
+  spec.channels.push_back(std::move(summing));
+  bucketing::GridChannel grid;
+  grid.x_column = static_cast<int>(
+      rng.NextBounded(static_cast<uint64_t>(schema.num_numeric())));
+  grid.x_boundaries = &out->base[static_cast<size_t>(grid.x_column)];
+  grid.y_column = static_cast<int>(
+      rng.NextBounded(static_cast<uint64_t>(schema.num_numeric())));
+  grid.y_boundaries = &out->grid_y;
+  spec.grid_channels.push_back(grid);
+}
+
 TEST(DistDifferentialFuzzTest, PartitionedScanMatchesSingleRelation) {
   // Random NaN-laden schemas, random K, random partitioner, random worker
   // counts, in-process AND subprocess workers: the distributed scan must
@@ -899,53 +963,9 @@ TEST(DistDifferentialFuzzTest, PartitionedScanMatchesSingleRelation) {
   for (int round = 0; round < 8; ++round) {
     const storage::Relation relation = RandomNanRelation(rng);
     const storage::Schema& schema = relation.schema();
-    // Random rectangular boundaries per attribute plus a grid whose axes
-    // may coincide.
-    const auto random_boundaries = [&rng](int num_buckets) {
-      std::vector<double> cuts;
-      for (int i = 0; i < num_buckets - 1; ++i) {
-        cuts.push_back(rng.NextUniform(-1e5, 9e5));
-      }
-      std::sort(cuts.begin(), cuts.end());
-      return bucketing::BucketBoundaries::FromCutPoints(std::move(cuts));
-    };
-    std::vector<bucketing::BucketBoundaries> base;
-    for (int a = 0; a < schema.num_numeric(); ++a) {
-      base.push_back(
-          random_boundaries(2 + static_cast<int>(rng.NextBounded(30))));
-    }
-    const bucketing::BucketBoundaries grid_y =
-        random_boundaries(2 + static_cast<int>(rng.NextBounded(20)));
-    bucketing::MultiCountSpec spec;
-    spec.num_targets = schema.num_boolean();
-    spec.conditions.push_back({0});
-    for (int a = 0; a < schema.num_numeric(); ++a) {
-      bucketing::CountChannel channel;
-      channel.column = a;
-      channel.boundaries = &base[static_cast<size_t>(a)];
-      spec.channels.push_back(std::move(channel));
-    }
-    bucketing::CountChannel conditional;
-    conditional.column =
-        static_cast<int>(rng.NextBounded(
-            static_cast<uint64_t>(schema.num_numeric())));
-    conditional.boundaries = &base[static_cast<size_t>(conditional.column)];
-    conditional.condition = 0;
-    spec.channels.push_back(std::move(conditional));
-    bucketing::CountChannel summing;
-    summing.column = 0;
-    summing.boundaries = &base[0];
-    summing.count_targets = false;
-    summing.sum_targets = {schema.num_numeric() > 1 ? 1 : 0};
-    spec.channels.push_back(std::move(summing));
-    bucketing::GridChannel grid;
-    grid.x_column = static_cast<int>(rng.NextBounded(
-        static_cast<uint64_t>(schema.num_numeric())));
-    grid.x_boundaries = &base[static_cast<size_t>(grid.x_column)];
-    grid.y_column = static_cast<int>(rng.NextBounded(
-        static_cast<uint64_t>(schema.num_numeric())));
-    grid.y_boundaries = &grid_y;
-    spec.grid_channels.push_back(grid);
+    RandomDistSpec holder;
+    BuildRandomDistSpec(rng, schema, &holder);
+    const bucketing::MultiCountSpec& spec = holder.spec;
 
     // Single-relation serial reference.
     storage::RelationBatchSource reference_source(&relation);
@@ -985,6 +1005,156 @@ TEST(DistDifferentialFuzzTest, PartitionedScanMatchesSingleRelation) {
     ExpectIdenticalPlans(partitioned, reference, round);
     std::filesystem::remove_all(dir);
   }
+}
+
+/// Sets (or unsets, for nullptr) an environment variable for one scope
+/// and restores the previous state on destruction.
+class ScopedEnv {
+ public:
+  ScopedEnv(const std::string& name, const char* value) : name_(name) {
+    const char* old = std::getenv(name_.c_str());
+    if (old != nullptr) {
+      had_old_ = true;
+      old_ = old;
+    }
+    if (value == nullptr) {
+      ::unsetenv(name_.c_str());
+    } else {
+      ::setenv(name_.c_str(), value, 1);
+    }
+  }
+  ~ScopedEnv() {
+    if (had_old_) {
+      ::setenv(name_.c_str(), old_.c_str(), 1);
+    } else {
+      ::unsetenv(name_.c_str());
+    }
+  }
+  ScopedEnv(const ScopedEnv&) = delete;
+  ScopedEnv& operator=(const ScopedEnv&) = delete;
+
+ private:
+  std::string name_;
+  std::string old_;
+  bool had_old_ = false;
+};
+
+TEST(DistDifferentialFuzzTest, FaultInjectedScanMatchesSingleRelation) {
+  // The fault-tolerance differential: every round injects exactly one
+  // random fault into an otherwise-random distributed scan and demands
+  // the merged result stay bit-identical to the single-relation serial
+  // reference. In-process rounds wrap the first roster worker in a
+  // FaultInjectingScanWorker (random retryable status, sometimes marking
+  // the transport broken so the respawn path runs); subprocess rounds
+  // arm a token-gated daemon fault (crash, torn frame, garbage frame,
+  // error frame, heartbeat-backed stall, or silent hang) that exactly
+  // one forked daemon claims. Random scheduling mode and speculative
+  // tail make sure stealing and duplicate discard never change bits.
+  Rng rng(FuzzSeed(55502));
+  const bool have_workerd = !dist::ResolveWorkerdPath("").empty();
+  static const char* kDaemonFaults[] = {
+      "crash-before-reply@0", "crash-mid-frame@0", "garbage-frame@0",
+      "error-frame@0",        "stall:200@0",       "hang:5000@0",
+  };
+  int64_t total_retries = 0;
+  for (int round = 0; round < 8; ++round) {
+    const storage::Relation relation = RandomNanRelation(rng);
+    const storage::Schema& schema = relation.schema();
+    RandomDistSpec holder;
+    BuildRandomDistSpec(rng, schema, &holder);
+
+    // Single-relation serial reference.
+    storage::RelationBatchSource reference_source(&relation);
+    bucketing::MultiCountPlan reference(holder.spec);
+    bucketing::ExecuteMultiCount(reference_source, &reference, nullptr);
+
+    dist::PartitionOptions partition_options;
+    partition_options.num_partitions =
+        2 + static_cast<int>(rng.NextBounded(7));
+    partition_options.strategy = rng.NextBernoulli(0.5)
+                                     ? dist::PartitionStrategy::kRoundRobin
+                                     : dist::PartitionStrategy::kHash;
+    partition_options.hash_seed = rng.Next64();
+    const std::string dir = testing::TempDir() + "/fuzz_fault_" +
+                            std::to_string(round);
+    std::filesystem::remove_all(dir);
+    auto table = dist::PartitionRelation(relation, dir, partition_options);
+    ASSERT_TRUE(table.ok()) << table.status().ToString();
+
+    dist::DistributedScanOptions scan_options;
+    scan_options.max_workers = 1 + static_cast<int>(rng.NextBounded(
+        static_cast<uint64_t>(partition_options.num_partitions)));
+    scan_options.batch_rows = 64 + static_cast<int64_t>(rng.NextBounded(500));
+    scan_options.read_mode = rng.NextBernoulli(0.5)
+                                 ? storage::PagedReadMode::kSynchronous
+                                 : storage::PagedReadMode::kDoubleBuffered;
+    scan_options.scheduling = rng.NextBernoulli(0.5)
+                                  ? dist::ScanScheduling::kWorkQueue
+                                  : dist::ScanScheduling::kStatic;
+    scan_options.speculative_tail = rng.NextBernoulli(0.25);
+    scan_options.liveness_timeout_ms = 500;  // kills hung daemons fast
+
+    const bool subprocess_round = have_workerd && round % 2 == 1;
+    std::optional<ScopedEnv> fault_env, token_env, counter_env;
+    if (subprocess_round) {
+      scan_options.worker_kind = dist::WorkerKind::kSubprocess;
+      const char* fault = kDaemonFaults[rng.NextBounded(6)];
+      const std::string token = dir + "_token";
+      std::FILE* file = std::fopen(token.c_str(), "wb");
+      ASSERT_NE(file, nullptr);
+      std::fputs("token\n", file);
+      std::fclose(file);
+      fault_env.emplace("OPTRULES_WORKERD_FAULT", fault);
+      token_env.emplace("OPTRULES_WORKERD_FAULT_TOKEN", token.c_str());
+      counter_env.emplace("OPTRULES_WORKERD_FAULT_COUNTER", nullptr);
+    } else {
+      // No daemons this round; still scrub any inherited fault spec so
+      // the round is a function of the fuzz seed alone.
+      fault_env.emplace("OPTRULES_WORKERD_FAULT", nullptr);
+      token_env.emplace("OPTRULES_WORKERD_FAULT_TOKEN", nullptr);
+      counter_env.emplace("OPTRULES_WORKERD_FAULT_COUNTER", nullptr);
+      dist::InjectedFault fault;
+      fault.at_call = 0;
+      switch (rng.NextBounded(3)) {
+        case 0:
+          fault.status = Status::IoError("injected transport failure");
+          fault.mark_unhealthy = true;  // forces the respawn path
+          break;
+        case 1:
+          fault.status = Status::Internal("injected worker failure");
+          break;
+        default:
+          fault.status = Status::DeadlineExceeded("injected deadline");
+          fault.mark_unhealthy = true;
+          break;
+      }
+      auto built = std::make_shared<std::atomic<int>>(0);
+      scan_options.worker_factory =
+          [built, fault]() -> Result<std::unique_ptr<dist::ScanWorker>> {
+        std::unique_ptr<dist::ScanWorker> inner =
+            std::make_unique<dist::InProcessScanWorker>();
+        if (built->fetch_add(1) == 0) {
+          return std::unique_ptr<dist::ScanWorker>(
+              std::make_unique<dist::FaultInjectingScanWorker>(
+                  std::move(inner),
+                  std::vector<dist::InjectedFault>{fault}));
+        }
+        return inner;
+      };
+    }
+
+    dist::DistributedScanCoordinator coordinator(&table.value(),
+                                                 scan_options);
+    bucketing::MultiCountPlan partitioned(holder.spec);
+    ASSERT_TRUE(coordinator.Execute(&partitioned).ok()) << "round " << round;
+    ExpectIdenticalPlans(partitioned, reference, round);
+    total_retries += coordinator.scan_stats().retries;
+    std::filesystem::remove_all(dir);
+    std::remove((dir + "_token").c_str());
+  }
+  // Across the sweep the injected faults must actually have exercised
+  // the retry machinery (heartbeat-backed stalls legitimately do not).
+  EXPECT_GT(total_retries, 0);
 }
 
 }  // namespace

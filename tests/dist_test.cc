@@ -1,20 +1,35 @@
 // Tests of the distributed scan subsystem (src/dist/): manifest I/O,
 // the partitioner, the wire format, in-process and subprocess workers,
-// the coordinator's deterministic merge, and the MiningEngine wired to a
-// PartitionedTable -- including the acceptance contract: a full mixed
-// session over K partitions, in-process and subprocess workers, is
-// bit-identical to the single-PagedFile path with counting_scans() == 1.
+// the coordinator's deterministic merge, fault tolerance (retry,
+// failover, respawn, deadlines, work stealing, speculative execution),
+// and the MiningEngine wired to a PartitionedTable -- including the
+// acceptance contract: a full mixed session over K partitions,
+// in-process and subprocess workers, is bit-identical to the
+// single-PagedFile path with counting_scans() == 1, even when a worker
+// is kill -9'd mid-scan.
 //
 // Subprocess tests spawn the optrules_workerd binary named by the
 // OPTRULES_WORKERD environment variable (set by ctest); they skip when it
-// is absent so the binary can run standalone.
+// is absent so the binary can run standalone. The check-faults lane
+// re-runs this binary with OPTRULES_WORKERD_FAULT=rotate armed globally;
+// tests that talk to daemons directly (no coordinator retry above them)
+// disarm it with ScopedFaultsOff, and fault-specific tests override it
+// with their own token-gated spec.
 
+#include <atomic>
+#include <chrono>
 #include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <functional>
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
+
+#include <unistd.h>
 
 #include <gtest/gtest.h>
 
@@ -24,6 +39,7 @@
 #include "common/rng.h"
 #include "datagen/table_generator.h"
 #include "dist/coordinator.h"
+#include "dist/fault_injection.h"
 #include "dist/manifest.h"
 #include "dist/partitioned_table.h"
 #include "dist/scan_worker.h"
@@ -149,6 +165,101 @@ void ExpectPlansIdentical(const MultiCountPlan& a, const MultiCountPlan& b) {
     ASSERT_EQ(ga.v, gb.v) << "grid " << g;
   }
 }
+
+/// Restores one environment variable on destruction; value == nullptr
+/// unsets it for the scope.
+class ScopedEnv {
+ public:
+  ScopedEnv(const std::string& name, const char* value) : name_(name) {
+    const char* old = std::getenv(name_.c_str());
+    if (old != nullptr) {
+      had_old_ = true;
+      old_ = old;
+    }
+    if (value == nullptr) {
+      ::unsetenv(name_.c_str());
+    } else {
+      ::setenv(name_.c_str(), value, 1);
+    }
+  }
+  ~ScopedEnv() {
+    if (had_old_) {
+      ::setenv(name_.c_str(), old_.c_str(), 1);
+    } else {
+      ::unsetenv(name_.c_str());
+    }
+  }
+  ScopedEnv(const ScopedEnv&) = delete;
+  ScopedEnv& operator=(const ScopedEnv&) = delete;
+
+ private:
+  std::string name_;
+  std::string old_;
+  bool had_old_ = false;
+};
+
+/// Disarms daemon fault injection for tests that assert on direct worker
+/// conversations (no coordinator retry above them): the check-faults
+/// ctest lane arms OPTRULES_WORKERD_FAULT=rotate process-wide.
+struct ScopedFaultsOff {
+  ScopedEnv fault{"OPTRULES_WORKERD_FAULT", nullptr};
+  ScopedEnv token{"OPTRULES_WORKERD_FAULT_TOKEN", nullptr};
+  ScopedEnv counter{"OPTRULES_WORKERD_FAULT_COUNTER", nullptr};
+};
+
+/// Creates the token file exactly ONE daemon can claim (by unlinking it)
+/// to arm its fault; returns its path for OPTRULES_WORKERD_FAULT_TOKEN.
+std::string WriteFaultToken(const std::string& name) {
+  const std::string path = testing::TempDir() + "/" + name;
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  EXPECT_NE(file, nullptr);
+  std::fputs("token\n", file);
+  std::fclose(file);
+  return path;
+}
+
+/// Worker factory for fault tests: the `ordinal`-th worker it builds (and
+/// only that one) wraps its InProcessScanWorker in the given faults;
+/// respawned replacements come from the same factory and run clean.
+std::function<Result<std::unique_ptr<ScanWorker>>()> FaultyWorkerFactory(
+    int faulty_ordinal, std::vector<InjectedFault> faults) {
+  auto built = std::make_shared<std::atomic<int>>(0);
+  return [built, faulty_ordinal,
+          faults = std::move(faults)]() -> Result<std::unique_ptr<ScanWorker>> {
+    std::unique_ptr<ScanWorker> inner =
+        std::make_unique<InProcessScanWorker>();
+    if (built->fetch_add(1) == faulty_ordinal) {
+      return std::unique_ptr<ScanWorker>(
+          std::make_unique<FaultInjectingScanWorker>(std::move(inner),
+                                                     faults));
+    }
+    return inner;
+  };
+}
+
+/// Forwards to `inner`, bumping a shared call counter: lets tests count
+/// CountPartition attempts across a whole roster.
+class CountingScanWorker final : public ScanWorker {
+ public:
+  CountingScanWorker(std::unique_ptr<ScanWorker> inner,
+                     std::shared_ptr<std::atomic<int64_t>> calls)
+      : inner_(std::move(inner)), calls_(std::move(calls)) {}
+
+  Result<bucketing::MultiCountPlan> CountPartition(
+      const std::string& partition_path, const PartitionScanSpec& spec,
+      storage::BatchSourceStats* stats) override {
+    calls_->fetch_add(1);
+    return inner_->CountPartition(partition_path, spec, stats);
+  }
+  Status Ping(int64_t timeout_ms) override {
+    return inner_->Ping(timeout_ms);
+  }
+  bool healthy() const override { return inner_->healthy(); }
+
+ private:
+  std::unique_ptr<ScanWorker> inner_;
+  std::shared_ptr<std::atomic<int64_t>> calls_;
+};
 
 // ----------------------------------------------------------- manifest ----
 
@@ -494,6 +605,41 @@ TEST(WireTest, PartialPlanStateRoundTripsBitExactly) {
   EXPECT_FALSE(wrong_shape.LoadPartialState(bytes).ok());
 }
 
+TEST(WireTest, ReadFrameTimedEnforcesDeadlines) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  std::vector<uint8_t> payload;
+  // Total deadline: nothing ever arrives.
+  FrameTimeouts total_only;
+  total_only.total_ms = 100;
+  Status status = ReadFrameTimed(fds[0], &payload, total_only);
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+  // Liveness: a partial length prefix, then silence.
+  const uint8_t half_prefix[2] = {8, 0};
+  ASSERT_EQ(::write(fds[1], half_prefix, sizeof(half_prefix)), 2);
+  FrameTimeouts liveness_only;
+  liveness_only.liveness_ms = 100;
+  status = ReadFrameTimed(fds[0], &payload, liveness_only);
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+  ::close(fds[0]);
+  ::close(fds[1]);
+
+  // A frame that does arrive in time reads back intact, and clean EOF at
+  // a frame boundary is still NotFound under timeouts.
+  ASSERT_EQ(::pipe(fds), 0);
+  const uint8_t bytes[] = {42, 7};
+  ASSERT_TRUE(WriteFrame(fds[1], bytes).ok());
+  ::close(fds[1]);
+  FrameTimeouts both;
+  both.liveness_ms = 1000;
+  both.total_ms = 1000;
+  ASSERT_TRUE(ReadFrameTimed(fds[0], &payload, both).ok());
+  EXPECT_EQ(payload, std::vector<uint8_t>({42, 7}));
+  EXPECT_EQ(ReadFrameTimed(fds[0], &payload, both).code(),
+            StatusCode::kNotFound);
+  ::close(fds[0]);
+}
+
 TEST(WireTest, ErrorFrameRoundTrips) {
   std::vector<uint8_t> payload;
   EncodeErrorFrame(Status::NotFound("no such partition"), &payload);
@@ -556,6 +702,7 @@ TEST(ScanWorkerTest, SubprocessWorkerMatchesInProcess) {
   if (ResolveWorkerdPath("").empty()) {
     GTEST_SKIP() << "OPTRULES_WORKERD not set";
   }
+  ScopedFaultsOff no_faults;  // direct worker use: no retry layer above
   const storage::Relation relation = TestRelation(600, 19);
   const std::vector<BucketBoundaries> base = BaseBoundaries(relation, 9);
   const BucketBoundaries grid_y = BucketBoundaries::FromCutPoints({3e5});
@@ -584,6 +731,7 @@ TEST(ScanWorkerTest, SubprocessWorkerReportsMissingPartition) {
   if (ResolveWorkerdPath("").empty()) {
     GTEST_SKIP() << "OPTRULES_WORKERD not set";
   }
+  ScopedFaultsOff no_faults;  // direct worker use: no retry layer above
   Result<std::unique_ptr<SubprocessScanWorker>> worker =
       SubprocessScanWorker::Spawn(ResolveWorkerdPath(""));
   ASSERT_TRUE(worker.ok());
@@ -609,6 +757,58 @@ TEST(ScanWorkerTest, SubprocessWorkerReportsMissingPartition) {
 
 TEST(ScanWorkerTest, SpawnFailsWithoutBinary) {
   EXPECT_FALSE(SubprocessScanWorker::Spawn("").ok());
+}
+
+TEST(ScanWorkerTest, PingPongAndExternalKill) {
+  if (ResolveWorkerdPath("").empty()) {
+    GTEST_SKIP() << "OPTRULES_WORKERD not set";
+  }
+  ScopedFaultsOff no_faults;  // direct worker use: no retry layer above
+  Result<std::unique_ptr<SubprocessScanWorker>> worker =
+      SubprocessScanWorker::Spawn(ResolveWorkerdPath(""));
+  ASSERT_TRUE(worker.ok()) << worker.status().ToString();
+  EXPECT_TRUE(worker.value()->Ping(2'000).ok());
+  EXPECT_TRUE(worker.value()->healthy());
+  // kill -9 the daemon out from under the worker: the next ping must
+  // fail, mark the transport broken, and reap the child.
+  ASSERT_EQ(::kill(worker.value()->pid(), SIGKILL), 0);
+  EXPECT_FALSE(worker.value()->Ping(2'000).ok());
+  EXPECT_FALSE(worker.value()->healthy());
+  // Further use fails fast instead of writing into a dead pipe.
+  MultiCountSpec spec;
+  spec.num_targets = 1;
+  const BucketBoundaries boundaries =
+      BucketBoundaries::FromCutPoints({1.0});
+  CountChannel channel;
+  channel.column = 0;
+  channel.boundaries = &boundaries;
+  spec.channels.push_back(channel);
+  PartitionScanSpec scan_spec;
+  scan_spec.spec = &spec;
+  EXPECT_FALSE(worker.value()
+                   ->CountPartition(testing::TempDir() + "/unused.optr",
+                                    scan_spec, nullptr)
+                   .ok());
+}
+
+TEST(ScanWorkerTest, DestructorReapsWedgedDaemonPromptly) {
+  if (ResolveWorkerdPath("").empty()) {
+    GTEST_SKIP() << "OPTRULES_WORKERD not set";
+  }
+  ScopedFaultsOff no_faults;
+  Result<std::unique_ptr<SubprocessScanWorker>> worker =
+      SubprocessScanWorker::Spawn(ResolveWorkerdPath(""));
+  ASSERT_TRUE(worker.ok());
+  // SIGSTOP wedges the daemon completely: it cannot read the shutdown
+  // frame, cannot exit on EOF, and a stopped process ignores SIGTERM
+  // until continued -- only the destructor's SIGKILL escalation can reap
+  // it. The destructor must return promptly regardless.
+  ASSERT_EQ(::kill(worker.value()->pid(), SIGSTOP), 0);
+  const auto start = std::chrono::steady_clock::now();
+  worker.value().reset();
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  EXPECT_LT(elapsed.count(), 5'000) << "destructor hung on a wedged daemon";
 }
 
 // -------------------------------------------------------- coordinator ----
@@ -804,6 +1004,401 @@ TEST(CoordinatorTest, MissingWorkerBinaryIsAnError) {
   // exec fails inside the child, so the first partition scan reports the
   // dead pipe as an error instead of hanging.
   EXPECT_FALSE(coordinator.Execute(&plan).ok());
+  std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------- fault tolerance ----
+
+/// Shared scaffolding: a partitioned table plus the serial reference plan
+/// every fault scenario must still reproduce bit for bit.
+struct FaultFixture {
+  FaultFixture(int64_t rows, uint64_t seed, int partitions,
+               const std::string& dir_name)
+      : relation(TestRelation(rows, seed)),
+        base(BaseBoundaries(relation, 10)),
+        grid_y(BucketBoundaries::FromCutPoints({2e5})),
+        spec(MakeMixedSpec(relation.schema(), base, grid_y)),
+        reference(ReferencePlan(relation, spec)),
+        dir(TempDir(dir_name)) {
+    PartitionOptions options;
+    options.num_partitions = partitions;
+    Result<PartitionedTable> opened =
+        PartitionRelation(relation, dir, options);
+    EXPECT_TRUE(opened.ok()) << opened.status().ToString();
+    table.emplace(std::move(opened).value());
+  }
+  ~FaultFixture() { std::filesystem::remove_all(dir); }
+
+  storage::Relation relation;
+  std::vector<BucketBoundaries> base;
+  BucketBoundaries grid_y;
+  MultiCountSpec spec;
+  MultiCountPlan reference;
+  std::string dir;
+  std::optional<PartitionedTable> table;
+};
+
+/// The tentpole contract, in-process side: a worker whose transport dies
+/// mid-scan (the in-process analogue of kill -9) is replaced, its
+/// partition re-dispatched, and the merged result stays bit-identical to
+/// the no-failure run -- at K = 3 and K = 8.
+TEST(FaultToleranceTest, InProcessWorkerCrashFailsOverBitExactly) {
+  for (const int k : {3, 8}) {
+    FaultFixture fixture(1100, 31, k, "fault_inproc_k" + std::to_string(k));
+    DistributedScanOptions options;
+    options.max_workers = 3;
+    options.worker_factory = FaultyWorkerFactory(
+        0, {{.at_call = 0,
+             .status = Status::IoError("injected transport death"),
+             .mark_unhealthy = true}});
+    DistributedScanCoordinator coordinator(&fixture.table.value(), options);
+    MultiCountPlan plan(fixture.spec);
+    ASSERT_TRUE(coordinator.Execute(&plan).ok());
+    ExpectPlansIdentical(plan, fixture.reference);
+    EXPECT_EQ(coordinator.partition_scans(), k) << "k=" << k;
+    EXPECT_GE(coordinator.scan_stats().retries, 1) << "k=" << k;
+    EXPECT_GE(coordinator.scan_stats().workers_respawned, 1) << "k=" << k;
+  }
+}
+
+/// The tentpole contract, subprocess side: one daemon of the fleet
+/// kill -9's itself mid-scan (request read, reply never sent); the
+/// coordinator respawns a replacement, retries the partition, and the
+/// merged counts/grids/Neumaier sums are bit-identical -- K = 3 and 8.
+TEST(FaultToleranceTest, SubprocessKillNineMidScanIsBitIdentical) {
+  if (ResolveWorkerdPath("").empty()) {
+    GTEST_SKIP() << "OPTRULES_WORKERD not set";
+  }
+  for (const int k : {3, 8}) {
+    FaultFixture fixture(900, 33, k, "fault_kill9_k" + std::to_string(k));
+    ScopedEnv fault("OPTRULES_WORKERD_FAULT", "crash-before-reply");
+    const std::string token =
+        WriteFaultToken("kill9_token_k" + std::to_string(k));
+    ScopedEnv token_env("OPTRULES_WORKERD_FAULT_TOKEN", token.c_str());
+    DistributedScanOptions options;
+    options.worker_kind = WorkerKind::kSubprocess;
+    options.max_workers = 3;
+    DistributedScanCoordinator coordinator(&fixture.table.value(), options);
+    MultiCountPlan plan(fixture.spec);
+    const Status status = coordinator.Execute(&plan);
+    ASSERT_TRUE(status.ok()) << "k=" << k << ": " << status.ToString();
+    ExpectPlansIdentical(plan, fixture.reference);
+    EXPECT_GE(coordinator.scan_stats().retries, 1) << "k=" << k;
+    EXPECT_GE(coordinator.scan_stats().workers_respawned, 1) << "k=" << k;
+  }
+}
+
+/// Transport-level faults beyond a clean crash: a truncated reply frame
+/// followed by death, and a garbage frame. Both must mark the daemon
+/// broken and fail over without poisoning the merge.
+TEST(FaultToleranceTest, CorruptFramesFailOverBitExactly) {
+  if (ResolveWorkerdPath("").empty()) {
+    GTEST_SKIP() << "OPTRULES_WORKERD not set";
+  }
+  for (const std::string kind : {"crash-mid-frame", "garbage-frame"}) {
+    FaultFixture fixture(700, 35, 4, "fault_" + kind);
+    ScopedEnv fault("OPTRULES_WORKERD_FAULT", kind.c_str());
+    const std::string token = WriteFaultToken("corrupt_token_" + kind);
+    ScopedEnv token_env("OPTRULES_WORKERD_FAULT_TOKEN", token.c_str());
+    DistributedScanOptions options;
+    options.worker_kind = WorkerKind::kSubprocess;
+    options.max_workers = 2;
+    DistributedScanCoordinator coordinator(&fixture.table.value(), options);
+    MultiCountPlan plan(fixture.spec);
+    const Status status = coordinator.Execute(&plan);
+    ASSERT_TRUE(status.ok()) << kind << ": " << status.ToString();
+    ExpectPlansIdentical(plan, fixture.reference);
+    EXPECT_GE(coordinator.scan_stats().retries, 1) << kind;
+    EXPECT_GE(coordinator.scan_stats().workers_respawned, 1) << kind;
+  }
+}
+
+/// A clean kError frame is a request failure, not a transport failure:
+/// the daemon answered and stays in the roster; only the partition is
+/// retried.
+TEST(FaultToleranceTest, ErrorFrameRetriesWithoutRespawning) {
+  if (ResolveWorkerdPath("").empty()) {
+    GTEST_SKIP() << "OPTRULES_WORKERD not set";
+  }
+  FaultFixture fixture(600, 37, 4, "fault_error_frame");
+  ScopedEnv fault("OPTRULES_WORKERD_FAULT", "error-frame");
+  const std::string token = WriteFaultToken("error_frame_token");
+  ScopedEnv token_env("OPTRULES_WORKERD_FAULT_TOKEN", token.c_str());
+  DistributedScanOptions options;
+  options.worker_kind = WorkerKind::kSubprocess;
+  options.max_workers = 2;
+  DistributedScanCoordinator coordinator(&fixture.table.value(), options);
+  MultiCountPlan plan(fixture.spec);
+  ASSERT_TRUE(coordinator.Execute(&plan).ok());
+  ExpectPlansIdentical(plan, fixture.reference);
+  EXPECT_GE(coordinator.scan_stats().retries, 1);
+  EXPECT_EQ(coordinator.scan_stats().workers_respawned, 0);
+}
+
+/// Liveness vs deadline, hung side: a daemon that sleeps with heartbeats
+/// SUPPRESSED is declared hung after liveness_timeout_ms, SIGKILLed, and
+/// its partition retried -- long before its 30 s nap would end.
+TEST(FaultToleranceTest, HungDaemonIsKilledAndRetried) {
+  if (ResolveWorkerdPath("").empty()) {
+    GTEST_SKIP() << "OPTRULES_WORKERD not set";
+  }
+  FaultFixture fixture(500, 39, 3, "fault_hang");
+  ScopedEnv fault("OPTRULES_WORKERD_FAULT", "hang:30000");
+  const std::string token = WriteFaultToken("hang_token");
+  ScopedEnv token_env("OPTRULES_WORKERD_FAULT_TOKEN", token.c_str());
+  DistributedScanOptions options;
+  options.worker_kind = WorkerKind::kSubprocess;
+  options.max_workers = 3;
+  options.liveness_timeout_ms = 300;
+  DistributedScanCoordinator coordinator(&fixture.table.value(), options);
+  MultiCountPlan plan(fixture.spec);
+  const auto start = std::chrono::steady_clock::now();
+  ASSERT_TRUE(coordinator.Execute(&plan).ok());
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  ExpectPlansIdentical(plan, fixture.reference);
+  EXPECT_GE(coordinator.scan_stats().retries, 1);
+  EXPECT_GE(coordinator.scan_stats().workers_respawned, 1);
+  EXPECT_LT(elapsed.count(), 15'000) << "hung daemon was waited out";
+}
+
+/// Liveness vs deadline, slow side: a daemon that stalls WITH heartbeats
+/// running is provably alive, so the same liveness timeout must NOT kill
+/// it -- the scan just takes the extra 600 ms and nothing retries.
+TEST(FaultToleranceTest, StragglerWithHeartbeatsIsNotKilled) {
+  if (ResolveWorkerdPath("").empty()) {
+    GTEST_SKIP() << "OPTRULES_WORKERD not set";
+  }
+  FaultFixture fixture(500, 41, 3, "fault_stall");
+  ScopedEnv fault("OPTRULES_WORKERD_FAULT", "stall:600");
+  const std::string token = WriteFaultToken("stall_token");
+  ScopedEnv token_env("OPTRULES_WORKERD_FAULT_TOKEN", token.c_str());
+  DistributedScanOptions options;
+  options.worker_kind = WorkerKind::kSubprocess;
+  options.max_workers = 3;
+  options.liveness_timeout_ms = 300;  // < the stall, yet no kill
+  DistributedScanCoordinator coordinator(&fixture.table.value(), options);
+  MultiCountPlan plan(fixture.spec);
+  ASSERT_TRUE(coordinator.Execute(&plan).ok());
+  ExpectPlansIdentical(plan, fixture.reference);
+  EXPECT_EQ(coordinator.scan_stats().retries, 0);
+  EXPECT_EQ(coordinator.scan_stats().workers_respawned, 0);
+}
+
+/// The per-partition deadline caps even a live straggler: heartbeats keep
+/// it past the liveness check, but the total budget expires, the daemon
+/// is killed, and the retry (with a backed-off, doubled deadline) lands
+/// on a clean respawn.
+TEST(FaultToleranceTest, PartitionDeadlineKillsLiveStraggler) {
+  if (ResolveWorkerdPath("").empty()) {
+    GTEST_SKIP() << "OPTRULES_WORKERD not set";
+  }
+  FaultFixture fixture(500, 43, 3, "fault_deadline");
+  ScopedEnv fault("OPTRULES_WORKERD_FAULT", "stall:5000");
+  const std::string token = WriteFaultToken("deadline_token");
+  ScopedEnv token_env("OPTRULES_WORKERD_FAULT_TOKEN", token.c_str());
+  DistributedScanOptions options;
+  options.worker_kind = WorkerKind::kSubprocess;
+  options.max_workers = 3;
+  options.partition_deadline_ms = 400;
+  DistributedScanCoordinator coordinator(&fixture.table.value(), options);
+  MultiCountPlan plan(fixture.spec);
+  const auto start = std::chrono::steady_clock::now();
+  ASSERT_TRUE(coordinator.Execute(&plan).ok());
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  ExpectPlansIdentical(plan, fixture.reference);
+  EXPECT_GE(coordinator.scan_stats().retries, 1);
+  EXPECT_GE(coordinator.scan_stats().workers_respawned, 1);
+  EXPECT_LT(elapsed.count(), 5'000) << "deadline did not cut the stall";
+}
+
+/// Work stealing: with one worker slot stuck on its first partition, an
+/// idle peer drains the rest of its static stride. Same bits, and the
+/// partitions_stolen counter proves the path ran.
+TEST(FaultToleranceTest, IdleWorkersStealFromStragglers) {
+  FaultFixture fixture(1000, 45, 8, "fault_steal");
+  DistributedScanOptions options;
+  options.max_workers = 2;
+  // Worker slot 0 sleeps 400 ms on its first scan; slot 1 finishes its
+  // own four partitions in a fraction of that and steals slot 0's rest.
+  options.worker_factory =
+      FaultyWorkerFactory(0, {{.at_call = 0, .delay_ms = 400}});
+  DistributedScanCoordinator coordinator(&fixture.table.value(), options);
+  MultiCountPlan plan(fixture.spec);
+  ASSERT_TRUE(coordinator.Execute(&plan).ok());
+  ExpectPlansIdentical(plan, fixture.reference);
+  EXPECT_GE(coordinator.scan_stats().partitions_stolen, 1);
+  EXPECT_EQ(coordinator.scan_stats().retries, 0);
+  EXPECT_EQ(coordinator.scan_stats().workers_respawned, 0);
+}
+
+/// The legacy static schedule never steals: the same straggler setup
+/// completes with partitions_stolen == 0 (and the same bits).
+TEST(FaultToleranceTest, StaticSchedulingNeverSteals) {
+  FaultFixture fixture(1000, 45, 8, "fault_static");
+  DistributedScanOptions options;
+  options.max_workers = 2;
+  options.scheduling = ScanScheduling::kStatic;
+  options.worker_factory =
+      FaultyWorkerFactory(0, {{.at_call = 0, .delay_ms = 200}});
+  DistributedScanCoordinator coordinator(&fixture.table.value(), options);
+  MultiCountPlan plan(fixture.spec);
+  ASSERT_TRUE(coordinator.Execute(&plan).ok());
+  ExpectPlansIdentical(plan, fixture.reference);
+  EXPECT_EQ(coordinator.scan_stats().partitions_stolen, 0);
+}
+
+/// Speculative tail execution: the last in-flight partition is re-run by
+/// an idle worker; the first bit-exact partial wins and the duplicate is
+/// discarded, never double-merged (the bit-identity check would catch
+/// doubled counts immediately).
+TEST(FaultToleranceTest, SpeculativeTailDuplicateIsDiscarded) {
+  FaultFixture fixture(800, 47, 3, "fault_speculative");
+  DistributedScanOptions options;
+  options.max_workers = 3;
+  options.speculative_tail = true;
+  // Slot 0 dawdles 400 ms on partition 0; slots 1 and 2 finish their own
+  // partitions ~instantly, go idle, and exactly one of them speculatively
+  // re-runs partition 0 (the speculation is one-shot per partition). The
+  // duplicate's partial wins; the straggler's late copy is discarded.
+  auto calls = std::make_shared<std::atomic<int64_t>>(0);
+  auto built = std::make_shared<std::atomic<int>>(0);
+  options.worker_factory =
+      [calls, built]() -> Result<std::unique_ptr<ScanWorker>> {
+    std::vector<InjectedFault> faults;
+    if (built->fetch_add(1) == 0) {
+      faults.push_back({.at_call = 0, .delay_ms = 400});
+    }
+    return std::unique_ptr<ScanWorker>(std::make_unique<CountingScanWorker>(
+        std::make_unique<FaultInjectingScanWorker>(
+            std::make_unique<InProcessScanWorker>(), std::move(faults)),
+        calls));
+  };
+  DistributedScanCoordinator coordinator(&fixture.table.value(), options);
+  MultiCountPlan plan(fixture.spec);
+  ASSERT_TRUE(coordinator.Execute(&plan).ok());
+  // Bit-identity is the double-merge detector: a duplicate partial merged
+  // twice would double partition 0's counts.
+  ExpectPlansIdentical(plan, fixture.reference);
+  // 3 partitions + exactly one speculative duplicate ran.
+  EXPECT_EQ(calls->load(), 4);
+  EXPECT_EQ(coordinator.scan_stats().retries, 0);
+}
+
+/// Retry budget: a partition that fails on every attempt eventually
+/// fails the scan with ITS error, after exactly the configured number of
+/// attempts.
+TEST(FaultToleranceTest, RetryBudgetExhaustionFailsTheScan) {
+  FaultFixture fixture(300, 49, 2, "fault_budget");
+  DistributedScanOptions options;
+  options.max_workers = 1;
+  options.max_partition_attempts = 2;
+  std::vector<InjectedFault> always_failing;
+  for (int call = 0; call < 8; ++call) {
+    always_failing.push_back(
+        {.at_call = call, .status = Status::Internal("persistent fault")});
+  }
+  options.worker_factory = FaultyWorkerFactory(0, always_failing);
+  DistributedScanCoordinator coordinator(&fixture.table.value(), options);
+  MultiCountPlan plan(fixture.spec);
+  const Status status = coordinator.Execute(&plan);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+  EXPECT_EQ(coordinator.scan_stats().retries, 1);  // 2 attempts = 1 retry
+}
+
+/// InvalidArgument is permanent: no retry, the scan fails immediately.
+TEST(FaultToleranceTest, PermanentFailuresAreNotRetried) {
+  FaultFixture fixture(300, 51, 2, "fault_permanent");
+  DistributedScanOptions options;
+  options.max_workers = 1;
+  options.worker_factory = FaultyWorkerFactory(
+      0, {{.at_call = 0,
+           .status = Status::InvalidArgument("bad spec for partition")}});
+  DistributedScanCoordinator coordinator(&fixture.table.value(), options);
+  MultiCountPlan plan(fixture.spec);
+  const Status status = coordinator.Execute(&plan);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(coordinator.scan_stats().retries, 0);
+}
+
+/// When every worker is dead and the respawn budget is spent, the scan
+/// fails cleanly instead of hanging or spinning forever.
+TEST(FaultToleranceTest, DeadFleetWithExhaustedBudgetFailsCleanly) {
+  FaultFixture fixture(300, 53, 2, "fault_dead_fleet");
+  DistributedScanOptions options;
+  options.max_workers = 1;
+  options.max_respawns = 1;
+  auto lethal_factory = []() -> Result<std::unique_ptr<ScanWorker>> {
+    std::vector<InjectedFault> faults;
+    for (int call = 0; call < 8; ++call) {
+      faults.push_back({.at_call = call,
+                        .status = Status::IoError("worker keeps dying"),
+                        .mark_unhealthy = true});
+    }
+    return std::unique_ptr<ScanWorker>(
+        std::make_unique<FaultInjectingScanWorker>(
+            std::make_unique<InProcessScanWorker>(), std::move(faults)));
+  };
+  options.worker_factory = lethal_factory;
+  DistributedScanCoordinator coordinator(&fixture.table.value(), options);
+  MultiCountPlan plan(fixture.spec);
+  EXPECT_FALSE(coordinator.Execute(&plan).ok());
+}
+
+/// The roster-retention fix: one bad partition must no longer re-fork
+/// every healthy daemon. A scan that fails because a partition file
+/// vanished keeps all daemons (they answered with clean error frames);
+/// once the file is restored the SAME daemons serve the next Execute,
+/// with zero respawns.
+TEST(FaultToleranceTest, FailedExecuteKeepsHealthyDaemons) {
+  if (ResolveWorkerdPath("").empty()) {
+    GTEST_SKIP() << "OPTRULES_WORKERD not set";
+  }
+  ScopedFaultsOff no_faults;  // the respawn count below must isolate the fix
+  FaultFixture fixture(600, 55, 3, "fault_roster");
+  DistributedScanOptions options;
+  options.worker_kind = WorkerKind::kSubprocess;
+  options.max_workers = 3;
+  DistributedScanCoordinator coordinator(&fixture.table.value(), options);
+  const std::string victim = fixture.table.value().PartitionPath(1);
+  const std::string hidden = victim + ".hidden";
+  std::filesystem::rename(victim, hidden);
+  MultiCountPlan failing(fixture.spec);
+  ASSERT_FALSE(coordinator.Execute(&failing).ok());
+  std::filesystem::rename(hidden, victim);
+  MultiCountPlan plan(fixture.spec);
+  ASSERT_TRUE(coordinator.Execute(&plan).ok());
+  ExpectPlansIdentical(plan, fixture.reference);
+  EXPECT_EQ(coordinator.scan_stats().workers_respawned, 0)
+      << "healthy daemons were re-forked after an unrelated failure";
+}
+
+/// The fault counters flow through MiningEngine::scan_stats(), so a
+/// session can report its retries/respawns/steals without reaching into
+/// the coordinator.
+TEST(FaultToleranceTest, EngineScanStatsExposeFaultCounters) {
+  const storage::Relation relation = TestRelation(900, 57);
+  const std::string dir = TempDir("fault_engine_stats");
+  PartitionOptions partition_options;
+  partition_options.num_partitions = 4;
+  Result<PartitionedTable> table =
+      PartitionRelation(relation, dir, partition_options);
+  ASSERT_TRUE(table.ok());
+  DistributedScanOptions scan_options;
+  scan_options.max_workers = 2;
+  scan_options.worker_factory = FaultyWorkerFactory(
+      0, {{.at_call = 0,
+           .status = Status::IoError("injected transport death"),
+           .mark_unhealthy = true}});
+  rules::MinerOptions options;
+  options.num_buckets = 12;
+  rules::MiningEngine engine(&table.value(), options, scan_options);
+  ASSERT_TRUE(engine.TryPrepare().ok());
+  EXPECT_GE(engine.scan_stats().retries, 1);
+  EXPECT_GE(engine.scan_stats().workers_respawned, 1);
   std::filesystem::remove_all(dir);
 }
 

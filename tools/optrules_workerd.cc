@@ -3,14 +3,34 @@
 // Speaks the length-prefixed pipe protocol on stdin/stdout: the
 // coordinator sends scan-request frames (partition path + MultiCountSpec
 // + boundaries), the worker replies with serialized partial
-// MultiCountPlan state, until EOF or a shutdown frame. Spawned by
+// MultiCountPlan state, until EOF or a shutdown frame; kPing frames are
+// answered with kPong, and a keepalive thread ships kHeartbeat frames
+// while a scan is in flight so the coordinator's liveness timeout can
+// tell a hung daemon from a slow one. Spawned by
 // dist::SubprocessScanWorker; runnable by hand for debugging:
 //   optrules_workerd < requests.bin > replies.bin
+//
+// Fault injection (ctest-only): `--fault=<spec>` or the
+// OPTRULES_WORKERD_FAULT environment variable arms one deterministic
+// fault -- crash-before-reply / crash-mid-frame / garbage-frame /
+// error-frame / stall:<ms> / hang:<ms>, each optionally @<request
+// ordinal>, or `rotate` for the counter-file pattern the check-faults
+// lane uses. See dist/worker_protocol.h for the full grammar and the
+// token/counter gating that keeps multi-daemon fault runs deterministic.
 
 #include <unistd.h>
 
+#include <cstring>
+
 #include "dist/worker_protocol.h"
 
-int main() {
-  return optrules::dist::RunWorkerLoop(STDIN_FILENO, STDOUT_FILENO);
+int main(int argc, char** argv) {
+  const char* fault_spec = nullptr;  // nullptr = consult the environment
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--fault=", 8) == 0) {
+      fault_spec = argv[i] + 8;
+    }
+  }
+  return optrules::dist::RunWorkerLoop(STDIN_FILENO, STDOUT_FILENO,
+                                       fault_spec);
 }
