@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "bucketing/simd_kernels_scalar.inl.h"
+#include "common/env.h"
 
 namespace optrules::bucketing::simd {
 
@@ -55,8 +56,9 @@ const Kernels kScalar = {"scalar", LocateSearchScalar, LocateEquiWidthScalar,
                          MaskAndScalar, FoldCellsScalar};
 
 bool ReadForceScalarEnv() {
-  const char* env = std::getenv("OPTRULES_FORCE_SCALAR");
-  return env != nullptr && env[0] == '1';
+  // Strict 0/1 flag: "1abc" used to silently pin scalar; now it warns and
+  // leaves runtime dispatch on.
+  return env::ReadEnvFlag("OPTRULES_FORCE_SCALAR", false);
 }
 
 std::atomic<bool>& ForceScalarFlag() {

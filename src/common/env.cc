@@ -1,0 +1,51 @@
+#include "common/env.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+namespace optrules::env {
+
+std::optional<uint64_t> ParseNonNegativeInt(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  uint64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return std::nullopt;
+    const uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (value > (std::numeric_limits<uint64_t>::max() - digit) / 10) {
+      return std::nullopt;  // would overflow
+    }
+    value = value * 10 + digit;
+  }
+  return value;
+}
+
+uint64_t ReadEnvNonNegativeInt(const char* name, uint64_t fallback) {
+  const char* text = std::getenv(name);
+  if (text == nullptr || text[0] == '\0') return fallback;
+  const std::optional<uint64_t> parsed = ParseNonNegativeInt(text);
+  if (!parsed.has_value()) {
+    std::fprintf(stderr,
+                 "optrules: ignoring %s=\"%s\" (not a clean non-negative "
+                 "integer); using default %llu\n",
+                 name, text, static_cast<unsigned long long>(fallback));
+    return fallback;
+  }
+  return *parsed;
+}
+
+bool ReadEnvFlag(const char* name, bool fallback) {
+  const char* text = std::getenv(name);
+  if (text == nullptr || text[0] == '\0') return fallback;
+  const std::optional<uint64_t> parsed = ParseNonNegativeInt(text);
+  if (!parsed.has_value()) {
+    std::fprintf(stderr,
+                 "optrules: ignoring %s=\"%s\" (not a clean non-negative "
+                 "integer); using default %d\n",
+                 name, text, fallback ? 1 : 0);
+    return fallback;
+  }
+  return *parsed != 0;
+}
+
+}  // namespace optrules::env

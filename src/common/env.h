@@ -1,0 +1,38 @@
+// Strict environment-variable parsing.
+//
+// Every knob the library reads from the environment goes through these
+// helpers so malformed values are REJECTED (with a one-line warning to
+// stderr) instead of silently half-parsed: `strtoull`-style acceptance of
+// trailing garbage ("64abc" -> 64) and negative wraparound ("-1" -> a
+// huge unsigned budget) have both produced silently-wrong configurations.
+// A value must be a clean base-10 non-negative integer -- digits only, no
+// sign, no whitespace, no suffix -- or the documented default applies.
+
+#ifndef OPTRULES_COMMON_ENV_H_
+#define OPTRULES_COMMON_ENV_H_
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace optrules::env {
+
+/// Parses `text` as a clean base-10 non-negative integer: one or more
+/// ASCII digits and nothing else. Returns nullopt for an empty string,
+/// any sign, whitespace, trailing garbage, or a value that overflows
+/// uint64_t. ("64abc", "-1", " 8", and "1e6" all fail.)
+std::optional<uint64_t> ParseNonNegativeInt(std::string_view text);
+
+/// Reads environment variable `name` through ParseNonNegativeInt. Unset
+/// or empty returns `fallback` silently; a set-but-malformed value logs
+/// one warning to stderr and returns `fallback`.
+uint64_t ReadEnvNonNegativeInt(const char* name, uint64_t fallback);
+
+/// Reads a 0/1 flag variable: "0" is false, any clean positive integer is
+/// true. Unset or empty returns `fallback` silently; malformed values
+/// ("1abc", "yes") log one warning and return `fallback`.
+bool ReadEnvFlag(const char* name, bool fallback);
+
+}  // namespace optrules::env
+
+#endif  // OPTRULES_COMMON_ENV_H_

@@ -14,6 +14,7 @@
 #define OPTRULES_DIST_WIRE_H_
 
 #include <cstdint>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -36,7 +37,36 @@ enum class FrameKind : uint8_t {
 };
 
 /// Writes one [length][payload] frame to `fd`, handling short writes.
+///
+/// NOT atomic across threads: two threads calling WriteFrame on one fd can
+/// interleave mid-frame (the length prefix and payload are separate
+/// write(2) calls, and large payloads take several), corrupting the
+/// stream. Any connection written by more than one thread -- a worker
+/// daemon's heartbeat thread, a serve-layer connection multiplexing
+/// responder threads -- must serialize through a FrameWriter.
 Status WriteFrame(int fd, std::span<const uint8_t> payload);
+
+/// Serializes WriteFrame calls on one shared fd: the per-connection write
+/// mutex of every multi-writer connection (daemon reply pipes, serve-layer
+/// client sockets). Reads need no twin: each connection has exactly one
+/// reader thread.
+class FrameWriter {
+ public:
+  explicit FrameWriter(int fd) : fd_(fd) {}
+  FrameWriter(const FrameWriter&) = delete;
+  FrameWriter& operator=(const FrameWriter&) = delete;
+
+  Status Write(std::span<const uint8_t> payload) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return WriteFrame(fd_, payload);
+  }
+
+  int fd() const { return fd_; }
+
+ private:
+  int fd_;
+  std::mutex mu_;
+};
 
 /// Reads the next frame into *payload. A clean EOF at a frame boundary
 /// returns NotFound (the peer closed the pipe); EOF mid-frame is

@@ -1,6 +1,7 @@
 #include "dist/worker_protocol.h"
 
 #include <csignal>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <chrono>
@@ -8,6 +9,7 @@
 #include <limits>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -19,6 +21,7 @@
 #include "bucketing/counting.h"
 #include "bucketing/parallel_count.h"
 #include "common/bytes.h"
+#include "common/env.h"
 #include "dist/wire.h"
 #include "storage/columnar_batch.h"
 
@@ -166,14 +169,32 @@ WorkerFault ParseWorkerFault(const char* spec) {
     }
     return fault;
   }
+  // The numeric pieces of a fault spec parse strictly (clean non-negative
+  // integers only): "stall:50x" or "@2junk" used to half-parse via atoll
+  // and arm a fault at the wrong ordinal. A malformed number now disarms
+  // the whole spec with a warning -- a misconfigured test should fail
+  // loudly as "no fault fired", never fault somewhere unexpected.
+  const auto reject = [&text](const char* what) {
+    std::fprintf(stderr,
+                 "optrules_workerd: ignoring fault spec with malformed %s "
+                 "(\"%s\" must use clean non-negative integers)\n",
+                 what, text.c_str());
+    return WorkerFault{};
+  };
   const size_t at = text.find('@');
   if (at != std::string::npos) {
-    fault.at_request = std::atoll(text.c_str() + at + 1);
+    const std::optional<uint64_t> ordinal =
+        env::ParseNonNegativeInt(text.substr(at + 1));
+    if (!ordinal.has_value()) return reject("@ordinal");
+    fault.at_request = static_cast<int64_t>(*ordinal);
     text.resize(at);
   }
   const size_t colon = text.find(':');
   if (colon != std::string::npos) {
-    fault.sleep_ms = std::atoll(text.c_str() + colon + 1);
+    const std::optional<uint64_t> sleep_ms =
+        env::ParseNonNegativeInt(text.substr(colon + 1));
+    if (!sleep_ms.has_value()) return reject(":milliseconds");
+    fault.sleep_ms = static_cast<int64_t>(*sleep_ms);
     text.resize(colon);
   }
   if (text == "crash-before-reply") {
@@ -202,21 +223,8 @@ WorkerFault ParseWorkerFault(const char* spec) {
 
 // -------------------------------------------------- keepalive writer ----
 
-/// Serializes all writes to the reply pipe: the heartbeat thread and the
-/// main loop share the fd, and frames must never interleave mid-frame.
-class FrameWriter {
- public:
-  explicit FrameWriter(int fd) : fd_(fd) {}
-
-  Status Write(std::span<const uint8_t> payload) {
-    std::lock_guard<std::mutex> lock(mu_);
-    return WriteFrame(fd_, payload);
-  }
-
- private:
-  int fd_;
-  std::mutex mu_;
-};
+// The heartbeat thread and the main loop share the reply fd; the shared
+// dist::FrameWriter (wire.h) keeps their frames from interleaving.
 
 constexpr int64_t kHeartbeatIntervalMs = 100;
 

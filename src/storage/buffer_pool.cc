@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <utility>
 
+#include "common/env.h"
+
 namespace optrules::storage {
 
 // ------------------------------------------------------------------ Pin ----
@@ -244,13 +246,10 @@ BufferPool::Stats BufferPool::stats() const {
 
 BufferPool* BufferPool::Default() {
   static BufferPool* pool = []() -> BufferPool* {
-    size_t bytes = kDefaultBufferPoolBytes;
-    if (const char* env = std::getenv("OPTRULES_BUFFER_POOL_BYTES");
-        env != nullptr && *env != '\0') {
-      char* end = nullptr;
-      const unsigned long long parsed = std::strtoull(env, &end, 10);
-      if (end != env) bytes = static_cast<size_t>(parsed);
-    }
+    // Strict parse: "64abc" and "-1" are rejected (warning + 64 MiB
+    // default), never half-parsed into a bogus budget. "0" = bypass.
+    const size_t bytes = static_cast<size_t>(env::ReadEnvNonNegativeInt(
+        "OPTRULES_BUFFER_POOL_BYTES", kDefaultBufferPoolBytes));
     if (bytes == 0) return nullptr;
     static BufferPool instance(bytes);
     return &instance;

@@ -1,12 +1,16 @@
-// Unit tests for src/common: Rng, Ratio, binomial math, Status/Result.
+// Unit tests for src/common: Rng, Ratio, binomial math, Status/Result,
+// strict env parsing.
 
 #include <cmath>
+#include <cstdlib>
+#include <limits>
 #include <set>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "common/binomial.h"
+#include "common/env.h"
 #include "common/ratio.h"
 #include "common/rng.h"
 #include "common/status.h"
@@ -256,6 +260,62 @@ TEST(ResultTest, MoveOutValue) {
   Result<std::vector<int>> r(std::vector<int>{1, 2, 3});
   const std::vector<int> v = std::move(r).value();
   EXPECT_EQ(v.size(), 3u);
+}
+
+// ------------------------------------------------------- env parsing ----
+
+TEST(EnvParseTest, AcceptsCleanNonNegativeIntegers) {
+  EXPECT_EQ(env::ParseNonNegativeInt("0"), 0u);
+  EXPECT_EQ(env::ParseNonNegativeInt("64"), 64u);
+  EXPECT_EQ(env::ParseNonNegativeInt("18446744073709551615"),
+            std::numeric_limits<uint64_t>::max());
+}
+
+TEST(EnvParseTest, RejectsTrailingGarbage) {
+  // The strtoull behavior this replaces: "64abc" used to parse as 64.
+  EXPECT_FALSE(env::ParseNonNegativeInt("64abc").has_value());
+  EXPECT_FALSE(env::ParseNonNegativeInt("1e6").has_value());
+  EXPECT_FALSE(env::ParseNonNegativeInt("64 ").has_value());
+  EXPECT_FALSE(env::ParseNonNegativeInt(" 64").has_value());
+}
+
+TEST(EnvParseTest, RejectsSignsAndEmpty) {
+  // "-1" used to wrap to a huge unsigned budget.
+  EXPECT_FALSE(env::ParseNonNegativeInt("-1").has_value());
+  EXPECT_FALSE(env::ParseNonNegativeInt("+1").has_value());
+  EXPECT_FALSE(env::ParseNonNegativeInt("").has_value());
+  EXPECT_FALSE(env::ParseNonNegativeInt("-").has_value());
+}
+
+TEST(EnvParseTest, RejectsOverflow) {
+  EXPECT_FALSE(env::ParseNonNegativeInt("18446744073709551616").has_value());
+  EXPECT_FALSE(
+      env::ParseNonNegativeInt("99999999999999999999999").has_value());
+}
+
+TEST(EnvParseTest, ReadEnvFallsBackOnGarbage) {
+  ASSERT_EQ(setenv("OPTRULES_ENV_TEST_VAR", "64abc", 1), 0);
+  EXPECT_EQ(env::ReadEnvNonNegativeInt("OPTRULES_ENV_TEST_VAR", 7), 7u);
+  ASSERT_EQ(setenv("OPTRULES_ENV_TEST_VAR", "-1", 1), 0);
+  EXPECT_EQ(env::ReadEnvNonNegativeInt("OPTRULES_ENV_TEST_VAR", 7), 7u);
+  ASSERT_EQ(setenv("OPTRULES_ENV_TEST_VAR", "9000", 1), 0);
+  EXPECT_EQ(env::ReadEnvNonNegativeInt("OPTRULES_ENV_TEST_VAR", 7), 9000u);
+  ASSERT_EQ(unsetenv("OPTRULES_ENV_TEST_VAR"), 0);
+  EXPECT_EQ(env::ReadEnvNonNegativeInt("OPTRULES_ENV_TEST_VAR", 7), 7u);
+}
+
+TEST(EnvParseTest, ReadEnvFlagStrictness) {
+  ASSERT_EQ(setenv("OPTRULES_ENV_TEST_FLAG", "1", 1), 0);
+  EXPECT_TRUE(env::ReadEnvFlag("OPTRULES_ENV_TEST_FLAG", false));
+  ASSERT_EQ(setenv("OPTRULES_ENV_TEST_FLAG", "0", 1), 0);
+  EXPECT_FALSE(env::ReadEnvFlag("OPTRULES_ENV_TEST_FLAG", true));
+  // "1abc" used to pin the scalar kernels via atoi-style parsing; it must
+  // now fall back to the default.
+  ASSERT_EQ(setenv("OPTRULES_ENV_TEST_FLAG", "1abc", 1), 0);
+  EXPECT_FALSE(env::ReadEnvFlag("OPTRULES_ENV_TEST_FLAG", false));
+  ASSERT_EQ(setenv("OPTRULES_ENV_TEST_FLAG", "yes", 1), 0);
+  EXPECT_FALSE(env::ReadEnvFlag("OPTRULES_ENV_TEST_FLAG", false));
+  ASSERT_EQ(unsetenv("OPTRULES_ENV_TEST_FLAG"), 0);
 }
 
 }  // namespace

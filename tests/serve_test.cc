@@ -1,0 +1,804 @@
+// Tests for the resident mining service (src/serve/): protocol codecs
+// against hostile payloads, cross-session scan coalescing correctness
+// (bit-identical to standalone engines, one physical scan per window),
+// per-session failure isolation, admission control, graceful shutdown
+// with wedged clients, the shared FrameWriter's multi-thread atomicity,
+// generation re-keying on table republish, and a boot round against the
+// real optrules_served daemon on an ephemeral socket ($OPTRULES_SERVED).
+
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <bit>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "datagen/table_generator.h"
+#include "dist/partitioned_table.h"
+#include "dist/wire.h"
+#include "rules/miner.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+
+namespace optrules::serve {
+namespace {
+
+std::string TempDir(const std::string& name) {
+  const std::string dir = testing::TempDir() + "/" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+storage::Relation TestRelation(int64_t rows, uint64_t seed,
+                               int num_numeric = 3, int num_boolean = 2) {
+  datagen::TableConfig config;
+  config.num_rows = rows;
+  config.num_numeric = num_numeric;
+  config.num_boolean = num_boolean;
+  Rng rng(seed);
+  storage::Relation relation = datagen::GenerateTable(config, rng);
+  std::vector<double>& column = relation.MutableNumericColumn(0);
+  for (size_t row = 0; row < column.size(); row += 97) {
+    column[row] = std::nan("");
+  }
+  return relation;
+}
+
+dist::PartitionedTable MakeTable(const std::string& dir, int64_t rows,
+                                 uint64_t seed) {
+  dist::PartitionOptions options;
+  options.num_partitions = 3;
+  auto table = dist::PartitionRelation(TestRelation(rows, seed), dir, options);
+  EXPECT_TRUE(table.status().ok()) << table.status().ToString();
+  return std::move(table).value();
+}
+
+rules::MinerOptions SmallOptions() {
+  rules::MinerOptions options;
+  options.num_buckets = 32;
+  options.region_grid_buckets = 8;
+  return options;
+}
+
+MiningClient Connect(const MiningServer& server) {
+  auto client = MiningClient::ConnectUnix(server.address());
+  EXPECT_TRUE(client.status().ok()) << client.status().ToString();
+  MiningClient connected = std::move(client).value();
+  // Generous total deadline so a server bug fails the test instead of
+  // hanging it.
+  connected.set_timeouts({.liveness_ms = 0, .total_ms = 60'000});
+  return connected;
+}
+
+bool BitEq(double a, double b) {
+  return std::bit_cast<uint64_t>(a) == std::bit_cast<uint64_t>(b);
+}
+
+void ExpectRulesEqual(const std::vector<rules::MinedRule>& served,
+                      const std::vector<rules::MinedRule>& expected) {
+  ASSERT_EQ(served.size(), expected.size());
+  for (size_t i = 0; i < served.size(); ++i) {
+    EXPECT_EQ(served[i].found, expected[i].found);
+    EXPECT_EQ(served[i].kind, expected[i].kind);
+    EXPECT_EQ(served[i].numeric_attr, expected[i].numeric_attr);
+    EXPECT_EQ(served[i].boolean_attr, expected[i].boolean_attr);
+    EXPECT_EQ(served[i].presumptive_condition,
+              expected[i].presumptive_condition);
+    EXPECT_TRUE(BitEq(served[i].range_lo, expected[i].range_lo));
+    EXPECT_TRUE(BitEq(served[i].range_hi, expected[i].range_hi));
+    EXPECT_EQ(served[i].support_count, expected[i].support_count);
+    EXPECT_EQ(served[i].hit_count, expected[i].hit_count);
+    EXPECT_TRUE(BitEq(served[i].support, expected[i].support));
+    EXPECT_TRUE(BitEq(served[i].confidence, expected[i].confidence));
+  }
+}
+
+SessionRequest PairRequest(const std::string& table_dir,
+                           const storage::Schema& schema) {
+  SessionRequest request;
+  request.table_dir = table_dir;
+  request.options = SmallOptions();
+  ServeQuery pair;
+  pair.kind = ServeQuery::Kind::kPair;
+  pair.attr_a = schema.NumericName(0);
+  pair.attr_b = schema.BooleanName(0);
+  request.queries = {pair};
+  return request;
+}
+
+// ------------------------------------------------------ protocol codec ----
+
+TEST(ServeProtocolTest, OpenSessionRoundTrip) {
+  SessionRequest request;
+  request.table_dir = "/data/tables/prod";
+  request.options = SmallOptions();
+  request.options.min_support = 0.07;
+  request.deadline_ms = 1234;
+  ServeQuery generalized;
+  generalized.kind = ServeQuery::Kind::kGeneralized;
+  generalized.attr_a = "balance";
+  generalized.conditions = {"card_loan", "employed"};
+  generalized.attr_b = "default";
+  ServeQuery region;
+  region.kind = ServeQuery::Kind::kRegion;
+  region.attr_a = "age";
+  region.attr_b = "balance";
+  region.target = "card_loan";
+  region.nx = 12;
+  region.ny = 20;
+  request.queries = {generalized, region};
+
+  std::vector<uint8_t> payload;
+  EncodeOpenSession(77, request, &payload);
+  uint32_t session_id = 0;
+  SessionRequest decoded;
+  ASSERT_TRUE(DecodeOpenSession(payload, &session_id, &decoded).ok());
+  EXPECT_EQ(session_id, 77u);
+  EXPECT_EQ(decoded.table_dir, request.table_dir);
+  EXPECT_EQ(decoded.deadline_ms, 1234);
+  EXPECT_TRUE(BitEq(decoded.options.min_support, 0.07));
+  ASSERT_EQ(decoded.queries.size(), 2u);
+  EXPECT_EQ(decoded.queries[0].kind, ServeQuery::Kind::kGeneralized);
+  EXPECT_EQ(decoded.queries[0].conditions,
+            (std::vector<std::string>{"card_loan", "employed"}));
+  EXPECT_EQ(decoded.queries[1].nx, 12);
+  EXPECT_EQ(decoded.queries[1].ny, 20);
+}
+
+TEST(ServeProtocolTest, TruncatedOpenSessionNeverCrashes) {
+  SessionRequest request;
+  request.table_dir = "/data/tables/prod";
+  request.options = SmallOptions();
+  ServeQuery pair;
+  pair.kind = ServeQuery::Kind::kPair;
+  pair.attr_a = "age";
+  pair.attr_b = "card_loan";
+  request.queries = {pair};
+  std::vector<uint8_t> payload;
+  EncodeOpenSession(9, request, &payload);
+
+  // Every truncation must fail cleanly, and the session id must survive
+  // any truncation past the 5-byte prefix (the server addresses its error
+  // frame with it).
+  for (size_t len = 0; len < payload.size(); ++len) {
+    uint32_t session_id = 0;
+    SessionRequest decoded;
+    const Status status = DecodeOpenSession(
+        std::span<const uint8_t>(payload.data(), len), &session_id,
+        &decoded);
+    EXPECT_FALSE(status.ok()) << "truncation at " << len;
+    if (len >= 5) {
+      EXPECT_EQ(session_id, 9u);
+    }
+  }
+}
+
+TEST(ServeProtocolTest, HostileCountsRejectedBeforeAllocation) {
+  // kOpenSession + session id + a table_dir whose length prefix claims
+  // 2^60 bytes: the bounds-checked reader must fail, not allocate.
+  std::vector<uint8_t> payload;
+  bytes::AppendScalar<uint8_t>(
+      &payload, static_cast<uint8_t>(ServeFrameKind::kOpenSession));
+  bytes::AppendScalar<uint32_t>(&payload, 5);
+  bytes::AppendScalar<uint64_t>(&payload, 1ull << 60);
+  payload.push_back('x');
+  uint32_t session_id = 0;
+  SessionRequest decoded;
+  const Status status = DecodeOpenSession(payload, &session_id, &decoded);
+  EXPECT_EQ(status.code(), StatusCode::kCorruption);
+  EXPECT_EQ(session_id, 5u);
+}
+
+TEST(ServeProtocolTest, ErrorAndStatsRoundTrip) {
+  std::vector<uint8_t> payload;
+  EncodeServeError(31, Status::DeadlineExceeded("too slow"), &payload);
+  uint32_t session_id = 0;
+  Status carried;
+  ASSERT_TRUE(DecodeServeError(payload, &session_id, &carried).ok());
+  EXPECT_EQ(session_id, 31u);
+  EXPECT_EQ(carried.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(carried.message(), "too slow");
+
+  ServerStatsSnapshot stats;
+  stats.sessions_admitted = 10;
+  stats.physical_scans = 2;
+  stats.coalesced_sessions = 8;
+  payload.clear();
+  EncodeStatsResult(stats, &payload);
+  ServerStatsSnapshot decoded;
+  ASSERT_TRUE(DecodeStatsResult(payload, &decoded).ok());
+  EXPECT_EQ(decoded.sessions_admitted, 10);
+  EXPECT_EQ(decoded.physical_scans, 2);
+  EXPECT_EQ(decoded.coalesced_sessions, 8);
+}
+
+TEST(ServeProtocolTest, OptionsFingerprintSeparatesResultChangingFields) {
+  rules::MinerOptions a = SmallOptions();
+  rules::MinerOptions b = a;
+  EXPECT_EQ(OptionsFingerprint(a), OptionsFingerprint(b));
+  b.num_buckets = 33;
+  EXPECT_NE(OptionsFingerprint(a), OptionsFingerprint(b));
+  b = a;
+  b.min_support = 0.051;
+  EXPECT_NE(OptionsFingerprint(a), OptionsFingerprint(b));
+  b = a;
+  b.seed = 43;
+  EXPECT_NE(OptionsFingerprint(a), OptionsFingerprint(b));
+}
+
+TEST(ServeProtocolTest, ValidateSessionOptionsBounds) {
+  EXPECT_TRUE(ValidateSessionOptions(SmallOptions()).ok());
+  rules::MinerOptions bad = SmallOptions();
+  bad.num_buckets = 0;
+  EXPECT_FALSE(ValidateSessionOptions(bad).ok());
+  bad = SmallOptions();
+  bad.num_buckets = 2'000'000;
+  EXPECT_FALSE(ValidateSessionOptions(bad).ok());
+  bad = SmallOptions();
+  bad.sample_per_bucket = 0;
+  EXPECT_FALSE(ValidateSessionOptions(bad).ok());
+  bad = SmallOptions();
+  bad.region_grid_buckets = 5000;
+  EXPECT_FALSE(ValidateSessionOptions(bad).ok());
+  bad = SmallOptions();
+  bad.gk_epsilon = 1.5;
+  EXPECT_FALSE(ValidateSessionOptions(bad).ok());
+  bad = SmallOptions();
+  bad.min_support = std::nan("");
+  EXPECT_FALSE(ValidateSessionOptions(bad).ok());
+}
+
+// ---------------------------------------------- FrameWriter atomicity ----
+
+// Regression for the concurrent-writer interleaving bug: WriteFrame on a
+// shared fd is not atomic (length prefix and payload are separate writes),
+// so multi-writer connections must serialize through dist::FrameWriter.
+// Four threads hammer one socket; the reader validates every frame's
+// internal consistency, which interleaved writes would destroy.
+TEST(FrameWriterTest, ConcurrentWritersNeverInterleaveFrames) {
+  int fds[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  constexpr int kThreads = 4;
+  constexpr int kFramesPerThread = 200;
+
+  dist::FrameWriter writer(fds[0]);
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&writer, t] {
+      for (int i = 0; i < kFramesPerThread; ++i) {
+        // Distinctive shape: byte 0 = thread, byte 1.. = a per-(t, i)
+        // pattern over a varying length, so any mid-frame interleaving
+        // corrupts either a length or a pattern.
+        const size_t body = 1 + static_cast<size_t>((i * 37 + t * 101) % 2048);
+        std::vector<uint8_t> payload(1 + body);
+        payload[0] = static_cast<uint8_t>(t);
+        const uint8_t fill = static_cast<uint8_t>((t * 31 + i) & 0xff);
+        std::memset(payload.data() + 1, fill, body);
+        ASSERT_TRUE(writer.Write(payload).ok());
+      }
+    });
+  }
+
+  std::vector<int> next_index(kThreads, 0);
+  for (int received = 0; received < kThreads * kFramesPerThread;
+       ++received) {
+    std::vector<uint8_t> payload;
+    ASSERT_TRUE(dist::ReadFrame(fds[1], &payload).ok());
+    ASSERT_GE(payload.size(), 2u);
+    const int t = payload[0];
+    ASSERT_LT(t, kThreads);
+    const int i = next_index[static_cast<size_t>(t)]++;
+    ASSERT_LT(i, kFramesPerThread);
+    const size_t body = 1 + static_cast<size_t>((i * 37 + t * 101) % 2048);
+    ASSERT_EQ(payload.size(), 1 + body);
+    const uint8_t fill = static_cast<uint8_t>((t * 31 + i) & 0xff);
+    for (size_t b = 1; b < payload.size(); ++b) {
+      ASSERT_EQ(payload[b], fill) << "frame of thread " << t << " seq " << i;
+    }
+  }
+  for (std::thread& thread : writers) thread.join();
+  close(fds[0]);
+  close(fds[1]);
+}
+
+// ----------------------------------------------- coalescing correctness ----
+
+TEST(MiningServerTest, CoalescesOverlappingAndDisjointSessionsBitIdentical) {
+  const std::string root = TempDir("serve_coalesce");
+  const std::string table_dir = root + "/table";
+  const dist::PartitionedTable table = MakeTable(table_dir, 1500, 41);
+  const storage::Schema& schema = table.schema();
+
+  ServerOptions options;
+  options.coalescing_window_ms = 150;
+  MiningServer server(options);
+  ASSERT_TRUE(server.ListenUnix(root + "/serve.sock").ok());
+  ASSERT_TRUE(server.Start().ok());
+
+  // Client A: the shared pair + a generalized query. Client B: the same
+  // shared pair (overlap) + aggregate and region queries (disjoint).
+  SessionRequest request_a = PairRequest(table_dir, schema);
+  ServeQuery generalized;
+  generalized.kind = ServeQuery::Kind::kGeneralized;
+  generalized.attr_a = schema.NumericName(1);
+  generalized.conditions = {schema.BooleanName(0)};
+  generalized.attr_b = schema.BooleanName(1);
+  request_a.queries.push_back(generalized);
+
+  SessionRequest request_b = PairRequest(table_dir, schema);
+  ServeQuery average;
+  average.kind = ServeQuery::Kind::kAverageRange;
+  average.attr_a = schema.NumericName(0);
+  average.attr_b = schema.NumericName(2);
+  average.threshold = 0.1;
+  request_b.queries.push_back(average);
+  ServeQuery region;
+  region.kind = ServeQuery::Kind::kRegion;
+  region.attr_a = schema.NumericName(0);
+  region.attr_b = schema.NumericName(1);
+  region.target = schema.BooleanName(0);
+  request_b.queries.push_back(region);
+
+  Result<SessionReply> reply_a = Status::Internal("unset");
+  Result<SessionReply> reply_b = Status::Internal("unset");
+  {
+    std::thread tenant_a([&] {
+      MiningClient client = Connect(server);
+      reply_a = client.RunSession(request_a);
+    });
+    std::thread tenant_b([&] {
+      MiningClient client = Connect(server);
+      reply_b = client.RunSession(request_b);
+    });
+    tenant_a.join();
+    tenant_b.join();
+  }
+  ASSERT_TRUE(reply_a.ok()) << reply_a.status().ToString();
+  ASSERT_TRUE(reply_b.ok()) << reply_b.status().ToString();
+
+  // One coalescing window => ONE physical counting scan for both tenants.
+  const ServerStatsSnapshot stats = server.Stats();
+  EXPECT_EQ(stats.physical_scans, 1);
+  EXPECT_EQ(stats.coalesced_sessions, 1);
+  EXPECT_EQ(stats.sessions_served, 2);
+  EXPECT_EQ(stats.batches_executed, 1);
+
+  // Same generation for both (one table publish).
+  EXPECT_EQ(reply_a.value().generation, reply_b.value().generation);
+
+  // Bit-identity against standalone engines over the same table+options.
+  {
+    rules::MiningEngine standalone(&table, SmallOptions());
+    const auto& answers = reply_a.value().answers;
+    ASSERT_EQ(answers.size(), 2u);
+    ASSERT_TRUE(answers[0].status.ok());
+    ExpectRulesEqual(answers[0].rules,
+                     standalone
+                         .MinePair(schema.NumericName(0),
+                                   schema.BooleanName(0))
+                         .value());
+    ASSERT_TRUE(answers[1].status.ok());
+    ExpectRulesEqual(answers[1].rules,
+                     standalone
+                         .MineGeneralized(schema.NumericName(1),
+                                          {schema.BooleanName(0)},
+                                          schema.BooleanName(1))
+                         .value());
+  }
+  {
+    rules::MiningEngine standalone(&table, SmallOptions());
+    const auto& answers = reply_b.value().answers;
+    ASSERT_EQ(answers.size(), 3u);
+    ASSERT_TRUE(answers[0].status.ok());
+    ExpectRulesEqual(answers[0].rules,
+                     standalone
+                         .MinePair(schema.NumericName(0),
+                                   schema.BooleanName(0))
+                         .value());
+    ASSERT_TRUE(answers[1].status.ok());
+    const rules::MinedAggregateRange expected_range =
+        standalone
+            .MineMaximumAverageRange(schema.NumericName(0),
+                                     schema.NumericName(2), 0.1)
+            .value();
+    EXPECT_EQ(answers[1].aggregate.found, expected_range.found);
+    EXPECT_TRUE(BitEq(answers[1].aggregate.average, expected_range.average));
+    EXPECT_EQ(answers[1].aggregate.support_count,
+              expected_range.support_count);
+    ASSERT_TRUE(answers[2].status.ok());
+    const rules::MinedRegion expected_region =
+        standalone
+            .MineOptimizedRegion(schema.NumericName(0),
+                                 schema.NumericName(1),
+                                 schema.BooleanName(0))
+            .value();
+    EXPECT_EQ(answers[2].region.found, expected_region.found);
+    EXPECT_EQ(answers[2].region.confidence_rectangle.support_count,
+              expected_region.confidence_rectangle.support_count);
+    EXPECT_TRUE(BitEq(answers[2].region.xmonotone_gain.gain,
+                      expected_region.xmonotone_gain.gain));
+    EXPECT_EQ(answers[2].region.xmonotone_gain.column_ranges,
+              expected_region.xmonotone_gain.column_ranges);
+  }
+  server.Stop();
+}
+
+TEST(MiningServerTest, CachedEngineAnswersSecondWindowWithoutRescan) {
+  const std::string root = TempDir("serve_cache");
+  const std::string table_dir = root + "/table";
+  const dist::PartitionedTable table = MakeTable(table_dir, 600, 43);
+
+  ServerOptions options;
+  options.coalescing_window_ms = 10;
+  MiningServer server(options);
+  ASSERT_TRUE(server.ListenUnix(root + "/serve.sock").ok());
+  ASSERT_TRUE(server.Start().ok());
+
+  MiningClient client = Connect(server);
+  const SessionRequest request = PairRequest(table_dir, table.schema());
+  ASSERT_TRUE(client.RunSession(request).ok());
+  ASSERT_TRUE(client.RunSession(request).ok());
+  const ServerStatsSnapshot stats = server.Stats();
+  // Two windows, one scan: the second session was served from the cached
+  // engine's channels.
+  EXPECT_EQ(stats.physical_scans, 1);
+  EXPECT_EQ(stats.sessions_served, 2);
+  EXPECT_EQ(stats.coalesced_sessions, 1);
+  EXPECT_GE(stats.batches_executed, 2);
+  server.Stop();
+}
+
+// ------------------------------------------------------ fault isolation ----
+
+TEST(MiningServerTest, HostileFramesFailOnlyTheOffendingSession) {
+  const std::string root = TempDir("serve_hostile");
+  const std::string table_dir = root + "/table";
+  const dist::PartitionedTable table = MakeTable(table_dir, 500, 47);
+
+  ServerOptions options;
+  options.coalescing_window_ms = 100;
+  MiningServer server(options);
+  ASSERT_TRUE(server.ListenUnix(root + "/serve.sock").ok());
+  ASSERT_TRUE(server.Start().ok());
+
+  // A well-formed session and, on a SECOND connection, a barrage of
+  // hostile frames: truncated open-session, unknown kind, hostile count.
+  std::vector<uint8_t> valid;
+  EncodeOpenSession(1, PairRequest(table_dir, table.schema()), &valid);
+
+  MiningClient hostile = Connect(server);
+  // Truncated mid-request (keeps the id prefix).
+  ASSERT_TRUE(
+      hostile
+          .SendRaw(std::span<const uint8_t>(valid.data(), valid.size() / 2))
+          .ok());
+  std::vector<uint8_t> reply;
+  ASSERT_TRUE(hostile.ReadRaw(&reply).ok());
+  ASSERT_FALSE(reply.empty());
+  EXPECT_EQ(reply[0], static_cast<uint8_t>(ServeFrameKind::kServeError));
+  {
+    uint32_t errored_id = 0;
+    Status carried;
+    ASSERT_TRUE(DecodeServeError(reply, &errored_id, &carried).ok());
+    EXPECT_EQ(errored_id, 1u);
+    EXPECT_FALSE(carried.ok());
+  }
+  // Unknown frame kind.
+  const std::vector<uint8_t> junk = {0xEE, 1, 2, 3};
+  ASSERT_TRUE(hostile.SendRaw(junk).ok());
+  ASSERT_TRUE(hostile.ReadRaw(&reply).ok());
+  EXPECT_EQ(reply[0], static_cast<uint8_t>(ServeFrameKind::kServeError));
+  // A session against a table that does not exist.
+  SessionRequest missing = PairRequest(root + "/no_such_table",
+                                       table.schema());
+  EXPECT_EQ(hostile.RunSession(missing).status().code(),
+            StatusCode::kNotFound);
+  // Malformed options (num_buckets = 0) must be rejected before reaching
+  // any engine CHECK.
+  SessionRequest bad_options = PairRequest(table_dir, table.schema());
+  bad_options.options.num_buckets = 0;
+  EXPECT_FALSE(hostile.RunSession(bad_options).ok());
+
+  // The hostile connection is still alive, and an innocent client is
+  // completely unaffected.
+  EXPECT_TRUE(hostile.Ping().ok());
+  MiningClient innocent = Connect(server);
+  auto good = innocent.RunSession(PairRequest(table_dir, table.schema()));
+  ASSERT_TRUE(good.ok()) << good.status().ToString();
+  ASSERT_EQ(good.value().answers.size(), 1u);
+  EXPECT_TRUE(good.value().answers[0].status.ok());
+
+  // An unknown attribute fails its QUERY, not the session or the batch.
+  SessionRequest unknown_attr = PairRequest(table_dir, table.schema());
+  unknown_attr.queries[0].attr_a = "no_such_attribute";
+  auto mixed = innocent.RunSession(unknown_attr);
+  ASSERT_TRUE(mixed.ok()) << mixed.status().ToString();
+  ASSERT_EQ(mixed.value().answers.size(), 1u);
+  EXPECT_FALSE(mixed.value().answers[0].status.ok());
+  server.Stop();
+}
+
+// ----------------------------------------------------- admission control ----
+
+TEST(MiningServerTest, AdmissionControlRefusesBeyondTheBound) {
+  const std::string root = TempDir("serve_admission");
+  const std::string table_dir = root + "/table";
+  const dist::PartitionedTable table = MakeTable(table_dir, 400, 51);
+
+  ServerOptions options;
+  options.max_pending_sessions = 1;
+  options.coalescing_window_ms = 400;  // hold the first session queued
+  MiningServer server(options);
+  ASSERT_TRUE(server.ListenUnix(root + "/serve.sock").ok());
+  ASSERT_TRUE(server.Start().ok());
+
+  const SessionRequest request = PairRequest(table_dir, table.schema());
+  Result<SessionReply> first = Status::Internal("unset");
+  std::thread holder([&] {
+    MiningClient client = Connect(server);
+    first = client.RunSession(request);
+  });
+  // Let the first session land in its window, then overflow the bound.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  MiningClient overflow = Connect(server);
+  const Result<SessionReply> refused = overflow.RunSession(request);
+  EXPECT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kOutOfRange);
+
+  holder.join();
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  const ServerStatsSnapshot stats = server.Stats();
+  EXPECT_EQ(stats.sessions_rejected, 1);
+  EXPECT_EQ(stats.sessions_admitted, 1);
+  server.Stop();
+}
+
+TEST(MiningServerTest, QueueDeadlineFailsSessionBeforeScan) {
+  const std::string root = TempDir("serve_deadline");
+  const std::string table_dir = root + "/table";
+  const dist::PartitionedTable table = MakeTable(table_dir, 400, 53);
+
+  ServerOptions options;
+  options.coalescing_window_ms = 250;
+  MiningServer server(options);
+  ASSERT_TRUE(server.ListenUnix(root + "/serve.sock").ok());
+  ASSERT_TRUE(server.Start().ok());
+
+  SessionRequest request = PairRequest(table_dir, table.schema());
+  request.deadline_ms = 1;  // expires inside the 250 ms window
+  MiningClient client = Connect(server);
+  const Result<SessionReply> reply = client.RunSession(request);
+  EXPECT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(server.Stats().physical_scans, 0);
+  server.Stop();
+}
+
+// ---------------------------------------------------- graceful shutdown ----
+
+TEST(MiningServerTest, StopDrainsQueuedSessionsAndDefeatsWedgedClients) {
+  const std::string root = TempDir("serve_shutdown");
+  const std::string table_dir = root + "/table";
+  const dist::PartitionedTable table = MakeTable(table_dir, 500, 59);
+
+  ServerOptions options;
+  options.coalescing_window_ms = 5'000;  // far longer than the test
+  MiningServer server(options);
+  ASSERT_TRUE(server.ListenUnix(root + "/serve.sock").ok());
+  ASSERT_TRUE(server.Start().ok());
+
+  // A wedged client: connects, sends nothing, reads nothing, never
+  // closes. Stop() must not wait on it.
+  auto wedged = MiningClient::ConnectUnix(server.address());
+  ASSERT_TRUE(wedged.ok());
+
+  // Two queued sessions deep inside the long window.
+  Result<SessionReply> reply_a = Status::Internal("unset");
+  Result<SessionReply> reply_b = Status::Internal("unset");
+  std::thread tenant_a([&] {
+    MiningClient client = Connect(server);
+    reply_a = client.RunSession(PairRequest(table_dir, table.schema()));
+  });
+  std::thread tenant_b([&] {
+    MiningClient client = Connect(server);
+    reply_b = client.RunSession(PairRequest(table_dir, table.schema()));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+
+  const auto stop_begin = std::chrono::steady_clock::now();
+  server.Stop();  // must drain the queued sessions, then return promptly
+  const auto stop_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    stop_begin)
+          .count();
+  EXPECT_LT(stop_seconds, 8.0) << "Stop() hung on a wedged client";
+
+  tenant_a.join();
+  tenant_b.join();
+  ASSERT_TRUE(reply_a.ok()) << reply_a.status().ToString();
+  ASSERT_TRUE(reply_b.ok()) << reply_b.status().ToString();
+  // After Stop, the socket is gone: new connections must fail.
+  EXPECT_FALSE(MiningClient::ConnectUnix(root + "/serve.sock").ok());
+}
+
+TEST(MiningServerTest, SessionsArrivingDuringShutdownAreRefused) {
+  const std::string root = TempDir("serve_shutdown_refuse");
+  const std::string table_dir = root + "/table";
+  const dist::PartitionedTable table = MakeTable(table_dir, 400, 61);
+
+  MiningServer server;
+  ASSERT_TRUE(server.ListenUnix(root + "/serve.sock").ok());
+  ASSERT_TRUE(server.Start().ok());
+  MiningClient client = Connect(server);
+  ASSERT_TRUE(client.Ping().ok());
+  server.Stop();
+  // The connection was shut down server-side; the session cannot succeed.
+  EXPECT_FALSE(client.RunSession(PairRequest(table_dir, table.schema()))
+                   .ok());
+}
+
+// ------------------------------------------------- generation re-keying ----
+
+TEST(MiningServerTest, RepublishedTableGetsNewGenerationAndRescan) {
+  const std::string root = TempDir("serve_generation");
+  const std::string table_dir = root + "/table";
+  MakeTable(table_dir, 700, 63);
+
+  ServerOptions options;
+  options.coalescing_window_ms = 10;
+  MiningServer server(options);
+  ASSERT_TRUE(server.ListenUnix(root + "/serve.sock").ok());
+  ASSERT_TRUE(server.Start().ok());
+
+  MiningClient client = Connect(server);
+  const dist::PartitionedTable before =
+      dist::PartitionedTable::Open(table_dir).value();
+  auto first = client.RunSession(PairRequest(table_dir, before.schema()));
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+
+  // Republish: same directory, different rows => different manifest
+  // bytes => a new generation that must NOT be answered from the old
+  // engine's cache.
+  MakeTable(table_dir, 900, 64);
+  const dist::PartitionedTable after =
+      dist::PartitionedTable::Open(table_dir).value();
+  auto second = client.RunSession(PairRequest(table_dir, after.schema()));
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+
+  EXPECT_NE(first.value().generation, second.value().generation);
+  EXPECT_EQ(server.Stats().physical_scans, 2);
+
+  // The new answers match a standalone engine over the NEW table.
+  rules::MiningEngine standalone(&after, SmallOptions());
+  ASSERT_EQ(second.value().answers.size(), 1u);
+  ExpectRulesEqual(second.value().answers[0].rules,
+                   standalone
+                       .MinePair(after.schema().NumericName(0),
+                                 after.schema().BooleanName(0))
+                       .value());
+  server.Stop();
+}
+
+// ------------------------------------------------------- stats + ping ----
+
+TEST(MiningServerTest, PingAndStatsOverTheWire) {
+  const std::string root = TempDir("serve_stats");
+  const std::string table_dir = root + "/table";
+  const dist::PartitionedTable table = MakeTable(table_dir, 400, 67);
+
+  ServerOptions options;
+  options.coalescing_window_ms = 10;
+  MiningServer server(options);
+  ASSERT_TRUE(server.ListenUnix(root + "/serve.sock").ok());
+  ASSERT_TRUE(server.Start().ok());
+
+  MiningClient client = Connect(server);
+  EXPECT_TRUE(client.Ping().ok());
+  ASSERT_TRUE(client.RunSession(PairRequest(table_dir, table.schema())).ok());
+  const Result<ServerStatsSnapshot> stats = client.Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().sessions_served, 1);
+  EXPECT_EQ(stats.value().physical_scans, 1);
+  EXPECT_EQ(stats.value().engines_cached, 1);
+  server.Stop();
+}
+
+TEST(MiningServerTest, TcpListenerServesSessions) {
+  const std::string root = TempDir("serve_tcp");
+  const std::string table_dir = root + "/table";
+  const dist::PartitionedTable table = MakeTable(table_dir, 400, 71);
+
+  ServerOptions options;
+  options.coalescing_window_ms = 10;
+  MiningServer server(options);
+  ASSERT_TRUE(server.ListenTcp(0).ok());
+  ASSERT_NE(server.port(), 0);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto client_or = MiningClient::ConnectTcp(server.port());
+  ASSERT_TRUE(client_or.ok()) << client_or.status().ToString();
+  MiningClient client = std::move(client_or).value();
+  client.set_timeouts({.liveness_ms = 0, .total_ms = 60'000});
+  auto reply = client.RunSession(PairRequest(table_dir, table.schema()));
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  server.Stop();
+}
+
+// ------------------------------------------------- the real daemon ----
+
+// Boots the optrules_served binary on an ephemeral socket, runs a client
+// session against it, and SIGTERMs it: the graceful path must drain and
+// exit 0. Exercises the same LISTENING-handshake contract the check-serve
+// lane and operators rely on.
+TEST(ServedDaemonTest, BootServeSigtermExitsZero) {
+  const char* daemon = std::getenv("OPTRULES_SERVED");
+  if (daemon == nullptr || daemon[0] == '\0') {
+    GTEST_SKIP() << "OPTRULES_SERVED not set; run under ctest";
+  }
+  const std::string root = TempDir("serve_daemon");
+  const std::string table_dir = root + "/table";
+  const dist::PartitionedTable table = MakeTable(table_dir, 500, 73);
+  const std::string socket_path = root + "/d.sock";
+
+  int out_pipe[2];
+  ASSERT_EQ(pipe(out_pipe), 0);
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    dup2(out_pipe[1], STDOUT_FILENO);
+    close(out_pipe[0]);
+    close(out_pipe[1]);
+    const std::string socket_arg = "--socket=" + socket_path;
+    execl(daemon, daemon, socket_arg.c_str(), "--window-ms=10", nullptr);
+    _exit(127);
+  }
+  close(out_pipe[1]);
+
+  // Wait for the LISTENING handshake line.
+  std::string banner;
+  char c = 0;
+  while (banner.find('\n') == std::string::npos) {
+    const ssize_t n = read(out_pipe[0], &c, 1);
+    if (n <= 0) break;
+    banner.push_back(c);
+  }
+  ASSERT_NE(banner.find("LISTENING " + socket_path), std::string::npos)
+      << "daemon banner: " << banner;
+
+  {
+    auto client_or = MiningClient::ConnectUnix(socket_path);
+    ASSERT_TRUE(client_or.ok()) << client_or.status().ToString();
+    MiningClient client = std::move(client_or).value();
+    client.set_timeouts({.liveness_ms = 0, .total_ms = 60'000});
+    auto reply = client.RunSession(PairRequest(table_dir, table.schema()));
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+    ASSERT_EQ(reply.value().answers.size(), 1u);
+    EXPECT_TRUE(reply.value().answers[0].status.ok());
+  }
+
+  ASSERT_EQ(kill(pid, SIGTERM), 0);
+  int wait_status = 0;
+  ASSERT_EQ(waitpid(pid, &wait_status, 0), pid);
+  EXPECT_TRUE(WIFEXITED(wait_status));
+  EXPECT_EQ(WEXITSTATUS(wait_status), 0);
+  close(out_pipe[0]);
+}
+
+}  // namespace
+}  // namespace optrules::serve
