@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "obs/metrics.h"
 
 namespace optrules::bench {
 
@@ -74,6 +75,24 @@ class JsonReporter {
   }
   void AddString(const std::string& key, const std::string& value) {
     entries_.emplace_back(key, "\"" + value + "\"");
+  }
+
+  /// Flattens a registry snapshot into the metrics object: counters and
+  /// gauges by name, histograms as <name>.count / <name>.sum. Harnesses
+  /// call this once at the end so the emitted JSON carries the same
+  /// numbers the serve daemon would ship in a kMetricsReply.
+  void AddRegistrySnapshot(const obs::MetricsSnapshot& snapshot,
+                           const std::string& prefix = "registry.") {
+    for (const auto& [name, value] : snapshot.counters) {
+      Add(prefix + name, value);
+    }
+    for (const auto& [name, value] : snapshot.gauges) {
+      Add(prefix + name, value);
+    }
+    for (const auto& [name, hist] : snapshot.histograms) {
+      Add(prefix + name + ".count", hist.count);
+      Add(prefix + name + ".sum", hist.sum);
+    }
   }
 
  private:

@@ -416,6 +416,11 @@ int main() {
   json.Add("total_coalesced_sessions", final_stats.coalesced_sessions);
   json.Add("total_batches", final_stats.batches_executed);
   json.Add("failures", static_cast<int64_t>(failures.load()));
+  // The server runs in-process, so its registry IS this process's
+  // registry: the snapshot carries the serve counters alongside the
+  // storage/scan instruments the sessions exercised.
+  json.AddRegistrySnapshot(
+      optrules::obs::MetricsRegistry::Default().Snapshot());
 
   const bool ok = bit_identical && window_stats.physical_scans == 1 &&
                   failures.load() == 0;

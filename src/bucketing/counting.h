@@ -277,6 +277,9 @@ class MultiCountPlan {
   /// only attach when the plan is accumulated serially.
   void set_phase_times(ScanPhaseTimes* times) { phase_times_ = times; }
 
+  /// The currently attached timing sink (nullptr when detached).
+  ScanPhaseTimes* phase_times() const { return phase_times_; }
+
   /// Appends the plan's accumulated state -- per-channel counts, grids,
   /// and the compensated (sum, compensation) pairs, bit-exact -- to `out`
   /// in a stable NATIVE-endian layout. This is the partial-plan payload

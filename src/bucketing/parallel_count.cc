@@ -5,6 +5,9 @@
 #include <limits>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace optrules::bucketing {
 
 BucketCounts ParallelCountBuckets(
@@ -91,6 +94,65 @@ class PruneSpecGuard {
   storage::BatchSource& source_;
 };
 
+/// Registry histograms for the locate / mask / scatter phase breakdown,
+/// resolved once.
+struct ScanPhaseMetrics {
+  obs::Histogram* locate;
+  obs::Histogram* mask;
+  obs::Histogram* scatter;
+  obs::Counter* scans;
+
+  static const ScanPhaseMetrics& Get() {
+    static const ScanPhaseMetrics metrics = [] {
+      obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+      return ScanPhaseMetrics{reg.GetHistogram("scan.locate_seconds"),
+                              reg.GetHistogram("scan.mask_seconds"),
+                              reg.GetHistogram("scan.scatter_seconds"),
+                              reg.GetCounter("scan.executions")};
+    }();
+    return metrics;
+  }
+};
+
+/// Attaches a ScanPhaseTimes sink to `plan` for the scope and, on exit,
+/// observes the phase totals into the registry histograms, chains them
+/// into any sink the caller had attached (so existing accessors see
+/// identical values), and stamps them onto `span` when one is given.
+/// Only valid where attaching a sink is valid: serially-executed plans.
+class PhaseTimesScope {
+ public:
+  explicit PhaseTimesScope(MultiCountPlan* plan, obs::Span* span = nullptr)
+      : plan_(plan), span_(span), prior_(plan->phase_times()) {
+    plan_->set_phase_times(&local_);
+  }
+  PhaseTimesScope(const PhaseTimesScope&) = delete;
+  PhaseTimesScope& operator=(const PhaseTimesScope&) = delete;
+
+  ~PhaseTimesScope() {
+    plan_->set_phase_times(prior_);
+    if (prior_ != nullptr) {
+      prior_->locate_seconds += local_.locate_seconds;
+      prior_->mask_seconds += local_.mask_seconds;
+      prior_->scatter_seconds += local_.scatter_seconds;
+    }
+    const ScanPhaseMetrics& metrics = ScanPhaseMetrics::Get();
+    metrics.locate->Observe(local_.locate_seconds);
+    metrics.mask->Observe(local_.mask_seconds);
+    metrics.scatter->Observe(local_.scatter_seconds);
+    if (span_ != nullptr && span_->active()) {
+      span_->AddAttribute("locate_seconds", local_.locate_seconds);
+      span_->AddAttribute("mask_seconds", local_.mask_seconds);
+      span_->AddAttribute("scatter_seconds", local_.scatter_seconds);
+    }
+  }
+
+ private:
+  MultiCountPlan* plan_;
+  obs::Span* span_;
+  ScanPhaseTimes* prior_;
+  ScanPhaseTimes local_;
+};
+
 /// Serial fallback: one reader, one plan.
 void ExecuteSerial(storage::BatchSource& source, MultiCountPlan* plan) {
   std::unique_ptr<storage::BatchReader> reader = source.CreateReader();
@@ -119,7 +181,8 @@ int RowShardCount(int64_t num_tuples) {
 /// pool-independent, bit-identical across all pool sizes (the last ulp can
 /// still differ from the unsharded serial chain).
 void ExecuteRowSharded(storage::BatchSource& source, MultiCountPlan* plan,
-                       ThreadPool& pool, int num_shards) {
+                       ThreadPool& pool, int num_shards,
+                       uint64_t parent_span_id) {
   source.NoteScanStarted();  // the whole sharded pass is ONE logical scan
   const int64_t n = source.NumTuples();
   std::vector<MultiCountPlan> partials;
@@ -128,12 +191,18 @@ void ExecuteRowSharded(storage::BatchSource& source, MultiCountPlan* plan,
     partials.emplace_back(plan->spec());
   }
   pool.Run(num_shards, [&](int shard) {
+    // Pool workers have no span context of their own; parent this shard's
+    // span (and phase timings) under the scan span explicitly.
+    obs::ScopedParent parent(parent_span_id);
+    obs::Span shard_span("bucketing.shard");
+    shard_span.AddAttribute("shard", static_cast<double>(shard));
     const int64_t begin = n * shard / num_shards;
     const int64_t end = n * (shard + 1) / num_shards;
     std::unique_ptr<storage::BatchReader> reader =
         source.CreateRangeReader(begin, end);
     storage::ColumnarBatch batch;
     MultiCountPlan& partial = partials[static_cast<size_t>(shard)];
+    PhaseTimesScope phase_scope(&partial, &shard_span);
     while (reader->Next(&batch)) partial.Accumulate(batch);
     partial.AddSkippedRows(reader->pruned_rows());
   });
@@ -190,6 +259,9 @@ void ExecuteMultiCount(storage::BatchSource& source, MultiCountPlan* plan,
     }
   }
   OPTRULES_CHECK(source.num_boolean() == plan->num_targets());
+  ScanPhaseMetrics::Get().scans->Add();
+  obs::Span span("bucketing.scan");
+  span.AddAttribute("rows", static_cast<double>(source.NumTuples()));
   // Let the source's readers skip pages/partitions that provably cannot
   // contribute to this plan; the readers account the skipped rows and the
   // executors add them back via AddSkippedRows, so pruning is invisible in
@@ -200,14 +272,18 @@ void ExecuteMultiCount(storage::BatchSource& source, MultiCountPlan* plan,
   // larger pool's; only pool == nullptr is the unsharded serial reference.
   if (pool == nullptr ||
       plan->num_channels() + plan->num_grid_channels() == 0) {
+    PhaseTimesScope phase_scope(plan, &span);
     ExecuteSerial(source, plan);
     return;
   }
   if (source.SupportsRangeReaders() && source.NumTuples() > 0) {
-    ExecuteRowSharded(source, plan, *pool,
-                      RowShardCount(source.NumTuples()));
+    const int num_shards = RowShardCount(source.NumTuples());
+    span.AddAttribute("shards", static_cast<double>(num_shards));
+    ExecuteRowSharded(source, plan, *pool, num_shards, span.id());
     return;
   }
+  // Channels accumulate concurrently on the shared plan here, so a phase
+  // sink (unsynchronized by contract) cannot be attached.
   ExecuteChannelParallel(source, plan, *pool);
 }
 

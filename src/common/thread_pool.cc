@@ -3,8 +3,33 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/timer.h"
+#include "obs/metrics.h"
 
 namespace optrules {
+
+namespace {
+
+/// Registry instruments for the shared pool, resolved once. Tasks are
+/// coarse (row shards, per-channel batch kernels), so per-task metric
+/// updates are noise next to the work itself.
+struct PoolTaskMetrics {
+  obs::Counter* tasks;
+  obs::Gauge* queue_depth;
+  obs::Histogram* task_seconds;
+
+  static const PoolTaskMetrics& Get() {
+    static const PoolTaskMetrics metrics = [] {
+      obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+      return PoolTaskMetrics{reg.GetCounter("threadpool.tasks"),
+                             reg.GetGauge("threadpool.queue_depth"),
+                             reg.GetHistogram("threadpool.task_seconds")};
+    }();
+    return metrics;
+  }
+};
+
+}  // namespace
 
 ThreadPool::ThreadPool(int num_threads) {
   OPTRULES_CHECK(num_threads >= 1);
@@ -39,10 +64,15 @@ void ThreadPool::DrainTasks(uint64_t generation) {
       }
       task = next_task_++;
       fn = fn_;
+      PoolTaskMetrics::Get().queue_depth->Set(
+          static_cast<double>(num_tasks_ - next_task_));
     }
     // Run() cannot return (and destroy *fn) before this task reports
     // completion below, so the unlocked call is safe.
+    WallTimer task_timer;
     (*fn)(task);
+    PoolTaskMetrics::Get().task_seconds->Observe(task_timer.ElapsedSeconds());
+    PoolTaskMetrics::Get().tasks->Add();
     {
       std::lock_guard<std::mutex> lock(mu_);
       OPTRULES_DCHECK(generation_ == generation);

@@ -10,7 +10,38 @@
 #include <utility>
 #include <vector>
 
+#include "common/timer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace optrules::dist {
+
+namespace {
+
+/// Registry instruments of the distributed scan path, resolved once.
+struct DistMetrics {
+  obs::Counter* retries;
+  obs::Counter* workers_respawned;
+  obs::Counter* partitions_stolen;
+  obs::Counter* partition_scans;
+  obs::Counter* partitions_skipped;
+  obs::Histogram* partition_scan_seconds;
+
+  static const DistMetrics& Get() {
+    static const DistMetrics metrics = [] {
+      obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+      return DistMetrics{reg.GetCounter("dist.retries"),
+                         reg.GetCounter("dist.workers_respawned"),
+                         reg.GetCounter("dist.partitions_stolen"),
+                         reg.GetCounter("dist.partition_scans"),
+                         reg.GetCounter("dist.partitions_skipped"),
+                         reg.GetHistogram("dist.partition_scan_seconds")};
+    }();
+    return metrics;
+  }
+};
+
+}  // namespace
 
 DistributedScanCoordinator::DistributedScanCoordinator(
     const PartitionedTable* table, DistributedScanOptions options)
@@ -87,6 +118,13 @@ Status DistributedScanCoordinator::Execute(bucketing::MultiCountPlan* plan) {
           : std::min(options_.max_workers, partitions);
 
   OPTRULES_RETURN_IF_ERROR(RepairRoster(workers));
+
+  // One physical scan = one span; the per-partition attempts below hang
+  // off it as children even though they run on worker threads.
+  obs::Span scan_span("dist.scan");
+  scan_span.AddAttribute("partitions", static_cast<double>(partitions));
+  scan_span.AddAttribute("workers", static_cast<double>(workers));
+  const uint64_t scan_span_id = scan_span.id();
 
   PartitionScanSpec base_spec;
   base_spec.spec = &plan->spec();
@@ -214,10 +252,23 @@ Status DistributedScanCoordinator::Execute(bucketing::MultiCountPlan* plan) {
             std::pow(options_.retry_backoff, attempt));
       }
       storage::BatchSourceStats attempt_stats;
+      WallTimer attempt_timer;
       Result<bucketing::MultiCountPlan> partial =
-          roster_[static_cast<size_t>(w)]->CountPartition(
-              table_->PartitionPath(claim.partition), scan_spec,
-              &attempt_stats);
+          [&]() -> Result<bucketing::MultiCountPlan> {
+        // Worker threads have no span context; parent this attempt (and
+        // any spans the in-process scan below creates) under the scan.
+        obs::ScopedParent span_parent(scan_span_id);
+        obs::Span partition_span("dist.partition");
+        partition_span.AddAttribute(
+            "partition", static_cast<double>(claim.partition));
+        partition_span.AddAttribute("worker", static_cast<double>(w));
+        partition_span.AddAttribute("attempt", static_cast<double>(attempt));
+        return roster_[static_cast<size_t>(w)]->CountPartition(
+            table_->PartitionPath(claim.partition), scan_spec,
+            &attempt_stats);
+      }();
+      DistMetrics::Get().partition_scan_seconds->Observe(
+          attempt_timer.ElapsedSeconds());
 
       std::unique_lock<std::mutex> lock(mu);
       const size_t p = static_cast<size_t>(claim.partition);
@@ -303,6 +354,9 @@ Status DistributedScanCoordinator::Execute(bucketing::MultiCountPlan* plan) {
   scan_stats_.retries += retries;
   scan_stats_.workers_respawned += respawned;
   scan_stats_.partitions_stolen += stolen;
+  DistMetrics::Get().retries->Add(static_cast<uint64_t>(retries));
+  DistMetrics::Get().workers_respawned->Add(static_cast<uint64_t>(respawned));
+  DistMetrics::Get().partitions_stolen->Add(static_cast<uint64_t>(stolen));
 
   // Keep the roster, but null out any worker whose transport broke (a
   // retired slot, or a worker that went unhealthy on its final attempt):
@@ -332,15 +386,18 @@ Status DistributedScanCoordinator::Execute(bucketing::MultiCountPlan* plan) {
     if (dead[static_cast<size_t>(p)] != 0) {
       plan->AddSkippedRows(table_->partition_rows(p));
       ++scan_stats_.partitions_skipped;
+      DistMetrics::Get().partitions_skipped->Add();
       continue;
     }
     plan->Merge(*partials[static_cast<size_t>(p)]);
     scan_stats_.cache_hits += stats[static_cast<size_t>(p)].cache_hits;
     scan_stats_.cache_misses += stats[static_cast<size_t>(p)].cache_misses;
     scan_stats_.pages_skipped += stats[static_cast<size_t>(p)].pages_skipped;
+    scan_stats_.io_wait_seconds += stats[static_cast<size_t>(p)].io_wait_seconds;
     ++scanned;
   }
   partition_scans_ += scanned;
+  DistMetrics::Get().partition_scans->Add(static_cast<uint64_t>(scanned));
   return Status::Ok();
 }
 

@@ -124,11 +124,11 @@ class DistributedScanCoordinator {
   /// logical scan count, independent of fault injection.
   int64_t partition_scans() const { return partition_scans_; }
 
-  /// Counters accumulated across all Execute() calls: cache/pruning
-  /// stats folded from per-partition worker stats (subprocess workers
-  /// report pages_skipped only; their buffer-pool hits stay in the
-  /// daemon), partitions_skipped from coordinator-side manifest pruning,
-  /// plus the fault-tolerance counters retries, workers_respawned, and
+  /// Counters accumulated across all Execute() calls: cache/pruning and
+  /// io-wait stats folded from per-partition worker stats (subprocess
+  /// workers ship theirs back inside the kScanResult header),
+  /// partitions_skipped from coordinator-side manifest pruning, plus the
+  /// fault-tolerance counters retries, workers_respawned, and
   /// partitions_stolen.
   storage::BatchSourceStats scan_stats() const { return scan_stats_; }
 

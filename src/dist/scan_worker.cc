@@ -13,6 +13,7 @@
 #include "bucketing/parallel_count.h"
 #include "common/bytes.h"
 #include "dist/wire.h"
+#include "obs/metrics.h"
 
 namespace optrules::dist {
 
@@ -33,6 +34,13 @@ int64_t NowMs() {
   return std::chrono::duration_cast<std::chrono::milliseconds>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
+}
+
+obs::Histogram* HeartbeatGapHistogram() {
+  static obs::Histogram* const hist =
+      obs::MetricsRegistry::Default().GetHistogram(
+          "dist.heartbeat_gap_seconds");
+  return hist;
 }
 
 /// Reaps `pid` without blocking forever: WNOHANG polling for `budget_ms`,
@@ -204,6 +212,7 @@ Result<bucketing::MultiCountPlan> SubprocessScanWorker::CountPartition(
     return wrote;
   }
   const int64_t start_ms = NowMs();
+  int64_t last_frame_ms = start_ms;
   std::vector<uint8_t> reply;
   for (;;) {
     FrameTimeouts timeouts;
@@ -241,6 +250,13 @@ Result<bucketing::MultiCountPlan> SubprocessScanWorker::CountPartition(
       KillNow();
       return Status::Corruption("empty reply frame from worker");
     }
+    // Observed gap between liveness signals (heartbeats or the reply
+    // itself): the daemon pulses every ~100 ms, so the histogram's tail is
+    // the early-warning signal for stalling workers.
+    const int64_t frame_ms = NowMs();
+    HeartbeatGapHistogram()->Observe(
+        static_cast<double>(frame_ms - last_frame_ms) / 1e3);
+    last_frame_ms = frame_ms;
     if (static_cast<FrameKind>(reply[0]) == FrameKind::kHeartbeat) {
       continue;  // mid-scan keepalive, not the reply
     }
@@ -255,23 +271,26 @@ Result<bucketing::MultiCountPlan> SubprocessScanWorker::CountPartition(
     KillNow();
     return Status::Corruption("unexpected reply frame kind from worker");
   }
-  // kScanResult payload: [kind][u64 pages_skipped][partial plan state].
-  uint64_t pages_skipped = 0;
-  bytes::ByteReader header(std::span<const uint8_t>(reply).subspan(1));
-  const Status header_read = header.ReadScalar(&pages_skipped);
+  // kScanResult payload: [kind][WorkerScanStats][partial plan state].
+  WorkerScanStats wire_stats;
+  const Status header_read = ReadWorkerScanStats(
+      std::span<const uint8_t>(reply).subspan(1), &wire_stats);
   if (!header_read.ok()) {
     KillNow();
     return header_read;
   }
   if (stats != nullptr) {
     *stats = {};
-    stats->pages_skipped = static_cast<int64_t>(pages_skipped);
+    stats->pages_skipped = static_cast<int64_t>(wire_stats.pages_skipped);
+    stats->cache_hits = static_cast<int64_t>(wire_stats.cache_hits);
+    stats->cache_misses = static_cast<int64_t>(wire_stats.cache_misses);
+    stats->io_wait_seconds = wire_stats.io_wait_seconds;
   }
   // Rebuild the partial locally from the coordinator-side spec, then load
   // the worker's bit-exact accumulator state into it.
   bucketing::MultiCountPlan plan(*spec.spec);
   const Status loaded = plan.LoadPartialState(
-      std::span<const uint8_t>(reply).subspan(1 + sizeof(uint64_t)));
+      std::span<const uint8_t>(reply).subspan(1 + kWorkerScanStatsBytes));
   if (!loaded.ok()) {
     KillNow();
     return loaded;

@@ -127,6 +127,30 @@ void EncodeErrorFrame(const Status& status, std::vector<uint8_t>* out);
 /// Decodes a kError payload back into the status it carried.
 Status DecodeErrorFrame(std::span<const uint8_t> payload);
 
+/// Worker-side metric deltas of one partition scan, shipped in the
+/// kScanResult header (between the kind byte and the partial plan state)
+/// and folded into the coordinator's scan stats and metrics registry.
+/// Fixed-size encoding so the partial-state offset stays static.
+struct WorkerScanStats {
+  uint64_t pages_skipped = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  double io_wait_seconds = 0.0;
+};
+
+/// Encoded size of WorkerScanStats inside a kScanResult payload.
+inline constexpr size_t kWorkerScanStatsBytes =
+    3 * sizeof(uint64_t) + sizeof(double);
+
+/// Appends the fixed-size WorkerScanStats header encoding.
+void AppendWorkerScanStats(const WorkerScanStats& stats,
+                           std::vector<uint8_t>* out);
+
+/// Decodes the WorkerScanStats header written by AppendWorkerScanStats
+/// from `bytes` (must hold at least kWorkerScanStatsBytes).
+Status ReadWorkerScanStats(std::span<const uint8_t> bytes,
+                           WorkerScanStats* stats);
+
 }  // namespace optrules::dist
 
 #endif  // OPTRULES_DIST_WIRE_H_

@@ -1,0 +1,225 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+namespace optrules::obs {
+
+namespace {
+
+std::atomic<bool> g_metrics_enabled{true};
+
+/// Formats a double with enough digits to round-trip, trimming the
+/// noise for integral values so the text encoding stays readable.
+std::string FormatDouble(double value) {
+  char buf[64];
+  if (value == static_cast<int64_t>(value) &&
+      std::abs(value) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%" PRId64,
+                  static_cast<int64_t>(value));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+  }
+  return buf;
+}
+
+/// Metric names are internal dotted identifiers, but the JSON encoding is
+/// shipped over the wire and written to files, so escape defensively.
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char hex[8];
+          std::snprintf(hex, sizeof(hex), "\\u%04x", c);
+          out += hex;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+bool MetricsEnabled() {
+  return g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+void SetMetricsEnabled(bool enabled) {
+  g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+int Counter::ShardIndex() {
+  static std::atomic<uint32_t> next_thread{0};
+  thread_local const uint32_t index =
+      next_thread.fetch_add(1, std::memory_order_relaxed);
+  return static_cast<int>(index % kShards);
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  buckets_ = std::make_unique<std::atomic<int64_t>[]>(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+const std::vector<double>& Histogram::DefaultLatencyBounds() {
+  static const std::vector<double> kBounds = {
+      1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4,
+      5e-4, 1e-3,   2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 1e-1,
+      2.5e-1, 5e-1, 1.0,  2.5,  5.0,  10.0};
+  return kBounds;
+}
+
+size_t Histogram::BucketIndex(double value) const {
+  // First bound >= value; values above every bound (and NaN) land in the
+  // overflow bucket.
+  const auto it =
+      std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  return static_cast<size_t>(it - bounds_.begin());
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.bounds = bounds_;
+  snap.bucket_counts.resize(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    snap.bucket_counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    snap.count += snap.bucket_counts[i];
+  }
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+std::string MetricsSnapshot::ToText() const {
+  std::string out;
+  for (const auto& [name, value] : counters) {
+    out += "counter " + name + " " + FormatDouble(static_cast<double>(value));
+    out += '\n';
+  }
+  for (const auto& [name, value] : gauges) {
+    out += "gauge " + name + " " + FormatDouble(value);
+    out += '\n';
+  }
+  for (const auto& [name, hist] : histograms) {
+    out += "histogram " + name +
+           " count=" + FormatDouble(static_cast<double>(hist.count)) +
+           " sum=" + FormatDouble(hist.sum) + " buckets=";
+    for (size_t i = 0; i < hist.bucket_counts.size(); ++i) {
+      if (i != 0) out += ',';
+      out += FormatDouble(static_cast<double>(hist.bucket_counts[i]));
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    if (!first) out += ',';
+    first = false;
+    out += "\"" + JsonEscape(name) +
+           "\":" + FormatDouble(static_cast<double>(value));
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    if (!first) out += ',';
+    first = false;
+    out += "\"" + JsonEscape(name) + "\":" + FormatDouble(value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, hist] : histograms) {
+    if (!first) out += ',';
+    first = false;
+    out += "\"" + JsonEscape(name) +
+           "\":{\"count\":" + FormatDouble(static_cast<double>(hist.count)) +
+           ",\"sum\":" + FormatDouble(hist.sum) + ",\"bounds\":[";
+    for (size_t i = 0; i < hist.bounds.size(); ++i) {
+      if (i != 0) out += ',';
+      out += FormatDouble(hist.bounds[i]);
+    }
+    out += "],\"bucket_counts\":[";
+    for (size_t i = 0; i < hist.bucket_counts.size(); ++i) {
+      if (i != 0) out += ',';
+      out += FormatDouble(static_cast<double>(hist.bucket_counts[i]));
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) {
+    if (bounds.empty()) bounds = Histogram::DefaultLatencyBounds();
+    slot = std::make_unique<Histogram>(std::move(bounds));
+  }
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, counter] : counters_) {
+    snap.counters[name] = counter->Value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges[name] = gauge->Value();
+  }
+  for (const auto& [name, hist] : histograms_) {
+    snap.histograms[name] = hist->Snapshot();
+  }
+  return snap;
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  // Leaked so instruments cached by other static-storage objects stay
+  // valid through process teardown in any destruction order.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+}  // namespace optrules::obs

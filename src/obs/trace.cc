@@ -1,0 +1,229 @@
+#include "obs/trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+namespace optrules::obs {
+
+namespace {
+
+thread_local uint64_t tls_current_span = 0;
+
+uint64_t NextSpanId() {
+  // Ids are global (not per-tracer) so parentage survives handing ids
+  // between tracers and threads; 0 stays reserved for "no parent".
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::string FormatDouble(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  return buf;
+}
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char hex[8];
+          std::snprintf(hex, sizeof(hex), "\\u%04x", c);
+          out += hex;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void AppendSpanJson(const SpanRecord& record,
+                    const std::map<uint64_t, std::vector<size_t>>& children,
+                    const std::vector<SpanRecord>& records,
+                    std::string* out) {
+  *out += "{\"id\":" + std::to_string(record.id) +
+          ",\"name\":\"" + JsonEscape(record.name) +
+          "\",\"start_seconds\":" + FormatDouble(record.start_seconds) +
+          ",\"duration_seconds\":" + FormatDouble(record.duration_seconds);
+  if (!record.attributes.empty()) {
+    *out += ",\"attributes\":{";
+    for (size_t i = 0; i < record.attributes.size(); ++i) {
+      if (i != 0) *out += ',';
+      *out += "\"" + JsonEscape(record.attributes[i].first) +
+              "\":" + FormatDouble(record.attributes[i].second);
+    }
+    *out += '}';
+  }
+  const auto it = children.find(record.id);
+  if (it != children.end()) {
+    *out += ",\"children\":[";
+    for (size_t i = 0; i < it->second.size(); ++i) {
+      if (i != 0) *out += ',';
+      AppendSpanJson(records[it->second[i]], children, records, out);
+    }
+    *out += ']';
+  }
+  *out += '}';
+}
+
+// Default-tracer exit dump. File-scope statics because std::atexit takes
+// a captureless function.
+std::string* g_trace_dump_path = nullptr;
+
+void DumpDefaultTrace() {
+  if (g_trace_dump_path == nullptr) return;
+  std::FILE* file = std::fopen(g_trace_dump_path->c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "optrules: cannot write OPTRULES_TRACE_JSON=%s\n",
+                 g_trace_dump_path->c_str());
+    return;
+  }
+  const std::string json = Tracer::Default().ToJson();
+  std::fwrite(json.data(), 1, json.size(), file);
+  std::fputc('\n', file);
+  std::fclose(file);
+}
+
+}  // namespace
+
+Tracer::Tracer(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+std::vector<SpanRecord> Tracer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SpanRecord> out;
+  out.reserve(ring_.size());
+  if (total_ <= capacity_) {
+    out = ring_;
+  } else {
+    // Ring wrapped: oldest record sits at the insertion cursor.
+    const size_t cursor = total_ % capacity_;
+    out.insert(out.end(), ring_.begin() + static_cast<ptrdiff_t>(cursor),
+               ring_.end());
+    out.insert(out.end(), ring_.begin(),
+               ring_.begin() + static_cast<ptrdiff_t>(cursor));
+  }
+  return out;
+}
+
+uint64_t Tracer::dropped_spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_ > capacity_ ? total_ - capacity_ : 0;
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  total_ = 0;
+}
+
+void Tracer::Record(SpanRecord record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(record));
+  } else {
+    ring_[total_ % capacity_] = std::move(record);
+  }
+  ++total_;
+}
+
+std::string Tracer::ToJson() const {
+  const std::vector<SpanRecord> records = Snapshot();
+  std::map<uint64_t, size_t> by_id;
+  for (size_t i = 0; i < records.size(); ++i) by_id[records[i].id] = i;
+  std::map<uint64_t, std::vector<size_t>> children;
+  std::vector<size_t> roots;
+  for (size_t i = 0; i < records.size(); ++i) {
+    const uint64_t parent = records[i].parent_id;
+    if (parent != 0 && by_id.count(parent) != 0) {
+      children[parent].push_back(i);
+    } else {
+      // Parent never recorded (still live, or evicted from the ring):
+      // promote to root so the output stays a forest.
+      roots.push_back(i);
+    }
+  }
+  std::string out = "{\"dropped_spans\":" + std::to_string(dropped_spans()) +
+                    ",\"spans\":[";
+  for (size_t i = 0; i < roots.size(); ++i) {
+    if (i != 0) out += ',';
+    AppendSpanJson(records[roots[i]], children, records, &out);
+  }
+  out += "]}";
+  return out;
+}
+
+uint64_t Tracer::CurrentSpanId() { return tls_current_span; }
+
+Tracer& Tracer::Default() {
+  static Tracer* tracer = [] {
+    auto* t = new Tracer();
+    const char* path = std::getenv("OPTRULES_TRACE_JSON");
+    if (path != nullptr && path[0] != '\0') {
+      t->set_enabled(true);
+      g_trace_dump_path = new std::string(path);
+      std::atexit(DumpDefaultTrace);
+    }
+    return t;
+  }();
+  return *tracer;
+}
+
+Span::Span(Tracer* tracer, std::string_view name) {
+  if (tracer == nullptr || !tracer->enabled()) return;
+  tracer_ = tracer;
+  id_ = NextSpanId();
+  parent_id_ = tls_current_span;
+  name_.assign(name);
+  tls_current_span = id_;
+  start_ = std::chrono::steady_clock::now();
+}
+
+Span::~Span() {
+  if (tracer_ == nullptr) return;
+  const auto end = std::chrono::steady_clock::now();
+  tls_current_span = parent_id_;
+  SpanRecord record;
+  record.id = id_;
+  record.parent_id = parent_id_;
+  record.name = std::move(name_);
+  record.start_seconds = tracer_->SecondsSinceEpoch(start_);
+  record.duration_seconds =
+      std::chrono::duration<double>(end - start_).count();
+  record.attributes = std::move(attributes_);
+  tracer_->Record(std::move(record));
+}
+
+void Span::AddAttribute(std::string_view key, double value) {
+  if (tracer_ == nullptr) return;
+  attributes_.emplace_back(std::string(key), value);
+}
+
+ScopedParent::ScopedParent(uint64_t parent_id) : saved_(tls_current_span) {
+  tls_current_span = parent_id;
+}
+
+ScopedParent::~ScopedParent() { tls_current_span = saved_; }
+
+}  // namespace optrules::obs

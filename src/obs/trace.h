@@ -1,0 +1,145 @@
+// Span-based tracer with bounded memory.
+//
+// A Span is an RAII scope: construction captures the start time and links
+// to the thread's current span as parent; destruction appends one
+// SpanRecord to the tracer's ring buffer. Parentage follows a thread-local
+// current-span id, so nested Spans on one thread form a tree with no
+// plumbing; crossing a thread boundary (scheduler handing a window to a
+// worker, the coordinator fanning partitions out to scan threads) is
+// explicit via ScopedParent, which installs a given span id as the
+// current parent for the scope of the receiving thread's work.
+//
+// When the tracer is disabled (the default), Span construction is a
+// single relaxed load and the Span holds no state -- scan hot paths can
+// create spans unconditionally. The process-wide tracer enables itself
+// when OPTRULES_TRACE_JSON=<path> is set and dumps the trace tree as JSON
+// to that path at process exit.
+
+#ifndef OPTRULES_OBS_TRACE_H_
+#define OPTRULES_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace optrules::obs {
+
+/// One finished span. start_seconds is relative to the tracer's epoch
+/// (its construction time); parent_id 0 means "root".
+struct SpanRecord {
+  uint64_t id = 0;
+  uint64_t parent_id = 0;
+  std::string name;
+  double start_seconds = 0.0;
+  double duration_seconds = 0.0;
+  std::vector<std::pair<std::string, double>> attributes;
+};
+
+/// Ring-buffered span sink. Bounded: once capacity is reached the oldest
+/// records are overwritten (and counted in dropped_spans()), so a
+/// long-lived daemon's tracer never grows.
+class Tracer {
+ public:
+  static constexpr size_t kDefaultCapacity = 4096;
+
+  explicit Tracer(size_t capacity = kDefaultCapacity);
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+
+  /// Finished spans, oldest first. The ring keeps only the newest
+  /// `capacity` records.
+  std::vector<SpanRecord> Snapshot() const;
+
+  /// Records overwritten because the ring was full.
+  uint64_t dropped_spans() const;
+
+  /// Discards all buffered records (tests).
+  void Clear();
+
+  /// Nested trace-tree encoding: an array of root spans, each with its
+  /// children inlined. Spans whose parent fell off the ring are promoted
+  /// to roots so the output is always a forest.
+  std::string ToJson() const;
+
+  /// The id of this thread's innermost live Span (0 if none). New spans
+  /// on this thread adopt it as parent.
+  static uint64_t CurrentSpanId();
+
+  /// Process-wide tracer. Enabled automatically when OPTRULES_TRACE_JSON
+  /// is set, in which case the trace tree is written there at exit.
+  static Tracer& Default();
+
+ private:
+  friend class Span;
+
+  void Record(SpanRecord record);
+  double SecondsSinceEpoch(std::chrono::steady_clock::time_point tp) const {
+    return std::chrono::duration<double>(tp - epoch_).count();
+  }
+
+  std::atomic<bool> enabled_{false};
+  const size_t capacity_;
+  const std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::vector<SpanRecord> ring_;  // insertion cursor = total_ % capacity_
+  uint64_t total_ = 0;            // records ever written
+};
+
+/// RAII span scope. Near-free no-op when the tracer is disabled at
+/// construction time.
+class Span {
+ public:
+  /// Span on the process-wide tracer.
+  explicit Span(std::string_view name) : Span(&Tracer::Default(), name) {}
+
+  Span(Tracer* tracer, std::string_view name);
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span();
+
+  /// Attaches a named numeric attribute (phase timings, row counts).
+  /// No-op on an inactive span.
+  void AddAttribute(std::string_view key, double value);
+
+  /// This span's id (0 when inactive). Hand it to a ScopedParent on
+  /// another thread to parent that thread's spans under this one.
+  uint64_t id() const { return id_; }
+  bool active() const { return tracer_ != nullptr; }
+
+ private:
+  Tracer* tracer_ = nullptr;  // null <=> disabled at construction
+  uint64_t id_ = 0;
+  uint64_t parent_id_ = 0;
+  std::string name_;
+  std::chrono::steady_clock::time_point start_;
+  std::vector<std::pair<std::string, double>> attributes_;
+};
+
+/// Installs `parent_id` as this thread's current span for the scope,
+/// restoring the previous value on destruction. The cross-thread link:
+/// capture span.id() on the sending thread, construct a ScopedParent from
+/// it on the receiving thread.
+class ScopedParent {
+ public:
+  explicit ScopedParent(uint64_t parent_id);
+  ScopedParent(const ScopedParent&) = delete;
+  ScopedParent& operator=(const ScopedParent&) = delete;
+  ~ScopedParent();
+
+ private:
+  uint64_t saved_;
+};
+
+}  // namespace optrules::obs
+
+#endif  // OPTRULES_OBS_TRACE_H_

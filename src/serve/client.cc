@@ -138,6 +138,18 @@ Result<ServerStatsSnapshot> MiningClient::Stats() {
   return stats;
 }
 
+Result<obs::MetricsSnapshot> MiningClient::Metrics() {
+  std::vector<uint8_t> frame;
+  bytes::AppendScalar<uint8_t>(
+      &frame, static_cast<uint8_t>(ServeFrameKind::kMetricsRequest));
+  OPTRULES_RETURN_IF_ERROR(dist::WriteFrame(fd_, frame));
+  std::vector<uint8_t> payload;
+  OPTRULES_RETURN_IF_ERROR(dist::ReadFrameTimed(fd_, &payload, timeouts_));
+  obs::MetricsSnapshot snapshot;
+  OPTRULES_RETURN_IF_ERROR(DecodeMetricsReply(payload, &snapshot));
+  return snapshot;
+}
+
 Status MiningClient::SendRaw(std::span<const uint8_t> payload) {
   return dist::WriteFrame(fd_, payload);
 }

@@ -49,6 +49,11 @@ class MiningClient {
   /// Fetches the server's counter snapshot.
   Result<ServerStatsSnapshot> Stats();
 
+  /// Fetches the server process's full metrics-registry snapshot
+  /// (kMetricsRequest/kMetricsReply): every counter, gauge, and histogram
+  /// the daemon's subsystems report, not just the serve-layer counters.
+  Result<obs::MetricsSnapshot> Metrics();
+
   /// Escape hatches for protocol tests: ship an arbitrary payload as one
   /// frame / read the next raw frame.
   Status SendRaw(std::span<const uint8_t> payload);

@@ -429,6 +429,11 @@ void EncodeStatsResult(const ServerStatsSnapshot& stats,
   AppendScalar<int64_t>(out, stats.coalesced_sessions);
   AppendScalar<int64_t>(out, stats.batches_executed);
   AppendScalar<int64_t>(out, stats.engines_cached);
+  AppendScalar<int64_t>(out, stats.engine_cache_hits);
+  AppendScalar<int64_t>(out, stats.engine_cache_misses);
+  AppendScalar<int64_t>(out, stats.rejected_connection_limit);
+  AppendScalar<int64_t>(out, stats.rejected_admission);
+  AppendScalar<int64_t>(out, stats.rejected_queue_deadline);
 }
 
 Status DecodeStatsResult(std::span<const uint8_t> payload,
@@ -444,8 +449,95 @@ Status DecodeStatsResult(std::span<const uint8_t> payload,
   OPTRULES_RETURN_IF_ERROR(reader.ReadScalar(&out->coalesced_sessions));
   OPTRULES_RETURN_IF_ERROR(reader.ReadScalar(&out->batches_executed));
   OPTRULES_RETURN_IF_ERROR(reader.ReadScalar(&out->engines_cached));
+  OPTRULES_RETURN_IF_ERROR(reader.ReadScalar(&out->engine_cache_hits));
+  OPTRULES_RETURN_IF_ERROR(reader.ReadScalar(&out->engine_cache_misses));
+  OPTRULES_RETURN_IF_ERROR(
+      reader.ReadScalar(&out->rejected_connection_limit));
+  OPTRULES_RETURN_IF_ERROR(reader.ReadScalar(&out->rejected_admission));
+  OPTRULES_RETURN_IF_ERROR(
+      reader.ReadScalar(&out->rejected_queue_deadline));
   if (!reader.AtEnd()) {
     return Status::Corruption("trailing bytes in stats result");
+  }
+  return Status::Ok();
+}
+
+// ------------------------------------------------------------- metrics ----
+
+void EncodeMetricsReply(const obs::MetricsSnapshot& snapshot,
+                        std::vector<uint8_t>* out) {
+  OPTRULES_CHECK(out != nullptr);
+  AppendScalar<uint8_t>(out,
+                        static_cast<uint8_t>(ServeFrameKind::kMetricsReply));
+  AppendScalar<uint64_t>(out,
+                         static_cast<uint64_t>(snapshot.counters.size()));
+  for (const auto& [name, value] : snapshot.counters) {
+    AppendString(out, name);
+    AppendScalar<int64_t>(out, value);
+  }
+  AppendScalar<uint64_t>(out, static_cast<uint64_t>(snapshot.gauges.size()));
+  for (const auto& [name, value] : snapshot.gauges) {
+    AppendString(out, name);
+    AppendScalar<double>(out, value);
+  }
+  AppendScalar<uint64_t>(out,
+                         static_cast<uint64_t>(snapshot.histograms.size()));
+  for (const auto& [name, hist] : snapshot.histograms) {
+    AppendString(out, name);
+    bytes::AppendArray(out, hist.bounds);
+    bytes::AppendArray(out, hist.bucket_counts);
+    AppendScalar<int64_t>(out, hist.count);
+    AppendScalar<double>(out, hist.sum);
+  }
+}
+
+Status DecodeMetricsReply(std::span<const uint8_t> payload,
+                          obs::MetricsSnapshot* out) {
+  OPTRULES_CHECK(out != nullptr);
+  out->counters.clear();
+  out->gauges.clear();
+  out->histograms.clear();
+  ByteReader reader(payload);
+  OPTRULES_RETURN_IF_ERROR(
+      CheckKind(&reader, ServeFrameKind::kMetricsReply));
+  // Entry counts need no up-front bound: every name and value read below
+  // validates itself against the remaining bytes, so a hostile count
+  // fails on its first truncated entry without allocating.
+  uint64_t num_counters = 0;
+  OPTRULES_RETURN_IF_ERROR(reader.ReadScalar(&num_counters));
+  for (uint64_t i = 0; i < num_counters; ++i) {
+    std::string name;
+    int64_t value = 0;
+    OPTRULES_RETURN_IF_ERROR(reader.ReadString(&name));
+    OPTRULES_RETURN_IF_ERROR(reader.ReadScalar(&value));
+    out->counters.emplace(std::move(name), value);
+  }
+  uint64_t num_gauges = 0;
+  OPTRULES_RETURN_IF_ERROR(reader.ReadScalar(&num_gauges));
+  for (uint64_t i = 0; i < num_gauges; ++i) {
+    std::string name;
+    double value = 0.0;
+    OPTRULES_RETURN_IF_ERROR(reader.ReadString(&name));
+    OPTRULES_RETURN_IF_ERROR(reader.ReadScalar(&value));
+    out->gauges.emplace(std::move(name), value);
+  }
+  uint64_t num_histograms = 0;
+  OPTRULES_RETURN_IF_ERROR(reader.ReadScalar(&num_histograms));
+  for (uint64_t i = 0; i < num_histograms; ++i) {
+    std::string name;
+    obs::HistogramSnapshot hist;
+    OPTRULES_RETURN_IF_ERROR(reader.ReadString(&name));
+    OPTRULES_RETURN_IF_ERROR(reader.ReadArray(&hist.bounds));
+    OPTRULES_RETURN_IF_ERROR(reader.ReadArray(&hist.bucket_counts));
+    OPTRULES_RETURN_IF_ERROR(reader.ReadScalar(&hist.count));
+    OPTRULES_RETURN_IF_ERROR(reader.ReadScalar(&hist.sum));
+    if (hist.bucket_counts.size() != hist.bounds.size() + 1) {
+      return Status::Corruption("histogram shape mismatch in metrics reply");
+    }
+    out->histograms.emplace(std::move(name), std::move(hist));
+  }
+  if (!reader.AtEnd()) {
+    return Status::Corruption("trailing bytes in metrics reply");
   }
   return Status::Ok();
 }

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "rules/miner.h"
 
 namespace optrules::serve {
@@ -41,8 +42,10 @@ enum class ServeFrameKind : uint8_t {
   kServeError = 34,     ///< server -> client: session id + status
   kPing = 35,           ///< client -> server: liveness probe
   kPong = 36,           ///< server -> client: kPing acknowledgement
-  kStats = 37,          ///< client -> server: server counter snapshot
-  kStatsResult = 38,    ///< server -> client: the counters
+  kStats = 37,           ///< client -> server: server counter snapshot
+  kStatsResult = 38,     ///< server -> client: the counters
+  kMetricsRequest = 39,  ///< client -> server: full registry snapshot
+  kMetricsReply = 40,    ///< server -> client: the registry contents
 };
 
 /// One query of a session. `kind` selects which fields are meaningful;
@@ -109,13 +112,23 @@ struct SessionReply {
 /// Server counter snapshot (kStatsResult payload).
 struct ServerStatsSnapshot {
   int64_t sessions_admitted = 0;
-  int64_t sessions_rejected = 0;   ///< admission-control refusals
+  /// Total admission-control refusals: rejected_connection_limit +
+  /// rejected_admission (queue-deadline expiries happen after admission
+  /// and count in sessions_failed instead).
+  int64_t sessions_rejected = 0;
   int64_t sessions_served = 0;     ///< replied with kSessionResult
   int64_t sessions_failed = 0;     ///< replied with kServeError
   int64_t physical_scans = 0;      ///< counting scans actually run
   int64_t coalesced_sessions = 0;  ///< served without a scan of their own
   int64_t batches_executed = 0;    ///< coalescing windows flushed
   int64_t engines_cached = 0;      ///< generations currently resident
+  int64_t engine_cache_hits = 0;   ///< session reused a resident engine
+  int64_t engine_cache_misses = 0;  ///< session had to build an engine
+  // Per-reason rejection breakdown (each also counted in
+  // sessions_rejected).
+  int64_t rejected_connection_limit = 0;  ///< connection cap at accept
+  int64_t rejected_admission = 0;   ///< session cap or shutting down
+  int64_t rejected_queue_deadline = 0;  ///< deadline expired while queued
 };
 
 /// Limits a decoder enforces on hostile input (counts validated against
@@ -147,6 +160,15 @@ void EncodeStatsResult(const ServerStatsSnapshot& stats,
                        std::vector<uint8_t>* out);
 Status DecodeStatsResult(std::span<const uint8_t> payload,
                          ServerStatsSnapshot* out);
+
+/// Encodes a kMetricsReply payload: the full registry snapshot, map order
+/// (so two encodings of one snapshot are byte-identical).
+void EncodeMetricsReply(const obs::MetricsSnapshot& snapshot,
+                        std::vector<uint8_t>* out);
+/// Decodes a kMetricsReply payload. Entry counts and histogram shapes are
+/// validated against the remaining payload bytes before any allocation.
+Status DecodeMetricsReply(std::span<const uint8_t> payload,
+                          obs::MetricsSnapshot* out);
 
 /// Order-independent fingerprint of the options fields that change mined
 /// bits: sessions coalesce only when their fingerprints match, because a

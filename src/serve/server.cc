@@ -12,18 +12,76 @@
 #include <cerrno>
 #include <chrono>
 #include <csignal>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <utility>
 
 #include "common/bytes.h"
+#include "common/timer.h"
 #include "dist/manifest.h"
 #include "dist/partitioned_table.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "rules/miner.h"
 
 namespace optrules::serve {
 
 namespace {
+
+/// Registry instruments mirroring the ServerStatsSnapshot counters (so
+/// kMetricsReply and kStatsResult tell one story), plus the latency
+/// distributions only the registry carries.
+struct ServeMetrics {
+  obs::Counter* sessions_admitted;
+  obs::Counter* sessions_rejected;
+  obs::Counter* sessions_served;
+  obs::Counter* sessions_failed;
+  obs::Counter* physical_scans;
+  obs::Counter* coalesced_sessions;
+  obs::Counter* batches_executed;
+  obs::Counter* engine_cache_hits;
+  obs::Counter* engine_cache_misses;
+  obs::Counter* rejected_connection_limit;
+  obs::Counter* rejected_admission;
+  obs::Counter* rejected_queue_deadline;
+  obs::Gauge* engines_cached;
+  obs::Histogram* queue_wait_seconds;
+  obs::Histogram* window_seconds;
+
+  static const ServeMetrics& Get() {
+    static const ServeMetrics metrics = [] {
+      obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+      return ServeMetrics{
+          reg.GetCounter("serve.sessions_admitted"),
+          reg.GetCounter("serve.sessions_rejected"),
+          reg.GetCounter("serve.sessions_served"),
+          reg.GetCounter("serve.sessions_failed"),
+          reg.GetCounter("serve.physical_scans"),
+          reg.GetCounter("serve.coalesced_sessions"),
+          reg.GetCounter("serve.batches_executed"),
+          reg.GetCounter("serve.engine_cache_hits"),
+          reg.GetCounter("serve.engine_cache_misses"),
+          reg.GetCounter("serve.rejected_connection_limit"),
+          reg.GetCounter("serve.rejected_admission"),
+          reg.GetCounter("serve.rejected_queue_deadline"),
+          reg.GetGauge("serve.engines_cached"),
+          reg.GetHistogram("serve.queue_wait_seconds"),
+          reg.GetHistogram("serve.window_seconds")};
+    }();
+    return metrics;
+  }
+};
+
+/// Per-tenant served-session counter, keyed by the options fingerprint
+/// (the coalescing tenant identity). Dynamic lookup: the registry mutex
+/// is fine at once-per-batch frequency.
+obs::Counter* TenantSessionsCounter(uint64_t fingerprint) {
+  char name[64];
+  std::snprintf(name, sizeof(name), "serve.tenant.%016llx.sessions_served",
+                static_cast<unsigned long long>(fingerprint));
+  return obs::MetricsRegistry::Default().GetCounter(name);
+}
 
 int64_t NowMs() {
   return std::chrono::duration_cast<std::chrono::milliseconds>(
@@ -163,7 +221,12 @@ struct MiningServer::CachedEngine {
 };
 
 MiningServer::MiningServer(ServerOptions options)
-    : options_(std::move(options)) {}
+    : options_(std::move(options)) {
+  // Register the serve instruments up front so an operator's SIGUSR1
+  // dump (or a kMetricsRequest) against an idle daemon lists them at
+  // zero instead of returning an empty registry.
+  ServeMetrics::Get();
+}
 
 MiningServer::~MiningServer() { Stop(); }
 
@@ -323,6 +386,13 @@ void MiningServer::AcceptLoop() {
       }
     }
     if (!admitted) {
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.sessions_rejected;
+        ++stats_.rejected_connection_limit;
+      }
+      ServeMetrics::Get().sessions_rejected->Add();
+      ServeMetrics::Get().rejected_connection_limit->Add();
       WriteError(conn, 0,
                  Status::OutOfRange("connection limit reached"));
       continue;  // conn's destructor closes the socket
@@ -353,6 +423,13 @@ void MiningServer::HandleConnection(std::shared_ptr<Connection> conn) {
       case ServeFrameKind::kStats: {
         std::vector<uint8_t> out;
         EncodeStatsResult(Stats(), &out);
+        (void)conn->writer.Write(out);
+        break;
+      }
+      case ServeFrameKind::kMetricsRequest: {
+        std::vector<uint8_t> out;
+        EncodeMetricsReply(obs::MetricsRegistry::Default().Snapshot(),
+                           &out);
         (void)conn->writer.Write(out);
         break;
       }
@@ -431,12 +508,18 @@ void MiningServer::HandleOpenSession(const std::shared_ptr<Connection>& conn,
     {
       std::lock_guard<std::mutex> lock(stats_mu_);
       ++stats_.sessions_rejected;
+      ++stats_.rejected_admission;
     }
+    ServeMetrics::Get().sessions_rejected->Add();
+    ServeMetrics::Get().rejected_admission->Add();
     WriteError(conn, session_id, refusal);
     return;
   }
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  ++stats_.sessions_admitted;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.sessions_admitted;
+  }
+  ServeMetrics::Get().sessions_admitted->Add();
 }
 
 void MiningServer::SchedulerLoop() {
@@ -487,14 +570,28 @@ void MiningServer::ExecuteBatch(const EngineKey& key, Batch batch) {
   const int64_t start_ms = NowMs();
   for (PendingSession& session : batch.sessions) {
     if (start_ms - session.enqueue_ms > session.deadline_ms) {
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.rejected_queue_deadline;
+      }
+      ServeMetrics::Get().rejected_queue_deadline->Add();
       FailSession(session.conn, session.session_id,
                   Status::DeadlineExceeded("session deadline expired in "
                                            "the scheduler queue"));
     } else {
+      ServeMetrics::Get().queue_wait_seconds->Observe(
+          static_cast<double>(start_ms - session.enqueue_ms) / 1e3);
       live.push_back(std::move(session));
     }
   }
   if (live.empty()) return;
+
+  // The coalescing window's span: the shared scan below (dist.scan and
+  // its per-partition children) nests under it because TryPrepare runs on
+  // this same scheduler thread.
+  obs::Span window_span("serve.window");
+  window_span.AddAttribute("sessions", static_cast<double>(live.size()));
+  WallTimer window_timer;
 
   Result<CachedEngine*> cached_or =
       GetOrCreateEngine(key, live.front().request.options);
@@ -553,6 +650,18 @@ void MiningServer::ExecuteBatch(const EngineKey& key, Batch batch) {
     ++stats_.batches_executed;
     stats_.engines_cached = static_cast<int64_t>(engines_.size());
   }
+  const ServeMetrics& metrics = ServeMetrics::Get();
+  metrics.sessions_served->Add(static_cast<int64_t>(live.size()));
+  metrics.physical_scans->Add(scan_delta);
+  metrics.coalesced_sessions->Add(
+      std::max<int64_t>(0, static_cast<int64_t>(live.size()) - scan_delta));
+  metrics.batches_executed->Add();
+  metrics.engines_cached->Set(static_cast<double>(engines_.size()));
+  TenantSessionsCounter(key.options_fingerprint)
+      ->Add(static_cast<int64_t>(live.size()));
+  window_span.AddAttribute("physical_scans",
+                           static_cast<double>(scan_delta));
+  metrics.window_seconds->Observe(window_timer.ElapsedSeconds());
 
   int64_t write_failures = 0;
   for (size_t i = 0; i < live.size(); ++i) {
@@ -566,9 +675,14 @@ void MiningServer::ExecuteBatch(const EngineKey& key, Batch batch) {
     }
   }
   if (write_failures > 0) {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    stats_.sessions_served -= write_failures;
-    stats_.sessions_failed += write_failures;
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      stats_.sessions_served -= write_failures;
+      stats_.sessions_failed += write_failures;
+    }
+    // Registry counters are monotone, so the served mirror keeps the
+    // optimistic count; only the failure counter records the loss.
+    metrics.sessions_failed->Add(write_failures);
   }
 }
 
@@ -577,9 +691,19 @@ Result<MiningServer::CachedEngine*> MiningServer::GetOrCreateEngine(
   for (auto it = engines_.begin(); it != engines_.end(); ++it) {
     if (it->first == key) {
       engines_.splice(engines_.begin(), engines_, it);
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.engine_cache_hits;
+      }
+      ServeMetrics::Get().engine_cache_hits->Add();
       return engines_.front().second.get();
     }
   }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.engine_cache_misses;
+  }
+  ServeMetrics::Get().engine_cache_misses->Add();
   Result<dist::PartitionedTable> table_or =
       dist::PartitionedTable::Open(key.table_dir);
   if (!table_or.ok()) return table_or.status();
@@ -601,6 +725,7 @@ void MiningServer::FailSession(const std::shared_ptr<Connection>& conn,
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.sessions_failed;
   }
+  ServeMetrics::Get().sessions_failed->Add();
   WriteError(conn, session_id, status);
 }
 

@@ -6,8 +6,35 @@
 #include <utility>
 
 #include "common/env.h"
+#include "common/timer.h"
+#include "obs/metrics.h"
 
 namespace optrules::storage {
+
+namespace {
+
+/// Registry instruments, resolved once. The pool keeps its own Stats
+/// struct for the public accessor; the registry mirrors it so the serve
+/// daemon and benches export the same numbers.
+struct PoolMetrics {
+  obs::Counter* hits;
+  obs::Counter* misses;
+  obs::Counter* evictions;
+  obs::Histogram* load_seconds;
+
+  static const PoolMetrics& Get() {
+    static const PoolMetrics metrics = [] {
+      obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+      return PoolMetrics{reg.GetCounter("bufferpool.hits"),
+                         reg.GetCounter("bufferpool.misses"),
+                         reg.GetCounter("bufferpool.evictions"),
+                         reg.GetHistogram("bufferpool.load_seconds")};
+    }();
+    return metrics;
+  }
+};
+
+}  // namespace
 
 // ------------------------------------------------------------------ Pin ----
 
@@ -139,8 +166,10 @@ Result<BufferPool::Pin> BufferPool::Fetch(uint64_t file_id,
     ++frame->pins;
     if (waited) {
       ++stats_.misses;
+      PoolMetrics::Get().misses->Add();
     } else {
       ++stats_.hits;
+      PoolMetrics::Get().hits->Add();
     }
     if (was_hit != nullptr) *was_hit = !waited;
     return Pin(this, frame);
@@ -150,6 +179,7 @@ Result<BufferPool::Pin> BufferPool::Fetch(uint64_t file_id,
   // the mutex dropped, so concurrent fetches of other pages proceed and
   // concurrent fetches of THIS page wait on load_cv_.
   ++stats_.misses;
+  PoolMetrics::Get().misses->Add();
   if (was_hit != nullptr) *was_hit = false;
   auto owned = std::make_unique<Frame>();
   Frame* frame = owned.get();
@@ -162,7 +192,9 @@ Result<BufferPool::Pin> BufferPool::Fetch(uint64_t file_id,
   EvictLocked();
 
   lock.unlock();
+  WallTimer load_timer;
   const Status loaded = loader(frame->bytes.data());
+  PoolMetrics::Get().load_seconds->Observe(load_timer.ElapsedSeconds());
   lock.lock();
 
   frame->loading = false;
@@ -230,6 +262,7 @@ void BufferPool::EvictLocked() {
     lru_.pop_front();
     bytes_used_ -= victim->bytes.size();
     ++stats_.evictions;
+    PoolMetrics::Get().evictions->Add();
     frames_.erase(victim->key);
   }
 }

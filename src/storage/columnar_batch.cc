@@ -7,8 +7,30 @@
 #include <thread>
 
 #include "common/timer.h"
+#include "obs/metrics.h"
 
 namespace optrules::storage {
+
+namespace {
+
+/// Per-page io-wait flush: the wait lands in the source's accumulator and
+/// the registry histogram the moment the page completes, so long-lived
+/// readers report live values instead of a lump sum at destruction.
+void RecordIoWait(std::atomic<double>* accum, double seconds) {
+  static obs::Histogram* const hist =
+      obs::MetricsRegistry::Default().GetHistogram(
+          "storage.page_io_wait_seconds");
+  hist->Observe(seconds);
+  if (accum != nullptr) accum->fetch_add(seconds);
+}
+
+obs::Counter* PagesSkippedCounter() {
+  static obs::Counter* const counter =
+      obs::MetricsRegistry::Default().GetCounter("storage.pages_skipped");
+  return counter;
+}
+
+}  // namespace
 
 void ColumnarBatch::Reset(int num_numeric, int num_boolean) {
   num_rows_ = 0;
@@ -182,9 +204,6 @@ class PagedFileBatchReader : public BatchReader {
       prefetcher_.join();
     }
     if (file_ != nullptr) std::fclose(file_);
-    if (io_wait_accum_ != nullptr) {
-      io_wait_accum_->fetch_add(io_wait_seconds_);
-    }
   }
 
   bool Next(ColumnarBatch* batch) override {
@@ -203,7 +222,7 @@ class PagedFileBatchReader : public BatchReader {
         }
         slot_ready_cv_.wait(lock, [&] { return produced_ > consumed_; });
         holding_slot_ = true;
-        io_wait_seconds_ += wait_timer.ElapsedSeconds();
+        RecordIoWait(io_wait_accum_, wait_timer.ElapsedSeconds());
       }
       slot = &slots_[static_cast<size_t>(consumed_ % 2)];
       OPTRULES_CHECK(slot->rows == want);
@@ -212,7 +231,7 @@ class PagedFileBatchReader : public BatchReader {
       WallTimer read_timer;
       const size_t got = std::fread(mine.page.data(), info_.row_bytes,
                                     static_cast<size_t>(want), file_);
-      io_wait_seconds_ += read_timer.ElapsedSeconds();
+      RecordIoWait(io_wait_accum_, read_timer.ElapsedSeconds());
       // end_ is bounded by the header's row count, so a short read means a
       // truncated or failing file; silently accepting it would merge
       // partial counts with no diagnostic.
@@ -313,7 +332,6 @@ class PagedFileBatchReader : public BatchReader {
   bool stop_ = false;
   std::thread prefetcher_;
   std::atomic<double>* io_wait_accum_;
-  double io_wait_seconds_ = 0.0;
 };
 
 /// Zero-transpose reader over a columnar v2 file. A slot holds one raw
@@ -367,9 +385,6 @@ class PagedFileV2BatchReader : public BatchReader {
       prefetcher_.join();
     }
     if (file_ != nullptr) std::fclose(file_);
-    if (io_wait_accum_ != nullptr) {
-      io_wait_accum_->fetch_add(io_wait_seconds_);
-    }
   }
 
   bool Next(ColumnarBatch* batch) override {
@@ -426,7 +441,7 @@ class PagedFileV2BatchReader : public BatchReader {
     OPTRULES_CHECK(valid.ok());
     ++next_page_to_read_;
     if (mode_ == PagedReadMode::kSynchronous) {
-      io_wait_seconds_ += elapsed;
+      RecordIoWait(io_wait_accum_, elapsed);
     }
   }
 
@@ -444,7 +459,7 @@ class PagedFileV2BatchReader : public BatchReader {
         slot_free_cv_.notify_all();
       }
       slot_ready_cv_.wait(lock, [&] { return produced_ > consumed_; });
-      io_wait_seconds_ += wait_timer.ElapsedSeconds();
+      RecordIoWait(io_wait_accum_, wait_timer.ElapsedSeconds());
       held_slot_ = static_cast<int>(consumed_ % 2);
     }
     holding_slot_ = true;
@@ -481,7 +496,6 @@ class PagedFileV2BatchReader : public BatchReader {
   int64_t batch_rows_;
   PagedReadMode mode_;
   std::atomic<double>* io_wait_accum_;
-  double io_wait_seconds_ = 0.0;
   /// Next sequential page the file position points at. Owned by the
   /// reading side: the consumer in synchronous mode, the prefetch thread
   /// in double-buffered mode (which reads its initial value before the
@@ -581,9 +595,6 @@ class PooledV2BatchReader : public BatchReader {
     if (prefetch_file_ != nullptr) std::fclose(prefetch_file_);
     pin_.Reset();
     if (file_ != nullptr) std::fclose(file_);
-    if (ctx_.io_wait_accum != nullptr) {
-      ctx_.io_wait_accum->fetch_add(io_wait_seconds_);
-    }
     if (ctx_.hits_accum != nullptr) ctx_.hits_accum->fetch_add(hits_);
     if (ctx_.misses_accum != nullptr) ctx_.misses_accum->fetch_add(misses_);
     if (ctx_.skipped_accum != nullptr) {
@@ -600,6 +611,7 @@ class PooledV2BatchReader : public BatchReader {
       if (PageIsDead(ctx_, page)) {
         pruned_rows_ += page_limit - position_;
         ++pages_skipped_;
+        PagesSkippedCounter()->Add();
         position_ = (page + 1) * rpp;
         continue;
       }
@@ -659,7 +671,7 @@ class PooledV2BatchReader : public BatchReader {
     OPTRULES_CHECK(pin.ok());
     pin_ = std::move(pin.value());
     pinned_page_ = page;
-    io_wait_seconds_ += wait_timer.ElapsedSeconds();
+    RecordIoWait(ctx_.io_wait_accum, wait_timer.ElapsedSeconds());
     if (was_hit) {
       ++hits_;
     } else {
@@ -708,7 +720,6 @@ class PooledV2BatchReader : public BatchReader {
   int64_t pages_skipped_ = 0;
   int64_t hits_ = 0;
   int64_t misses_ = 0;
-  double io_wait_seconds_ = 0.0;
   // Prefetch pacing: the consumer counts the live pages it has pinned;
   // the prefetcher stalls until its next live page is at most one past
   // that count.
@@ -772,9 +783,6 @@ class PooledV1BatchReader : public BatchReader {
     if (prefetch_file_ != nullptr) std::fclose(prefetch_file_);
     pin_.Reset();
     if (file_ != nullptr) std::fclose(file_);
-    if (ctx_.io_wait_accum != nullptr) {
-      ctx_.io_wait_accum->fetch_add(io_wait_seconds_);
-    }
     if (ctx_.hits_accum != nullptr) ctx_.hits_accum->fetch_add(hits_);
     if (ctx_.misses_accum != nullptr) ctx_.misses_accum->fetch_add(misses_);
   }
@@ -839,7 +847,7 @@ class PooledV1BatchReader : public BatchReader {
     OPTRULES_CHECK(pin.ok());
     pin_ = std::move(pin.value());
     pinned_block_ = block;
-    io_wait_seconds_ += wait_timer.ElapsedSeconds();
+    RecordIoWait(ctx_.io_wait_accum, wait_timer.ElapsedSeconds());
     if (was_hit) {
       ++hits_;
     } else {
@@ -907,7 +915,6 @@ class PooledV1BatchReader : public BatchReader {
   std::vector<std::vector<uint8_t>> boolean_;
   int64_t hits_ = 0;
   int64_t misses_ = 0;
-  double io_wait_seconds_ = 0.0;
   std::FILE* prefetch_file_ = nullptr;
   std::mutex pf_mu_;
   std::condition_variable pf_cv_;

@@ -95,6 +95,9 @@ struct BatchSourceStats {
   int64_t cache_misses = 0;  ///< buffer-pool fetches that paid a page load
   int64_t pages_skipped = 0;
   int64_t partitions_skipped = 0;
+  /// Seconds readers spent blocked on file I/O (flushed per page, so the
+  /// value is live even while readers are mid-scan).
+  double io_wait_seconds = 0.0;
   // Fault-tolerance counters, populated only by the distributed scan
   // coordinator (zero for plain sources): partition scans re-dispatched
   // after a worker failure, worker daemons (re)spawned beyond the initial
@@ -249,8 +252,9 @@ class PagedFileBatchSource : public BatchSource {
 
   /// Total seconds this source's readers spent blocked on file I/O
   /// (synchronous freads, or waiting on the prefetch thread in
-  /// double-buffered mode), accumulated when each reader is destroyed.
-  /// The bench harness reports this as the scan's I/O-wait phase.
+  /// double-buffered mode), flushed per page so long-lived readers report
+  /// live values. The bench harness reports this as the scan's I/O-wait
+  /// phase.
   double TotalIoWaitSeconds() const { return io_wait_seconds_.load(); }
 
   BatchSourceStats SourceStats() const override {
@@ -258,6 +262,7 @@ class PagedFileBatchSource : public BatchSource {
     stats.cache_hits = cache_hits_.load();
     stats.cache_misses = cache_misses_.load();
     stats.pages_skipped = pages_skipped_.load();
+    stats.io_wait_seconds = io_wait_seconds_.load();
     return stats;
   }
 

@@ -11,6 +11,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <bit>
 #include <chrono>
 #include <cmath>
@@ -27,6 +28,8 @@
 
 #include "common/bytes.h"
 #include "common/rng.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "datagen/table_generator.h"
 #include "dist/partitioned_table.h"
 #include "dist/wire.h"
@@ -226,6 +229,151 @@ TEST(ServeProtocolTest, ErrorAndStatsRoundTrip) {
   EXPECT_EQ(decoded.sessions_admitted, 10);
   EXPECT_EQ(decoded.physical_scans, 2);
   EXPECT_EQ(decoded.coalesced_sessions, 8);
+}
+
+TEST(ServeProtocolTest, ExtendedStatsRoundTripCoversEveryCounter) {
+  // Every ServerStatsSnapshot field gets a distinct value so a codec that
+  // swaps, drops, or truncates any field fails loudly.
+  ServerStatsSnapshot stats;
+  stats.sessions_admitted = 101;
+  stats.sessions_rejected = 102;
+  stats.sessions_served = 103;
+  stats.sessions_failed = 104;
+  stats.physical_scans = 105;
+  stats.coalesced_sessions = 106;
+  stats.batches_executed = 107;
+  stats.engines_cached = 108;
+  stats.engine_cache_hits = 109;
+  stats.engine_cache_misses = 110;
+  stats.rejected_connection_limit = 111;
+  stats.rejected_admission = 112;
+  stats.rejected_queue_deadline = 113;
+
+  std::vector<uint8_t> payload;
+  EncodeStatsResult(stats, &payload);
+  ServerStatsSnapshot decoded;
+  ASSERT_TRUE(DecodeStatsResult(payload, &decoded).ok());
+  EXPECT_EQ(decoded.sessions_admitted, 101);
+  EXPECT_EQ(decoded.sessions_rejected, 102);
+  EXPECT_EQ(decoded.sessions_served, 103);
+  EXPECT_EQ(decoded.sessions_failed, 104);
+  EXPECT_EQ(decoded.physical_scans, 105);
+  EXPECT_EQ(decoded.coalesced_sessions, 106);
+  EXPECT_EQ(decoded.batches_executed, 107);
+  EXPECT_EQ(decoded.engines_cached, 108);
+  EXPECT_EQ(decoded.engine_cache_hits, 109);
+  EXPECT_EQ(decoded.engine_cache_misses, 110);
+  EXPECT_EQ(decoded.rejected_connection_limit, 111);
+  EXPECT_EQ(decoded.rejected_admission, 112);
+  EXPECT_EQ(decoded.rejected_queue_deadline, 113);
+
+  // Truncating any suffix (including just the new trailing fields) must
+  // fail instead of decoding a partial snapshot.
+  for (size_t len = 0; len < payload.size(); ++len) {
+    ServerStatsSnapshot partial;
+    EXPECT_FALSE(DecodeStatsResult(
+                     std::span<const uint8_t>(payload.data(), len), &partial)
+                     .ok())
+        << "truncation at " << len;
+  }
+}
+
+TEST(ServeProtocolTest, MetricsReplyRoundTripIsBitExact) {
+  obs::MetricsSnapshot snapshot;
+  snapshot.counters["bufferpool.hits"] = 12345;
+  snapshot.counters["serve.sessions_served"] = 2;
+  snapshot.gauges["threadpool.queue_depth"] = 7.0;
+  // Doubles must survive the wire bit-for-bit, including values that
+  // compare equal under ==: -0.0 must not come back as +0.0.
+  snapshot.gauges["serve.engines_cached"] = -0.0;
+  obs::HistogramSnapshot hist;
+  hist.bounds = {0.001, 0.1, 1.0};
+  hist.bucket_counts = {4, 3, 2, 1};
+  hist.count = 10;
+  hist.sum = 1.25;
+  snapshot.histograms["scan.locate_seconds"] = hist;
+  obs::HistogramSnapshot empty_hist;
+  empty_hist.bucket_counts = {0};  // zero bounds => one overflow bucket
+  snapshot.histograms["empty.hist"] = empty_hist;
+
+  std::vector<uint8_t> payload;
+  EncodeMetricsReply(snapshot, &payload);
+  obs::MetricsSnapshot decoded;
+  ASSERT_TRUE(DecodeMetricsReply(payload, &decoded).ok());
+
+  EXPECT_EQ(decoded.counters, snapshot.counters);
+  ASSERT_EQ(decoded.gauges.size(), snapshot.gauges.size());
+  for (const auto& [name, value] : snapshot.gauges) {
+    ASSERT_TRUE(decoded.gauges.count(name)) << name;
+    EXPECT_TRUE(BitEq(decoded.gauges[name], value)) << name;
+  }
+  ASSERT_EQ(decoded.histograms.size(), snapshot.histograms.size());
+  for (const auto& [name, expected] : snapshot.histograms) {
+    ASSERT_TRUE(decoded.histograms.count(name)) << name;
+    const obs::HistogramSnapshot& got = decoded.histograms[name];
+    ASSERT_EQ(got.bounds.size(), expected.bounds.size());
+    for (size_t i = 0; i < got.bounds.size(); ++i) {
+      EXPECT_TRUE(BitEq(got.bounds[i], expected.bounds[i]));
+    }
+    EXPECT_EQ(got.bucket_counts, expected.bucket_counts);
+    EXPECT_EQ(got.count, expected.count);
+    EXPECT_TRUE(BitEq(got.sum, expected.sum));
+  }
+
+  // Stable map order => re-encoding the decoded snapshot is byte-identical.
+  std::vector<uint8_t> reencoded;
+  EncodeMetricsReply(decoded, &reencoded);
+  EXPECT_EQ(reencoded, payload);
+}
+
+TEST(ServeProtocolTest, MetricsReplyRejectsHostileAndTruncatedPayloads) {
+  obs::MetricsSnapshot snapshot;
+  snapshot.counters["a"] = 1;
+  snapshot.gauges["g"] = 2.5;
+  obs::HistogramSnapshot hist;
+  hist.bounds = {1.0};
+  hist.bucket_counts = {3, 4};
+  hist.count = 7;
+  hist.sum = 5.5;
+  snapshot.histograms["h"] = hist;
+  std::vector<uint8_t> payload;
+  EncodeMetricsReply(snapshot, &payload);
+
+  // Every strict prefix fails cleanly (the trailing-bytes check also
+  // rejects suffix garbage below).
+  for (size_t len = 0; len < payload.size(); ++len) {
+    obs::MetricsSnapshot decoded;
+    EXPECT_FALSE(DecodeMetricsReply(
+                     std::span<const uint8_t>(payload.data(), len), &decoded)
+                     .ok())
+        << "truncation at " << len;
+  }
+  std::vector<uint8_t> trailing = payload;
+  trailing.push_back(0);
+  obs::MetricsSnapshot decoded;
+  EXPECT_EQ(DecodeMetricsReply(trailing, &decoded).code(),
+            StatusCode::kCorruption);
+
+  // A histogram whose bucket_counts disagree with its bounds is shape
+  // corruption, not a crash.
+  obs::MetricsSnapshot malformed;
+  obs::HistogramSnapshot bad;
+  bad.bounds = {1.0, 2.0};
+  bad.bucket_counts = {1};  // needs bounds.size() + 1 == 3
+  malformed.histograms["bad"] = bad;
+  std::vector<uint8_t> bad_payload;
+  EncodeMetricsReply(malformed, &bad_payload);
+  EXPECT_EQ(DecodeMetricsReply(bad_payload, &decoded).code(),
+            StatusCode::kCorruption);
+
+  // A counter count claiming 2^60 entries must fail on its first
+  // truncated entry, not allocate.
+  std::vector<uint8_t> hostile;
+  bytes::AppendScalar<uint8_t>(
+      &hostile, static_cast<uint8_t>(ServeFrameKind::kMetricsReply));
+  bytes::AppendScalar<uint64_t>(&hostile, 1ull << 60);
+  hostile.push_back('x');
+  EXPECT_FALSE(DecodeMetricsReply(hostile, &decoded).ok());
 }
 
 TEST(ServeProtocolTest, OptionsFingerprintSeparatesResultChangingFields) {
@@ -716,6 +864,228 @@ TEST(MiningServerTest, PingAndStatsOverTheWire) {
   EXPECT_EQ(stats.value().sessions_served, 1);
   EXPECT_EQ(stats.value().physical_scans, 1);
   EXPECT_EQ(stats.value().engines_cached, 1);
+  server.Stop();
+}
+
+// ------------------------------------------------------ observability ----
+
+int64_t CounterDelta(const obs::MetricsSnapshot& before,
+                     const obs::MetricsSnapshot& after,
+                     const std::string& name) {
+  const auto b = before.counters.find(name);
+  const auto a = after.counters.find(name);
+  return (a == after.counters.end() ? 0 : a->second) -
+         (b == before.counters.end() ? 0 : b->second);
+}
+
+bool FindAttribute(const obs::SpanRecord& span, std::string_view key,
+                   double* out) {
+  for (const auto& [name, value] : span.attributes) {
+    if (name == key) {
+      *out = value;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<obs::SpanRecord> SpansNamed(
+    const std::vector<obs::SpanRecord>& spans, std::string_view name) {
+  std::vector<obs::SpanRecord> matches;
+  for (const obs::SpanRecord& span : spans) {
+    if (span.name == name) matches.push_back(span);
+  }
+  return matches;
+}
+
+// The registry mirrors the coordinator's folded BatchSourceStats exactly:
+// after one engine scan over a quiet process, every integer counter delta
+// equals the corresponding scan_stats() field bit-for-bit.
+TEST(ObsIntegrationTest, RegistryMirrorsEngineScanStatsBitForBit) {
+  const std::string root = TempDir("serve_obs_mirror");
+  const std::string table_dir = root + "/table";
+  const dist::PartitionedTable table = MakeTable(table_dir, 1200, 83);
+  const storage::Schema& schema = table.schema();
+
+  rules::MiningEngine engine(&table, SmallOptions());
+  const obs::MetricsSnapshot before =
+      obs::MetricsRegistry::Default().Snapshot();
+  ASSERT_TRUE(
+      engine.MinePair(schema.NumericName(0), schema.BooleanName(0)).ok());
+  const storage::BatchSourceStats stats = engine.scan_stats();
+  const obs::MetricsSnapshot after =
+      obs::MetricsRegistry::Default().Snapshot();
+
+  EXPECT_EQ(CounterDelta(before, after, "bufferpool.hits"),
+            stats.cache_hits);
+  EXPECT_EQ(CounterDelta(before, after, "bufferpool.misses"),
+            stats.cache_misses);
+  EXPECT_EQ(CounterDelta(before, after, "storage.pages_skipped"),
+            stats.pages_skipped);
+  EXPECT_EQ(CounterDelta(before, after, "dist.partitions_skipped"),
+            stats.partitions_skipped);
+  EXPECT_EQ(CounterDelta(before, after, "dist.retries"), stats.retries);
+  EXPECT_EQ(CounterDelta(before, after, "dist.workers_respawned"),
+            stats.workers_respawned);
+  EXPECT_EQ(CounterDelta(before, after, "dist.partitions_stolen"),
+            stats.partitions_stolen);
+  // One scan over every partition of the 3-way table.
+  EXPECT_EQ(CounterDelta(before, after, "dist.partition_scans") +
+                CounterDelta(before, after, "dist.partitions_skipped"),
+            3);
+}
+
+// The end-to-end observability demo from the issue: two tenants coalesce
+// into one serve window, which must produce ONE physical-scan trace tree
+// (serve.window -> dist.scan -> per-partition dist.partition ->
+// bucketing.scan with per-phase timings) and a wire-shipped registry
+// snapshot that matches the server's local registry bit-for-bit and the
+// ServerStatsSnapshot counters exactly.
+TEST(MiningServerTest, TraceDemoCoalescedWindowOneScanTreeWireMetricsMatch) {
+  const std::string root = TempDir("serve_trace_demo");
+  const std::string table_dir = root + "/table";
+  const dist::PartitionedTable table = MakeTable(table_dir, 1500, 79);
+  const storage::Schema& schema = table.schema();
+
+  obs::Tracer& tracer = obs::Tracer::Default();
+  tracer.Clear();
+  tracer.set_enabled(true);
+  const obs::MetricsSnapshot before =
+      obs::MetricsRegistry::Default().Snapshot();
+
+  ServerOptions options;
+  options.coalescing_window_ms = 150;
+  MiningServer server(options);
+  ASSERT_TRUE(server.ListenUnix(root + "/serve.sock").ok());
+  ASSERT_TRUE(server.Start().ok());
+
+  const SessionRequest request = PairRequest(table_dir, schema);
+  Result<SessionReply> reply_a = Status::Internal("unset");
+  Result<SessionReply> reply_b = Status::Internal("unset");
+  {
+    std::thread tenant_a([&] {
+      MiningClient client = Connect(server);
+      reply_a = client.RunSession(request);
+    });
+    std::thread tenant_b([&] {
+      MiningClient client = Connect(server);
+      reply_b = client.RunSession(request);
+    });
+    tenant_a.join();
+    tenant_b.join();
+  }
+  tracer.set_enabled(false);
+  ASSERT_TRUE(reply_a.ok()) << reply_a.status().ToString();
+  ASSERT_TRUE(reply_b.ok()) << reply_b.status().ToString();
+
+  // --- the trace tree: one window, one scan, one span per partition ---
+  const std::vector<obs::SpanRecord> spans = tracer.Snapshot();
+  const std::vector<obs::SpanRecord> windows =
+      SpansNamed(spans, "serve.window");
+  ASSERT_EQ(windows.size(), 1u) << "coalescing must yield ONE window";
+  double sessions = 0.0;
+  ASSERT_TRUE(FindAttribute(windows[0], "sessions", &sessions));
+  EXPECT_EQ(sessions, 2.0);
+  double window_scans = 0.0;
+  ASSERT_TRUE(FindAttribute(windows[0], "physical_scans", &window_scans));
+  EXPECT_EQ(window_scans, 1.0);
+
+  const std::vector<obs::SpanRecord> scans = SpansNamed(spans, "dist.scan");
+  ASSERT_EQ(scans.size(), 1u) << "both tenants must share ONE physical scan";
+  EXPECT_EQ(scans[0].parent_id, windows[0].id);
+  double partitions = 0.0;
+  ASSERT_TRUE(FindAttribute(scans[0], "partitions", &partitions));
+  EXPECT_EQ(partitions, 3.0);
+
+  const std::vector<obs::SpanRecord> partition_spans =
+      SpansNamed(spans, "dist.partition");
+  ASSERT_EQ(partition_spans.size(), 3u);
+  std::vector<double> partition_ids;
+  for (const obs::SpanRecord& span : partition_spans) {
+    EXPECT_EQ(span.parent_id, scans[0].id)
+        << "partition spans must hang off the scan span across the "
+           "thread boundary";
+    double partition = -1.0;
+    ASSERT_TRUE(FindAttribute(span, "partition", &partition));
+    partition_ids.push_back(partition);
+  }
+  std::sort(partition_ids.begin(), partition_ids.end());
+  EXPECT_EQ(partition_ids, (std::vector<double>{0.0, 1.0, 2.0}));
+
+  // Each partition's counting pass traces under its partition span, and
+  // the per-phase breakdown (locate/mask/scatter) rides as attributes.
+  const std::vector<obs::SpanRecord> bucket_scans =
+      SpansNamed(spans, "bucketing.scan");
+  ASSERT_EQ(bucket_scans.size(), 3u);
+  std::vector<uint64_t> partition_span_ids;
+  for (const obs::SpanRecord& span : partition_spans) {
+    partition_span_ids.push_back(span.id);
+  }
+  int spans_with_phases = 0;
+  for (const obs::SpanRecord& span : bucket_scans) {
+    EXPECT_NE(std::find(partition_span_ids.begin(), partition_span_ids.end(),
+                        span.parent_id),
+              partition_span_ids.end());
+    double ignored = 0.0;
+    if (FindAttribute(span, "locate_seconds", &ignored) &&
+        FindAttribute(span, "mask_seconds", &ignored) &&
+        FindAttribute(span, "scatter_seconds", &ignored)) {
+      ++spans_with_phases;
+    }
+  }
+  EXPECT_EQ(spans_with_phases, 3) << "phase timings missing from the trace";
+
+  // --- wire-shipped metrics: bit-for-bit against the local registry ---
+  MiningClient client = Connect(server);
+  const Result<obs::MetricsSnapshot> wire = client.Metrics();
+  ASSERT_TRUE(wire.ok()) << wire.status().ToString();
+  const obs::MetricsSnapshot local =
+      obs::MetricsRegistry::Default().Snapshot();
+  EXPECT_EQ(wire.value().counters, local.counters);
+  ASSERT_EQ(wire.value().gauges.size(), local.gauges.size());
+  for (const auto& [name, value] : local.gauges) {
+    ASSERT_TRUE(wire.value().gauges.count(name)) << name;
+    EXPECT_TRUE(BitEq(wire.value().gauges.at(name), value)) << name;
+  }
+  ASSERT_EQ(wire.value().histograms.size(), local.histograms.size());
+  for (const auto& [name, expected] : local.histograms) {
+    ASSERT_TRUE(wire.value().histograms.count(name)) << name;
+    const obs::HistogramSnapshot& got = wire.value().histograms.at(name);
+    EXPECT_EQ(got.bucket_counts, expected.bucket_counts) << name;
+    EXPECT_EQ(got.count, expected.count) << name;
+    EXPECT_TRUE(BitEq(got.sum, expected.sum)) << name;
+  }
+
+  // --- and exactly against the server's own counters ---
+  const ServerStatsSnapshot stats = server.Stats();
+  EXPECT_EQ(stats.physical_scans, 1);
+  EXPECT_EQ(stats.coalesced_sessions, 1);
+  EXPECT_EQ(stats.sessions_served, 2);
+  const obs::MetricsSnapshot& after = wire.value();
+  EXPECT_EQ(CounterDelta(before, after, "serve.sessions_admitted"),
+            stats.sessions_admitted);
+  EXPECT_EQ(CounterDelta(before, after, "serve.sessions_served"),
+            stats.sessions_served);
+  EXPECT_EQ(CounterDelta(before, after, "serve.physical_scans"),
+            stats.physical_scans);
+  EXPECT_EQ(CounterDelta(before, after, "serve.coalesced_sessions"),
+            stats.coalesced_sessions);
+  EXPECT_EQ(CounterDelta(before, after, "serve.batches_executed"),
+            stats.batches_executed);
+  EXPECT_EQ(CounterDelta(before, after, "serve.engine_cache_hits"),
+            stats.engine_cache_hits);
+  EXPECT_EQ(CounterDelta(before, after, "serve.engine_cache_misses"),
+            stats.engine_cache_misses);
+
+  // Per-tenant counter: both sessions shared one options fingerprint.
+  char tenant_counter[64];
+  std::snprintf(tenant_counter, sizeof(tenant_counter),
+                "serve.tenant.%016llx.sessions_served",
+                static_cast<unsigned long long>(
+                    OptionsFingerprint(SmallOptions())));
+  EXPECT_EQ(CounterDelta(before, after, tenant_counter), 2);
+
+  tracer.Clear();
   server.Stop();
 }
 

@@ -10,9 +10,12 @@
 // runs until SIGTERM or SIGINT, which triggers the graceful path: stop
 // accepting, drain queued sessions under --drain-ms, unblock every
 // connection, release the engines. Exit code 0 on a clean drain.
+// SIGUSR1 (unless --metrics-dump-on=none) dumps the process metrics
+// registry to stderr in the text format and keeps serving.
 //
 //   optrules_served --socket=/tmp/optrules.sock --window-ms=25
 //   optrules_served --port=0 --max-sessions=64
+//   kill -USR1 <pid>   # print every counter/gauge/histogram to stderr
 
 #include <csignal>
 #include <cstdio>
@@ -20,6 +23,7 @@
 #include <string>
 
 #include "common/env.h"
+#include "obs/metrics.h"
 #include "serve/server.h"
 
 namespace {
@@ -42,6 +46,7 @@ int main(int argc, char** argv) {
   std::string socket_path;
   bool use_tcp = false;
   uint16_t port = 0;
+  bool metrics_dump_on_usr1 = true;
   optrules::serve::ServerOptions options;
 
   for (int i = 1; i < argc; ++i) {
@@ -66,12 +71,26 @@ int main(int argc, char** argv) {
     } else if (std::strncmp(arg, "--max-engines=", 14) == 0) {
       options.max_cached_engines =
           static_cast<int>(FlagValue("--max-engines", arg + 14));
+    } else if (std::strncmp(arg, "--metrics-dump-on=", 18) == 0) {
+      const char* value = arg + 18;
+      if (std::strcmp(value, "usr1") == 0 ||
+          std::strcmp(value, "SIGUSR1") == 0) {
+        metrics_dump_on_usr1 = true;
+      } else if (std::strcmp(value, "none") == 0) {
+        metrics_dump_on_usr1 = false;
+      } else {
+        std::fprintf(stderr,
+                     "optrules_served: --metrics-dump-on wants usr1 or "
+                     "none, got \"%s\"\n",
+                     value);
+        return 2;
+      }
     } else {
       std::fprintf(stderr,
                    "usage: optrules_served (--socket=<path> | --port=<n>) "
                    "[--window-ms=N] [--max-sessions=N] "
                    "[--max-connections=N] [--drain-ms=N] "
-                   "[--max-engines=N]\n");
+                   "[--max-engines=N] [--metrics-dump-on=usr1|none]\n");
       return 2;
     }
   }
@@ -81,12 +100,14 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  // Block the shutdown signals BEFORE any thread spawns, so they are
-  // delivered to this thread's sigwait and nowhere else.
+  // Block the waited-on signals BEFORE any thread spawns, so they are
+  // delivered to this thread's sigwait and nowhere else. SIGUSR1 rides
+  // the same mask: it dumps the metrics registry and keeps serving.
   sigset_t signals;
   sigemptyset(&signals);
   sigaddset(&signals, SIGTERM);
   sigaddset(&signals, SIGINT);
+  if (metrics_dump_on_usr1) sigaddset(&signals, SIGUSR1);
   pthread_sigmask(SIG_BLOCK, &signals, nullptr);
 
   optrules::serve::MiningServer server(options);
@@ -106,8 +127,20 @@ int main(int argc, char** argv) {
   std::printf("LISTENING %s\n", server.address().c_str());
   std::fflush(stdout);
 
-  int signal_number = 0;
-  while (sigwait(&signals, &signal_number) != 0) {
+  for (;;) {
+    int signal_number = 0;
+    if (sigwait(&signals, &signal_number) != 0) continue;
+    if (signal_number == SIGUSR1) {
+      // Operator-triggered dump: the full registry as text on stderr
+      // (stdout is the LISTENING handshake channel). The daemon keeps
+      // serving; dump as often as you like.
+      const std::string text =
+          optrules::obs::MetricsRegistry::Default().Snapshot().ToText();
+      std::fwrite(text.data(), 1, text.size(), stderr);
+      std::fflush(stderr);
+      continue;
+    }
+    break;  // SIGTERM / SIGINT: the graceful path
   }
   server.Stop();
   return 0;
